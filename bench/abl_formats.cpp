@@ -1,0 +1,119 @@
+// EXP-A5 — ablation: storage formats (CRS vs ELLPACK vs SELL-C-sigma vs
+// symmetric CRS), measured on this host.
+//
+// Sect. 1.2 calls CRS "broadly recognized as the most efficient format
+// for general sparse matrices on cache-based microprocessors"; the
+// related work ([1]-[3]) explores alternatives. This harness makes the
+// trade-offs concrete: padding overheads, the symmetric format's ~2x
+// traffic reduction (Sect. 1.3.1), and measured GFlop/s for each.
+
+#include <cstdio>
+
+#include "common/paper_matrices.hpp"
+#include "matgen/random_matrix.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/symmetric.hpp"
+#include "team/thread_team.hpp"
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hspmv;
+using sparse::value_t;
+
+double time_gflops(const std::function<void()>& kernel, double flops,
+                   int repetitions) {
+  kernel();  // warm-up
+  double best = 1e30;
+  for (int r = 0; r < repetitions; ++r) {
+    util::Timer timer;
+    kernel();
+    best = std::min(best, timer.seconds());
+  }
+  return flops / best / 1e9;
+}
+
+void compare(const char* name, const sparse::CsrMatrix& a, int repetitions,
+             bool symmetric_input) {
+  std::printf("--- %s (N = %d, Nnz = %lld, Nnzr = %.2f) ---\n", name,
+              a.rows(), static_cast<long long>(a.nnz()), a.nnz_per_row());
+  util::AlignedVector<value_t> x(static_cast<std::size_t>(a.cols()));
+  util::Xoshiro256 rng(11);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  util::AlignedVector<value_t> y(static_cast<std::size_t>(a.rows()));
+  const double flops = 2.0 * static_cast<double>(a.nnz());
+
+  util::Table table({"format", "storage ratio", "padding", "GFlop/s"});
+
+  const double crs =
+      time_gflops([&] { sparse::spmv(a, x, y); }, flops, repetitions);
+  table.add_row({"CRS", "1.00", "1.00", util::Table::cell(crs, 2)});
+
+  const auto ell = sparse::EllMatrix::from_csr(a);
+  table.add_row(
+      {"ELLPACK", util::Table::cell(ell.padding_ratio(), 2),
+       util::Table::cell(ell.padding_ratio(), 2),
+       util::Table::cell(
+           time_gflops([&] { ell.spmv(x, y); }, flops, repetitions), 2)});
+
+  const auto sell = sparse::SellMatrix::from_csr(a, 32, 256);
+  table.add_row(
+      {"SELL-32-256", util::Table::cell(sell.padding_ratio(), 2),
+       util::Table::cell(sell.padding_ratio(), 2),
+       util::Table::cell(
+           time_gflops([&] { sell.spmv(x, y); }, flops, repetitions), 2)});
+
+  if (symmetric_input) {
+    const auto sym = sparse::SymmetricCsr::from_full(a);
+    table.add_row(
+        {"symmetric CRS", util::Table::cell(sym.storage_ratio_vs_full(), 2),
+         "1.00",
+         util::Table::cell(time_gflops([&] { sparse::symmetric_spmv(sym, x, y); },
+                                       flops, repetitions),
+                           2)});
+    team::ThreadTeam team(2);
+    table.add_row(
+        {"symmetric CRS (2 thr)",
+         util::Table::cell(sym.storage_ratio_vs_full(), 2), "1.00",
+         util::Table::cell(
+             time_gflops(
+                 [&] { sparse::symmetric_spmv_parallel(sym, x, y, team); },
+                 flops, repetitions),
+             2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("abl_formats", "ablation: sparse storage formats");
+  cli.add_option("reps", "5", "repetitions per kernel");
+  cli.add_option("scale", "1", "paper-matrix scale level (0..3; 3 = full paper size)");
+  if (!cli.parse(argc, argv)) return 1;
+  const int reps = static_cast<int>(cli.get_int("reps"));
+  const int scale = static_cast<int>(cli.get_int("scale"));
+
+  std::printf("EXP-A5 — storage-format ablation (host measurements)\n\n");
+  compare("HMeP", bench::make_hmep(scale).matrix, reps,
+          /*symmetric_input=*/true);
+  compare("sAMG", bench::make_samg(scale).matrix, reps,
+          /*symmetric_input=*/true);
+  // Small instance: plain ELLPACK needs width*rows slots, which is the
+  // point of the demonstration (and would not fit at larger sizes).
+  compare("power-law (adversarial for ELLPACK)",
+          matgen::random_power_law(10000, 4, 0.5, 9), reps,
+          /*symmetric_input=*/false);
+
+  std::printf(
+      "expected: CRS and SELL close on the paper's matrices; plain "
+      "ELLPACK collapses on power-law rows (padding); symmetric CRS gains "
+      "from the ~2x traffic reduction where the working set is "
+      "memory-bound (sequential), while its parallel variant pays the "
+      "private-buffer reduction — the difficulty the paper alludes to.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// EXP-A2 — ablation: balanced-rows vs balanced-nonzeros partitioning
+// (paper footnote 2: "We use a balanced distribution of nonzeros across
+// the MPI processes here" — noting that balancing computation and
+// communication simultaneously is generally hard).
+
+#include <cstdio>
+
+#include "cluster/cluster_model.hpp"
+#include "common/paper_matrices.hpp"
+#include "matgen/random_matrix.hpp"
+#include "spmv/comm_plan.hpp"
+#include "spmv/partition.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hspmv;
+
+void analyze(const char* name, const sparse::CsrMatrix& a, int parts) {
+  util::Table table({"strategy", "nnz imbalance (max/mean)",
+                     "halo elements", "max halo / part"});
+  for (const auto strategy : {spmv::PartitionStrategy::kBalancedRows,
+                              spmv::PartitionStrategy::kBalancedNonzeros}) {
+    const auto boundaries = spmv::partition_rows(a, parts, strategy);
+    const auto stats = spmv::analyze_partition(a, boundaries);
+    std::int64_t max_halo = 0;
+    for (const auto& peers : stats.recv_from) {
+      std::int64_t halo = 0;
+      for (const auto& [peer, count] : peers) halo += count;
+      max_halo = std::max(max_halo, halo);
+    }
+    table.add_row(
+        {strategy == spmv::PartitionStrategy::kBalancedRows
+             ? "balanced rows"
+             : "balanced nonzeros",
+         util::Table::cell(spmv::partition_imbalance(a, boundaries), 3),
+         util::Table::cell(stats.total_halo_elements()),
+         util::Table::cell(max_halo)});
+  }
+  std::printf("%s, %d parts:\n%s\n", name, parts,
+              table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("abl_partition",
+                      "ablation: row- vs nonzero-balanced partitioning");
+  cli.add_option("parts", "64", "number of partitions");
+  if (!cli.parse(argc, argv)) return 1;
+  const int parts = static_cast<int>(cli.get_int("parts"));
+
+  std::printf("EXP-A2 — partitioning-strategy ablation\n\n");
+  analyze("HMeP (scaled)", bench::make_hmep(1).matrix, parts);
+  analyze("sAMG (scaled)", bench::make_samg(1).matrix, parts);
+  analyze("power-law rows (adversarial)",
+          matgen::random_power_law(100000, 4, 0.8, 5), parts);
+
+  std::printf(
+      "expected: for the paper's matrices the strategies are close "
+      "(near-uniform row lengths); on skewed power-law rows the "
+      "nonzero-balanced partition removes the multi-x compute imbalance "
+      "at a modest halo cost.\n");
+  return 0;
+}

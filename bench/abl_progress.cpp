@@ -1,0 +1,134 @@
+// EXP-A1 — ablation: progress semantics, measured for real on this host.
+//
+// The paper's central mechanism, executed (not modeled): a distributed
+// spMVM with synthetic network latency runs under
+//   (a) deferred progress (standard MPI behaviour)  and
+//   (b) an asynchronous progress thread (what MPI implementations could
+//       do — Sect. 5's outlook),
+// for the naive-overlap and task-mode variants. With deferred progress,
+// naive overlap pays compute + comm serially while task mode still
+// overlaps (its dedicated thread sits inside the library); with async
+// progress even naive overlap overlaps.
+
+#include <cstdio>
+#include <mutex>
+
+#include "matgen/random_matrix.hpp"
+#include "minimpi/runtime.hpp"
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hspmv;
+using sparse::value_t;
+
+struct Measurement {
+  double total_ms = 0.0;
+  double comm_ms = 0.0;
+};
+
+Measurement measure(const sparse::CsrMatrix& a, spmv::Variant variant,
+                    minimpi::ProgressMode progress, double latency,
+                    int ranks, int threads, int repetitions) {
+  minimpi::RuntimeOptions options;
+  options.ranks = ranks;
+  options.progress = progress;
+  options.latency_seconds = latency;
+
+  Measurement result;
+  std::mutex mutex;
+  minimpi::run(options, [&](minimpi::Comm& comm) {
+    const auto boundaries = spmv::partition_rows(
+        a, comm.size(), spmv::PartitionStrategy::kBalancedNonzeros);
+    spmv::DistMatrix dist(comm, a, boundaries);
+    spmv::DistVector x(dist), y(dist);
+    util::Xoshiro256 rng(1);
+    for (auto& v : x.owned()) v = rng.uniform(-1.0, 1.0);
+    spmv::SpmvEngine engine(dist, threads, variant);
+
+    engine.apply(x, y);  // warm-up: halo buffers, team spin-up
+    // Keep the ranks in lockstep per repetition (a barrier per spMVM, as
+    // a solver's dot products would impose anyway) and take the best
+    // repetition to suppress scheduling noise on oversubscribed hosts.
+    double best_total = 1e30;
+    double best_comm = 0.0;
+    for (int r = 0; r < repetitions; ++r) {
+      comm.barrier();
+      util::Timer timer;
+      const auto t = engine.apply(x, y);
+      const double total = timer.seconds();
+      if (total < best_total) {
+        best_total = total;
+        best_comm = t.comm_s;
+      }
+    }
+    comm.barrier();
+    std::lock_guard<std::mutex> lock(mutex);
+    result.total_ms = std::max(result.total_ms, best_total * 1e3);
+    result.comm_ms = std::max(result.comm_ms, best_comm * 1e3);
+  });
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("abl_progress",
+                      "ablation: deferred vs async progress (measured)");
+  cli.add_option("rows", "400000", "matrix rows");
+  cli.add_option("latency-ms", "25", "synthetic per-message latency");
+  cli.add_option("reps", "5", "repetitions per cell");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto a = matgen::random_banded(
+      static_cast<sparse::index_t>(cli.get_int("rows")),
+      static_cast<sparse::index_t>(cli.get_int("rows") / 10), 12, 7);
+  const double latency = cli.get_double("latency-ms") * 1e-3;
+  const int reps = static_cast<int>(cli.get_int("reps"));
+
+  std::printf(
+      "EXP-A1 — progress-mode ablation (real execution, 2 ranks x 2 "
+      "threads, %.0f ms synthetic message latency)\n\n",
+      latency * 1e3);
+
+  util::Table table({"variant", "progress", "total [ms]",
+                     "time in Waitall [ms]"});
+  struct Cell {
+    spmv::Variant variant;
+    const char* variant_name;
+    minimpi::ProgressMode progress;
+    const char* progress_name;
+  };
+  const Cell cells[] = {
+      {spmv::Variant::kVectorNoOverlap, "vector w/o overlap",
+       minimpi::ProgressMode::kDeferred, "deferred"},
+      {spmv::Variant::kVectorNaiveOverlap, "vector naive overlap",
+       minimpi::ProgressMode::kDeferred, "deferred"},
+      {spmv::Variant::kVectorNaiveOverlap, "vector naive overlap",
+       minimpi::ProgressMode::kAsync, "async"},
+      {spmv::Variant::kTaskMode, "task mode",
+       minimpi::ProgressMode::kDeferred, "deferred"},
+      {spmv::Variant::kTaskMode, "task mode", minimpi::ProgressMode::kAsync,
+       "async"},
+  };
+  for (const auto& cell : cells) {
+    const auto m = measure(a, cell.variant, cell.progress, latency,
+                           /*ranks=*/2, /*threads=*/2, reps);
+    table.add_row({cell.variant_name, cell.progress_name,
+                   util::Table::cell(m.total_ms, 2),
+                   util::Table::cell(m.comm_ms, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expected: naive overlap improves under async progress (the latency "
+      "hides behind compute); task mode overlaps in BOTH modes — its "
+      "dedicated thread is always inside the library. This is the paper's "
+      "point that progress threads would let plain nonblocking MPI match "
+      "task mode.\n");
+  return 0;
+}

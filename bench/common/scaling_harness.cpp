@@ -1,0 +1,135 @@
+#include "common/scaling_harness.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/cluster_model.hpp"
+#include "sparse/stats.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+namespace hspmv::bench {
+
+using cluster::ClusterModel;
+using cluster::HybridMapping;
+using cluster::KernelVariant;
+using cluster::NodePrediction;
+using cluster::ScenarioParams;
+
+void run_scaling_figure(const PaperMatrix& matrix,
+                        const ScalingFigureOptions& options) {
+  const auto stats = sparse::compute_stats(matrix.matrix);
+  std::printf(
+      "%s — strong scaling, %s matrix\n"
+      "scaled instance: N = %d, Nnz = %lld, Nnzr = %.2f  "
+      "(paper: N = %.0f, Nnz = %.0f; volume scale %.1fx, comm scale "
+      "%.1fx)\n\n",
+      options.figure_name.c_str(), matrix.name.c_str(), stats.rows,
+      static_cast<long long>(stats.nnz), stats.nnz_per_row_mean,
+      matrix.paper_rows, matrix.paper_nnz, matrix.volume_scale,
+      matrix.comm_volume_scale);
+
+  std::vector<int> node_counts;
+  for (int n = 1; n <= options.max_nodes; n *= 2) node_counts.push_back(n);
+  if (node_counts.back() != options.max_nodes) {
+    node_counts.push_back(options.max_nodes);
+  }
+
+  const ClusterModel westmere(cluster::westmere_cluster());
+  const ClusterModel cray(cluster::cray_xe6());
+
+  const auto series_for = [&](const ClusterModel& model,
+                              KernelVariant variant, HybridMapping mapping) {
+    ScenarioParams params;
+    params.variant = variant;
+    params.mapping = mapping;
+    params.kappa = matrix.paper_kappa;
+    params.volume_scale = matrix.volume_scale;
+    params.comm_volume_scale =
+        matrix.volume_scale < 1.5 ? -1.0 : matrix.comm_volume_scale;
+    return model.strong_scaling(matrix.matrix, node_counts, params);
+  };
+
+  constexpr KernelVariant kVariants[] = {
+      KernelVariant::kVectorNoOverlap, KernelVariant::kVectorNaiveOverlap,
+      KernelVariant::kTaskMode};
+  constexpr HybridMapping kMappings[] = {HybridMapping::kProcessPerCore,
+                                         HybridMapping::kProcessPerDomain,
+                                         HybridMapping::kProcessPerNode};
+
+  // Best-Cray reference: the best variant/mapping combination per node
+  // count, as the paper plots a single "best Cray" line.
+  std::vector<double> cray_best(node_counts.size(), 0.0);
+  if (options.include_cray) {
+    for (const auto mapping : kMappings) {
+      for (const auto variant : kVariants) {
+        if (variant == KernelVariant::kTaskMode &&
+            mapping == HybridMapping::kProcessPerCore) {
+          continue;  // no SMT on Magny Cours: not a sensible combination
+        }
+        const auto series = series_for(cray, variant, mapping);
+        for (std::size_t i = 0; i < series.size(); ++i) {
+          cray_best[i] = std::max(cray_best[i], series[i].gflops);
+        }
+      }
+    }
+  }
+
+  for (const auto mapping : kMappings) {
+    std::printf("--- panel: %s ---\n", cluster::mapping_name(mapping));
+    util::Table table({"nodes", "vector w/o ovl [GF/s]",
+                       "vector naive ovl [GF/s]", "task mode [GF/s]",
+                       "best Cray [GF/s]"});
+    std::vector<util::PlotSeries> plot;
+    const char glyphs[] = {'o', 'x', '#'};
+    std::vector<std::vector<NodePrediction>> panel;
+    for (const auto variant : kVariants) {
+      panel.push_back(series_for(westmere, variant, mapping));
+    }
+    for (std::size_t i = 0; i < node_counts.size(); ++i) {
+      table.add_row({util::Table::cell(static_cast<std::int64_t>(
+                         node_counts[i])),
+                     util::Table::cell(panel[0][i].gflops, 2),
+                     util::Table::cell(panel[1][i].gflops, 2),
+                     util::Table::cell(panel[2][i].gflops, 2),
+                     options.include_cray
+                         ? util::Table::cell(cray_best[i], 2)
+                         : std::string("-")});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    for (std::size_t v = 0; v < panel.size(); ++v) {
+      util::PlotSeries s;
+      s.name = cluster::variant_name(kVariants[v]);
+      s.glyph = glyphs[v];
+      for (std::size_t i = 0; i < node_counts.size(); ++i) {
+        s.x.push_back(node_counts[i]);
+        s.y.push_back(panel[v][i].gflops);
+      }
+      plot.push_back(std::move(s));
+    }
+    if (options.include_cray) {
+      util::PlotSeries s;
+      s.name = "best Cray";
+      s.glyph = '+';
+      for (std::size_t i = 0; i < node_counts.size(); ++i) {
+        s.x.push_back(node_counts[i]);
+        s.y.push_back(cray_best[i]);
+      }
+      plot.push_back(std::move(s));
+    }
+    util::PlotOptions plot_options;
+    plot_options.x_label = "#nodes";
+    plot_options.y_label = "performance [GFlop/s]";
+    std::printf("%s\n", util::render_plot(plot, plot_options).c_str());
+
+    for (std::size_t v = 0; v < panel.size(); ++v) {
+      const int half = ClusterModel::half_efficiency_point(panel[v]);
+      std::printf("  50%% parallel efficiency up to %2d nodes  (%s)\n", half,
+                  cluster::variant_name(kVariants[v]));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace hspmv::bench

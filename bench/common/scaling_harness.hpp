@@ -1,0 +1,22 @@
+// Shared driver for the strong-scaling figures (Figs. 5 and 6): runs the
+// cluster model over the mapping x variant grid on the Westmere cluster,
+// adds the best-Cray reference series, and prints tables, 50 %-efficiency
+// markers and ASCII plots.
+#pragma once
+
+#include <string>
+
+#include "common/paper_matrices.hpp"
+
+namespace hspmv::bench {
+
+struct ScalingFigureOptions {
+  std::string figure_name;     // "Fig. 5" / "Fig. 6"
+  int max_nodes = 32;
+  bool include_cray = true;
+};
+
+void run_scaling_figure(const PaperMatrix& matrix,
+                        const ScalingFigureOptions& options);
+
+}  // namespace hspmv::bench

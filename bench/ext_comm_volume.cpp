@@ -1,0 +1,69 @@
+// EXP-E3 (extension) — the communication-volume curve behind the paper's
+// "universal drop in scalability beyond about six nodes ... ascribed to a
+// strong decrease in overall internode communication volume when the
+// number of nodes is small" (Sect. 4).
+//
+// For HMeP, the total internode halo volume grows steeply while few nodes
+// own large contiguous blocks (every new cut exposes fresh coupling
+// surface) and then saturates; once it stops growing, each added node
+// brings pure comm overhead and the efficiency knee appears.
+
+#include <cstdio>
+
+#include "common/paper_matrices.hpp"
+#include "spmv/comm_plan.hpp"
+#include "spmv/partition.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hspmv;
+  util::CliParser cli("ext_comm_volume",
+                      "extension: internode comm volume vs node count");
+  cli.add_option("scale", "1", "paper-matrix scale level (0..3; 3 = full paper size)");
+  cli.add_option("procs-per-node", "2", "processes per node (per-LD = 2)");
+  if (!cli.parse(argc, argv)) return 1;
+  const int ppn = static_cast<int>(cli.get_int("procs-per-node"));
+
+  for (auto& pm :
+       {bench::make_hmep(static_cast<int>(cli.get_int("scale"))),
+        bench::make_samg(static_cast<int>(cli.get_int("scale")))}) {
+    std::printf("--- %s (N = %d) ---\n", pm.name.c_str(), pm.matrix.rows());
+    util::Table table({"nodes", "internode halo [MB, extrapolated]",
+                       "growth vs previous", "per node [MB]"});
+    double previous = 0.0;
+    for (int nodes = 1; nodes <= 32; nodes *= 2) {
+      const int processes = nodes * ppn;
+      const auto boundaries = spmv::partition_rows(
+          pm.matrix, processes, spmv::PartitionStrategy::kBalancedNonzeros);
+      const auto stats = spmv::analyze_partition(pm.matrix, boundaries);
+      double internode_elements = 0.0;
+      for (int p = 0; p < processes; ++p) {
+        const int my_node = p / ppn;
+        for (const auto& [peer, count] :
+             stats.recv_from[static_cast<std::size_t>(p)]) {
+          if (peer / ppn != my_node) {
+            internode_elements += static_cast<double>(count);
+          }
+        }
+      }
+      const double megabytes =
+          internode_elements * 8.0 * pm.comm_volume_scale / 1e6;
+      table.add_row(
+          {util::Table::cell(static_cast<std::int64_t>(nodes)),
+           util::Table::cell(megabytes, 2),
+           previous > 0.0
+               ? util::Table::cell(megabytes / previous, 2) + "x"
+               : std::string("-"),
+           util::Table::cell(nodes > 0 ? megabytes / nodes : 0.0, 2)});
+      previous = megabytes;
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf(
+      "expected: steep growth at small node counts that flattens (HMeP "
+      "saturates once every phonon-block coupling is cut); the flattening "
+      "point is where the paper's efficiency knee sits. sAMG grows "
+      "gently throughout (surface-to-volume).\n");
+  return 0;
+}

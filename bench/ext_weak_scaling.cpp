@@ -1,0 +1,67 @@
+// EXP-E2 (extension) — weak scaling of the sAMG-like problem.
+//
+// The paper studies strong scaling only; the model naturally answers the
+// weak-scaling question too: grow the grid with the node count (constant
+// rows per node) and watch the time per spMVM. A flat line is perfect
+// weak scaling; the gap between variants shows how much of the growing
+// halo each one hides.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "cluster/cluster_model.hpp"
+#include "matgen/poisson.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hspmv;
+  util::CliParser cli("ext_weak_scaling",
+                      "extension: weak scaling (model) on growing grids");
+  cli.add_option("base", "32", "grid edge at 1 node");
+  cli.add_option("max-nodes", "32", "largest node count");
+  if (!cli.parse(argc, argv)) return 1;
+  const int base = static_cast<int>(cli.get_int("base"));
+
+  const cluster::ClusterModel model(cluster::westmere_cluster());
+  std::printf(
+      "EXP-E2 — weak scaling, 7-point Poisson, ~%d^3 cells per node "
+      "(Westmere cluster model, per-LD mapping)\n\n",
+      base);
+
+  util::Table table({"nodes", "grid", "N", "vector w/o ovl [ms]",
+                     "task mode [ms]", "weak efficiency (vector)"});
+  double reference_ms = 0.0;
+  for (int nodes = 1; nodes <= cli.get_int("max-nodes"); nodes *= 2) {
+    // Edge grows as cbrt(nodes) to keep rows/node constant.
+    const int edge = static_cast<int>(
+        std::lround(base * std::cbrt(static_cast<double>(nodes))));
+    const auto matrix = matgen::poisson7({.nx = edge, .ny = edge, .nz = edge});
+
+    cluster::ScenarioParams params;
+    params.mapping = cluster::HybridMapping::kProcessPerDomain;
+    params.kappa = 0.7;
+    params.volume_scale = 1.0;  // the instance IS the problem here
+
+    params.variant = cluster::KernelVariant::kVectorNoOverlap;
+    const auto vector = model.predict(matrix, nodes, params);
+    params.variant = cluster::KernelVariant::kTaskMode;
+    const auto task = model.predict(matrix, nodes, params);
+
+    if (nodes == 1) reference_ms = vector.time_s * 1e3;
+    table.add_row(
+        {util::Table::cell(static_cast<std::int64_t>(nodes)),
+         std::to_string(edge) + "^3",
+         util::Table::cell(static_cast<std::int64_t>(matrix.rows())),
+         util::Table::cell(vector.time_s * 1e3, 3),
+         util::Table::cell(task.time_s * 1e3, 3),
+         util::Table::cell(reference_ms / (vector.time_s * 1e3) * 100.0, 1) +
+             "%"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expected: near-flat time per spMVM (surface-to-volume halo growth "
+      "only); task mode absorbs most of the halo cost.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// EXP-F4 — reproduces Fig. 4: timeline views of the three hybrid kernel
+// versions. The paper draws schematics; we *measure* them — each panel is
+// a Gantt chart of rank 0's team threads during one spMVM with synthetic
+// network latency, under deferred (standard-MPI) progress.
+//
+// Expected shapes:
+//  (a) vector, no overlap:   [gather][== Waitall ==][ spMVM all ]
+//  (b) vector, naive overlap:[gather][ spMVM local ][== Waitall ==][nonlocal]
+//      (the Waitall bar stays as long as in (a): no actual overlap)
+//  (c) task mode:            t0: [======== Isend+Waitall ========]
+//                            t1: [gather][ spMVM local ].........[nonlocal]
+//      (communication and local compute bars overlap in wall time)
+
+#include <cstdio>
+#include <mutex>
+
+#include "matgen/random_matrix.hpp"
+#include "minimpi/runtime.hpp"
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "util/timeline.hpp"
+
+namespace {
+
+using namespace hspmv;
+
+std::string run_panel(const sparse::CsrMatrix& a, spmv::Variant variant,
+                      double latency, int threads) {
+  minimpi::RuntimeOptions options;
+  options.ranks = 2;
+  options.progress = minimpi::ProgressMode::kDeferred;
+  options.latency_seconds = latency;
+  util::Timeline timeline;
+  std::string rendered;
+  std::mutex mutex;
+  minimpi::run(options, [&](minimpi::Comm& comm) {
+    const auto boundaries = spmv::partition_rows(
+        a, comm.size(), spmv::PartitionStrategy::kBalancedNonzeros);
+    spmv::DistMatrix dist(comm, a, boundaries);
+    spmv::DistVector x(dist), y(dist);
+    util::Xoshiro256 rng(1);
+    for (auto& v : x.owned()) v = rng.uniform(-1.0, 1.0);
+    spmv::SpmvEngine engine(dist, threads, variant);
+    engine.apply(x, y);  // warm-up
+    comm.barrier();
+    if (comm.rank() == 0) {
+      timeline.reset();
+      engine.set_trace(&timeline, "rank0 ");
+    }
+    engine.apply(x, y);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      rendered = timeline.render(68);
+    }
+  });
+  return rendered;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("fig4_timelines",
+                      "Fig. 4 — measured timelines of the kernel variants");
+  cli.add_option("rows", "80000", "matrix rows");
+  cli.add_option("latency-ms", "8", "synthetic per-message latency");
+  cli.add_option("threads", "3", "team threads per rank");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto a = matgen::random_banded(
+      static_cast<sparse::index_t>(cli.get_int("rows")),
+      static_cast<sparse::index_t>(cli.get_int("rows") / 10), 12, 7);
+  const double latency = cli.get_double("latency-ms") * 1e-3;
+  const int threads = static_cast<int>(cli.get_int("threads"));
+
+  std::printf(
+      "Fig. 4 — measured timelines (2 ranks, %d threads, deferred "
+      "progress, %.1f ms message latency; rank 0 shown)\n\n",
+      threads, latency * 1e3);
+
+  std::printf("(a) vector mode, no overlap\n%s\n",
+              run_panel(a, spmv::Variant::kVectorNoOverlap, latency,
+                        threads)
+                  .c_str());
+  std::printf("(b) vector mode, naive overlap — Waitall does not shrink\n%s\n",
+              run_panel(a, spmv::Variant::kVectorNaiveOverlap, latency,
+                        threads)
+                  .c_str());
+  std::printf(
+      "(c) task mode — t0's Waitall overlaps the workers' local spMVM\n%s\n",
+      run_panel(a, spmv::Variant::kTaskMode, latency, threads).c_str());
+  std::printf(
+      "note: the *shapes* are the reproduction target. Absolute spans on "
+      "an oversubscribed single-core host include scheduler delays (all "
+      "ranks' threads share one CPU); bench/abl_progress provides the "
+      "controlled wall-clock comparison.\n");
+  return 0;
+}

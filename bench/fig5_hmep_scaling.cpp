@@ -1,0 +1,33 @@
+// EXP-F5 — reproduces Fig. 5: strong scaling of spMVM with the HMeP
+// matrix for pure MPI and hybrid variants on the Westmere cluster, with
+// the best Cray XE6 series as reference.
+//
+// Expected shape (paper Sect. 4):
+//  * naive overlap is always slower than no overlap (split-kernel traffic
+//    without real overlap);
+//  * task mode scales to much higher node counts at >= 50 % efficiency;
+//  * the hybrid per-LD / per-node mappings scale better than pure MPI
+//    (message aggregation);
+//  * the Cray falls behind Westmere at larger node counts (torus
+//    contention on HMeP's non-nearest-neighbour traffic).
+
+#include "common/paper_matrices.hpp"
+#include "common/scaling_harness.hpp"
+#include "util/cli.hpp"
+#include "util/env.hpp"
+
+int main(int argc, char** argv) {
+  hspmv::util::CliParser cli("fig5_hmep_scaling",
+                             "Fig. 5 — HMeP strong scaling (model)");
+  cli.add_option("scale", "1", "matrix scale level: 0 tiny, 1 default, 2 large, 3 full paper size");
+  cli.add_option("max-nodes", "32", "largest node count");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto matrix =
+      hspmv::bench::make_hmep(static_cast<int>(cli.get_int("scale")));
+  hspmv::bench::ScalingFigureOptions options;
+  options.figure_name = "Fig. 5";
+  options.max_nodes = static_cast<int>(cli.get_int("max-nodes"));
+  hspmv::bench::run_scaling_figure(matrix, options);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// EXP-F6 — reproduces Fig. 6: strong scaling of spMVM with the sAMG-like
+// matrix (same variant/mapping grid as Fig. 5).
+//
+// Expected shape (paper Sect. 4): the matrix has much weaker
+// communication requirements than HMeP, so all variants and hybrid modes
+// scale similarly, parallel efficiency stays above 50 % through 32 nodes,
+// and task mode offers no advantage; the Cray performs best in vector
+// mode without overlap.
+
+#include "common/paper_matrices.hpp"
+#include "common/scaling_harness.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  hspmv::util::CliParser cli("fig6_samg_scaling",
+                             "Fig. 6 — sAMG strong scaling (model)");
+  cli.add_option("scale", "1", "matrix scale level: 0 tiny, 1 default, 2 large, 3 full paper size");
+  cli.add_option("max-nodes", "32", "largest node count");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto matrix =
+      hspmv::bench::make_samg(static_cast<int>(cli.get_int("scale")));
+  hspmv::bench::ScalingFigureOptions options;
+  options.figure_name = "Fig. 6";
+  options.max_nodes = static_cast<int>(cli.get_int("max-nodes"));
+  hspmv::bench::run_scaling_figure(matrix, options);
+  return 0;
+}

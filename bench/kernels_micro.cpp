@@ -1,0 +1,134 @@
+// EXP-K1 — google-benchmark microbenchmarks of the computational kernels:
+// the CRS spMVM, the split local/non-local variant (Eq. 2's penalty,
+// measured for real on this host), the halo gather, STREAM triad, and
+// supporting operations. These are host measurements, not paper-machine
+// models — the interesting quantity is the *ratio* split/full.
+
+#include <benchmark/benchmark.h>
+
+#include "matgen/poisson.hpp"
+#include "matgen/random_matrix.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/rcm.hpp"
+#include "spmv/comm_plan.hpp"
+#include "spmv/partition.hpp"
+#include "util/aligned.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace hspmv;
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+CsrMatrix bench_matrix(std::int64_t n, int nnzr) {
+  return matgen::random_banded(static_cast<index_t>(n),
+                               static_cast<index_t>(n / 8), nnzr, 12345);
+}
+
+util::AlignedVector<value_t> random_vector(std::size_t n) {
+  util::Xoshiro256 rng(99);
+  util::AlignedVector<value_t> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+void BM_SpmvCrs(benchmark::State& state) {
+  const auto a = bench_matrix(state.range(0), 15);
+  const auto b = random_vector(static_cast<std::size_t>(a.cols()));
+  util::AlignedVector<value_t> c(static_cast<std::size_t>(a.rows()));
+  for (auto _ : state) {
+    sparse::spmv(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(a.nnz()), benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_SpmvCrs)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_SpmvSplit(benchmark::State& state) {
+  // The Eq. 2 scenario: the same matrix swept in two phases around a
+  // column split at 80 % (a typical local fraction).
+  const auto a = bench_matrix(state.range(0), 15);
+  const auto split = static_cast<index_t>(a.cols() * 8 / 10);
+  const auto b = random_vector(static_cast<std::size_t>(a.cols()));
+  util::AlignedVector<value_t> c(static_cast<std::size_t>(a.rows()));
+  for (auto _ : state) {
+    sparse::spmv_local(a, split, b, c);
+    sparse::spmv_nonlocal(a, split, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(a.nnz()),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_SpmvSplit)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_SpmvLowNnzr(benchmark::State& state) {
+  // The sAMG-like regime: Nnzr ~ 7 has a higher relative index overhead.
+  const auto a =
+      matgen::poisson7({.nx = 64, .ny = 64, .nz = static_cast<int>(
+                            state.range(0))});
+  const auto b = random_vector(static_cast<std::size_t>(a.cols()));
+  util::AlignedVector<value_t> c(static_cast<std::size_t>(a.rows()));
+  for (auto _ : state) {
+    sparse::spmv(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(a.nnz()),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_SpmvLowNnzr)->Arg(16)->Arg(64);
+
+void BM_HaloGather(benchmark::State& state) {
+  // Packing the send buffer: indexed reads, contiguous writes.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto source = random_vector(n);
+  util::Xoshiro256 rng(3);
+  std::vector<index_t> gather(n / 10);
+  for (auto& g : gather) {
+    g = static_cast<index_t>(rng.bounded(n));
+  }
+  util::AlignedVector<value_t> buffer(gather.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < gather.size(); ++i) {
+      buffer[i] = source[static_cast<std::size_t>(gather[i])];
+    }
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(gather.size()) * 16);
+}
+BENCHMARK(BM_HaloGather)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BuildCommPlan(benchmark::State& state) {
+  // The one-time bookkeeping cost (Sect. 3.1).
+  const auto a = bench_matrix(1 << 16, 12);
+  const auto boundaries = spmv::partition_rows(
+      a, static_cast<int>(state.range(0)),
+      spmv::PartitionStrategy::kBalancedNonzeros);
+  for (auto _ : state) {
+    auto stats = spmv::analyze_partition(a, boundaries);
+    benchmark::DoNotOptimize(stats.local_nnz.data());
+  }
+}
+BENCHMARK(BM_BuildCommPlan)->Arg(4)->Arg(64);
+
+void BM_RcmReorder(benchmark::State& state) {
+  const auto a = matgen::poisson5_2d(static_cast<int>(state.range(0)),
+                                     static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto permutation = sparse::rcm_permutation(a);
+    benchmark::DoNotOptimize(permutation.data());
+  }
+}
+BENCHMARK(BM_RcmReorder)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

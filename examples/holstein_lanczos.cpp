@@ -1,0 +1,126 @@
+// Application example 1 (the paper's first use case, Sect. 1.3.1):
+// ground-state energy of a Holstein-Hubbard Hamiltonian by a *distributed*
+// Lanczos iteration whose spMVM runs in task mode with a dedicated
+// communication thread.
+//
+// The solver is operator-agnostic: we wrap DistMatrix + SpmvEngine into a
+// solvers::Operator whose dot product hides the allreduce, then cross-check
+// the distributed result against a sequential Lanczos run.
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "matgen/holstein.hpp"
+#include "minimpi/runtime.hpp"
+#include "solvers/lanczos.hpp"
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace hspmv;
+using sparse::value_t;
+
+/// Wrap a distributed matrix/engine/comm into the solver-facing Operator.
+/// Lanczos then works on local slices; every rank must call it in
+/// lockstep (the dot products synchronize, exactly like an MPI code).
+solvers::Operator make_distributed_operator(spmv::SpmvEngine& engine,
+                                            spmv::DistMatrix& dist,
+                                            spmv::DistVector& x,
+                                            spmv::DistVector& y) {
+  solvers::Operator op;
+  op.local_size = static_cast<std::size_t>(dist.owned_rows());
+  op.apply = [&engine, &x, &y](std::span<const value_t> in,
+                               std::span<value_t> out) {
+    std::copy(in.begin(), in.end(), x.owned().begin());
+    engine.apply(x, y);
+    std::copy(y.owned().begin(), y.owned().end(), out.begin());
+  };
+  op.dot = [&dist](std::span<const value_t> a, std::span<const value_t> b) {
+    return dist.comm().allreduce(sparse::dot(a, b),
+                                 minimpi::ReduceOp::kSum);
+  };
+  return op;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("holstein_lanczos",
+                      "distributed Lanczos ground state of a "
+                      "Holstein-Hubbard Hamiltonian");
+  cli.add_option("sites", "4", "lattice sites");
+  cli.add_option("phonons", "4", "total phonon truncation M");
+  cli.add_option("coupling", "1.0", "electron-phonon coupling g");
+  cli.add_option("ranks", "4", "number of minimpi ranks");
+  if (!cli.parse(argc, argv)) return 1;
+
+  matgen::HolsteinHubbardParams params;
+  params.sites = static_cast<int>(cli.get_int("sites"));
+  params.electrons_up = params.sites / 2;
+  params.electrons_down = params.sites / 2;
+  params.max_phonons = static_cast<int>(cli.get_int("phonons"));
+  params.coupling = cli.get_double("coupling");
+
+  const auto info = matgen::holstein_basis_info(params);
+  std::printf(
+      "Holstein-Hubbard: %d sites, %d+%d electrons, M = %d phonons in %d "
+      "modes -> dimension %lld (= %lld x %lld)\n",
+      params.sites, params.electrons_up, params.electrons_down,
+      params.max_phonons, info.phonon_modes,
+      static_cast<long long>(info.total_dim),
+      static_cast<long long>(info.electron_dim),
+      static_cast<long long>(info.phonon_dim));
+
+  const sparse::CsrMatrix h = matgen::holstein_hubbard(params);
+  std::printf("Nnz = %lld (Nnzr = %.2f)\n", static_cast<long long>(h.nnz()),
+              h.nnz_per_row());
+
+  // Sequential reference.
+  solvers::LanczosOptions lanczos_options;
+  lanczos_options.max_iterations = 300;
+  lanczos_options.full_reorthogonalization = true;
+  const auto sequential =
+      solvers::lanczos(solvers::make_operator(h), lanczos_options);
+  std::printf("sequential Lanczos: E0 = %.10f (%d iterations)\n",
+              sequential.smallest(), sequential.iterations);
+
+  // Distributed run: task-mode spMVM inside Lanczos.
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  double distributed_e0 = 0.0;
+  int distributed_iterations = 0;
+  std::mutex mutex;
+  minimpi::run(ranks, [&](minimpi::Comm& comm) {
+    const auto boundaries = spmv::partition_rows(
+        h, comm.size(), spmv::PartitionStrategy::kBalancedNonzeros);
+    spmv::DistMatrix dist(comm, h, boundaries);
+    spmv::DistVector x(dist), y(dist);
+    spmv::SpmvEngine engine(dist, /*threads=*/2,
+                            spmv::Variant::kTaskMode);
+    auto op = make_distributed_operator(engine, dist, x, y);
+
+    // Identical global start vector: every rank seeds the same PRNG and
+    // fast-forwards to its slice.
+    auto options = lanczos_options;
+    options.seed = 42;
+    // (lanczos() seeds per-slice; identical seeds + slice-local draws
+    // give a valid — if rank-count-dependent — global start vector.)
+    const auto result = solvers::lanczos(op, options);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      distributed_e0 = result.smallest();
+      distributed_iterations = result.iterations;
+    }
+  });
+
+  std::printf("distributed Lanczos (%d ranks, task mode): E0 = %.10f (%d "
+              "iterations)\n",
+              ranks, distributed_e0, distributed_iterations);
+  const double difference = std::abs(distributed_e0 - sequential.smallest());
+  std::printf("|E0(distributed) - E0(sequential)| = %.2e  %s\n", difference,
+              difference < 1e-7 ? "OK" : "MISMATCH");
+  return difference < 1e-7 ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Quickstart: distributed sparse matrix-vector multiplication in ~60
+// lines.
+//
+// Builds a 3-D Poisson matrix, distributes it over 4 ranks (threads, via
+// the minimpi runtime), runs one spMVM in each of the paper's three
+// variants — vector mode without overlap, vector mode with naive
+// nonblocking overlap, and task mode with a dedicated communication
+// thread — and checks all results against the sequential kernel.
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "matgen/poisson.hpp"
+#include "minimpi/runtime.hpp"
+#include "sparse/kernels.hpp"
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+
+int main() {
+  using namespace hspmv;
+
+  // 1. A matrix: 7-point Laplacian on a 24^3 grid (N = 13,824).
+  const sparse::CsrMatrix a = matgen::poisson7({.nx = 24, .ny = 24, .nz = 24});
+  std::printf("matrix: N = %d, Nnz = %lld, Nnzr = %.2f\n", a.rows(),
+              static_cast<long long>(a.nnz()), a.nnz_per_row());
+
+  // A right-hand side and the sequential reference result.
+  std::vector<sparse::value_t> x_global(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < x_global.size(); ++i) {
+    x_global[i] = 1.0 + 0.001 * static_cast<double>(i % 97);
+  }
+  std::vector<sparse::value_t> reference(x_global.size());
+  sparse::spmv(a, x_global, reference);
+
+  // 2. Distribute over 4 ranks and run each variant.
+  for (const auto variant :
+       {spmv::Variant::kVectorNoOverlap, spmv::Variant::kVectorNaiveOverlap,
+        spmv::Variant::kTaskMode}) {
+    std::vector<sparse::value_t> result(x_global.size());
+    std::mutex mutex;
+    minimpi::run(4, [&](minimpi::Comm& comm) {
+      // Balanced-nonzero row partition (the paper's choice).
+      const auto boundaries = spmv::partition_rows(
+          a, comm.size(), spmv::PartitionStrategy::kBalancedNonzeros);
+      spmv::DistMatrix dist(comm, a, boundaries);
+
+      spmv::DistVector x(dist), y(dist);
+      x.assign_from_global(x_global, dist.row_begin());
+
+      // 2 threads per rank; task mode dedicates one to communication.
+      spmv::SpmvEngine engine(dist, /*threads=*/2, variant);
+      const spmv::Timings t = engine.apply(x, y);
+
+      std::lock_guard<std::mutex> lock(mutex);
+      for (sparse::index_t i = 0; i < dist.owned_rows(); ++i) {
+        result[static_cast<std::size_t>(dist.row_begin() + i)] =
+            y.owned()[static_cast<std::size_t>(i)];
+      }
+      if (comm.rank() == 0) {
+        std::printf("  rank 0 phases: gather %.0f us, comm %.0f us\n",
+                    t.gather_s * 1e6, t.comm_s * 1e6);
+      }
+    });
+
+    double max_error = 0.0;
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      max_error = std::max(max_error, std::abs(result[i] - reference[i]));
+    }
+    const char* name =
+        variant == spmv::Variant::kVectorNoOverlap ? "vector w/o overlap"
+        : variant == spmv::Variant::kVectorNaiveOverlap
+            ? "vector naive overlap"
+            : "task mode";
+    std::printf("%-22s max |error| vs sequential = %.2e  %s\n", name,
+                max_error, max_error < 1e-12 ? "OK" : "MISMATCH");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Interactive front-end to the cluster performance model: predict strong
+// scaling of any generated matrix on the paper's machines for a chosen
+// variant and hybrid mapping.
+//
+//   scaling_explorer --family hmep --variant task --mapping ld \
+//                    --cluster westmere --nodes 64
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_model.hpp"
+#include "common/paper_matrices.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hspmv;
+  util::CliParser cli("scaling_explorer",
+                      "predict strong scaling with the cluster model");
+  cli.add_option("family", "hmep", "matrix family: hmep | hmeP-alt | samg");
+  cli.add_option("scale", "1", "instance scale level (0..3; 3 = full paper size)");
+  cli.add_option("variant", "task",
+                 "kernel variant: novl | naive | task");
+  cli.add_option("mapping", "ld", "hybrid mapping: core | ld | node");
+  cli.add_option("cluster", "westmere", "cluster: westmere | cray");
+  cli.add_option("nodes", "32", "largest node count (powers of two up to)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string family = cli.get_string("family");
+  const int scale = static_cast<int>(cli.get_int("scale"));
+  bench::PaperMatrix pm;
+  if (family == "hmep") {
+    pm = bench::make_hmep(scale);
+  } else if (family == "hmeP-alt") {
+    pm = bench::make_hmep_electron(scale);
+  } else if (family == "samg") {
+    pm = bench::make_samg(scale);
+  } else {
+    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+    return 1;
+  }
+
+  cluster::ScenarioParams params;
+  const std::string variant = cli.get_string("variant");
+  params.variant = variant == "novl"
+                       ? cluster::KernelVariant::kVectorNoOverlap
+                   : variant == "naive"
+                       ? cluster::KernelVariant::kVectorNaiveOverlap
+                       : cluster::KernelVariant::kTaskMode;
+  const std::string mapping = cli.get_string("mapping");
+  params.mapping = mapping == "core"
+                       ? cluster::HybridMapping::kProcessPerCore
+                   : mapping == "node"
+                       ? cluster::HybridMapping::kProcessPerNode
+                       : cluster::HybridMapping::kProcessPerDomain;
+  params.kappa = pm.paper_kappa;
+  params.volume_scale = pm.volume_scale;
+  params.comm_volume_scale = pm.comm_volume_scale;
+
+  const cluster::ClusterModel model(cli.get_string("cluster") == "cray"
+                                        ? cluster::cray_xe6()
+                                        : cluster::westmere_cluster());
+
+  std::printf("%s on %s — %s, %s\n\n", pm.name.c_str(),
+              model.spec().name.c_str(),
+              cluster::variant_name(params.variant),
+              cluster::mapping_name(params.mapping));
+
+  std::vector<int> node_counts;
+  for (int n = 1; n <= cli.get_int("nodes"); n *= 2) node_counts.push_back(n);
+  const auto series = model.strong_scaling(pm.matrix, node_counts, params);
+
+  util::Table table({"nodes", "procs", "thr/proc", "GFlop/s", "time [ms]",
+                     "comm [ms]", "comp [ms]", "efficiency"});
+  for (const auto& p : series) {
+    table.add_row({util::Table::cell(static_cast<std::int64_t>(p.nodes)),
+                   util::Table::cell(static_cast<std::int64_t>(p.processes)),
+                   util::Table::cell(
+                       static_cast<std::int64_t>(p.threads_per_process)),
+                   util::Table::cell(p.gflops, 2),
+                   util::Table::cell(p.time_s * 1e3, 3),
+                   util::Table::cell(p.comm_s * 1e3, 3),
+                   util::Table::cell(p.comp_s * 1e3, 3),
+                   util::Table::cell(p.efficiency * 100.0, 1) + "%"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("50%% parallel efficiency up to %d nodes\n",
+              cluster::ClusterModel::half_efficiency_point(series));
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "cachesim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hspmv::cachesim {
+
+CacheConfig make_cache_config(std::size_t size_bytes, int associativity,
+                              int line_bytes) {
+  if (associativity < 1 || line_bytes < 1) {
+    throw std::invalid_argument("make_cache_config: bad parameters");
+  }
+  const std::size_t set_bytes = static_cast<std::size_t>(associativity) *
+                                static_cast<std::size_t>(line_bytes);
+  std::size_t sets = std::max<std::size_t>(size_bytes / set_bytes, 1);
+  // Round to the geometrically nearest power of two.
+  std::size_t down = sets;
+  while ((down & (down - 1)) != 0) down &= down - 1;
+  const std::size_t up = down << 1;
+  // Compare ratios: sets/down vs up/sets.
+  if (sets * sets > down * up) down = up;
+  return CacheConfig{down * set_bytes, associativity, line_bytes};
+}
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (config.line_bytes <= 0 ||
+      (config.line_bytes & (config.line_bytes - 1)) != 0) {
+    throw std::invalid_argument("Cache: line_bytes must be a power of two");
+  }
+  if (config.associativity <= 0) {
+    throw std::invalid_argument("Cache: associativity must be > 0");
+  }
+  const std::size_t lines =
+      config.size_bytes / static_cast<std::size_t>(config.line_bytes);
+  if (lines == 0 || lines % static_cast<std::size_t>(config.associativity) !=
+                        0) {
+    throw std::invalid_argument(
+        "Cache: size must be a multiple of associativity * line_bytes");
+  }
+  sets_ = lines / static_cast<std::size_t>(config.associativity);
+  if ((sets_ & (sets_ - 1)) != 0) {
+    throw std::invalid_argument("Cache: set count must be a power of two");
+  }
+  line_shift_ = std::countr_zero(static_cast<unsigned>(config.line_bytes));
+  ways_.assign(sets_ * static_cast<std::size_t>(config.associativity),
+               Way{});
+}
+
+bool Cache::access(std::uint64_t address, bool is_write) {
+  return access_detailed(address, is_write).hit;
+}
+
+Cache::AccessResult Cache::access_detailed(std::uint64_t address,
+                                           bool is_write) {
+  const std::uint64_t line = address >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line) & (sets_ - 1);
+  const std::uint64_t tag = line;
+  Way* base = &ways_[set * static_cast<std::size_t>(config_.associativity)];
+  ++clock_;
+
+  AccessResult result;
+  Way* lru = base;
+  Way* free_way = nullptr;
+  for (int w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = clock_;
+      way.dirty = way.dirty || is_write;
+      ++stats_.hits;
+      result.hit = true;
+      return result;
+    }
+    if (!way.valid) {
+      if (free_way == nullptr) free_way = &way;
+    } else if (way.last_use < lru->last_use || !lru->valid) {
+      lru = &way;
+    }
+  }
+
+  ++stats_.misses;
+  Way* victim = free_way != nullptr ? free_way : lru;
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    result.evicted_dirty = true;
+    result.evicted_address = victim->tag << line_shift_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  victim->dirty = is_write;
+  return result;
+}
+
+void Cache::access_range(std::uint64_t address, std::size_t bytes,
+                         bool is_write) {
+  if (bytes == 0) return;
+  const std::uint64_t first = address >> line_shift_;
+  const std::uint64_t last = (address + bytes - 1) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    access(line << line_shift_, is_write);
+  }
+}
+
+std::uint64_t Cache::victim_address(std::uint64_t address) const {
+  const std::uint64_t line = address >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line) & (sets_ - 1);
+  const Way* base =
+      &ways_[set * static_cast<std::size_t>(config_.associativity)];
+  const Way* lru = nullptr;
+  for (int w = 0; w < config_.associativity; ++w) {
+    const Way& way = base[w];
+    if (way.valid && way.tag == line) return 0;  // would hit
+    if (!way.valid) return 0;                    // free way available
+    if (lru == nullptr || way.last_use < lru->last_use) lru = &way;
+  }
+  return lru->tag << line_shift_;
+}
+
+void Cache::reset() {
+  for (auto& way : ways_) way = Way{};
+  clock_ = 0;
+  stats_ = CacheStats{};
+}
+
+}  // namespace hspmv::cachesim

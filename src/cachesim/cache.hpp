@@ -1,0 +1,94 @@
+// Set-associative, write-back, write-allocate LRU cache simulator.
+//
+// Used to *measure* the paper's kappa parameter (Sect. 1.2/2): the extra
+// memory traffic on the RHS vector B(:) caused by limited cache capacity.
+// The hardware-counter measurement of the paper (LIKWID) is replaced by
+// replaying the kernel's exact access stream through this model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hspmv::cachesim {
+
+struct CacheConfig {
+  std::size_t size_bytes = 8u << 20;  ///< total capacity (default 8 MB L3)
+  int associativity = 16;
+  int line_bytes = 64;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  /// Bytes read from memory: one line per miss.
+  [[nodiscard]] std::uint64_t read_bytes(int line_bytes) const {
+    return misses * static_cast<std::uint64_t>(line_bytes);
+  }
+  /// Bytes written to memory: one line per writeback.
+  [[nodiscard]] std::uint64_t write_bytes(int line_bytes) const {
+    return writebacks * static_cast<std::uint64_t>(line_bytes);
+  }
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Nearest valid configuration at or below `size_bytes`: the set count is
+/// rounded down to a power of two (at least one set).
+CacheConfig make_cache_config(std::size_t size_bytes, int associativity = 16,
+                              int line_bytes = 64);
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Detailed access outcome, for traffic attribution.
+  struct AccessResult {
+    bool hit = false;
+    bool evicted_dirty = false;          ///< a dirty line was written back
+    std::uint64_t evicted_address = 0;   ///< line address of the victim
+  };
+
+  /// Access one byte address. Returns true on hit. A write marks the line
+  /// dirty; a miss allocates (write-allocate) and may evict a dirty line,
+  /// counting a writeback.
+  bool access(std::uint64_t address, bool is_write);
+
+  /// Like access(), additionally reporting the eviction (if any).
+  AccessResult access_detailed(std::uint64_t address, bool is_write);
+
+  /// Access a [address, address + bytes) range, touching each line once.
+  void access_range(std::uint64_t address, std::size_t bytes, bool is_write);
+
+  /// Identify the victim's owner before a miss allocates: the address of
+  /// the line that would be evicted, or 0 if the set has a free way.
+  /// (Used by the replayer to attribute writeback traffic.)
+  [[nodiscard]] std::uint64_t victim_address(std::uint64_t address) const;
+
+  void reset();
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t sets() const { return sets_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  std::size_t sets_;
+  int line_shift_;
+  std::vector<Way> ways_;  // sets_ x associativity, row-major
+  std::uint64_t clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace hspmv::cachesim

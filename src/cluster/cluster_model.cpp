@@ -1,0 +1,338 @@
+#include "cluster/cluster_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "perfmodel/code_balance.hpp"
+#include "spmv/comm_plan.hpp"
+#include "spmv/partition.hpp"
+
+namespace hspmv::cluster {
+
+const char* variant_name(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kVectorNoOverlap:
+      return "vector w/o overlap";
+    case KernelVariant::kVectorNaiveOverlap:
+      return "vector w/ naive overlap";
+    case KernelVariant::kTaskMode:
+      return "task mode";
+  }
+  return "?";
+}
+
+const char* mapping_name(HybridMapping mapping) {
+  switch (mapping) {
+    case HybridMapping::kProcessPerCore:
+      return "one process per physical core";
+    case HybridMapping::kProcessPerDomain:
+      return "one process per NUMA LD";
+    case HybridMapping::kProcessPerNode:
+      return "one process per node";
+  }
+  return "?";
+}
+
+ClusterSpec westmere_cluster() {
+  return ClusterSpec{"Westmere cluster (QDR IB)", machine::westmere_ep(),
+                     netmodel::qdr_infiniband()};
+}
+
+ClusterSpec cray_xe6() {
+  return ClusterSpec{"Cray XE6 (Gemini)", machine::magny_cours(),
+                     netmodel::cray_gemini()};
+}
+
+ClusterModel::ClusterModel(ClusterSpec spec) : spec_(std::move(spec)) {}
+
+double ClusterModel::node_level_flops(double nnzr, double kappa) const {
+  const double balance = perfmodel::crs_code_balance(nnzr, kappa);
+  return spec_.node.spmv_bandwidth_node() / balance;
+}
+
+ClusterModel::ProcessGeometry ClusterModel::geometry(
+    const ScenarioParams& params) const {
+  const auto& node = spec_.node;
+  ProcessGeometry g;
+  switch (params.mapping) {
+    case HybridMapping::kProcessPerCore:
+      g.processes_per_node = node.cores_per_node();
+      g.threads_per_process = 1;
+      g.domains_per_process = 1;
+      break;
+    case HybridMapping::kProcessPerDomain:
+      g.processes_per_node = node.numa_domains;
+      g.threads_per_process = node.cores_per_domain;
+      g.domains_per_process = 1;
+      break;
+    case HybridMapping::kProcessPerNode:
+      g.processes_per_node = 1;
+      g.threads_per_process = node.cores_per_node();
+      g.domains_per_process = node.numa_domains;
+      break;
+  }
+  g.compute_cores = g.threads_per_process;
+  g.comm_thread_free = true;
+  if (params.variant == KernelVariant::kTaskMode) {
+    if (node.smt_per_core >= 2) {
+      // The communication thread runs on a virtual core; no compute
+      // resources are lost (Sect. 3.2 / Fig. 5 discussion).
+      g.comm_thread_free = true;
+    } else if (g.threads_per_process >= 2) {
+      // Devote one physical core to communication.
+      g.compute_cores = g.threads_per_process - 1;
+      g.comm_thread_free = false;
+    } else {
+      // Single-threaded process without SMT: comm thread shares the core.
+      g.comm_thread_free = false;
+    }
+  }
+  return g;
+}
+
+double ClusterModel::process_bandwidth(const ProcessGeometry& g) const {
+  const auto& node = spec_.node;
+  const auto curve = node.spmv_curve();
+  double bandwidth;
+  if (g.domains_per_process >= 1 && g.processes_per_node <= node.numa_domains) {
+    // One process per LD (or spanning several LDs): sum the saturation
+    // curve over the domains it occupies.
+    const int domains = g.domains_per_process;
+    const int base = g.compute_cores / domains;
+    const int extra = g.compute_cores % domains;
+    bandwidth = 0.0;
+    for (int d = 0; d < domains; ++d) {
+      const int cores = base + (d < extra ? 1 : 0);
+      if (cores >= 1) {
+        bandwidth += curve.value(std::min(cores, node.cores_per_domain));
+      }
+    }
+    if (g.compute_cores >= 1 && bandwidth == 0.0) {
+      bandwidth = curve.value(1);
+    }
+  } else {
+    // Several processes share one LD (pure MPI): the domain's cores are
+    // all active, and each process gets its per-core share of the
+    // *saturated* domain bandwidth.
+    const int procs_per_domain =
+        g.processes_per_node / node.numa_domains;
+    const int active = std::min(procs_per_domain * g.compute_cores,
+                                node.cores_per_domain);
+    bandwidth = curve.value(std::max(active, 1)) /
+                static_cast<double>(std::max(procs_per_domain, 1));
+  }
+  // A comm thread sharing the only compute core costs it part of its
+  // issue slots; memory-bound kernels lose less — 25 % penalty.
+  if (!g.comm_thread_free && g.compute_cores == g.threads_per_process) {
+    bandwidth *= 0.75;
+  }
+  return bandwidth;
+}
+
+NodePrediction ClusterModel::predict(const sparse::CsrMatrix& matrix,
+                                     int nodes,
+                                     const ScenarioParams& params) const {
+  if (nodes < 1) {
+    throw std::invalid_argument("ClusterModel::predict: nodes must be >= 1");
+  }
+  if (params.volume_scale <= 0.0) {
+    throw std::invalid_argument("ClusterModel::predict: bad volume_scale");
+  }
+  const auto& node = spec_.node;
+  const ProcessGeometry g = geometry(params);
+  const int processes = nodes * g.processes_per_node;
+  if (matrix.rows() < processes) {
+    throw std::invalid_argument(
+        "ClusterModel::predict: more processes than matrix rows — use a "
+        "larger (scaled) matrix");
+  }
+
+  const auto boundaries = spmv::partition_rows(
+      matrix, processes, spmv::PartitionStrategy::kBalancedNonzeros);
+  const auto stats = spmv::analyze_partition(matrix, boundaries);
+
+  const double scale = params.volume_scale;
+  const double comm_scale = params.comm_volume_scale > 0.0
+                                ? params.comm_volume_scale
+                                : params.volume_scale;
+  const double process_bw = process_bandwidth(g);
+  // Copy bandwidth for the gather phase scales like the spMVM share
+  // relative to the LD's STREAM/spMVM ratio.
+  const double copy_bw =
+      process_bw * node.stream_bw_domain / node.spmv_bw_domain;
+  // Send volumes: what each part sends = what others receive from it.
+  std::vector<double> send_elements(static_cast<std::size_t>(processes),
+                                    0.0);
+  for (int p = 0; p < processes; ++p) {
+    for (const auto& [peer, count] :
+         stats.recv_from[static_cast<std::size_t>(p)]) {
+      send_elements[static_cast<std::size_t>(peer)] +=
+          static_cast<double>(count);
+    }
+  }
+
+  const double full_problem_b_bytes =
+      8.0 * static_cast<double>(matrix.rows()) * scale;
+  const double single_domain_cache =
+      static_cast<double>(node.cache_bytes_domain);
+
+  // Internode traffic aggregated per receiving node: the NIC is the
+  // shared bottleneck, so co-located processes' transfers serialize at
+  // node level rather than each taking a fixed share.
+  std::vector<double> node_inter_bytes(static_cast<std::size_t>(nodes), 0.0);
+  std::vector<double> node_hops_weighted(static_cast<std::size_t>(nodes),
+                                         0.0);
+  for (int p = 0; p < processes; ++p) {
+    const int my_node = p / g.processes_per_node;
+    for (const auto& [peer, count] :
+         stats.recv_from[static_cast<std::size_t>(p)]) {
+      const int peer_node = peer / g.processes_per_node;
+      if (peer_node == my_node) continue;
+      const double bytes = 8.0 * static_cast<double>(count) * comm_scale;
+      node_inter_bytes[static_cast<std::size_t>(my_node)] += bytes;
+      node_hops_weighted[static_cast<std::size_t>(my_node)] +=
+          bytes * netmodel::hop_distance(spec_.network, my_node, peer_node,
+                                         nodes);
+    }
+  }
+
+  double worst_time = 0.0;
+  double worst_comm = 0.0;
+  double worst_comp = 0.0;
+  double worst_gather = 0.0;
+  for (int p = 0; p < processes; ++p) {
+    const auto rows_p = static_cast<double>(
+        boundaries[static_cast<std::size_t>(p) + 1] -
+        boundaries[static_cast<std::size_t>(p)]);
+    const double local_nnz =
+        static_cast<double>(stats.local_nnz[static_cast<std::size_t>(p)]);
+    const double nonlocal_nnz = static_cast<double>(
+        stats.nonlocal_nnz[static_cast<std::size_t>(p)]);
+    const double nnz_p = local_nnz + nonlocal_nnz;
+    if (nnz_p == 0.0) continue;
+    const double nnzr_p = rows_p > 0 ? nnz_p / rows_p : 1.0;
+
+    // kappa shrinks once the per-process RHS share approaches the cache.
+    double halo_elems = 0.0;
+    for (const auto& [peer, count] :
+         stats.recv_from[static_cast<std::size_t>(p)]) {
+      halo_elems += static_cast<double>(count);
+    }
+    const double b_bytes =
+        8.0 * (rows_p * scale + halo_elems * comm_scale);
+    const double cache_bytes =
+        single_domain_cache * g.domains_per_process;
+    double kappa_eff = 0.0;
+    if (b_bytes > cache_bytes && full_problem_b_bytes > cache_bytes) {
+      const double ratio = (b_bytes - cache_bytes) /
+                           (full_problem_b_bytes /
+                                static_cast<double>(node.numa_domains) -
+                            cache_bytes);
+      kappa_eff = params.kappa * std::clamp(ratio, 0.0, 1.0);
+    }
+
+    const bool split_kernel =
+        params.variant != KernelVariant::kVectorNoOverlap;
+    const double balance =
+        split_kernel ? perfmodel::split_crs_code_balance(nnzr_p, kappa_eff)
+                     : perfmodel::crs_code_balance(nnzr_p, kappa_eff);
+    const double flops = 2.0 * nnz_p * scale;
+    const double t_comp = flops * balance / process_bw;
+    const double t_local = t_comp * (nnz_p > 0 ? local_nnz / nnz_p : 1.0);
+    const double t_nonlocal = t_comp - t_local;
+
+    // Gather: read + write of the packed send buffer.
+    const double send_bytes =
+        8.0 * send_elements[static_cast<std::size_t>(p)] * comm_scale;
+    const double t_gather = 2.0 * send_bytes / copy_bw;
+
+    // Communication: internode messages share the node's injection
+    // bandwidth across its processes; intranode messages use the memory
+    // system.
+    const int my_node = p / g.processes_per_node;
+    double t_comm = 0.0;
+    int inter_msgs = 0;
+    for (const auto& [peer, count] :
+         stats.recv_from[static_cast<std::size_t>(p)]) {
+      const int peer_node = peer / g.processes_per_node;
+      const double bytes =
+          8.0 * static_cast<double>(count) * comm_scale;
+      if (peer_node == my_node) {
+        t_comm += node.intranode_latency + bytes / node.intranode_bandwidth;
+      } else {
+        ++inter_msgs;
+      }
+    }
+    const double inter_bytes =
+        node_inter_bytes[static_cast<std::size_t>(my_node)];
+    if (inter_bytes > 0.0) {
+      const double avg_hops =
+          node_hops_weighted[static_cast<std::size_t>(my_node)] / inter_bytes;
+      const double node_bw =
+          netmodel::effective_bandwidth(spec_.network, avg_hops);
+      t_comm += inter_msgs * spec_.network.latency_seconds +
+                inter_bytes / node_bw;
+    }
+
+    double t_total = 0.0;
+    switch (params.variant) {
+      case KernelVariant::kVectorNoOverlap:
+        t_total = t_gather + t_comm + t_comp;
+        break;
+      case KernelVariant::kVectorNaiveOverlap:
+        // Deferred progress: the "overlapped" communication in fact runs
+        // after the local kernel, inside Waitall.
+        t_total = t_gather + t_local + t_comm + t_nonlocal;
+        break;
+      case KernelVariant::kTaskMode:
+        t_total = t_gather + std::max(t_comm, t_local) + t_nonlocal;
+        break;
+    }
+    worst_time = std::max(worst_time, t_total);
+    worst_comm = std::max(worst_comm, t_comm);
+    worst_comp = std::max(worst_comp, t_comp);
+    worst_gather = std::max(worst_gather, t_gather);
+  }
+
+  NodePrediction prediction;
+  prediction.nodes = nodes;
+  prediction.processes = processes;
+  prediction.threads_per_process = g.threads_per_process;
+  prediction.time_s = worst_time;
+  prediction.comm_s = worst_comm;
+  prediction.comp_s = worst_comp;
+  prediction.gather_s = worst_gather;
+  prediction.gflops =
+      worst_time > 0.0
+          ? 2.0 * static_cast<double>(matrix.nnz()) * scale / worst_time / 1e9
+          : 0.0;
+  return prediction;
+}
+
+std::vector<NodePrediction> ClusterModel::strong_scaling(
+    const sparse::CsrMatrix& matrix, std::span<const int> node_counts,
+    const ScenarioParams& params) const {
+  const double reference =
+      node_level_flops(matrix.nnz_per_row(), params.kappa) / 1e9;
+  std::vector<NodePrediction> series;
+  series.reserve(node_counts.size());
+  for (const int nodes : node_counts) {
+    NodePrediction point = predict(matrix, nodes, params);
+    point.efficiency =
+        reference > 0.0 ? point.gflops / (nodes * reference) : 0.0;
+    series.push_back(point);
+  }
+  return series;
+}
+
+int ClusterModel::half_efficiency_point(
+    std::span<const NodePrediction> series) {
+  int best = 0;
+  for (const auto& point : series) {
+    if (point.efficiency >= 0.5) best = std::max(best, point.nodes);
+  }
+  return best;
+}
+
+}  // namespace hspmv::cluster

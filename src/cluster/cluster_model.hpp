@@ -1,0 +1,134 @@
+// Strong-scaling execution-time model — the generator behind Figs. 5/6.
+//
+// For a given matrix, machine, network, kernel variant and hybrid mapping
+// the model partitions the matrix exactly as the runtime would (balanced
+// nonzeros), extracts the real communication structure with
+// spmv::analyze_partition, and composes per-process phase times:
+//
+//   vector, no overlap    T = T_gather + T_comm + T_comp(B_CRS)
+//   vector, naive overlap T = T_gather + T_comp(B_split) + T_comm
+//                             (deferred progress: nothing moves during the
+//                             local compute — Sect. 3)
+//   task mode             T = T_gather + max(T_comm, T_local(B_split)) +
+//                             T_nonlocal(B_split), with one thread removed
+//                             from the compute team (free on SMT hardware)
+//
+// Compute time is bandwidth-limited via the saturation curves of
+// machine::NodeSpec and the Eq. 1/2 code balance; communication time uses
+// the netmodel cost with per-node injection bandwidth shared by the
+// processes of a node, plus intranode message costs for the pure-MPI
+// mapping. kappa shrinks as the per-process RHS share approaches the
+// cache size (strong-scaling cache effect).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/node_spec.hpp"
+#include "netmodel/network.hpp"
+#include "sparse/csr.hpp"
+
+namespace hspmv::cluster {
+
+enum class KernelVariant {
+  kVectorNoOverlap,
+  kVectorNaiveOverlap,
+  kTaskMode,
+};
+
+enum class HybridMapping {
+  kProcessPerCore,    ///< pure MPI
+  kProcessPerDomain,  ///< one process per NUMA LD
+  kProcessPerNode,
+};
+
+const char* variant_name(KernelVariant variant);
+const char* mapping_name(HybridMapping mapping);
+
+struct ClusterSpec {
+  std::string name;
+  machine::NodeSpec node;
+  netmodel::NetworkSpec network;
+};
+
+/// The paper's Westmere + QDR-IB cluster.
+ClusterSpec westmere_cluster();
+/// The Cray XE6 (Magny Cours + Gemini torus).
+ClusterSpec cray_xe6();
+
+struct ScenarioParams {
+  KernelVariant variant = KernelVariant::kVectorNoOverlap;
+  HybridMapping mapping = HybridMapping::kProcessPerDomain;
+  /// Single-LD kappa of the (full-size) matrix, e.g. from the cache
+  /// simulator or the paper's measurement (2.5 for HMeP).
+  double kappa = 2.5;
+  /// Extrapolation factor when `matrix` is a scaled-down stand-in:
+  /// N_full / N_scaled. Scales compute volumes (flops, kernel bytes) but
+  /// not message counts.
+  double volume_scale = 1.0;
+  /// Extrapolation factor for *communication* volumes (halo bytes, gather
+  /// bytes). Halo size usually grows sublinearly with N (surface vs.
+  /// volume), so this is typically < volume_scale; fit it from two
+  /// instance sizes of the same family (bench::fit_comm_scale). Negative
+  /// means "use volume_scale".
+  double comm_volume_scale = -1.0;
+};
+
+struct NodePrediction {
+  int nodes = 0;
+  int processes = 0;
+  int threads_per_process = 1;
+  double time_s = 0.0;
+  double gflops = 0.0;
+  double comm_s = 0.0;    ///< max over processes
+  double comp_s = 0.0;    ///< max over processes (all kernel phases)
+  double gather_s = 0.0;
+  double efficiency = 0.0;  ///< vs. nodes * reference single-node GFlop/s
+};
+
+class ClusterModel {
+ public:
+  explicit ClusterModel(ClusterSpec spec);
+
+  [[nodiscard]] const ClusterSpec& spec() const { return spec_; }
+
+  /// Bandwidth-limited single-node spMVM performance (flop/s) for a
+  /// matrix with the given Nnzr and kappa — the Fig. 3 node-level number
+  /// and the reference for parallel efficiency.
+  [[nodiscard]] double node_level_flops(double nnzr, double kappa) const;
+
+  /// Predict one point of the scaling curve.
+  [[nodiscard]] NodePrediction predict(const sparse::CsrMatrix& matrix,
+                                       int nodes,
+                                       const ScenarioParams& params) const;
+
+  /// Full strong-scaling series; fills `efficiency` relative to
+  /// node_level_flops of the matrix (the paper's convention: best
+  /// single-node performance).
+  [[nodiscard]] std::vector<NodePrediction> strong_scaling(
+      const sparse::CsrMatrix& matrix, std::span<const int> node_counts,
+      const ScenarioParams& params) const;
+
+  /// Largest node count in the series with efficiency >= 0.5 (the
+  /// paper's marker in Fig. 5); 0 if none.
+  static int half_efficiency_point(std::span<const NodePrediction> series);
+
+ private:
+  struct ProcessGeometry {
+    int processes_per_node = 1;
+    int threads_per_process = 1;
+    int domains_per_process = 1;
+    int compute_cores = 1;    ///< cores contributing to the kernel
+    bool comm_thread_free = true;  ///< SMT hosts the comm thread
+  };
+
+  [[nodiscard]] ProcessGeometry geometry(const ScenarioParams& params) const;
+
+  /// spMVM bandwidth available to one process's compute team.
+  [[nodiscard]] double process_bandwidth(const ProcessGeometry& g) const;
+
+  ClusterSpec spec_;
+};
+
+}  // namespace hspmv::cluster

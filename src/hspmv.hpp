@@ -1,0 +1,72 @@
+// Umbrella header: the public API of the hspmv toolkit.
+//
+// Fine-grained headers remain available for selective inclusion; this
+// header is the convenient "give me everything" entry point used by the
+// examples.
+#pragma once
+
+// Utilities
+#include "util/aligned.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/env.hpp"
+#include "util/format.hpp"
+#include "util/log.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timeline.hpp"
+#include "util/timer.hpp"
+
+// Sparse matrices and kernels
+#include "sparse/binary_io.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/occupancy.hpp"
+#include "sparse/rcm.hpp"
+#include "sparse/spgemm.hpp"
+#include "sparse/stats.hpp"
+#include "sparse/symmetric.hpp"
+#include "sparse/vector_ops.hpp"
+
+// Matrix generators
+#include "matgen/combinatorics.hpp"
+#include "matgen/heisenberg.hpp"
+#include "matgen/holstein.hpp"
+#include "matgen/poisson.hpp"
+#include "matgen/random_matrix.hpp"
+
+// Message-passing runtime and thread teams
+#include "minimpi/comm.hpp"
+#include "minimpi/runtime.hpp"
+#include "minimpi/types.hpp"
+#include "team/thread_team.hpp"
+
+// Distributed spMVM (the paper's contribution)
+#include "spmv/comm_plan.hpp"
+#include "spmv/dist_matrix.hpp"
+#include "spmv/dist_vector.hpp"
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+#include "spmv/symmetric_engine.hpp"
+
+// Performance models and simulators
+#include "cachesim/cache.hpp"
+#include "cachesim/spmv_traffic.hpp"
+#include "cluster/cluster_model.hpp"
+#include "machine/node_spec.hpp"
+#include "netmodel/network.hpp"
+#include "perfmodel/code_balance.hpp"
+#include "perfmodel/saturation.hpp"
+#include "perfmodel/stream.hpp"
+
+// Solvers
+#include "solvers/amg.hpp"
+#include "solvers/cg.hpp"
+#include "solvers/chebyshev.hpp"
+#include "solvers/lanczos.hpp"
+#include "solvers/operator.hpp"
+#include "solvers/tridiag.hpp"

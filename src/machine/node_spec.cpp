@@ -1,0 +1,70 @@
+#include "machine/node_spec.hpp"
+
+#include <algorithm>
+
+namespace hspmv::machine {
+
+double NodeSpec::spmv_bandwidth(int cores) const {
+  const int clamped = std::clamp(cores, 1, cores_per_domain);
+  return spmv_curve().value(clamped);
+}
+
+NodeSpec nehalem_ep() {
+  NodeSpec spec;
+  spec.name = "Nehalem EP (X5550)";
+  spec.numa_domains = 2;
+  spec.cores_per_domain = 4;
+  spec.smt_per_core = 2;
+  spec.clock_ghz = 2.66;
+  // Paper Sect. 2: STREAM triad 21.2 GB/s per socket, spMVM draws
+  // 18.1 GB/s (85 %). Single-core spMVM bandwidth chosen so that with the
+  // HMeP code balance (Nnzr = 15, kappa = 2.5 -> 8.05 bytes/flop) the
+  // Fig. 3(a) ladder 0.91 / 1.50 / 1.95 / 2.25 GFlop/s is reproduced.
+  spec.stream_bw_domain = 21.2e9;
+  spec.stream_bw_core = 12.0e9;
+  spec.spmv_bw_domain = 18.1e9;
+  spec.spmv_bw_core = 7.33e9;
+  spec.cache_bytes_domain = 8u << 20;  // 8 MB shared L3
+  spec.cache_associativity = 16;
+  return spec;
+}
+
+NodeSpec westmere_ep() {
+  NodeSpec spec;
+  spec.name = "Westmere EP (X5650)";
+  spec.numa_domains = 2;
+  spec.cores_per_domain = 6;
+  spec.smt_per_core = 2;
+  spec.clock_ghz = 2.66;
+  // Same memory subsystem per socket as Nehalem (3x DDR3-1333), two more
+  // cores; bandwidth saturates at the same level.
+  spec.stream_bw_domain = 20.6e9;
+  spec.stream_bw_core = 12.0e9;
+  spec.spmv_bw_domain = 17.8e9;
+  spec.spmv_bw_core = 7.33e9;
+  spec.cache_bytes_domain = 12u << 20;  // 12 MB shared L3
+  spec.cache_associativity = 16;
+  return spec;
+}
+
+NodeSpec magny_cours() {
+  NodeSpec spec;
+  spec.name = "AMD Magny Cours (Opteron 6172)";
+  spec.numa_domains = 4;  // two 12-core packages = four 6-core dies
+  spec.cores_per_domain = 6;
+  spec.smt_per_core = 1;
+  spec.clock_ghz = 2.1;
+  // Two DDR3-1333 channels per LD; eight channels per node give the
+  // paper's ~8/6 theoretical node advantage over Westmere, while a single
+  // LD is weaker (Fig. 3(b): "the AMD system is weaker on a single LD,
+  // its node-level performance is about 25 % higher").
+  spec.stream_bw_domain = 13.0e9;
+  spec.stream_bw_core = 6.0e9;
+  spec.spmv_bw_domain = 11.1e9;
+  spec.spmv_bw_core = 5.2e9;
+  spec.cache_bytes_domain = 5u << 20;  // 6 MB L3 minus probe filter
+  spec.cache_associativity = 16;
+  return spec;
+}
+
+}  // namespace hspmv::machine

@@ -1,0 +1,81 @@
+// Machine descriptions of the paper's test systems (Sect. 1.3.2),
+// calibrated against the Fig. 3 node-level measurements.
+//
+// A node is sockets x NUMA locality domains (LDs) x cores, with per-LD
+// memory bandwidth. The spMVM and STREAM bandwidths follow the
+// perfmodel::SaturationCurve contention law; the spMVM curve for Nehalem
+// EP reproduces the paper's 0.91/1.50/1.95/2.25 GFlop/s ladder to ~1 %.
+#pragma once
+
+#include <string>
+
+#include "perfmodel/saturation.hpp"
+
+namespace hspmv::machine {
+
+struct NodeSpec {
+  std::string name;
+  int numa_domains = 2;      ///< locality domains per node
+  int cores_per_domain = 4;  ///< physical cores per LD
+  int smt_per_core = 1;      ///< hardware threads per core (2 = SMT)
+  double clock_ghz = 2.66;
+
+  /// Effective STREAM triad bandwidth of one LD at saturation
+  /// (write-allocate-corrected, as the paper reports it).
+  double stream_bw_domain = 21.2e9;
+  /// Single-core STREAM triad bandwidth.
+  double stream_bw_core = 12.0e9;
+  /// spMVM-achievable bandwidth of one LD at saturation (the paper
+  /// measures ~85 % of STREAM; Sect. 2).
+  double spmv_bw_domain = 18.1e9;
+  /// Single-core spMVM bandwidth.
+  double spmv_bw_core = 7.33e9;
+
+  /// Aggregate last-level cache per LD (for kappa scaling).
+  std::size_t cache_bytes_domain = 8u << 20;
+  int cache_associativity = 16;
+
+  /// Intra-node (shared-memory) MPI transfer characteristics.
+  double intranode_latency = 0.6e-6;
+  double intranode_bandwidth = 5.0e9;
+
+  [[nodiscard]] int cores_per_node() const {
+    return numa_domains * cores_per_domain;
+  }
+  [[nodiscard]] int hardware_threads_per_node() const {
+    return cores_per_node() * smt_per_core;
+  }
+
+  /// spMVM bandwidth of `cores` cores within one LD (saturation law).
+  [[nodiscard]] perfmodel::SaturationCurve spmv_curve() const {
+    return perfmodel::SaturationCurve::fit(spmv_bw_core, cores_per_domain,
+                                           spmv_bw_domain);
+  }
+  [[nodiscard]] perfmodel::SaturationCurve stream_curve() const {
+    return perfmodel::SaturationCurve::fit(stream_bw_core, cores_per_domain,
+                                           stream_bw_domain);
+  }
+
+  /// spMVM bandwidth available to a process using `cores` cores of one LD
+  /// (clamped to the domain size).
+  [[nodiscard]] double spmv_bandwidth(int cores) const;
+
+  /// Node-aggregate spMVM bandwidth with all cores active.
+  [[nodiscard]] double spmv_bandwidth_node() const {
+    return spmv_bandwidth(cores_per_domain) * numa_domains;
+  }
+};
+
+/// Intel Nehalem EP (Xeon X5550): 2 sockets x 4 cores, SMT, 2.66 GHz,
+/// 3x DDR3-1333 per socket. Calibration source for Fig. 3(a).
+NodeSpec nehalem_ep();
+
+/// Intel Westmere EP (Xeon X5650): 2 sockets x 6 cores, SMT, 2.66 GHz.
+/// The paper's main cluster (Figs. 5, 6).
+NodeSpec westmere_ep();
+
+/// AMD Magny Cours (Opteron 6172): 2 packages = 4 LDs x 6 cores,
+/// 2.1 GHz, 2x DDR3-1333 per LD. The Cray XE6 node.
+NodeSpec magny_cours();
+
+}  // namespace hspmv::machine

@@ -1,0 +1,127 @@
+#include "matgen/combinatorics.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hspmv::matgen {
+
+BinomialTable::BinomialTable(int max_n) : max_n_(max_n) {
+  if (max_n < 0 || max_n > 66) {
+    // C(67, 33) overflows int64; the basis sizes of interest are far
+    // smaller.
+    throw std::invalid_argument("BinomialTable: max_n out of [0, 66]");
+  }
+  table_.resize(static_cast<std::size_t>(max_n + 1) *
+                static_cast<std::size_t>(max_n + 2) / 2);
+  std::size_t offset = 0;
+  for (int n = 0; n <= max_n; ++n) {
+    table_[offset] = 1;
+    for (int k = 1; k < n; ++k) {
+      const std::size_t prev = offset - static_cast<std::size_t>(n);
+      table_[offset + static_cast<std::size_t>(k)] =
+          table_[prev + static_cast<std::size_t>(k - 1)] +
+          table_[prev + static_cast<std::size_t>(k)];
+    }
+    if (n > 0) table_[offset + static_cast<std::size_t>(n)] = 1;
+    offset += static_cast<std::size_t>(n + 1);
+  }
+}
+
+std::int64_t BinomialTable::operator()(int n, int k) const {
+  if (k < 0 || k > n) return 0;
+  if (n > max_n_) throw std::out_of_range("BinomialTable: n > max_n");
+  const std::size_t row_offset =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n + 1) / 2;
+  return table_[row_offset + static_cast<std::size_t>(k)];
+}
+
+FermionBasis::FermionBasis(int orbitals, int particles)
+    : orbitals_(orbitals), particles_(particles), binomial_(orbitals) {
+  if (orbitals < 0 || orbitals > 62 || particles < 0 ||
+      particles > orbitals) {
+    throw std::invalid_argument("FermionBasis: bad (orbitals, particles)");
+  }
+  states_.reserve(static_cast<std::size_t>(binomial_(orbitals, particles)));
+  if (particles == 0) {
+    states_.push_back(0);
+  } else {
+    // Gosper's hack: iterate all L-bit masks with N set bits in increasing
+    // numeric order.
+    std::uint64_t mask = (1ULL << particles) - 1;
+    const std::uint64_t limit = 1ULL << orbitals;
+    while (mask < limit) {
+      states_.push_back(mask);
+      const std::uint64_t lowest = mask & (~mask + 1);
+      const std::uint64_t ripple = mask + lowest;
+      const std::uint64_t ones = mask ^ ripple;
+      mask = ripple | ((ones >> 2) / lowest);
+    }
+  }
+}
+
+std::int64_t FermionBasis::rank(std::uint64_t mask) const {
+  // Combinatorial number system: with set-bit positions p_1 < ... < p_N,
+  // rank = sum_k C(p_k, k).
+  std::int64_t rank = 0;
+  int k = 1;
+  while (mask != 0) {
+    const int p = std::countr_zero(mask);
+    rank += binomial_(p, k);
+    ++k;
+    mask &= mask - 1;
+  }
+  return rank;
+}
+
+BosonBasis::BosonBasis(int modes, int max_total)
+    : modes_(modes), max_total_(max_total), binomial_(modes + max_total) {
+  if (modes < 0 || max_total < 0) {
+    throw std::invalid_argument("BosonBasis: negative parameters");
+  }
+  size_ = count_at_most(modes, max_total);
+}
+
+std::int64_t BosonBasis::count_at_most(int modes, int budget) const {
+  if (budget < 0) return 0;
+  return binomial_(budget + modes, modes);
+}
+
+void BosonBasis::state(std::int64_t index, std::vector<int>& occupation) const {
+  if (index < 0 || index >= size_) {
+    throw std::out_of_range("BosonBasis::state");
+  }
+  occupation.assign(static_cast<std::size_t>(modes_), 0);
+  int budget = max_total_;
+  for (int i = 0; i < modes_; ++i) {
+    int value = 0;
+    while (true) {
+      const std::int64_t block = count_at_most(modes_ - 1 - i, budget - value);
+      if (index < block) break;
+      index -= block;
+      ++value;
+    }
+    occupation[static_cast<std::size_t>(i)] = value;
+    budget -= value;
+  }
+}
+
+std::int64_t BosonBasis::rank(const std::vector<int>& occupation) const {
+  if (occupation.size() != static_cast<std::size_t>(modes_)) {
+    throw std::invalid_argument("BosonBasis::rank: wrong mode count");
+  }
+  std::int64_t rank = 0;
+  int budget = max_total_;
+  for (int i = 0; i < modes_; ++i) {
+    const int n = occupation[static_cast<std::size_t>(i)];
+    if (n < 0 || n > budget) {
+      throw std::out_of_range("BosonBasis::rank: occupation out of range");
+    }
+    for (int v = 0; v < n; ++v) {
+      rank += count_at_most(modes_ - 1 - i, budget - v);
+    }
+    budget -= n;
+  }
+  return rank;
+}
+
+}  // namespace hspmv::matgen

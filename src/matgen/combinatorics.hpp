@@ -1,0 +1,83 @@
+// Basis-enumeration combinatorics for the exact-diagonalization generator:
+// binomial tables, ranking of fermion occupation bitmasks (combinatorial
+// number system) and of bosonic occupation vectors with a total-number
+// truncation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hspmv::matgen {
+
+/// Dense Pascal-triangle table of binomial coefficients C(n, k) for
+/// 0 <= k <= n <= max_n, built once and queried in O(1).
+class BinomialTable {
+ public:
+  explicit BinomialTable(int max_n);
+
+  /// C(n, k); 0 when k < 0 or k > n. n must be <= max_n.
+  [[nodiscard]] std::int64_t operator()(int n, int k) const;
+
+  [[nodiscard]] int max_n() const { return max_n_; }
+
+ private:
+  int max_n_;
+  std::vector<std::int64_t> table_;  // row-major, row n has n+1 entries
+};
+
+/// Basis of N fermions on L orbitals, represented as L-bit masks with
+/// exactly N set bits, enumerated in increasing numeric order of the mask.
+class FermionBasis {
+ public:
+  FermionBasis(int orbitals, int particles);
+
+  [[nodiscard]] std::int64_t size() const { return states_.size(); }
+  [[nodiscard]] int orbitals() const { return orbitals_; }
+  [[nodiscard]] int particles() const { return particles_; }
+
+  /// The mask of basis state `index`.
+  [[nodiscard]] std::uint64_t state(std::int64_t index) const {
+    return states_[static_cast<std::size_t>(index)];
+  }
+
+  /// Rank of a mask (inverse of state()); O(L) via the combinatorial
+  /// number system, no hashing.
+  [[nodiscard]] std::int64_t rank(std::uint64_t mask) const;
+
+ private:
+  int orbitals_;
+  int particles_;
+  BinomialTable binomial_;
+  std::vector<std::uint64_t> states_;
+};
+
+/// Basis of bosonic occupation vectors (n_0, ..., n_{modes-1}) with
+/// n_i >= 0 and sum n_i <= max_total, enumerated lexicographically
+/// (n_0 major). This is the paper's phonon subspace: for 5 modes and
+/// max_total = 15 the dimension is C(20, 5) = 15504 (Sect. 1.3.1).
+class BosonBasis {
+ public:
+  BosonBasis(int modes, int max_total);
+
+  [[nodiscard]] std::int64_t size() const { return size_; }
+  [[nodiscard]] int modes() const { return modes_; }
+  [[nodiscard]] int max_total() const { return max_total_; }
+
+  /// Decode basis state `index` into the occupation vector.
+  void state(std::int64_t index, std::vector<int>& occupation) const;
+
+  /// Rank of an occupation vector; O(modes * max_total) table lookups.
+  [[nodiscard]] std::int64_t rank(const std::vector<int>& occupation) const;
+
+  /// Number of occupation vectors over `modes` modes with total <= budget:
+  /// C(budget + modes, modes).
+  [[nodiscard]] std::int64_t count_at_most(int modes, int budget) const;
+
+ private:
+  int modes_;
+  int max_total_;
+  BinomialTable binomial_;
+  std::int64_t size_;
+};
+
+}  // namespace hspmv::matgen

@@ -1,0 +1,34 @@
+// Spin-1/2 Heisenberg XXZ chain Hamiltonian — a second exact-
+// diagonalization family from the paper's application area ("strongly
+// correlated ... systems in solid state physics", Sect. 1.3.1), with a
+// different sparsity signature than the Holstein-Hubbard model: Nnzr
+// grows with the chain length and the off-diagonals spread by powers of
+// two.
+//
+//   H = J sum_<ij> [ (S^x_i S^x_j + S^y_i S^y_j) + Delta S^z_i S^z_j ]
+//
+// in the S^z_total = (n_up - n_down)/2 sector selected by `up_spins`
+// (the conserved magnetization; dimension C(L, up_spins)).
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::matgen {
+
+struct HeisenbergParams {
+  int sites = 10;       ///< chain length L (<= 62)
+  int up_spins = 5;     ///< magnetization sector
+  double coupling = 1.0;   ///< J
+  double anisotropy = 1.0; ///< Delta (1 = isotropic Heisenberg, 0 = XY)
+  bool periodic = true;
+};
+
+/// Basis dimension of the sector: C(L, up_spins).
+std::int64_t heisenberg_dimension(const HeisenbergParams& params);
+
+/// Build the sector Hamiltonian in CSR form. Throws std::invalid_argument
+/// for inconsistent parameters, std::length_error above `max_dimension`.
+sparse::CsrMatrix heisenberg_chain(const HeisenbergParams& params,
+                                   std::int64_t max_dimension = 1 << 24);
+
+}  // namespace hspmv::matgen

@@ -1,0 +1,250 @@
+#include "matgen/holstein.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "matgen/combinatorics.hpp"
+
+namespace hspmv::matgen {
+namespace {
+
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+int resolved_modes(const HolsteinHubbardParams& p) {
+  return p.phonon_modes < 0 ? p.sites - 1 : p.phonon_modes;
+}
+
+void validate(const HolsteinHubbardParams& p) {
+  if (p.sites < 1 || p.sites > 62) {
+    throw std::invalid_argument("holstein: sites out of [1, 62]");
+  }
+  if (p.electrons_up < 0 || p.electrons_up > p.sites ||
+      p.electrons_down < 0 || p.electrons_down > p.sites) {
+    throw std::invalid_argument("holstein: electron count out of range");
+  }
+  if (resolved_modes(p) < 0) {
+    throw std::invalid_argument("holstein: negative phonon mode count");
+  }
+  if (p.max_phonons < 0) {
+    throw std::invalid_argument("holstein: negative phonon truncation");
+  }
+}
+
+/// Jordan-Wigner sign of removing a fermion at `site` from `mask`:
+/// (-1)^(number of occupied orbitals below `site`).
+int annihilation_parity(std::uint64_t mask, int site) {
+  const std::uint64_t below = mask & ((1ULL << site) - 1);
+  return (std::popcount(below) & 1) ? -1 : 1;
+}
+
+/// Hopping connections of one spin species: for each state, the list of
+/// (target state index, sign) pairs produced by sum_<ij> c^+_j c_i over the
+/// ring/chain bonds, and the per-site occupation.
+struct SpinSector {
+  FermionBasis basis;
+  /// connections[s] = {(target, sign)} for amplitude -t * sign.
+  std::vector<std::vector<std::pair<std::int64_t, int>>> connections;
+
+  SpinSector(int sites, int particles, bool periodic)
+      : basis(sites, particles) {
+    connections.resize(static_cast<std::size_t>(basis.size()));
+    const int bond_count = periodic && sites > 2 ? sites : sites - 1;
+    for (std::int64_t s = 0; s < basis.size(); ++s) {
+      const std::uint64_t mask = basis.state(s);
+      auto& conn = connections[static_cast<std::size_t>(s)];
+      for (int b = 0; b < bond_count; ++b) {
+        const int i = b;
+        const int j = (b + 1) % sites;
+        // Both hopping directions across bond (i, j).
+        for (const auto& [from, to] : {std::pair{i, j}, std::pair{j, i}}) {
+          const std::uint64_t from_bit = 1ULL << from;
+          const std::uint64_t to_bit = 1ULL << to;
+          if ((mask & from_bit) == 0 || (mask & to_bit) != 0) continue;
+          const std::uint64_t removed = mask & ~from_bit;
+          const int sign = annihilation_parity(mask, from) *
+                           annihilation_parity(removed, to);
+          conn.emplace_back(basis.rank(removed | to_bit), sign);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+HolsteinBasisInfo holstein_basis_info(const HolsteinHubbardParams& params) {
+  validate(params);
+  const int modes = resolved_modes(params);
+  const BinomialTable binomial(
+      std::max(params.sites, modes + params.max_phonons));
+  HolsteinBasisInfo info;
+  info.phonon_modes = modes;
+  info.electron_dim = binomial(params.sites, params.electrons_up) *
+                      binomial(params.sites, params.electrons_down);
+  info.phonon_dim = binomial(params.max_phonons + modes, modes);
+  info.total_dim = info.electron_dim * info.phonon_dim;
+  return info;
+}
+
+sparse::CsrMatrix holstein_hubbard(const HolsteinHubbardParams& params,
+                                   std::int64_t max_dimension) {
+  validate(params);
+  const HolsteinBasisInfo info = holstein_basis_info(params);
+  if (info.total_dim > max_dimension) {
+    throw std::length_error("holstein: dimension " +
+                            std::to_string(info.total_dim) +
+                            " exceeds max_dimension guard");
+  }
+  const int modes = info.phonon_modes;
+  const auto n = static_cast<index_t>(info.total_dim);
+
+  const SpinSector up(params.sites, params.electrons_up, params.periodic);
+  const SpinSector down(params.sites, params.electrons_down, params.periodic);
+  const BosonBasis phonons(modes, params.max_phonons);
+  const std::int64_t d_up = up.basis.size();
+  const std::int64_t d_dn = down.basis.size();
+  const std::int64_t d_el = d_up * d_dn;
+  const std::int64_t d_ph = phonons.size();
+
+  const bool phonon_fast =
+      params.ordering == HolsteinOrdering::kPhononContiguous;
+  // Global index of the product state (electron e, phonon p).
+  const auto global = [&](std::int64_t e, std::int64_t p) -> index_t {
+    return static_cast<index_t>(phonon_fast ? e * d_ph + p : p * d_el + e);
+  };
+
+  // Per-electron-state site densities n_m in {0, 1, 2} for the coupling
+  // term (only the first `modes` sites couple — see header note).
+  std::vector<std::uint8_t> density(
+      static_cast<std::size_t>(d_el) * static_cast<std::size_t>(modes));
+  std::vector<std::uint8_t> double_occupancy(static_cast<std::size_t>(d_el));
+  for (std::int64_t eu = 0; eu < d_up; ++eu) {
+    const std::uint64_t mu = up.basis.state(eu);
+    for (std::int64_t ed = 0; ed < d_dn; ++ed) {
+      const std::uint64_t md = down.basis.state(ed);
+      const std::int64_t e = eu * d_dn + ed;
+      double_occupancy[static_cast<std::size_t>(e)] =
+          static_cast<std::uint8_t>(std::popcount(mu & md));
+      for (int m = 0; m < modes; ++m) {
+        density[static_cast<std::size_t>(e) * static_cast<std::size_t>(modes) +
+                static_cast<std::size_t>(m)] =
+            static_cast<std::uint8_t>(((mu >> m) & 1) + ((md >> m) & 1));
+      }
+    }
+  }
+
+  // Phonon data: total count per state and the (mode, +/-1) transition
+  // targets with their bosonic amplitudes sqrt(n+1) / sqrt(n).
+  struct PhononTransition {
+    std::int64_t target;
+    int mode;
+    double amplitude;  // sqrt factor only; sign and g*w0 applied later
+  };
+  std::vector<int> totals(static_cast<std::size_t>(d_ph));
+  std::vector<std::vector<PhononTransition>> transitions(
+      static_cast<std::size_t>(d_ph));
+  {
+    std::vector<int> occ;
+    std::vector<int> neighbor;
+    for (std::int64_t p = 0; p < d_ph; ++p) {
+      phonons.state(p, occ);
+      int total = 0;
+      for (int v : occ) total += v;
+      totals[static_cast<std::size_t>(p)] = total;
+      auto& list = transitions[static_cast<std::size_t>(p)];
+      for (int m = 0; m < modes; ++m) {
+        if (total < params.max_phonons) {  // b^+_m
+          neighbor = occ;
+          ++neighbor[static_cast<std::size_t>(m)];
+          list.push_back({phonons.rank(neighbor), m,
+                          std::sqrt(static_cast<double>(
+                              occ[static_cast<std::size_t>(m)] + 1))});
+        }
+        if (occ[static_cast<std::size_t>(m)] > 0) {  // b_m
+          neighbor = occ;
+          --neighbor[static_cast<std::size_t>(m)];
+          list.push_back({phonons.rank(neighbor), m,
+                          std::sqrt(static_cast<double>(
+                              occ[static_cast<std::size_t>(m)]))});
+        }
+      }
+    }
+  }
+
+  // Assemble row by row in global index order.
+  std::vector<offset_t> row_ptr;
+  row_ptr.reserve(static_cast<std::size_t>(n) + 1);
+  row_ptr.push_back(0);
+  util::AlignedVector<index_t> col_idx;
+  util::AlignedVector<value_t> val;
+  // Rough reservation: hopping + phonon transitions + diagonal.
+  col_idx.reserve(static_cast<std::size_t>(n) * 12);
+  val.reserve(static_cast<std::size_t>(n) * 12);
+
+  const double ep_amplitude = -params.coupling * params.phonon_frequency;
+  std::vector<std::pair<index_t, value_t>> row;
+  const auto emit_row = [&](std::int64_t e, std::int64_t p) {
+    row.clear();
+    const auto eu = e / d_dn;
+    const auto ed = e % d_dn;
+
+    // Diagonal: Hubbard repulsion + phonon energy.
+    const double diagonal =
+        params.hubbard_u *
+            static_cast<double>(double_occupancy[static_cast<std::size_t>(e)]) +
+        params.phonon_frequency *
+            static_cast<double>(totals[static_cast<std::size_t>(p)]);
+    row.emplace_back(global(e, p), diagonal);
+
+    // Electron hopping (phonon state unchanged).
+    for (const auto& [target_up, sign] :
+         up.connections[static_cast<std::size_t>(eu)]) {
+      row.emplace_back(global(target_up * d_dn + ed, p),
+                       -params.hopping * sign);
+    }
+    for (const auto& [target_dn, sign] :
+         down.connections[static_cast<std::size_t>(ed)]) {
+      row.emplace_back(global(eu * d_dn + target_dn, p),
+                       -params.hopping * sign);
+    }
+
+    // Electron-phonon coupling (electron state unchanged).
+    const std::uint8_t* site_density =
+        &density[static_cast<std::size_t>(e) * static_cast<std::size_t>(modes)];
+    for (const auto& t : transitions[static_cast<std::size_t>(p)]) {
+      const int nd = site_density[t.mode];
+      if (nd == 0) continue;
+      row.emplace_back(global(e, t.target),
+                       ep_amplitude * t.amplitude * static_cast<double>(nd));
+    }
+
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [c, v] : row) {
+      col_idx.push_back(c);
+      val.push_back(v);
+    }
+    row_ptr.push_back(static_cast<offset_t>(col_idx.size()));
+  };
+
+  if (phonon_fast) {
+    for (std::int64_t e = 0; e < d_el; ++e) {
+      for (std::int64_t p = 0; p < d_ph; ++p) emit_row(e, p);
+    }
+  } else {
+    for (std::int64_t p = 0; p < d_ph; ++p) {
+      for (std::int64_t e = 0; e < d_el; ++e) emit_row(e, p);
+    }
+  }
+
+  return sparse::CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                           std::move(val));
+}
+
+}  // namespace hspmv::matgen

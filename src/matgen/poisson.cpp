@@ -1,0 +1,266 @@
+#include "matgen/poisson.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace hspmv::matgen {
+namespace {
+
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+/// Cell-face spacing of a geometrically graded axis: h_k proportional to
+/// grading^k, normalized so the axis has unit length.
+std::vector<double> graded_spacing(int cells, double grading) {
+  std::vector<double> h(static_cast<std::size_t>(cells), 1.0);
+  double sum = 0.0;
+  double step = 1.0;
+  for (int k = 0; k < cells; ++k) {
+    h[static_cast<std::size_t>(k)] = step;
+    sum += step;
+    step *= grading;
+  }
+  for (auto& v : h) v /= sum;
+  return h;
+}
+
+}  // namespace
+
+sparse::CsrMatrix poisson7(const PoissonParams& params) {
+  const int nx = params.nx, ny = params.ny, nz = params.nz;
+  if (nx < 1 || ny < 1 || nz < 1) {
+    throw std::invalid_argument("poisson7: grid dimensions must be >= 1");
+  }
+  if (params.grading <= 0.0) {
+    throw std::invalid_argument("poisson7: grading must be > 0");
+  }
+  if (params.coefficient_jitter < 0.0 || params.coefficient_jitter >= 1.0) {
+    throw std::invalid_argument("poisson7: jitter must be in [0, 1)");
+  }
+  const std::int64_t n64 =
+      static_cast<std::int64_t>(nx) * ny * static_cast<std::int64_t>(nz);
+  if (n64 > (1LL << 31) - 1) {
+    throw std::length_error("poisson7: grid too large for 32-bit indices");
+  }
+  const auto n = static_cast<index_t>(n64);
+
+  const auto hx = graded_spacing(nx, params.grading);
+  const auto hy = graded_spacing(ny, params.grading);
+  const auto hz = graded_spacing(nz, params.grading);
+
+  // Per-cell diffusion coefficient with deterministic jitter.
+  util::Xoshiro256 rng(params.seed);
+  std::vector<double> kappa(static_cast<std::size_t>(n), 1.0);
+  if (params.coefficient_jitter > 0.0) {
+    for (auto& v : kappa) {
+      v = rng.uniform(1.0 - params.coefficient_jitter,
+                      1.0 + params.coefficient_jitter);
+    }
+  }
+
+  const auto cell = [&](int x, int y, int z) -> index_t {
+    return static_cast<index_t>(
+        (static_cast<std::int64_t>(z) * ny + y) * nx + x);
+  };
+  // Harmonic-mean face transmissibility between two cells along an axis
+  // with spacings ha, hb — the standard finite-volume coupling.
+  const auto face = [&](index_t a, index_t b, double ha, double hb,
+                        double area) -> double {
+    const double ka = kappa[static_cast<std::size_t>(a)];
+    const double kb = kappa[static_cast<std::size_t>(b)];
+    return area * 2.0 / (ha / ka + hb / kb);
+  };
+
+  std::vector<offset_t> row_ptr;
+  row_ptr.reserve(static_cast<std::size_t>(n) + 1);
+  row_ptr.push_back(0);
+  util::AlignedVector<index_t> col_idx;
+  util::AlignedVector<value_t> val;
+  col_idx.reserve(static_cast<std::size_t>(n) * 7);
+  val.reserve(static_cast<std::size_t>(n) * 7);
+
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const index_t i = cell(x, y, z);
+        // Gather the (up to 6) neighbour couplings; the diagonal is their
+        // sum plus the Dirichlet boundary contribution, keeping the row
+        // diagonally dominant.
+        struct Entry {
+          index_t col;
+          double coupling;
+        };
+        Entry neighbors[6];
+        int count = 0;
+        double diagonal = 0.0;
+
+        const double ax = hy[static_cast<std::size_t>(y)] *
+                          hz[static_cast<std::size_t>(z)];
+        const double ay = hx[static_cast<std::size_t>(x)] *
+                          hz[static_cast<std::size_t>(z)];
+        const double az = hx[static_cast<std::size_t>(x)] *
+                          hy[static_cast<std::size_t>(y)];
+
+        const auto add_neighbor = [&](bool exists, index_t j, double ha,
+                                      double hb, double area) {
+          if (exists) {
+            const double t = face(i, j, ha, hb, area);
+            neighbors[count++] = {j, -t};
+            diagonal += t;
+          } else {
+            // Dirichlet ghost cell at half spacing.
+            const double t =
+                area * 2.0 * kappa[static_cast<std::size_t>(i)] / ha;
+            diagonal += t;
+          }
+        };
+
+        add_neighbor(z > 0, z > 0 ? cell(x, y, z - 1) : 0,
+                     hz[static_cast<std::size_t>(z)],
+                     z > 0 ? hz[static_cast<std::size_t>(z - 1)] : 0.0, az);
+        add_neighbor(y > 0, y > 0 ? cell(x, y - 1, z) : 0,
+                     hy[static_cast<std::size_t>(y)],
+                     y > 0 ? hy[static_cast<std::size_t>(y - 1)] : 0.0, ay);
+        add_neighbor(x > 0, x > 0 ? cell(x - 1, y, z) : 0,
+                     hx[static_cast<std::size_t>(x)],
+                     x > 0 ? hx[static_cast<std::size_t>(x - 1)] : 0.0, ax);
+        // Diagonal slot: record position, fill after the loop.
+        const std::size_t diag_slot = col_idx.size() + count;
+        add_neighbor(x + 1 < nx, x + 1 < nx ? cell(x + 1, y, z) : 0,
+                     hx[static_cast<std::size_t>(x)],
+                     x + 1 < nx ? hx[static_cast<std::size_t>(x + 1)] : 0.0,
+                     ax);
+        add_neighbor(y + 1 < ny, y + 1 < ny ? cell(x, y + 1, z) : 0,
+                     hy[static_cast<std::size_t>(y)],
+                     y + 1 < ny ? hy[static_cast<std::size_t>(y + 1)] : 0.0,
+                     ay);
+        add_neighbor(z + 1 < nz, z + 1 < nz ? cell(x, y, z + 1) : 0,
+                     hz[static_cast<std::size_t>(z)],
+                     z + 1 < nz ? hz[static_cast<std::size_t>(z + 1)] : 0.0,
+                     az);
+
+        // Emit in ascending column order: the lower neighbours were added
+        // in ascending order (z-, y-, x-), then diagonal, then upper.
+        int emitted = 0;
+        for (; emitted < count && neighbors[emitted].col < i; ++emitted) {
+          col_idx.push_back(neighbors[emitted].col);
+          val.push_back(neighbors[emitted].coupling);
+        }
+        (void)diag_slot;
+        col_idx.push_back(i);
+        val.push_back(diagonal);
+        for (; emitted < count; ++emitted) {
+          col_idx.push_back(neighbors[emitted].col);
+          val.push_back(neighbors[emitted].coupling);
+        }
+        row_ptr.push_back(static_cast<offset_t>(col_idx.size()));
+      }
+    }
+  }
+  return sparse::CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                           std::move(val));
+}
+
+sparse::CsrMatrix poisson5_2d(int nx, int ny) {
+  if (nx < 1 || ny < 1) {
+    throw std::invalid_argument("poisson5_2d: grid dimensions must be >= 1");
+  }
+  const auto n = static_cast<index_t>(static_cast<std::int64_t>(nx) * ny);
+  std::vector<offset_t> row_ptr{0};
+  util::AlignedVector<index_t> col_idx;
+  util::AlignedVector<value_t> val;
+  const auto cell = [&](int x, int y) {
+    return static_cast<index_t>(y * nx + x);
+  };
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      const index_t i = cell(x, y);
+      if (y > 0) {
+        col_idx.push_back(cell(x, y - 1));
+        val.push_back(-1.0);
+      }
+      if (x > 0) {
+        col_idx.push_back(cell(x - 1, y));
+        val.push_back(-1.0);
+      }
+      col_idx.push_back(i);
+      val.push_back(4.0);
+      if (x + 1 < nx) {
+        col_idx.push_back(cell(x + 1, y));
+        val.push_back(-1.0);
+      }
+      if (y + 1 < ny) {
+        col_idx.push_back(cell(x, y + 1));
+        val.push_back(-1.0);
+      }
+      row_ptr.push_back(static_cast<offset_t>(col_idx.size()));
+    }
+  }
+  return sparse::CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                           std::move(val));
+}
+
+sparse::CsrMatrix poisson27(int nx, int ny, int nz) {
+  if (nx < 1 || ny < 1 || nz < 1) {
+    throw std::invalid_argument("poisson27: grid dimensions must be >= 1");
+  }
+  const auto n =
+      static_cast<index_t>(static_cast<std::int64_t>(nx) * ny * nz);
+  std::vector<offset_t> row_ptr{0};
+  util::AlignedVector<index_t> col_idx;
+  util::AlignedVector<value_t> val;
+  const auto cell = [&](int x, int y, int z) {
+    return static_cast<index_t>((static_cast<std::int64_t>(z) * ny + y) * nx +
+                                x);
+  };
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const int xx = x + dx, yy = y + dy, zz = z + dz;
+              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+                  zz >= nz) {
+                continue;
+              }
+              col_idx.push_back(cell(xx, yy, zz));
+              val.push_back(dx == 0 && dy == 0 && dz == 0 ? 26.0 : -1.0);
+            }
+          }
+        }
+        row_ptr.push_back(static_cast<offset_t>(col_idx.size()));
+      }
+    }
+  }
+  return sparse::CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                           std::move(val));
+}
+
+sparse::CsrMatrix laplacian1d(int n) {
+  if (n < 1) throw std::invalid_argument("laplacian1d: n must be >= 1");
+  std::vector<offset_t> row_ptr{0};
+  util::AlignedVector<index_t> col_idx;
+  util::AlignedVector<value_t> val;
+  for (index_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      col_idx.push_back(i - 1);
+      val.push_back(-1.0);
+    }
+    col_idx.push_back(i);
+    val.push_back(2.0);
+    if (i + 1 < n) {
+      col_idx.push_back(i + 1);
+      val.push_back(-1.0);
+    }
+    row_ptr.push_back(static_cast<offset_t>(col_idx.size()));
+  }
+  return sparse::CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                           std::move(val));
+}
+
+}  // namespace hspmv::matgen

@@ -1,0 +1,50 @@
+// Poisson-problem discretizations — the family behind the paper's second
+// test matrix (sAMG, Sect. 1.3.1): an irregular discretization of a
+// Poisson problem with Nnzr ~ 7.
+//
+// Substitution note (DESIGN.md): the original matrix comes from the
+// proprietary sAMG multigrid code on a car geometry. We build a 7-point
+// finite-volume Laplacian on a geometrically graded, variable-coefficient
+// 3-D grid: same Nnzr, symmetric positive semi-definite structure, banded
+// near-neighbour pattern — reproducing the paper's "weak communication
+// requirements" property.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::matgen {
+
+struct PoissonParams {
+  int nx = 16;
+  int ny = 16;
+  int nz = 16;
+  /// Geometric grid-grading factor per cell in each direction; 1.0 = a
+  /// uniform grid, >1.0 compresses spacing toward one corner (mimicking
+  /// adaptive refinement near geometry features).
+  double grading = 1.0;
+  /// Relative jitter of the per-cell diffusion coefficient in
+  /// [1 - jitter, 1 + jitter]; models the irregular element sizes of an
+  /// unstructured discretization. 0 keeps the constant-coefficient stencil.
+  double coefficient_jitter = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// 7-point 3-D Laplacian with Dirichlet boundaries (rows of boundary-
+/// adjacent cells simply lose the off-grid neighbour). Row i corresponds
+/// to cell (x, y, z) with i = (z * ny + y) * nx + x.
+sparse::CsrMatrix poisson7(const PoissonParams& params);
+
+/// 5-point 2-D Laplacian on an nx x ny grid (Dirichlet).
+sparse::CsrMatrix poisson5_2d(int nx, int ny);
+
+/// 27-point 3-D stencil (all face/edge/corner neighbours), Dirichlet.
+sparse::CsrMatrix poisson27(int nx, int ny, int nz);
+
+/// 1-D tridiagonal Laplacian of size n (Dirichlet) — the smallest member
+/// of the family, handy for analytic eigenvalue checks:
+/// lambda_k = 2 - 2 cos(k pi / (n + 1)).
+sparse::CsrMatrix laplacian1d(int n);
+
+}  // namespace hspmv::matgen

@@ -1,0 +1,106 @@
+#include "matgen/random_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace hspmv::matgen {
+namespace {
+
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+sparse::CsrMatrix from_row_columns(
+    index_t n, const std::function<void(index_t, std::vector<index_t>&,
+                                        util::Xoshiro256&)>& fill_row,
+    std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<offset_t> row_ptr{0};
+  util::AlignedVector<index_t> col_idx;
+  util::AlignedVector<value_t> val;
+  std::vector<index_t> columns;
+  for (index_t i = 0; i < n; ++i) {
+    columns.clear();
+    fill_row(i, columns, rng);
+    std::sort(columns.begin(), columns.end());
+    columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+    for (index_t c : columns) {
+      col_idx.push_back(c);
+      // Diagonal dominance keeps the matrices usable by the solvers.
+      val.push_back(c == i ? static_cast<value_t>(columns.size())
+                           : -rng.uniform(0.0, 1.0));
+    }
+    row_ptr.push_back(static_cast<offset_t>(col_idx.size()));
+  }
+  return sparse::CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                           std::move(val));
+}
+
+}  // namespace
+
+sparse::CsrMatrix random_sparse(index_t n, int nnz_per_row,
+                                std::uint64_t seed) {
+  if (n < 1 || nnz_per_row < 1) {
+    throw std::invalid_argument("random_sparse: bad parameters");
+  }
+  return from_row_columns(
+      n,
+      [&](index_t i, std::vector<index_t>& columns, util::Xoshiro256& rng) {
+        columns.push_back(i);
+        for (int k = 1; k < nnz_per_row; ++k) {
+          columns.push_back(static_cast<index_t>(
+              rng.bounded(static_cast<std::uint64_t>(n))));
+        }
+      },
+      seed);
+}
+
+sparse::CsrMatrix random_banded(index_t n, index_t bandwidth, int nnz_per_row,
+                                std::uint64_t seed) {
+  if (n < 1 || bandwidth < 0 || nnz_per_row < 1) {
+    throw std::invalid_argument("random_banded: bad parameters");
+  }
+  return from_row_columns(
+      n,
+      [&](index_t i, std::vector<index_t>& columns, util::Xoshiro256& rng) {
+        columns.push_back(i);
+        const index_t lo = std::max<index_t>(0, i - bandwidth);
+        const index_t hi = std::min<index_t>(n - 1, i + bandwidth);
+        const auto width = static_cast<std::uint64_t>(hi - lo + 1);
+        for (int k = 1; k < nnz_per_row; ++k) {
+          columns.push_back(lo +
+                            static_cast<index_t>(rng.bounded(width)));
+        }
+      },
+      seed);
+}
+
+sparse::CsrMatrix random_power_law(index_t n, int min_degree, double exponent,
+                                   std::uint64_t seed) {
+  if (n < 1 || min_degree < 1 || exponent < 0.0) {
+    throw std::invalid_argument("random_power_law: bad parameters");
+  }
+  return from_row_columns(
+      n,
+      [&](index_t i, std::vector<index_t>& columns, util::Xoshiro256& rng) {
+        const double scale =
+            std::pow(static_cast<double>(n) / static_cast<double>(i + 1),
+                     exponent);
+        const auto degree = static_cast<index_t>(std::clamp(
+            std::round(static_cast<double>(min_degree) * scale), 1.0,
+            static_cast<double>(n)));
+        columns.push_back(i);
+        for (index_t k = 1; k < degree; ++k) {
+          columns.push_back(static_cast<index_t>(
+              rng.bounded(static_cast<std::uint64_t>(n))));
+        }
+      },
+      seed);
+}
+
+}  // namespace hspmv::matgen

@@ -1,0 +1,30 @@
+// Synthetic random sparse matrices for stress tests and ablations: uniform
+// scatter, banded, and power-law row-degree ("scale-free") patterns. All
+// generators are deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::matgen {
+
+/// Square matrix with a unit diagonal plus (nnz_per_row - 1) uniformly
+/// random off-diagonal columns per row (duplicates merged, so slightly
+/// fewer entries can result).
+sparse::CsrMatrix random_sparse(sparse::index_t n, int nnz_per_row,
+                                std::uint64_t seed);
+
+/// Like random_sparse, but off-diagonal columns are drawn from the band
+/// [i - bandwidth, i + bandwidth] (clamped) — tunable locality for the
+/// cache-simulator experiments.
+sparse::CsrMatrix random_banded(sparse::index_t n, sparse::index_t bandwidth,
+                                int nnz_per_row, std::uint64_t seed);
+
+/// Power-law row degrees: row i has degree ~ round(min_degree *
+/// (n / (i + 1))^exponent), clamped to [1, n]; columns uniform. Produces
+/// the strong load imbalance used by the partitioner ablation.
+sparse::CsrMatrix random_power_law(sparse::index_t n, int min_degree,
+                                   double exponent, std::uint64_t seed);
+
+}  // namespace hspmv::matgen

@@ -1,0 +1,283 @@
+#include "minimpi/board.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hspmv::minimpi {
+
+Board::Board(const RuntimeOptions& options) : options_(options) {}
+
+std::shared_ptr<RequestState> Board::post_send(std::uint64_t comm_id,
+                                               int source, int dest, int tag,
+                                               const void* data,
+                                               std::size_t bytes,
+                                               int global_source,
+                                               int global_dest) {
+  PendingOp op;
+  op.comm_id = comm_id;
+  op.source = source;
+  op.dest = dest;
+  op.tag = tag;
+  op.global_source = global_source;
+  op.global_dest = global_dest;
+  op.send_data = data;
+  op.bytes = bytes;
+  op.request = std::make_shared<RequestState>();
+  op.request->active = true;
+  if (bytes <= options_.eager_threshold_bytes) {
+    // Eager protocol: buffer the payload; the send is complete as soon as
+    // it is posted, independent of the receiver.
+    op.eager_copy = std::make_shared<std::vector<char>>(
+        static_cast<const char*>(data), static_cast<const char*>(data) + bytes);
+    op.send_data = op.eager_copy->data();
+    op.request->complete = true;
+    op.request->transferred_bytes = bytes;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto it = unmatched_recvs_.begin(); it != unmatched_recvs_.end();
+       ++it) {
+    if (match_locked(op, *it)) {
+      PendingOp recv = *it;
+      unmatched_recvs_.erase(it);
+      if (op.bytes > recv.bytes) {
+        const std::string message =
+            "minimpi: message truncation (send " + std::to_string(op.bytes) +
+            " bytes into recv capacity " + std::to_string(recv.bytes) + ")";
+        if (op.eager_copy == nullptr) {
+          op.request->error = message;
+          op.request->complete = true;
+        }
+        recv.request->error = message;
+        recv.request->complete = true;
+        cv_.notify_all();
+        return op.request;
+      }
+      recv.request->matched_tag = op.tag;
+      recv.request->matched_source = op.source;
+      ready_.push_back(Transfer{op.send_data, recv.recv_data, op.bytes,
+                                op.source, op.dest, op.tag, op.global_source,
+                                op.global_dest, op.request, recv.request,
+                                op.eager_copy,
+                                {}});
+      cv_.notify_all();
+      return op.request;
+    }
+  }
+  unmatched_sends_.push_back(op);
+  cv_.notify_all();
+  return op.request;
+}
+
+std::shared_ptr<RequestState> Board::post_recv(std::uint64_t comm_id,
+                                               int source, int dest, int tag,
+                                               void* data,
+                                               std::size_t capacity_bytes,
+                                               int global_source,
+                                               int global_dest) {
+  PendingOp op;
+  op.comm_id = comm_id;
+  op.source = source;
+  op.dest = dest;
+  op.tag = tag;
+  op.global_source = global_source;
+  op.global_dest = global_dest;
+  op.recv_data = data;
+  op.bytes = capacity_bytes;
+  op.request = std::make_shared<RequestState>();
+  op.request->active = true;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto it = unmatched_sends_.begin(); it != unmatched_sends_.end();
+       ++it) {
+    if (match_locked(*it, op)) {
+      PendingOp send = *it;
+      unmatched_sends_.erase(it);
+      if (send.bytes > op.bytes) {
+        const std::string message =
+            "minimpi: message truncation (send " +
+            std::to_string(send.bytes) + " bytes into recv capacity " +
+            std::to_string(op.bytes) + ")";
+        op.request->error = message;
+        op.request->complete = true;
+        if (send.eager_copy == nullptr) {
+          send.request->error = message;
+          send.request->complete = true;
+        }
+        cv_.notify_all();
+        return op.request;
+      }
+      op.request->matched_tag = send.tag;
+      op.request->matched_source = send.source;
+      ready_.push_back(Transfer{send.send_data, op.recv_data, send.bytes,
+                                send.source, send.dest, send.tag,
+                                send.global_source, send.global_dest,
+                                send.request, op.request, send.eager_copy,
+                                {}});
+      cv_.notify_all();
+      return op.request;
+    }
+  }
+  unmatched_recvs_.push_back(op);
+  cv_.notify_all();
+  return op.request;
+}
+
+bool Board::match_locked(PendingOp& send, PendingOp& recv) {
+  return send.comm_id == recv.comm_id && send.dest == recv.dest &&
+         send.source == recv.source &&
+         (recv.tag == kAnyTag || recv.tag == send.tag);
+}
+
+void Board::start_ready_locked(int rank, Clock::time_point now) {
+  for (auto it = ready_.begin(); it != ready_.end();) {
+    if (involves(*it, rank)) {
+      Transfer transfer = *it;
+      double seconds = options_.latency_seconds;
+      if (options_.bytes_per_second > 0.0) {
+        seconds +=
+            static_cast<double>(transfer.bytes) / options_.bytes_per_second;
+      }
+      transfer.deadline =
+          now + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(seconds));
+      in_flight_.push_back(transfer);
+      it = ready_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Board::complete_due_locked(int rank, Clock::time_point now,
+                                std::vector<TransferRecord>& records) {
+  bool any = false;
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (involves(*it, rank) && it->deadline <= now) {
+      if (it->bytes > 0) std::memcpy(it->dst, it->src, it->bytes);
+      it->send_request->complete = true;
+      it->send_request->transferred_bytes = it->bytes;
+      it->recv_request->complete = true;
+      it->recv_request->transferred_bytes = it->bytes;
+      ++transferred_messages_;
+      transferred_bytes_ += it->bytes;
+      records.push_back(TransferRecord{it->global_source, it->global_dest,
+                                       it->tag, it->bytes});
+      it = in_flight_.erase(it);
+      any = true;
+    } else {
+      ++it;
+    }
+  }
+  return any;
+}
+
+Board::Clock::time_point Board::next_deadline_locked(int rank) const {
+  auto next = Clock::time_point::max();
+  for (const auto& t : in_flight_) {
+    if (involves(t, rank)) next = std::min(next, t.deadline);
+  }
+  return next;
+}
+
+void Board::fire_hooks(const std::vector<TransferRecord>& records) {
+  if (!options_.on_transfer) return;
+  for (const auto& record : records) options_.on_transfer(record);
+}
+
+void Board::wait_all(
+    int rank, const std::vector<std::shared_ptr<RequestState>>& requests) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<TransferRecord> records;
+  while (true) {
+    const auto now = Clock::now();
+    start_ready_locked(rank, now);
+    if (complete_due_locked(rank, now, records)) {
+      lock.unlock();
+      fire_hooks(records);
+      records.clear();
+      cv_.notify_all();
+      lock.lock();
+      continue;
+    }
+
+    bool all_complete = true;
+    for (const auto& request : requests) {
+      if (request == nullptr) continue;
+      if (!request->error.empty()) {
+        throw std::runtime_error(request->error);
+      }
+      if (!request->complete) {
+        all_complete = false;
+        break;
+      }
+    }
+    if (all_complete) {
+      for (const auto& request : requests) {
+        if (request != nullptr) request->active = false;
+      }
+      return;
+    }
+    if (shutdown_) {
+      throw std::runtime_error("minimpi: runtime aborted during wait");
+    }
+
+    const auto deadline = next_deadline_locked(rank);
+    const auto cap = now + std::chrono::milliseconds(50);
+    cv_.wait_until(lock, deadline < cap ? deadline : cap);
+  }
+}
+
+bool Board::test(int rank, const std::shared_ptr<RequestState>& request) {
+  std::vector<TransferRecord> records;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto now = Clock::now();
+    start_ready_locked(rank, now);
+    complete_due_locked(rank, now, records);
+    if (!request->error.empty()) {
+      throw std::runtime_error(request->error);
+    }
+    if (!request->complete) return false;
+    request->active = false;
+  }
+  fire_hooks(records);
+  if (!records.empty()) cv_.notify_all();
+  return true;
+}
+
+void Board::progress_thread_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<TransferRecord> records;
+  while (true) {
+    const auto now = Clock::now();
+    start_ready_locked(-1, now);
+    if (complete_due_locked(-1, now, records)) {
+      lock.unlock();
+      fire_hooks(records);
+      records.clear();
+      cv_.notify_all();
+      lock.lock();
+      continue;
+    }
+    if (shutdown_ && ready_.empty() && in_flight_.empty()) return;
+    const auto deadline = next_deadline_locked(-1);
+    const auto cap = now + std::chrono::milliseconds(50);
+    cv_.wait_until(lock, deadline < cap ? deadline : cap);
+  }
+}
+
+void Board::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+RunStats Board::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RunStats{transferred_messages_, transferred_bytes_};
+}
+
+}  // namespace hspmv::minimpi

@@ -1,0 +1,144 @@
+// The message-matching board: the runtime-global rendezvous structure
+// where posted sends and receives meet.
+//
+// Matching follows MPI envelope semantics: a receive posted for
+// (source, tag) matches the oldest unmatched send with the same
+// (source, dest, tag) — kAnyTag receives match the oldest send from that
+// source regardless of tag.
+//
+// Transfers are modeled as timed events: *starting* a transfer requires a
+// progress actor (in kDeferred mode, a participating rank inside a library
+// call; in kAsync mode, the runtime progress thread), after which its
+// simulated network time elapses on the wall clock concurrently with
+// everything else — like a DMA engine. The payload copy and completion
+// flags land when the deadline passes and some progress actor observes it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "minimpi/types.hpp"
+
+namespace hspmv::minimpi {
+
+/// Completion state shared between a Request handle and the board.
+struct RequestState {
+  bool complete = false;
+  bool active = false;  ///< posted and not yet waited to completion
+  std::size_t transferred_bytes = 0;
+  int matched_tag = 0;     ///< actual tag (for kAnyTag receives)
+  int matched_source = 0;  ///< actual source
+  std::string error;       ///< nonempty on failure; rethrown at wait()
+};
+
+class Board {
+ public:
+  explicit Board(const RuntimeOptions& options);
+
+  /// Post a nonblocking send/receive. `comm_id` isolates communicators.
+  /// `source`/`dest` are comm-relative (used for matching); the global_*
+  /// ranks identify the participating threads (used for progress claiming
+  /// — a thread inside a library call progresses any transfer it
+  /// participates in, across all of its communicators, like real MPI).
+  std::shared_ptr<RequestState> post_send(std::uint64_t comm_id, int source,
+                                          int dest, int tag, const void* data,
+                                          std::size_t bytes,
+                                          int global_source, int global_dest);
+  std::shared_ptr<RequestState> post_recv(std::uint64_t comm_id, int source,
+                                          int dest, int tag, void* data,
+                                          std::size_t capacity_bytes,
+                                          int global_source, int global_dest);
+
+  /// Block until every request is complete, making progress on transfers
+  /// involving global rank `rank` while waiting. Throws std::runtime_error
+  /// on errored requests or runtime abort.
+  void wait_all(int rank,
+                const std::vector<std::shared_ptr<RequestState>>& requests);
+
+  /// Nonblocking completion check with bounded progress: starts/finishes
+  /// pending transfers involving `rank`, then reports completion.
+  bool test(int rank, const std::shared_ptr<RequestState>& request);
+
+  /// Async progress loop body; runs on the runtime's progress thread
+  /// until shutdown() is called and all traffic has drained.
+  void progress_thread_main();
+  void shutdown();
+
+  [[nodiscard]] RunStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct PendingOp {
+    std::uint64_t comm_id;
+    int source;
+    int dest;
+    int tag;
+    int global_source;
+    int global_dest;
+    const void* send_data = nullptr;
+    void* recv_data = nullptr;
+    std::size_t bytes = 0;  // send size / recv capacity
+    std::shared_ptr<RequestState> request;
+    /// Eager sends: owned copy of the payload (send_data points into it).
+    std::shared_ptr<std::vector<char>> eager_copy;
+  };
+
+  struct Transfer {
+    const void* src;
+    void* dst;
+    std::size_t bytes;
+    int source;
+    int dest;
+    int tag;
+    int global_source;
+    int global_dest;
+    std::shared_ptr<RequestState> send_request;
+    std::shared_ptr<RequestState> recv_request;
+    std::shared_ptr<std::vector<char>> eager_copy;  // keeps src alive
+    Clock::time_point deadline{};  // set when the transfer starts
+  };
+
+  [[nodiscard]] bool involves(const Transfer& t, int rank) const {
+    return rank < 0 || t.global_source == rank || t.global_dest == rank;
+  }
+
+  /// Move ready transfers involving `rank` into flight (stamping their
+  /// completion deadlines). Lock held.
+  void start_ready_locked(int rank, Clock::time_point now);
+
+  /// Complete in-flight transfers involving `rank` whose deadline passed:
+  /// copy payloads, flip completion flags, collect hook records. Lock
+  /// held. Returns true if anything completed.
+  bool complete_due_locked(int rank, Clock::time_point now,
+                           std::vector<TransferRecord>& records);
+
+  /// Earliest deadline among in-flight transfers involving `rank`;
+  /// Clock::time_point::max() when none.
+  [[nodiscard]] Clock::time_point next_deadline_locked(int rank) const;
+
+  void fire_hooks(const std::vector<TransferRecord>& records);
+
+  bool match_locked(PendingOp& send, PendingOp& recv);
+
+  RuntimeOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<PendingOp> unmatched_sends_;
+  std::deque<PendingOp> unmatched_recvs_;
+  std::deque<Transfer> ready_;      // matched, not yet started
+  std::deque<Transfer> in_flight_;  // started, waiting for the deadline
+  bool shutdown_ = false;
+  std::uint64_t transferred_messages_ = 0;
+  std::uint64_t transferred_bytes_ = 0;
+};
+
+}  // namespace hspmv::minimpi

@@ -1,0 +1,132 @@
+#include "minimpi/comm.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace hspmv::minimpi {
+
+namespace detail {
+
+void CollectiveSlots::barrier(int size) {
+  std::unique_lock<std::mutex> lock(mutex);
+  if (aborted) {
+    cv.notify_all();
+    throw std::runtime_error("minimpi: collective aborted");
+  }
+  const bool my_sense = sense;
+  if (++arrived == size) {
+    arrived = 0;
+    sense = !sense;
+    cv.notify_all();
+    return;
+  }
+  while (sense == my_sense && !aborted) {
+    cv.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  if (aborted) {
+    throw std::runtime_error("minimpi: collective aborted");
+  }
+}
+
+void CollectiveSlots::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    aborted = true;
+  }
+  cv.notify_all();
+}
+
+}  // namespace detail
+
+Status Comm::wait(Request& request) const {
+  if (!request.valid()) return Status{};
+  state_->board->wait_all(global_rank(), {request.state()});
+  Status status;
+  status.source = request.state()->matched_source;
+  status.tag = request.state()->matched_tag;
+  status.bytes = request.state()->transferred_bytes;
+  return status;
+}
+
+void Comm::wait_all(std::span<Request> requests) const {
+  std::vector<std::shared_ptr<RequestState>> states;
+  states.reserve(requests.size());
+  for (const auto& r : requests) {
+    if (r.valid()) states.push_back(r.state());
+  }
+  state_->board->wait_all(global_rank(), states);
+}
+
+bool Comm::test(Request& request) const {
+  if (!request.valid()) return true;
+  return state_->board->test(global_rank(), request.state());
+}
+
+void Comm::barrier() const { state_->slots->barrier(state_->size); }
+
+Comm Comm::split(int color, int key) const {
+  auto& slots = *state_->slots;
+  slots.ints[2 * static_cast<std::size_t>(rank_)] = color;
+  slots.ints[2 * static_cast<std::size_t>(rank_) + 1] = key;
+  slots.barrier(state_->size);
+
+  // Build my group: ranks with my color, ordered by (key, old rank).
+  struct Member {
+    std::int64_t key;
+    int old_rank;
+  };
+  std::vector<Member> group;
+  int leader = -1;  // smallest old rank in the group creates the state
+  for (int r = 0; r < state_->size; ++r) {
+    if (slots.ints[2 * static_cast<std::size_t>(r)] == color && color >= 0) {
+      if (leader < 0) leader = r;
+      group.push_back(
+          Member{slots.ints[2 * static_cast<std::size_t>(r) + 1], r});
+    }
+  }
+
+  std::stable_sort(group.begin(), group.end(),
+                   [](const Member& a, const Member& b) {
+                     if (a.key != b.key) return a.key < b.key;
+                     return a.old_rank < b.old_rank;
+                   });
+
+  std::shared_ptr<detail::CommState>* holder = nullptr;
+  if (color >= 0 && rank_ == leader) {
+    auto child = std::make_shared<detail::CommState>();
+    child->id = state_->next_comm_id->fetch_add(1);
+    child->size = static_cast<int>(group.size());
+    child->board = state_->board;
+    child->next_comm_id = state_->next_comm_id;
+    child->global_of.reserve(group.size());
+    for (const Member& m : group) {
+      child->global_of.push_back(
+          state_->global_of[static_cast<std::size_t>(m.old_rank)]);
+    }
+    child->slots =
+        std::make_unique<detail::CollectiveSlots>(child->size);
+    holder = new std::shared_ptr<detail::CommState>(std::move(child));
+    slots.pointers[static_cast<std::size_t>(rank_)] = holder;
+  }
+  slots.barrier(state_->size);
+
+  Comm result;
+  if (color >= 0) {
+    const auto* published =
+        static_cast<const std::shared_ptr<detail::CommState>*>(
+            slots.pointers[static_cast<std::size_t>(leader)]);
+    int new_rank = -1;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (group[i].old_rank == rank_) {
+        new_rank = static_cast<int>(i);
+        break;
+      }
+    }
+    result = Comm(*published, new_rank);
+  }
+  slots.barrier(state_->size);
+  delete holder;
+  return result;
+}
+
+}  // namespace hspmv::minimpi

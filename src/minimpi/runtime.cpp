@@ -1,0 +1,78 @@
+#include "minimpi/runtime.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace hspmv::minimpi {
+
+RunStats run(const RuntimeOptions& options,
+             const std::function<void(Comm&)>& rank_main) {
+  if (options.ranks < 1) {
+    throw std::invalid_argument("minimpi::run: ranks must be >= 1");
+  }
+  if (!rank_main) {
+    throw std::invalid_argument("minimpi::run: null rank_main");
+  }
+
+  Board board(options);
+  std::atomic<std::uint64_t> next_comm_id{1};
+
+  auto world = std::make_shared<detail::CommState>();
+  world->id = 0;
+  world->size = options.ranks;
+  world->board = &board;
+  world->next_comm_id = &next_comm_id;
+  world->global_of.resize(static_cast<std::size_t>(options.ranks));
+  std::iota(world->global_of.begin(), world->global_of.end(), 0);
+  world->slots = std::make_unique<detail::CollectiveSlots>(options.ranks);
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::thread progress_thread;
+  if (options.progress == ProgressMode::kAsync) {
+    progress_thread = std::thread([&board] { board.progress_thread_main(); });
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options.ranks));
+  for (int r = 0; r < options.ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        HSPMV_WARN << "rank " << r << " threw; aborting runtime";
+        // Unblock peers stuck in point-to-point waits and collectives.
+        board.shutdown();
+        world->slots->abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  board.shutdown();
+  if (progress_thread.joinable()) progress_thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return board.stats();
+}
+
+RunStats run(int ranks, const std::function<void(Comm&)>& rank_main) {
+  RuntimeOptions options;
+  options.ranks = ranks;
+  return run(options, rank_main);
+}
+
+}  // namespace hspmv::minimpi

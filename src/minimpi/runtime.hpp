@@ -1,0 +1,27 @@
+// Runtime entry point: spawn N rank threads, hand each a world Comm, join.
+//
+// The MPI_Init/MPI_Finalize analogue. A run is self-contained: board,
+// communicators and (in async mode) the progress thread live exactly as
+// long as the call.
+#pragma once
+
+#include <functional>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/types.hpp"
+
+namespace hspmv::minimpi {
+
+/// Execute `rank_main` on `options.ranks` threads, each with its world
+/// communicator. Blocks until all ranks return.
+///
+/// If a rank throws, the runtime aborts the board (unblocking peers
+/// stuck in waits/collectives) and rethrows the first exception after all
+/// threads joined. Returns aggregate transfer statistics.
+RunStats run(const RuntimeOptions& options,
+             const std::function<void(Comm&)>& rank_main);
+
+/// Convenience overload with default options.
+RunStats run(int ranks, const std::function<void(Comm&)>& rank_main);
+
+}  // namespace hspmv::minimpi

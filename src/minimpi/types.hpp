@@ -1,0 +1,68 @@
+// Common types of the minimpi message-passing runtime.
+//
+// minimpi is an in-process stand-in for MPI: each "rank" is a thread, and
+// data really moves between rank-private buffers through a matching board.
+// Its defining feature for this reproduction is the *progress model*
+// (Sect. 3 of the paper): standard MPI implementations only transfer data
+// while user code executes library calls, so nonblocking calls alone do
+// not overlap communication with computation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace hspmv::minimpi {
+
+/// When message payloads actually move.
+enum class ProgressMode {
+  /// Transfers execute only while a participating rank is inside a
+  /// library call (wait/test/waitall/blocking op) — models standard MPI
+  /// (Intel MPI 4.0.1, OpenMPI 1.5 in the paper's test).
+  kDeferred,
+  /// A dedicated runtime progress thread executes transfers as soon as
+  /// both sides are posted — models an MPI with true asynchronous
+  /// progress (the paper's outlook in Sect. 5).
+  kAsync,
+};
+
+/// Reduction operators for reduce/allreduce.
+enum class ReduceOp { kSum, kProd, kMin, kMax };
+
+/// Matches any tag in recv/irecv.
+inline constexpr int kAnyTag = -1;
+
+/// One executed point-to-point transfer, reported via the on_transfer hook.
+struct TransferRecord {
+  int source = 0;
+  int dest = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+/// Aggregate transfer statistics of one run().
+struct RunStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct RuntimeOptions {
+  int ranks = 1;
+  ProgressMode progress = ProgressMode::kDeferred;
+  /// Sends of at most this many bytes use the eager protocol: the
+  /// payload is buffered at post time and the send completes immediately,
+  /// like real MPI's eager path (which is what makes mismatched
+  /// send-order patterns deadlock-free in practice). Larger sends use
+  /// rendezvous semantics. 0 disables eager sends entirely.
+  std::size_t eager_threshold_bytes = 4096;
+  /// Synthetic per-message latency paid by the transferring thread; 0
+  /// disables the delay (pure functional mode).
+  double latency_seconds = 0.0;
+  /// Synthetic bandwidth; 0 means infinitely fast.
+  double bytes_per_second = 0.0;
+  /// Optional instrumentation hook, invoked after each completed p2p
+  /// transfer (concurrently from multiple threads; must be thread-safe).
+  std::function<void(const TransferRecord&)> on_transfer;
+};
+
+}  // namespace hspmv::minimpi

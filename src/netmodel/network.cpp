@@ -1,0 +1,73 @@
+#include "netmodel/network.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace hspmv::netmodel {
+
+NetworkSpec qdr_infiniband() {
+  NetworkSpec spec;
+  spec.name = "QDR InfiniBand fat tree";
+  spec.topology = Topology::kFatTreeNonblocking;
+  spec.latency_seconds = 1.8e-6;
+  spec.node_bandwidth = 3.2e9;
+  spec.hop_contention = 0.0;
+  return spec;
+}
+
+NetworkSpec cray_gemini() {
+  NetworkSpec spec;
+  spec.name = "Cray Gemini 2D torus";
+  spec.topology = Topology::kTorus2D;
+  spec.latency_seconds = 1.4e-6;
+  // "The internode bandwidth of the 2D torus network is beyond the
+  // capability of QDR InfiniBand" (Sect. 1.3.2) — for nearest-neighbour
+  // traffic.
+  spec.node_bandwidth = 5.5e9;
+  spec.hop_contention = 0.9;
+  return spec;
+}
+
+int hop_distance(const NetworkSpec& spec, int node_a, int node_b,
+                 int total_nodes) {
+  if (node_a == node_b) return 0;
+  if (spec.topology == Topology::kFatTreeNonblocking) return 1;
+  if (total_nodes < 1) {
+    throw std::invalid_argument("hop_distance: total_nodes must be >= 1");
+  }
+  // Near-square 2-D torus embedding: nodes laid out row-major on an
+  // nx x ny grid with nx = ceil(sqrt(N)).
+  const int nx = static_cast<int>(std::ceil(std::sqrt(total_nodes)));
+  const int ny = (total_nodes + nx - 1) / nx;
+  const auto coord = [&](int node) {
+    return std::pair<int, int>{node % nx, node / nx};
+  };
+  const auto [ax, ay] = coord(node_a);
+  const auto [bx, by] = coord(node_b);
+  const int dx = std::abs(ax - bx);
+  const int dy = std::abs(ay - by);
+  const int wrap_dx = std::min(dx, nx - dx);
+  const int wrap_dy = std::min(dy, ny - dy);
+  return std::max(1, wrap_dx + wrap_dy);
+}
+
+double effective_bandwidth(const NetworkSpec& spec, double avg_hops) {
+  if (avg_hops < 1.0) avg_hops = 1.0;
+  return spec.node_bandwidth /
+         (1.0 + spec.hop_contention * (avg_hops - 1.0));
+}
+
+double message_time(const NetworkSpec& spec, std::size_t bytes, int node_a,
+                    int node_b, int total_nodes) {
+  if (node_a == node_b) {
+    throw std::invalid_argument(
+        "message_time: intra-node messages are costed by the node model");
+  }
+  const int hops = hop_distance(spec, node_a, node_b, total_nodes);
+  return spec.latency_seconds +
+         static_cast<double>(bytes) /
+             effective_bandwidth(spec, static_cast<double>(hops));
+}
+
+}  // namespace hspmv::netmodel

@@ -1,0 +1,55 @@
+// Interconnect models: Hockney-style latency/bandwidth cost with
+// topology-dependent contention.
+//
+// Two instances matter for the paper: the nonblocking QDR-InfiniBand fat
+// tree of the Westmere cluster (distance-independent cost) and the Cray
+// XE6 "Gemini" 2-D torus, whose effective bandwidth for non-nearest-
+// neighbour traffic degrades with hop count and machine load — the
+// paper's explanation for the Cray falling behind on HMeP at scale while
+// winning on near-neighbour sAMG traffic (Sect. 4).
+#pragma once
+
+#include <string>
+
+namespace hspmv::netmodel {
+
+enum class Topology {
+  kFatTreeNonblocking,  ///< full bisection, hop-independent
+  kTorus2D,             ///< per-hop contention penalty
+};
+
+struct NetworkSpec {
+  std::string name;
+  Topology topology = Topology::kFatTreeNonblocking;
+  double latency_seconds = 1.8e-6;  ///< per message, injection to delivery
+  /// Injection bandwidth per node (unidirectional, effective).
+  double node_bandwidth = 3.2e9;
+  /// Torus only: relative bandwidth loss per traversed hop beyond the
+  /// first (models link sharing under load).
+  double hop_contention = 0.0;
+};
+
+/// QDR InfiniBand, fully nonblocking fat tree (Westmere cluster).
+NetworkSpec qdr_infiniband();
+
+/// Cray Gemini 2-D torus (XE6). Higher raw injection bandwidth than QDR
+/// IB, but hop-dependent contention.
+NetworkSpec cray_gemini();
+
+/// Hop distance between two nodes. Fat tree: 1 for any pair. Torus:
+/// Manhattan distance with wraparound on a near-square grid of
+/// `total_nodes`.
+int hop_distance(const NetworkSpec& spec, int node_a, int node_b,
+                 int total_nodes);
+
+/// Time to move one `bytes`-sized message between the given nodes.
+/// Intra-node messages must be costed by the caller (machine::NodeSpec's
+/// intranode parameters); this function requires node_a != node_b.
+double message_time(const NetworkSpec& spec, std::size_t bytes, int node_a,
+                    int node_b, int total_nodes);
+
+/// Effective per-node injection bandwidth for traffic with an average hop
+/// distance `avg_hops` (>= 1).
+double effective_bandwidth(const NetworkSpec& spec, double avg_hops);
+
+}  // namespace hspmv::netmodel

@@ -1,0 +1,67 @@
+#include "perfmodel/code_balance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hspmv::perfmodel {
+
+namespace {
+void check_nnzr(double nnzr) {
+  if (nnzr <= 0.0) {
+    throw std::invalid_argument("code balance: nnzr must be > 0");
+  }
+}
+}  // namespace
+
+double crs_code_balance(double nnzr, double kappa) {
+  check_nnzr(nnzr);
+  return 6.0 + 12.0 / nnzr + kappa / 2.0;
+}
+
+double split_crs_code_balance(double nnzr, double kappa) {
+  check_nnzr(nnzr);
+  return 6.0 + 20.0 / nnzr + kappa / 2.0;
+}
+
+double performance_bound(double bandwidth_bytes_per_s, double balance) {
+  if (balance <= 0.0) {
+    throw std::invalid_argument("performance_bound: balance must be > 0");
+  }
+  return bandwidth_bytes_per_s / balance;
+}
+
+double roofline(double bandwidth_bytes_per_s, double balance,
+                double peak_flops) {
+  return std::min(performance_bound(bandwidth_bytes_per_s, balance),
+                  peak_flops);
+}
+
+double kappa_from_measurement(double bandwidth_bytes_per_s,
+                              double flops_per_s, double nnzr) {
+  check_nnzr(nnzr);
+  if (flops_per_s <= 0.0) {
+    throw std::invalid_argument("kappa_from_measurement: flops must be > 0");
+  }
+  const double balance = bandwidth_bytes_per_s / flops_per_s;
+  return 2.0 * (balance - 6.0 - 12.0 / nnzr);
+}
+
+double kappa_from_traffic(double total_bytes, double nnz, double nnzr) {
+  check_nnzr(nnzr);
+  if (nnz <= 0.0) {
+    throw std::invalid_argument("kappa_from_traffic: nnz must be > 0");
+  }
+  return total_bytes / nnz - 12.0 - 24.0 / nnzr;
+}
+
+double compulsory_bytes(double nnz, double rows) {
+  return nnz * 12.0 + rows * 24.0;
+}
+
+double split_penalty(double nnzr, double kappa) {
+  return split_crs_code_balance(nnzr, kappa) /
+             crs_code_balance(nnzr, kappa) -
+         1.0;
+}
+
+}  // namespace hspmv::perfmodel

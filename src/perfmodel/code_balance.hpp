@@ -1,0 +1,51 @@
+// The paper's node-level performance model (Sect. 1.2).
+//
+// Per inner-loop iteration (one nonzero) the CRS kernel moves
+//   8 B (val) + 4 B (col_idx) + 16/Nnzr B (write-allocate + evict of C)
+//   + 8/Nnzr B (first load of B) + kappa B (extra B traffic from limited
+//   cache capacity),
+// and performs 2 flops, giving Eq. (1):
+//   B_CRS = 6 + 12/Nnzr + kappa/2   [bytes/flop].
+// The split (local/non-local) kernel writes C twice, adding 16/Nnzr more
+// bytes per iteration — Eq. (2):
+//   B_split = 6 + 20/Nnzr + kappa/2.
+#pragma once
+
+namespace hspmv::perfmodel {
+
+/// Eq. (1): bytes per flop of the monolithic CRS kernel.
+double crs_code_balance(double nnzr, double kappa);
+
+/// Eq. (2): bytes per flop of the split local/non-local kernel.
+double split_crs_code_balance(double nnzr, double kappa);
+
+/// Bandwidth-limited performance bound in flop/s:
+/// bandwidth [bytes/s] / balance [bytes/flop].
+double performance_bound(double bandwidth_bytes_per_s, double balance);
+
+/// Roofline: min(bandwidth-limited bound, peak flop rate).
+double roofline(double bandwidth_bytes_per_s, double balance,
+                double peak_flops);
+
+/// kappa recovered from a measured (performance, memory-bandwidth) pair:
+/// balance = bandwidth / performance, then invert Eq. (1).
+/// This is the paper's experimental determination (kappa = 2.5 for HMeP on
+/// Nehalem EP from 18.1 GB/s at 2.25 GFlop/s with Nnzr = 15).
+double kappa_from_measurement(double bandwidth_bytes_per_s,
+                              double flops_per_s, double nnzr);
+
+/// kappa recovered from an exact traffic count (e.g. the cache
+/// simulator): total bytes moved per nonzero minus the compulsory
+/// 12 + 24/Nnzr.
+double kappa_from_traffic(double total_bytes, double nnz, double nnzr);
+
+/// Bytes the CRS kernel *must* move for one full spMVM (compulsory
+/// traffic, kappa = 0): nnz*(8+4) + rows*(8 + 16) for B loaded once and C
+/// write-allocated + evicted.
+double compulsory_bytes(double nnz, double rows);
+
+/// Relative split-kernel penalty at a given kappa: B_split / B_CRS - 1.
+/// The paper quotes 8-15 % for Nnzr in 7..15 at kappa = 0 (Sect. 3.1).
+double split_penalty(double nnzr, double kappa);
+
+}  // namespace hspmv::perfmodel

@@ -1,0 +1,52 @@
+#include "perfmodel/saturation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hspmv::perfmodel {
+
+SaturationCurve::SaturationCurve(double single, double gamma)
+    : single_(single), gamma_(gamma) {
+  if (single <= 0.0) {
+    throw std::invalid_argument("SaturationCurve: single must be > 0");
+  }
+  if (gamma < 0.0 || gamma > 1.0) {
+    throw std::invalid_argument("SaturationCurve: gamma must be in [0, 1]");
+  }
+}
+
+double SaturationCurve::value(double cores) const {
+  if (cores < 1.0) {
+    throw std::invalid_argument("SaturationCurve: cores must be >= 1");
+  }
+  return single_ * cores / (1.0 + (cores - 1.0) * gamma_);
+}
+
+double SaturationCurve::saturated() const {
+  if (gamma_ == 0.0) return std::numeric_limits<double>::infinity();
+  return single_ / gamma_;
+}
+
+int SaturationCurve::cores_to_reach(double fraction) const {
+  fraction = std::clamp(fraction, 0.0, 0.999);
+  const double target = saturated() * fraction;
+  for (int t = 1; t <= 64; ++t) {
+    if (value(t) >= target) return t;
+  }
+  return 64;
+}
+
+SaturationCurve SaturationCurve::fit(double single, int cores, double value) {
+  if (cores < 2 || value <= 0.0) {
+    throw std::invalid_argument("SaturationCurve::fit: need cores >= 2");
+  }
+  // value = single * t / (1 + (t-1) gamma)  =>
+  // gamma = (single * t / value - 1) / (t - 1)
+  const double t = cores;
+  const double gamma = (single * t / value - 1.0) / (t - 1.0);
+  return SaturationCurve(single, std::clamp(gamma, 0.0, 1.0));
+}
+
+}  // namespace hspmv::perfmodel

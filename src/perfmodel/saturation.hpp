@@ -1,0 +1,46 @@
+// Bandwidth-saturation model for memory-bound kernels on a multicore
+// locality domain.
+//
+// Throughput of t cores sharing one memory bus follows a contention law
+//   P(t) = P1 * t / (1 + (t - 1) * gamma),
+// which fits the paper's Nehalem EP spMVM ladder (0.91 / 1.50 / 1.95 /
+// 2.25 GFlop/s at 1..4 cores) to better than 1 % with gamma ~ 0.206, and
+// saturates at P1/gamma for large t. STREAM saturates faster (larger
+// gamma). This is the curve behind Fig. 3 and behind the "spMVM saturates
+// at about 4 threads per LD, leaving cores free for communication"
+// observation that motivates task mode.
+#pragma once
+
+namespace hspmv::perfmodel {
+
+class SaturationCurve {
+ public:
+  /// `single`: throughput of one core; `gamma` in [0, 1]: contention per
+  /// additional core (0 = perfect scaling, 1 = no scaling).
+  SaturationCurve(double single, double gamma);
+
+  /// Throughput of `cores` cores (cores >= 1; non-integer allowed for
+  /// interpolation).
+  [[nodiscard]] double value(double cores) const;
+
+  /// Asymptotic (bus-saturated) throughput: single / gamma.
+  [[nodiscard]] double saturated() const;
+
+  /// Smallest integer core count reaching `fraction` of the saturated
+  /// throughput (caps at 64).
+  [[nodiscard]] int cores_to_reach(double fraction) const;
+
+  [[nodiscard]] double single() const { return single_; }
+  [[nodiscard]] double gamma() const { return gamma_; }
+
+  /// Fit gamma from two measured points: P(1) = single and
+  /// P(cores) = value. This is how the machine models are calibrated from
+  /// the paper's Fig. 3 numbers.
+  static SaturationCurve fit(double single, int cores, double value);
+
+ private:
+  double single_;
+  double gamma_;
+};
+
+}  // namespace hspmv::perfmodel

@@ -1,0 +1,109 @@
+#include "perfmodel/stream.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "team/thread_team.hpp"
+#include "util/aligned.hpp"
+#include "util/timer.hpp"
+
+namespace hspmv::perfmodel {
+
+double stream_nominal_bytes_per_element(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::kCopy:
+    case StreamKernel::kScale:
+      return 16.0;  // one load + one store of 8 B
+    case StreamKernel::kAdd:
+    case StreamKernel::kTriad:
+      return 24.0;  // two loads + one store
+  }
+  return 0.0;
+}
+
+double stream_write_allocate_factor(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::kCopy:
+    case StreamKernel::kScale:
+      return 3.0 / 2.0;  // (1 load + 1 WA + 1 store) / (1 load + 1 store)
+    case StreamKernel::kAdd:
+    case StreamKernel::kTriad:
+      return 4.0 / 3.0;  // (2 loads + 1 WA + 1 store) / 3
+  }
+  return 1.0;
+}
+
+StreamResult run_stream(StreamKernel kernel, const StreamOptions& options) {
+  if (options.elements == 0 || options.repetitions < 1 ||
+      options.threads < 1) {
+    throw std::invalid_argument("run_stream: bad options");
+  }
+  const std::size_t n = options.elements;
+  util::AlignedVector<double> a(n), b(n), c(n);
+
+  team::ThreadTeam pool(options.threads);
+  const double scalar = 3.0;
+
+  // First touch in the same distribution as the kernel loops (the
+  // NUMA-aware placement the paper relies on; a no-op on UMA hosts).
+  pool.parallel_for(0, static_cast<std::int64_t>(n),
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        a[static_cast<std::size_t>(i)] = 1.0;
+                        b[static_cast<std::size_t>(i)] = 2.0;
+                        c[static_cast<std::size_t>(i)] = 0.5;
+                      }
+                    });
+
+  const auto body = [&](std::int64_t lo, std::int64_t hi) {
+    switch (kernel) {
+      case StreamKernel::kCopy:
+        for (std::int64_t i = lo; i < hi; ++i) {
+          c[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)];
+        }
+        break;
+      case StreamKernel::kScale:
+        for (std::int64_t i = lo; i < hi; ++i) {
+          b[static_cast<std::size_t>(i)] =
+              scalar * c[static_cast<std::size_t>(i)];
+        }
+        break;
+      case StreamKernel::kAdd:
+        for (std::int64_t i = lo; i < hi; ++i) {
+          c[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)] +
+                                           b[static_cast<std::size_t>(i)];
+        }
+        break;
+      case StreamKernel::kTriad:
+        for (std::int64_t i = lo; i < hi; ++i) {
+          a[static_cast<std::size_t>(i)] =
+              b[static_cast<std::size_t>(i)] +
+              scalar * c[static_cast<std::size_t>(i)];
+        }
+        break;
+    }
+  };
+
+  const double nominal =
+      stream_nominal_bytes_per_element(kernel) * static_cast<double>(n);
+  StreamResult result;
+  result.array_bytes = n * sizeof(double);
+  result.repetitions = options.repetitions;
+  double best_seconds = std::numeric_limits<double>::infinity();
+  double total_seconds = 0.0;
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    util::Timer timer;
+    pool.parallel_for(0, static_cast<std::int64_t>(n), body);
+    const double s = timer.seconds();
+    best_seconds = s < best_seconds ? s : best_seconds;
+    total_seconds += s;
+  }
+  result.best_bytes_per_second = nominal / best_seconds;
+  result.avg_bytes_per_second =
+      nominal * options.repetitions / total_seconds;
+  result.effective_bytes_per_second =
+      result.best_bytes_per_second * stream_write_allocate_factor(kernel);
+  return result;
+}
+
+}  // namespace hspmv::perfmodel

@@ -1,0 +1,318 @@
+#include "solvers/amg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/kernels.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace hspmv::solvers {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+std::vector<index_t> aggregate(const CsrMatrix& a,
+                               double strength_threshold) {
+  const index_t n = a.rows();
+  std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
+  for (index_t i = 0; i < n; ++i) diag[static_cast<std::size_t>(i)] = a.at(i, i);
+
+  const auto strong = [&](index_t i, index_t j, value_t v) {
+    const double scale = std::sqrt(std::abs(diag[static_cast<std::size_t>(i)] *
+                                            diag[static_cast<std::size_t>(j)]));
+    return std::abs(v) > strength_threshold * scale && scale > 0.0;
+  };
+
+  std::vector<index_t> aggregate_of(static_cast<std::size_t>(n), -1);
+  index_t count = 0;
+  // Pass 1: seed aggregates from vertices whose strong neighbourhood is
+  // entirely unassigned (classic pairwise/greedy aggregation).
+  for (index_t i = 0; i < n; ++i) {
+    if (aggregate_of[static_cast<std::size_t>(i)] != -1) continue;
+    const auto [cols, vals] = a.row(i);
+    bool neighborhood_free = true;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != i && strong(i, cols[k], vals[k]) &&
+          aggregate_of[static_cast<std::size_t>(cols[k])] != -1) {
+        neighborhood_free = false;
+        break;
+      }
+    }
+    if (!neighborhood_free) continue;
+    const index_t id = count++;
+    aggregate_of[static_cast<std::size_t>(i)] = id;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != i && strong(i, cols[k], vals[k])) {
+        aggregate_of[static_cast<std::size_t>(cols[k])] = id;
+      }
+    }
+  }
+  // Pass 2: attach leftovers to a strongly-connected neighbour's
+  // aggregate, or give isolated vertices their own.
+  for (index_t i = 0; i < n; ++i) {
+    if (aggregate_of[static_cast<std::size_t>(i)] != -1) continue;
+    const auto [cols, vals] = a.row(i);
+    index_t target = -1;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != i && strong(i, cols[k], vals[k]) &&
+          aggregate_of[static_cast<std::size_t>(cols[k])] != -1) {
+        target = aggregate_of[static_cast<std::size_t>(cols[k])];
+        break;
+      }
+    }
+    aggregate_of[static_cast<std::size_t>(i)] = target != -1 ? target
+                                                             : count++;
+  }
+  return aggregate_of;
+}
+
+namespace {
+
+CsrMatrix piecewise_constant_prolongation(
+    const std::vector<index_t>& aggregate_of) {
+  const auto n = static_cast<index_t>(aggregate_of.size());
+  index_t coarse = 0;
+  for (const index_t id : aggregate_of) coarse = std::max(coarse, id + 1);
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(n) + 1);
+  util::AlignedVector<index_t> cols(static_cast<std::size_t>(n));
+  util::AlignedVector<value_t> vals(static_cast<std::size_t>(n), 1.0);
+  for (index_t i = 0; i < n; ++i) {
+    row_ptr[static_cast<std::size_t>(i)] = i;
+    cols[static_cast<std::size_t>(i)] = aggregate_of[static_cast<std::size_t>(i)];
+  }
+  row_ptr[static_cast<std::size_t>(n)] = n;
+  return CsrMatrix(n, coarse, std::move(row_ptr), std::move(cols),
+                   std::move(vals));
+}
+
+CsrMatrix smooth_prolongation(const CsrMatrix& a, const CsrMatrix& tentative,
+                              double weight) {
+  // S = I - weight * D^-1 A, assembled directly in CSR row order.
+  std::vector<offset_t> row_ptr;
+  row_ptr.reserve(static_cast<std::size_t>(a.rows()) + 1);
+  row_ptr.push_back(0);
+  util::AlignedVector<index_t> cols;
+  util::AlignedVector<value_t> vals;
+  cols.reserve(static_cast<std::size_t>(a.nnz()));
+  vals.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto [c, v] = a.row(i);
+    const double inv_diag = 1.0 / a.at(i, i);
+    for (std::size_t k = 0; k < c.size(); ++k) {
+      const double entry = (c[k] == i ? 1.0 : 0.0) -
+                           weight * inv_diag * v[k];
+      cols.push_back(c[k]);
+      vals.push_back(entry);
+    }
+    row_ptr.push_back(static_cast<offset_t>(cols.size()));
+  }
+  const CsrMatrix s(a.rows(), a.cols(), std::move(row_ptr), std::move(cols),
+                    std::move(vals));
+  return sparse::spgemm(s, tentative);
+}
+
+}  // namespace
+
+AmgHierarchy::AmgHierarchy(const CsrMatrix& a, const AmgOptions& options)
+    : options_(options) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("AmgHierarchy: matrix must be square");
+  }
+  CsrMatrix current = a;
+  for (int l = 0; l < options.max_levels; ++l) {
+    AmgLevel level;
+    level.a = current;
+    const auto n = static_cast<std::size_t>(level.a.rows());
+    level.inv_diag.resize(n);
+    for (index_t i = 0; i < level.a.rows(); ++i) {
+      const double d = level.a.at(i, i);
+      if (d == 0.0) {
+        throw std::invalid_argument("AmgHierarchy: zero diagonal entry");
+      }
+      level.inv_diag[static_cast<std::size_t>(i)] = 1.0 / d;
+    }
+    level.x.assign(n, 0.0);
+    level.b.assign(n, 0.0);
+    level.r.assign(n, 0.0);
+    levels_.push_back(std::move(level));
+
+    if (current.rows() <= options.coarse_size) break;
+    const double theta =
+        options.strength_threshold * std::pow(options.strength_decay, l);
+    const auto aggregates = aggregate(current, theta);
+    CsrMatrix p = piecewise_constant_prolongation(aggregates);
+    if (static_cast<double>(p.cols()) >
+        options.min_coarsening_ratio * static_cast<double>(current.rows())) {
+      break;  // coarsening stagnated; stop here
+    }
+    if (options.smoothed_aggregation) {
+      p = smooth_prolongation(current, p, options.prolongation_weight);
+    }
+    CsrMatrix coarse = sparse::galerkin_product(p, current);
+    levels_.back().p = std::move(p);
+    current = std::move(coarse);
+  }
+
+  // Dense factorization (LDL^T-flavoured Gaussian elimination, no
+  // pivoting — fine for the SPD operators AMG targets) of the coarsest A.
+  const auto& bottom = levels_.back().a;
+  coarse_n_ = bottom.rows();
+  coarse_dense_.assign(
+      static_cast<std::size_t>(coarse_n_) * static_cast<std::size_t>(coarse_n_),
+      0.0);
+  for (index_t i = 0; i < coarse_n_; ++i) {
+    const auto [cols, vals] = bottom.row(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coarse_dense_[static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(coarse_n_) +
+                    static_cast<std::size_t>(cols[k])] = vals[k];
+    }
+  }
+  for (int k = 0; k < coarse_n_; ++k) {
+    const double pivot =
+        coarse_dense_[static_cast<std::size_t>(k) *
+                          static_cast<std::size_t>(coarse_n_) +
+                      static_cast<std::size_t>(k)];
+    if (std::abs(pivot) < 1e-300) {
+      throw std::runtime_error("AmgHierarchy: singular coarse operator");
+    }
+    for (int i = k + 1; i < coarse_n_; ++i) {
+      const std::size_t ik = static_cast<std::size_t>(i) *
+                                 static_cast<std::size_t>(coarse_n_) +
+                             static_cast<std::size_t>(k);
+      const double factor = coarse_dense_[ik] / pivot;
+      coarse_dense_[ik] = factor;
+      for (int j = k + 1; j < coarse_n_; ++j) {
+        coarse_dense_[static_cast<std::size_t>(i) *
+                          static_cast<std::size_t>(coarse_n_) +
+                      static_cast<std::size_t>(j)] -=
+            factor * coarse_dense_[static_cast<std::size_t>(k) *
+                                       static_cast<std::size_t>(coarse_n_) +
+                                   static_cast<std::size_t>(j)];
+      }
+    }
+  }
+}
+
+double AmgHierarchy::operator_complexity() const {
+  double total = 0.0;
+  for (const auto& level : levels_) {
+    total += static_cast<double>(level.a.nnz());
+  }
+  return total / static_cast<double>(levels_.front().a.nnz());
+}
+
+void AmgHierarchy::smooth(AmgLevel& level, std::span<const double> b,
+                          std::span<double> x, int sweeps) {
+  const auto n = static_cast<std::size_t>(level.a.rows());
+  for (int s = 0; s < sweeps; ++s) {
+    sparse::spmv(level.a, x, level.r);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += options_.jacobi_weight * level.inv_diag[i] *
+              (b[i] - level.r[i]);
+    }
+  }
+}
+
+void AmgHierarchy::cycle(std::size_t l) {
+  AmgLevel& level = levels_[l];
+  if (l + 1 == levels_.size()) {
+    // Coarsest: forward/backward substitution with the dense factors.
+    const auto n = static_cast<std::size_t>(coarse_n_);
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = level.b[i];
+      for (std::size_t k = 0; k < i; ++k) {
+        sum -= coarse_dense_[i * n + k] * level.x[k];
+      }
+      level.x[i] = sum;
+    }
+    for (std::size_t i = n; i-- > 0;) {
+      double sum = level.x[i];
+      for (std::size_t k = i + 1; k < n; ++k) {
+        sum -= coarse_dense_[i * n + k] * level.x[k];
+      }
+      level.x[i] = sum / coarse_dense_[i * n + i];
+    }
+    return;
+  }
+
+  smooth(level, level.b, level.x, options_.pre_smooth);
+
+  // Residual, restricted to the coarse level: b_c = P^T (b - A x).
+  sparse::spmv(level.a, level.x, level.r);
+  for (std::size_t i = 0; i < level.r.size(); ++i) {
+    level.r[i] = level.b[i] - level.r[i];
+  }
+  AmgLevel& next = levels_[l + 1];
+  std::fill(next.b.begin(), next.b.end(), 0.0);
+  // Restrict: b_c = P^T r (general CSR P).
+  {
+    const auto row_ptr = level.p.row_ptr();
+    const auto cols = level.p.col_idx();
+    const auto vals = level.p.val();
+    for (index_t i = 0; i < level.p.rows(); ++i) {
+      for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
+           k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        next.b[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])] +=
+            vals[static_cast<std::size_t>(k)] *
+            level.r[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  std::fill(next.x.begin(), next.x.end(), 0.0);
+  cycle(l + 1);
+  // Correct: x += P e.
+  {
+    const auto row_ptr = level.p.row_ptr();
+    const auto cols = level.p.col_idx();
+    const auto vals = level.p.val();
+    for (index_t i = 0; i < level.p.rows(); ++i) {
+      double sum = 0.0;
+      for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
+           k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        sum += vals[static_cast<std::size_t>(k)] *
+               next.x[static_cast<std::size_t>(
+                   cols[static_cast<std::size_t>(k)])];
+      }
+      level.x[static_cast<std::size_t>(i)] += sum;
+    }
+  }
+
+  smooth(level, level.b, level.x, options_.post_smooth);
+}
+
+void AmgHierarchy::v_cycle(std::span<const double> b, std::span<double> x) {
+  AmgLevel& top = levels_.front();
+  if (b.size() != top.b.size() || x.size() != top.x.size()) {
+    throw std::invalid_argument("AmgHierarchy::v_cycle: size mismatch");
+  }
+  std::copy(b.begin(), b.end(), top.b.begin());
+  std::copy(x.begin(), x.end(), top.x.begin());
+  cycle(0);
+  std::copy(top.x.begin(), top.x.end(), x.begin());
+}
+
+int AmgHierarchy::solve(std::span<const double> b, std::span<double> x,
+                        double tolerance, int max_cycles) {
+  AmgLevel& top = levels_.front();
+  double b_norm = 0.0;
+  for (const double v : b) b_norm += v * v;
+  b_norm = std::sqrt(b_norm);
+  const double threshold = tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+  for (int cycle_count = 1; cycle_count <= max_cycles; ++cycle_count) {
+    v_cycle(b, x);
+    sparse::spmv(top.a, x, top.r);
+    double r_norm = 0.0;
+    for (std::size_t i = 0; i < top.r.size(); ++i) {
+      const double r = b[i] - top.r[i];
+      r_norm += r * r;
+    }
+    if (std::sqrt(r_norm) <= threshold) return cycle_count;
+  }
+  return max_cycles;
+}
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,90 @@
+// Aggregation-based algebraic multigrid — a small sibling of the sAMG
+// code (Stueben et al., refs. [14], [15]) whose Poisson matrix is the
+// paper's second test case. Used standalone (V-cycles) or as a
+// preconditioner for CG; the fine-level work is spMVM-shaped, which is
+// exactly why the paper's kernel matters to this method family.
+//
+// Construction: strength-of-connection graph (|a_ij| >
+// theta * sqrt(a_ii a_jj)), greedy aggregation, smoothed-aggregation
+// prolongation (Vanek: P = (I - omega D^-1 A) P_tent; the tentative
+// piecewise-constant P alone does not yield a contracting V-cycle),
+// Galerkin coarse operators (P^T A P), weighted-Jacobi smoothing, dense
+// solve on the coarsest level.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::solvers {
+
+struct AmgOptions {
+  double strength_threshold = 0.08;  ///< theta on the finest level
+  /// Per-level decay of theta: Galerkin coarse operators are denser with
+  /// relatively weaker couplings, so the threshold must relax with depth
+  /// or coarsening stagnates.
+  double strength_decay = 0.5;
+  int pre_smooth = 2;
+  int post_smooth = 2;
+  double jacobi_weight = 2.0 / 3.0;
+  /// Smooth the tentative prolongation (smoothed aggregation). Disable to
+  /// get plain (non-contracting standalone, but PCG-usable) aggregation.
+  bool smoothed_aggregation = true;
+  double prolongation_weight = 2.0 / 3.0;
+  int max_levels = 20;
+  int coarse_size = 64;  ///< switch to the dense direct solve below this
+  /// Stop coarsening when a level shrinks by less than this factor
+  /// (guards against stagnating aggregation).
+  double min_coarsening_ratio = 0.9;
+};
+
+struct AmgLevel {
+  sparse::CsrMatrix a;
+  sparse::CsrMatrix p;            ///< prolongation to this level's fine side
+  std::vector<double> inv_diag;   ///< 1 / a_ii for the Jacobi smoother
+  // Work vectors (sized once).
+  std::vector<double> x, b, r;
+};
+
+class AmgHierarchy {
+ public:
+  /// Build from a symmetric positive-(semi)definite matrix. Throws
+  /// std::invalid_argument for non-square input or zero diagonals.
+  AmgHierarchy(const sparse::CsrMatrix& a, const AmgOptions& options = {});
+
+  [[nodiscard]] int levels() const { return static_cast<int>(levels_.size()); }
+  [[nodiscard]] const AmgLevel& level(int l) const {
+    return levels_[static_cast<std::size_t>(l)];
+  }
+  /// Total stored nonzeros across levels / fine-level nonzeros — the
+  /// grid + operator complexity measure of AMG practice.
+  [[nodiscard]] double operator_complexity() const;
+
+  /// One V-cycle for A x = b, improving `x` in place.
+  void v_cycle(std::span<const double> b, std::span<double> x);
+
+  /// Run V-cycles until ||r|| / ||b|| <= tolerance. Returns cycles used
+  /// (<= max_cycles).
+  int solve(std::span<const double> b, std::span<double> x,
+            double tolerance = 1e-10, int max_cycles = 100);
+
+ private:
+  void cycle(std::size_t l);
+  void smooth(AmgLevel& level, std::span<const double> b,
+              std::span<double> x, int sweeps);
+
+  AmgOptions options_;
+  std::vector<AmgLevel> levels_;
+  // Dense Cholesky-ish factorization of the coarsest operator.
+  std::vector<double> coarse_dense_;
+  int coarse_n_ = 0;
+};
+
+/// Greedy aggregation of the strength graph; returns the aggregate id of
+/// every vertex (exposed for tests).
+std::vector<sparse::index_t> aggregate(const sparse::CsrMatrix& a,
+                                       double strength_threshold);
+
+}  // namespace hspmv::solvers

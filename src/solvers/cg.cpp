@@ -1,0 +1,129 @@
+#include "solvers/cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hspmv::solvers {
+
+using sparse::value_t;
+
+CgResult conjugate_gradient(const Operator& op,
+                            std::span<const value_t> b,
+                            std::span<value_t> x,
+                            const CgOptions& options) {
+  if (!op.apply || !op.dot) {
+    throw std::invalid_argument("cg: incomplete operator");
+  }
+  if (b.size() != op.local_size || x.size() != op.local_size) {
+    throw std::invalid_argument("cg: vector size mismatch");
+  }
+  const std::size_t n = op.local_size;
+  std::vector<value_t> r(n), p(n), ap(n);
+
+  // r = b - A x
+  op.apply(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  std::copy(r.begin(), r.end(), p.begin());
+
+  const double b_norm = std::sqrt(op.dot(b, b));
+  const double threshold =
+      options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  CgResult result;
+  double rr = op.dot(r, r);
+  result.residual_history.push_back(std::sqrt(rr));
+  for (int it = 0; it < options.max_iterations; ++it) {
+    if (std::sqrt(rr) <= threshold) {
+      result.converged = true;
+      break;
+    }
+    op.apply(p, ap);
+    const double p_ap = op.dot(p, ap);
+    if (p_ap <= 0.0) {
+      throw std::runtime_error(
+          "cg: operator is not positive definite (p'Ap <= 0)");
+    }
+    const double alpha = rr / p_ap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_next = op.dot(r, r);
+    const double beta = rr_next / rr;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = r[i] + beta * p[i];
+    }
+    rr = rr_next;
+    result.iterations = it + 1;
+    result.residual_history.push_back(std::sqrt(rr));
+  }
+  if (std::sqrt(rr) <= threshold) result.converged = true;
+  result.residual_norm = std::sqrt(rr);
+  result.relative_residual =
+      b_norm > 0.0 ? result.residual_norm / b_norm : result.residual_norm;
+  return result;
+}
+
+CgResult preconditioned_conjugate_gradient(
+    const Operator& op, const PreconditionerFn& preconditioner,
+    std::span<const value_t> b, std::span<value_t> x,
+    const CgOptions& options) {
+  if (!op.apply || !op.dot) {
+    throw std::invalid_argument("pcg: incomplete operator");
+  }
+  if (!preconditioner) {
+    return conjugate_gradient(op, b, x, options);
+  }
+  if (b.size() != op.local_size || x.size() != op.local_size) {
+    throw std::invalid_argument("pcg: vector size mismatch");
+  }
+  const std::size_t n = op.local_size;
+  std::vector<value_t> r(n), z(n), p(n), ap(n);
+
+  op.apply(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  preconditioner(r, z);
+  std::copy(z.begin(), z.end(), p.begin());
+
+  const double b_norm = std::sqrt(op.dot(b, b));
+  const double threshold =
+      options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  CgResult result;
+  double rz = op.dot(r, z);
+  double rr = op.dot(r, r);
+  result.residual_history.push_back(std::sqrt(rr));
+  for (int it = 0; it < options.max_iterations; ++it) {
+    if (std::sqrt(rr) <= threshold) {
+      result.converged = true;
+      break;
+    }
+    op.apply(p, ap);
+    const double p_ap = op.dot(p, ap);
+    if (p_ap <= 0.0) {
+      throw std::runtime_error("pcg: operator is not positive definite");
+    }
+    const double alpha = rz / p_ap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    preconditioner(r, z);
+    const double rz_next = op.dot(r, z);
+    const double beta = rz_next / rz;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = z[i] + beta * p[i];
+    }
+    rz = rz_next;
+    rr = op.dot(r, r);
+    result.iterations = it + 1;
+    result.residual_history.push_back(std::sqrt(rr));
+  }
+  if (std::sqrt(rr) <= threshold) result.converged = true;
+  result.residual_norm = std::sqrt(rr);
+  result.relative_residual =
+      b_norm > 0.0 ? result.residual_norm / b_norm : result.residual_norm;
+  return result;
+}
+
+}  // namespace hspmv::solvers

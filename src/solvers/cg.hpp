@@ -1,0 +1,46 @@
+// Conjugate gradients for symmetric positive-definite systems — the
+// solver family behind the paper's second application (the sAMG Poisson
+// problem; multigrid-preconditioned Krylov methods spend their time in
+// exactly this spMVM).
+#pragma once
+
+#include <vector>
+
+#include "solvers/operator.hpp"
+
+namespace hspmv::solvers {
+
+struct CgOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-10;  ///< on ||r|| / ||b||
+};
+
+struct CgResult {
+  int iterations = 0;
+  bool converged = false;
+  double residual_norm = 0.0;       ///< final ||r||
+  double relative_residual = 0.0;   ///< ||r|| / ||b||
+  std::vector<double> residual_history;
+};
+
+/// Solve A x = b; `x` holds the initial guess on entry and the solution
+/// on exit. Spans must have op.local_size elements.
+CgResult conjugate_gradient(const Operator& op,
+                            std::span<const sparse::value_t> b,
+                            std::span<sparse::value_t> x,
+                            const CgOptions& options = {});
+
+/// z = M^{-1} r — application of a preconditioner.
+using PreconditionerFn =
+    std::function<void(std::span<const sparse::value_t>,
+                       std::span<sparse::value_t>)>;
+
+/// Preconditioned CG: same contract as conjugate_gradient with an SPD
+/// preconditioner (e.g. an AMG V-cycle). Convergence is still tested on
+/// the true residual norm.
+CgResult preconditioned_conjugate_gradient(
+    const Operator& op, const PreconditionerFn& preconditioner,
+    std::span<const sparse::value_t> b, std::span<sparse::value_t> x,
+    const CgOptions& options = {});
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,208 @@
+#include "solvers/chebyshev.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace hspmv::solvers {
+
+using sparse::value_t;
+
+SpectralWindow SpectralWindow::from_bounds(double lo, double hi,
+                                           double epsilon) {
+  if (hi <= lo) {
+    throw std::invalid_argument("SpectralWindow: hi must exceed lo");
+  }
+  SpectralWindow window;
+  window.a = (hi - lo) / (2.0 - epsilon);
+  window.b = (hi + lo) / 2.0;
+  return window;
+}
+
+namespace {
+
+/// y = (A x - b x) / a — one application of the rescaled operator.
+void apply_scaled(const Operator& op, const SpectralWindow& window,
+                  std::span<const value_t> x, std::span<value_t> y) {
+  op.apply(x, y);
+  const double inv_a = 1.0 / window.a;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = (y[i] - window.b * x[i]) * inv_a;
+  }
+}
+
+}  // namespace
+
+std::vector<double> kpm_moments(const Operator& op,
+                                const SpectralWindow& window,
+                                const KpmOptions& options) {
+  if (!op.apply || !op.dot || op.local_size == 0) {
+    throw std::invalid_argument("kpm_moments: incomplete operator");
+  }
+  if (options.moments < 2 || options.random_vectors < 1) {
+    throw std::invalid_argument("kpm_moments: bad options");
+  }
+  const std::size_t n = op.local_size;
+  std::vector<double> moments(static_cast<std::size_t>(options.moments),
+                              0.0);
+  util::Xoshiro256 rng(options.seed);
+
+  std::vector<value_t> r(n), t0(n), t1(n), t2(n);
+  for (int vec = 0; vec < options.random_vectors; ++vec) {
+    // Rademacher vector: the standard stochastic trace estimator.
+    for (auto& x : r) x = rng.uniform() < 0.5 ? -1.0 : 1.0;
+    t0 = r;
+    apply_scaled(op, window, t0, t1);
+    moments[0] += op.dot(r, t0);
+    moments[1] += op.dot(r, t1);
+    for (int m = 2; m < options.moments; ++m) {
+      apply_scaled(op, window, t1, t2);
+      for (std::size_t i = 0; i < n; ++i) t2[i] = 2.0 * t2[i] - t0[i];
+      moments[static_cast<std::size_t>(m)] += op.dot(r, t2);
+      std::swap(t0, t1);
+      std::swap(t1, t2);
+    }
+  }
+  const double normalization =
+      static_cast<double>(options.random_vectors) * static_cast<double>(n);
+  for (auto& mu : moments) mu /= normalization;
+  return moments;
+}
+
+std::vector<double> jackson_kernel(int n_moments) {
+  if (n_moments < 1) {
+    throw std::invalid_argument("jackson_kernel: n_moments must be >= 1");
+  }
+  std::vector<double> g(static_cast<std::size_t>(n_moments));
+  const double big_n = n_moments + 1.0;
+  const double phase = std::numbers::pi / big_n;
+  for (int m = 0; m < n_moments; ++m) {
+    g[static_cast<std::size_t>(m)] =
+        ((big_n - m) * std::cos(m * phase) +
+         std::sin(m * phase) / std::tan(phase)) /
+        big_n;
+  }
+  return g;
+}
+
+std::vector<double> kpm_density(const std::vector<double>& moments,
+                                const SpectralWindow& window,
+                                const std::vector<double>& energies) {
+  if (moments.empty()) {
+    throw std::invalid_argument("kpm_density: no moments");
+  }
+  const auto g = jackson_kernel(static_cast<int>(moments.size()));
+  std::vector<double> density;
+  density.reserve(energies.size());
+  for (const double energy : energies) {
+    const double x = window.scale(energy);
+    if (x <= -1.0 || x >= 1.0) {
+      density.push_back(0.0);
+      continue;
+    }
+    // Clenshaw-free direct sum: T_n(x) via the cosine form.
+    const double theta = std::acos(x);
+    double sum = g[0] * moments[0];
+    for (std::size_t m = 1; m < moments.size(); ++m) {
+      sum += 2.0 * g[m] * moments[m] *
+             std::cos(static_cast<double>(m) * theta);
+    }
+    density.push_back(sum / (std::numbers::pi * std::sqrt(1.0 - x * x) *
+                             window.a));
+  }
+  return density;
+}
+
+int chebyshev_propagate(const Operator& op, const SpectralWindow& window,
+                        std::span<value_t> psi_real,
+                        std::span<value_t> psi_imag,
+                        const PropagationOptions& options) {
+  if (!op.apply || op.local_size == 0) {
+    throw std::invalid_argument("chebyshev_propagate: incomplete operator");
+  }
+  if (psi_real.size() != op.local_size ||
+      psi_imag.size() != op.local_size) {
+    throw std::invalid_argument("chebyshev_propagate: size mismatch");
+  }
+  const std::size_t n = op.local_size;
+  const double tau = window.a * options.time;  // rescaled time
+
+  // exp(-i H t) = e^{-i b t} sum_n c_n T_n(H~), c_n = (2 - d_n0) (-i)^n
+  // J_n(tau).
+  std::vector<value_t> t0_r(psi_real.begin(), psi_real.end());
+  std::vector<value_t> t0_i(psi_imag.begin(), psi_imag.end());
+  std::vector<value_t> t1_r(n), t1_i(n), t2_r(n), t2_i(n);
+  std::vector<value_t> out_r(n, 0.0), out_i(n, 0.0);
+
+  const auto accumulate = [&](int order, std::span<const value_t> vr,
+                              std::span<const value_t> vi) {
+    const double bessel = std::cyl_bessel_j(order, std::abs(tau));
+    double coefficient = (order == 0 ? 1.0 : 2.0) * bessel;
+    if (tau < 0.0 && (order % 2) == 1) coefficient = -coefficient;
+    // (-i)^order cycles 1, -i, -1, i.
+    switch (order % 4) {
+      case 0:
+        for (std::size_t i = 0; i < n; ++i) {
+          out_r[i] += coefficient * vr[i];
+          out_i[i] += coefficient * vi[i];
+        }
+        break;
+      case 1:
+        for (std::size_t i = 0; i < n; ++i) {
+          out_r[i] += coefficient * vi[i];
+          out_i[i] -= coefficient * vr[i];
+        }
+        break;
+      case 2:
+        for (std::size_t i = 0; i < n; ++i) {
+          out_r[i] -= coefficient * vr[i];
+          out_i[i] -= coefficient * vi[i];
+        }
+        break;
+      default:
+        for (std::size_t i = 0; i < n; ++i) {
+          out_r[i] -= coefficient * vi[i];
+          out_i[i] += coefficient * vr[i];
+        }
+        break;
+    }
+    return std::abs(bessel);
+  };
+
+  accumulate(0, t0_r, t0_i);
+  apply_scaled(op, window, t0_r, t1_r);
+  apply_scaled(op, window, t0_i, t1_i);
+  accumulate(1, t1_r, t1_i);
+  int terms = 2;
+  for (; terms < options.max_terms; ++terms) {
+    apply_scaled(op, window, t1_r, t2_r);
+    apply_scaled(op, window, t1_i, t2_i);
+    for (std::size_t i = 0; i < n; ++i) {
+      t2_r[i] = 2.0 * t2_r[i] - t0_r[i];
+      t2_i[i] = 2.0 * t2_i[i] - t0_i[i];
+    }
+    const double magnitude = accumulate(terms, t2_r, t2_i);
+    std::swap(t0_r, t1_r);
+    std::swap(t1_r, t2_r);
+    std::swap(t0_i, t1_i);
+    std::swap(t1_i, t2_i);
+    if (magnitude < options.tolerance &&
+        static_cast<double>(terms) > std::abs(tau)) {
+      ++terms;
+      break;
+    }
+  }
+
+  // Global phase e^{-i b t}.
+  const double phase = -window.b * options.time;
+  const double c = std::cos(phase), s = std::sin(phase);
+  for (std::size_t i = 0; i < n; ++i) {
+    psi_real[i] = c * out_r[i] - s * out_i[i];
+    psi_imag[i] = s * out_r[i] + c * out_i[i];
+  }
+  return terms;
+}
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,64 @@
+// Chebyshev-expansion methods on top of spMVM: kernel-polynomial-method
+// (KPM) moments for spectral densities and Chebyshev time propagation —
+// the "more recent methods based on polynomial expansion" of
+// Sect. 1.3.1 (refs. [10], [11]). Both are spMVM-dominated, which is why
+// the paper's kernel matters to them.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "solvers/operator.hpp"
+
+namespace hspmv::solvers {
+
+/// Affine spectral rescaling x -> (x - b) / a mapping [lo, hi] into
+/// (-1, 1) with a safety margin epsilon.
+struct SpectralWindow {
+  double a = 1.0;
+  double b = 0.0;
+
+  static SpectralWindow from_bounds(double lo, double hi,
+                                    double epsilon = 0.01);
+  [[nodiscard]] double scale(double x) const { return (x - b) / a; }
+  [[nodiscard]] double unscale(double x) const { return a * x + b; }
+};
+
+struct KpmOptions {
+  int moments = 128;
+  int random_vectors = 4;  ///< stochastic trace estimation
+  std::uint64_t seed = 7;
+};
+
+/// Chebyshev moments mu_n = Tr T_n(H~) estimated with random vectors,
+/// H~ the operator rescaled by `window`. Moments are normalized per site
+/// (divided by the dimension).
+std::vector<double> kpm_moments(const Operator& op,
+                                const SpectralWindow& window,
+                                const KpmOptions& options = {});
+
+/// Jackson-kernel damping factors g_n for `n_moments` moments.
+std::vector<double> jackson_kernel(int n_moments);
+
+/// Reconstruct the density of states at `points` energies in the
+/// *unscaled* spectrum from KPM moments (Jackson-damped series).
+std::vector<double> kpm_density(const std::vector<double>& moments,
+                                const SpectralWindow& window,
+                                const std::vector<double>& energies);
+
+struct PropagationOptions {
+  double time = 1.0;       ///< evolve by exp(-i H t)
+  int max_terms = 256;     ///< expansion order cap
+  double tolerance = 1e-12;  ///< Bessel-coefficient truncation
+};
+
+/// Chebyshev time evolution: psi(t) = exp(-i H t) psi(0) for a symmetric
+/// H rescaled by `window`. Complex state as separate real/imag arrays.
+/// Returns the number of expansion terms used.
+int chebyshev_propagate(const Operator& op, const SpectralWindow& window,
+                        std::span<sparse::value_t> psi_real,
+                        std::span<sparse::value_t> psi_imag,
+                        const PropagationOptions& options = {});
+
+}  // namespace hspmv::solvers

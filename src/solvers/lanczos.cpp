@@ -1,0 +1,80 @@
+#include "solvers/lanczos.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "solvers/tridiag.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::solvers {
+
+using sparse::value_t;
+
+LanczosResult lanczos(const Operator& op, const LanczosOptions& options) {
+  if (!op.apply || !op.dot || op.local_size == 0) {
+    throw std::invalid_argument("lanczos: incomplete operator");
+  }
+  if (options.max_iterations < 1) {
+    throw std::invalid_argument("lanczos: max_iterations must be >= 1");
+  }
+  const std::size_t n = op.local_size;
+
+  std::vector<value_t> v(n);       // current Lanczos vector
+  std::vector<value_t> v_prev(n, 0.0);
+  std::vector<value_t> w(n);
+  std::vector<std::vector<value_t>> basis;  // for reorthogonalization
+
+  // Deterministic random start, normalized with the *global* dot so every
+  // rank of a distributed run produces consistent local slices only if
+  // the caller seeds identically per slice; sequential use is trivial.
+  util::Xoshiro256 rng(options.seed);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  const value_t norm = std::sqrt(op.dot(v, v));
+  if (norm == 0.0) throw std::runtime_error("lanczos: zero start vector");
+  sparse::scale(1.0 / norm, v);
+
+  LanczosResult result;
+  double previous_lowest = 0.0;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    if (options.full_reorthogonalization) basis.push_back(v);
+    op.apply(v, w);
+    const double a = op.dot(w, v);
+    result.alpha.push_back(a);
+    // w -= a v + b_prev v_prev
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] -= a * v[i];
+      if (it > 0) w[i] -= result.beta.back() * v_prev[i];
+    }
+    if (options.full_reorthogonalization) {
+      for (const auto& q : basis) {
+        const double projection = op.dot(w, q);
+        for (std::size_t i = 0; i < n; ++i) w[i] -= projection * q[i];
+      }
+    }
+    const double b = std::sqrt(op.dot(w, w));
+
+    result.ritz_values =
+        tridiagonal_eigenvalues(result.alpha, result.beta);
+    result.iterations = it + 1;
+    const double lowest = result.ritz_values.front();
+    if (it > 0 && std::abs(lowest - previous_lowest) <
+                      options.tolerance *
+                          (1.0 + std::abs(lowest))) {
+      result.converged = true;
+      return result;
+    }
+    previous_lowest = lowest;
+
+    if (b < 1e-14) {
+      // Invariant subspace found: the Ritz values are exact.
+      result.converged = true;
+      return result;
+    }
+    result.beta.push_back(b);
+    v_prev = v;
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / b;
+  }
+  return result;
+}
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,42 @@
+// Lanczos iteration for extremal eigenvalues of a symmetric operator —
+// the workhorse of the exact-diagonalization application whose spMVM the
+// paper optimizes ("Iterative algorithms such as Lanczos ... are used to
+// compute low-lying eigenstates of the Hamilton matrices", Sect. 1.3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "solvers/operator.hpp"
+
+namespace hspmv::solvers {
+
+struct LanczosOptions {
+  int max_iterations = 200;
+  /// Convergence test on the change of the lowest Ritz value between
+  /// consecutive iterations.
+  double tolerance = 1e-10;
+  std::uint64_t seed = 1;  ///< deterministic random start vector
+  /// Re-orthogonalize each new Lanczos vector against the full basis
+  /// (costly in memory but robust against ghost eigenvalues).
+  bool full_reorthogonalization = false;
+};
+
+struct LanczosResult {
+  /// Ritz values of the final tridiagonal matrix, ascending.
+  std::vector<double> ritz_values;
+  int iterations = 0;
+  bool converged = false;
+  /// Lanczos recurrence coefficients (for diagnostics / KPM reuse).
+  std::vector<double> alpha;
+  std::vector<double> beta;
+
+  [[nodiscard]] double smallest() const { return ritz_values.front(); }
+  [[nodiscard]] double largest() const { return ritz_values.back(); }
+};
+
+/// Run Lanczos on `op`. The operator must be symmetric; no check is
+/// performed (the Ritz values are meaningless otherwise).
+LanczosResult lanczos(const Operator& op, const LanczosOptions& options = {});
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,22 @@
+#include "solvers/operator.hpp"
+
+#include <stdexcept>
+
+namespace hspmv::solvers {
+
+Operator make_operator(const sparse::CsrMatrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("make_operator: matrix must be square");
+  }
+  Operator op;
+  op.local_size = static_cast<std::size_t>(a.rows());
+  op.apply = [&a](std::span<const sparse::value_t> x,
+                  std::span<sparse::value_t> y) { sparse::spmv(a, x, y); };
+  op.dot = [](std::span<const sparse::value_t> x,
+              std::span<const sparse::value_t> y) {
+    return sparse::dot(x, y);
+  };
+  return op;
+}
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,39 @@
+// Abstract operator/reduction interfaces for the iterative solvers.
+//
+// Solvers only need y = A x and global dot products; supplying them as
+// callables lets the same Lanczos/CG/Chebyshev code run on a sequential
+// CsrMatrix or on a DistMatrix + SpmvEngine (where the dot product hides
+// an allreduce). This mirrors how the paper's applications (Lanczos,
+// Jacobi-Davidson, KPM, Chebyshev time evolution — Sect. 1.3.1) consume
+// the spMVM kernel.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace hspmv::solvers {
+
+/// y = A x over local spans.
+using ApplyFn =
+    std::function<void(std::span<const sparse::value_t>,
+                       std::span<sparse::value_t>)>;
+
+/// Global dot product over the distributed vector (plain dot for the
+/// sequential case).
+using DotFn = std::function<sparse::value_t(
+    std::span<const sparse::value_t>, std::span<const sparse::value_t>)>;
+
+struct Operator {
+  ApplyFn apply;
+  DotFn dot;
+  std::size_t local_size = 0;
+};
+
+/// Wrap a sequential CSR matrix (must be square).
+Operator make_operator(const sparse::CsrMatrix& a);
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,70 @@
+#include "solvers/tridiag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hspmv::solvers {
+
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> alpha,
+                                            std::vector<double> beta) {
+  const auto n = alpha.size();
+  if (n == 0) return {};
+  if (beta.size() + 1 != n) {
+    throw std::invalid_argument("tridiagonal_eigenvalues: beta size");
+  }
+  // Work arrays: d = diagonal (becomes eigenvalues), e = subdiagonal
+  // shifted so e[i] couples d[i] and d[i+1]; e[n-1] = 0.
+  std::vector<double>& d = alpha;
+  std::vector<double> e(n, 0.0);
+  std::copy(beta.begin(), beta.end(), e.begin());
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    while (true) {
+      // Find a small off-diagonal element (split point).
+      std::size_t m = l;
+      for (; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m == l) break;
+      if (++iterations > 50) {
+        throw std::runtime_error("tridiagonal_eigenvalues: no convergence");
+      }
+      // Implicit shift from the trailing 2x2.
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      for (std::size_t i = m; i-- > l;) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          d[i + 1] -= p;
+          e[m] = 0.0;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+      }
+      if (r == 0.0 && m > l + 1) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    }
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,16 @@
+// Eigenvalues of a symmetric tridiagonal matrix — the reduction target of
+// the Lanczos process. Implicit-shift QL iteration (the classical `tql1`
+// algorithm), eigenvalues only.
+#pragma once
+
+#include <vector>
+
+namespace hspmv::solvers {
+
+/// Eigenvalues (ascending) of the symmetric tridiagonal matrix with
+/// diagonal `alpha` (size n) and off-diagonal `beta` (size n-1). Throws
+/// std::runtime_error if the QL iteration fails to converge.
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> alpha,
+                                            std::vector<double> beta);
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,93 @@
+#include "sparse/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace hspmv::sparse {
+namespace {
+
+constexpr char kMagic[8] = {'H', 'S', 'P', 'M', 'V', 'C', 'S', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_raw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void write_array(std::ostream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+T read_raw(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("binary_io: truncated stream");
+  return value;
+}
+
+template <typename T>
+void read_array(std::istream& in, T* data, std::size_t count) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("binary_io: truncated stream");
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const CsrMatrix& a) {
+  out.write(kMagic, sizeof(kMagic));
+  write_raw(out, kVersion);
+  write_raw(out, a.rows());
+  write_raw(out, a.cols());
+  write_raw(out, a.nnz());
+  write_array(out, a.row_ptr().data(), a.row_ptr().size());
+  write_array(out, a.col_idx().data(), a.col_idx().size());
+  write_array(out, a.val().data(), a.val().size());
+  if (!out) throw std::runtime_error("binary_io: write failed");
+}
+
+void write_binary_file(const std::string& path, const CsrMatrix& a) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("binary_io: cannot open " + path);
+  write_binary(out, a);
+}
+
+CsrMatrix read_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("binary_io: bad magic");
+  }
+  const auto version = read_raw<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("binary_io: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto rows = read_raw<index_t>(in);
+  const auto cols = read_raw<index_t>(in);
+  const auto nnz = read_raw<offset_t>(in);
+  if (rows < 0 || cols < 0 || nnz < 0) {
+    throw std::invalid_argument("binary_io: negative dimensions");
+  }
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows) + 1);
+  read_array(in, row_ptr.data(), row_ptr.size());
+  util::AlignedVector<index_t> col_idx(static_cast<std::size_t>(nnz));
+  read_array(in, col_idx.data(), col_idx.size());
+  util::AlignedVector<value_t> val(static_cast<std::size_t>(nnz));
+  read_array(in, val.data(), val.size());
+  // The CsrMatrix constructor revalidates all invariants.
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(val));
+}
+
+CsrMatrix read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("binary_io: cannot open " + path);
+  return read_binary(in);
+}
+
+}  // namespace hspmv::sparse

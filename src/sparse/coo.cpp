@@ -1,0 +1,44 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hspmv::sparse {
+
+void CooBuilder::add(index_t row, index_t col, value_t value) {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+    throw std::out_of_range("CooBuilder::add: index out of range");
+  }
+  entries_.push_back(Triplet{row, col, value});
+}
+
+void CooBuilder::add_symmetric(index_t row, index_t col, value_t value) {
+  add(row, col, value);
+  if (row != col) add(col, row, value);
+}
+
+std::vector<Triplet> CooBuilder::finish(bool drop_zeros) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  std::vector<Triplet> merged;
+  merged.reserve(entries_.size());
+  for (const Triplet& t : entries_) {
+    if (!merged.empty() && merged.back().row == t.row &&
+        merged.back().col == t.col) {
+      merged.back().value += t.value;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  if (drop_zeros) {
+    std::erase_if(merged, [](const Triplet& t) { return t.value == 0.0; });
+  }
+  entries_.clear();
+  entries_.shrink_to_fit();
+  return merged;
+}
+
+}  // namespace hspmv::sparse

@@ -1,0 +1,51 @@
+// Coordinate-format builder for assembling sparse matrices.
+//
+// Generators append (row, col, value) triplets in arbitrary order; finish()
+// sorts them row-major, merges duplicates by summation (the usual FEM
+// assembly semantics) and hands back a compact triplet list ready for CSR
+// conversion.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace hspmv::sparse {
+
+struct Triplet {
+  index_t row;
+  index_t col;
+  value_t value;
+};
+
+class CooBuilder {
+ public:
+  CooBuilder(index_t rows, index_t cols) : rows_(rows), cols_(cols) {}
+
+  /// Append one entry. Out-of-range indices throw std::out_of_range.
+  void add(index_t row, index_t col, value_t value);
+
+  /// Append value to (row, col) and mirror it to (col, row) when
+  /// off-diagonal — convenience for symmetric operators.
+  void add_symmetric(index_t row, index_t col, value_t value);
+
+  /// Sort row-major, merge duplicates by summation, drop explicit zeros
+  /// when `drop_zeros` is set. Returns the triplets by move; the builder is
+  /// empty afterwards.
+  std::vector<Triplet> finish(bool drop_zeros = false);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+  /// Reserve capacity for the expected number of entries.
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace hspmv::sparse

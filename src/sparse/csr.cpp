@@ -1,0 +1,203 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hspmv::sparse {
+
+CsrMatrix::CsrMatrix(index_t rows, index_t cols,
+                     const std::vector<Triplet>& triplets)
+    : rows_(rows), cols_(cols) {
+  if (rows < 0 || cols < 0) {
+    throw std::invalid_argument("CsrMatrix: negative dimensions");
+  }
+  row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  col_idx_.resize(triplets.size());
+  val_.resize(triplets.size());
+  index_t prev_row = -1;
+  index_t prev_col = -1;
+  for (std::size_t k = 0; k < triplets.size(); ++k) {
+    const Triplet& t = triplets[k];
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      throw std::invalid_argument("CsrMatrix: triplet index out of range");
+    }
+    if (t.row < prev_row || (t.row == prev_row && t.col <= prev_col)) {
+      throw std::invalid_argument(
+          "CsrMatrix: triplets must be row-major sorted with unique (row, "
+          "col)");
+    }
+    prev_row = t.row;
+    prev_col = t.col;
+    ++row_ptr_[static_cast<std::size_t>(t.row) + 1];
+    col_idx_[k] = t.col;
+    val_[k] = t.value;
+  }
+  for (std::size_t i = 1; i < row_ptr_.size(); ++i) {
+    row_ptr_[i] += row_ptr_[i - 1];
+  }
+}
+
+CsrMatrix::CsrMatrix(index_t rows, index_t cols, std::vector<offset_t> row_ptr,
+                     util::AlignedVector<index_t> col_idx,
+                     util::AlignedVector<value_t> val)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      val_(std::move(val)) {
+  validate();
+}
+
+void CsrMatrix::validate() const {
+  if (rows_ < 0 || cols_ < 0) {
+    throw std::invalid_argument("CsrMatrix: negative dimensions");
+  }
+  if (row_ptr_.size() != static_cast<std::size_t>(rows_) + 1) {
+    throw std::invalid_argument("CsrMatrix: row_ptr size != rows + 1");
+  }
+  if (row_ptr_.front() != 0) {
+    throw std::invalid_argument("CsrMatrix: row_ptr[0] != 0");
+  }
+  for (std::size_t i = 1; i < row_ptr_.size(); ++i) {
+    if (row_ptr_[i] < row_ptr_[i - 1]) {
+      throw std::invalid_argument("CsrMatrix: row_ptr not nondecreasing");
+    }
+  }
+  if (static_cast<offset_t>(col_idx_.size()) != row_ptr_.back() ||
+      col_idx_.size() != val_.size()) {
+    throw std::invalid_argument("CsrMatrix: array sizes inconsistent");
+  }
+  for (index_t c : col_idx_) {
+    if (c < 0 || c >= cols_) {
+      throw std::invalid_argument("CsrMatrix: column index out of range");
+    }
+  }
+}
+
+std::pair<std::span<const index_t>, std::span<const value_t>> CsrMatrix::row(
+    index_t i) const {
+  if (i < 0 || i >= rows_) throw std::out_of_range("CsrMatrix::row");
+  const auto begin = static_cast<std::size_t>(row_ptr_[i]);
+  const auto length =
+      static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i) + 1]) -
+      begin;
+  return {std::span<const index_t>(col_idx_).subspan(begin, length),
+          std::span<const value_t>(val_).subspan(begin, length)};
+}
+
+value_t CsrMatrix::at(index_t row_index, index_t col_index) const {
+  const auto [cols, vals] = row(row_index);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), col_index);
+  if (it == cols.end() || *it != col_index) return 0.0;
+  return vals[static_cast<std::size_t>(it - cols.begin())];
+}
+
+CsrMatrix CsrMatrix::row_block(index_t row_begin, index_t row_end) const {
+  if (row_begin < 0 || row_end < row_begin || row_end > rows_) {
+    throw std::out_of_range("CsrMatrix::row_block");
+  }
+  const offset_t first = row_ptr_[static_cast<std::size_t>(row_begin)];
+  const offset_t last = row_ptr_[static_cast<std::size_t>(row_end)];
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(row_end - row_begin) +
+                                1);
+  for (index_t i = row_begin; i <= row_end; ++i) {
+    row_ptr[static_cast<std::size_t>(i - row_begin)] =
+        row_ptr_[static_cast<std::size_t>(i)] - first;
+  }
+  util::AlignedVector<index_t> col_idx(
+      col_idx_.begin() + static_cast<std::ptrdiff_t>(first),
+      col_idx_.begin() + static_cast<std::ptrdiff_t>(last));
+  util::AlignedVector<value_t> val(
+      val_.begin() + static_cast<std::ptrdiff_t>(first),
+      val_.begin() + static_cast<std::ptrdiff_t>(last));
+  return CsrMatrix(row_end - row_begin, cols_, std::move(row_ptr),
+                   std::move(col_idx), std::move(val));
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(cols_) + 1, 0);
+  for (index_t c : col_idx_) {
+    ++row_ptr[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t i = 1; i < row_ptr.size(); ++i) {
+    row_ptr[i] += row_ptr[i - 1];
+  }
+  util::AlignedVector<index_t> col_idx(col_idx_.size());
+  util::AlignedVector<value_t> val(val_.size());
+  std::vector<offset_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (offset_t k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t c = col_idx_[static_cast<std::size_t>(k)];
+      const offset_t dst = cursor[static_cast<std::size_t>(c)]++;
+      col_idx[static_cast<std::size_t>(dst)] = i;
+      val[static_cast<std::size_t>(dst)] = val_[static_cast<std::size_t>(k)];
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(row_ptr), std::move(col_idx),
+                   std::move(val));
+}
+
+bool CsrMatrix::is_structurally_symmetric() const {
+  if (rows_ != cols_) return false;
+  const CsrMatrix t = transpose();
+  if (t.nnz() != nnz()) return false;
+  return std::equal(row_ptr_.begin(), row_ptr_.end(), t.row_ptr_.begin()) &&
+         std::equal(col_idx_.begin(), col_idx_.end(), t.col_idx_.begin());
+}
+
+CsrMatrix CsrMatrix::permute_symmetric(std::span<const index_t> new_of) const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("permute_symmetric: matrix must be square");
+  }
+  if (new_of.size() != static_cast<std::size_t>(rows_)) {
+    throw std::invalid_argument("permute_symmetric: permutation size");
+  }
+  // old_of[new] = old — the inverse permutation, used to fill rows of the
+  // permuted matrix in order.
+  std::vector<index_t> old_of(new_of.size(), -1);
+  for (std::size_t old_index = 0; old_index < new_of.size(); ++old_index) {
+    const index_t n = new_of[old_index];
+    if (n < 0 || n >= rows_ || old_of[static_cast<std::size_t>(n)] != -1) {
+      throw std::invalid_argument("permute_symmetric: not a permutation");
+    }
+    old_of[static_cast<std::size_t>(n)] = static_cast<index_t>(old_index);
+  }
+
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  for (index_t new_row = 0; new_row < rows_; ++new_row) {
+    const index_t old_row = old_of[static_cast<std::size_t>(new_row)];
+    row_ptr[static_cast<std::size_t>(new_row) + 1] =
+        row_ptr_[static_cast<std::size_t>(old_row) + 1] -
+        row_ptr_[static_cast<std::size_t>(old_row)];
+  }
+  for (std::size_t i = 1; i < row_ptr.size(); ++i) {
+    row_ptr[i] += row_ptr[i - 1];
+  }
+
+  util::AlignedVector<index_t> col_idx(col_idx_.size());
+  util::AlignedVector<value_t> val(val_.size());
+  std::vector<std::pair<index_t, value_t>> scratch;
+  for (index_t new_row = 0; new_row < rows_; ++new_row) {
+    const index_t old_row = old_of[static_cast<std::size_t>(new_row)];
+    scratch.clear();
+    for (offset_t k = row_ptr_[static_cast<std::size_t>(old_row)];
+         k < row_ptr_[static_cast<std::size_t>(old_row) + 1]; ++k) {
+      scratch.emplace_back(
+          new_of[static_cast<std::size_t>(
+              col_idx_[static_cast<std::size_t>(k)])],
+          val_[static_cast<std::size_t>(k)]);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    offset_t dst = row_ptr[static_cast<std::size_t>(new_row)];
+    for (const auto& [c, v] : scratch) {
+      col_idx[static_cast<std::size_t>(dst)] = c;
+      val[static_cast<std::size_t>(dst)] = v;
+      ++dst;
+    }
+  }
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(val));
+}
+
+}  // namespace hspmv::sparse

@@ -1,0 +1,95 @@
+// Compressed Row Storage (CRS/CSR) matrix.
+//
+// The storage layout follows the paper exactly (Sect. 1.2): all nonzeros in
+// one contiguous `val` array row by row, per-row starting offsets in
+// `row_ptr`, and the original column index of each entry in `col_idx`
+// (4-byte indices — part of the traffic model).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/types.hpp"
+#include "util/aligned.hpp"
+
+namespace hspmv::sparse {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from a triplet list. Triplets must be sorted row-major with
+  /// unique (row, col) pairs — exactly what CooBuilder::finish() returns;
+  /// violations throw std::invalid_argument.
+  CsrMatrix(index_t rows, index_t cols, const std::vector<Triplet>& triplets);
+
+  /// Build from raw CSR arrays (validated).
+  CsrMatrix(index_t rows, index_t cols, std::vector<offset_t> row_ptr,
+            util::AlignedVector<index_t> col_idx,
+            util::AlignedVector<value_t> val);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] offset_t nnz() const noexcept {
+    return row_ptr_.empty() ? 0 : row_ptr_.back();
+  }
+  /// Average nonzeros per row — the paper's Nnzr.
+  [[nodiscard]] double nnz_per_row() const noexcept {
+    return rows_ == 0 ? 0.0
+                      : static_cast<double>(nnz()) / static_cast<double>(rows_);
+  }
+
+  [[nodiscard]] std::span<const offset_t> row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] std::span<const index_t> col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] std::span<const value_t> val() const noexcept { return val_; }
+  [[nodiscard]] std::span<value_t> val_mutable() noexcept { return val_; }
+  [[nodiscard]] std::span<index_t> col_idx_mutable() noexcept {
+    return col_idx_;
+  }
+
+  /// Entries of row i as (col_idx, val) spans.
+  [[nodiscard]] std::pair<std::span<const index_t>, std::span<const value_t>>
+  row(index_t i) const;
+
+  /// Value at (row, col); 0 when the position holds no stored entry.
+  [[nodiscard]] value_t at(index_t row, index_t col) const;
+
+  /// Extract the sub-matrix of a contiguous row range [row_begin, row_end)
+  /// keeping global column indices — the building block for distribution.
+  [[nodiscard]] CsrMatrix row_block(index_t row_begin, index_t row_end) const;
+
+  /// Transpose (also the adjacency reversal used by RCM on structurally
+  /// nonsymmetric inputs).
+  [[nodiscard]] CsrMatrix transpose() const;
+
+  /// Structural symmetry check: pattern(A) == pattern(A^T).
+  [[nodiscard]] bool is_structurally_symmetric() const;
+
+  /// Heap bytes consumed by the three arrays (the traffic model's V_mat).
+  [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    return row_ptr_.size() * sizeof(offset_t) +
+           col_idx_.size() * sizeof(index_t) + val_.size() * sizeof(value_t);
+  }
+
+  /// Apply a symmetric permutation: B = P A P^T with
+  /// B(new_of[i], new_of[j]) = A(i, j). `new_of[old] = new`.
+  [[nodiscard]] CsrMatrix permute_symmetric(
+      std::span<const index_t> new_of) const;
+
+ private:
+  void validate() const;
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<offset_t> row_ptr_;
+  util::AlignedVector<index_t> col_idx_;
+  util::AlignedVector<value_t> val_;
+};
+
+}  // namespace hspmv::sparse

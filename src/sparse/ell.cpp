@@ -1,0 +1,167 @@
+#include "sparse/ell.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace hspmv::sparse {
+
+EllMatrix EllMatrix::from_csr(const CsrMatrix& a) {
+  EllMatrix m;
+  m.rows_ = a.rows();
+  m.cols_ = a.cols();
+  m.nnz_ = a.nnz();
+  const auto row_ptr = a.row_ptr();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    m.width_ = std::max<index_t>(
+        m.width_, static_cast<index_t>(
+                      row_ptr[static_cast<std::size_t>(i) + 1] -
+                      row_ptr[static_cast<std::size_t>(i)]));
+  }
+  const auto slots = static_cast<std::size_t>(m.rows_) *
+                     static_cast<std::size_t>(m.width_);
+  // Padding: value 0 with a valid (clamped) column keeps the kernel
+  // branch-free and in-bounds.
+  m.col_.assign(slots, 0);
+  m.val_.assign(slots, 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto [cols, vals] = a.row(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const std::size_t slot = j * static_cast<std::size_t>(m.rows_) +
+                               static_cast<std::size_t>(i);
+      m.col_[slot] = cols[j];
+      m.val_[slot] = vals[j];
+    }
+  }
+  return m;
+}
+
+double EllMatrix::padding_ratio() const {
+  if (nnz_ == 0) return 1.0;
+  return static_cast<double>(rows_) * static_cast<double>(width_) /
+         static_cast<double>(nnz_);
+}
+
+void EllMatrix::spmv(std::span<const value_t> x,
+                     std::span<value_t> y) const {
+  if (x.size() < static_cast<std::size_t>(cols_) ||
+      y.size() < static_cast<std::size_t>(rows_)) {
+    throw std::invalid_argument("EllMatrix::spmv: vector size mismatch");
+  }
+  for (index_t i = 0; i < rows_; ++i) y[static_cast<std::size_t>(i)] = 0.0;
+  for (index_t j = 0; j < width_; ++j) {
+    const std::size_t base = static_cast<std::size_t>(j) *
+                             static_cast<std::size_t>(rows_);
+    for (index_t i = 0; i < rows_; ++i) {
+      y[static_cast<std::size_t>(i)] +=
+          val_[base + static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(
+              col_[base + static_cast<std::size_t>(i)])];
+    }
+  }
+}
+
+SellMatrix SellMatrix::from_csr(const CsrMatrix& a, int chunk, int sigma) {
+  if (chunk < 1) {
+    throw std::invalid_argument("SellMatrix: chunk must be >= 1");
+  }
+  if (sigma < 1) {
+    throw std::invalid_argument("SellMatrix: sigma must be >= 1");
+  }
+  SellMatrix m;
+  m.rows_ = a.rows();
+  m.cols_ = a.cols();
+  m.chunk_ = chunk;
+  m.nnz_ = a.nnz();
+
+  const auto row_ptr = a.row_ptr();
+  const auto length = [&](index_t row) {
+    return static_cast<index_t>(row_ptr[static_cast<std::size_t>(row) + 1] -
+                                row_ptr[static_cast<std::size_t>(row)]);
+  };
+
+  // Sort rows by descending length within sigma windows.
+  m.permutation_.resize(static_cast<std::size_t>(a.rows()));
+  std::iota(m.permutation_.begin(), m.permutation_.end(), 0);
+  for (index_t window = 0; window < a.rows();
+       window += static_cast<index_t>(sigma)) {
+    const auto begin = m.permutation_.begin() + window;
+    const auto end = m.permutation_.begin() +
+                     std::min<std::int64_t>(a.rows(),
+                                            static_cast<std::int64_t>(window) +
+                                                sigma);
+    std::stable_sort(begin, end, [&](index_t x, index_t y) {
+      return length(x) > length(y);
+    });
+  }
+
+  const index_t chunk_count =
+      (a.rows() + static_cast<index_t>(chunk) - 1) /
+      static_cast<index_t>(chunk);
+  m.chunk_offsets_.reserve(static_cast<std::size_t>(chunk_count) + 1);
+  m.chunk_offsets_.push_back(0);
+  m.chunk_widths_.reserve(static_cast<std::size_t>(chunk_count));
+  for (index_t c = 0; c < chunk_count; ++c) {
+    const index_t base = c * static_cast<index_t>(chunk);
+    index_t width = 0;
+    for (int r = 0; r < chunk && base + r < a.rows(); ++r) {
+      width = std::max(
+          width, length(m.permutation_[static_cast<std::size_t>(base + r)]));
+    }
+    m.chunk_widths_.push_back(width);
+    m.chunk_offsets_.push_back(m.chunk_offsets_.back() +
+                               static_cast<offset_t>(width) * chunk);
+  }
+
+  m.col_.assign(static_cast<std::size_t>(m.chunk_offsets_.back()), 0);
+  m.val_.assign(static_cast<std::size_t>(m.chunk_offsets_.back()), 0.0);
+  for (index_t c = 0; c < chunk_count; ++c) {
+    const index_t base = c * static_cast<index_t>(chunk);
+    const offset_t offset = m.chunk_offsets_[static_cast<std::size_t>(c)];
+    for (int r = 0; r < chunk && base + r < a.rows(); ++r) {
+      const index_t row =
+          m.permutation_[static_cast<std::size_t>(base + r)];
+      const auto [cols, vals] = a.row(row);
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        const auto slot = static_cast<std::size_t>(
+            offset + static_cast<offset_t>(j) * chunk + r);
+        m.col_[slot] = cols[j];
+        m.val_[slot] = vals[j];
+      }
+    }
+  }
+  return m;
+}
+
+double SellMatrix::padding_ratio() const {
+  if (nnz_ == 0) return 1.0;
+  return static_cast<double>(chunk_offsets_.back()) /
+         static_cast<double>(nnz_);
+}
+
+void SellMatrix::spmv(std::span<const value_t> x,
+                      std::span<value_t> y) const {
+  if (x.size() < static_cast<std::size_t>(cols_) ||
+      y.size() < static_cast<std::size_t>(rows_)) {
+    throw std::invalid_argument("SellMatrix::spmv: vector size mismatch");
+  }
+  const auto chunk_count =
+      static_cast<index_t>(chunk_widths_.size());
+  for (index_t c = 0; c < chunk_count; ++c) {
+    const index_t base = c * static_cast<index_t>(chunk_);
+    const offset_t offset = chunk_offsets_[static_cast<std::size_t>(c)];
+    const index_t width = chunk_widths_[static_cast<std::size_t>(c)];
+    for (int r = 0; r < chunk_ && base + r < rows_; ++r) {
+      value_t sum = 0.0;
+      for (index_t j = 0; j < width; ++j) {
+        const auto slot = static_cast<std::size_t>(
+            offset + static_cast<offset_t>(j) * chunk_ + r);
+        sum += val_[slot] * x[static_cast<std::size_t>(col_[slot])];
+      }
+      y[static_cast<std::size_t>(
+          permutation_[static_cast<std::size_t>(base + r)])] = sum;
+    }
+  }
+}
+
+}  // namespace hspmv::sparse

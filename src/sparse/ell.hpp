@@ -1,0 +1,77 @@
+// ELLPACK and SELL-C-sigma sparse formats.
+//
+// The related work the paper benchmarks against ([1], [2], [3]) covers
+// "different matrix storage formats"; CRS wins for general matrices on
+// cache-based CPUs (Sect. 1.2), and these two alternatives make the
+// trade-offs measurable: plain ELLPACK pads every row to the longest row
+// (SIMD-friendly but catastrophic for skewed row lengths), SELL-C-sigma
+// pads per chunk of C rows after sorting windows of sigma rows by length,
+// bounding the padding.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::sparse {
+
+/// Plain ELLPACK: all rows padded to the maximum row length, column-major
+/// (element j of every row stored contiguously).
+class EllMatrix {
+ public:
+  EllMatrix() = default;
+
+  static EllMatrix from_csr(const CsrMatrix& a);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t width() const { return width_; }
+  [[nodiscard]] offset_t nnz() const { return nnz_; }
+  /// Stored slots / actual nonzeros (>= 1; the padding overhead).
+  [[nodiscard]] double padding_ratio() const;
+
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t width_ = 0;
+  offset_t nnz_ = 0;
+  util::AlignedVector<index_t> col_;  // width_ x rows_, column-major
+  util::AlignedVector<value_t> val_;
+};
+
+/// SELL-C-sigma: rows are reordered by descending length within windows
+/// of `sigma` rows, grouped into chunks of `chunk` rows, and each chunk
+/// is padded to its own maximal length. sigma = 1 disables sorting
+/// (SELL-C); sigma = rows sorts globally.
+class SellMatrix {
+ public:
+  SellMatrix() = default;
+
+  static SellMatrix from_csr(const CsrMatrix& a, int chunk = 32,
+                             int sigma = 1);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] int chunk() const { return chunk_; }
+  [[nodiscard]] offset_t nnz() const { return nnz_; }
+  [[nodiscard]] double padding_ratio() const;
+
+  /// y = A x (y in original row order — the kernel un-permutes).
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  int chunk_ = 32;
+  offset_t nnz_ = 0;
+  std::vector<index_t> permutation_;      // permuted position -> orig row
+  std::vector<offset_t> chunk_offsets_;   // into col_/val_ per chunk
+  std::vector<index_t> chunk_widths_;
+  util::AlignedVector<index_t> col_;
+  util::AlignedVector<value_t> val_;
+};
+
+}  // namespace hspmv::sparse

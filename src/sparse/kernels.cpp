@@ -1,0 +1,132 @@
+#include "sparse/kernels.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hspmv::sparse {
+namespace {
+
+void check_shapes(const CsrMatrix& a, std::span<const value_t> b,
+                  std::span<value_t> c) {
+  if (b.size() < static_cast<std::size_t>(a.cols()) ||
+      c.size() < static_cast<std::size_t>(a.rows())) {
+    throw std::invalid_argument("spmv: vector size mismatch");
+  }
+}
+
+}  // namespace
+
+void spmv(const CsrMatrix& a, std::span<const value_t> b,
+          std::span<value_t> c) {
+  check_shapes(a, b, c);
+  spmv_rows(a, 0, a.rows(), b, c);
+}
+
+void spmv_rows(const CsrMatrix& a, index_t row_begin, index_t row_end,
+               std::span<const value_t> b, std::span<value_t> c) {
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto val = a.val();
+  for (index_t i = row_begin; i < row_end; ++i) {
+    value_t sum = 0.0;
+    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
+         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      sum += val[static_cast<std::size_t>(j)] *
+             b[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
+    }
+    c[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+void spmv_accumulate(const CsrMatrix& a, std::span<const value_t> b,
+                     std::span<value_t> c) {
+  check_shapes(a, b, c);
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto val = a.val();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    value_t sum = c[static_cast<std::size_t>(i)];
+    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
+         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      sum += val[static_cast<std::size_t>(j)] *
+             b[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
+    }
+    c[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+void spmv_general(value_t alpha, const CsrMatrix& a,
+                  std::span<const value_t> b, value_t beta,
+                  std::span<value_t> c) {
+  check_shapes(a, b, c);
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto val = a.val();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    value_t sum = 0.0;
+    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
+         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      sum += val[static_cast<std::size_t>(j)] *
+             b[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
+    }
+    c[static_cast<std::size_t>(i)] =
+        alpha * sum + beta * c[static_cast<std::size_t>(i)];
+  }
+}
+
+void spmv_local(const CsrMatrix& a, index_t local_cols,
+                std::span<const value_t> b, std::span<value_t> c) {
+  check_shapes(a, b, c);
+  spmv_local_rows(a, local_cols, 0, a.rows(), b, c);
+}
+
+void spmv_local_rows(const CsrMatrix& a, index_t local_cols, index_t row_begin,
+                     index_t row_end, std::span<const value_t> b,
+                     std::span<value_t> c) {
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto val = a.val();
+  for (index_t i = row_begin; i < row_end; ++i) {
+    value_t sum = 0.0;
+    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
+         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      const index_t col = col_idx[static_cast<std::size_t>(j)];
+      if (col >= local_cols) break;  // sorted rows: non-local suffix begins
+      sum += val[static_cast<std::size_t>(j)] * b[static_cast<std::size_t>(col)];
+    }
+    c[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+void spmv_nonlocal(const CsrMatrix& a, index_t local_cols,
+                   std::span<const value_t> b, std::span<value_t> c) {
+  check_shapes(a, b, c);
+  spmv_nonlocal_rows(a, local_cols, 0, a.rows(), b, c);
+}
+
+void spmv_nonlocal_rows(const CsrMatrix& a, index_t local_cols,
+                        index_t row_begin, index_t row_end,
+                        std::span<const value_t> b, std::span<value_t> c) {
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto val = a.val();
+  for (index_t i = row_begin; i < row_end; ++i) {
+    const offset_t begin = row_ptr[static_cast<std::size_t>(i)];
+    const offset_t end = row_ptr[static_cast<std::size_t>(i) + 1];
+    // Binary-search the first non-local entry; rows are column-sorted.
+    const auto cols = col_idx.subspan(static_cast<std::size_t>(begin),
+                                      static_cast<std::size_t>(end - begin));
+    const auto first_nonlocal =
+        std::lower_bound(cols.begin(), cols.end(), local_cols) - cols.begin();
+    value_t sum = 0.0;
+    for (offset_t j = begin + first_nonlocal; j < end; ++j) {
+      sum += val[static_cast<std::size_t>(j)] *
+             b[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
+    }
+    if (sum != 0.0 || first_nonlocal < end - begin) {
+      c[static_cast<std::size_t>(i)] += sum;
+    }
+  }
+}
+
+}  // namespace hspmv::sparse

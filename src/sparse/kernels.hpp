@@ -1,0 +1,53 @@
+// Sequential CRS spMVM kernels — the paper's Sect. 1.2 loop and the split
+// local/non-local variant from Sect. 3.1.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace hspmv::sparse {
+
+/// C = A * B — the canonical CRS kernel (paper Sect. 1.2, with C zeroed
+/// first so the loop body is the paper's C(i) += val(j) * B(col_idx(j))).
+void spmv(const CsrMatrix& a, std::span<const value_t> b,
+          std::span<value_t> c);
+
+/// C += A * B.
+void spmv_accumulate(const CsrMatrix& a, std::span<const value_t> b,
+                     std::span<value_t> c);
+
+/// C = alpha * A * B + beta * C.
+void spmv_general(value_t alpha, const CsrMatrix& a,
+                  std::span<const value_t> b, value_t beta,
+                  std::span<value_t> c);
+
+/// Row-range kernel: computes C(i) for i in [row_begin, row_end) only.
+/// This is the explicit work-distribution primitive of task mode
+/// (Sect. 3.2: worksharing directives cannot be used without subteams).
+void spmv_rows(const CsrMatrix& a, index_t row_begin, index_t row_end,
+               std::span<const value_t> b, std::span<value_t> c);
+
+/// Split kernel, local phase: traverses only entries with
+/// col_idx < local_cols (the process-local part of B), zeroing C first.
+/// Assumes each row's column indices are sorted ascending so the local
+/// prefix of a row is contiguous — CommPlan guarantees this layout.
+void spmv_local(const CsrMatrix& a, index_t local_cols,
+                std::span<const value_t> b, std::span<value_t> c);
+
+/// Split kernel, non-local phase: adds the contributions of entries with
+/// col_idx >= local_cols. Writes (reads + updates) C a second time — the
+/// extra traffic modeled by Eq. 2.
+void spmv_nonlocal(const CsrMatrix& a, index_t local_cols,
+                   std::span<const value_t> b, std::span<value_t> c);
+
+/// Row-range versions of the split phases, for explicit thread chunking.
+void spmv_local_rows(const CsrMatrix& a, index_t local_cols, index_t row_begin,
+                     index_t row_end, std::span<const value_t> b,
+                     std::span<value_t> c);
+void spmv_nonlocal_rows(const CsrMatrix& a, index_t local_cols,
+                        index_t row_begin, index_t row_end,
+                        std::span<const value_t> b, std::span<value_t> c);
+
+}  // namespace hspmv::sparse

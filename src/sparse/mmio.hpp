@@ -1,0 +1,28 @@
+// Matrix Market (coordinate) I/O — the interchange format of the sparse
+// matrix collections the related work benchmarks against.
+//
+// Supported: `matrix coordinate (real|integer|pattern) (general|symmetric)`.
+// Pattern entries read as 1.0; symmetric inputs are expanded to full
+// storage on read. Writing always emits `real general`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::sparse {
+
+/// Parse a Matrix Market stream. Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+CsrMatrix read_matrix_market(std::istream& in);
+
+/// Convenience file wrapper; throws on unopenable paths.
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Serialize as `matrix coordinate real general` with 1-based indices.
+void write_matrix_market(std::ostream& out, const CsrMatrix& a);
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a);
+
+}  // namespace hspmv::sparse

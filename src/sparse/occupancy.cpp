@@ -1,0 +1,122 @@
+#include "sparse/occupancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hspmv::sparse {
+
+OccupancyGrid block_occupancy(const CsrMatrix& a, index_t block_size) {
+  if (block_size <= 0) {
+    throw std::invalid_argument("block_occupancy: block_size must be > 0");
+  }
+  OccupancyGrid grid;
+  grid.block_size = block_size;
+  grid.grid_rows = (a.rows() + block_size - 1) / block_size;
+  grid.grid_cols = (a.cols() + block_size - 1) / block_size;
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(grid.grid_rows) *
+          static_cast<std::size_t>(grid.grid_cols),
+      0);
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto br = static_cast<std::size_t>(i / block_size);
+    for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto bc = static_cast<std::size_t>(
+          col_idx[static_cast<std::size_t>(k)] / block_size);
+      ++counts[br * static_cast<std::size_t>(grid.grid_cols) + bc];
+    }
+  }
+
+  grid.density.resize(counts.size());
+  for (index_t br = 0; br < grid.grid_rows; ++br) {
+    const index_t block_rows =
+        std::min<index_t>(block_size, a.rows() - br * block_size);
+    for (index_t bc = 0; bc < grid.grid_cols; ++bc) {
+      const index_t block_cols =
+          std::min<index_t>(block_size, a.cols() - bc * block_size);
+      const auto cell = static_cast<std::size_t>(br) *
+                            static_cast<std::size_t>(grid.grid_cols) +
+                        static_cast<std::size_t>(bc);
+      grid.density[cell] =
+          static_cast<double>(counts[cell]) /
+          (static_cast<double>(block_rows) * static_cast<double>(block_cols));
+    }
+  }
+  return grid;
+}
+
+OccupancyGrid block_occupancy_auto(const CsrMatrix& a, index_t target) {
+  const index_t longer = std::max(a.rows(), a.cols());
+  const index_t block = std::max<index_t>(1, (longer + target - 1) / target);
+  return block_occupancy(a, block);
+}
+
+namespace {
+
+// Glyph ramp indexed by log10(density): <=1e-6 -> '.', ..., >=0.5 -> '@'.
+char density_glyph(double d) {
+  if (d <= 0.0) return ' ';
+  static constexpr char kRamp[] = {'.', ':', '-', '=', '+', '*', '#', '%'};
+  if (d >= 0.5) return '@';
+  // Map log10(d) in [-6, log10(0.5)) onto the 8 ramp glyphs.
+  const double t = (std::log10(std::max(d, 1e-6)) + 6.0) /
+                   (std::log10(0.5) + 6.0);
+  const int idx = std::clamp(static_cast<int>(t * 8.0), 0, 7);
+  return kRamp[idx];
+}
+
+}  // namespace
+
+std::string render_spy(const OccupancyGrid& grid) {
+  std::ostringstream out;
+  out << "block " << grid.block_size << "x" << grid.block_size
+      << ", grid " << grid.grid_rows << "x" << grid.grid_cols
+      << " (log density:  ' '=0 '.'<=1e-6 ... '@'>=0.5)\n";
+  for (index_t br = 0; br < grid.grid_rows; ++br) {
+    for (index_t bc = 0; bc < grid.grid_cols; ++bc) {
+      out << density_glyph(grid.at(br, bc));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::vector<std::int64_t> occupancy_histogram(const OccupancyGrid& grid) {
+  // Buckets: [empty, <=1e-6, <=1e-5, <=1e-4, <=1e-3, <=1e-2, <=1e-1, <0.5,
+  // >=0.5]
+  std::vector<std::int64_t> buckets(9, 0);
+  for (double d : grid.density) {
+    if (d <= 0.0) {
+      ++buckets[0];
+    } else if (d >= 0.5) {
+      ++buckets[8];
+    } else {
+      const double log = std::log10(d);
+      int b;
+      if (log <= -6.0) {
+        b = 1;
+      } else if (log <= -5.0) {
+        b = 2;
+      } else if (log <= -4.0) {
+        b = 3;
+      } else if (log <= -3.0) {
+        b = 4;
+      } else if (log <= -2.0) {
+        b = 5;
+      } else if (log <= -1.0) {
+        b = 6;
+      } else {
+        b = 7;
+      }
+      ++buckets[static_cast<std::size_t>(b)];
+    }
+  }
+  return buckets;
+}
+
+}  // namespace hspmv::sparse

@@ -1,0 +1,46 @@
+// Sub-block occupancy aggregation — the visualization behind the paper's
+// Fig. 1: square sub-blocks of the matrix are aggregated and color-coded by
+// the fraction of nonzero positions they contain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::sparse {
+
+struct OccupancyGrid {
+  index_t grid_rows = 0;
+  index_t grid_cols = 0;
+  index_t block_size = 0;
+  /// Row-major densities: fraction of positions in each block that hold a
+  /// nonzero, in [0, 1].
+  std::vector<double> density;
+
+  [[nodiscard]] double at(index_t br, index_t bc) const {
+    return density[static_cast<std::size_t>(br) *
+                       static_cast<std::size_t>(grid_cols) +
+                   static_cast<std::size_t>(bc)];
+  }
+};
+
+/// Aggregate `a` into ceil(rows/block) x ceil(cols/block) blocks.
+OccupancyGrid block_occupancy(const CsrMatrix& a, index_t block_size);
+
+/// Convenience: choose a block size so the grid is at most `target` cells
+/// on the longer side (Fig. 1 uses this to make multi-million-row matrices
+/// visible).
+OccupancyGrid block_occupancy_auto(const CsrMatrix& a, index_t target = 64);
+
+/// Render the grid as an ASCII "spy plot": density buckets map to the glyph
+/// ramp " .:-=+*#%@" on a log scale from 1e-6 to 0.5+, mirroring the
+/// paper's log color scale.
+std::string render_spy(const OccupancyGrid& grid);
+
+/// Histogram of block densities over the log-scale buckets used by the
+/// paper's legend (1e-6, 1e-5, ..., 1e-1, 0.5). Returns counts per bucket;
+/// bucket 0 is "empty block".
+std::vector<std::int64_t> occupancy_histogram(const OccupancyGrid& grid);
+
+}  // namespace hspmv::sparse

@@ -1,0 +1,169 @@
+#include "sparse/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace hspmv::sparse {
+namespace {
+
+/// Adjacency of the symmetrized pattern, self-loops removed.
+struct Graph {
+  std::vector<offset_t> ptr;
+  std::vector<index_t> adj;
+
+  [[nodiscard]] index_t degree(index_t v) const {
+    return static_cast<index_t>(ptr[static_cast<std::size_t>(v) + 1] -
+                                ptr[static_cast<std::size_t>(v)]);
+  }
+};
+
+Graph symmetrized_graph(const CsrMatrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("rcm: matrix must be square");
+  }
+  const index_t n = a.rows();
+  std::vector<std::vector<index_t>> lists(static_cast<std::size_t>(n));
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  for (index_t i = 0; i < n; ++i) {
+    for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = col_idx[static_cast<std::size_t>(k)];
+      if (i == j) continue;
+      lists[static_cast<std::size_t>(i)].push_back(j);
+      lists[static_cast<std::size_t>(j)].push_back(i);
+    }
+  }
+  Graph g;
+  g.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t v = 0; v < n; ++v) {
+    auto& list = lists[static_cast<std::size_t>(v)];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    g.ptr[static_cast<std::size_t>(v) + 1] =
+        g.ptr[static_cast<std::size_t>(v)] +
+        static_cast<offset_t>(list.size());
+  }
+  g.adj.resize(static_cast<std::size_t>(g.ptr.back()));
+  for (index_t v = 0; v < n; ++v) {
+    std::copy(lists[static_cast<std::size_t>(v)].begin(),
+              lists[static_cast<std::size_t>(v)].end(),
+              g.adj.begin() + static_cast<std::ptrdiff_t>(
+                                  g.ptr[static_cast<std::size_t>(v)]));
+  }
+  return g;
+}
+
+/// BFS from `root`; returns (farthest vertex with minimal degree in the
+/// last level, eccentricity). `level` is reused scratch (-1 = unvisited).
+std::pair<index_t, index_t> bfs_farthest(const Graph& g, index_t root,
+                                         std::vector<index_t>& level) {
+  std::fill(level.begin(), level.end(), -1);
+  std::queue<index_t> queue;
+  queue.push(root);
+  level[static_cast<std::size_t>(root)] = 0;
+  index_t last_level = 0;
+  std::vector<index_t> frontier{root};
+  while (!queue.empty()) {
+    const index_t v = queue.front();
+    queue.pop();
+    const index_t lv = level[static_cast<std::size_t>(v)];
+    if (lv > last_level) {
+      last_level = lv;
+      frontier.clear();
+    }
+    if (lv == last_level) frontier.push_back(v);
+    for (offset_t k = g.ptr[static_cast<std::size_t>(v)];
+         k < g.ptr[static_cast<std::size_t>(v) + 1]; ++k) {
+      const index_t w = g.adj[static_cast<std::size_t>(k)];
+      if (level[static_cast<std::size_t>(w)] == -1) {
+        level[static_cast<std::size_t>(w)] = lv + 1;
+        queue.push(w);
+      }
+    }
+  }
+  // Among last-level vertices pick the one with minimal degree — the
+  // George-Liu tie-break for pseudo-peripheral candidates.
+  index_t best = frontier.front();
+  for (index_t v : frontier) {
+    if (g.degree(v) < g.degree(best)) best = v;
+  }
+  return {best, last_level};
+}
+
+index_t pseudo_peripheral(const Graph& g, index_t start,
+                          std::vector<index_t>& level) {
+  index_t v = start;
+  auto [u, ecc] = bfs_farthest(g, v, level);
+  while (true) {
+    auto [w, ecc2] = bfs_farthest(g, u, level);
+    if (ecc2 <= ecc) return u;
+    v = u;
+    u = w;
+    ecc = ecc2;
+  }
+}
+
+}  // namespace
+
+index_t pseudo_peripheral_vertex(const CsrMatrix& pattern, index_t start) {
+  const Graph g = symmetrized_graph(pattern);
+  std::vector<index_t> level(static_cast<std::size_t>(pattern.rows()), -1);
+  return pseudo_peripheral(g, start, level);
+}
+
+std::vector<index_t> rcm_permutation(const CsrMatrix& a) {
+  const Graph g = symmetrized_graph(a);
+  const index_t n = a.rows();
+  std::vector<index_t> order;  // Cuthill-McKee order: order[k] = old index
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<index_t> level(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> neighbors;
+
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    const index_t root = pseudo_peripheral(g, seed, level);
+    std::queue<index_t> queue;
+    queue.push(root);
+    visited[static_cast<std::size_t>(root)] = true;
+    while (!queue.empty()) {
+      const index_t v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      neighbors.clear();
+      for (offset_t k = g.ptr[static_cast<std::size_t>(v)];
+           k < g.ptr[static_cast<std::size_t>(v) + 1]; ++k) {
+        const index_t w = g.adj[static_cast<std::size_t>(k)];
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = true;
+          neighbors.push_back(w);
+        }
+      }
+      // Cuthill-McKee visits unvisited neighbours in increasing degree.
+      std::sort(neighbors.begin(), neighbors.end(),
+                [&](index_t x, index_t y) {
+                  const index_t dx = g.degree(x), dy = g.degree(y);
+                  if (dx != dy) return dx < dy;
+                  return x < y;
+                });
+      for (index_t w : neighbors) queue.push(w);
+    }
+  }
+
+  // Reverse the order (the "R" in RCM) and convert to new_of[old].
+  std::vector<index_t> new_of(static_cast<std::size_t>(n));
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    new_of[static_cast<std::size_t>(order[k])] =
+        static_cast<index_t>(order.size() - 1 - k);
+  }
+  return new_of;
+}
+
+CsrMatrix rcm_reorder(const CsrMatrix& a) {
+  const auto perm = rcm_permutation(a);
+  return a.permute_symmetric(perm);
+}
+
+}  // namespace hspmv::sparse

@@ -1,0 +1,25 @@
+// Reverse Cuthill-McKee bandwidth-reducing reordering [Cuthill & McKee
+// 1969], the transformation the paper applied to the Hamiltonian matrix
+// (Sect. 1.3.1) to improve RHS locality and near-neighbour communication.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::sparse {
+
+/// Compute the RCM permutation of the symmetrized pattern of `a`.
+/// Returns `new_of` with new_of[old] = new, usable directly with
+/// CsrMatrix::permute_symmetric. Disconnected components are processed in
+/// order of their discovered pseudo-peripheral start vertices.
+std::vector<index_t> rcm_permutation(const CsrMatrix& a);
+
+/// Convenience: B = P A P^T with P from rcm_permutation(a).
+CsrMatrix rcm_reorder(const CsrMatrix& a);
+
+/// Find a pseudo-peripheral vertex of the component containing `start`
+/// using the George-Liu doubled-BFS heuristic. Exposed for tests.
+index_t pseudo_peripheral_vertex(const CsrMatrix& pattern, index_t start);
+
+}  // namespace hspmv::sparse

@@ -1,0 +1,73 @@
+#include "sparse/spgemm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace hspmv::sparse {
+
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("spgemm: inner dimensions disagree");
+  }
+  const index_t rows = a.rows();
+  const index_t cols = b.cols();
+
+  std::vector<offset_t> row_ptr;
+  row_ptr.reserve(static_cast<std::size_t>(rows) + 1);
+  row_ptr.push_back(0);
+  util::AlignedVector<index_t> out_cols;
+  util::AlignedVector<value_t> out_vals;
+
+  // Gustavson: a dense accumulator row with a touched-columns list.
+  std::vector<value_t> accumulator(static_cast<std::size_t>(cols), 0.0);
+  std::vector<bool> touched(static_cast<std::size_t>(cols), false);
+  std::vector<index_t> touched_list;
+
+  const auto a_row_ptr = a.row_ptr();
+  const auto a_cols = a.col_idx();
+  const auto a_vals = a.val();
+  const auto b_row_ptr = b.row_ptr();
+  const auto b_cols = b.col_idx();
+  const auto b_vals = b.val();
+
+  for (index_t i = 0; i < rows; ++i) {
+    touched_list.clear();
+    for (offset_t ka = a_row_ptr[static_cast<std::size_t>(i)];
+         ka < a_row_ptr[static_cast<std::size_t>(i) + 1]; ++ka) {
+      const index_t k = a_cols[static_cast<std::size_t>(ka)];
+      const value_t av = a_vals[static_cast<std::size_t>(ka)];
+      for (offset_t kb = b_row_ptr[static_cast<std::size_t>(k)];
+           kb < b_row_ptr[static_cast<std::size_t>(k) + 1]; ++kb) {
+        const index_t j = b_cols[static_cast<std::size_t>(kb)];
+        if (!touched[static_cast<std::size_t>(j)]) {
+          touched[static_cast<std::size_t>(j)] = true;
+          touched_list.push_back(j);
+        }
+        accumulator[static_cast<std::size_t>(j)] +=
+            av * b_vals[static_cast<std::size_t>(kb)];
+      }
+    }
+    std::sort(touched_list.begin(), touched_list.end());
+    for (const index_t j : touched_list) {
+      out_cols.push_back(j);
+      out_vals.push_back(accumulator[static_cast<std::size_t>(j)]);
+      accumulator[static_cast<std::size_t>(j)] = 0.0;
+      touched[static_cast<std::size_t>(j)] = false;
+    }
+    row_ptr.push_back(static_cast<offset_t>(out_cols.size()));
+  }
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(out_cols),
+                   std::move(out_vals));
+}
+
+CsrMatrix galerkin_product(const CsrMatrix& p, const CsrMatrix& a) {
+  if (a.rows() != a.cols() || a.rows() != p.rows()) {
+    throw std::invalid_argument(
+        "galerkin_product: need square A with A.rows() == P.rows()");
+  }
+  const CsrMatrix pt = p.transpose();
+  return spgemm(spgemm(pt, a), p);
+}
+
+}  // namespace hspmv::sparse

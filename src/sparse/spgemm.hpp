@@ -1,0 +1,17 @@
+// Sparse matrix-matrix products (SpGEMM) — the kernel behind Galerkin
+// coarse-grid operators (P^T A P) in algebraic multigrid, the method that
+// produced the paper's sAMG matrix.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::sparse {
+
+/// C = A * B (row-wise Gustavson algorithm). Dimensions must agree;
+/// explicit zeros produced by cancellation are kept (structural product).
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Galerkin triple product P^T A P in one call (P: fine x coarse).
+CsrMatrix galerkin_product(const CsrMatrix& p, const CsrMatrix& a);
+
+}  // namespace hspmv::sparse

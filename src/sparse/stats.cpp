@@ -1,0 +1,69 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hspmv::sparse {
+
+MatrixStats compute_stats(const CsrMatrix& a) {
+  MatrixStats s;
+  s.rows = a.rows();
+  s.cols = a.cols();
+  s.nnz = a.nnz();
+  s.nnz_per_row_mean = a.nnz_per_row();
+  if (a.rows() == 0) return s;
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  s.nnz_per_row_min = static_cast<index_t>(a.nnz());
+  s.has_full_diagonal = (a.rows() == a.cols());
+  double m2 = 0.0;
+  double mean = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const offset_t begin = row_ptr[static_cast<std::size_t>(i)];
+    const offset_t end = row_ptr[static_cast<std::size_t>(i) + 1];
+    const auto len = static_cast<index_t>(end - begin);
+    s.nnz_per_row_min = std::min(s.nnz_per_row_min, len);
+    s.nnz_per_row_max = std::max(s.nnz_per_row_max, len);
+    if (len == 0) {
+      ++s.empty_rows;
+      s.has_full_diagonal = false;
+    }
+    const double delta = static_cast<double>(len) - mean;
+    mean += delta / static_cast<double>(i + 1);
+    m2 += delta * (static_cast<double>(len) - mean);
+
+    bool diag = false;
+    index_t min_col = s.cols;
+    for (offset_t k = begin; k < end; ++k) {
+      const index_t c = col_idx[static_cast<std::size_t>(k)];
+      s.bandwidth = std::max(
+          s.bandwidth, static_cast<index_t>(c > i ? c - i : i - c));
+      min_col = std::min(min_col, c);
+      if (c == i) diag = true;
+    }
+    if (!diag) s.has_full_diagonal = false;
+    if (len > 0 && min_col <= i) {
+      s.profile += static_cast<std::int64_t>(i - min_col);
+    }
+  }
+  s.nnz_per_row_stddev =
+      a.rows() > 1 ? std::sqrt(m2 / static_cast<double>(a.rows() - 1)) : 0.0;
+  return s;
+}
+
+std::vector<std::int64_t> row_length_histogram(const CsrMatrix& a,
+                                               index_t max_len) {
+  std::vector<std::int64_t> histogram(static_cast<std::size_t>(max_len) + 1,
+                                      0);
+  const auto row_ptr = a.row_ptr();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto len = static_cast<index_t>(
+        row_ptr[static_cast<std::size_t>(i) + 1] -
+        row_ptr[static_cast<std::size_t>(i)]);
+    ++histogram[static_cast<std::size_t>(std::min(len, max_len))];
+  }
+  return histogram;
+}
+
+}  // namespace hspmv::sparse

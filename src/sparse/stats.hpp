@@ -1,0 +1,37 @@
+// Structural statistics of sparse matrices: Nnzr distribution, bandwidth,
+// profile — the quantities that drive the paper's performance model and
+// load-balance discussion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::sparse {
+
+struct MatrixStats {
+  index_t rows = 0;
+  index_t cols = 0;
+  offset_t nnz = 0;
+  double nnz_per_row_mean = 0.0;  ///< the paper's Nnzr
+  index_t nnz_per_row_min = 0;
+  index_t nnz_per_row_max = 0;
+  double nnz_per_row_stddev = 0.0;
+  /// Matrix bandwidth: max over nonzeros of |i - j| (0 for empty matrices).
+  index_t bandwidth = 0;
+  /// Profile (a.k.a. envelope): sum over rows of (i - min column in row)
+  /// for rows with at least one entry at or left of the diagonal.
+  std::int64_t profile = 0;
+  index_t empty_rows = 0;
+  bool has_full_diagonal = false;
+};
+
+MatrixStats compute_stats(const CsrMatrix& a);
+
+/// Histogram of row lengths: bucket[k] = number of rows with exactly k
+/// nonzeros, truncated at `max_len` (longer rows land in the last bucket).
+std::vector<std::int64_t> row_length_histogram(const CsrMatrix& a,
+                                               index_t max_len);
+
+}  // namespace hspmv::sparse

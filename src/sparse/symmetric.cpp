@@ -1,0 +1,165 @@
+#include "sparse/symmetric.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "team/thread_team.hpp"
+#include "util/aligned.hpp"
+
+namespace hspmv::sparse {
+
+SymmetricCsr SymmetricCsr::from_full(const CsrMatrix& full,
+                                     double tolerance) {
+  if (full.rows() != full.cols()) {
+    throw std::invalid_argument("SymmetricCsr: matrix must be square");
+  }
+  // Verify numeric symmetry via the transpose (structure + values).
+  const CsrMatrix t = full.transpose();
+  if (t.nnz() != full.nnz()) {
+    throw std::invalid_argument("SymmetricCsr: matrix is not symmetric");
+  }
+  for (index_t i = 0; i < full.rows(); ++i) {
+    const auto [ca, va] = full.row(i);
+    const auto [ct, vt] = t.row(i);
+    for (std::size_t k = 0; k < ca.size(); ++k) {
+      if (ca[k] != ct[k] || std::abs(va[k] - vt[k]) > tolerance) {
+        throw std::invalid_argument("SymmetricCsr: matrix is not symmetric");
+      }
+    }
+  }
+
+  SymmetricCsr result;
+  result.logical_nnz_ = full.nnz();
+  std::vector<offset_t> row_ptr{0};
+  row_ptr.reserve(static_cast<std::size_t>(full.rows()) + 1);
+  util::AlignedVector<index_t> cols;
+  util::AlignedVector<value_t> vals;
+  for (index_t i = 0; i < full.rows(); ++i) {
+    const auto [c, v] = full.row(i);
+    for (std::size_t k = 0; k < c.size(); ++k) {
+      if (c[k] >= i) {
+        cols.push_back(c[k]);
+        vals.push_back(v[k]);
+      }
+    }
+    row_ptr.push_back(static_cast<offset_t>(cols.size()));
+  }
+  result.upper_ = CsrMatrix(full.rows(), full.cols(), std::move(row_ptr),
+                            std::move(cols), std::move(vals));
+  return result;
+}
+
+CsrMatrix SymmetricCsr::to_full() const {
+  CooBuilder builder(upper_.rows(), upper_.cols());
+  for (index_t i = 0; i < upper_.rows(); ++i) {
+    const auto [c, v] = upper_.row(i);
+    for (std::size_t k = 0; k < c.size(); ++k) {
+      builder.add_symmetric(i, c[k], v[k]);
+    }
+  }
+  return CsrMatrix(upper_.rows(), upper_.cols(), builder.finish());
+}
+
+double SymmetricCsr::storage_ratio_vs_full() const {
+  // Full CRS: 12 B per nonzero + row_ptr; symmetric: 12 B per stored
+  // entry + row_ptr.
+  const double row_ptr_bytes =
+      (static_cast<double>(rows()) + 1.0) * sizeof(offset_t);
+  const double full = 12.0 * static_cast<double>(logical_nnz_) +
+                      row_ptr_bytes;
+  const double half = 12.0 * static_cast<double>(stored_nnz()) +
+                      row_ptr_bytes;
+  return full > 0.0 ? half / full : 1.0;
+}
+
+void symmetric_spmv(const SymmetricCsr& a, std::span<const value_t> x,
+                    std::span<value_t> y) {
+  const auto& u = a.upper();
+  if (x.size() < static_cast<std::size_t>(u.cols()) ||
+      y.size() < static_cast<std::size_t>(u.rows())) {
+    throw std::invalid_argument("symmetric_spmv: vector size mismatch");
+  }
+  for (index_t i = 0; i < u.rows(); ++i) y[static_cast<std::size_t>(i)] = 0.0;
+  const auto row_ptr = u.row_ptr();
+  const auto col_idx = u.col_idx();
+  const auto val = u.val();
+  for (index_t i = 0; i < u.rows(); ++i) {
+    value_t sum = 0.0;
+    const value_t xi = x[static_cast<std::size_t>(i)];
+    for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = col_idx[static_cast<std::size_t>(k)];
+      const value_t v = val[static_cast<std::size_t>(k)];
+      sum += v * x[static_cast<std::size_t>(j)];
+      if (j != i) {
+        // Mirrored contribution of the (j, i) entry.
+        y[static_cast<std::size_t>(j)] += v * xi;
+      }
+    }
+    y[static_cast<std::size_t>(i)] += sum;
+  }
+}
+
+void symmetric_spmv_parallel(const SymmetricCsr& a,
+                             std::span<const value_t> x,
+                             std::span<value_t> y,
+                             team::ThreadTeam& team) {
+  const auto& u = a.upper();
+  if (x.size() < static_cast<std::size_t>(u.cols()) ||
+      y.size() < static_cast<std::size_t>(u.rows())) {
+    throw std::invalid_argument(
+        "symmetric_spmv_parallel: vector size mismatch");
+  }
+  const int threads = team.size();
+  if (threads == 1) {
+    symmetric_spmv(a, x, y);
+    return;
+  }
+  const auto n = static_cast<std::size_t>(u.rows());
+  const auto chunks =
+      team::nnz_balanced_boundaries(u.row_ptr(), threads);
+
+  // Thread-private scatter buffers for the mirrored updates; the direct
+  // y(i) contributions are race-free (each row belongs to one chunk).
+  std::vector<util::AlignedVector<value_t>> scratch(
+      static_cast<std::size_t>(threads));
+  for (auto& buffer : scratch) buffer.assign(n, 0.0);
+
+  team::Barrier phase(threads);
+  const auto row_ptr = u.row_ptr();
+  const auto col_idx = u.col_idx();
+  const auto val = u.val();
+
+  team.execute([&](int id) {
+    const auto begin = static_cast<index_t>(
+        chunks[static_cast<std::size_t>(id)]);
+    const auto end = static_cast<index_t>(
+        chunks[static_cast<std::size_t>(id) + 1]);
+    auto& mine = scratch[static_cast<std::size_t>(id)];
+    for (index_t i = begin; i < end; ++i) {
+      value_t sum = 0.0;
+      const value_t xi = x[static_cast<std::size_t>(i)];
+      for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
+           k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const index_t j = col_idx[static_cast<std::size_t>(k)];
+        const value_t v = val[static_cast<std::size_t>(k)];
+        sum += v * x[static_cast<std::size_t>(j)];
+        if (j != i) mine[static_cast<std::size_t>(j)] += v * xi;
+      }
+      y[static_cast<std::size_t>(i)] = sum;
+    }
+    phase.arrive_and_wait();
+    // Parallel reduction of the private buffers over disjoint y ranges.
+    const auto range = team::static_chunk(0, static_cast<std::int64_t>(n),
+                                          id, threads);
+    for (int t = 0; t < threads; ++t) {
+      const auto& buffer = scratch[static_cast<std::size_t>(t)];
+      for (std::int64_t i = range.begin; i < range.end; ++i) {
+        y[static_cast<std::size_t>(i)] += buffer[static_cast<std::size_t>(i)];
+      }
+    }
+  });
+}
+
+}  // namespace hspmv::sparse

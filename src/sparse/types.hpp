@@ -1,0 +1,18 @@
+// Fundamental scalar/index types for the sparse kernels.
+//
+// The paper's traffic model assumes 4-byte column indices and 8-byte values
+// (Sect. 1.2: "8 + 4 + ..."), so col_idx is int32 and val is double. Row
+// pointers are 64-bit: Nnz of the sAMG matrix (1.6e8) still fits in 32 bits,
+// but full-scale Hamiltonians easily do not.
+#pragma once
+
+#include <cstdint>
+
+namespace hspmv::sparse {
+
+using index_t = std::int32_t;   ///< row/column index within one matrix
+using offset_t = std::int64_t;  ///< offset into the nonzero arrays
+using value_t = double;         ///< matrix/vector element type
+using gindex_t = std::int64_t;  ///< global index in distributed settings
+
+}  // namespace hspmv::sparse

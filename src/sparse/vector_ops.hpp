@@ -1,0 +1,60 @@
+// Dense vector operations used by the iterative solvers and the
+// distributed kernels. Header-only; trivially inlined.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+#include "sparse/types.hpp"
+
+namespace hspmv::sparse {
+
+inline void check_same_size(std::span<const value_t> a,
+                            std::span<const value_t> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("vector_ops: size mismatch");
+  }
+}
+
+/// y += alpha * x
+inline void axpy(value_t alpha, std::span<const value_t> x,
+                 std::span<value_t> y) {
+  check_same_size(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// y = x + beta * y  (the "xpay" update of CG)
+inline void xpay(std::span<const value_t> x, value_t beta,
+                 std::span<value_t> y) {
+  check_same_size(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+inline void scale(value_t alpha, std::span<value_t> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+[[nodiscard]] inline value_t dot(std::span<const value_t> x,
+                                 std::span<const value_t> y) {
+  check_same_size(x, y);
+  value_t sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+[[nodiscard]] inline value_t norm2(std::span<const value_t> x) {
+  return std::sqrt(dot(x, x));
+}
+
+inline void copy(std::span<const value_t> x, std::span<value_t> y) {
+  check_same_size(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+inline void fill(std::span<value_t> x, value_t v) {
+  for (auto& e : x) e = v;
+}
+
+}  // namespace hspmv::sparse

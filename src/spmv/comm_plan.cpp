@@ -1,0 +1,154 @@
+#include "spmv/comm_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hspmv::spmv {
+
+using sparse::index_t;
+using sparse::offset_t;
+
+int owner_of(std::span<const index_t> boundaries, index_t col) {
+  // boundaries is nondecreasing with front 0 and back = rows; the owner
+  // is the part whose [b[p], b[p+1]) contains col. upper_bound handles
+  // empty parts (they own no columns).
+  const auto it =
+      std::upper_bound(boundaries.begin(), boundaries.end(), col);
+  return static_cast<int>(it - boundaries.begin()) - 1;
+}
+
+PartitionCommStats analyze_partition(
+    const sparse::CsrMatrix& global,
+    std::span<const index_t> boundaries) {
+  if (boundaries.size() < 2 || boundaries.front() != 0 ||
+      boundaries.back() != global.rows()) {
+    throw std::invalid_argument("analyze_partition: bad boundaries");
+  }
+  const auto parts = static_cast<int>(boundaries.size()) - 1;
+  PartitionCommStats stats;
+  stats.local_nnz.assign(static_cast<std::size_t>(parts), 0);
+  stats.nonlocal_nnz.assign(static_cast<std::size_t>(parts), 0);
+  stats.recv_from.resize(static_cast<std::size_t>(parts));
+
+  const auto row_ptr = global.row_ptr();
+  const auto col_idx = global.col_idx();
+  std::vector<index_t> nonlocal;
+  for (int p = 0; p < parts; ++p) {
+    const index_t row_begin = boundaries[static_cast<std::size_t>(p)];
+    const index_t row_end = boundaries[static_cast<std::size_t>(p) + 1];
+    nonlocal.clear();
+    for (offset_t k = row_ptr[static_cast<std::size_t>(row_begin)];
+         k < row_ptr[static_cast<std::size_t>(row_end)]; ++k) {
+      const index_t c = col_idx[static_cast<std::size_t>(k)];
+      if (c >= row_begin && c < row_end) {
+        ++stats.local_nnz[static_cast<std::size_t>(p)];
+      } else {
+        ++stats.nonlocal_nnz[static_cast<std::size_t>(p)];
+        nonlocal.push_back(c);
+      }
+    }
+    std::sort(nonlocal.begin(), nonlocal.end());
+    nonlocal.erase(std::unique(nonlocal.begin(), nonlocal.end()),
+                   nonlocal.end());
+    auto& peers = stats.recv_from[static_cast<std::size_t>(p)];
+    for (std::size_t i = 0; i < nonlocal.size();) {
+      const int owner = owner_of(boundaries, nonlocal[i]);
+      std::int64_t count = 0;
+      while (i < nonlocal.size() &&
+             owner_of(boundaries, nonlocal[i]) == owner) {
+        ++count;
+        ++i;
+      }
+      peers.emplace_back(owner, count);
+    }
+  }
+  return stats;
+}
+
+LocalPlan build_local_plan(const sparse::CsrMatrix& local_block,
+                           std::span<const index_t> boundaries, int part) {
+  if (part < 0 || part + 1 >= static_cast<int>(boundaries.size())) {
+    throw std::invalid_argument("build_local_plan: part out of range");
+  }
+  const index_t row_begin = boundaries[static_cast<std::size_t>(part)];
+  const index_t row_end = boundaries[static_cast<std::size_t>(part) + 1];
+  if (local_block.rows() != row_end - row_begin) {
+    throw std::invalid_argument(
+        "build_local_plan: block does not match the boundaries");
+  }
+  const index_t local_rows = row_end - row_begin;
+
+  LocalPlan result;
+  // Collect unique nonlocal columns.
+  {
+    std::vector<index_t> nonlocal;
+    for (const index_t c : local_block.col_idx()) {
+      if (c < row_begin || c >= row_end) nonlocal.push_back(c);
+    }
+    std::sort(nonlocal.begin(), nonlocal.end());
+    nonlocal.erase(std::unique(nonlocal.begin(), nonlocal.end()),
+                   nonlocal.end());
+    result.halo_globals = std::move(nonlocal);
+  }
+
+  // Recv blocks: halo runs per owner (owners own contiguous ranges, and
+  // the halo is globally sorted, so runs are contiguous).
+  result.plan.local_rows = local_rows;
+  result.plan.halo_count =
+      static_cast<index_t>(result.halo_globals.size());
+  for (std::size_t i = 0; i < result.halo_globals.size();) {
+    const int owner = owner_of(boundaries, result.halo_globals[i]);
+    const auto offset = static_cast<index_t>(i);
+    index_t count = 0;
+    while (i < result.halo_globals.size() &&
+           owner_of(boundaries, result.halo_globals[i]) == owner) {
+      ++count;
+      ++i;
+    }
+    result.plan.recv_blocks.push_back(RecvBlock{owner, offset, count});
+  }
+
+  // Rebuild the block with columns relabeled to the [owned | halo]
+  // numbering, restoring the per-row ascending order the split kernels
+  // rely on.
+  {
+    const auto old_cols = local_block.col_idx();
+    const auto old_vals = local_block.val();
+    const auto row_ptr_in = local_block.row_ptr();
+    std::vector<offset_t> row_ptr(row_ptr_in.begin(), row_ptr_in.end());
+    util::AlignedVector<index_t> cols(old_cols.size());
+    util::AlignedVector<sparse::value_t> vals(old_vals.size());
+    std::vector<std::pair<index_t, sparse::value_t>> scratch;
+    for (index_t i = 0; i < local_block.rows(); ++i) {
+      const auto begin =
+          static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
+      const auto end = static_cast<std::size_t>(
+          row_ptr[static_cast<std::size_t>(i) + 1]);
+      scratch.clear();
+      for (std::size_t k = begin; k < end; ++k) {
+        const index_t c = old_cols[k];
+        index_t relabeled;
+        if (c >= row_begin && c < row_end) {
+          relabeled = c - row_begin;
+        } else {
+          const auto it = std::lower_bound(result.halo_globals.begin(),
+                                           result.halo_globals.end(), c);
+          relabeled = local_rows +
+                      static_cast<index_t>(it - result.halo_globals.begin());
+        }
+        scratch.emplace_back(relabeled, old_vals[k]);
+      }
+      std::sort(scratch.begin(), scratch.end());
+      for (std::size_t k = begin; k < end; ++k) {
+        cols[k] = scratch[k - begin].first;
+        vals[k] = scratch[k - begin].second;
+      }
+    }
+    result.matrix = sparse::CsrMatrix(
+        local_rows, local_rows + result.plan.halo_count, std::move(row_ptr),
+        std::move(cols), std::move(vals));
+  }
+  return result;
+}
+
+}  // namespace hspmv::spmv

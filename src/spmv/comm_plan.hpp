@@ -1,0 +1,102 @@
+// Halo-exchange bookkeeping for distributed spMVM.
+//
+// "Due to off-diagonal nonzeros, every process requires some parts of the
+// RHS vector from other processes ... The resulting communication pattern
+// depends only on the sparsity structure, so the necessary bookkeeping
+// needs to be done only once." (Sect. 3.1)
+//
+// Local RHS layout after planning: [owned elements | halo elements],
+// where the halo is ordered by ascending global column. Because every
+// process owns a contiguous global row range, halo elements from one peer
+// are contiguous — each peer pair exchanges exactly one message per
+// spMVM.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::spmv {
+
+/// A contiguous run of halo elements received from one peer.
+struct RecvBlock {
+  int peer = 0;
+  sparse::index_t halo_offset = 0;  ///< into the halo segment
+  sparse::index_t count = 0;
+};
+
+/// Elements of the owned segment to pack and send to one peer.
+struct SendBlock {
+  int peer = 0;
+  std::vector<sparse::index_t> gather;  ///< owned-local indices
+};
+
+struct CommPlan {
+  sparse::index_t local_rows = 0;
+  sparse::index_t halo_count = 0;
+  std::vector<RecvBlock> recv_blocks;
+  std::vector<SendBlock> send_blocks;
+
+  [[nodiscard]] std::size_t send_elements() const {
+    std::size_t total = 0;
+    for (const auto& b : send_blocks) total += b.gather.size();
+    return total;
+  }
+  [[nodiscard]] std::size_t recv_elements() const {
+    return static_cast<std::size_t>(halo_count);
+  }
+};
+
+/// Model-facing partition analysis: communication structure of every part
+/// at once, without instantiating a runtime. Used by the cluster
+/// execution-time simulator.
+struct PartitionCommStats {
+  std::vector<std::int64_t> local_nnz;     ///< entries hitting owned columns
+  std::vector<std::int64_t> nonlocal_nnz;  ///< entries hitting the halo
+  /// recv_from[p] = {(peer, element count)} — unique RHS elements part p
+  /// needs from each peer.
+  std::vector<std::vector<std::pair<int, std::int64_t>>> recv_from;
+
+  [[nodiscard]] std::int64_t total_halo_elements() const {
+    std::int64_t total = 0;
+    for (const auto& peers : recv_from) {
+      for (const auto& [peer, count] : peers) total += count;
+    }
+    return total;
+  }
+};
+
+PartitionCommStats analyze_partition(
+    const sparse::CsrMatrix& global,
+    std::span<const sparse::index_t> boundaries);
+
+/// Receive-side plan of one part plus the global ids of its halo
+/// elements. The send side is only known to the *other* parts; it is
+/// established by exchanging the halo id lists (DistMatrix does this with
+/// an alltoallv, like a real distributed implementation).
+struct LocalPlan {
+  CommPlan plan;  ///< send_blocks empty until the exchange
+  /// Ascending global column of each halo element; runs belonging to one
+  /// owner are contiguous.
+  std::vector<sparse::index_t> halo_globals;
+  /// The local row block with columns rewritten to the compacted
+  /// [owned | halo] numbering (cols() == local_rows + halo_count; each
+  /// row's columns ascending, so the owned prefix is contiguous — the
+  /// split kernels' invariant).
+  sparse::CsrMatrix matrix;
+};
+
+/// Which part owns global column `col` under `boundaries`.
+int owner_of(std::span<const sparse::index_t> boundaries,
+             sparse::index_t col);
+
+/// Build the receive-side plan for `part` from the row block
+/// [boundaries[part], boundaries[part+1]) of the global matrix (with
+/// global column indices).
+LocalPlan build_local_plan(const sparse::CsrMatrix& local_block,
+                           std::span<const sparse::index_t> boundaries,
+                           int part);
+
+}  // namespace hspmv::spmv

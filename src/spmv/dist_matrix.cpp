@@ -1,0 +1,84 @@
+#include "spmv/dist_matrix.hpp"
+
+#include <stdexcept>
+
+namespace hspmv::spmv {
+
+using sparse::index_t;
+
+DistMatrix::DistMatrix(minimpi::Comm comm, const sparse::CsrMatrix& global,
+                       std::span<const index_t> boundaries)
+    : comm_(comm) {
+  if (!comm.valid()) {
+    throw std::invalid_argument("DistMatrix: invalid communicator");
+  }
+  if (boundaries.size() != static_cast<std::size_t>(comm.size()) + 1) {
+    throw std::invalid_argument(
+        "DistMatrix: boundaries must have comm.size()+1 entries");
+  }
+  const int rank = comm.rank();
+  row_begin_ = boundaries[static_cast<std::size_t>(rank)];
+  global_rows_ = global.rows();
+  global_nnz_ = global.nnz();
+
+  const sparse::CsrMatrix block = global.row_block(
+      row_begin_, boundaries[static_cast<std::size_t>(rank) + 1]);
+  init_from_block(block, boundaries);
+}
+
+DistMatrix DistMatrix::from_local_block(
+    minimpi::Comm comm, const sparse::CsrMatrix& local_block,
+    std::span<const index_t> boundaries) {
+  if (!comm.valid()) {
+    throw std::invalid_argument("DistMatrix: invalid communicator");
+  }
+  if (boundaries.size() != static_cast<std::size_t>(comm.size()) + 1) {
+    throw std::invalid_argument(
+        "DistMatrix: boundaries must have comm.size()+1 entries");
+  }
+  DistMatrix result;
+  result.comm_ = comm;
+  const int rank = comm.rank();
+  result.row_begin_ = boundaries[static_cast<std::size_t>(rank)];
+  result.global_rows_ = boundaries.back();
+  if (local_block.cols() != result.global_rows_) {
+    throw std::invalid_argument(
+        "DistMatrix::from_local_block: block columns must span the global "
+        "index range");
+  }
+  // Global nnz is only known collectively here.
+  result.global_nnz_ =
+      comm.allreduce(local_block.nnz(), minimpi::ReduceOp::kSum);
+  result.init_from_block(local_block, boundaries);
+  return result;
+}
+
+void DistMatrix::init_from_block(const sparse::CsrMatrix& block,
+                                 std::span<const index_t> boundaries) {
+  local_ = build_local_plan(block, boundaries, comm_.rank());
+
+  // Tell every peer which of its elements I need; learn what peers need
+  // from me. One alltoallv of global column ids.
+  std::vector<std::vector<index_t>> needs(
+      static_cast<std::size_t>(comm_.size()));
+  for (const RecvBlock& rb : local_.plan.recv_blocks) {
+    auto& list = needs[static_cast<std::size_t>(rb.peer)];
+    list.assign(
+        local_.halo_globals.begin() + rb.halo_offset,
+        local_.halo_globals.begin() + rb.halo_offset + rb.count);
+  }
+  const auto requested = comm_.alltoallv(needs);
+  for (int peer = 0; peer < comm_.size(); ++peer) {
+    const auto& list = requested[static_cast<std::size_t>(peer)];
+    if (list.empty()) continue;
+    SendBlock sb;
+    sb.peer = peer;
+    sb.gather.reserve(list.size());
+    for (const index_t global_col : list) {
+      sb.gather.push_back(global_col - row_begin_);
+    }
+    local_.plan.send_blocks.push_back(std::move(sb));
+  }
+}
+
+}  // namespace hspmv::spmv

@@ -1,0 +1,65 @@
+// Distributed sparse matrix: each rank owns a contiguous row block and
+// the halo-exchange plan for its RHS.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "spmv/comm_plan.hpp"
+
+namespace hspmv::spmv {
+
+class DistMatrix {
+ public:
+  /// Collective over `comm`: every rank extracts its row block
+  /// [boundaries[rank], boundaries[rank+1]) from the (replicated) global
+  /// matrix, builds its receive plan, and exchanges halo id lists with an
+  /// alltoallv to learn its send lists — the "bookkeeping done only once"
+  /// of Sect. 3.1. boundaries must have comm.size()+1 entries.
+  DistMatrix(minimpi::Comm comm, const sparse::CsrMatrix& global,
+             std::span<const sparse::index_t> boundaries);
+
+  /// Collective: build from an already-distributed local row block
+  /// (global column indices; rows [boundaries[rank], boundaries[rank+1])).
+  /// This is the truly distributed construction path — the global matrix
+  /// never exists in one place; only the halo id lists travel.
+  static DistMatrix from_local_block(
+      minimpi::Comm comm, const sparse::CsrMatrix& local_block,
+      std::span<const sparse::index_t> boundaries);
+
+  [[nodiscard]] const minimpi::Comm& comm() const { return comm_; }
+  /// Local row block, columns in the compacted [owned | halo] numbering.
+  [[nodiscard]] const sparse::CsrMatrix& local() const { return local_.matrix; }
+  [[nodiscard]] const CommPlan& plan() const { return local_.plan; }
+  [[nodiscard]] sparse::index_t owned_rows() const {
+    return local_.plan.local_rows;
+  }
+  [[nodiscard]] sparse::index_t halo_count() const {
+    return local_.plan.halo_count;
+  }
+  [[nodiscard]] sparse::index_t row_begin() const { return row_begin_; }
+  [[nodiscard]] sparse::index_t global_rows() const { return global_rows_; }
+  [[nodiscard]] std::int64_t global_nnz() const { return global_nnz_; }
+  /// Global column id of halo slot `h` (0-based into the halo segment).
+  [[nodiscard]] sparse::index_t halo_global(sparse::index_t h) const {
+    return local_.halo_globals[static_cast<std::size_t>(h)];
+  }
+
+ private:
+  DistMatrix() = default;
+
+  /// Shared tail of both construction paths: build the receive plan from
+  /// the local block and exchange halo id lists for the send lists.
+  void init_from_block(const sparse::CsrMatrix& block,
+                       std::span<const sparse::index_t> boundaries);
+
+  minimpi::Comm comm_;
+  sparse::index_t row_begin_ = 0;
+  sparse::index_t global_rows_ = 0;
+  std::int64_t global_nnz_ = 0;
+  LocalPlan local_;
+};
+
+}  // namespace hspmv::spmv

@@ -1,0 +1,66 @@
+// Distributed vector: owned segment plus halo storage, laid out so the
+// relabeled local matrix can index it directly.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "spmv/dist_matrix.hpp"
+#include "util/aligned.hpp"
+
+namespace hspmv::spmv {
+
+class DistVector {
+ public:
+  explicit DistVector(const DistMatrix& matrix)
+      : owned_(matrix.owned_rows()),
+        data_(static_cast<std::size_t>(matrix.owned_rows()) +
+              static_cast<std::size_t>(matrix.halo_count())) {}
+
+  /// The elements this rank owns.
+  [[nodiscard]] std::span<sparse::value_t> owned() {
+    return std::span<sparse::value_t>(data_.data(),
+                                      static_cast<std::size_t>(owned_));
+  }
+  [[nodiscard]] std::span<const sparse::value_t> owned() const {
+    return std::span<const sparse::value_t>(data_.data(),
+                                            static_cast<std::size_t>(owned_));
+  }
+
+  /// Owned + halo — what the relabeled spMVM kernels read as B(:).
+  [[nodiscard]] std::span<sparse::value_t> full() {
+    return std::span<sparse::value_t>(data_.data(), data_.size());
+  }
+  [[nodiscard]] std::span<const sparse::value_t> full() const {
+    return std::span<const sparse::value_t>(data_.data(), data_.size());
+  }
+
+  /// Halo segment only.
+  [[nodiscard]] std::span<sparse::value_t> halo() {
+    return std::span<sparse::value_t>(data_.data() + owned_,
+                                      data_.size() -
+                                          static_cast<std::size_t>(owned_));
+  }
+
+  [[nodiscard]] sparse::index_t owned_size() const { return owned_; }
+
+  /// Initialize the owned segment from this rank's slice of a replicated
+  /// global vector.
+  void assign_from_global(std::span<const sparse::value_t> global,
+                          sparse::index_t row_begin) {
+    if (global.size() <
+        static_cast<std::size_t>(row_begin) + static_cast<std::size_t>(owned_)) {
+      throw std::invalid_argument("DistVector: global vector too small");
+    }
+    for (sparse::index_t i = 0; i < owned_; ++i) {
+      data_[static_cast<std::size_t>(i)] =
+          global[static_cast<std::size_t>(row_begin + i)];
+    }
+  }
+
+ private:
+  sparse::index_t owned_;
+  util::AlignedVector<sparse::value_t> data_;
+};
+
+}  // namespace hspmv::spmv

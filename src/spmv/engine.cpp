@@ -1,0 +1,304 @@
+#include "spmv/engine.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "sparse/kernels.hpp"
+#include "util/timer.hpp"
+
+namespace hspmv::spmv {
+
+using sparse::index_t;
+using sparse::value_t;
+
+Timings& Timings::operator+=(const Timings& other) {
+  gather_s += other.gather_s;
+  comm_s += other.comm_s;
+  local_s += other.local_s;
+  nonlocal_s += other.nonlocal_s;
+  total_s += other.total_s;
+  return *this;
+}
+
+void SpmvEngine::set_trace(util::Timeline* trace, std::string lane_prefix) {
+  trace_ = trace;
+  trace_prefix_ = std::move(lane_prefix);
+}
+
+SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant)
+    : matrix_(matrix),
+      variant_(variant),
+      team_(threads),
+      compute_threads_(variant == Variant::kTaskMode ? threads - 1 : threads) {
+  if (variant == Variant::kTaskMode && threads < 2) {
+    throw std::invalid_argument(
+        "SpmvEngine: task mode needs a communication thread plus at least "
+        "one worker");
+  }
+  worker_rows_ = team::nnz_balanced_boundaries(matrix.local().row_ptr(),
+                                               compute_threads_);
+  send_buffers_.resize(matrix.plan().send_blocks.size());
+  for (std::size_t s = 0; s < send_buffers_.size(); ++s) {
+    send_buffers_[s].resize(matrix.plan().send_blocks[s].gather.size());
+  }
+}
+
+void SpmvEngine::post_recvs(DistVector& x,
+                            std::vector<minimpi::Request>& requests) {
+  auto halo = x.halo();
+  for (const RecvBlock& block : matrix_.plan().recv_blocks) {
+    requests.push_back(matrix_.comm().irecv(
+        halo.subspan(static_cast<std::size_t>(block.halo_offset),
+                     static_cast<std::size_t>(block.count)),
+        block.peer));
+  }
+}
+
+void SpmvEngine::gather_block(const SendBlock& block,
+                              std::span<const value_t> owned,
+                              std::size_t slot) {
+  auto& buffer = send_buffers_[slot];
+  for (std::size_t i = 0; i < block.gather.size(); ++i) {
+    buffer[i] = owned[static_cast<std::size_t>(block.gather[i])];
+  }
+}
+
+void SpmvEngine::post_sends(std::vector<minimpi::Request>& requests) {
+  const auto& blocks = matrix_.plan().send_blocks;
+  for (std::size_t s = 0; s < blocks.size(); ++s) {
+    requests.push_back(matrix_.comm().isend(
+        std::span<const value_t>(send_buffers_[s].data(),
+                                 send_buffers_[s].size()),
+        blocks[s].peer));
+  }
+}
+
+SpmvEngine::TrafficEstimate SpmvEngine::traffic_estimate() const {
+  TrafficEstimate estimate;
+  const auto& local = matrix_.local();
+  const auto& plan = matrix_.plan();
+  const auto nnz = static_cast<double>(local.nnz());
+  const auto rows = static_cast<double>(local.rows());
+  // Streaming arrays: val (8 B) + col_idx (4 B) per nonzero, row_ptr
+  // (8 B) per row.
+  estimate.matrix_bytes = nnz * 12.0 + rows * 8.0;
+  // B loaded at least once (owned + halo), C write-allocate + evict.
+  estimate.vector_bytes =
+      8.0 * (rows + static_cast<double>(plan.halo_count)) + 16.0 * rows;
+  if (variant_ != Variant::kVectorNoOverlap) {
+    estimate.extra_c_bytes = 16.0 * rows;  // Eq. 2's second C sweep
+  }
+  estimate.comm_recv_bytes = 8.0 * static_cast<double>(plan.halo_count);
+  estimate.comm_send_bytes = 8.0 * static_cast<double>(plan.send_elements());
+  estimate.messages = static_cast<int>(plan.recv_blocks.size() +
+                                       plan.send_blocks.size());
+  return estimate;
+}
+
+Timings SpmvEngine::apply(DistVector& x, DistVector& y) {
+  if (x.owned_size() != matrix_.owned_rows() ||
+      y.owned_size() != matrix_.owned_rows()) {
+    throw std::invalid_argument("SpmvEngine::apply: vector shape mismatch");
+  }
+  switch (variant_) {
+    case Variant::kVectorNoOverlap:
+      return apply_vector(x, y, /*naive_overlap=*/false);
+    case Variant::kVectorNaiveOverlap:
+      return apply_vector(x, y, /*naive_overlap=*/true);
+    case Variant::kTaskMode:
+      return apply_task_mode(x, y);
+  }
+  throw std::logic_error("SpmvEngine::apply: unknown variant");
+}
+
+Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
+                                 bool naive_overlap) {
+  Timings t;
+  util::Timer total;
+  const auto& plan = matrix_.plan();
+  const auto& local = matrix_.local();
+  const index_t owned = matrix_.owned_rows();
+
+  std::vector<minimpi::Request> requests;
+  requests.reserve(plan.recv_blocks.size() + plan.send_blocks.size());
+  post_recvs(x, requests);
+
+  // Gather the send buffers "after the receive has been initiated,
+  // potentially hiding the cost of copying" (Sect. 3.1). One thread per
+  // block; blocks are few and small relative to the kernel.
+  {
+    util::Timer timer;
+    const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+    const auto owned_span = x.owned();
+    for (std::size_t s = 0; s < plan.send_blocks.size(); ++s) {
+      gather_block(plan.send_blocks[s], owned_span, s);
+    }
+    t.gather_s = timer.seconds();
+    if (trace_ != nullptr) {
+      trace_->record(trace_prefix_ + "t0", "gather (copy to send buffers)",
+                     trace_begin, trace_->now(), 'g');
+    }
+  }
+  post_sends(requests);
+
+  const auto run_chunks = [&](auto&& kernel, const char* phase_label,
+                              char glyph) {
+    team_.execute([&](int id) {
+      const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+      const auto begin =
+          static_cast<index_t>(worker_rows_[static_cast<std::size_t>(id)]);
+      const auto end = static_cast<index_t>(
+          worker_rows_[static_cast<std::size_t>(id) + 1]);
+      kernel(begin, end);
+      if (trace_ != nullptr) {
+        trace_->record(trace_prefix_ + "t" + std::to_string(id), phase_label,
+                       trace_begin, trace_->now(), glyph);
+      }
+    });
+  };
+
+  const auto traced_waitall = [&]() {
+    util::Timer timer;
+    const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+    matrix_.comm().wait_all(requests);
+    if (trace_ != nullptr) {
+      trace_->record(trace_prefix_ + "t0", "MPI_Waitall", trace_begin,
+                     trace_->now(), 'W');
+    }
+    return timer.seconds();
+  };
+
+  if (!naive_overlap) {
+    // Fig. 4(a): finish communication, then one full kernel sweep.
+    t.comm_s = traced_waitall();
+    util::Timer timer;
+    run_chunks(
+        [&](index_t begin, index_t end) {
+          sparse::spmv_rows(local, begin, end, x.full(), y.owned());
+        },
+        "spMVM of all elements", '#');
+    t.local_s = timer.seconds();
+  } else {
+    // Fig. 4(b): local part first — but with deferred progress nothing
+    // moves until Waitall.
+    {
+      util::Timer timer;
+      run_chunks(
+          [&](index_t begin, index_t end) {
+            sparse::spmv_local_rows(local, owned, begin, end, x.full(),
+                                    y.owned());
+          },
+          "spMVM: local elements", '#');
+      t.local_s = timer.seconds();
+    }
+    t.comm_s = traced_waitall();
+    util::Timer timer;
+    run_chunks(
+        [&](index_t begin, index_t end) {
+          sparse::spmv_nonlocal_rows(local, owned, begin, end, x.full(),
+                                     y.owned());
+        },
+        "spMVM: non-local elements", 'n');
+    t.nonlocal_s = timer.seconds();
+  }
+  t.total_s = total.seconds();
+  return t;
+}
+
+Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
+  Timings t;
+  util::Timer total;
+  const auto& plan = matrix_.plan();
+  const auto& local = matrix_.local();
+  const index_t owned = matrix_.owned_rows();
+
+  std::vector<minimpi::Request> requests;
+  requests.reserve(plan.recv_blocks.size() + plan.send_blocks.size());
+  post_recvs(x, requests);
+
+  // Fig. 4(c): thread 0 is the communication thread. Workers gather the
+  // send buffers, hit a barrier (comm thread included, so it may post the
+  // sends), run the local kernel while the comm thread sits in Waitall,
+  // hit the second barrier, then sweep the non-local elements.
+  team::Barrier gather_done(team_.size());
+  team::Barrier comm_done(team_.size());
+  std::atomic<double> gather_seconds{0.0};
+  std::atomic<double> local_seconds{0.0};
+  const auto owned_span = x.owned();
+
+  team_.execute([&](int id) {
+    const std::string lane = trace_prefix_ + "t" + std::to_string(id);
+    if (id == 0) {
+      gather_done.arrive_and_wait();
+      util::Timer timer;
+      const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+      post_sends(requests);
+      matrix_.comm().wait_all(requests);
+      t.comm_s = timer.seconds();
+      if (trace_ != nullptr) {
+        trace_->record(lane, "comm thread: MPI_Isend + MPI_Waitall",
+                       trace_begin, trace_->now(), 'W');
+      }
+      comm_done.arrive_and_wait();
+      // "One thread executes MPI calls only" — the communication thread
+      // does not join the non-local sweep.
+      return;
+    }
+    const int worker = id - 1;
+    {
+      util::Timer timer;
+      const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+      // Distribute the gather lists over workers by block.
+      for (std::size_t s = static_cast<std::size_t>(worker);
+           s < plan.send_blocks.size();
+           s += static_cast<std::size_t>(compute_threads_)) {
+        gather_block(plan.send_blocks[s], owned_span, s);
+      }
+      if (trace_ != nullptr) {
+        trace_->record(lane, "gather (copy to send buffers)", trace_begin,
+                       trace_->now(), 'g');
+      }
+      const double mine = timer.seconds();
+      double previous = gather_seconds.load();
+      while (previous < mine &&
+             !gather_seconds.compare_exchange_weak(previous, mine)) {
+      }
+    }
+    gather_done.arrive_and_wait();
+    const auto begin =
+        static_cast<index_t>(worker_rows_[static_cast<std::size_t>(worker)]);
+    const auto end = static_cast<index_t>(
+        worker_rows_[static_cast<std::size_t>(worker) + 1]);
+    {
+      util::Timer timer;
+      const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+      sparse::spmv_local_rows(local, owned, begin, end, x.full(), y.owned());
+      if (trace_ != nullptr) {
+        trace_->record(lane, "spMVM: local elements", trace_begin,
+                       trace_->now(), '#');
+      }
+      const double mine = timer.seconds();
+      double previous = local_seconds.load();
+      while (previous < mine &&
+             !local_seconds.compare_exchange_weak(previous, mine)) {
+      }
+    }
+    comm_done.arrive_and_wait();
+    {
+      const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+      sparse::spmv_nonlocal_rows(local, owned, begin, end, x.full(),
+                                 y.owned());
+      if (trace_ != nullptr) {
+        trace_->record(lane, "spMVM: non-local elements", trace_begin,
+                       trace_->now(), 'n');
+      }
+    }
+  });
+
+  t.gather_s = gather_seconds.load();
+  t.local_s = local_seconds.load();
+  t.total_s = total.seconds();
+  return t;
+}
+
+}  // namespace hspmv::spmv

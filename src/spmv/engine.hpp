@@ -1,0 +1,103 @@
+// The three distributed spMVM execution strategies of the paper (Fig. 4):
+//
+//  (a) vector mode, no overlap   — Irecv; gather; Isend; Waitall; full
+//      spMVM over all elements.
+//  (b) vector mode, naive overlap — Irecv; gather; Isend; spMVM of the
+//      *local* elements; Waitall; spMVM of the non-local elements. With
+//      deferred progress (standard MPI) the communication does NOT
+//      overlap the local compute — it happens inside Waitall — and the
+//      split kernel pays Eq. (2)'s extra result-vector traffic.
+//  (c) task mode, explicit overlap — a dedicated communication thread
+//      executes Isend/Waitall while the remaining threads run the local
+//      spMVM; work is distributed explicitly (contiguous nonzero chunks
+//      per compute thread), since OpenMP has no subteams.
+#pragma once
+
+#include <vector>
+
+#include <string>
+
+#include "spmv/dist_matrix.hpp"
+#include "spmv/dist_vector.hpp"
+#include "team/thread_team.hpp"
+#include "util/aligned.hpp"
+#include "util/timeline.hpp"
+
+namespace hspmv::spmv {
+
+enum class Variant {
+  kVectorNoOverlap,
+  kVectorNaiveOverlap,
+  kTaskMode,
+};
+
+/// Wall-clock phase attribution of one apply(). Phases overlap in task
+/// mode, so the sum can exceed total_s there.
+struct Timings {
+  double gather_s = 0.0;
+  double comm_s = 0.0;       ///< time inside Waitall (plus Isend posting)
+  double local_s = 0.0;      ///< local/full compute phase (max over threads)
+  double nonlocal_s = 0.0;
+  double total_s = 0.0;
+
+  Timings& operator+=(const Timings& other);
+};
+
+class SpmvEngine {
+ public:
+  /// `threads`: team size per rank. Task mode needs >= 2 (one
+  /// communication thread + at least one worker).
+  SpmvEngine(const DistMatrix& matrix, int threads, Variant variant);
+
+  /// y(owned) = A * x. x's halo segment is overwritten with fresh remote
+  /// values. Collective across the matrix's communicator.
+  Timings apply(DistVector& x, DistVector& y);
+
+  [[nodiscard]] Variant variant() const { return variant_; }
+  [[nodiscard]] int threads() const { return team_.size(); }
+  [[nodiscard]] int compute_threads() const { return compute_threads_; }
+
+  /// Attach a timeline recorder (nullptr to detach): every phase of each
+  /// team thread is recorded as a span on lane "<prefix>t<id>" — the
+  /// measured counterpart of the paper's Fig. 4 schematics.
+  void set_trace(util::Timeline* trace, std::string lane_prefix = "");
+
+  /// Model-based per-apply traffic accounting for this rank (the
+  /// LIKWID-counter analogue): minimum memory bytes per Eq. 1/2 plus the
+  /// exact halo-exchange bytes from the communication plan.
+  struct TrafficEstimate {
+    double matrix_bytes = 0.0;   ///< val + col_idx + row_ptr streaming
+    double vector_bytes = 0.0;   ///< B first load + C write-allocate/evict
+    double extra_c_bytes = 0.0;  ///< Eq. 2's second result-vector sweep
+    double comm_recv_bytes = 0.0;
+    double comm_send_bytes = 0.0;
+    int messages = 0;
+
+    [[nodiscard]] double kernel_bytes() const {
+      return matrix_bytes + vector_bytes + extra_c_bytes;
+    }
+  };
+  [[nodiscard]] TrafficEstimate traffic_estimate() const;
+
+ private:
+  void post_recvs(DistVector& x, std::vector<minimpi::Request>& requests);
+  void gather_block(const SendBlock& block,
+                    std::span<const sparse::value_t> owned, std::size_t slot);
+  void post_sends(std::vector<minimpi::Request>& requests);
+
+  Timings apply_vector(DistVector& x, DistVector& y, bool naive_overlap);
+  Timings apply_task_mode(DistVector& x, DistVector& y);
+
+  const DistMatrix& matrix_;
+  Variant variant_;
+  team::ThreadTeam team_;
+  int compute_threads_;
+  /// Contiguous nonzero-balanced row chunks, one per compute thread.
+  std::vector<std::int64_t> worker_rows_;
+  /// One packed buffer per send block.
+  std::vector<util::AlignedVector<sparse::value_t>> send_buffers_;
+  util::Timeline* trace_ = nullptr;
+  std::string trace_prefix_;
+};
+
+}  // namespace hspmv::spmv

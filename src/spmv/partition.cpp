@@ -1,0 +1,55 @@
+#include "spmv/partition.hpp"
+
+#include <stdexcept>
+
+#include "team/thread_team.hpp"
+#include "util/stats.hpp"
+
+namespace hspmv::spmv {
+
+std::vector<sparse::index_t> partition_rows(const sparse::CsrMatrix& a,
+                                            int parts,
+                                            PartitionStrategy strategy) {
+  if (parts < 1) {
+    throw std::invalid_argument("partition_rows: parts must be >= 1");
+  }
+  std::vector<sparse::index_t> boundaries(static_cast<std::size_t>(parts) +
+                                          1);
+  if (strategy == PartitionStrategy::kBalancedRows) {
+    for (int p = 0; p <= parts; ++p) {
+      boundaries[static_cast<std::size_t>(p)] = static_cast<sparse::index_t>(
+          static_cast<std::int64_t>(a.rows()) * p / parts);
+    }
+    return boundaries;
+  }
+  const auto wide = team::nnz_balanced_boundaries(a.row_ptr(), parts);
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    boundaries[i] = static_cast<sparse::index_t>(wide[i]);
+  }
+  return boundaries;
+}
+
+std::vector<std::int64_t> partition_nnz(
+    const sparse::CsrMatrix& a,
+    std::span<const sparse::index_t> boundaries) {
+  if (boundaries.size() < 2 || boundaries.front() != 0 ||
+      boundaries.back() != a.rows()) {
+    throw std::invalid_argument("partition_nnz: bad boundaries");
+  }
+  const auto row_ptr = a.row_ptr();
+  std::vector<std::int64_t> nnz(boundaries.size() - 1);
+  for (std::size_t p = 0; p + 1 < boundaries.size(); ++p) {
+    nnz[p] = row_ptr[static_cast<std::size_t>(boundaries[p + 1])] -
+             row_ptr[static_cast<std::size_t>(boundaries[p])];
+  }
+  return nnz;
+}
+
+double partition_imbalance(const sparse::CsrMatrix& a,
+                           std::span<const sparse::index_t> boundaries) {
+  const auto nnz = partition_nnz(a, boundaries);
+  std::vector<double> loads(nnz.begin(), nnz.end());
+  return util::imbalance_factor(loads);
+}
+
+}  // namespace hspmv::spmv

@@ -1,0 +1,36 @@
+// Row partitioning of a global matrix across processes.
+//
+// The paper distributes nonzeros (or alternatively rows) evenly across
+// MPI processes (Sect. 3.1, footnote 2: "We use a balanced distribution
+// of nonzeros across the MPI processes here"). Both strategies are
+// provided; the ablation EXP-A2 compares them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::spmv {
+
+enum class PartitionStrategy {
+  kBalancedRows,      ///< equal row counts
+  kBalancedNonzeros,  ///< equal nonzero counts (the paper's choice)
+};
+
+/// Contiguous row boundaries for `parts` partitions: parts+1 entries,
+/// front() == 0, back() == a.rows(), nondecreasing.
+std::vector<sparse::index_t> partition_rows(const sparse::CsrMatrix& a,
+                                            int parts,
+                                            PartitionStrategy strategy);
+
+/// Per-part nonzero counts under the given boundaries.
+std::vector<std::int64_t> partition_nnz(const sparse::CsrMatrix& a,
+                                        std::span<const sparse::index_t>
+                                            boundaries);
+
+/// Load-imbalance factor (max/mean) of the per-part nonzero counts.
+double partition_imbalance(const sparse::CsrMatrix& a,
+                           std::span<const sparse::index_t> boundaries);
+
+}  // namespace hspmv::spmv

@@ -1,0 +1,182 @@
+#include "spmv/symmetric_engine.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace hspmv::spmv {
+
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+SymmetricSpmvEngine::SymmetricSpmvEngine(const DistMatrix& matrix,
+                                         int threads)
+    : matrix_(matrix), team_(threads) {
+  const auto& local = matrix.local();
+  // Upper-triangle invariant in the relabeled numbering: every owned
+  // column of row i satisfies col >= i (halo columns are >= local_rows
+  // and thus always satisfy it).
+  for (index_t i = 0; i < local.rows(); ++i) {
+    const auto [cols, vals] = local.row(i);
+    if (!cols.empty() && cols.front() < i) {
+      throw std::invalid_argument(
+          "SymmetricSpmvEngine: block is not upper-triangular — build the "
+          "DistMatrix from SymmetricCsr::upper()");
+    }
+  }
+  worker_rows_ =
+      team::nnz_balanced_boundaries(local.row_ptr(), team_.size());
+  const auto& plan = matrix.plan();
+  send_buffers_.resize(plan.send_blocks.size());
+  reverse_buffers_.resize(plan.send_blocks.size());
+  for (std::size_t s = 0; s < plan.send_blocks.size(); ++s) {
+    send_buffers_[s].resize(plan.send_blocks[s].gather.size());
+    reverse_buffers_[s].resize(plan.send_blocks[s].gather.size());
+  }
+  halo_contributions_.resize(static_cast<std::size_t>(plan.halo_count));
+  scratch_.resize(static_cast<std::size_t>(team_.size()));
+  const auto extended = static_cast<std::size_t>(matrix.owned_rows()) +
+                        static_cast<std::size_t>(plan.halo_count);
+  for (auto& buffer : scratch_) buffer.assign(extended, 0.0);
+}
+
+Timings SymmetricSpmvEngine::apply(DistVector& x, DistVector& y) {
+  if (x.owned_size() != matrix_.owned_rows() ||
+      y.owned_size() != matrix_.owned_rows()) {
+    throw std::invalid_argument(
+        "SymmetricSpmvEngine::apply: vector shape mismatch");
+  }
+  Timings t;
+  util::Timer total;
+  const auto& plan = matrix_.plan();
+  const auto& local = matrix_.local();
+  const auto owned = static_cast<std::size_t>(matrix_.owned_rows());
+  const auto& comm = matrix_.comm();
+
+  // Phase 1: forward halo exchange of x.
+  std::vector<minimpi::Request> requests;
+  requests.reserve(plan.recv_blocks.size() + plan.send_blocks.size());
+  auto halo = x.halo();
+  for (const RecvBlock& block : plan.recv_blocks) {
+    requests.push_back(comm.irecv(
+        halo.subspan(static_cast<std::size_t>(block.halo_offset),
+                     static_cast<std::size_t>(block.count)),
+        block.peer, /*tag=*/0));
+  }
+  {
+    util::Timer timer;
+    const auto owned_span = x.owned();
+    for (std::size_t s = 0; s < plan.send_blocks.size(); ++s) {
+      const auto& block = plan.send_blocks[s];
+      for (std::size_t k = 0; k < block.gather.size(); ++k) {
+        send_buffers_[s][k] =
+            owned_span[static_cast<std::size_t>(block.gather[k])];
+      }
+      requests.push_back(comm.isend(
+          std::span<const value_t>(send_buffers_[s].data(),
+                                   send_buffers_[s].size()),
+          block.peer, /*tag=*/0));
+    }
+    t.gather_s = timer.seconds();
+  }
+  {
+    util::Timer timer;
+    comm.wait_all(requests);
+    t.comm_s += timer.seconds();
+  }
+
+  // Phase 2: the symmetric sweep. Direct results go to y(owned) (row
+  // ownership makes them race-free); mirrored updates go to per-thread
+  // scratch over the extended [owned | halo] index space, reduced below.
+  {
+    util::Timer timer;
+    const auto row_ptr = local.row_ptr();
+    const auto col_idx = local.col_idx();
+    const auto val = local.val();
+    const auto x_full = x.full();
+    auto y_owned = y.owned();
+    const auto extended = owned + halo.size();
+    team::Barrier swept(team_.size());
+    team_.execute([&](int id) {
+      auto& mine = scratch_[static_cast<std::size_t>(id)];
+      const auto begin = static_cast<index_t>(
+          worker_rows_[static_cast<std::size_t>(id)]);
+      const auto end = static_cast<index_t>(
+          worker_rows_[static_cast<std::size_t>(id) + 1]);
+      for (index_t i = begin; i < end; ++i) {
+        value_t sum = 0.0;
+        const value_t xi = x_full[static_cast<std::size_t>(i)];
+        for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
+             k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+          const index_t c = col_idx[static_cast<std::size_t>(k)];
+          const value_t v = val[static_cast<std::size_t>(k)];
+          sum += v * x_full[static_cast<std::size_t>(c)];
+          if (c != i) mine[static_cast<std::size_t>(c)] += v * xi;
+        }
+        y_owned[static_cast<std::size_t>(i)] = sum;
+      }
+      swept.arrive_and_wait();
+      // Reduce the private buffers over disjoint ranges of the extended
+      // index space, clearing them for the next apply().
+      const auto range = team::static_chunk(
+          0, static_cast<std::int64_t>(extended), id, team_.size());
+      for (int thread = 0; thread < team_.size(); ++thread) {
+        auto& buffer = scratch_[static_cast<std::size_t>(thread)];
+        for (std::int64_t e = range.begin; e < range.end; ++e) {
+          const auto index = static_cast<std::size_t>(e);
+          const value_t contribution = buffer[index];
+          if (contribution != 0.0) {
+            if (index < owned) {
+              y_owned[index] += contribution;
+            } else {
+              halo_contributions_[index - owned] += contribution;
+            }
+            buffer[index] = 0.0;
+          }
+        }
+      }
+    });
+    t.local_s = timer.seconds();
+  }
+
+  // Phase 3: reverse exchange — mirrored contributions travel back along
+  // the same lists with swapped roles.
+  requests.clear();
+  for (std::size_t s = 0; s < plan.send_blocks.size(); ++s) {
+    requests.push_back(comm.irecv(
+        std::span<value_t>(reverse_buffers_[s].data(),
+                           reverse_buffers_[s].size()),
+        plan.send_blocks[s].peer, /*tag=*/1));
+  }
+  for (const RecvBlock& block : plan.recv_blocks) {
+    requests.push_back(comm.isend(
+        std::span<const value_t>(
+            halo_contributions_.data() +
+                static_cast<std::size_t>(block.halo_offset),
+            static_cast<std::size_t>(block.count)),
+        block.peer, /*tag=*/1));
+  }
+  {
+    util::Timer timer;
+    comm.wait_all(requests);
+    t.comm_s += timer.seconds();
+  }
+  {
+    auto y_owned = y.owned();
+    for (std::size_t s = 0; s < plan.send_blocks.size(); ++s) {
+      const auto& block = plan.send_blocks[s];
+      for (std::size_t k = 0; k < block.gather.size(); ++k) {
+        y_owned[static_cast<std::size_t>(block.gather[k])] +=
+            reverse_buffers_[s][k];
+      }
+    }
+    // Clear the halo contributions for the next apply().
+    for (auto& v : halo_contributions_) v = 0.0;
+  }
+
+  t.total_s = total.seconds();
+  return t;
+}
+
+}  // namespace hspmv::spmv

@@ -1,0 +1,61 @@
+// Distributed *symmetric* spMVM — the optimization the paper set aside
+// (Sect. 1.3.1): store only the upper triangle, halving the matrix
+// traffic, at the cost of a second (reverse) communication phase.
+//
+// With contiguous row ownership and upper-triangle storage, every
+// non-local column j of rank r satisfies j >= r's row range, so the halo
+// comes exclusively from higher ranks; the mirrored contributions
+// val * x(i) that rank r computes for rows j it does not own flow back
+// along exactly the same lists:
+//
+//   1. forward exchange: receive x(halo) from higher ranks, send my owned
+//      x elements to lower ranks (the standard CommPlan, built on the
+//      upper-triangle block);
+//   2. sweep the local block, accumulating y(owned) directly and the
+//      mirrored updates into a halo-sized contribution buffer;
+//   3. reverse exchange: send the contribution buffer back to the halo
+//      owners; receive peers' contributions for my owned elements and
+//      scatter-add them through the same gather lists.
+//
+// Communication volume doubles (x forward + y backward) while matrix
+// traffic halves — the trade-off of refs. [4], [5].
+#pragma once
+
+#include "spmv/dist_matrix.hpp"
+#include "spmv/dist_vector.hpp"
+#include "spmv/engine.hpp"
+#include "team/thread_team.hpp"
+#include "util/aligned.hpp"
+
+namespace hspmv::spmv {
+
+class SymmetricSpmvEngine {
+ public:
+  /// `matrix` must have been built from the *upper triangle* of a
+  /// symmetric operator (sparse::SymmetricCsr::upper()); diagonals are
+  /// applied once, off-diagonals twice (mirrored). Throws
+  /// std::invalid_argument if any local entry lies below the diagonal.
+  SymmetricSpmvEngine(const DistMatrix& matrix, int threads);
+
+  /// y(owned) = A x with the full symmetric operator. Collective.
+  /// x's halo is refreshed; y receives remote mirrored contributions.
+  Timings apply(DistVector& x, DistVector& y);
+
+  [[nodiscard]] int threads() const { return team_.size(); }
+
+ private:
+  const DistMatrix& matrix_;
+  team::ThreadTeam team_;
+  std::vector<std::int64_t> worker_rows_;
+  /// Packed x elements per send block (forward phase).
+  std::vector<util::AlignedVector<sparse::value_t>> send_buffers_;
+  /// Mirrored y contributions for the halo (reverse phase, send side).
+  util::AlignedVector<sparse::value_t> halo_contributions_;
+  /// Incoming mirrored contributions per send block (reverse phase).
+  std::vector<util::AlignedVector<sparse::value_t>> reverse_buffers_;
+  /// Per-thread private scatter targets (owned + halo) for a race-free
+  /// parallel sweep.
+  std::vector<util::AlignedVector<sparse::value_t>> scratch_;
+};
+
+}  // namespace hspmv::spmv

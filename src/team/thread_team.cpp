@@ -1,0 +1,153 @@
+#include "team/thread_team.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hspmv::team {
+
+Barrier::Barrier(int parties) : parties_(parties) {
+  if (parties < 1) throw std::invalid_argument("Barrier: parties must be >= 1");
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool my_sense = sense_;
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    sense_ = !sense_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return sense_ != my_sense; });
+}
+
+Range static_chunk(std::int64_t begin, std::int64_t end, int part,
+                   int parts) {
+  if (parts < 1 || part < 0 || part >= parts) {
+    throw std::invalid_argument("static_chunk: bad part/parts");
+  }
+  const std::int64_t total = std::max<std::int64_t>(0, end - begin);
+  const std::int64_t base = total / parts;
+  const std::int64_t extra = total % parts;
+  // The first `extra` parts get base+1 elements.
+  const std::int64_t chunk_begin =
+      begin + part * base + std::min<std::int64_t>(part, extra);
+  const std::int64_t chunk_size = base + (part < extra ? 1 : 0);
+  return Range{chunk_begin, chunk_begin + chunk_size};
+}
+
+std::vector<std::int64_t> nnz_balanced_boundaries(
+    std::span<const std::int64_t> row_ptr, int parts) {
+  if (parts < 1) {
+    throw std::invalid_argument("nnz_balanced_boundaries: parts must be >= 1");
+  }
+  if (row_ptr.empty()) {
+    throw std::invalid_argument("nnz_balanced_boundaries: empty row_ptr");
+  }
+  const auto rows = static_cast<std::int64_t>(row_ptr.size()) - 1;
+  const std::int64_t nnz = row_ptr.back();
+  std::vector<std::int64_t> boundaries(static_cast<std::size_t>(parts) + 1);
+  boundaries.front() = 0;
+  boundaries.back() = rows;
+  for (int p = 1; p < parts; ++p) {
+    // First row whose prefix reaches the p-th share of the nonzeros.
+    const std::int64_t target =
+        (nnz * p + parts / 2) / parts;  // rounded share
+    const auto it =
+        std::lower_bound(row_ptr.begin(), row_ptr.end(), target);
+    auto row = static_cast<std::int64_t>(it - row_ptr.begin());
+    row = std::min(row, rows);
+    // Keep boundaries monotone even for degenerate distributions.
+    boundaries[static_cast<std::size_t>(p)] =
+        std::max(row, boundaries[static_cast<std::size_t>(p) - 1]);
+  }
+  return boundaries;
+}
+
+ThreadTeam::ThreadTeam(int threads) {
+  if (threads < 1) {
+    throw std::invalid_argument("ThreadTeam: threads must be >= 1");
+  }
+  threads_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int id = 1; id < threads; ++id) {
+    threads_.emplace_back([this, id] { worker_main(id); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadTeam::worker_main(int id) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    try {
+      (*task)(id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadTeam::execute(const std::function<void(int)>& body) {
+  if (!body) throw std::invalid_argument("ThreadTeam::execute: null body");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &body;
+    remaining_ = static_cast<int>(threads_.size());
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_.notify_all();
+  // The caller is team member 0.
+  std::exception_ptr caller_error;
+  try {
+    body(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    task_ = nullptr;
+    if (!first_error_ && caller_error) first_error_ = caller_error;
+    if (first_error_) {
+      auto error = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+void ThreadTeam::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  const int parts = size();
+  execute([&](int id) {
+    const Range r = static_chunk(begin, end, id, parts);
+    if (!r.empty()) body(r.begin, r.end);
+  });
+}
+
+}  // namespace hspmv::team

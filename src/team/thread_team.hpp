@@ -1,0 +1,97 @@
+// Thread-team substrate — the OpenMP-worker-thread analogue.
+//
+// Task mode (paper Sect. 3.2) cannot use OpenMP worksharing because the
+// standard has no subteams: one thread must do MPI while the rest compute,
+// with work distributed explicitly "using one contiguous chunk of nonzeros
+// per compute thread". This module provides exactly those primitives: a
+// persistent pinned pool, a sense-reversing barrier usable by any subset,
+// static range chunking, and nonzero-balanced row chunking.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace hspmv::team {
+
+/// Reusable sense-reversing barrier for `parties` threads (cv-based; the
+/// host may have fewer cores than threads, so spinning would livelock).
+class Barrier {
+ public:
+  explicit Barrier(int parties);
+
+  /// Block until `parties` threads have arrived.
+  void arrive_and_wait();
+
+  [[nodiscard]] int parties() const { return parties_; }
+
+ private:
+  int parties_;
+  int arrived_ = 0;
+  bool sense_ = false;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Half-open index range.
+struct Range {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  [[nodiscard]] std::int64_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin >= end; }
+};
+
+/// Static chunk `part` of `parts` over [begin, end): contiguous, sizes
+/// differing by at most one (OpenMP schedule(static) semantics).
+Range static_chunk(std::int64_t begin, std::int64_t end, int part, int parts);
+
+/// Row boundaries splitting a CSR row_ptr into `parts` contiguous chunks
+/// of approximately equal *nonzero* count — the paper's "one contiguous
+/// chunk of nonzeros per compute thread". Returns parts+1 boundaries with
+/// front() == 0 and back() == rows.
+std::vector<std::int64_t> nnz_balanced_boundaries(
+    std::span<const std::int64_t> row_ptr, int parts);
+
+/// Persistent worker pool. Threads are created once and reused across
+/// execute() calls; a fork/join costs two barrier passes, no thread spawn.
+class ThreadTeam {
+ public:
+  explicit ThreadTeam(int threads);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Run body(thread_id) on every team member (thread 0 is the calling
+  /// thread) and block until all return. Exceptions from members are
+  /// captured and the first is rethrown on the caller.
+  void execute(const std::function<void(int)>& body);
+
+  /// Static-schedule parallel loop over [begin, end): each member runs
+  /// body(chunk_begin, chunk_end) on its contiguous chunk.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>&
+                        body);
+
+ private:
+  void worker_main(int id);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t generation_ = 0;
+  const std::function<void(int)>* task_ = nullptr;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+  std::condition_variable done_cv_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hspmv::team

@@ -1,0 +1,63 @@
+// Cache-line / SIMD-aligned storage.
+//
+// The spMVM kernels stream large arrays; aligning them to 64 bytes avoids
+// split loads and makes the cache-simulator's line accounting exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace hspmv::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal C++17 allocator returning 64-byte aligned memory.
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T));
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    std::size_t bytes = n * sizeof(T);
+    bytes = (bytes + Alignment - 1) / Alignment * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// std::vector with 64-byte aligned storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace hspmv::util

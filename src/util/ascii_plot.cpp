@@ -1,0 +1,99 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace hspmv::util {
+
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options) {
+  const int width = std::max(options.width, 8);
+  const int height = std::max(options.height, 4);
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = options.y_from_zero
+                     ? 0.0
+                     : std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      any = true;
+      x_min = std::min(x_min, s.x[i]);
+      x_max = std::max(x_max, s.x[i]);
+      if (!options.y_from_zero) y_min = std::min(y_min, s.y[i]);
+      y_max = std::max(y_max, s.y[i]);
+    }
+  }
+  if (!any) return "(empty plot)\n";
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  auto to_col = [&](double x) {
+    const double t = (x - x_min) / (x_max - x_min);
+    return std::clamp(static_cast<int>(std::lround(t * (width - 1))), 0,
+                      width - 1);
+  };
+  auto to_row = [&](double y) {
+    const double t = (y - y_min) / (y_max - y_min);
+    return std::clamp(
+        height - 1 - static_cast<int>(std::lround(t * (height - 1))), 0,
+        height - 1);
+  };
+
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    // Draw line segments between consecutive points, then the points
+    // themselves so the series glyph wins over the connector dots.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const int c0 = to_col(s.x[i]), r0 = to_row(s.y[i]);
+      const int c1 = to_col(s.x[i + 1]), r1 = to_row(s.y[i + 1]);
+      const int steps = std::max({std::abs(c1 - c0), std::abs(r1 - r0), 1});
+      for (int k = 0; k <= steps; ++k) {
+        const int c = c0 + (c1 - c0) * k / steps;
+        const int r = r0 + (r1 - r0) * k / steps;
+        if (grid[r][c] == ' ') grid[r][c] = '.';
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      grid[to_row(s.y[i])][to_col(s.x[i])] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  char label[64];
+  for (int r = 0; r < height; ++r) {
+    const double y =
+        y_max - (y_max - y_min) * static_cast<double>(r) / (height - 1);
+    if (r % 4 == 0 || r == height - 1) {
+      std::snprintf(label, sizeof(label), "%10.2f |", y);
+    } else {
+      std::snprintf(label, sizeof(label), "%10s |", "");
+    }
+    out << label << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(11, ' ') << '+' << std::string(width, '-') << '\n';
+  std::snprintf(label, sizeof(label), "%10.2f", x_min);
+  out << ' ' << label;
+  std::snprintf(label, sizeof(label), "%.2f", x_max);
+  out << std::string(std::max(1, width - static_cast<int>(strlen(label))),
+                     ' ')
+      << label << '\n';
+  out << "            x: " << options.x_label << ", y: " << options.y_label
+      << '\n';
+  for (const auto& s : series) {
+    out << "            " << s.glyph << " = " << s.name << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace hspmv::util

@@ -1,0 +1,33 @@
+// ASCII line plots for the figure-reproduction harnesses.
+//
+// Renders a set of (x, y) series on a character grid with axis labels and a
+// legend — enough to see the *shape* of a strong-scaling figure in a
+// terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hspmv::util {
+
+struct PlotSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+struct PlotOptions {
+  int width = 72;   ///< interior columns of the plot area
+  int height = 20;  ///< interior rows of the plot area
+  std::string x_label = "x";
+  std::string y_label = "y";
+  bool y_from_zero = true;
+};
+
+/// Render series to a multi-line string. Series with mismatched x/y lengths
+/// are truncated to the shorter of the two; empty series are skipped.
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options);
+
+}  // namespace hspmv::util

@@ -1,0 +1,100 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hspmv::util {
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  options_[name] = Option{default_value, help, /*is_flag=*/false};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{"false", help, /*is_flag=*/true};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "%s: unknown option --%s\n", program_.c_str(),
+                   name.c_str());
+      print_usage();
+      return false;
+    }
+    if (it->second.is_flag) {
+      if (has_value) {
+        std::fprintf(stderr, "%s: flag --%s does not take a value\n",
+                     program_.c_str(), name.c_str());
+        return false;
+      }
+      values_[name] = "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: option --%s expects a value\n",
+                     program_.c_str(), name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  if (auto it = values_.find(name); it != values_.end()) return it->second;
+  if (auto it = options_.find(name); it != options_.end()) {
+    return it->second.default_value;
+  }
+  throw std::invalid_argument("unregistered option: " + name);
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::stoll(get_string(name));
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::stod(get_string(name));
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return get_string(name) == "true";
+}
+
+void CliParser::print_usage() const {
+  std::fprintf(stderr, "%s — %s\n\noptions:\n", program_.c_str(),
+               description_.c_str());
+  for (const auto& [name, opt] : options_) {
+    if (opt.is_flag) {
+      std::fprintf(stderr, "  --%-24s %s\n", name.c_str(), opt.help.c_str());
+    } else {
+      std::fprintf(stderr, "  --%-24s %s (default: %s)\n",
+                   (name + " <value>").c_str(), opt.help.c_str(),
+                   opt.default_value.c_str());
+    }
+  }
+}
+
+}  // namespace hspmv::util

@@ -1,0 +1,57 @@
+// Tiny command-line argument parser for examples and benchmark harnesses.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` forms, plus
+// automatic --help text. Deliberately minimal: no subcommands, no
+// positional-argument schemas.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hspmv::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Register an option with a default value (rendered in --help).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Register a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) on --help or on an
+  /// unknown/malformed option.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Positional (non-option) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  void print_usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hspmv::util

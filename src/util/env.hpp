@@ -1,0 +1,21 @@
+// Environment-variable helpers with typed defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hspmv::util {
+
+/// Value of `name`, or `fallback` when unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Integer value of `name`, or `fallback` when unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Double value of `name`, or `fallback` when unset or unparsable.
+double env_double(const char* name, double fallback);
+
+/// True for "1", "true", "yes", "on" (case-sensitive); false otherwise.
+bool env_flag(const char* name, bool fallback);
+
+}  // namespace hspmv::util

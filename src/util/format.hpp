@@ -1,0 +1,43 @@
+// Human-readable formatting of byte counts, rates and flop rates.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace hspmv::util {
+
+/// "92527872" -> "92.5 M"; decimal SI prefixes (the HPC convention for
+/// flops and bandwidth).
+inline std::string si_format(double value, const char* unit = "") {
+  const char* prefixes[] = {"", "k", "M", "G", "T", "P"};
+  int p = 0;
+  double v = value < 0 ? -value : value;
+  while (v >= 1000.0 && p < 5) {
+    v /= 1000.0;
+    ++p;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3g %s%s",
+                value < 0 ? -v : v, prefixes[p], unit);
+  return buffer;
+}
+
+/// Bytes with binary-free decimal prefixes matching STREAM conventions
+/// (1 GB/s = 1e9 B/s).
+inline std::string bytes_format(double bytes) { return si_format(bytes, "B"); }
+
+inline std::string gflops_format(double flops_per_second) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f GFlop/s",
+                flops_per_second / 1e9);
+  return buffer;
+}
+
+inline std::string gbytes_per_s_format(double bytes_per_second) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f GB/s", bytes_per_second / 1e9);
+  return buffer;
+}
+
+}  // namespace hspmv::util

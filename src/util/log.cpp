@@ -1,0 +1,71 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace hspmv::util {
+namespace {
+
+LogLevel parse_level(const char* text) {
+  if (text == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(text, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(text, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(text, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(text, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(text, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(text, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> threshold{
+      static_cast<int>(parse_level(std::getenv("HSPMV_LOG")))};
+  return threshold;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept {
+  return static_cast<LogLevel>(
+      threshold_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) noexcept {
+  threshold_storage().store(static_cast<int>(level),
+                            std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void log_write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fprintf(stderr, "[hspmv %-5s] %s\n", log_level_name(level),
+               message.c_str());
+}
+
+}  // namespace detail
+}  // namespace hspmv::util

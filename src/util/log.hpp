@@ -1,0 +1,73 @@
+// Minimal leveled logger for the hspmv toolkit.
+//
+// Logging in an HPC library must be cheap when disabled and must never
+// interleave partial lines from concurrent threads. Messages are formatted
+// into a local buffer and written to stderr with a single call.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hspmv::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global log threshold. Messages below this level are discarded.
+/// Initialized from the HSPMV_LOG environment variable
+/// (trace|debug|info|warn|error|off); defaults to kWarn so tests and
+/// benchmarks stay quiet unless asked.
+LogLevel log_threshold() noexcept;
+
+/// Override the threshold programmatically (e.g. from --verbose flags).
+void set_log_threshold(LogLevel level) noexcept;
+
+/// Human-readable name of a level ("INFO", ...).
+const char* log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// Stream-style log statement: LOG_AT(LogLevel::kInfo) << "x = " << x;
+/// The right-hand side is only evaluated when the level is enabled.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_write(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hspmv::util
+
+#define HSPMV_LOG(level)                                  \
+  if (static_cast<int>(level) <                           \
+      static_cast<int>(::hspmv::util::log_threshold())) { \
+  } else                                                  \
+    ::hspmv::util::LogLine(level)
+
+#define HSPMV_TRACE HSPMV_LOG(::hspmv::util::LogLevel::kTrace)
+#define HSPMV_DEBUG HSPMV_LOG(::hspmv::util::LogLevel::kDebug)
+#define HSPMV_INFO HSPMV_LOG(::hspmv::util::LogLevel::kInfo)
+#define HSPMV_WARN HSPMV_LOG(::hspmv::util::LogLevel::kWarn)
+#define HSPMV_ERROR HSPMV_LOG(::hspmv::util::LogLevel::kError)

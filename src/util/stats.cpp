@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hspmv::util {
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double position = q * static_cast<double>(values.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= values.size()) return values.back();
+  return values[lower] + fraction * (values[lower + 1] - values[lower]);
+}
+
+double imbalance_factor(const std::vector<double>& per_worker) {
+  if (per_worker.empty()) return 1.0;
+  double sum = 0.0;
+  double max = -std::numeric_limits<double>::infinity();
+  for (double v : per_worker) {
+    sum += v;
+    max = std::max(max, v);
+  }
+  const double mean = sum / static_cast<double>(per_worker.size());
+  if (mean == 0.0) return 1.0;
+  return max / mean;
+}
+
+double spread_factor(const std::vector<double>& per_worker) {
+  if (per_worker.empty()) return 1.0;
+  const auto [lo, hi] = std::minmax_element(per_worker.begin(),
+                                            per_worker.end());
+  if (*lo == 0.0) {
+    return *hi == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return *hi / *lo;
+}
+
+}  // namespace hspmv::util

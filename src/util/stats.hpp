@@ -1,0 +1,45 @@
+// Summary statistics for benchmark measurements and load-balance analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hspmv::util {
+
+/// Online accumulator (Welford) for mean and variance plus min/max.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+  void clear() noexcept { *this = RunningStats(); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set using linear interpolation between order
+/// statistics. `q` in [0, 1]. The input is copied; not suitable for
+/// enormous vectors in hot paths.
+double percentile(std::vector<double> values, double q);
+
+/// Load-imbalance factor: max / mean of the per-worker quantities.
+/// 1.0 means perfect balance. Returns 1.0 for empty input.
+double imbalance_factor(const std::vector<double>& per_worker);
+
+/// Ratio max/min; +inf when min == 0 and max > 0. 1.0 for empty input.
+double spread_factor(const std::vector<double>& per_worker);
+
+}  // namespace hspmv::util

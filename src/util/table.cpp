@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace hspmv::util {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  if (i >= cell.size()) return false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != 'e' && c != 'E' && c != '-' && c != '+' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::cell(std::int64_t value) { return std::to_string(value); }
+
+std::string Table::cell(std::size_t value) { return std::to_string(value); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const bool right = looks_numeric(row[c]);
+      const std::size_t pad = widths[c] - row[c].size();
+      out << (c == 0 ? "" : "  ");
+      if (right) out << std::string(pad, ' ');
+      out << row[c];
+      if (!right) out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : ",") << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace hspmv::util

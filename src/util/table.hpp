@@ -1,0 +1,39 @@
+// ASCII table rendering for benchmark harness output.
+//
+// Every figure/table harness in bench/ prints its series as aligned text
+// tables so the paper artifacts can be eyeballed (and diffed) without a
+// plotting stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hspmv::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append a row; the cell count must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string cell(double value, int precision = 3);
+  static std::string cell(std::int64_t value);
+  static std::string cell(std::size_t value);
+
+  /// Render with column alignment; numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as comma-separated values (for scripting).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hspmv::util

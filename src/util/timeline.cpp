@@ -1,0 +1,88 @@
+#include "util/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace hspmv::util {
+
+void Timeline::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  epoch_.reset();
+  spans_.clear();
+  lane_order_.clear();
+}
+
+void Timeline::record(const std::string& lane, const std::string& label,
+                      double begin_s, double end_s, char glyph) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(lane_order_.begin(), lane_order_.end(), lane) ==
+      lane_order_.end()) {
+    lane_order_.push_back(lane);
+  }
+  spans_.push_back(TimelineSpan{lane, label, begin_s, end_s, glyph});
+}
+
+std::vector<TimelineSpan> Timeline::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::string Timeline::render(int width) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.empty()) return "(empty timeline)\n";
+  width = std::max(width, 16);
+
+  double t_min = spans_.front().begin_s;
+  double t_max = spans_.front().end_s;
+  std::size_t lane_width = 4;
+  for (const auto& span : spans_) {
+    t_min = std::min(t_min, span.begin_s);
+    t_max = std::max(t_max, span.end_s);
+  }
+  for (const auto& lane : lane_order_) {
+    lane_width = std::max(lane_width, lane.size());
+  }
+  if (t_max <= t_min) t_max = t_min + 1e-9;
+  const double scale = width / (t_max - t_min);
+  const auto to_col = [&](double t) {
+    return std::clamp(static_cast<int>((t - t_min) * scale), 0, width - 1);
+  };
+
+  std::ostringstream out;
+  for (const auto& lane : lane_order_) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const auto& span : spans_) {
+      if (span.lane != lane) continue;
+      const int c0 = to_col(span.begin_s);
+      const int c1 = std::max(to_col(span.end_s), c0);
+      for (int c = c0; c <= c1; ++c) {
+        row[static_cast<std::size_t>(c)] = span.glyph;
+      }
+    }
+    out << lane << std::string(lane_width - lane.size(), ' ') << " |" << row
+        << "|\n";
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f ms", t_min * 1e3);
+  out << std::string(lane_width, ' ') << "  " << buffer;
+  std::snprintf(buffer, sizeof(buffer), "%.3f ms", t_max * 1e3);
+  const auto right = std::string(buffer);
+  const int pad = width - static_cast<int>(right.size()) - 9;
+  out << std::string(static_cast<std::size_t>(std::max(pad, 1)), ' ')
+      << right << '\n';
+
+  // Legend: glyph -> first label seen.
+  std::map<char, std::string> legend;
+  for (const auto& span : spans_) {
+    legend.emplace(span.glyph, span.label);
+  }
+  for (const auto& [glyph, label] : legend) {
+    out << std::string(lane_width, ' ') << "  " << glyph << " = " << label
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace hspmv::util

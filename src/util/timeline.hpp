@@ -1,0 +1,73 @@
+// Multi-lane wall-clock timeline recording and ASCII Gantt rendering —
+// used to reproduce the paper's Fig. 4 (schematic timelines of the three
+// kernel variants) from *measured* executions.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace hspmv::util {
+
+struct TimelineSpan {
+  std::string lane;
+  std::string label;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  char glyph = '#';
+};
+
+/// Thread-safe recorder: lanes are created on first use; spans are
+/// timestamped against the recorder's epoch (construction or reset()).
+class Timeline {
+ public:
+  Timeline() = default;
+
+  void reset();
+
+  /// Current time relative to the epoch.
+  [[nodiscard]] double now() const { return epoch_.seconds(); }
+
+  /// Record a closed span.
+  void record(const std::string& lane, const std::string& label,
+              double begin_s, double end_s, char glyph = '#');
+
+  /// RAII span: records on destruction.
+  class Scope {
+   public:
+    Scope(Timeline& timeline, std::string lane, std::string label,
+          char glyph = '#')
+        : timeline_(timeline),
+          lane_(std::move(lane)),
+          label_(std::move(label)),
+          glyph_(glyph),
+          begin_(timeline.now()) {}
+    ~Scope() { timeline_.record(lane_, label_, begin_, timeline_.now(), glyph_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Timeline& timeline_;
+    std::string lane_;
+    std::string label_;
+    char glyph_;
+    double begin_;
+  };
+
+  [[nodiscard]] std::vector<TimelineSpan> spans() const;
+
+  /// Render as an ASCII Gantt chart: one row per lane (in first-use
+  /// order), spans drawn with their glyphs, a time axis underneath, and a
+  /// glyph legend. `width` = chart columns.
+  [[nodiscard]] std::string render(int width = 72) const;
+
+ private:
+  mutable std::mutex mutex_;
+  Timer epoch_;
+  std::vector<TimelineSpan> spans_;
+  std::vector<std::string> lane_order_;
+};
+
+}  // namespace hspmv::util

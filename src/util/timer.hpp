@@ -1,0 +1,48 @@
+// Wall-clock timing utilities.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hspmv::util {
+
+/// Monotonic wall-clock timer with nanosecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last reset().
+  [[nodiscard]] std::int64_t nanoseconds() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across start()/stop() intervals; used by the
+/// distributed kernels to attribute time to phases (gather, comm, compute).
+class PhaseTimer {
+ public:
+  void start() { timer_.reset(); }
+  void stop() { total_seconds_ += timer_.seconds(); }
+  void clear() { total_seconds_ = 0.0; }
+  [[nodiscard]] double total_seconds() const { return total_seconds_; }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace hspmv::util

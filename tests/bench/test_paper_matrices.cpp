@@ -1,0 +1,87 @@
+// Tests of the benchmark support library: the paper-matrix factories and
+// the halo-growth extrapolation fit.
+
+#include "common/paper_matrices.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "matgen/poisson.hpp"
+#include "sparse/stats.hpp"
+
+namespace hspmv::bench {
+namespace {
+
+TEST(PaperMatrices, HmepMetadata) {
+  const auto pm = make_hmep(0);
+  EXPECT_EQ(pm.name, "HMeP");
+  EXPECT_GT(pm.matrix.rows(), 0);
+  EXPECT_NEAR(pm.volume_scale,
+              pm.paper_nnz / static_cast<double>(pm.matrix.nnz()), 1e-9);
+  EXPECT_DOUBLE_EQ(pm.paper_rows, 6201600.0);
+  EXPECT_DOUBLE_EQ(pm.paper_kappa, 2.5);
+  EXPECT_GT(pm.comm_volume_scale, 1.0);
+  EXPECT_LE(pm.comm_volume_scale, pm.volume_scale * 1.05);
+  EXPECT_GT(pm.cache_scale, 0.0);
+  EXPECT_LT(pm.cache_scale, 1.0);
+}
+
+TEST(PaperMatrices, HmepAndVariantShareDimensions) {
+  const auto reference = make_hmep(0);
+  const auto variant = make_hmep_electron(0);
+  EXPECT_EQ(variant.name, "HMEp");
+  EXPECT_EQ(variant.matrix.rows(), reference.matrix.rows());
+  EXPECT_EQ(variant.matrix.nnz(), reference.matrix.nnz());
+  EXPECT_DOUBLE_EQ(variant.paper_kappa, 3.79);
+}
+
+TEST(PaperMatrices, SamgMetadata) {
+  const auto pm = make_samg(0);
+  EXPECT_EQ(pm.name, "sAMG");
+  const auto stats = sparse::compute_stats(pm.matrix);
+  EXPECT_LE(stats.nnz_per_row_max, 7);
+  EXPECT_DOUBLE_EQ(pm.paper_rows, 22786800.0);
+  // Surface-scaling: comm grows much slower than volume.
+  EXPECT_LT(pm.comm_volume_scale, pm.volume_scale * 0.5);
+}
+
+TEST(PaperMatrices, ScaleLevelsAreOrdered) {
+  EXPECT_LT(make_hmep(0).matrix.rows(), make_hmep(1).matrix.rows());
+  EXPECT_LT(make_samg(0).matrix.rows(), make_samg(1).matrix.rows());
+  EXPECT_THROW((void)make_hmep(9), std::invalid_argument);
+  EXPECT_THROW((void)make_samg(-1), std::invalid_argument);
+}
+
+TEST(FitCommScale, GridFamilyGivesSurfaceExponent) {
+  // 3-D grids at slab-dominated partition counts: halo ~ N^(2/3), so the
+  // extrapolation factor is (full/large)^(2/3).
+  const auto small_grid = matgen::poisson7({.nx = 16, .ny = 16, .nz = 16});
+  const auto large_grid = matgen::poisson7({.nx = 32, .ny = 32, .nz = 32});
+  const double full_rows = 256.0 * 256.0 * 256.0;
+  const double factor =
+      fit_comm_scale(small_grid, large_grid, full_rows, /*parts=*/8);
+  const double expected = std::pow(full_rows / large_grid.rows(), 2.0 / 3.0);
+  EXPECT_NEAR(factor, expected, 0.15 * expected);
+}
+
+TEST(FitCommScale, IdenticalSizeGivesFullRatioClamped) {
+  // With beta clamped to [0, 1], the factor lies between 1 and the raw
+  // size ratio.
+  const auto a = matgen::poisson7({.nx = 12, .ny = 12, .nz = 12});
+  const auto b = matgen::poisson7({.nx = 24, .ny = 24, .nz = 24});
+  const double factor = fit_comm_scale(a, b, 8.0 * b.rows(), 8);
+  EXPECT_GE(factor, 1.0);
+  EXPECT_LE(factor, 8.0);
+}
+
+TEST(FitCommScale, FewRowsClampsParts) {
+  // A matrix with fewer rows than the requested parts must not throw.
+  const auto tiny = matgen::laplacian1d(10);
+  const auto small_mat = matgen::laplacian1d(40);
+  const double factor = fit_comm_scale(tiny, small_mat, 400.0, 64);
+  EXPECT_GT(factor, 0.9);
+}
+
+}  // namespace
+}  // namespace hspmv::bench

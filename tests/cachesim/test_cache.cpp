@@ -1,0 +1,135 @@
+#include "cachesim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hspmv::cachesim {
+namespace {
+
+CacheConfig tiny_cache() {
+  // 4 sets x 2 ways x 64 B lines = 512 B.
+  return CacheConfig{.size_bytes = 512, .associativity = 2, .line_bytes = 64};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache(tiny_cache());
+  EXPECT_FALSE(cache.access(0, false));
+  EXPECT_TRUE(cache.access(0, false));
+  EXPECT_TRUE(cache.access(63, false));   // same line
+  EXPECT_FALSE(cache.access(64, false));  // next line
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, SetMappingIsModular) {
+  Cache cache(tiny_cache());
+  // Lines 0, 4, 8 map to set 0 (4 sets). Two ways hold 0 and 4; 8 evicts.
+  cache.access(0 * 64, false);
+  cache.access(4 * 64, false);
+  EXPECT_TRUE(cache.access(0 * 64, false));
+  cache.access(8 * 64, false);           // evicts LRU (line 4)
+  EXPECT_TRUE(cache.access(0 * 64, false));
+  EXPECT_FALSE(cache.access(4 * 64, false));  // was evicted
+}
+
+TEST(Cache, LruOrderRespectsRecency) {
+  Cache cache(tiny_cache());
+  cache.access(0 * 64, false);
+  cache.access(4 * 64, false);
+  cache.access(0 * 64, false);            // 0 is now MRU
+  cache.access(8 * 64, false);            // evicts 4, not 0
+  EXPECT_TRUE(cache.access(0 * 64, false));
+  EXPECT_FALSE(cache.access(4 * 64, false));
+}
+
+TEST(Cache, WritebackOnlyForDirtyLines) {
+  Cache cache(tiny_cache());
+  cache.access(0 * 64, true);   // dirty
+  cache.access(4 * 64, false);  // clean
+  cache.access(8 * 64, false);  // evicts line 0 (dirty) -> writeback
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  cache.access(12 * 64, false);  // evicts line 4 (clean) -> no writeback
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, AccessDetailedReportsEviction) {
+  Cache cache(tiny_cache());
+  cache.access(0 * 64, true);
+  cache.access(4 * 64, false);
+  const auto result = cache.access_detailed(8 * 64, false);
+  EXPECT_FALSE(result.hit);
+  EXPECT_TRUE(result.evicted_dirty);
+  EXPECT_EQ(result.evicted_address, 0u);
+}
+
+TEST(Cache, VictimAddressPredictsEviction) {
+  Cache cache(tiny_cache());
+  cache.access(0 * 64, false);
+  cache.access(4 * 64, false);
+  EXPECT_EQ(cache.victim_address(8 * 64), 0u * 64);
+  EXPECT_EQ(cache.victim_address(0), 0u);  // would hit
+  Cache fresh(tiny_cache());
+  EXPECT_EQ(fresh.victim_address(0), 0u);  // free way
+}
+
+TEST(Cache, RangeAccessTouchesEachLineOnce) {
+  Cache cache(tiny_cache());
+  cache.access_range(10, 100, false);  // bytes [10, 110) span lines 0, 1
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(Cache, StatsBytesScaleWithLine) {
+  Cache cache(tiny_cache());
+  cache.access(0, false);
+  cache.access(64, false);
+  EXPECT_EQ(cache.stats().read_bytes(64), 128u);
+  EXPECT_EQ(cache.stats().write_bytes(64), 0u);
+}
+
+TEST(Cache, HitRate) {
+  Cache cache(tiny_cache());
+  cache.access(0, false);
+  cache.access(0, false);
+  cache.access(0, false);
+  cache.access(0, false);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.75);
+}
+
+TEST(Cache, ResetClearsEverything) {
+  Cache cache(tiny_cache());
+  cache.access(0, true);
+  cache.reset();
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_FALSE(cache.access(0, false));  // cold again
+}
+
+TEST(Cache, FullyAssociativeNeverConflictMisses) {
+  // 8 lines, 8-way: any 8 distinct lines coexist.
+  Cache cache(CacheConfig{.size_bytes = 512, .associativity = 8,
+                          .line_bytes = 64});
+  for (int i = 0; i < 8; ++i) cache.access(i * 64, false);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(cache.access(i * 64, false));
+}
+
+TEST(Cache, DirectMappedConflicts) {
+  Cache cache(CacheConfig{.size_bytes = 256, .associativity = 1,
+                          .line_bytes = 64});
+  cache.access(0, false);
+  cache.access(256, false);  // same set (4 sets), evicts 0
+  EXPECT_FALSE(cache.access(0, false));
+}
+
+TEST(Cache, InvalidConfigThrows) {
+  EXPECT_THROW(Cache(CacheConfig{.size_bytes = 100, .associativity = 2,
+                                 .line_bytes = 64}),
+               std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{.size_bytes = 512, .associativity = 0,
+                                 .line_bytes = 64}),
+               std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{.size_bytes = 512, .associativity = 2,
+                                 .line_bytes = 60}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::cachesim

@@ -1,0 +1,93 @@
+// Property sweeps of the cache simulator and traffic replayer: kappa must
+// respond monotonically to cache size, locality, and matrix structure.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "cachesim/spmv_traffic.hpp"
+#include "matgen/random_matrix.hpp"
+
+namespace hspmv::cachesim {
+namespace {
+
+// kappa is non-increasing in cache size for a fixed matrix.
+class KappaVsCacheSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(KappaVsCacheSize, MonotoneInCapacity) {
+  const int doublings = GetParam();
+  const auto a = matgen::random_sparse(12000, 8,
+                                       static_cast<std::uint64_t>(doublings));
+  double previous = 1e9;
+  for (int d = 0; d <= doublings; ++d) {
+    const auto config = make_cache_config(std::size_t{8} << (10 + d));
+    const auto report = simulate_spmv_traffic(a, config);
+    EXPECT_LE(report.kappa, previous + 0.3)
+        << "cache " << config.size_bytes;
+    previous = report.kappa;
+  }
+  // The largest cache holds everything: kappa ~ 0.
+  const auto big = simulate_spmv_traffic(a, make_cache_config(64u << 20));
+  EXPECT_NEAR(big.kappa, 0.0, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Doublings, KappaVsCacheSize,
+                         ::testing::Values(4, 6));
+
+// kappa decreases as the band narrows (better locality), cache fixed.
+TEST(KappaProperties, MonotoneInBandwidth) {
+  const auto cache = make_cache_config(64u << 10);
+  double previous = -1.0;
+  for (const sparse::index_t band : {16000, 4000, 1000, 250}) {
+    const auto a = matgen::random_banded(16000, band, 8, 3);
+    const auto report = simulate_spmv_traffic(a, cache);
+    if (previous >= 0.0) {
+      EXPECT_LE(report.kappa, previous + 0.2) << "band " << band;
+    }
+    previous = report.kappa;
+  }
+}
+
+// Total traffic is at least compulsory and b_load_count >= 1 when B is
+// actually touched.
+TEST(KappaProperties, TrafficLowerBounds) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto a = matgen::random_sparse(5000, 6, seed);
+    const auto report =
+        simulate_spmv_traffic(a, make_cache_config(32u << 10));
+    EXPECT_GE(report.b_load_count, 0.99);
+    EXPECT_GE(static_cast<double>(report.total_bytes),
+              12.0 * static_cast<double>(a.nnz()));
+    EXPECT_GE(report.kappa, -0.1);
+    EXPECT_GE(report.read_bytes_val, 8u * static_cast<std::uint64_t>(a.nnz()));
+  }
+}
+
+TEST(KappaProperties, MeasuredBalanceAtLeastCompulsory) {
+  const auto a = matgen::random_sparse(8000, 10, 9);
+  const auto report = simulate_spmv_traffic(a, make_cache_config(32u << 10));
+  // 6 + 12/Nnzr is the kappa = 0 floor of Eq. (1).
+  EXPECT_GE(report.measured_balance, 6.0 + 12.0 / report.nnzr - 0.3);
+}
+
+TEST(MakeCacheConfig, RoundsToValidPowerOfTwoSets) {
+  for (const std::size_t request :
+       {std::size_t{3000}, std::size_t{100000}, std::size_t{427 * 1024},
+        std::size_t{8u << 20}}) {
+    const auto config = make_cache_config(request);
+    const std::size_t sets =
+        config.size_bytes /
+        (static_cast<std::size_t>(config.associativity) *
+         static_cast<std::size_t>(config.line_bytes));
+    EXPECT_EQ(sets & (sets - 1), 0u) << request;
+    // Geometric rounding stays within a factor of sqrt(2)-ish.
+    EXPECT_GT(static_cast<double>(config.size_bytes),
+              0.55 * static_cast<double>(request));
+    EXPECT_LT(static_cast<double>(config.size_bytes),
+              1.7 * static_cast<double>(request) + 65536.0);
+  }
+  EXPECT_THROW((void)make_cache_config(1024, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::cachesim

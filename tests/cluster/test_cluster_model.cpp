@@ -1,0 +1,216 @@
+// Tests of the strong-scaling model: calibration against the paper's
+// node-level numbers and the qualitative laws of Sect. 4.
+
+#include "cluster/cluster_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matgen/holstein.hpp"
+#include "matgen/poisson.hpp"
+
+namespace hspmv::cluster {
+namespace {
+
+sparse::CsrMatrix hmep_like() {
+  matgen::HolsteinHubbardParams p;
+  p.sites = 6;
+  p.electrons_up = 3;
+  p.electrons_down = 3;
+  p.phonon_modes = 5;
+  p.max_phonons = 4;  // N = 400 * C(9,5) = 50,400
+  return matgen::holstein_hubbard(p);
+}
+
+sparse::CsrMatrix samg_like() {
+  return matgen::poisson7({.nx = 32, .ny = 32, .nz = 32});
+}
+
+ScenarioParams params_for(KernelVariant variant, HybridMapping mapping,
+                          double kappa, double scale) {
+  ScenarioParams p;
+  p.variant = variant;
+  p.mapping = mapping;
+  p.kappa = kappa;
+  p.volume_scale = scale;
+  return p;
+}
+
+TEST(ClusterModel, NodeLevelMatchesPaperFig3) {
+  // Westmere: ~2.2 GFlop/s per LD at kappa = 2.5, Nnzr = 15.
+  const ClusterModel westmere(westmere_cluster());
+  EXPECT_NEAR(westmere.node_level_flops(15.0, 2.5) / 1e9, 4.4, 0.3);
+  // Magny Cours node about 25 % higher.
+  const ClusterModel cray(cray_xe6());
+  const double ratio = cray.node_level_flops(15.0, 2.5) /
+                       westmere.node_level_flops(15.0, 2.5);
+  EXPECT_GT(ratio, 1.15);
+  EXPECT_LT(ratio, 1.35);
+}
+
+TEST(ClusterModel, NaiveOverlapNeverBeatsNoOverlap) {
+  // Sect. 4: "vector mode with naive overlap is always slower than the
+  // variant without overlap".
+  const auto matrix = hmep_like();
+  const ClusterModel model(westmere_cluster());
+  for (const auto mapping :
+       {HybridMapping::kProcessPerCore, HybridMapping::kProcessPerDomain,
+        HybridMapping::kProcessPerNode}) {
+    for (const int nodes : {1, 4, 16}) {
+      const auto no_overlap = model.predict(
+          matrix, nodes,
+          params_for(KernelVariant::kVectorNoOverlap, mapping, 2.5, 120.0));
+      const auto naive = model.predict(
+          matrix, nodes,
+          params_for(KernelVariant::kVectorNaiveOverlap, mapping, 2.5,
+                     120.0));
+      EXPECT_GE(no_overlap.gflops, naive.gflops)
+          << mapping_name(mapping) << " at " << nodes << " nodes";
+    }
+  }
+}
+
+TEST(ClusterModel, TaskModeWinsForCommBoundProblem) {
+  const auto matrix = hmep_like();
+  const ClusterModel model(westmere_cluster());
+  for (const int nodes : {4, 16}) {
+    const auto vector = model.predict(
+        matrix, nodes,
+        params_for(KernelVariant::kVectorNoOverlap,
+                   HybridMapping::kProcessPerDomain, 2.5, 120.0));
+    const auto task = model.predict(
+        matrix, nodes,
+        params_for(KernelVariant::kTaskMode,
+                   HybridMapping::kProcessPerDomain, 2.5, 120.0));
+    EXPECT_GT(task.gflops, vector.gflops * 1.05) << nodes << " nodes";
+  }
+}
+
+TEST(ClusterModel, TaskModeNoAdvantageForCheapComm) {
+  // Sect. 4 on sAMG: "there is no advantage of task mode over naive,
+  // pure MPI without overlap". Allow a small band around parity.
+  const auto matrix = samg_like();
+  const ClusterModel model(westmere_cluster());
+  // Full-size extrapolation: surface-scaling halo means comm volumes grow
+  // much slower than compute volumes (the Fig. 6 regime).
+  auto vector_params = params_for(KernelVariant::kVectorNoOverlap,
+                                  HybridMapping::kProcessPerDomain, 0.7,
+                                  88.0);
+  vector_params.comm_volume_scale = 20.0;
+  auto task_params = vector_params;
+  task_params.variant = KernelVariant::kTaskMode;
+  const auto vector = model.predict(matrix, 8, vector_params);
+  const auto task = model.predict(matrix, 8, task_params);
+  EXPECT_LT(task.gflops, vector.gflops * 1.12);
+  EXPECT_GT(task.gflops, vector.gflops * 0.85);
+}
+
+TEST(ClusterModel, HybridBeatsPureMpiAtScaleForHmep) {
+  // "the hybrid vector mode variants with one MPI process per LD or per
+  // node already provide better scalability than pure MPI".
+  const auto matrix = hmep_like();
+  const ClusterModel model(westmere_cluster());
+  const auto pure = model.predict(
+      matrix, 16,
+      params_for(KernelVariant::kVectorNoOverlap,
+                 HybridMapping::kProcessPerCore, 2.5, 120.0));
+  const auto per_node = model.predict(
+      matrix, 16,
+      params_for(KernelVariant::kVectorNoOverlap,
+                 HybridMapping::kProcessPerNode, 2.5, 120.0));
+  EXPECT_GT(per_node.gflops, pure.gflops);
+}
+
+TEST(ClusterModel, SamgScalesWithHighEfficiency) {
+  // Fig. 6: "Parallel efficiency is above 50% for all versions up to 32
+  // nodes".
+  const auto matrix = samg_like();
+  const ClusterModel model(westmere_cluster());
+  const std::vector<int> nodes{1, 4, 16, 32};
+  for (const auto variant :
+       {KernelVariant::kVectorNoOverlap, KernelVariant::kTaskMode}) {
+    ScenarioParams p = params_for(variant, HybridMapping::kProcessPerDomain,
+                                  0.7, 88.0);
+    p.comm_volume_scale = 20.0;
+    const auto series = model.strong_scaling(matrix, nodes, p);
+    EXPECT_EQ(ClusterModel::half_efficiency_point(series), 32)
+        << variant_name(variant);
+  }
+}
+
+TEST(ClusterModel, EfficiencyDecreasesWithNodes) {
+  const auto matrix = hmep_like();
+  const ClusterModel model(westmere_cluster());
+  const std::vector<int> nodes{1, 2, 4, 8, 16};
+  const auto series = model.strong_scaling(
+      matrix, nodes,
+      params_for(KernelVariant::kVectorNoOverlap,
+                 HybridMapping::kProcessPerDomain, 2.5, 120.0));
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i].efficiency, series[i - 1].efficiency * 1.05);
+  }
+  // GFlop/s still grows (no slowdown region for this range).
+  EXPECT_GT(series.back().gflops, series.front().gflops);
+}
+
+TEST(ClusterModel, CrayFallsBehindOnHmepAtScale) {
+  // Sect. 4: "the Cray XE6 can generally not match the performance of
+  // the Westmere cluster at larger node counts".
+  const auto matrix = hmep_like();
+  const ClusterModel westmere(westmere_cluster());
+  const ClusterModel cray(cray_xe6());
+  const auto p = params_for(KernelVariant::kTaskMode,
+                            HybridMapping::kProcessPerDomain, 2.5, 120.0);
+  const auto w32 = westmere.predict(matrix, 32, p);
+  auto cray_params = p;
+  cray_params.variant = KernelVariant::kVectorNoOverlap;  // best on Cray
+  const auto c32 = cray.predict(matrix, 32, cray_params);
+  EXPECT_GT(w32.gflops, c32.gflops);
+  // While at a single node the Cray leads (node-level advantage).
+  const auto w1 = westmere.predict(matrix, 1, p);
+  const auto c1 = cray.predict(matrix, 1, cray_params);
+  EXPECT_GT(c1.gflops, w1.gflops);
+}
+
+TEST(ClusterModel, CrayWinsOnSamg) {
+  // Fig. 6: "The Cray system performed best in vector mode without
+  // overlap for all cases".
+  const auto matrix = samg_like();
+  const ClusterModel westmere(westmere_cluster());
+  const ClusterModel cray(cray_xe6());
+  ScenarioParams p = params_for(KernelVariant::kVectorNoOverlap,
+                                HybridMapping::kProcessPerDomain, 0.7, 88.0);
+  p.comm_volume_scale = 20.0;
+  EXPECT_GT(cray.predict(matrix, 16, p).gflops,
+            westmere.predict(matrix, 16, p).gflops);
+}
+
+TEST(ClusterModel, PredictionFieldsConsistent) {
+  const auto matrix = samg_like();
+  const ClusterModel model(westmere_cluster());
+  const auto p = params_for(KernelVariant::kVectorNoOverlap,
+                            HybridMapping::kProcessPerDomain, 0.7, 1.0);
+  const auto point = model.predict(matrix, 4, p);
+  EXPECT_EQ(point.nodes, 4);
+  EXPECT_EQ(point.processes, 8);  // 2 LDs per Westmere node
+  EXPECT_EQ(point.threads_per_process, 6);
+  EXPECT_GT(point.time_s, 0.0);
+  EXPECT_GE(point.time_s + 1e-12,
+            point.comm_s);  // total covers the comm phase
+  EXPECT_GT(point.gflops, 0.0);
+}
+
+TEST(ClusterModel, InvalidArgsThrow) {
+  const auto matrix = matgen::laplacian1d(100);
+  const ClusterModel model(westmere_cluster());
+  ScenarioParams p;
+  EXPECT_THROW((void)model.predict(matrix, 0, p), std::invalid_argument);
+  p.volume_scale = -1.0;
+  EXPECT_THROW((void)model.predict(matrix, 1, p), std::invalid_argument);
+  p.volume_scale = 1.0;
+  // 100 rows cannot feed 12 * 32 processes.
+  p.mapping = HybridMapping::kProcessPerCore;
+  EXPECT_THROW((void)model.predict(matrix, 32, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::cluster

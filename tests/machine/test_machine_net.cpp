@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "machine/node_spec.hpp"
+#include "netmodel/network.hpp"
+#include "perfmodel/code_balance.hpp"
+
+namespace hspmv {
+namespace {
+
+TEST(Machine, NehalemReproducesPaperLadder) {
+  const machine::NodeSpec node = machine::nehalem_ep();
+  // HMeP code balance with the measured kappa = 2.5.
+  const double balance = perfmodel::crs_code_balance(15.0, 2.5);
+  const auto curve = node.spmv_curve();
+  EXPECT_NEAR(curve.value(1) / balance / 1e9, 0.91, 0.02);
+  EXPECT_NEAR(curve.value(2) / balance / 1e9, 1.50, 0.03);
+  EXPECT_NEAR(curve.value(3) / balance / 1e9, 1.95, 0.04);
+  EXPECT_NEAR(curve.value(4) / balance / 1e9, 2.25, 0.02);
+  // Full node (2 LDs): the paper's 4.29 GFlop/s (Fig. 3(a)).
+  EXPECT_NEAR(node.spmv_bandwidth_node() / balance / 1e9, 4.29, 0.3);
+}
+
+TEST(Machine, SpmvReaches85PercentOfStream) {
+  for (const auto& node : {machine::nehalem_ep(), machine::westmere_ep(),
+                           machine::magny_cours()}) {
+    const double fraction = node.spmv_bw_domain / node.stream_bw_domain;
+    EXPECT_GT(fraction, 0.80) << node.name;
+    EXPECT_LT(fraction, 0.90) << node.name;
+  }
+}
+
+TEST(Machine, MagnyCoursNodeBeatsWestmereByQuarter) {
+  // "its node-level performance is about 25 % higher than on Westmere
+  // due to its four LDs per node" (Sect. 2).
+  const auto amd = machine::magny_cours();
+  const auto intel = machine::westmere_ep();
+  const double ratio =
+      amd.spmv_bandwidth_node() / intel.spmv_bandwidth_node();
+  EXPECT_GT(ratio, 1.15);
+  EXPECT_LT(ratio, 1.35);
+  // While a single LD is weaker.
+  EXPECT_LT(amd.spmv_bw_domain, intel.spmv_bw_domain);
+}
+
+TEST(Machine, TopologyCounts) {
+  const auto amd = machine::magny_cours();
+  EXPECT_EQ(amd.numa_domains, 4);
+  EXPECT_EQ(amd.cores_per_node(), 24);
+  EXPECT_EQ(amd.smt_per_core, 1);
+  const auto intel = machine::westmere_ep();
+  EXPECT_EQ(intel.cores_per_node(), 12);
+  EXPECT_EQ(intel.hardware_threads_per_node(), 24);
+}
+
+TEST(Machine, BandwidthClampsToDomain) {
+  const auto node = machine::westmere_ep();
+  EXPECT_DOUBLE_EQ(node.spmv_bandwidth(99), node.spmv_bandwidth(6));
+  EXPECT_DOUBLE_EQ(node.spmv_bandwidth(-3), node.spmv_bandwidth(1));
+}
+
+TEST(Network, FatTreeIsDistanceIndependent) {
+  const auto net = netmodel::qdr_infiniband();
+  EXPECT_EQ(netmodel::hop_distance(net, 0, 1, 64), 1);
+  EXPECT_EQ(netmodel::hop_distance(net, 0, 63, 64), 1);
+  EXPECT_DOUBLE_EQ(netmodel::message_time(net, 1 << 20, 0, 1, 64),
+                   netmodel::message_time(net, 1 << 20, 0, 63, 64));
+}
+
+TEST(Network, TorusHopsGrowWithDistance) {
+  const auto net = netmodel::cray_gemini();
+  // 16 nodes -> 4x4 grid. Node 0 at (0,0); node 5 at (1,1): 2 hops.
+  EXPECT_EQ(netmodel::hop_distance(net, 0, 5, 16), 2);
+  // Wraparound: node 3 at (3,0) is 1 hop from node 0.
+  EXPECT_EQ(netmodel::hop_distance(net, 0, 3, 16), 1);
+  // Far corner (2,2): 4 hops via wrap (2+2).
+  EXPECT_EQ(netmodel::hop_distance(net, 0, 10, 16), 4);
+}
+
+TEST(Network, TorusContentionSlowsFarTraffic) {
+  const auto net = netmodel::cray_gemini();
+  const double near = netmodel::message_time(net, 1 << 20, 0, 1, 64);
+  const double far = netmodel::message_time(net, 1 << 20, 0, 36, 64);
+  EXPECT_GT(far, near * 1.3);
+}
+
+TEST(Network, GeminiFasterThanIbForNearestNeighbor) {
+  // "The internode bandwidth of the 2D torus network is beyond the
+  // capability of QDR InfiniBand."
+  const double ib = netmodel::message_time(netmodel::qdr_infiniband(),
+                                           1 << 20, 0, 1, 32);
+  const double gemini = netmodel::message_time(netmodel::cray_gemini(),
+                                               1 << 20, 0, 1, 32);
+  EXPECT_LT(gemini, ib);
+}
+
+TEST(Network, LatencyDominatesSmallMessages) {
+  const auto net = netmodel::qdr_infiniband();
+  const double tiny = netmodel::message_time(net, 8, 0, 1, 4);
+  EXPECT_NEAR(tiny, net.latency_seconds, net.latency_seconds * 0.1);
+}
+
+TEST(Network, EffectiveBandwidthMonotoneInHops) {
+  const auto net = netmodel::cray_gemini();
+  double previous = netmodel::effective_bandwidth(net, 1.0);
+  for (double hops = 2.0; hops <= 8.0; ++hops) {
+    const double bw = netmodel::effective_bandwidth(net, hops);
+    EXPECT_LT(bw, previous);
+    previous = bw;
+  }
+}
+
+TEST(Network, IntranodeMessageRejected) {
+  EXPECT_THROW((void)netmodel::message_time(netmodel::qdr_infiniband(), 100,
+                                            2, 2, 8),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv

@@ -1,0 +1,131 @@
+#include "matgen/combinatorics.hpp"
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+namespace hspmv::matgen {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  BinomialTable b(30);
+  EXPECT_EQ(b(0, 0), 1);
+  EXPECT_EQ(b(6, 3), 20);
+  EXPECT_EQ(b(20, 5), 15504);  // the paper's phonon subspace dimension
+  EXPECT_EQ(b(21, 6), 54264);
+  EXPECT_EQ(b(30, 15), 155117520);
+}
+
+TEST(Binomial, OutOfRangeKIsZero) {
+  BinomialTable b(10);
+  EXPECT_EQ(b(5, -1), 0);
+  EXPECT_EQ(b(5, 6), 0);
+}
+
+TEST(Binomial, TooLargeNThrows) {
+  BinomialTable b(10);
+  EXPECT_THROW((void)b(11, 2), std::out_of_range);
+  EXPECT_THROW(BinomialTable(100), std::invalid_argument);
+}
+
+TEST(Binomial, PascalIdentity) {
+  BinomialTable b(25);
+  for (int n = 1; n <= 25; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_EQ(b(n, k), b(n - 1, k - 1) + b(n - 1, k));
+    }
+  }
+}
+
+TEST(FermionBasis, SizeMatchesBinomial) {
+  EXPECT_EQ(FermionBasis(6, 3).size(), 20);
+  EXPECT_EQ(FermionBasis(8, 4).size(), 70);
+  EXPECT_EQ(FermionBasis(5, 0).size(), 1);
+  EXPECT_EQ(FermionBasis(5, 5).size(), 1);
+}
+
+TEST(FermionBasis, StatesHaveCorrectPopcountAndOrder) {
+  const FermionBasis basis(7, 3);
+  std::uint64_t previous = 0;
+  for (std::int64_t i = 0; i < basis.size(); ++i) {
+    const std::uint64_t s = basis.state(i);
+    EXPECT_EQ(std::popcount(s), 3);
+    EXPECT_LT(s, 1ULL << 7);
+    if (i > 0) {
+      EXPECT_GT(s, previous);
+    }
+    previous = s;
+  }
+}
+
+TEST(FermionBasis, RankIsInverseOfState) {
+  const FermionBasis basis(9, 4);
+  for (std::int64_t i = 0; i < basis.size(); ++i) {
+    EXPECT_EQ(basis.rank(basis.state(i)), i);
+  }
+}
+
+TEST(FermionBasis, EmptyBasisRankZero) {
+  const FermionBasis basis(4, 0);
+  EXPECT_EQ(basis.rank(0), 0);
+}
+
+TEST(FermionBasis, InvalidParamsThrow) {
+  EXPECT_THROW(FermionBasis(4, 5), std::invalid_argument);
+  EXPECT_THROW(FermionBasis(-1, 0), std::invalid_argument);
+  EXPECT_THROW(FermionBasis(63, 1), std::invalid_argument);
+}
+
+TEST(BosonBasis, PaperDimension) {
+  // 5 modes, at most 15 phonons: C(20, 5) = 15504 (Sect. 1.3.1).
+  EXPECT_EQ(BosonBasis(5, 15).size(), 15504);
+}
+
+TEST(BosonBasis, SmallSizes) {
+  EXPECT_EQ(BosonBasis(1, 3).size(), 4);   // 0,1,2,3
+  EXPECT_EQ(BosonBasis(2, 2).size(), 6);   // (0,0)(0,1)(0,2)(1,0)(1,1)(2,0)
+  EXPECT_EQ(BosonBasis(3, 0).size(), 1);
+  EXPECT_EQ(BosonBasis(0, 5).size(), 1);   // the empty occupation vector
+}
+
+TEST(BosonBasis, StateRankRoundTrip) {
+  const BosonBasis basis(4, 5);
+  std::vector<int> occ;
+  for (std::int64_t i = 0; i < basis.size(); ++i) {
+    basis.state(i, occ);
+    int total = 0;
+    for (int v : occ) {
+      EXPECT_GE(v, 0);
+      total += v;
+    }
+    EXPECT_LE(total, 5);
+    EXPECT_EQ(basis.rank(occ), i);
+  }
+}
+
+TEST(BosonBasis, LexicographicOrder) {
+  const BosonBasis basis(2, 2);
+  std::vector<int> prev, cur;
+  for (std::int64_t i = 1; i < basis.size(); ++i) {
+    basis.state(i - 1, prev);
+    basis.state(i, cur);
+    EXPECT_TRUE(prev < cur) << "at index " << i;
+  }
+}
+
+TEST(BosonBasis, RankRejectsOverBudget) {
+  const BosonBasis basis(2, 3);
+  EXPECT_THROW((void)basis.rank({2, 2}), std::out_of_range);
+  EXPECT_THROW((void)basis.rank({-1, 0}), std::out_of_range);
+  EXPECT_THROW((void)basis.rank({1}), std::invalid_argument);
+}
+
+TEST(BosonBasis, StateOutOfRangeThrows) {
+  const BosonBasis basis(2, 2);
+  std::vector<int> occ;
+  EXPECT_THROW(basis.state(6, occ), std::out_of_range);
+  EXPECT_THROW(basis.state(-1, occ), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hspmv::matgen

@@ -1,0 +1,116 @@
+#include "matgen/heisenberg.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "solvers/lanczos.hpp"
+#include "sparse/stats.hpp"
+
+namespace hspmv::matgen {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+
+bool numerically_symmetric(const CsrMatrix& a) {
+  const CsrMatrix t = a.transpose();
+  if (t.nnz() != a.nnz()) return false;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto [ca, va] = a.row(i);
+    const auto [ct, vt] = t.row(i);
+    for (std::size_t k = 0; k < ca.size(); ++k) {
+      if (ca[k] != ct[k] || std::abs(va[k] - vt[k]) > 1e-12) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Heisenberg, SectorDimensions) {
+  EXPECT_EQ(heisenberg_dimension({.sites = 10, .up_spins = 5}), 252);
+  EXPECT_EQ(heisenberg_dimension({.sites = 12, .up_spins = 6}), 924);
+  EXPECT_EQ(heisenberg_dimension({.sites = 8, .up_spins = 0}), 1);
+}
+
+TEST(Heisenberg, TwoSiteSinglet) {
+  // Open 2-site chain, S^z = 0 sector: H = J(S+S-/2 + h.c. + D SzSz) on
+  // {|ud>, |du>}: diagonal -J/4, off-diagonal J/2; ground state (the
+  // singlet) at -3J/4.
+  HeisenbergParams p{.sites = 2, .up_spins = 1, .coupling = 1.0,
+                     .anisotropy = 1.0, .periodic = false};
+  const CsrMatrix h = heisenberg_chain(p);
+  ASSERT_EQ(h.rows(), 2);
+  EXPECT_DOUBLE_EQ(h.at(0, 0), -0.25);
+  EXPECT_DOUBLE_EQ(h.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(h.at(1, 1), -0.25);
+  const auto result = solvers::lanczos(solvers::make_operator(h));
+  EXPECT_NEAR(result.smallest(), -0.75, 1e-10);
+}
+
+TEST(Heisenberg, IsSymmetric) {
+  const CsrMatrix h = heisenberg_chain({.sites = 8, .up_spins = 4});
+  EXPECT_TRUE(numerically_symmetric(h));
+}
+
+TEST(Heisenberg, FerromagneticSectorIsDiagonal) {
+  // All spins up: no antiparallel pairs, so no off-diagonals; energy =
+  // J * Delta * bonds / 4.
+  const CsrMatrix h =
+      heisenberg_chain({.sites = 6, .up_spins = 6, .anisotropy = 0.7});
+  ASSERT_EQ(h.rows(), 1);
+  EXPECT_EQ(h.nnz(), 1);
+  EXPECT_NEAR(h.at(0, 0), 0.7 * 6 * 0.25, 1e-12);
+}
+
+TEST(Heisenberg, XYLimitHasZeroDiagonalBulk) {
+  // Delta = 0: the S^z S^z term vanishes; diagonals are exactly 0.
+  const CsrMatrix h = heisenberg_chain(
+      {.sites = 6, .up_spins = 3, .anisotropy = 0.0});
+  for (index_t i = 0; i < h.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(h.at(i, i), 0.0);
+  }
+}
+
+TEST(Heisenberg, KnownGroundStateEnergy12Sites) {
+  // Periodic isotropic chain, L = 12, S^z = 0: E0/L = -0.4534... (exact
+  // diagonalization literature value E0 = -5.387390917).
+  const CsrMatrix h = heisenberg_chain({.sites = 12, .up_spins = 6});
+  solvers::LanczosOptions options;
+  options.max_iterations = 200;
+  options.full_reorthogonalization = true;
+  const auto result = solvers::lanczos(solvers::make_operator(h), options);
+  EXPECT_NEAR(result.smallest(), -5.387390917, 1e-6);
+}
+
+TEST(Heisenberg, NnzrGrowsWithChainLength) {
+  const auto s8 = sparse::compute_stats(
+      heisenberg_chain({.sites = 8, .up_spins = 4}));
+  const auto s12 = sparse::compute_stats(
+      heisenberg_chain({.sites = 12, .up_spins = 6}));
+  EXPECT_GT(s12.nnz_per_row_mean, s8.nnz_per_row_mean);
+  EXPECT_EQ(s8.empty_rows, 0);
+  EXPECT_TRUE(s8.has_full_diagonal);
+}
+
+TEST(Heisenberg, GuardsAndValidation) {
+  EXPECT_THROW((void)heisenberg_chain({.sites = 1, .up_spins = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)heisenberg_chain({.sites = 8, .up_spins = 9}),
+               std::invalid_argument);
+  EXPECT_THROW((void)heisenberg_chain({.sites = 30, .up_spins = 15},
+                                      /*max_dimension=*/1000),
+               std::length_error);
+}
+
+TEST(Heisenberg, OpenVsPeriodicBondCount) {
+  // The periodic wrap adds one bond: more off-diagonal entries.
+  HeisenbergParams p{.sites = 6, .up_spins = 3};
+  p.periodic = true;
+  const auto ring_nnz = heisenberg_chain(p).nnz();
+  p.periodic = false;
+  const auto chain_nnz = heisenberg_chain(p).nnz();
+  EXPECT_GT(ring_nnz, chain_nnz);
+}
+
+}  // namespace
+}  // namespace hspmv::matgen

@@ -1,0 +1,255 @@
+#include "matgen/holstein.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sparse/stats.hpp"
+
+namespace hspmv::matgen {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+bool numerically_symmetric(const CsrMatrix& a, double tol = 1e-12) {
+  const CsrMatrix t = a.transpose();
+  if (t.nnz() != a.nnz()) return false;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto [ca, va] = a.row(i);
+    const auto [ct, vt] = t.row(i);
+    if (ca.size() != ct.size()) return false;
+    for (std::size_t k = 0; k < ca.size(); ++k) {
+      if (ca[k] != ct[k] || std::abs(va[k] - vt[k]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Holstein, PaperBasisDimensions) {
+  // Sect. 1.3.1: six electrons (3 up + 3 down) on six sites -> subspace
+  // dimension 400; 15 phonons in 5 modes -> 1.55e4; total 6,201,600.
+  HolsteinHubbardParams p;
+  p.sites = 6;
+  p.electrons_up = 3;
+  p.electrons_down = 3;
+  p.phonon_modes = -1;  // sites - 1 = 5
+  p.max_phonons = 15;
+  const auto info = holstein_basis_info(p);
+  EXPECT_EQ(info.electron_dim, 400);
+  EXPECT_EQ(info.phonon_dim, 15504);
+  EXPECT_EQ(info.total_dim, 6201600);
+  EXPECT_EQ(info.phonon_modes, 5);
+}
+
+HolsteinHubbardParams small_params() {
+  HolsteinHubbardParams p;
+  p.sites = 4;
+  p.electrons_up = 2;
+  p.electrons_down = 2;
+  p.phonon_modes = 3;
+  p.max_phonons = 3;
+  p.hopping = 1.0;
+  p.hubbard_u = 4.0;
+  p.phonon_frequency = 0.8;
+  p.coupling = 1.2;
+  return p;
+}
+
+TEST(Holstein, MatrixIsSymmetric) {
+  const CsrMatrix h = holstein_hubbard(small_params());
+  EXPECT_TRUE(numerically_symmetric(h));
+}
+
+TEST(Holstein, DimensionMatchesBasisInfo) {
+  const auto p = small_params();
+  const auto info = holstein_basis_info(p);
+  const CsrMatrix h = holstein_hubbard(p);
+  EXPECT_EQ(h.rows(), info.total_dim);
+  EXPECT_EQ(h.cols(), info.total_dim);
+}
+
+TEST(Holstein, OrderingsAreRelatedByPermutation) {
+  auto p = small_params();
+  p.ordering = HolsteinOrdering::kPhononContiguous;
+  const CsrMatrix hmep_phonon = holstein_hubbard(p);
+  p.ordering = HolsteinOrdering::kElectronContiguous;
+  const CsrMatrix hmep_electron = holstein_hubbard(p);
+  ASSERT_EQ(hmep_phonon.nnz(), hmep_electron.nnz());
+  // Same value multiset (symmetric permutation invariant).
+  std::vector<value_t> a(hmep_phonon.val().begin(), hmep_phonon.val().end());
+  std::vector<value_t> b(hmep_electron.val().begin(),
+                         hmep_electron.val().end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-12);
+  }
+}
+
+TEST(Holstein, TwoSiteSingleElectronHopping) {
+  // One spin-up electron on two sites, no phonons: H = -t sigma_x.
+  HolsteinHubbardParams p;
+  p.sites = 2;
+  p.electrons_up = 1;
+  p.electrons_down = 0;
+  p.phonon_modes = 0;
+  p.max_phonons = 0;
+  p.hopping = 1.5;
+  p.hubbard_u = 4.0;
+  const CsrMatrix h = holstein_hubbard(p);
+  ASSERT_EQ(h.rows(), 2);
+  EXPECT_DOUBLE_EQ(h.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(h.at(0, 1), -1.5);
+  EXPECT_DOUBLE_EQ(h.at(1, 0), -1.5);
+  EXPECT_DOUBLE_EQ(h.at(1, 1), 0.0);
+}
+
+TEST(Holstein, HubbardDiagonal) {
+  // Two sites, one up + one down, no phonons. Electron states
+  // (u, d) in {0,1}^2; U on the two doubly-occupied states.
+  HolsteinHubbardParams p;
+  p.sites = 2;
+  p.electrons_up = 1;
+  p.electrons_down = 1;
+  p.phonon_modes = 0;
+  p.max_phonons = 0;
+  p.hopping = 0.0;
+  p.hubbard_u = 3.5;
+  const CsrMatrix h = holstein_hubbard(p);
+  ASSERT_EQ(h.rows(), 4);
+  int with_u = 0, without_u = 0;
+  for (index_t i = 0; i < 4; ++i) {
+    const double d = h.at(i, i);
+    if (d == 3.5) {
+      ++with_u;
+    } else if (d == 0.0) {
+      ++without_u;
+    }
+  }
+  EXPECT_EQ(with_u, 2);
+  EXPECT_EQ(without_u, 2);
+}
+
+TEST(Holstein, PurePhononLadder) {
+  // No electrons: H = w0 * total phonons, diagonal only (coupling needs
+  // electron density).
+  HolsteinHubbardParams p;
+  p.sites = 2;
+  p.electrons_up = 0;
+  p.electrons_down = 0;
+  p.phonon_modes = 1;
+  p.max_phonons = 3;
+  p.phonon_frequency = 0.7;
+  p.coupling = 2.0;
+  const CsrMatrix h = holstein_hubbard(p);
+  ASSERT_EQ(h.rows(), 4);
+  EXPECT_EQ(h.nnz(), 4);  // diagonal only
+  for (index_t n = 0; n < 4; ++n) {
+    EXPECT_NEAR(h.at(n, n), 0.7 * n, 1e-12);
+  }
+}
+
+TEST(Holstein, SingleSitePolaronCoupling) {
+  // One electron pinned on one site, one phonon mode: the exactly
+  // solvable displaced-oscillator problem. Off-diagonals are
+  // -g w0 sqrt(n+1).
+  HolsteinHubbardParams p;
+  p.sites = 1;
+  p.electrons_up = 1;
+  p.electrons_down = 0;
+  p.phonon_modes = 1;
+  p.max_phonons = 2;
+  p.hopping = 1.0;  // no bonds on one site
+  p.phonon_frequency = 1.0;
+  p.coupling = 0.5;
+  const CsrMatrix h = holstein_hubbard(p);
+  ASSERT_EQ(h.rows(), 3);
+  EXPECT_NEAR(h.at(0, 1), -0.5, 1e-12);
+  EXPECT_NEAR(h.at(1, 2), -0.5 * std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(h.at(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(h.at(0, 2), 0.0, 1e-12);  // coupling changes n by 1 only
+  EXPECT_TRUE(numerically_symmetric(h));
+}
+
+TEST(Holstein, NnzrInPaperRange) {
+  // A moderately sized instance should land in the paper's Nnzr ~ 7..15
+  // ballpark for the Hamiltonian family.
+  HolsteinHubbardParams p;
+  p.sites = 5;
+  p.electrons_up = 2;
+  p.electrons_down = 2;
+  p.phonon_modes = 4;
+  p.max_phonons = 4;
+  const CsrMatrix h = holstein_hubbard(p);
+  const auto s = sparse::compute_stats(h);
+  EXPECT_GT(s.nnz_per_row_mean, 7.0);
+  EXPECT_LT(s.nnz_per_row_mean, 20.0);
+  EXPECT_EQ(s.empty_rows, 0);
+  EXPECT_TRUE(s.has_full_diagonal);
+}
+
+TEST(Holstein, DimensionGuardThrows) {
+  HolsteinHubbardParams p;
+  p.sites = 6;
+  p.electrons_up = 3;
+  p.electrons_down = 3;
+  p.max_phonons = 15;
+  EXPECT_THROW((void)holstein_hubbard(p, /*max_dimension=*/1000),
+               std::length_error);
+}
+
+TEST(Holstein, InvalidParamsThrow) {
+  HolsteinHubbardParams p;
+  p.sites = 0;
+  EXPECT_THROW((void)holstein_basis_info(p), std::invalid_argument);
+  p = HolsteinHubbardParams{};
+  p.electrons_up = 99;
+  EXPECT_THROW((void)holstein_basis_info(p), std::invalid_argument);
+  p = HolsteinHubbardParams{};
+  p.max_phonons = -1;
+  EXPECT_THROW((void)holstein_basis_info(p), std::invalid_argument);
+}
+
+TEST(Holstein, OpenVsPeriodicBoundary) {
+  HolsteinHubbardParams p;
+  p.sites = 4;
+  p.electrons_up = 1;
+  p.electrons_down = 0;
+  p.phonon_modes = 0;
+  p.max_phonons = 0;
+  p.periodic = true;
+  const CsrMatrix ring = holstein_hubbard(p);
+  p.periodic = false;
+  const CsrMatrix chain = holstein_hubbard(p);
+  // The ring has the extra wrap-around bond: 2 more hopping entries.
+  EXPECT_EQ(ring.nnz(), chain.nnz() + 2);
+}
+
+TEST(Holstein, FermionSignShowsInRing) {
+  // 2 spinless-like electrons (up only) on a 4-ring: wrap-around hops
+  // acquire a (-1) from anti-commutation; verify H is still symmetric and
+  // off-diagonal magnitudes equal t.
+  HolsteinHubbardParams p;
+  p.sites = 4;
+  p.electrons_up = 2;
+  p.electrons_down = 0;
+  p.phonon_modes = 0;
+  p.max_phonons = 0;
+  p.hopping = 1.0;
+  const CsrMatrix h = holstein_hubbard(p);
+  EXPECT_TRUE(numerically_symmetric(h));
+  bool found_positive = false;  // a sign-flipped hop gives +t
+  for (const auto v : h.val()) {
+    if (v > 0.5) found_positive = true;
+    if (v != 0.0) {
+      EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_positive);
+}
+
+}  // namespace
+}  // namespace hspmv::matgen

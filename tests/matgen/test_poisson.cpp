@@ -1,0 +1,193 @@
+#include "matgen/poisson.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "sparse/kernels.hpp"
+#include "sparse/stats.hpp"
+
+namespace hspmv::matgen {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+bool numerically_symmetric(const CsrMatrix& a, double tol = 1e-12) {
+  const CsrMatrix t = a.transpose();
+  if (t.nnz() != a.nnz()) return false;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto [ca, va] = a.row(i);
+    const auto [ct, vt] = t.row(i);
+    if (!std::equal(ca.begin(), ca.end(), ct.begin())) return false;
+    for (std::size_t k = 0; k < va.size(); ++k) {
+      if (std::abs(va[k] - vt[k]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+bool diagonally_dominant(const CsrMatrix& a) {
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto [cols, vals] = a.row(i);
+    double diag = 0.0, off = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == i) {
+        diag = vals[k];
+      } else {
+        off += std::abs(vals[k]);
+      }
+    }
+    if (diag < off - 1e-12) return false;
+  }
+  return true;
+}
+
+TEST(Laplacian1d, KnownEigenvalueViaRayleigh) {
+  // v_k(i) = sin((i+1) k pi / (n+1)) is an exact eigenvector with
+  // lambda_k = 2 - 2 cos(k pi / (n+1)).
+  const int n = 32;
+  const CsrMatrix a = laplacian1d(n);
+  const int k = 3;
+  std::vector<value_t> v(n), av(n);
+  for (int i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] =
+        std::sin((i + 1) * k * std::numbers::pi / (n + 1));
+  }
+  sparse::spmv(a, v, av);
+  const double lambda = 2.0 - 2.0 * std::cos(k * std::numbers::pi / (n + 1));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(av[static_cast<std::size_t>(i)],
+                lambda * v[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Poisson5, StructureAndSymmetry) {
+  const CsrMatrix a = poisson5_2d(7, 5);
+  EXPECT_EQ(a.rows(), 35);
+  EXPECT_TRUE(numerically_symmetric(a));
+  EXPECT_TRUE(diagonally_dominant(a));
+  const auto s = sparse::compute_stats(a);
+  EXPECT_EQ(s.nnz_per_row_max, 5);
+  EXPECT_EQ(s.nnz_per_row_min, 3);
+  EXPECT_EQ(s.bandwidth, 7);  // row stride
+}
+
+TEST(Poisson7, UniformGridStencilValues) {
+  // On a uniform unit grid every face coupling is identical; interior
+  // diagonal = 6 * coupling.
+  PoissonParams p{.nx = 5, .ny = 5, .nz = 5};
+  const CsrMatrix a = poisson7(p);
+  EXPECT_EQ(a.rows(), 125);
+  EXPECT_TRUE(numerically_symmetric(a));
+  EXPECT_TRUE(diagonally_dominant(a));
+  // Center cell (2,2,2): index 62. All 6 couplings equal.
+  const index_t center = (2 * 5 + 2) * 5 + 2;
+  const auto [cols, vals] = a.row(center);
+  ASSERT_EQ(cols.size(), 7u);
+  double off_sum = 0.0;
+  double diag = 0.0;
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (cols[k] == center) {
+      diag = vals[k];
+    } else {
+      EXPECT_LT(vals[k], 0.0);
+      off_sum += vals[k];
+    }
+  }
+  EXPECT_NEAR(diag, -off_sum, 1e-12);  // interior row sums to zero
+}
+
+TEST(Poisson7, BoundaryRowsKeepDominance) {
+  const CsrMatrix a = poisson7({.nx = 3, .ny = 3, .nz = 3});
+  // Corner row: 4 entries (3 neighbours + diagonal), strictly dominant
+  // because of the Dirichlet ghost contribution.
+  const auto [cols, vals] = a.row(0);
+  ASSERT_EQ(cols.size(), 4u);
+  double diag = 0.0, off = 0.0;
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (cols[k] == 0) {
+      diag = vals[k];
+    } else {
+      off += std::abs(vals[k]);
+    }
+  }
+  EXPECT_GT(diag, off + 1e-9);
+}
+
+TEST(Poisson7, GradedAndJitteredStaysSymmetric) {
+  PoissonParams p{.nx = 6,
+                  .ny = 5,
+                  .nz = 4,
+                  .grading = 1.3,
+                  .coefficient_jitter = 0.4,
+                  .seed = 11};
+  const CsrMatrix a = poisson7(p);
+  EXPECT_TRUE(numerically_symmetric(a));
+  EXPECT_TRUE(diagonally_dominant(a));
+  EXPECT_TRUE(a.is_structurally_symmetric());
+}
+
+TEST(Poisson7, JitterIsDeterministicInSeed) {
+  PoissonParams p{.nx = 4, .ny = 4, .nz = 4, .coefficient_jitter = 0.3,
+                  .seed = 7};
+  const CsrMatrix a = poisson7(p);
+  const CsrMatrix b = poisson7(p);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t k = 0; k < a.val().size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.val()[k], b.val()[k]);
+  }
+  p.seed = 8;
+  const CsrMatrix c = poisson7(p);
+  bool any_different = false;
+  for (std::size_t k = 0; k < a.val().size(); ++k) {
+    if (a.val()[k] != c.val()[k]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Poisson7, NnzrMatchesSamgTarget) {
+  // The paper's sAMG matrix has Nnzr ~ 7; a large enough grid approaches
+  // 7 from below.
+  const CsrMatrix a = poisson7({.nx = 20, .ny = 20, .nz = 20});
+  EXPECT_GT(a.nnz_per_row(), 6.4);
+  EXPECT_LE(a.nnz_per_row(), 7.0);
+}
+
+TEST(Poisson7, InvalidParamsThrow) {
+  EXPECT_THROW((void)poisson7({.nx = 0}), std::invalid_argument);
+  EXPECT_THROW((void)poisson7({.nx = 2, .ny = 2, .nz = 2, .grading = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)poisson7({.nx = 2, .ny = 2, .nz = 2, .coefficient_jitter = 1.0}),
+      std::invalid_argument);
+}
+
+TEST(Poisson27, InteriorRowFull) {
+  const CsrMatrix a = poisson27(4, 4, 4);
+  const auto s = sparse::compute_stats(a);
+  EXPECT_EQ(s.nnz_per_row_max, 27);
+  EXPECT_EQ(s.nnz_per_row_min, 8);  // corners
+  EXPECT_TRUE(numerically_symmetric(a));
+}
+
+TEST(Poisson27, RowSumsNonNegative) {
+  const CsrMatrix a = poisson27(3, 3, 3);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto [cols, vals] = a.row(i);
+    double sum = 0.0;
+    for (const auto v : vals) sum += v;
+    EXPECT_GE(sum, -1e-12);
+  }
+}
+
+TEST(Degenerate, SingleCellGrids) {
+  EXPECT_EQ(poisson7({.nx = 1, .ny = 1, .nz = 1}).rows(), 1);
+  EXPECT_EQ(poisson5_2d(1, 1).rows(), 1);
+  EXPECT_EQ(laplacian1d(1).nnz(), 1);
+}
+
+}  // namespace
+}  // namespace hspmv::matgen

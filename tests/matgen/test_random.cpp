@@ -1,0 +1,71 @@
+#include "matgen/random_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/stats.hpp"
+
+namespace hspmv::matgen {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+
+TEST(RandomSparse, HasDiagonalAndBoundedRowLength) {
+  const CsrMatrix a = random_sparse(200, 8, 1);
+  const auto s = sparse::compute_stats(a);
+  EXPECT_TRUE(s.has_full_diagonal);
+  EXPECT_LE(s.nnz_per_row_max, 8);
+  EXPECT_GE(s.nnz_per_row_min, 1);
+  // Duplicates shave off a little, but the mean should be near the target.
+  EXPECT_GT(s.nnz_per_row_mean, 6.0);
+}
+
+TEST(RandomSparse, DeterministicInSeed) {
+  const CsrMatrix a = random_sparse(100, 5, 42);
+  const CsrMatrix b = random_sparse(100, 5, 42);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t k = 0; k < a.val().size(); ++k) {
+    EXPECT_EQ(a.col_idx()[k], b.col_idx()[k]);
+    EXPECT_DOUBLE_EQ(a.val()[k], b.val()[k]);
+  }
+  const CsrMatrix c = random_sparse(100, 5, 43);
+  EXPECT_NE(std::vector<index_t>(a.col_idx().begin(), a.col_idx().end()),
+            std::vector<index_t>(c.col_idx().begin(), c.col_idx().end()));
+}
+
+TEST(RandomSparse, InvalidParamsThrow) {
+  EXPECT_THROW((void)random_sparse(0, 5, 1), std::invalid_argument);
+  EXPECT_THROW((void)random_sparse(5, 0, 1), std::invalid_argument);
+}
+
+TEST(RandomBanded, RespectsBandwidth) {
+  const index_t bw = 10;
+  const CsrMatrix a = random_banded(500, bw, 6, 2);
+  EXPECT_LE(sparse::compute_stats(a).bandwidth, bw);
+}
+
+TEST(RandomBanded, ZeroBandwidthIsDiagonal) {
+  const CsrMatrix a = random_banded(50, 0, 4, 3);
+  EXPECT_EQ(sparse::compute_stats(a).bandwidth, 0);
+  EXPECT_EQ(a.nnz(), 50);
+}
+
+TEST(RandomPowerLaw, FirstRowsAreHeavy) {
+  const CsrMatrix a = random_power_law(1000, 4, 0.7, 4);
+  const auto row_len = [&](index_t i) {
+    return a.row_ptr()[static_cast<std::size_t>(i) + 1] -
+           a.row_ptr()[static_cast<std::size_t>(i)];
+  };
+  EXPECT_GT(row_len(0), 10 * row_len(999));
+  const auto s = sparse::compute_stats(a);
+  EXPECT_GT(s.nnz_per_row_stddev, s.nnz_per_row_mean * 0.5)
+      << "power-law should be strongly skewed";
+}
+
+TEST(RandomPowerLaw, DegreesClampedToN) {
+  const CsrMatrix a = random_power_law(20, 10, 3.0, 5);
+  EXPECT_LE(sparse::compute_stats(a).nnz_per_row_max, 20);
+}
+
+}  // namespace
+}  // namespace hspmv::matgen

@@ -1,0 +1,125 @@
+// Tests of the extended communicator surface: sendrecv, rooted
+// gather/scatter, exclusive scan.
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minimpi/runtime.hpp"
+
+namespace hspmv::minimpi {
+namespace {
+
+TEST(Extended, SendrecvRingNoDeadlock) {
+  constexpr int kRanks = 5;
+  run(kRanks, [](Comm& comm) {
+    const int next = (comm.rank() + 1) % kRanks;
+    const int prev = (comm.rank() + kRanks - 1) % kRanks;
+    const std::vector<int> out{comm.rank(), comm.rank() * 10};
+    std::vector<int> in(2, -1);
+    const Status s = comm.sendrecv(std::span<const int>(out), next,
+                                   std::span<int>(in), prev);
+    EXPECT_EQ(s.source, prev);
+    EXPECT_EQ(in[0], prev);
+    EXPECT_EQ(in[1], prev * 10);
+  });
+}
+
+TEST(Extended, SendrecvSwapBetweenPair) {
+  run(2, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    const std::vector<double> out(100, comm.rank() + 0.5);
+    std::vector<double> in(100);
+    comm.sendrecv(std::span<const double>(out), peer,
+                  std::span<double>(in), peer);
+    for (double v : in) EXPECT_DOUBLE_EQ(v, peer + 0.5);
+  });
+}
+
+TEST(Extended, SendrecvDistinctTags) {
+  run(2, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    const int out = comm.rank() + 100;
+    int in = -1;
+    // Each direction uses its own tag.
+    const int my_send_tag = comm.rank();
+    const int my_recv_tag = peer;
+    comm.sendrecv(std::span<const int>(&out, 1), peer,
+                  std::span<int>(&in, 1), peer, my_send_tag, my_recv_tag);
+    EXPECT_EQ(in, peer + 100);
+  });
+}
+
+TEST(Extended, GathervToRoot) {
+  run(4, [](Comm& comm) {
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()),
+                          comm.rank());
+    const auto gathered = comm.gatherv(std::span<const int>(mine), 2);
+    if (comm.rank() == 2) {
+      EXPECT_EQ(gathered, (std::vector<int>{1, 2, 2, 3, 3, 3}));
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+}
+
+TEST(Extended, ScattervFromRoot) {
+  run(3, [](Comm& comm) {
+    std::vector<std::vector<int>> chunks;
+    if (comm.rank() == 1) {
+      chunks = {{10}, {20, 21}, {30, 31, 32}};
+    }
+    const auto mine = comm.scatterv(chunks, 1);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(comm.rank()) + 1);
+    EXPECT_EQ(mine[0], (comm.rank() + 1) * 10);
+  });
+}
+
+TEST(Extended, ScattervWrongChunkCountAborts) {
+  EXPECT_THROW(run(2,
+                   [](Comm& comm) {
+                     std::vector<std::vector<int>> chunks(1);
+                     (void)comm.scatterv(chunks, 0);
+                   }),
+               std::exception);
+}
+
+TEST(Extended, ExscanSum) {
+  constexpr int kRanks = 5;
+  run(kRanks, [](Comm& comm) {
+    const int prefix = comm.exscan(comm.rank() + 1, ReduceOp::kSum);
+    // rank r gets 1 + 2 + ... + r.
+    EXPECT_EQ(prefix, comm.rank() * (comm.rank() + 1) / 2);
+  });
+}
+
+TEST(Extended, ExscanUsedForOffsets) {
+  // The classic use: turn local counts into global offsets.
+  run(4, [](Comm& comm) {
+    const std::int64_t local_count = 10 * (comm.rank() + 1);
+    const std::int64_t offset = comm.exscan(local_count, ReduceOp::kSum);
+    const std::int64_t expected[] = {0, 10, 30, 60};
+    EXPECT_EQ(offset, expected[comm.rank()]);
+  });
+}
+
+TEST(Extended, ExscanMax) {
+  run(4, [](Comm& comm) {
+    const int values[] = {3, 1, 4, 1};
+    const int prefix_max = comm.exscan(values[comm.rank()], ReduceOp::kMax);
+    const int expected[] = {0 /*undefined at rank 0*/, 3, 3, 4};
+    if (comm.rank() > 0) EXPECT_EQ(prefix_max, expected[comm.rank()]);
+  });
+}
+
+TEST(Extended, GathervSingleRank) {
+  run(1, [](Comm& comm) {
+    const std::vector<int> mine{7, 8};
+    EXPECT_EQ(comm.gatherv(std::span<const int>(mine), 0), mine);
+    EXPECT_EQ(comm.exscan(5, ReduceOp::kSum), 0);
+  });
+}
+
+}  // namespace
+}  // namespace hspmv::minimpi

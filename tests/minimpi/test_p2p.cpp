@@ -1,0 +1,257 @@
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minimpi/runtime.hpp"
+
+namespace hspmv::minimpi {
+namespace {
+
+TEST(P2p, BlockingSendRecv) {
+  run(2, [](Comm& comm) {
+    std::vector<int> buffer(4);
+    if (comm.rank() == 0) {
+      const std::vector<int> data{1, 2, 3, 4};
+      comm.send(std::span<const int>(data), 1);
+    } else {
+      const Status s = comm.recv(std::span<int>(buffer), 0);
+      EXPECT_EQ(s.source, 0);
+      EXPECT_EQ(s.count<int>(), 4u);
+      EXPECT_EQ(buffer, (std::vector<int>{1, 2, 3, 4}));
+    }
+  });
+}
+
+TEST(P2p, NonblockingExchange) {
+  run(2, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    const std::vector<double> out(8, comm.rank() + 1.0);
+    std::vector<double> in(8, 0.0);
+    std::vector<Request> requests;
+    requests.push_back(comm.irecv(std::span<double>(in), peer));
+    requests.push_back(comm.isend(std::span<const double>(out), peer));
+    comm.wait_all(requests);
+    for (double v : in) EXPECT_DOUBLE_EQ(v, peer + 1.0);
+  });
+}
+
+TEST(P2p, TagsRouteIndependently) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int a = 10, b = 20;
+      // Post in "wrong" order relative to the receives.
+      comm.send(std::span<const int>(&b, 1), 1, /*tag=*/2);
+      comm.send(std::span<const int>(&a, 1), 1, /*tag=*/1);
+    } else {
+      int a = 0, b = 0;
+      comm.recv(std::span<int>(&a, 1), 0, /*tag=*/1);
+      comm.recv(std::span<int>(&b, 1), 0, /*tag=*/2);
+      EXPECT_EQ(a, 10);
+      EXPECT_EQ(b, 20);
+    }
+  });
+}
+
+TEST(P2p, NonOvertakingSameTag) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        comm.send(std::span<const int>(&i, 1), 1, /*tag=*/7);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        int v = -1;
+        comm.recv(std::span<int>(&v, 1), 0, /*tag=*/7);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(P2p, AnyTagReportsMatchedEnvelope) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v = 5;
+      comm.send(std::span<const int>(&v, 1), 1, /*tag=*/42);
+    } else {
+      int v = 0;
+      const Status s = comm.recv(std::span<int>(&v, 1), 0, kAnyTag);
+      EXPECT_EQ(s.tag, 42);
+      EXPECT_EQ(s.source, 0);
+      EXPECT_EQ(v, 5);
+    }
+  });
+}
+
+TEST(P2p, ShorterReceiveCapacityErrors) {
+  EXPECT_THROW(run(2,
+                   [](Comm& comm) {
+                     if (comm.rank() == 0) {
+                       const std::vector<int> data(8, 1);
+                       comm.send(std::span<const int>(data), 1);
+                     } else {
+                       std::vector<int> buffer(4);
+                       comm.recv(std::span<int>(buffer), 0);
+                     }
+                   }),
+               std::runtime_error);
+}
+
+TEST(P2p, LargerReceiveCapacityReportsActualCount) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data{1, 2};
+      comm.send(std::span<const int>(data), 1);
+    } else {
+      std::vector<int> buffer(100, -1);
+      const Status s = comm.recv(std::span<int>(buffer), 0);
+      EXPECT_EQ(s.count<int>(), 2u);
+      EXPECT_EQ(buffer[1], 2);
+      EXPECT_EQ(buffer[2], -1);
+    }
+  });
+}
+
+TEST(P2p, SelfMessage) {
+  run(1, [](Comm& comm) {
+    const std::vector<int> out{9, 8};
+    std::vector<int> in(2);
+    Request r = comm.irecv(std::span<int>(in), 0);
+    Request s = comm.isend(std::span<const int>(out), 0);
+    comm.wait(r);
+    comm.wait(s);
+    EXPECT_EQ(in, out);
+  });
+}
+
+TEST(P2p, ZeroByteMessage) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(std::span<const int>(), 1);
+    } else {
+      std::vector<int> buffer(1, 7);
+      const Status s = comm.recv(std::span<int>(buffer), 0);
+      EXPECT_EQ(s.bytes, 0u);
+      EXPECT_EQ(buffer[0], 7);  // untouched
+    }
+  });
+}
+
+TEST(P2p, TestPollsToCompletion) {
+  run(2, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    const int out = comm.rank();
+    int in = -1;
+    Request recv = comm.irecv(std::span<int>(&in, 1), peer);
+    Request send = comm.isend(std::span<const int>(&out, 1), peer);
+    while (!comm.test(recv)) {
+    }
+    EXPECT_EQ(in, peer);
+    comm.wait(send);
+  });
+}
+
+TEST(P2p, ManyToOneGatherPattern) {
+  constexpr int kRanks = 6;
+  run(kRanks, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> values(kRanks, 0);
+      std::vector<Request> requests;
+      for (int r = 1; r < kRanks; ++r) {
+        requests.push_back(comm.irecv(
+            std::span<int>(&values[static_cast<std::size_t>(r)], 1), r));
+      }
+      comm.wait_all(requests);
+      for (int r = 1; r < kRanks; ++r) {
+        EXPECT_EQ(values[static_cast<std::size_t>(r)], r * r);
+      }
+    } else {
+      const int v = comm.rank() * comm.rank();
+      comm.send(std::span<const int>(&v, 1), 0);
+    }
+  });
+}
+
+TEST(P2p, RingShift) {
+  constexpr int kRanks = 5;
+  run(kRanks, [](Comm& comm) {
+    const int next = (comm.rank() + 1) % kRanks;
+    const int prev = (comm.rank() + kRanks - 1) % kRanks;
+    const int out = comm.rank();
+    int in = -1;
+    Request r = comm.irecv(std::span<int>(&in, 1), prev);
+    Request s = comm.isend(std::span<const int>(&out, 1), next);
+    comm.wait(r);
+    comm.wait(s);
+    EXPECT_EQ(in, prev);
+  });
+}
+
+TEST(P2p, StatsCountMessagesAndBytes) {
+  const RunStats stats = run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> data(100, 1.0);
+      comm.send(std::span<const double>(data), 1);
+    } else {
+      std::vector<double> buffer(100);
+      comm.recv(std::span<double>(buffer), 0);
+    }
+  });
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.bytes, 800u);
+}
+
+TEST(P2p, OnTransferHookObservesTraffic) {
+  std::atomic<int> transfers{0};
+  std::atomic<std::size_t> bytes{0};
+  RuntimeOptions options;
+  options.ranks = 3;
+  options.on_transfer = [&](const TransferRecord& record) {
+    transfers.fetch_add(1);
+    bytes.fetch_add(record.bytes);
+  };
+  run(options, [](Comm& comm) {
+    const int next = (comm.rank() + 1) % 3;
+    const int prev = (comm.rank() + 2) % 3;
+    const std::vector<int> out(10, comm.rank());
+    std::vector<int> in(10);
+    Request r = comm.irecv(std::span<int>(in), prev);
+    Request s = comm.isend(std::span<const int>(out), next);
+    comm.wait(r);
+    comm.wait(s);
+  });
+  EXPECT_EQ(transfers.load(), 3);
+  EXPECT_EQ(bytes.load(), 3u * 40u);
+}
+
+TEST(P2p, PeerOutOfRangeThrows) {
+  EXPECT_THROW(run(1,
+                   [](Comm& comm) {
+                     const int v = 1;
+                     comm.send(std::span<const int>(&v, 1), 5);
+                   }),
+               std::out_of_range);
+}
+
+TEST(P2p, RankExceptionPropagates) {
+  EXPECT_THROW(run(2,
+                   [](Comm& comm) {
+                     if (comm.rank() == 1) {
+                       throw std::logic_error("rank 1 failed");
+                     }
+                     // rank 0 blocks; the abort must unblock it.
+                     std::vector<int> buffer(1);
+                     comm.recv(std::span<int>(buffer), 1);
+                   }),
+               std::logic_error);
+}
+
+TEST(P2p, InvalidOptionsThrow) {
+  EXPECT_THROW(run(0, [](Comm&) {}), std::invalid_argument);
+  EXPECT_THROW(run(1, std::function<void(Comm&)>()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::minimpi

@@ -1,0 +1,195 @@
+// Tests of the progress semantics — the paper's central observation
+// (Sect. 3): with standard MPI (kDeferred) a nonblocking transfer makes no
+// progress while user code computes; with asynchronous progress (kAsync)
+// it completes in the background.
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minimpi/runtime.hpp"
+#include "util/timer.hpp"
+
+namespace hspmv::minimpi {
+namespace {
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(Progress, DeferredDoesNotProgressOutsideCalls) {
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.progress = ProgressMode::kDeferred;
+  run(options, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    const std::vector<int> out(64, comm.rank());
+    std::vector<int> in(64, -1);
+    Request recv = comm.irecv(std::span<int>(in), peer);
+    Request send = comm.isend(std::span<const int>(out), peer);
+    comm.barrier();  // both sides posted (collectives bypass the board)
+    // No rank has entered a p2p library call between the two barriers, so
+    // no progress can have happened: the receive must still be pending.
+    EXPECT_FALSE(recv.state()->complete)
+        << "deferred mode transferred data without a library call";
+    comm.barrier();  // everyone has checked before anyone waits
+    comm.wait(recv);
+    comm.wait(send);
+    for (int v : in) EXPECT_EQ(v, peer);
+  });
+}
+
+TEST(Progress, AsyncProgressesDuringCompute) {
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.progress = ProgressMode::kAsync;
+  run(options, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    const std::vector<int> out(64, comm.rank());
+    std::vector<int> in(64, -1);
+    Request recv = comm.irecv(std::span<int>(in), peer);
+    Request send = comm.isend(std::span<const int>(out), peer);
+    comm.barrier();
+    // Give the progress thread ample time.
+    for (int tries = 0; tries < 200 && !recv.state()->complete; ++tries) {
+      sleep_ms(1);
+    }
+    EXPECT_TRUE(recv.state()->complete)
+        << "async progress thread did not move the data";
+    comm.wait(recv);
+    comm.wait(send);
+    for (int v : in) EXPECT_EQ(v, peer);
+  });
+}
+
+// The headline overlap experiment in miniature: each rank "computes" for
+// T_comp while a message with simulated network time T_comm is pending.
+// With async progress (task-mode behaviour) the total is ~max(T_comp,
+// T_comm); with deferred progress (naive overlap) it is ~T_comp + T_comm.
+TEST(Progress, OverlapShortensCriticalPath) {
+  constexpr double kLatency = 0.12;  // 120 ms network time per message
+  constexpr int kComputeMs = 120;
+
+  const auto measure = [&](ProgressMode mode) {
+    RuntimeOptions options;
+    options.ranks = 2;
+    options.progress = mode;
+    options.latency_seconds = kLatency;
+    double max_seconds = 0.0;
+    std::mutex m;
+    run(options, [&](Comm& comm) {
+      const int peer = 1 - comm.rank();
+      const std::vector<int> out(16, comm.rank());
+      std::vector<int> in(16, -1);
+      util::Timer timer;
+      Request recv = comm.irecv(std::span<int>(in), peer);
+      Request send = comm.isend(std::span<const int>(out), peer);
+      sleep_ms(kComputeMs);  // overlappable compute
+      std::vector<Request> requests{recv, send};
+      comm.wait_all(requests);
+      const double elapsed = timer.seconds();
+      std::lock_guard<std::mutex> lock(m);
+      max_seconds = std::max(max_seconds, elapsed);
+    });
+    return max_seconds;
+  };
+
+  const double deferred = measure(ProgressMode::kDeferred);
+  const double async = measure(ProgressMode::kAsync);
+
+  // Deferred: compute then transfer -> >= 220 ms. Async: overlapped ->
+  // ~130 ms. Generous margins for scheduling noise.
+  EXPECT_GT(deferred, 0.20) << "deferred mode should serialize comm after "
+                               "compute";
+  EXPECT_LT(async, deferred - 0.05)
+      << "async progress should overlap communication with compute";
+}
+
+TEST(Progress, DeferredTransfersArePaidInsideWait) {
+  // One-directional message with simulated cost: the receiver's wait()
+  // must take at least the network time.
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.progress = ProgressMode::kDeferred;
+  options.latency_seconds = 0.08;
+  run(options, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> out(4, 9);
+      Request s = comm.isend(std::span<const int>(out), 1);
+      sleep_ms(150);  // stay out of the library; receiver pays the cost
+      comm.wait(s);
+    } else {
+      std::vector<int> in(4);
+      util::Timer timer;
+      comm.recv(std::span<int>(in), 0);
+      EXPECT_GE(timer.seconds(), 0.07);
+      EXPECT_EQ(in[0], 9);
+    }
+  });
+}
+
+TEST(Progress, BandwidthModelScalesWithSize) {
+  // 1 MB at 10 MB/s -> >= 100 ms transfer time.
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.progress = ProgressMode::kDeferred;
+  options.bytes_per_second = 10e6;
+  run(options, [](Comm& comm) {
+    std::vector<char> buffer(1000000);
+    if (comm.rank() == 0) {
+      comm.send(std::span<const char>(buffer), 1);
+    } else {
+      util::Timer timer;
+      comm.recv(std::span<char>(buffer), 0);
+      EXPECT_GE(timer.seconds(), 0.09);
+    }
+  });
+}
+
+TEST(Progress, ConcurrentTransfersOverlapOnTheWire) {
+  // Two independent 100 ms messages between disjoint rank pairs must not
+  // serialize: total wall time stays well under 200 ms.
+  RuntimeOptions options;
+  options.ranks = 4;
+  options.progress = ProgressMode::kDeferred;
+  options.latency_seconds = 0.1;
+  util::Timer timer;
+  run(options, [](Comm& comm) {
+    if (comm.rank() % 2 == 0) {
+      const int v = comm.rank();
+      comm.send(std::span<const int>(&v, 1), comm.rank() + 1);
+    } else {
+      int v = -1;
+      comm.recv(std::span<int>(&v, 1), comm.rank() - 1);
+      EXPECT_EQ(v, comm.rank() - 1);
+    }
+  });
+  EXPECT_LT(timer.seconds(), 0.19);
+}
+
+TEST(Progress, AsyncCompletesFireAndForgetSends) {
+  // A send whose sender never waits still completes under async progress
+  // (the receiver would otherwise deadlock in deferred mode only if the
+  // *sender* also never entered the library — here the receiver's wait
+  // suffices in both modes; this checks async specifically).
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.progress = ProgressMode::kAsync;
+  run(options, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v = 3;
+      (void)comm.isend(std::span<const int>(&v, 1), 1);
+      comm.barrier();  // keep `v` alive until the receiver confirms
+    } else {
+      int v = 0;
+      comm.recv(std::span<int>(&v, 1), 0);
+      EXPECT_EQ(v, 3);
+      comm.barrier();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace hspmv::minimpi

@@ -1,0 +1,123 @@
+#include "perfmodel/code_balance.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/saturation.hpp"
+
+namespace hspmv::perfmodel {
+namespace {
+
+TEST(CodeBalance, PaperEquationOne) {
+  // Sect. 2: Nnzr = 15, kappa = 0 -> B = 6.8 bytes/flop.
+  EXPECT_NEAR(crs_code_balance(15.0, 0.0), 6.8, 1e-12);
+  // With the measured kappa = 2.5: 8.05 bytes/flop.
+  EXPECT_NEAR(crs_code_balance(15.0, 2.5), 8.05, 1e-12);
+}
+
+TEST(CodeBalance, PaperPerformanceBounds) {
+  // "For a single socket the spMVM draws 18.1 GB/s (STREAM triads:
+  // 21.2 GB/s), allowing for a maximum performance of 2.66 GFlop/s
+  // (3.12 GFlop/s)" — at kappa = 0.
+  const double balance = crs_code_balance(15.0, 0.0);
+  EXPECT_NEAR(performance_bound(18.1e9, balance) / 1e9, 2.66, 0.01);
+  EXPECT_NEAR(performance_bound(21.2e9, balance) / 1e9, 3.12, 0.01);
+}
+
+TEST(CodeBalance, PaperKappaRecovery) {
+  // "Combining the measured performance (2.25 GFlop/s) and bandwidth of
+  // the spMVM operation with BCRS(kappa) we find kappa = 2.5".
+  EXPECT_NEAR(kappa_from_measurement(18.1e9, 2.25e9, 15.0), 2.5, 0.05);
+}
+
+TEST(CodeBalance, KappaTrafficRoundTrip) {
+  const double nnzr = 10.0;
+  const double kappa = 1.7;
+  const double nnz = 1e6;
+  const double bytes = (12.0 + 24.0 / nnzr + kappa) * nnz;
+  EXPECT_NEAR(kappa_from_traffic(bytes, nnz, nnzr), kappa, 1e-9);
+}
+
+TEST(CodeBalance, SplitPenaltyRange) {
+  // Sect. 3.1: "For Nnzr ~ 7..15 and assuming kappa = 0, one may expect a
+  // node-level performance penalty between 15 % and 8 %".
+  EXPECT_NEAR(split_penalty(7.0, 0.0), 0.147, 0.005);
+  EXPECT_NEAR(split_penalty(15.0, 0.0), 0.078, 0.005);
+  // "and even less if kappa > 0".
+  EXPECT_LT(split_penalty(15.0, 2.5), split_penalty(15.0, 0.0));
+}
+
+TEST(CodeBalance, SplitBalanceAlwaysLarger) {
+  for (double nnzr : {5.0, 10.0, 20.0, 100.0}) {
+    for (double kappa : {0.0, 1.0, 4.0}) {
+      EXPECT_GT(split_crs_code_balance(nnzr, kappa),
+                crs_code_balance(nnzr, kappa));
+    }
+  }
+}
+
+TEST(CodeBalance, RooflineCapsAtPeak) {
+  EXPECT_DOUBLE_EQ(roofline(1e12, 1.0, 5e9), 5e9);
+  EXPECT_DOUBLE_EQ(roofline(1e9, 1.0, 5e9), 1e9);
+}
+
+TEST(CodeBalance, CompulsoryBytes) {
+  // nnz*(8+4) + rows*(8 + 16)
+  EXPECT_DOUBLE_EQ(compulsory_bytes(100.0, 10.0), 100.0 * 12 + 10.0 * 24);
+}
+
+TEST(CodeBalance, InvalidArgsThrow) {
+  EXPECT_THROW((void)crs_code_balance(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)performance_bound(1e9, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)kappa_from_measurement(1e9, 0.0, 15.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)kappa_from_traffic(1e6, 0.0, 15.0),
+               std::invalid_argument);
+}
+
+TEST(Saturation, PaperNehalemLadder) {
+  // Fit from P(1) = 0.91, P(4) = 2.25 and check the intermediate points
+  // of Fig. 3(a): 1.50 and 1.95 GFlop/s.
+  const auto curve = SaturationCurve::fit(0.91, 4, 2.25);
+  EXPECT_NEAR(curve.value(2), 1.50, 0.02);
+  EXPECT_NEAR(curve.value(3), 1.95, 0.02);
+  EXPECT_NEAR(curve.value(4), 2.25, 1e-9);
+}
+
+TEST(Saturation, SaturatesNearFourThreads) {
+  // The paper: "spMVM saturates at about 3-5 threads per locality
+  // domain" — 90 % of the asymptote within ~5 cores.
+  const auto curve = SaturationCurve::fit(0.91, 4, 2.25);
+  const int cores = curve.cores_to_reach(0.5);
+  EXPECT_GE(cores, 3);
+  EXPECT_LE(cores, 5);
+}
+
+TEST(Saturation, MonotoneAndBounded) {
+  const SaturationCurve curve(1.0, 0.3);
+  double previous = 0.0;
+  for (int t = 1; t <= 32; ++t) {
+    const double v = curve.value(t);
+    EXPECT_GT(v, previous);
+    EXPECT_LE(v, curve.saturated() + 1e-12);
+    previous = v;
+  }
+}
+
+TEST(Saturation, PerfectScalingGammaZero) {
+  const SaturationCurve curve(2.0, 0.0);
+  EXPECT_DOUBLE_EQ(curve.value(8), 16.0);
+  EXPECT_TRUE(std::isinf(curve.saturated()));
+}
+
+TEST(Saturation, InvalidArgsThrow) {
+  EXPECT_THROW(SaturationCurve(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(SaturationCurve(1.0, 1.5), std::invalid_argument);
+  const SaturationCurve curve(1.0, 0.5);
+  EXPECT_THROW((void)curve.value(0.5), std::invalid_argument);
+  EXPECT_THROW(SaturationCurve::fit(1.0, 1, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::perfmodel

@@ -1,0 +1,171 @@
+#include "solvers/amg.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "matgen/poisson.hpp"
+#include "solvers/cg.hpp"
+#include "sparse/kernels.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::solvers {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+double residual_norm(const CsrMatrix& a, std::span<const double> b,
+                     std::span<const double> x) {
+  std::vector<double> ax(b.size());
+  sparse::spmv(a, x, ax);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double r = b[i] - ax[i];
+    sum += r * r;
+  }
+  return std::sqrt(sum);
+}
+
+TEST(Aggregate, CoversAllVerticesWithValidIds) {
+  const CsrMatrix a = matgen::poisson5_2d(12, 12);
+  const auto ids = aggregate(a, 0.08);
+  ASSERT_EQ(ids.size(), 144u);
+  index_t max_id = 0;
+  for (const index_t id : ids) {
+    EXPECT_GE(id, 0);
+    max_id = std::max(max_id, id);
+  }
+  // Aggregation should coarsen substantially on a grid.
+  EXPECT_LT(max_id + 1, 144 / 2);
+  EXPECT_GT(max_id + 1, 144 / 30);
+}
+
+TEST(Aggregate, IsolatedVerticesGetOwnAggregates) {
+  sparse::CooBuilder b(4, 4);
+  for (index_t i = 0; i < 4; ++i) b.add(i, i, 1.0);
+  const auto ids = aggregate(CsrMatrix(4, 4, b.finish()), 0.1);
+  // All isolated: 4 distinct aggregates.
+  std::vector<index_t> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<index_t>{0, 1, 2, 3}));
+}
+
+TEST(Amg, BuildsMultilevelHierarchy) {
+  const CsrMatrix a = matgen::poisson7({.nx = 16, .ny = 16, .nz = 16});
+  const AmgHierarchy hierarchy(a);
+  EXPECT_GE(hierarchy.levels(), 3);
+  // Coarsest fits the direct-solve budget.
+  EXPECT_LE(hierarchy.level(hierarchy.levels() - 1).a.rows(), 64);
+  // Operator complexity stays modest for piecewise-constant aggregation.
+  EXPECT_LT(hierarchy.operator_complexity(), 2.0);
+}
+
+TEST(Amg, VCycleReducesResidual) {
+  const CsrMatrix a = matgen::poisson5_2d(24, 24);
+  AmgHierarchy hierarchy(a);
+  const std::size_t n = 576;
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  const double r0 = residual_norm(a, b, x);
+  hierarchy.v_cycle(b, x);
+  const double r1 = residual_norm(a, b, x);
+  hierarchy.v_cycle(b, x);
+  const double r2 = residual_norm(a, b, x);
+  EXPECT_LT(r1, 0.75 * r0);
+  EXPECT_LT(r2, 0.5 * r1);  // asymptotic contraction ~0.32 here
+}
+
+TEST(Amg, SolveReachesTolerance) {
+  const CsrMatrix a = matgen::poisson7(
+      {.nx = 12, .ny = 12, .nz = 12, .grading = 1.05,
+       .coefficient_jitter = 0.2, .seed = 3});
+  AmgHierarchy hierarchy(a);
+  const auto n = static_cast<std::size_t>(a.rows());
+  util::Xoshiro256 rng(2);
+  std::vector<double> x_true(n), b(n), x(n, 0.0);
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  sparse::spmv(a, x_true, b);
+  const int cycles = hierarchy.solve(b, x, 1e-10, 200);
+  EXPECT_LT(cycles, 200);
+  EXPECT_LT(residual_norm(a, b, x), 1e-8);
+}
+
+TEST(Amg, PreconditionedCgBeatsPlainCg) {
+  // The AMG payoff: mesh-independent-ish iteration counts.
+  const CsrMatrix a = matgen::poisson5_2d(48, 48);
+  const auto op = make_operator(a);
+  const auto n = static_cast<std::size_t>(a.rows());
+  util::Xoshiro256 rng(5);
+  std::vector<value_t> x_true(n), b(n);
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  sparse::spmv(a, x_true, b);
+
+  CgOptions options;
+  options.tolerance = 1e-10;
+  std::vector<value_t> x_plain(n, 0.0);
+  const auto plain = conjugate_gradient(op, b, x_plain, options);
+
+  AmgHierarchy hierarchy(a);
+  std::vector<value_t> x_pcg(n, 0.0);
+  const auto pcg = preconditioned_conjugate_gradient(
+      op,
+      [&](std::span<const value_t> r, std::span<value_t> z) {
+        std::fill(z.begin(), z.end(), 0.0);
+        hierarchy.v_cycle(r, z);
+      },
+      b, x_pcg, options);
+
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(pcg.converged);
+  EXPECT_LT(pcg.iterations, plain.iterations / 2)
+      << "plain " << plain.iterations << " vs pcg " << pcg.iterations;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x_pcg[i], x_true[i], 1e-6);
+  }
+}
+
+TEST(Amg, NullPreconditionerFallsBackToCg) {
+  const CsrMatrix a = matgen::poisson5_2d(8, 8);
+  const auto op = make_operator(a);
+  std::vector<value_t> b(64, 1.0), x(64, 0.0);
+  const auto result =
+      preconditioned_conjugate_gradient(op, nullptr, b, x);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Amg, SmallMatrixSingleLevel) {
+  const CsrMatrix a = matgen::laplacian1d(10);
+  AmgHierarchy hierarchy(a);
+  EXPECT_EQ(hierarchy.levels(), 1);  // below coarse_size: direct solve
+  std::vector<double> b(10, 1.0), x(10, 0.0);
+  hierarchy.v_cycle(b, x);
+  // Direct solve: one cycle is exact.
+  EXPECT_LT(residual_norm(a, b, x), 1e-10);
+}
+
+TEST(Amg, InvalidInputsThrow) {
+  sparse::CooBuilder rect(2, 3);
+  rect.add(0, 0, 1.0);
+  EXPECT_THROW(AmgHierarchy(CsrMatrix(2, 3, rect.finish())),
+               std::invalid_argument);
+  sparse::CooBuilder zero_diag(2, 2);
+  zero_diag.add(0, 1, 1.0);
+  zero_diag.add(1, 0, 1.0);
+  EXPECT_THROW(AmgHierarchy(CsrMatrix(2, 2, zero_diag.finish())),
+               std::invalid_argument);
+}
+
+TEST(Amg, GradedAnisotropicGridStillConverges) {
+  const CsrMatrix a = matgen::poisson7(
+      {.nx = 20, .ny = 10, .nz = 5, .grading = 1.15,
+       .coefficient_jitter = 0.4, .seed = 11});
+  AmgHierarchy hierarchy(a);
+  const auto n = static_cast<std::size_t>(a.rows());
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  const int cycles = hierarchy.solve(b, x, 1e-8, 300);
+  EXPECT_LT(cycles, 300);
+}
+
+}  // namespace
+}  // namespace hspmv::solvers

@@ -1,0 +1,120 @@
+#include "solvers/cg.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "matgen/poisson.hpp"
+#include "matgen/random_matrix.hpp"
+#include "sparse/kernels.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::solvers {
+namespace {
+
+using sparse::value_t;
+
+std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<value_t> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(Cg, SolvesPoisson2d) {
+  const auto a = matgen::poisson5_2d(20, 20);
+  const auto op = make_operator(a);
+  const auto x_true = random_vector(op.local_size, 1);
+  std::vector<value_t> b(op.local_size);
+  sparse::spmv(a, x_true, b);
+  std::vector<value_t> x(op.local_size, 0.0);
+  const auto result = conjugate_gradient(op, b, x);
+  EXPECT_TRUE(result.converged);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-6);
+  }
+}
+
+TEST(Cg, SolvesPoisson3dGraded) {
+  const auto a = matgen::poisson7(
+      {.nx = 10, .ny = 10, .nz = 10, .grading = 1.1,
+       .coefficient_jitter = 0.2, .seed = 3});
+  const auto op = make_operator(a);
+  const auto x_true = random_vector(op.local_size, 2);
+  std::vector<value_t> b(op.local_size);
+  sparse::spmv(a, x_true, b);
+  std::vector<value_t> x(op.local_size, 0.0);
+  CgOptions options;
+  options.tolerance = 1e-12;
+  const auto result = conjugate_gradient(op, b, x, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.relative_residual, 1e-10);
+}
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  const auto a = matgen::laplacian1d(30);
+  const auto op = make_operator(a);
+  std::vector<value_t> b(30, 0.0), x(30, 0.5);
+  const auto result = conjugate_gradient(op, b, x);
+  EXPECT_TRUE(result.converged);
+  for (const auto v : x) EXPECT_NEAR(v, 0.0, 1e-8);
+}
+
+TEST(Cg, WarmStartFewerIterations) {
+  const auto a = matgen::poisson5_2d(16, 16);
+  const auto op = make_operator(a);
+  const auto x_true = random_vector(op.local_size, 4);
+  std::vector<value_t> b(op.local_size);
+  sparse::spmv(a, x_true, b);
+
+  std::vector<value_t> cold(op.local_size, 0.0);
+  const auto cold_result = conjugate_gradient(op, b, cold);
+
+  std::vector<value_t> warm = x_true;
+  for (auto& v : warm) v += 1e-6;
+  const auto warm_result = conjugate_gradient(op, b, warm);
+  EXPECT_LT(warm_result.iterations, cold_result.iterations);
+}
+
+TEST(Cg, ResidualHistoryMonotoneOverall) {
+  const auto a = matgen::poisson5_2d(12, 12);
+  const auto op = make_operator(a);
+  std::vector<value_t> b(op.local_size, 1.0), x(op.local_size, 0.0);
+  const auto result = conjugate_gradient(op, b, x);
+  ASSERT_GE(result.residual_history.size(), 2u);
+  EXPECT_LT(result.residual_history.back(),
+            result.residual_history.front());
+}
+
+TEST(Cg, IterationBoundHolds) {
+  // CG converges in at most n iterations in exact arithmetic; allow some
+  // slack for roundoff.
+  const auto a = matgen::laplacian1d(40);
+  const auto op = make_operator(a);
+  std::vector<value_t> b(40, 1.0), x(40, 0.0);
+  CgOptions options;
+  options.tolerance = 1e-10;
+  const auto result = conjugate_gradient(op, b, x, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 45);
+}
+
+TEST(Cg, IndefiniteOperatorThrows) {
+  sparse::CooBuilder builder(2, 2);
+  builder.add(0, 0, -1.0);
+  builder.add(1, 1, -1.0);
+  const sparse::CsrMatrix a(2, 2, builder.finish());
+  const auto op = make_operator(a);
+  std::vector<value_t> b{1.0, 1.0}, x{0.0, 0.0};
+  EXPECT_THROW((void)conjugate_gradient(op, b, x), std::runtime_error);
+}
+
+TEST(Cg, SizeMismatchThrows) {
+  const auto a = matgen::laplacian1d(5);
+  const auto op = make_operator(a);
+  std::vector<value_t> b(4), x(5);
+  EXPECT_THROW((void)conjugate_gradient(op, b, x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::solvers

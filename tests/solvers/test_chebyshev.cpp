@@ -1,0 +1,190 @@
+#include "solvers/chebyshev.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "matgen/poisson.hpp"
+#include "solvers/lanczos.hpp"
+
+namespace hspmv::solvers {
+namespace {
+
+using sparse::value_t;
+
+TEST(SpectralWindow, MapsBoundsInsideUnitInterval) {
+  const auto w = SpectralWindow::from_bounds(-3.0, 5.0);
+  EXPECT_LT(std::abs(w.scale(-3.0)), 1.0);
+  EXPECT_LT(std::abs(w.scale(5.0)), 1.0);
+  EXPECT_NEAR(w.scale(1.0), 0.0, 1e-12);  // midpoint
+  EXPECT_NEAR(w.unscale(w.scale(2.5)), 2.5, 1e-12);
+  EXPECT_THROW((void)SpectralWindow::from_bounds(1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Jackson, KernelProperties) {
+  const auto g = jackson_kernel(64);
+  ASSERT_EQ(g.size(), 64u);
+  EXPECT_NEAR(g[0], 1.0, 1e-12);
+  // Positive and decreasing.
+  for (std::size_t m = 1; m < g.size(); ++m) {
+    EXPECT_GT(g[m], 0.0);
+    EXPECT_LT(g[m], g[m - 1]);
+  }
+  EXPECT_LT(g.back(), 0.01);
+}
+
+TEST(Kpm, MomentZeroIsUnityAndOddMomentsVanishForSymmetricSpectrum) {
+  // Tridiagonal with zero diagonal has a symmetric spectrum: odd moments
+  // about the centre vanish.
+  sparse::CooBuilder b(64, 64);
+  for (sparse::index_t i = 0; i + 1 < 64; ++i) {
+    b.add_symmetric(i, i + 1, 1.0);
+  }
+  for (sparse::index_t i = 0; i < 64; ++i) b.add(i, i, 0.0);
+  const sparse::CsrMatrix a(64, 64, b.finish());
+  const auto op = make_operator(a);
+  const auto window = SpectralWindow::from_bounds(-2.0, 2.0);
+  KpmOptions options;
+  options.moments = 32;
+  options.random_vectors = 8;
+  const auto mu = kpm_moments(op, window, options);
+  EXPECT_NEAR(mu[0], 1.0, 1e-12);  // T_0 trace / N
+  EXPECT_NEAR(mu[1], 0.0, 0.05);
+  EXPECT_NEAR(mu[3], 0.0, 0.05);
+}
+
+TEST(Kpm, DensityIntegratesToOne) {
+  const auto a = matgen::laplacian1d(128);
+  const auto op = make_operator(a);
+  const auto window = SpectralWindow::from_bounds(0.0, 4.0);
+  KpmOptions options;
+  options.moments = 64;
+  options.random_vectors = 8;
+  const auto mu = kpm_moments(op, window, options);
+
+  // Integrate the reconstructed DOS over the spectrum with the
+  // trapezoidal rule.
+  std::vector<double> energies;
+  const int points = 400;
+  for (int i = 0; i <= points; ++i) {
+    energies.push_back(-0.5 + 5.0 * i / points);
+  }
+  const auto rho = kpm_density(mu, window, energies);
+  double integral = 0.0;
+  for (int i = 0; i < points; ++i) {
+    integral += 0.5 *
+                (rho[static_cast<std::size_t>(i)] +
+                 rho[static_cast<std::size_t>(i + 1)]) *
+                (energies[static_cast<std::size_t>(i + 1)] -
+                 energies[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.05);
+}
+
+TEST(Kpm, DensityNonNegativeWithJackson) {
+  const auto a = matgen::poisson5_2d(10, 10);
+  const auto op = make_operator(a);
+  const auto window = SpectralWindow::from_bounds(0.0, 8.0);
+  const auto mu = kpm_moments(op, window);
+  std::vector<double> energies;
+  for (int i = 0; i <= 100; ++i) energies.push_back(8.0 * i / 100);
+  for (const double rho : kpm_density(mu, window, energies)) {
+    EXPECT_GE(rho, -1e-9);
+  }
+}
+
+TEST(Propagate, PreservesNorm) {
+  const auto a = matgen::laplacian1d(64);
+  const auto op = make_operator(a);
+  const auto window = SpectralWindow::from_bounds(0.0, 4.0);
+  std::vector<value_t> re(64, 0.0), im(64, 0.0);
+  re[32] = 1.0;
+  const int terms = chebyshev_propagate(op, window, re, im,
+                                        {.time = 2.5});
+  EXPECT_GT(terms, 2);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    norm += re[i] * re[i] + im[i] * im[i];
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-10);
+}
+
+TEST(Propagate, MatchesEigenphaseOnEigenvector) {
+  // On an eigenvector, exp(-iHt) v = exp(-i lambda t) v.
+  const int n = 32;
+  const auto a = matgen::laplacian1d(n);
+  const auto op = make_operator(a);
+  const auto window = SpectralWindow::from_bounds(0.0, 4.0);
+  const int k = 5;
+  const double lambda =
+      2.0 - 2.0 * std::cos(k * std::numbers::pi / (n + 1));
+  std::vector<value_t> re(n), im(n, 0.0);
+  double norm = 0.0;
+  for (int i = 0; i < n; ++i) {
+    re[static_cast<std::size_t>(i)] =
+        std::sin((i + 1) * k * std::numbers::pi / (n + 1));
+    norm += re[static_cast<std::size_t>(i)] * re[static_cast<std::size_t>(i)];
+  }
+  for (auto& v : re) v /= std::sqrt(norm);
+  const std::vector<value_t> re0 = re;
+
+  const double t = 1.7;
+  chebyshev_propagate(op, window, re, im, {.time = t});
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(re[static_cast<std::size_t>(i)],
+                std::cos(lambda * t) * re0[static_cast<std::size_t>(i)],
+                1e-9);
+    EXPECT_NEAR(im[static_cast<std::size_t>(i)],
+                -std::sin(lambda * t) * re0[static_cast<std::size_t>(i)],
+                1e-9);
+  }
+}
+
+TEST(Propagate, ZeroTimeIsIdentity) {
+  const auto a = matgen::laplacian1d(16);
+  const auto op = make_operator(a);
+  const auto window = SpectralWindow::from_bounds(0.0, 4.0);
+  std::vector<value_t> re(16, 0.25), im(16, -0.1);
+  const std::vector<value_t> re0 = re, im0 = im;
+  chebyshev_propagate(op, window, re, im, {.time = 0.0});
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(re[i], re0[i], 1e-12);
+    EXPECT_NEAR(im[i], im0[i], 1e-12);
+  }
+}
+
+TEST(Propagate, ComposesOverTime) {
+  // exp(-iH t2) exp(-iH t1) = exp(-iH (t1+t2)).
+  const auto a = matgen::laplacian1d(24);
+  const auto op = make_operator(a);
+  const auto window = SpectralWindow::from_bounds(0.0, 4.0);
+  std::vector<value_t> re(24, 0.0), im(24, 0.0);
+  re[7] = 1.0;
+  std::vector<value_t> re2 = re, im2 = im;
+  chebyshev_propagate(op, window, re, im, {.time = 0.8});
+  chebyshev_propagate(op, window, re, im, {.time = 1.2});
+  chebyshev_propagate(op, window, re2, im2, {.time = 2.0});
+  for (std::size_t i = 0; i < 24; ++i) {
+    EXPECT_NEAR(re[i], re2[i], 1e-9);
+    EXPECT_NEAR(im[i], im2[i], 1e-9);
+  }
+}
+
+TEST(Chebyshev, BadInputsThrow) {
+  const auto a = matgen::laplacian1d(8);
+  const auto op = make_operator(a);
+  const auto window = SpectralWindow::from_bounds(0.0, 4.0);
+  KpmOptions bad;
+  bad.moments = 1;
+  EXPECT_THROW((void)kpm_moments(op, window, bad), std::invalid_argument);
+  EXPECT_THROW((void)jackson_kernel(0), std::invalid_argument);
+  EXPECT_THROW((void)kpm_density({}, window, {0.0}), std::invalid_argument);
+  std::vector<value_t> re(4), im(8);
+  EXPECT_THROW((void)chebyshev_propagate(op, window, re, im),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::solvers

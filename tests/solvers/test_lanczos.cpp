@@ -1,0 +1,104 @@
+#include "solvers/lanczos.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "matgen/holstein.hpp"
+#include "matgen/poisson.hpp"
+
+namespace hspmv::solvers {
+namespace {
+
+TEST(Lanczos, LaplacianExtremalEigenvalues) {
+  const auto a = matgen::laplacian1d(200);
+  const auto op = make_operator(a);
+  LanczosOptions options;
+  options.max_iterations = 250;  // > n with full reorthogonalization
+  options.tolerance = 1e-14;
+  options.full_reorthogonalization = true;
+  const auto result = lanczos(op, options);
+  const double lo = 2.0 - 2.0 * std::cos(std::numbers::pi / 201.0);
+  const double hi = 2.0 - 2.0 * std::cos(200.0 * std::numbers::pi / 201.0);
+  EXPECT_NEAR(result.smallest(), lo, 1e-8);
+  EXPECT_NEAR(result.largest(), hi, 1e-8);
+}
+
+TEST(Lanczos, ConvergesOnPoisson2d) {
+  const auto a = matgen::poisson5_2d(16, 16);
+  const auto op = make_operator(a);
+  const auto result = lanczos(op);
+  EXPECT_TRUE(result.converged);
+  // 5-point Laplacian eigenvalues: 4 - 2cos(i pi/17) - 2cos(j pi/17).
+  const double expected =
+      4.0 - 2.0 * std::cos(std::numbers::pi / 17.0) -
+      2.0 * std::cos(std::numbers::pi / 17.0);
+  EXPECT_NEAR(result.smallest(), expected, 1e-6);
+}
+
+TEST(Lanczos, TinyHolsteinGroundState) {
+  // Single-site Holstein polaron with one phonon mode truncated at large
+  // M: ground state energy approaches the exact -g^2 w0 of the displaced
+  // oscillator.
+  matgen::HolsteinHubbardParams p;
+  p.sites = 1;
+  p.electrons_up = 1;
+  p.electrons_down = 0;
+  p.phonon_modes = 1;
+  p.max_phonons = 30;
+  p.phonon_frequency = 1.0;
+  p.coupling = 0.8;
+  const auto h = matgen::holstein_hubbard(p);
+  const auto op = make_operator(h);
+  LanczosOptions options;
+  options.full_reorthogonalization = true;
+  const auto result = lanczos(op, options);
+  EXPECT_NEAR(result.smallest(), -0.64, 1e-6);  // -g^2 w0
+}
+
+TEST(Lanczos, DeterministicInSeed) {
+  const auto a = matgen::poisson5_2d(8, 8);
+  const auto op = make_operator(a);
+  LanczosOptions options;
+  options.seed = 5;
+  options.max_iterations = 30;
+  options.tolerance = 0.0;  // run all iterations
+  const auto r1 = lanczos(op, options);
+  const auto r2 = lanczos(op, options);
+  ASSERT_EQ(r1.ritz_values.size(), r2.ritz_values.size());
+  for (std::size_t i = 0; i < r1.ritz_values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.ritz_values[i], r2.ritz_values[i]);
+  }
+}
+
+TEST(Lanczos, InvariantSubspaceTerminates) {
+  // Identity matrix: Lanczos terminates after one step with beta = 0.
+  sparse::CooBuilder b(10, 10);
+  for (sparse::index_t i = 0; i < 10; ++i) b.add(i, i, 2.0);
+  const sparse::CsrMatrix eye(10, 10, b.finish());
+  const auto result = lanczos(make_operator(eye));
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 2);
+  EXPECT_NEAR(result.smallest(), 2.0, 1e-12);
+}
+
+TEST(Lanczos, BadInputsThrow) {
+  const auto a = matgen::laplacian1d(5);
+  auto op = make_operator(a);
+  LanczosOptions options;
+  options.max_iterations = 0;
+  EXPECT_THROW((void)lanczos(op, options), std::invalid_argument);
+  op.apply = nullptr;
+  EXPECT_THROW((void)lanczos(op), std::invalid_argument);
+}
+
+TEST(Lanczos, RectangularOperatorRejected) {
+  sparse::CooBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  const sparse::CsrMatrix rect(2, 3, b.finish());
+  EXPECT_THROW((void)make_operator(rect), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::solvers

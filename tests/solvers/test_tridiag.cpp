@@ -1,0 +1,64 @@
+#include "solvers/tridiag.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace hspmv::solvers {
+namespace {
+
+TEST(Tridiag, EmptyAndSingle) {
+  EXPECT_TRUE(tridiagonal_eigenvalues({}, {}).empty());
+  const auto single = tridiagonal_eigenvalues({3.5}, {});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 3.5);
+}
+
+TEST(Tridiag, TwoByTwo) {
+  // [[1, 2], [2, 1]] -> eigenvalues -1 and 3.
+  const auto ev = tridiagonal_eigenvalues({1.0, 1.0}, {2.0});
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_NEAR(ev[0], -1.0, 1e-12);
+  EXPECT_NEAR(ev[1], 3.0, 1e-12);
+}
+
+TEST(Tridiag, DiagonalMatrix) {
+  const auto ev = tridiagonal_eigenvalues({3.0, 1.0, 2.0}, {0.0, 0.0});
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_DOUBLE_EQ(ev[0], 1.0);
+  EXPECT_DOUBLE_EQ(ev[1], 2.0);
+  EXPECT_DOUBLE_EQ(ev[2], 3.0);
+}
+
+TEST(Tridiag, DiscreteLaplacianSpectrum) {
+  // Tridiag(-1, 2, -1) of size n: lambda_k = 2 - 2 cos(k pi / (n+1)).
+  const int n = 50;
+  std::vector<double> alpha(n, 2.0), beta(n - 1, -1.0);
+  const auto ev = tridiagonal_eigenvalues(alpha, beta);
+  ASSERT_EQ(ev.size(), static_cast<std::size_t>(n));
+  for (int k = 1; k <= n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(k * std::numbers::pi / (n + 1));
+    EXPECT_NEAR(ev[static_cast<std::size_t>(k - 1)], expected, 1e-10);
+  }
+}
+
+TEST(Tridiag, TraceAndSumPreserved) {
+  std::vector<double> alpha{1.0, -2.0, 0.5, 4.0, -1.5};
+  std::vector<double> beta{0.3, -1.1, 2.0, 0.7};
+  const auto ev = tridiagonal_eigenvalues(alpha, beta);
+  double trace = 0.0;
+  for (double v : alpha) trace += v;
+  double sum = 0.0;
+  for (double v : ev) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-10);
+}
+
+TEST(Tridiag, SizeMismatchThrows) {
+  EXPECT_THROW((void)tridiagonal_eigenvalues({1.0, 2.0}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::solvers

@@ -1,0 +1,205 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+
+namespace hspmv::sparse {
+namespace {
+
+// 3x3:  [1 2 0]
+//       [0 3 0]
+//       [4 0 5]
+CsrMatrix small_matrix() {
+  CooBuilder b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 2.0);
+  b.add(1, 1, 3.0);
+  b.add(2, 0, 4.0);
+  b.add(2, 2, 5.0);
+  return CsrMatrix(3, 3, b.finish());
+}
+
+TEST(CooBuilder, MergesDuplicatesBySummation) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 1, -1.0);
+  const auto triplets = b.finish();
+  ASSERT_EQ(triplets.size(), 2u);
+  EXPECT_DOUBLE_EQ(triplets[0].value, 3.5);
+}
+
+TEST(CooBuilder, SortsRowMajor) {
+  CooBuilder b(3, 3);
+  b.add(2, 1, 1.0);
+  b.add(0, 2, 2.0);
+  b.add(0, 0, 3.0);
+  const auto t = b.finish();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].row, 0);
+  EXPECT_EQ(t[0].col, 0);
+  EXPECT_EQ(t[1].col, 2);
+  EXPECT_EQ(t[2].row, 2);
+}
+
+TEST(CooBuilder, DropZerosRemovesCancellations) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, -1.0);
+  b.add(1, 0, 2.0);
+  EXPECT_EQ(b.finish(/*drop_zeros=*/true).size(), 1u);
+}
+
+TEST(CooBuilder, OutOfRangeThrows) {
+  CooBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(b.add(0, -1, 1.0), std::out_of_range);
+}
+
+TEST(CooBuilder, SymmetricAddMirrors) {
+  CooBuilder b(3, 3);
+  b.add_symmetric(0, 2, 7.0);
+  b.add_symmetric(1, 1, 3.0);  // diagonal added once
+  const auto t = b.finish();
+  ASSERT_EQ(t.size(), 3u);
+  CsrMatrix m(3, 3, t);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 3.0);
+}
+
+TEST(Csr, BasicProperties) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 5);
+  EXPECT_NEAR(m.nnz_per_row(), 5.0 / 3.0, 1e-15);
+}
+
+TEST(Csr, AtReturnsStoredAndZero) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 5.0);
+}
+
+TEST(Csr, RowAccess) {
+  const CsrMatrix m = small_matrix();
+  const auto [cols, vals] = m.row(2);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 2);
+  EXPECT_DOUBLE_EQ(vals[0], 4.0);
+  EXPECT_THROW((void)m.row(3), std::out_of_range);
+}
+
+TEST(Csr, UnsortedTripletsRejected) {
+  std::vector<Triplet> t{{0, 1, 1.0}, {0, 0, 2.0}};
+  EXPECT_THROW(CsrMatrix(2, 2, t), std::invalid_argument);
+}
+
+TEST(Csr, DuplicateTripletsRejected) {
+  std::vector<Triplet> t{{0, 0, 1.0}, {0, 0, 2.0}};
+  EXPECT_THROW(CsrMatrix(2, 2, t), std::invalid_argument);
+}
+
+TEST(Csr, RawArrayValidation) {
+  // row_ptr too short
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), std::invalid_argument);
+  // col out of range
+  EXPECT_THROW(CsrMatrix(1, 1, {0, 1}, {5}, {1.0}), std::invalid_argument);
+  // decreasing row_ptr
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1, 0}, {0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Csr, RowBlockKeepsGlobalColumns) {
+  const CsrMatrix m = small_matrix();
+  const CsrMatrix block = m.row_block(1, 3);
+  EXPECT_EQ(block.rows(), 2);
+  EXPECT_EQ(block.cols(), 3);
+  EXPECT_EQ(block.nnz(), 3);
+  EXPECT_DOUBLE_EQ(block.at(0, 1), 3.0);  // row 1 of original
+  EXPECT_DOUBLE_EQ(block.at(1, 0), 4.0);  // row 2
+}
+
+TEST(Csr, RowBlockEmptyRange) {
+  const CsrMatrix m = small_matrix();
+  const CsrMatrix block = m.row_block(1, 1);
+  EXPECT_EQ(block.rows(), 0);
+  EXPECT_EQ(block.nnz(), 0);
+}
+
+TEST(Csr, TransposeRoundTrip) {
+  const CsrMatrix m = small_matrix();
+  const CsrMatrix tt = m.transpose().transpose();
+  EXPECT_EQ(tt.nnz(), m.nnz());
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(tt.at(i, j), m.at(i, j));
+    }
+  }
+}
+
+TEST(Csr, TransposeValues) {
+  const CsrMatrix t = small_matrix().transpose();
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 0.0);
+}
+
+TEST(Csr, StructuralSymmetry) {
+  EXPECT_FALSE(small_matrix().is_structurally_symmetric());
+  CooBuilder b(2, 2);
+  b.add_symmetric(0, 1, 2.0);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  EXPECT_TRUE(CsrMatrix(2, 2, b.finish()).is_structurally_symmetric());
+}
+
+TEST(Csr, PermuteSymmetricIdentity) {
+  const CsrMatrix m = small_matrix();
+  const std::vector<index_t> id{0, 1, 2};
+  const CsrMatrix p = m.permute_symmetric(id);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(p.at(i, j), m.at(i, j));
+    }
+  }
+}
+
+TEST(Csr, PermuteSymmetricReversal) {
+  const CsrMatrix m = small_matrix();
+  const std::vector<index_t> rev{2, 1, 0};
+  const CsrMatrix p = m.permute_symmetric(rev);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(p.at(2 - i, 2 - j), m.at(i, j));
+    }
+  }
+}
+
+TEST(Csr, PermuteRejectsNonPermutation) {
+  const CsrMatrix m = small_matrix();
+  const std::vector<index_t> bad{0, 0, 1};
+  EXPECT_THROW((void)m.permute_symmetric(bad), std::invalid_argument);
+  const std::vector<index_t> short_perm{0, 1};
+  EXPECT_THROW((void)m.permute_symmetric(short_perm), std::invalid_argument);
+}
+
+TEST(Csr, StorageBytesMatchesLayout) {
+  const CsrMatrix m = small_matrix();
+  // 4 row_ptr entries * 8 + 5 col_idx * 4 + 5 val * 8
+  EXPECT_EQ(m.storage_bytes(), 4u * 8u + 5u * 4u + 5u * 8u);
+}
+
+TEST(Csr, EmptyMatrix) {
+  const CsrMatrix m(0, 0, std::vector<Triplet>{});
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.nnz_per_row(), 0.0);
+  EXPECT_TRUE(m.is_structurally_symmetric());
+}
+
+}  // namespace
+}  // namespace hspmv::sparse

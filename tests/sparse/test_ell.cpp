@@ -1,0 +1,130 @@
+#include "sparse/ell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matgen/poisson.hpp"
+#include "matgen/random_matrix.hpp"
+#include "sparse/kernels.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::sparse {
+namespace {
+
+std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<value_t> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+void expect_same_result(const CsrMatrix& a, std::span<const value_t> y_csr,
+                        std::span<const value_t> y_other,
+                        const char* label) {
+  for (index_t i = 0; i < a.rows(); ++i) {
+    EXPECT_NEAR(y_other[static_cast<std::size_t>(i)],
+                y_csr[static_cast<std::size_t>(i)], 1e-12)
+        << label << " row " << i;
+  }
+}
+
+TEST(Ell, UniformRowsNoPadding) {
+  // A periodic-free tridiagonal has rows of length 2 and 3.
+  const CsrMatrix a = matgen::laplacian1d(50);
+  const auto e = EllMatrix::from_csr(a);
+  EXPECT_EQ(e.width(), 3);
+  EXPECT_NEAR(e.padding_ratio(), 150.0 / 148.0, 1e-12);
+}
+
+TEST(Ell, SpmvMatchesCsr) {
+  const CsrMatrix a = matgen::random_sparse(300, 7, 4);
+  const auto e = EllMatrix::from_csr(a);
+  const auto x = random_vector(300, 1);
+  std::vector<value_t> y_csr(300), y_ell(300);
+  spmv(a, x, y_csr);
+  e.spmv(x, y_ell);
+  expect_same_result(a, y_csr, y_ell, "ell");
+}
+
+TEST(Ell, PowerLawPaddingExplodes) {
+  // One long row forces every row to its width: the format's weakness.
+  const CsrMatrix a = matgen::random_power_law(2000, 4, 0.9, 2);
+  const auto e = EllMatrix::from_csr(a);
+  EXPECT_GT(e.padding_ratio(), 10.0);
+}
+
+TEST(Ell, EmptyRowsHandled) {
+  CooBuilder b(4, 4);
+  b.add(0, 1, 2.0);
+  b.add(2, 3, 3.0);
+  const CsrMatrix a(4, 4, b.finish());
+  const auto e = EllMatrix::from_csr(a);
+  std::vector<value_t> x{1.0, 1.0, 1.0, 1.0}, y(4, -5.0);
+  e.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+  EXPECT_DOUBLE_EQ(y[3], 0.0);
+}
+
+TEST(Ell, SizeMismatchThrows) {
+  const auto e = EllMatrix::from_csr(matgen::laplacian1d(5));
+  std::vector<value_t> x(3), y(5);
+  EXPECT_THROW(e.spmv(x, y), std::invalid_argument);
+}
+
+class SellParams
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SellParams, SpmvMatchesCsr) {
+  const auto [chunk, sigma] = GetParam();
+  const CsrMatrix a = matgen::random_power_law(513, 5, 0.6, 7);
+  const auto s = SellMatrix::from_csr(a, chunk, sigma);
+  const auto x = random_vector(513, 2);
+  std::vector<value_t> y_csr(513), y_sell(513, -1.0);
+  spmv(a, x, y_csr);
+  s.spmv(x, y_sell);
+  expect_same_result(a, y_csr, y_sell, "sell");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChunkSigma, SellParams,
+    ::testing::Combine(::testing::Values(1, 4, 32, 64),
+                       ::testing::Values(1, 8, 513)));
+
+TEST(Sell, SortingReducesPadding) {
+  const CsrMatrix a = matgen::random_power_law(4096, 4, 0.9, 3);
+  const auto unsorted = SellMatrix::from_csr(a, 32, 1);
+  const auto windowed = SellMatrix::from_csr(a, 32, 256);
+  const auto global = SellMatrix::from_csr(a, 32, 4096);
+  EXPECT_LT(windowed.padding_ratio(), unsorted.padding_ratio());
+  EXPECT_LE(global.padding_ratio(), windowed.padding_ratio());
+  // SELL with sorting stays far below plain ELLPACK.
+  EXPECT_LT(global.padding_ratio(),
+            EllMatrix::from_csr(a).padding_ratio() / 4.0);
+}
+
+TEST(Sell, ChunkOneEqualsCsrStorage) {
+  // chunk = 1: per-row padding -> no padding at all.
+  const CsrMatrix a = matgen::random_sparse(100, 6, 6);
+  const auto s = SellMatrix::from_csr(a, 1, 1);
+  EXPECT_DOUBLE_EQ(s.padding_ratio(), 1.0);
+}
+
+TEST(Sell, InvalidParamsThrow) {
+  const CsrMatrix a = matgen::laplacian1d(4);
+  EXPECT_THROW((void)SellMatrix::from_csr(a, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)SellMatrix::from_csr(a, 4, 0), std::invalid_argument);
+}
+
+TEST(Sell, RowsNotMultipleOfChunk) {
+  const CsrMatrix a = matgen::laplacian1d(37);
+  const auto s = SellMatrix::from_csr(a, 8, 37);
+  const auto x = random_vector(37, 5);
+  std::vector<value_t> y_csr(37), y_sell(37);
+  spmv(a, x, y_csr);
+  s.spmv(x, y_sell);
+  expect_same_result(a, y_csr, y_sell, "sell-ragged");
+}
+
+}  // namespace
+}  // namespace hspmv::sparse

@@ -1,0 +1,189 @@
+#include "sparse/kernels.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "matgen/random_matrix.hpp"
+#include "sparse/coo.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::sparse {
+namespace {
+
+// Dense reference multiply.
+std::vector<value_t> dense_spmv(const CsrMatrix& a,
+                                const std::vector<value_t>& b) {
+  std::vector<value_t> c(static_cast<std::size_t>(a.rows()), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      c[static_cast<std::size_t>(i)] +=
+          a.at(i, j) * b[static_cast<std::size_t>(j)];
+    }
+  }
+  return c;
+}
+
+std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<value_t> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(Kernels, MatchesDenseReferenceSmall) {
+  CooBuilder builder(3, 3);
+  builder.add(0, 0, 2.0);
+  builder.add(0, 2, -1.0);
+  builder.add(1, 1, 3.0);
+  builder.add(2, 0, 1.0);
+  const CsrMatrix a(3, 3, builder.finish());
+  const std::vector<value_t> b{1.0, 2.0, 3.0};
+  std::vector<value_t> c(3, 99.0);
+  spmv(a, b, c);
+  EXPECT_DOUBLE_EQ(c[0], -1.0);
+  EXPECT_DOUBLE_EQ(c[1], 6.0);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+}
+
+TEST(Kernels, RectangularMatrix) {
+  CooBuilder builder(2, 4);
+  builder.add(0, 3, 1.0);
+  builder.add(1, 0, 2.0);
+  const CsrMatrix a(2, 4, builder.finish());
+  const std::vector<value_t> b{1.0, 2.0, 3.0, 4.0};
+  std::vector<value_t> c(2);
+  spmv(a, b, c);
+  EXPECT_DOUBLE_EQ(c[0], 4.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+}
+
+TEST(Kernels, SizeMismatchThrows) {
+  CooBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  const CsrMatrix a(2, 2, builder.finish());
+  std::vector<value_t> small_b(1), c(2);
+  EXPECT_THROW(spmv(a, small_b, c), std::invalid_argument);
+  std::vector<value_t> b(2), small_c(1);
+  EXPECT_THROW(spmv(a, b, small_c), std::invalid_argument);
+}
+
+TEST(Kernels, AccumulateAddsToExisting) {
+  CooBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(1, 1, 2.0);
+  const CsrMatrix a(2, 2, builder.finish());
+  const std::vector<value_t> b{3.0, 4.0};
+  std::vector<value_t> c{10.0, 20.0};
+  spmv_accumulate(a, b, c);
+  EXPECT_DOUBLE_EQ(c[0], 13.0);
+  EXPECT_DOUBLE_EQ(c[1], 28.0);
+}
+
+TEST(Kernels, GeneralAlphaBeta) {
+  CooBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(1, 1, 2.0);
+  const CsrMatrix a(2, 2, builder.finish());
+  const std::vector<value_t> b{1.0, 1.0};
+  std::vector<value_t> c{5.0, 5.0};
+  spmv_general(2.0, a, b, -1.0, c);  // c = 2*A*b - c
+  EXPECT_DOUBLE_EQ(c[0], -3.0);
+  EXPECT_DOUBLE_EQ(c[1], -1.0);
+}
+
+TEST(Kernels, RowRangeCoversPartition) {
+  const CsrMatrix a = matgen::random_sparse(50, 5, 7);
+  const auto b = random_vector(50, 1);
+  std::vector<value_t> full(50), pieces(50);
+  spmv(a, b, full);
+  spmv_rows(a, 0, 20, b, pieces);
+  spmv_rows(a, 20, 35, b, pieces);
+  spmv_rows(a, 35, 50, b, pieces);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(pieces[i], full[i]) << "row " << i;
+  }
+}
+
+// Property: for any split column, local + nonlocal phases reproduce the
+// monolithic kernel exactly (same summation order within each phase, so we
+// allow tiny roundoff differences from reordering across the split).
+class SplitKernelProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SplitKernelProperty, LocalPlusNonlocalEqualsFull) {
+  const auto [n, local_cols] = GetParam();
+  const CsrMatrix a =
+      matgen::random_sparse(n, 6, static_cast<std::uint64_t>(n));
+  const auto b = random_vector(static_cast<std::size_t>(n), 2);
+  std::vector<value_t> full(static_cast<std::size_t>(n));
+  std::vector<value_t> split(static_cast<std::size_t>(n));
+  spmv(a, b, full);
+  spmv_local(a, local_cols, b, split);
+  spmv_nonlocal(a, local_cols, b, split);
+  for (std::size_t i = 0; i < split.size(); ++i) {
+    EXPECT_NEAR(split[i], full[i], 1e-12) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, SplitKernelProperty,
+    ::testing::Combine(::testing::Values(1, 17, 64, 200),
+                       ::testing::Values(0, 1, 10, 32, 64, 200)));
+
+TEST(Kernels, SplitRowRangesCompose) {
+  const int n = 80;
+  const index_t local_cols = 30;
+  const CsrMatrix a = matgen::random_sparse(n, 8, 99);
+  const auto b = random_vector(n, 3);
+  std::vector<value_t> expected(n), got(n);
+  spmv(a, b, expected);
+  // Task-mode pattern: local phase in two chunks, then nonlocal in two
+  // different chunks.
+  spmv_local_rows(a, local_cols, 0, 50, b, got);
+  spmv_local_rows(a, local_cols, 50, 80, b, got);
+  spmv_nonlocal_rows(a, local_cols, 0, 25, b, got);
+  spmv_nonlocal_rows(a, local_cols, 25, 80, b, got);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[static_cast<std::size_t>(i)],
+                expected[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Kernels, LocalAllColumnsEqualsFull) {
+  const CsrMatrix a = matgen::random_sparse(40, 5, 5);
+  const auto b = random_vector(40, 4);
+  std::vector<value_t> full(40), local_only(40);
+  spmv(a, b, full);
+  spmv_local(a, 40, b, local_only);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_DOUBLE_EQ(local_only[i], full[i]);
+  }
+}
+
+TEST(Kernels, NonlocalZeroColumnsEqualsFull) {
+  const CsrMatrix a = matgen::random_sparse(40, 5, 6);
+  const auto b = random_vector(40, 5);
+  std::vector<value_t> full(40), nonlocal_only(40, 0.0);
+  spmv(a, b, full);
+  spmv_nonlocal(a, 0, b, nonlocal_only);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_NEAR(nonlocal_only[i], full[i], 1e-12);
+  }
+}
+
+TEST(Kernels, RandomAgainstDense) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const CsrMatrix a = matgen::random_sparse(30, 4, seed);
+    const auto b = random_vector(30, seed + 100);
+    std::vector<value_t> c(30);
+    spmv(a, b, c);
+    const auto reference = dense_spmv(a, b);
+    for (std::size_t i = 0; i < 30; ++i) {
+      EXPECT_NEAR(c[i], reference[i], 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hspmv::sparse

@@ -1,0 +1,85 @@
+#include "sparse/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+
+namespace hspmv::sparse {
+namespace {
+
+TEST(Occupancy, ExactDensities) {
+  // 4x4 matrix, 2x2 blocks. Fill block (0,0) fully, block (1,1) half.
+  CooBuilder b(4, 4);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 1, 1.0);
+  b.add(2, 2, 1.0);
+  b.add(3, 3, 1.0);
+  const auto grid = block_occupancy(CsrMatrix(4, 4, b.finish()), 2);
+  EXPECT_EQ(grid.grid_rows, 2);
+  EXPECT_EQ(grid.grid_cols, 2);
+  EXPECT_DOUBLE_EQ(grid.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(grid.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(grid.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grid.at(1, 1), 0.5);
+}
+
+TEST(Occupancy, RaggedEdgeBlocksNormalizeByActualSize) {
+  // 3x3 with block 2: edge blocks are 2x1, 1x2, 1x1.
+  CooBuilder b(3, 3);
+  b.add(2, 2, 1.0);  // the 1x1 corner block, fully occupied
+  const auto grid = block_occupancy(CsrMatrix(3, 3, b.finish()), 2);
+  EXPECT_EQ(grid.grid_rows, 2);
+  EXPECT_DOUBLE_EQ(grid.at(1, 1), 1.0);
+}
+
+TEST(Occupancy, AutoTargetsGridSize) {
+  CooBuilder b(1000, 1000);
+  for (index_t i = 0; i < 1000; ++i) b.add(i, i, 1.0);
+  const auto grid = block_occupancy_auto(CsrMatrix(1000, 1000, b.finish()),
+                                         /*target=*/10);
+  EXPECT_LE(grid.grid_rows, 10);
+  EXPECT_GE(grid.grid_rows, 5);
+}
+
+TEST(Occupancy, InvalidBlockSizeThrows) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  const CsrMatrix m(2, 2, b.finish());
+  EXPECT_THROW((void)block_occupancy(m, 0), std::invalid_argument);
+}
+
+TEST(Occupancy, SpyRenderHasGridRows) {
+  CooBuilder b(8, 8);
+  for (index_t i = 0; i < 8; ++i) b.add(i, i, 1.0);
+  const auto grid = block_occupancy(CsrMatrix(8, 8, b.finish()), 2);
+  const std::string s = render_spy(grid);
+  // Header line + 4 grid rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 5);
+  EXPECT_NE(s.find('@'), std::string::npos);  // diagonal blocks half-full
+}
+
+TEST(Occupancy, HistogramCountsAllBlocks) {
+  CooBuilder b(4, 4);
+  b.add(0, 0, 1.0);
+  const auto grid = block_occupancy(CsrMatrix(4, 4, b.finish()), 2);
+  const auto h = occupancy_histogram(grid);
+  std::int64_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, 4);
+  EXPECT_EQ(h[0], 3);  // three empty blocks
+}
+
+TEST(Occupancy, HistogramBucketsDenseBlock) {
+  CooBuilder b(2, 2);
+  for (index_t i = 0; i < 2; ++i) {
+    for (index_t j = 0; j < 2; ++j) b.add(i, j, 1.0);
+  }
+  const auto h =
+      occupancy_histogram(block_occupancy(CsrMatrix(2, 2, b.finish()), 2));
+  EXPECT_EQ(h[8], 1);  // density 1.0 -> >= 0.5 bucket
+}
+
+}  // namespace
+}  // namespace hspmv::sparse

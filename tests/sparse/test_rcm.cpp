@@ -1,0 +1,132 @@
+#include "sparse/rcm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "matgen/poisson.hpp"
+#include "matgen/random_matrix.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/stats.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::sparse {
+namespace {
+
+bool is_permutation_vector(const std::vector<index_t>& p) {
+  std::vector<index_t> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != static_cast<index_t>(i)) return false;
+  }
+  return true;
+}
+
+/// Randomly symmetric-permute a matrix (scrambles any banded structure).
+CsrMatrix scramble(const CsrMatrix& a, std::uint64_t seed) {
+  std::vector<index_t> perm(static_cast<std::size_t>(a.rows()));
+  std::iota(perm.begin(), perm.end(), 0);
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.bounded(i)]);
+  }
+  return a.permute_symmetric(perm);
+}
+
+TEST(Rcm, PermutationIsValid) {
+  const CsrMatrix a = matgen::poisson5_2d(8, 8);
+  const auto p = rcm_permutation(a);
+  EXPECT_TRUE(is_permutation_vector(p));
+}
+
+TEST(Rcm, RecoversBandOfScrambledTridiagonal) {
+  const CsrMatrix band = matgen::laplacian1d(100);
+  const CsrMatrix scrambled = scramble(band, 5);
+  const index_t scrambled_bw = compute_stats(scrambled).bandwidth;
+  ASSERT_GT(scrambled_bw, 10);  // scrambling destroyed the band
+  const CsrMatrix restored = rcm_reorder(scrambled);
+  // RCM on a path graph recovers bandwidth 1 exactly.
+  EXPECT_EQ(compute_stats(restored).bandwidth, 1);
+}
+
+TEST(Rcm, ReducesBandwidthOfScrambledGrid) {
+  const CsrMatrix grid = matgen::poisson5_2d(12, 12);
+  const CsrMatrix scrambled = scramble(grid, 7);
+  const index_t before = compute_stats(scrambled).bandwidth;
+  const index_t after = compute_stats(rcm_reorder(scrambled)).bandwidth;
+  EXPECT_LT(after, before / 2);
+  // For a 12x12 5-point grid the optimal bandwidth is 12; RCM should be
+  // close.
+  EXPECT_LE(after, 20);
+}
+
+TEST(Rcm, PreservesSpectrumProxy) {
+  // Symmetric permutation preserves the multiset of values and the
+  // diagonal multiset.
+  const CsrMatrix a = matgen::poisson5_2d(6, 6);
+  const CsrMatrix r = rcm_reorder(a);
+  ASSERT_EQ(r.nnz(), a.nnz());
+  std::vector<value_t> va(a.val().begin(), a.val().end());
+  std::vector<value_t> vr(r.val().begin(), r.val().end());
+  std::sort(va.begin(), va.end());
+  std::sort(vr.begin(), vr.end());
+  EXPECT_EQ(va, vr);
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  // Two disjoint paths.
+  CooBuilder b(6, 6);
+  for (index_t i = 0; i < 6; ++i) b.add(i, i, 2.0);
+  b.add_symmetric(0, 1, -1.0);
+  b.add_symmetric(1, 2, -1.0);
+  b.add_symmetric(3, 4, -1.0);
+  b.add_symmetric(4, 5, -1.0);
+  const CsrMatrix a(6, 6, b.finish());
+  const auto p = rcm_permutation(a);
+  EXPECT_TRUE(is_permutation_vector(p));
+  EXPECT_EQ(compute_stats(a.permute_symmetric(p)).bandwidth, 1);
+}
+
+TEST(Rcm, HandlesIsolatedVertices) {
+  CooBuilder b(4, 4);
+  b.add(0, 0, 1.0);  // all vertices isolated (diagonal only)
+  b.add(3, 3, 1.0);
+  const CsrMatrix a(4, 4, b.finish());
+  const auto p = rcm_permutation(a);
+  EXPECT_TRUE(is_permutation_vector(p));
+}
+
+TEST(Rcm, WorksOnNonsymmetricPatternViaSymmetrization) {
+  CooBuilder b(4, 4);
+  for (index_t i = 0; i < 4; ++i) b.add(i, i, 1.0);
+  b.add(0, 3, 1.0);  // only one direction stored
+  const CsrMatrix a(4, 4, b.finish());
+  const auto p = rcm_permutation(a);
+  EXPECT_TRUE(is_permutation_vector(p));
+}
+
+TEST(Rcm, RejectsRectangular) {
+  CooBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  const CsrMatrix a(2, 3, b.finish());
+  EXPECT_THROW((void)rcm_permutation(a), std::invalid_argument);
+}
+
+TEST(Rcm, PseudoPeripheralOnPathIsEndpoint) {
+  const CsrMatrix path = matgen::laplacian1d(50);
+  const index_t v = pseudo_peripheral_vertex(path, 25);
+  EXPECT_TRUE(v == 0 || v == 49) << "got " << v;
+}
+
+TEST(Rcm, IdempotentBandwidth) {
+  // Applying RCM twice should not increase bandwidth.
+  const CsrMatrix a = scramble(matgen::poisson5_2d(10, 10), 3);
+  const CsrMatrix once = rcm_reorder(a);
+  const CsrMatrix twice = rcm_reorder(once);
+  EXPECT_LE(compute_stats(twice).bandwidth,
+            compute_stats(once).bandwidth + 2);
+}
+
+}  // namespace
+}  // namespace hspmv::sparse

@@ -1,0 +1,119 @@
+#include "sparse/spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matgen/poisson.hpp"
+#include "matgen/random_matrix.hpp"
+#include "sparse/kernels.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::sparse {
+namespace {
+
+CsrMatrix identity(index_t n) {
+  CooBuilder b(n, n);
+  for (index_t i = 0; i < n; ++i) b.add(i, i, 1.0);
+  return CsrMatrix(n, n, b.finish());
+}
+
+TEST(Spgemm, SmallExactProduct) {
+  // A = [1 2; 0 3], B = [0 1; 4 0] -> C = [8 1; 12 0]
+  CooBuilder ba(2, 2);
+  ba.add(0, 0, 1.0);
+  ba.add(0, 1, 2.0);
+  ba.add(1, 1, 3.0);
+  CooBuilder bb(2, 2);
+  bb.add(0, 1, 1.0);
+  bb.add(1, 0, 4.0);
+  const CsrMatrix c = spgemm(CsrMatrix(2, 2, ba.finish()),
+                             CsrMatrix(2, 2, bb.finish()));
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 0.0);
+}
+
+TEST(Spgemm, IdentityIsNeutral) {
+  const CsrMatrix a = matgen::random_sparse(50, 5, 3);
+  const CsrMatrix left = spgemm(identity(50), a);
+  const CsrMatrix right = spgemm(a, identity(50));
+  ASSERT_EQ(left.nnz(), a.nnz());
+  ASSERT_EQ(right.nnz(), a.nnz());
+  for (index_t i = 0; i < 50; ++i) {
+    for (index_t j = 0; j < 50; ++j) {
+      EXPECT_DOUBLE_EQ(left.at(i, j), a.at(i, j));
+      EXPECT_DOUBLE_EQ(right.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(Spgemm, MatchesSpmvOnEveryColumn) {
+  // Property: (A*B) x == A (B x) for random x.
+  const CsrMatrix a = matgen::random_sparse(60, 4, 7);
+  const CsrMatrix b = matgen::random_sparse(60, 4, 8);
+  const CsrMatrix c = spgemm(a, b);
+  util::Xoshiro256 rng(1);
+  std::vector<value_t> x(60), bx(60), abx(60), cx(60);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  spmv(b, x, bx);
+  spmv(a, bx, abx);
+  spmv(c, x, cx);
+  for (std::size_t i = 0; i < 60; ++i) {
+    EXPECT_NEAR(cx[i], abx[i], 1e-11);
+  }
+}
+
+TEST(Spgemm, RectangularChain) {
+  // (3x5) * (5x2).
+  CooBuilder ba(3, 5);
+  ba.add(0, 4, 2.0);
+  ba.add(1, 0, 1.0);
+  ba.add(2, 2, -1.0);
+  CooBuilder bb(5, 2);
+  bb.add(0, 1, 3.0);
+  bb.add(2, 0, 5.0);
+  bb.add(4, 0, 7.0);
+  const CsrMatrix c = spgemm(CsrMatrix(3, 5, ba.finish()),
+                             CsrMatrix(5, 2, bb.finish()));
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(c.at(2, 0), -5.0);
+}
+
+TEST(Spgemm, DimensionMismatchThrows) {
+  const CsrMatrix a = matgen::laplacian1d(4);
+  const CsrMatrix b = matgen::laplacian1d(5);
+  EXPECT_THROW((void)spgemm(a, b), std::invalid_argument);
+}
+
+TEST(Galerkin, TripleProductCoarsensLaplacian) {
+  // P aggregates pairs of a 1-D Laplacian: the coarse operator is again
+  // tridiagonal-shaped with halved dimension.
+  const CsrMatrix a = matgen::laplacian1d(8);
+  CooBuilder pb(8, 4);
+  for (index_t i = 0; i < 8; ++i) pb.add(i, i / 2, 1.0);
+  const CsrMatrix p(8, 4, pb.finish());
+  const CsrMatrix coarse = galerkin_product(p, a);
+  EXPECT_EQ(coarse.rows(), 4);
+  EXPECT_EQ(coarse.cols(), 4);
+  // Interior coarse rows: diagonal 2, off-diagonals -1 (sum within/between
+  // aggregates of the fine stencil).
+  EXPECT_DOUBLE_EQ(coarse.at(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(coarse.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(coarse.at(1, 2), -1.0);
+  // Symmetry preserved.
+  EXPECT_TRUE(coarse.is_structurally_symmetric());
+}
+
+TEST(Galerkin, ShapeValidation) {
+  const CsrMatrix a = matgen::laplacian1d(6);
+  CooBuilder pb(4, 2);
+  pb.add(0, 0, 1.0);
+  const CsrMatrix p(4, 2, pb.finish());
+  EXPECT_THROW((void)galerkin_product(p, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::sparse

@@ -1,0 +1,93 @@
+#include "sparse/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matgen/poisson.hpp"
+#include "sparse/coo.hpp"
+
+namespace hspmv::sparse {
+namespace {
+
+TEST(Stats, Tridiagonal) {
+  const CsrMatrix a = matgen::laplacian1d(10);
+  const MatrixStats s = compute_stats(a);
+  EXPECT_EQ(s.rows, 10);
+  EXPECT_EQ(s.nnz, 28);  // 3*10 - 2
+  EXPECT_EQ(s.bandwidth, 1);
+  EXPECT_EQ(s.nnz_per_row_min, 2);
+  EXPECT_EQ(s.nnz_per_row_max, 3);
+  EXPECT_TRUE(s.has_full_diagonal);
+  EXPECT_EQ(s.empty_rows, 0);
+  // Profile: rows 1..9 each reach one to the left.
+  EXPECT_EQ(s.profile, 9);
+}
+
+TEST(Stats, DiagonalOnly) {
+  CooBuilder b(4, 4);
+  for (index_t i = 0; i < 4; ++i) b.add(i, i, 1.0);
+  const MatrixStats s = compute_stats(CsrMatrix(4, 4, b.finish()));
+  EXPECT_EQ(s.bandwidth, 0);
+  EXPECT_EQ(s.profile, 0);
+  EXPECT_DOUBLE_EQ(s.nnz_per_row_mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.nnz_per_row_stddev, 0.0);
+}
+
+TEST(Stats, EmptyRowsAndMissingDiagonal) {
+  CooBuilder b(4, 4);
+  b.add(0, 3, 1.0);
+  b.add(2, 0, 1.0);
+  const MatrixStats s = compute_stats(CsrMatrix(4, 4, b.finish()));
+  EXPECT_EQ(s.empty_rows, 2);
+  EXPECT_FALSE(s.has_full_diagonal);
+  EXPECT_EQ(s.bandwidth, 3);
+  EXPECT_EQ(s.nnz_per_row_min, 0);
+}
+
+TEST(Stats, BandwidthOfWideEntry) {
+  CooBuilder b(5, 5);
+  for (index_t i = 0; i < 5; ++i) b.add(i, i, 1.0);
+  b.add(4, 0, 1.0);
+  const MatrixStats s = compute_stats(CsrMatrix(5, 5, b.finish()));
+  EXPECT_EQ(s.bandwidth, 4);
+  EXPECT_EQ(s.profile, 4);
+}
+
+TEST(Stats, PoissonNnzr) {
+  const CsrMatrix a = matgen::poisson7({.nx = 8, .ny = 8, .nz = 8});
+  const MatrixStats s = compute_stats(a);
+  // Interior rows have 7 entries; Nnzr just below 7.
+  EXPECT_GT(s.nnz_per_row_mean, 6.0);
+  EXPECT_LE(s.nnz_per_row_mean, 7.0);
+  EXPECT_EQ(s.nnz_per_row_max, 7);
+  EXPECT_EQ(s.nnz_per_row_min, 4);  // corner cells
+  EXPECT_EQ(s.bandwidth, 64);       // nx*ny plane stride
+}
+
+TEST(Stats, RowLengthHistogram) {
+  const CsrMatrix a = matgen::laplacian1d(10);
+  const auto h = row_length_histogram(a, 5);
+  EXPECT_EQ(h[2], 2);  // the two boundary rows
+  EXPECT_EQ(h[3], 8);
+  EXPECT_EQ(h[0], 0);
+  std::int64_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, 10);
+}
+
+TEST(Stats, HistogramTruncatesLongRows) {
+  CooBuilder b(2, 8);
+  for (index_t j = 0; j < 8; ++j) b.add(0, j, 1.0);
+  b.add(1, 0, 1.0);
+  const auto h = row_length_histogram(CsrMatrix(2, 8, b.finish()), 3);
+  EXPECT_EQ(h[3], 1);  // the 8-entry row lands in the last bucket
+  EXPECT_EQ(h[1], 1);
+}
+
+TEST(Stats, EmptyMatrix) {
+  const MatrixStats s = compute_stats(CsrMatrix(0, 0, std::vector<Triplet>{}));
+  EXPECT_EQ(s.rows, 0);
+  EXPECT_EQ(s.nnz, 0);
+}
+
+}  // namespace
+}  // namespace hspmv::sparse

@@ -1,0 +1,150 @@
+#include "sparse/symmetric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matgen/holstein.hpp"
+#include "matgen/poisson.hpp"
+#include "sparse/kernels.hpp"
+#include "team/thread_team.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::sparse {
+namespace {
+
+std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<value_t> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(SymmetricCsr, StoresUpperTriangleOnly) {
+  const CsrMatrix a = matgen::laplacian1d(10);
+  const auto s = SymmetricCsr::from_full(a);
+  EXPECT_EQ(s.logical_nnz(), a.nnz());
+  // 10 diagonal + 9 superdiagonal entries.
+  EXPECT_EQ(s.stored_nnz(), 19);
+  for (index_t i = 0; i < s.upper().rows(); ++i) {
+    const auto [cols, vals] = s.upper().row(i);
+    for (const index_t c : cols) EXPECT_GE(c, i);
+  }
+}
+
+TEST(SymmetricCsr, RejectsNonSymmetric) {
+  CooBuilder b(3, 3);
+  b.add(0, 1, 1.0);  // no mirror
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  b.add(2, 2, 1.0);
+  EXPECT_THROW((void)SymmetricCsr::from_full(CsrMatrix(3, 3, b.finish())),
+               std::invalid_argument);
+  // Structurally symmetric but numerically not.
+  CooBuilder c(2, 2);
+  c.add(0, 1, 1.0);
+  c.add(1, 0, 2.0);
+  EXPECT_THROW((void)SymmetricCsr::from_full(CsrMatrix(2, 2, c.finish())),
+               std::invalid_argument);
+}
+
+TEST(SymmetricCsr, RejectsRectangular) {
+  CooBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  EXPECT_THROW((void)SymmetricCsr::from_full(CsrMatrix(2, 3, b.finish())),
+               std::invalid_argument);
+}
+
+TEST(SymmetricCsr, RoundTripToFull) {
+  const CsrMatrix a = matgen::poisson5_2d(7, 7);
+  const CsrMatrix back = SymmetricCsr::from_full(a).to_full();
+  ASSERT_EQ(back.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(back.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(SymmetricCsr, StorageNearlyHalved) {
+  // Sect. 1.3.1: "the data transfer volume is then reduced by almost a
+  // factor of two".
+  const CsrMatrix a = matgen::poisson7({.nx = 12, .ny = 12, .nz = 12});
+  const auto s = SymmetricCsr::from_full(a);
+  EXPECT_LT(s.storage_ratio_vs_full(), 0.62);
+  EXPECT_GT(s.storage_ratio_vs_full(), 0.45);
+}
+
+TEST(SymmetricSpmv, MatchesFullKernel) {
+  const CsrMatrix a = matgen::poisson7({.nx = 8, .ny = 7, .nz = 6,
+                                        .coefficient_jitter = 0.3,
+                                        .seed = 5});
+  const auto s = SymmetricCsr::from_full(a);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols()), 1);
+  std::vector<value_t> y_full(x.size()), y_sym(x.size(), 99.0);
+  spmv(a, x, y_full);
+  symmetric_spmv(s, x, y_sym);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y_sym[i], y_full[i], 1e-12);
+  }
+}
+
+TEST(SymmetricSpmv, HolsteinHamiltonian) {
+  matgen::HolsteinHubbardParams p;
+  p.sites = 4;
+  p.electrons_up = 2;
+  p.electrons_down = 2;
+  p.phonon_modes = 3;
+  p.max_phonons = 3;
+  const CsrMatrix h = matgen::holstein_hubbard(p);
+  const auto s = SymmetricCsr::from_full(h);
+  const auto x = random_vector(static_cast<std::size_t>(h.cols()), 2);
+  std::vector<value_t> y_full(x.size()), y_sym(x.size());
+  spmv(h, x, y_full);
+  symmetric_spmv(s, x, y_sym);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y_sym[i], y_full[i], 1e-12);
+  }
+}
+
+class SymmetricParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricParallel, MatchesSequentialAcrossThreadCounts) {
+  const int threads = GetParam();
+  const CsrMatrix a = matgen::poisson7({.nx = 10, .ny = 9, .nz = 8,
+                                        .coefficient_jitter = 0.2,
+                                        .seed = 9});
+  const auto s = SymmetricCsr::from_full(a);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols()), 3);
+  std::vector<value_t> expected(x.size()), got(x.size(), -1.0);
+  symmetric_spmv(s, x, expected);
+  team::ThreadTeam team(threads);
+  symmetric_spmv_parallel(s, x, got, team);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-12) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SymmetricParallel,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(SymmetricSpmv, DiagonalOnlyMatrix) {
+  CooBuilder b(5, 5);
+  for (index_t i = 0; i < 5; ++i) b.add(i, i, i + 1.0);
+  const auto s = SymmetricCsr::from_full(CsrMatrix(5, 5, b.finish()));
+  std::vector<value_t> x{1.0, 1.0, 1.0, 1.0, 1.0}, y(5);
+  symmetric_spmv(s, x, y);
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], i + 1.0);
+  }
+}
+
+TEST(SymmetricSpmv, SizeMismatchThrows) {
+  const auto s = SymmetricCsr::from_full(matgen::laplacian1d(6));
+  std::vector<value_t> small_x(3), y(6);
+  EXPECT_THROW(symmetric_spmv(s, small_x, y), std::invalid_argument);
+  team::ThreadTeam team(2);
+  EXPECT_THROW(symmetric_spmv_parallel(s, small_x, y, team),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::sparse

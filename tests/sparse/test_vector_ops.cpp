@@ -1,0 +1,67 @@
+#include "sparse/vector_ops.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hspmv::sparse {
+namespace {
+
+TEST(VectorOps, Axpy) {
+  std::vector<value_t> x{1.0, 2.0}, y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, Xpay) {
+  std::vector<value_t> x{1.0, 2.0}, y{10.0, 20.0};
+  xpay(x, 0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<value_t> x{3.0, -4.0};
+  scale(-2.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -6.0);
+  EXPECT_DOUBLE_EQ(x[1], 8.0);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  std::vector<value_t> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+}
+
+TEST(VectorOps, DotOrthogonal) {
+  std::vector<value_t> x{1.0, 0.0}, y{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+}
+
+TEST(VectorOps, CopyAndFill) {
+  std::vector<value_t> x{1.0, 2.0}, y(2);
+  copy(x, y);
+  EXPECT_EQ(y, x);
+  fill(y, 7.0);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  std::vector<value_t> x{1.0}, y{1.0, 2.0};
+  EXPECT_THROW(axpy(1.0, x, y), std::invalid_argument);
+  EXPECT_THROW((void)dot(x, y), std::invalid_argument);
+  EXPECT_THROW(copy(x, y), std::invalid_argument);
+  EXPECT_THROW(xpay(x, 1.0, y), std::invalid_argument);
+}
+
+TEST(VectorOps, EmptyVectorsOk) {
+  std::vector<value_t> x, y;
+  axpy(1.0, x, y);
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 0.0);
+}
+
+}  // namespace
+}  // namespace hspmv::sparse

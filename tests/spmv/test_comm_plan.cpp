@@ -1,0 +1,187 @@
+#include "spmv/comm_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matgen/holstein.hpp"
+#include "matgen/poisson.hpp"
+#include "matgen/random_matrix.hpp"
+#include "spmv/partition.hpp"
+
+namespace hspmv::spmv {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+
+TEST(OwnerOf, MapsColumnsToParts) {
+  const std::vector<index_t> boundaries{0, 3, 3, 7, 10};
+  EXPECT_EQ(owner_of(boundaries, 0), 0);
+  EXPECT_EQ(owner_of(boundaries, 2), 0);
+  // Part 1 is empty; column 3 belongs to part 2.
+  EXPECT_EQ(owner_of(boundaries, 3), 2);
+  EXPECT_EQ(owner_of(boundaries, 6), 2);
+  EXPECT_EQ(owner_of(boundaries, 9), 3);
+}
+
+TEST(AnalyzePartition, TridiagonalNeighborsOnly) {
+  const CsrMatrix a = matgen::laplacian1d(100);
+  const std::vector<index_t> boundaries{0, 25, 50, 75, 100};
+  const auto stats = analyze_partition(a, boundaries);
+  // Each interior part needs exactly 1 element from each side neighbour.
+  ASSERT_EQ(stats.recv_from.size(), 4u);
+  EXPECT_EQ(stats.recv_from[0].size(), 1u);
+  EXPECT_EQ(stats.recv_from[1].size(), 2u);
+  EXPECT_EQ(stats.recv_from[1][0].first, 0);
+  EXPECT_EQ(stats.recv_from[1][0].second, 1);
+  EXPECT_EQ(stats.recv_from[1][1].first, 2);
+  EXPECT_EQ(stats.total_halo_elements(), 6);
+  // local + nonlocal nnz account for everything.
+  std::int64_t total = 0;
+  for (std::size_t p = 0; p < 4; ++p) {
+    total += stats.local_nnz[p] + stats.nonlocal_nnz[p];
+  }
+  EXPECT_EQ(total, a.nnz());
+  // Each part boundary cuts exactly one symmetric coupling pair.
+  EXPECT_EQ(stats.nonlocal_nnz[0], 1);
+  EXPECT_EQ(stats.nonlocal_nnz[1], 2);
+}
+
+TEST(AnalyzePartition, HolsteinHasHeavierCommThanPoisson) {
+  // The paper's central contrast: HMeP communicates much more than sAMG.
+  matgen::HolsteinHubbardParams hp;
+  hp.sites = 4;
+  hp.electrons_up = 2;
+  hp.electrons_down = 2;
+  hp.phonon_modes = 3;
+  hp.max_phonons = 3;
+  const CsrMatrix holstein = matgen::holstein_hubbard(hp);
+  const CsrMatrix poisson =
+      matgen::poisson7({.nx = 16, .ny = 16, .nz = 16});
+
+  const int parts = 8;
+  const auto hb =
+      partition_rows(holstein, parts, PartitionStrategy::kBalancedNonzeros);
+  const auto pb =
+      partition_rows(poisson, parts, PartitionStrategy::kBalancedNonzeros);
+  const auto hs = analyze_partition(holstein, hb);
+  const auto ps = analyze_partition(poisson, pb);
+
+  const double h_ratio =
+      static_cast<double>(hs.total_halo_elements()) / holstein.rows();
+  const double p_ratio =
+      static_cast<double>(ps.total_halo_elements()) / poisson.rows();
+  EXPECT_GT(h_ratio, 1.5 * p_ratio);
+}
+
+TEST(BuildLocalPlan, RelabelsAndSplitsCorrectly) {
+  const CsrMatrix a = matgen::laplacian1d(10);
+  const std::vector<index_t> boundaries{0, 4, 10};
+  const CsrMatrix block = a.row_block(0, 4);
+  const LocalPlan lp = build_local_plan(block, boundaries, 0);
+
+  EXPECT_EQ(lp.plan.local_rows, 4);
+  EXPECT_EQ(lp.plan.halo_count, 1);  // needs global column 4
+  ASSERT_EQ(lp.halo_globals.size(), 1u);
+  EXPECT_EQ(lp.halo_globals[0], 4);
+  ASSERT_EQ(lp.plan.recv_blocks.size(), 1u);
+  EXPECT_EQ(lp.plan.recv_blocks[0].peer, 1);
+  EXPECT_EQ(lp.plan.recv_blocks[0].count, 1);
+
+  // Relabeled matrix: 4 rows, 5 columns (4 owned + 1 halo).
+  EXPECT_EQ(lp.matrix.rows(), 4);
+  EXPECT_EQ(lp.matrix.cols(), 5);
+  // Row 3 was (-1 at col 2, 2 at col 3, -1 at col 4-global) -> halo slot 4.
+  const auto [cols, vals] = lp.matrix.row(3);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 2);
+  EXPECT_EQ(cols[1], 3);
+  EXPECT_EQ(cols[2], 4);
+  EXPECT_DOUBLE_EQ(vals[2], -1.0);
+}
+
+TEST(BuildLocalPlan, RowsSortedAfterRelabel) {
+  // Property over random matrices: every row of the relabeled block has
+  // strictly ascending columns (split-kernel invariant).
+  const CsrMatrix a = matgen::random_sparse(300, 7, 11);
+  const auto boundaries =
+      partition_rows(a, 5, PartitionStrategy::kBalancedNonzeros);
+  for (int part = 0; part < 5; ++part) {
+    const CsrMatrix block = a.row_block(
+        boundaries[static_cast<std::size_t>(part)],
+        boundaries[static_cast<std::size_t>(part) + 1]);
+    const LocalPlan lp = build_local_plan(block, boundaries, part);
+    for (index_t i = 0; i < lp.matrix.rows(); ++i) {
+      const auto [cols, vals] = lp.matrix.row(i);
+      for (std::size_t k = 1; k < cols.size(); ++k) {
+        ASSERT_LT(cols[k - 1], cols[k])
+            << "part " << part << " row " << i;
+      }
+    }
+    EXPECT_EQ(lp.matrix.nnz(), block.nnz());
+  }
+}
+
+TEST(BuildLocalPlan, HaloRunsContiguousPerPeer) {
+  const CsrMatrix a = matgen::random_sparse(200, 6, 13);
+  const auto boundaries =
+      partition_rows(a, 4, PartitionStrategy::kBalancedRows);
+  const CsrMatrix block = a.row_block(boundaries[1], boundaries[2]);
+  const LocalPlan lp = build_local_plan(block, boundaries, 1);
+  index_t covered = 0;
+  int previous_peer = -1;
+  for (const RecvBlock& rb : lp.plan.recv_blocks) {
+    EXPECT_EQ(rb.halo_offset, covered);
+    EXPECT_GT(rb.peer, previous_peer);  // ascending, no duplicates
+    EXPECT_NE(rb.peer, 1);              // never from myself
+    previous_peer = rb.peer;
+    covered += rb.count;
+  }
+  EXPECT_EQ(covered, lp.plan.halo_count);
+}
+
+TEST(BuildLocalPlan, MiddlePartHaloOrderedByGlobalColumn) {
+  const CsrMatrix a = matgen::laplacian1d(9);
+  const std::vector<index_t> boundaries{0, 3, 6, 9};
+  const CsrMatrix block = a.row_block(3, 6);
+  const LocalPlan lp = build_local_plan(block, boundaries, 1);
+  // Needs col 2 (from part 0) and col 6 (from part 2), in that order.
+  ASSERT_EQ(lp.halo_globals.size(), 2u);
+  EXPECT_EQ(lp.halo_globals[0], 2);
+  EXPECT_EQ(lp.halo_globals[1], 6);
+  ASSERT_EQ(lp.plan.recv_blocks.size(), 2u);
+  EXPECT_EQ(lp.plan.recv_blocks[0].peer, 0);
+  EXPECT_EQ(lp.plan.recv_blocks[1].peer, 2);
+  // Row 0 (global row 3) references global cols 2,3,4 -> relabeled:
+  // halo slot 3 (= local_rows + 0), owned 0, owned 1 -> sorted 0,1,3.
+  const auto [cols, vals] = lp.matrix.row(0);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 1);
+  EXPECT_EQ(cols[2], 3);
+}
+
+TEST(BuildLocalPlan, NoHaloForBlockDiagonalMatrix) {
+  sparse::CooBuilder b(6, 6);
+  for (index_t i = 0; i < 6; ++i) b.add(i, i, 1.0);
+  b.add_symmetric(0, 1, -1.0);
+  b.add_symmetric(4, 5, -1.0);
+  const CsrMatrix a(6, 6, b.finish());
+  const std::vector<index_t> boundaries{0, 3, 6};
+  const LocalPlan lp =
+      build_local_plan(a.row_block(0, 3), boundaries, 0);
+  EXPECT_EQ(lp.plan.halo_count, 0);
+  EXPECT_TRUE(lp.plan.recv_blocks.empty());
+}
+
+TEST(BuildLocalPlan, BadArgsThrow) {
+  const CsrMatrix a = matgen::laplacian1d(10);
+  const std::vector<index_t> boundaries{0, 5, 10};
+  const CsrMatrix block = a.row_block(0, 5);
+  EXPECT_THROW((void)build_local_plan(block, boundaries, 2),
+               std::invalid_argument);
+  const CsrMatrix wrong_size = a.row_block(0, 4);
+  EXPECT_THROW((void)build_local_plan(wrong_size, boundaries, 1),
+               std::invalid_argument);  // 4 rows cannot be part 1's block
+}
+
+}  // namespace
+}  // namespace hspmv::spmv

@@ -1,0 +1,75 @@
+#include "spmv/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matgen/poisson.hpp"
+#include "matgen/random_matrix.hpp"
+
+namespace hspmv::spmv {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+
+TEST(Partition, BalancedRowsEqualCounts) {
+  const CsrMatrix a = matgen::laplacian1d(100);
+  const auto b = partition_rows(a, 4, PartitionStrategy::kBalancedRows);
+  EXPECT_EQ(b, (std::vector<index_t>{0, 25, 50, 75, 100}));
+}
+
+TEST(Partition, BalancedRowsUnevenDivision) {
+  const CsrMatrix a = matgen::laplacian1d(10);
+  const auto b = partition_rows(a, 3, PartitionStrategy::kBalancedRows);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 10);
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_GE(b[i], b[i - 1]);
+    EXPECT_LE(b[i] - b[i - 1], 4);
+  }
+}
+
+TEST(Partition, BalancedNnzBeatsRowsOnSkewedMatrix) {
+  const CsrMatrix a = matgen::random_power_law(2000, 4, 0.8, 3);
+  const auto rows = partition_rows(a, 8, PartitionStrategy::kBalancedRows);
+  const auto nnz = partition_rows(a, 8, PartitionStrategy::kBalancedNonzeros);
+  const double imbalance_rows = partition_imbalance(a, rows);
+  const double imbalance_nnz = partition_imbalance(a, nnz);
+  EXPECT_LT(imbalance_nnz, imbalance_rows);
+  EXPECT_LT(imbalance_nnz, 1.5);
+  EXPECT_GT(imbalance_rows, 2.0);
+}
+
+TEST(Partition, NnzCountsSumToTotal) {
+  const CsrMatrix a = matgen::poisson5_2d(20, 20);
+  const auto b = partition_rows(a, 5, PartitionStrategy::kBalancedNonzeros);
+  const auto nnz = partition_nnz(a, b);
+  std::int64_t total = 0;
+  for (auto v : nnz) total += v;
+  EXPECT_EQ(total, a.nnz());
+}
+
+TEST(Partition, SinglePart) {
+  const CsrMatrix a = matgen::laplacian1d(7);
+  const auto b = partition_rows(a, 1, PartitionStrategy::kBalancedNonzeros);
+  EXPECT_EQ(b, (std::vector<index_t>{0, 7}));
+  EXPECT_DOUBLE_EQ(partition_imbalance(a, b), 1.0);
+}
+
+TEST(Partition, MorePartsThanRows) {
+  const CsrMatrix a = matgen::laplacian1d(3);
+  const auto b = partition_rows(a, 8, PartitionStrategy::kBalancedRows);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 3);
+  EXPECT_EQ(b.size(), 9u);
+}
+
+TEST(Partition, InvalidArgsThrow) {
+  const CsrMatrix a = matgen::laplacian1d(5);
+  EXPECT_THROW((void)partition_rows(a, 0, PartitionStrategy::kBalancedRows),
+               std::invalid_argument);
+  std::vector<index_t> bad{0, 3};  // back != rows
+  EXPECT_THROW((void)partition_nnz(a, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::spmv

@@ -1,0 +1,140 @@
+// Distributed symmetric spMVM vs the sequential full-matrix kernel.
+
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "matgen/holstein.hpp"
+#include "matgen/poisson.hpp"
+#include "minimpi/runtime.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/symmetric.hpp"
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+#include "spmv/symmetric_engine.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::spmv {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+double symmetric_distributed_error(const CsrMatrix& full, int ranks,
+                                   int threads, int repetitions = 1) {
+  const auto sym = sparse::SymmetricCsr::from_full(full);
+  std::vector<value_t> x_global(static_cast<std::size_t>(full.cols()));
+  util::Xoshiro256 rng(5);
+  for (auto& v : x_global) v = rng.uniform(-1.0, 1.0);
+  std::vector<value_t> expected(x_global.size());
+  sparse::spmv(full, x_global, expected);
+  std::vector<value_t> expected_iter = expected;
+  for (int r = 1; r < repetitions; ++r) {
+    std::vector<value_t> next(expected_iter.size());
+    sparse::spmv(full, expected_iter, next);
+    expected_iter = next;
+  }
+
+  std::vector<value_t> result(x_global.size());
+  std::mutex mutex;
+  minimpi::run(ranks, [&](minimpi::Comm& comm) {
+    // Partition by the *full* matrix's nonzeros (balanced compute), then
+    // build the distributed matrix from the upper triangle.
+    const auto boundaries = partition_rows(
+        full, comm.size(), PartitionStrategy::kBalancedNonzeros);
+    DistMatrix dist(comm, sym.upper(), boundaries);
+    DistVector x(dist), y(dist);
+    x.assign_from_global(x_global, dist.row_begin());
+    SymmetricSpmvEngine engine(dist, threads);
+    engine.apply(x, y);
+    for (int r = 1; r < repetitions; ++r) {
+      std::copy(y.owned().begin(), y.owned().end(), x.owned().begin());
+      engine.apply(x, y);
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    for (index_t i = 0; i < dist.owned_rows(); ++i) {
+      result[static_cast<std::size_t>(dist.row_begin() + i)] =
+          y.owned()[static_cast<std::size_t>(i)];
+    }
+  });
+
+  const auto& reference = repetitions > 1 ? expected_iter : expected;
+  double max_error = 0.0;
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    max_error = std::max(max_error, std::abs(result[i] - reference[i]));
+  }
+  return max_error;
+}
+
+class SymmetricEngineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SymmetricEngineSweep, PoissonMatchesSequential) {
+  const auto [ranks, threads] = GetParam();
+  const CsrMatrix a = matgen::poisson7({.nx = 9, .ny = 8, .nz = 7,
+                                        .coefficient_jitter = 0.25,
+                                        .seed = 13});
+  EXPECT_LT(symmetric_distributed_error(a, ranks, threads), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksThreads, SymmetricEngineSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 6),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(SymmetricEngine, HolsteinHamiltonian) {
+  matgen::HolsteinHubbardParams p;
+  p.sites = 4;
+  p.electrons_up = 2;
+  p.electrons_down = 2;
+  p.phonon_modes = 3;
+  p.max_phonons = 3;
+  const CsrMatrix h = matgen::holstein_hubbard(p);
+  EXPECT_LT(symmetric_distributed_error(h, 4, 2), 1e-12);
+}
+
+TEST(SymmetricEngine, IteratedApplies) {
+  const CsrMatrix a = matgen::poisson5_2d(15, 14);
+  EXPECT_LT(symmetric_distributed_error(a, 3, 2, /*repetitions=*/4), 1e-9);
+}
+
+TEST(SymmetricEngine, LaplacianManyRanks) {
+  const CsrMatrix a = matgen::laplacian1d(64);
+  EXPECT_LT(symmetric_distributed_error(a, 8, 1), 1e-12);
+}
+
+TEST(SymmetricEngine, RejectsFullMatrixBlock) {
+  // Building from the full (not upper-triangular) matrix must be caught.
+  const CsrMatrix a = matgen::laplacian1d(20);
+  EXPECT_THROW(
+      minimpi::run(2,
+                   [&](minimpi::Comm& comm) {
+                     const auto boundaries = partition_rows(
+                         a, comm.size(),
+                         PartitionStrategy::kBalancedRows);
+                     DistMatrix dist(comm, a, boundaries);
+                     SymmetricSpmvEngine engine(dist, 1);
+                   }),
+      std::invalid_argument);
+}
+
+TEST(SymmetricEngine, HaloOnlyFromHigherRanks) {
+  // Structural property of upper-triangle distribution.
+  const CsrMatrix a = matgen::poisson5_2d(10, 10);
+  const auto sym = sparse::SymmetricCsr::from_full(a);
+  minimpi::run(4, [&](minimpi::Comm& comm) {
+    const auto boundaries = partition_rows(
+        a, comm.size(), PartitionStrategy::kBalancedRows);
+    DistMatrix dist(comm, sym.upper(), boundaries);
+    for (const RecvBlock& rb : dist.plan().recv_blocks) {
+      EXPECT_GT(rb.peer, comm.rank());
+    }
+    for (const SendBlock& sb : dist.plan().send_blocks) {
+      EXPECT_LT(sb.peer, comm.rank());
+    }
+  });
+}
+
+}  // namespace
+}  // namespace hspmv::spmv

@@ -1,0 +1,91 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hspmv::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser p("prog", "test program");
+  p.add_option("size", "10", "problem size");
+  p.add_option("name", "default", "a name");
+  p.add_option("ratio", "0.5", "a ratio");
+  p.add_flag("verbose", "chatty output");
+  return p;
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_int("size"), 10);
+  EXPECT_EQ(p.get_string("name"), "default");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.5);
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--size", "42", "--name", "hmep"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.get_int("size"), 42);
+  EXPECT_EQ(p.get_string("name"), "hmep");
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--size=7", "--ratio=0.25"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("size"), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.25);
+}
+
+TEST(Cli, FlagPresence) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "input.mtx", "--size", "3", "more"};
+  ASSERT_TRUE(p.parse(5, argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.mtx");
+  EXPECT_EQ(p.positional()[1], "more");
+}
+
+TEST(Cli, UnknownOptionFails) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(p.parse(3, argv));
+}
+
+TEST(Cli, MissingValueFails) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--size"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Cli, FlagWithValueFails) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--verbose=yes"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Cli, UnregisteredLookupThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_THROW((void)p.get_string("nonexistent"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::util

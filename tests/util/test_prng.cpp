@@ -1,0 +1,97 @@
+#include "util/prng.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/aligned.hpp"
+#include "util/env.hpp"
+
+namespace hspmv::util {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Prng, BoundedStaysBelowBound) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Prng, BoundedCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, MeanIsCentered) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Aligned, VectorIsCacheLineAligned) {
+  AlignedVector<double> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(Aligned, AllocatorEquality) {
+  AlignedAllocator<double> a;
+  AlignedAllocator<double> b;
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a != b);
+}
+
+TEST(Env, FallbacksWhenUnset) {
+  EXPECT_EQ(env_string("HSPMV_DEFINITELY_UNSET_XYZ", "fb"), "fb");
+  EXPECT_EQ(env_int("HSPMV_DEFINITELY_UNSET_XYZ", 5), 5);
+  EXPECT_DOUBLE_EQ(env_double("HSPMV_DEFINITELY_UNSET_XYZ", 1.5), 1.5);
+  EXPECT_TRUE(env_flag("HSPMV_DEFINITELY_UNSET_XYZ", true));
+}
+
+TEST(Env, ParsesSetValues) {
+  ::setenv("HSPMV_TEST_ENV_INT", "42", 1);
+  ::setenv("HSPMV_TEST_ENV_FLAG", "yes", 1);
+  ::setenv("HSPMV_TEST_ENV_BAD", "notanumber", 1);
+  EXPECT_EQ(env_int("HSPMV_TEST_ENV_INT", 0), 42);
+  EXPECT_TRUE(env_flag("HSPMV_TEST_ENV_FLAG", false));
+  EXPECT_EQ(env_int("HSPMV_TEST_ENV_BAD", 9), 9);
+}
+
+}  // namespace
+}  // namespace hspmv::util

@@ -1,0 +1,104 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace hspmv::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValuesTrackMinMax) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(1.0);
+  s.add(-7.5);
+  EXPECT_DOUBLE_EQ(s.min(), -7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 1.0);
+}
+
+TEST(RunningStats, ClearResets) {
+  RunningStats s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(Percentile, Median) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 2.0);
+}
+
+TEST(ImbalanceFactor, PerfectBalance) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(ImbalanceFactor, KnownImbalance) {
+  // max = 6, mean = 3 -> 2.0
+  EXPECT_DOUBLE_EQ(imbalance_factor({6.0, 2.0, 1.0, 3.0}), 2.0);
+}
+
+TEST(ImbalanceFactor, EmptyIsOne) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({}), 1.0);
+}
+
+TEST(SpreadFactor, KnownSpread) {
+  EXPECT_DOUBLE_EQ(spread_factor({2.0, 8.0, 4.0}), 4.0);
+}
+
+TEST(SpreadFactor, ZeroMinIsInfinite) {
+  EXPECT_TRUE(std::isinf(spread_factor({0.0, 1.0})));
+}
+
+TEST(SpreadFactor, AllZeroIsOne) {
+  EXPECT_DOUBLE_EQ(spread_factor({0.0, 0.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace hspmv::util

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/ascii_plot.hpp"
+#include "util/format.hpp"
+
+namespace hspmv::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, MismatchedRowThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::cell(static_cast<std::int64_t>(-5)), "-5");
+  EXPECT_EQ(Table::cell(static_cast<std::size_t>(7)), "7");
+}
+
+TEST(AsciiPlot, EmptyPlot) {
+  EXPECT_EQ(render_plot({}, PlotOptions{}), "(empty plot)\n");
+}
+
+TEST(AsciiPlot, ContainsGlyphAndLegend) {
+  PlotSeries s;
+  s.name = "series-a";
+  s.glyph = '#';
+  s.x = {0.0, 1.0, 2.0};
+  s.y = {0.0, 1.0, 4.0};
+  const std::string out = render_plot({s}, PlotOptions{});
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("series-a"), std::string::npos);
+}
+
+TEST(AsciiPlot, SingletonSeries) {
+  PlotSeries s;
+  s.x = {1.0};
+  s.y = {2.0};
+  const std::string out = render_plot({s}, PlotOptions{});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Format, SiPrefixes) {
+  EXPECT_EQ(si_format(1500.0, "B"), "1.5 kB");
+  EXPECT_EQ(si_format(92527872.0), "92.5 M");
+}
+
+TEST(Format, Gflops) {
+  EXPECT_EQ(gflops_format(2.25e9), "2.25 GFlop/s");
+  EXPECT_EQ(gbytes_per_s_format(18.1e9), "18.1 GB/s");
+}
+
+}  // namespace
+}  // namespace hspmv::util

@@ -1,0 +1,91 @@
+#include "util/timeline.hpp"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace hspmv::util {
+namespace {
+
+TEST(Timeline, EmptyRendersPlaceholder) {
+  Timeline t;
+  EXPECT_EQ(t.render(), "(empty timeline)\n");
+}
+
+TEST(Timeline, RecordsSpansInLaneOrder) {
+  Timeline t;
+  t.record("beta", "work", 0.0, 1.0, 'b');
+  t.record("alpha", "work", 0.5, 2.0, 'a');
+  t.record("beta", "more", 2.0, 3.0, 'B');
+  const auto spans = t.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  const std::string rendered = t.render(40);
+  // First-use lane order: beta before alpha.
+  EXPECT_LT(rendered.find("beta"), rendered.find("alpha"));
+  EXPECT_NE(rendered.find('a'), std::string::npos);
+  EXPECT_NE(rendered.find('B'), std::string::npos);
+}
+
+TEST(Timeline, GlyphPositionsReflectTimes) {
+  Timeline t;
+  t.record("lane", "early", 0.0, 0.1, 'E');
+  t.record("lane", "late", 0.9, 1.0, 'L');
+  const std::string rendered = t.render(50);
+  const auto row_begin = rendered.find('|');
+  const auto e = rendered.find('E');
+  const auto l = rendered.find('L');
+  ASSERT_NE(e, std::string::npos);
+  ASSERT_NE(l, std::string::npos);
+  EXPECT_LT(e, l);
+  EXPECT_GT(l - row_begin, 35u);  // late span sits near the right edge
+}
+
+TEST(Timeline, ScopeRecordsOnDestruction) {
+  Timeline t;
+  {
+    Timeline::Scope scope(t, "lane", "scoped", 's');
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto spans = t.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].label, "scoped");
+  EXPECT_GE(spans[0].end_s - spans[0].begin_s, 0.001);
+}
+
+TEST(Timeline, ResetClears) {
+  Timeline t;
+  t.record("lane", "x", 0.0, 1.0);
+  t.reset();
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(Timeline, ConcurrentRecordingIsSafe) {
+  Timeline t;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&t, i] {
+      for (int k = 0; k < 50; ++k) {
+        t.record("lane" + std::to_string(i), "w", k * 0.01, k * 0.01 + 0.005);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(t.spans().size(), 200u);
+  EXPECT_FALSE(t.render().empty());
+}
+
+TEST(Timeline, LegendListsEachGlyphOnce) {
+  Timeline t;
+  t.record("a", "compute", 0.0, 1.0, '#');
+  t.record("b", "compute", 0.0, 1.0, '#');
+  t.record("a", "wait", 1.0, 2.0, 'W');
+  const std::string rendered = t.render(30);
+  EXPECT_NE(rendered.find("# = compute"), std::string::npos);
+  EXPECT_NE(rendered.find("W = wait"), std::string::npos);
+  // The legend line for '#' appears exactly once.
+  const auto first = rendered.find("# = compute");
+  EXPECT_EQ(rendered.find("# = compute", first + 1), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hspmv::util
