@@ -34,7 +34,8 @@ struct Measurement {
 
 Measurement measure(const sparse::CsrMatrix& a, spmv::Variant variant,
                     minimpi::ProgressMode progress, double latency,
-                    int ranks, int threads, int repetitions) {
+                    int ranks, int threads, int repetitions,
+                    spmv::EngineOptions engine_options) {
   minimpi::RuntimeOptions options;
   options.ranks = ranks;
   options.progress = progress;
@@ -49,7 +50,7 @@ Measurement measure(const sparse::CsrMatrix& a, spmv::Variant variant,
     spmv::DistVector x(dist), y(dist);
     util::Xoshiro256 rng(1);
     for (auto& v : x.owned()) v = rng.uniform(-1.0, 1.0);
-    spmv::SpmvEngine engine(dist, threads, variant);
+    spmv::SpmvEngine engine(dist, threads, variant, engine_options);
 
     engine.apply(x, y);  // warm-up: halo buffers, team spin-up
     // Keep the ranks in lockstep per repetition (a barrier per spMVM, as
@@ -83,6 +84,8 @@ int main(int argc, char** argv) {
   cli.add_option("rows", "400000", "matrix rows");
   cli.add_option("latency-ms", "25", "synthetic per-message latency");
   cli.add_option("reps", "5", "repetitions per cell");
+  cli.add_option("backend", "csr",
+                 "node-level kernel backend: csr or sell (SELL-C-sigma)");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto a = matgen::random_banded(
@@ -90,11 +93,13 @@ int main(int argc, char** argv) {
       static_cast<sparse::index_t>(cli.get_int("rows") / 10), 12, 7);
   const double latency = cli.get_double("latency-ms") * 1e-3;
   const int reps = static_cast<int>(cli.get_int("reps"));
+  spmv::EngineOptions engine_options;
+  engine_options.backend = spmv::parse_backend(cli.get_string("backend"));
 
   std::printf(
       "EXP-A1 — progress-mode ablation (real execution, 2 ranks x 2 "
-      "threads, %.0f ms synthetic message latency)\n\n",
-      latency * 1e3);
+      "threads, %.0f ms synthetic message latency, %s kernel backend)\n\n",
+      latency * 1e3, spmv::backend_name(engine_options.backend));
 
   util::Table table({"variant", "progress", "total [ms]",
                      "time in Waitall [ms]"});
@@ -118,7 +123,7 @@ int main(int argc, char** argv) {
   };
   for (const auto& cell : cells) {
     const auto m = measure(a, cell.variant, cell.progress, latency,
-                           /*ranks=*/2, /*threads=*/2, reps);
+                           /*ranks=*/2, /*threads=*/2, reps, engine_options);
     table.add_row({cell.variant_name, cell.progress_name,
                    util::Table::cell(m.total_ms, 2),
                    util::Table::cell(m.comm_ms, 2)});

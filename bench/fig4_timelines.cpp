@@ -27,7 +27,8 @@ namespace {
 using namespace hspmv;
 
 std::string run_panel(const sparse::CsrMatrix& a, spmv::Variant variant,
-                      double latency, int threads) {
+                      double latency, int threads,
+                      spmv::EngineOptions engine_options) {
   minimpi::RuntimeOptions options;
   options.ranks = 2;
   options.progress = minimpi::ProgressMode::kDeferred;
@@ -42,7 +43,7 @@ std::string run_panel(const sparse::CsrMatrix& a, spmv::Variant variant,
     spmv::DistVector x(dist), y(dist);
     util::Xoshiro256 rng(1);
     for (auto& v : x.owned()) v = rng.uniform(-1.0, 1.0);
-    spmv::SpmvEngine engine(dist, threads, variant);
+    spmv::SpmvEngine engine(dist, threads, variant, engine_options);
     engine.apply(x, y);  // warm-up
     comm.barrier();
     if (comm.rank() == 0) {
@@ -67,6 +68,8 @@ int main(int argc, char** argv) {
   cli.add_option("rows", "80000", "matrix rows");
   cli.add_option("latency-ms", "8", "synthetic per-message latency");
   cli.add_option("threads", "3", "team threads per rank");
+  cli.add_option("backend", "csr",
+                 "node-level kernel backend: csr or sell (SELL-C-sigma)");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto a = matgen::random_banded(
@@ -74,23 +77,27 @@ int main(int argc, char** argv) {
       static_cast<sparse::index_t>(cli.get_int("rows") / 10), 12, 7);
   const double latency = cli.get_double("latency-ms") * 1e-3;
   const int threads = static_cast<int>(cli.get_int("threads"));
+  spmv::EngineOptions engine_options;
+  engine_options.backend = spmv::parse_backend(cli.get_string("backend"));
 
   std::printf(
       "Fig. 4 — measured timelines (2 ranks, %d threads, deferred "
-      "progress, %.1f ms message latency; rank 0 shown)\n\n",
-      threads, latency * 1e3);
+      "progress, %.1f ms message latency, %s kernel backend; rank 0 "
+      "shown)\n\n",
+      threads, latency * 1e3, spmv::backend_name(engine_options.backend));
 
   std::printf("(a) vector mode, no overlap\n%s\n",
               run_panel(a, spmv::Variant::kVectorNoOverlap, latency,
-                        threads)
+                        threads, engine_options)
                   .c_str());
   std::printf("(b) vector mode, naive overlap — Waitall does not shrink\n%s\n",
               run_panel(a, spmv::Variant::kVectorNaiveOverlap, latency,
-                        threads)
+                        threads, engine_options)
                   .c_str());
   std::printf(
       "(c) task mode — t0's Waitall overlaps the workers' local spMVM\n%s\n",
-      run_panel(a, spmv::Variant::kTaskMode, latency, threads).c_str());
+      run_panel(a, spmv::Variant::kTaskMode, latency, threads, engine_options)
+          .c_str());
   std::printf(
       "note: the *shapes* are the reproduction target. Absolute spans on "
       "an oversubscribed single-core host include scheduler delays (all "

@@ -1,17 +1,25 @@
 // EXP-K1 — google-benchmark microbenchmarks of the computational kernels:
-// the CRS spMVM, the split local/non-local variant (Eq. 2's penalty,
-// measured for real on this host), the halo gather, STREAM triad, and
-// supporting operations. These are host measurements, not paper-machine
-// models — the interesting quantity is the *ratio* split/full.
+// the CRS spMVM (sequential and thread-parallel), the split
+// local/non-local variant (Eq. 2's penalty, measured for real on this
+// host), the SELL-C-sigma sweeps, the halo gather, and supporting
+// operations. These are host measurements, not paper-machine models — the
+// interesting quantity is the *ratio* split/full (and parallel/serial).
+//
+// Perf trajectory tracking: pass --benchmark_out=BENCH_kernels.json
+// (with the default --benchmark_out_format=json) to dump the results in
+// machine-readable form; future PRs diff that file to track kernel
+// regressions.
 
 #include <benchmark/benchmark.h>
 
 #include "matgen/poisson.hpp"
 #include "matgen/random_matrix.hpp"
+#include "sparse/ell.hpp"
 #include "sparse/kernels.hpp"
 #include "sparse/rcm.hpp"
 #include "spmv/comm_plan.hpp"
 #include "spmv/partition.hpp"
+#include "team/thread_team.hpp"
 #include "util/aligned.hpp"
 #include "util/prng.hpp"
 
@@ -34,6 +42,12 @@ util::AlignedVector<value_t> random_vector(std::size_t n) {
   return v;
 }
 
+void set_gflops(benchmark::State& state, double flops) {
+  state.counters["GFlop/s"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
 void BM_SpmvCrs(benchmark::State& state) {
   const auto a = bench_matrix(state.range(0), 15);
   const auto b = random_vector(static_cast<std::size_t>(a.cols()));
@@ -42,11 +56,23 @@ void BM_SpmvCrs(benchmark::State& state) {
     sparse::spmv(a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFlop/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(a.nnz()), benchmark::Counter::kIsIterationInvariantRate,
-      benchmark::Counter::kIs1000);
+  set_gflops(state, 2.0 * static_cast<double>(a.nnz()));
 }
 BENCHMARK(BM_SpmvCrs)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_SpmvCrsParallel(benchmark::State& state) {
+  // Node-level thread scaling of the monolithic kernel (Fig. 3's axis).
+  const auto a = bench_matrix(1 << 17, 15);
+  const auto b = random_vector(static_cast<std::size_t>(a.cols()));
+  util::AlignedVector<value_t> c(static_cast<std::size_t>(a.rows()));
+  team::ThreadTeam team(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sparse::spmv_parallel(a, b, c, team);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, 2.0 * static_cast<double>(a.nnz()));
+}
+BENCHMARK(BM_SpmvCrsParallel)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_SpmvSplit(benchmark::State& state) {
   // The Eq. 2 scenario: the same matrix swept in two phases around a
@@ -60,12 +86,51 @@ void BM_SpmvSplit(benchmark::State& state) {
     sparse::spmv_nonlocal(a, split, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFlop/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(a.nnz()),
-      benchmark::Counter::kIsIterationInvariantRate,
-      benchmark::Counter::kIs1000);
+  set_gflops(state, 2.0 * static_cast<double>(a.nnz()));
 }
 BENCHMARK(BM_SpmvSplit)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_SpmvSplitParallel(benchmark::State& state) {
+  const auto a = bench_matrix(1 << 17, 15);
+  const auto split = static_cast<index_t>(a.cols() * 8 / 10);
+  const auto b = random_vector(static_cast<std::size_t>(a.cols()));
+  util::AlignedVector<value_t> c(static_cast<std::size_t>(a.rows()));
+  team::ThreadTeam team(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sparse::spmv_local_parallel(a, split, b, c, team);
+    sparse::spmv_nonlocal_parallel(a, split, b, c, team);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, 2.0 * static_cast<double>(a.nnz()));
+}
+BENCHMARK(BM_SpmvSplitParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SpmvSell(benchmark::State& state) {
+  const auto a = bench_matrix(state.range(0), 15);
+  const auto s = sparse::SellMatrix::from_csr(a, 32, 256);
+  const auto b = random_vector(static_cast<std::size_t>(a.cols()));
+  util::AlignedVector<value_t> c(static_cast<std::size_t>(a.rows()));
+  for (auto _ : state) {
+    s.spmv(b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, 2.0 * static_cast<double>(a.nnz()));
+}
+BENCHMARK(BM_SpmvSell)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_SpmvSellParallel(benchmark::State& state) {
+  const auto a = bench_matrix(1 << 17, 15);
+  const auto s = sparse::SellMatrix::from_csr(a, 32, 256);
+  const auto b = random_vector(static_cast<std::size_t>(a.cols()));
+  util::AlignedVector<value_t> c(static_cast<std::size_t>(a.rows()));
+  team::ThreadTeam team(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    s.spmv_parallel(b, c, team);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, 2.0 * static_cast<double>(a.nnz()));
+}
+BENCHMARK(BM_SpmvSellParallel)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_SpmvLowNnzr(benchmark::State& state) {
   // The sAMG-like regime: Nnzr ~ 7 has a higher relative index overhead.
@@ -78,10 +143,7 @@ void BM_SpmvLowNnzr(benchmark::State& state) {
     sparse::spmv(a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFlop/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(a.nnz()),
-      benchmark::Counter::kIsIterationInvariantRate,
-      benchmark::Counter::kIs1000);
+  set_gflops(state, 2.0 * static_cast<double>(a.nnz()));
 }
 BENCHMARK(BM_SpmvLowNnzr)->Arg(16)->Arg(64);
 
@@ -131,4 +193,13 @@ BENCHMARK(BM_RcmReorder)->Arg(32)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Explicit main (rather than BENCHMARK_MAIN) so the JSON-output contract
+// is visible here: benchmark::Initialize consumes the standard flags,
+// including --benchmark_out=BENCH_kernels.json.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,6 +23,27 @@ double split_crs_code_balance(double nnzr, double kappa) {
   return 6.0 + 20.0 / nnzr + kappa / 2.0;
 }
 
+namespace {
+void check_padding(double padding_ratio) {
+  if (padding_ratio < 1.0) {
+    throw std::invalid_argument("code balance: padding ratio must be >= 1");
+  }
+}
+}  // namespace
+
+double sell_code_balance(double nnzr, double kappa, double padding_ratio) {
+  check_nnzr(nnzr);
+  check_padding(padding_ratio);
+  return 6.0 * padding_ratio + 12.0 / nnzr + kappa / 2.0;
+}
+
+double split_sell_code_balance(double nnzr, double kappa,
+                               double padding_ratio) {
+  check_nnzr(nnzr);
+  check_padding(padding_ratio);
+  return 6.0 * padding_ratio + 20.0 / nnzr + kappa / 2.0;
+}
+
 double performance_bound(double bandwidth_bytes_per_s, double balance) {
   if (balance <= 0.0) {
     throw std::invalid_argument("performance_bound: balance must be > 0");

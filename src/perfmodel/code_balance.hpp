@@ -19,6 +19,18 @@ double crs_code_balance(double nnzr, double kappa);
 /// Eq. (2): bytes per flop of the split local/non-local kernel.
 double split_crs_code_balance(double nnzr, double kappa);
 
+/// SELL-C-sigma code balance: padded slots multiply the val + col_idx
+/// streams by the padding ratio beta = slots/Nnz >= 1 (Kreutzer et al.,
+/// arXiv:1112.5588), while the vector terms are unchanged:
+///   B_SELL = 6*beta + 12/Nnzr + kappa/2   [bytes/flop].
+/// beta = 1 recovers Eq. (1).
+double sell_code_balance(double nnzr, double kappa, double padding_ratio);
+
+/// Split (local/non-local) SELL kernel: like Eq. (2), the second sweep of
+/// the result vector adds 8/Nnzr bytes per flop on top of B_SELL.
+double split_sell_code_balance(double nnzr, double kappa,
+                               double padding_ratio);
+
 /// Bandwidth-limited performance bound in flop/s:
 /// bandwidth [bytes/s] / balance [bytes/flop].
 double performance_bound(double bandwidth_bytes_per_s, double balance);

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "team/thread_team.hpp"
+
 namespace hspmv::sparse {
 
 EllMatrix EllMatrix::from_csr(const CsrMatrix& a) {
@@ -48,15 +50,19 @@ void EllMatrix::spmv(std::span<const value_t> x,
       y.size() < static_cast<std::size_t>(rows_)) {
     throw std::invalid_argument("EllMatrix::spmv: vector size mismatch");
   }
-  for (index_t i = 0; i < rows_; ++i) y[static_cast<std::size_t>(i)] = 0.0;
+  const index_t* __restrict col = col_.data();
+  const value_t* __restrict val = val_.data();
+  const value_t* __restrict xp = x.data();
+  value_t* __restrict yp = y.data();
+  for (index_t i = 0; i < rows_; ++i) yp[i] = 0.0;
+  // Column-major sweep: the inner loop over rows is unit stride in val
+  // and col — the format's SIMD axis.
   for (index_t j = 0; j < width_; ++j) {
     const std::size_t base = static_cast<std::size_t>(j) *
                              static_cast<std::size_t>(rows_);
     for (index_t i = 0; i < rows_; ++i) {
-      y[static_cast<std::size_t>(i)] +=
-          val_[base + static_cast<std::size_t>(i)] *
-          x[static_cast<std::size_t>(
-              col_[base + static_cast<std::size_t>(i)])];
+      yp[i] += val[base + static_cast<std::size_t>(i)] *
+               xp[col[base + static_cast<std::size_t>(i)]];
     }
   }
 }
@@ -95,6 +101,11 @@ SellMatrix SellMatrix::from_csr(const CsrMatrix& a, int chunk, int sigma) {
     });
   }
 
+  m.row_lengths_.resize(static_cast<std::size_t>(a.rows()));
+  for (std::size_t p = 0; p < m.permutation_.size(); ++p) {
+    m.row_lengths_[p] = length(m.permutation_[p]);
+  }
+
   const index_t chunk_count =
       (a.rows() + static_cast<index_t>(chunk) - 1) /
       static_cast<index_t>(chunk);
@@ -106,7 +117,7 @@ SellMatrix SellMatrix::from_csr(const CsrMatrix& a, int chunk, int sigma) {
     index_t width = 0;
     for (int r = 0; r < chunk && base + r < a.rows(); ++r) {
       width = std::max(
-          width, length(m.permutation_[static_cast<std::size_t>(base + r)]));
+          width, m.row_lengths_[static_cast<std::size_t>(base + r)]);
     }
     m.chunk_widths_.push_back(width);
     m.chunk_offsets_.push_back(m.chunk_offsets_.back() +
@@ -139,29 +150,188 @@ double SellMatrix::padding_ratio() const {
          static_cast<double>(nnz_);
 }
 
-void SellMatrix::spmv(std::span<const value_t> x,
-                      std::span<value_t> y) const {
+void SellMatrix::check_vectors(std::span<const value_t> x,
+                               std::span<value_t> y) const {
   if (x.size() < static_cast<std::size_t>(cols_) ||
       y.size() < static_cast<std::size_t>(rows_)) {
     throw std::invalid_argument("SellMatrix::spmv: vector size mismatch");
   }
-  const auto chunk_count =
-      static_cast<index_t>(chunk_widths_.size());
-  for (index_t c = 0; c < chunk_count; ++c) {
+}
+
+void SellMatrix::spmv(std::span<const value_t> x,
+                      std::span<value_t> y) const {
+  check_vectors(x, y);
+  spmv_chunks(0, chunk_count(), x, y);
+}
+
+void SellMatrix::spmv_chunks(index_t chunk_begin, index_t chunk_end,
+                             std::span<const value_t> x,
+                             std::span<value_t> y) const {
+  const index_t* __restrict col = col_.data();
+  const value_t* __restrict val = val_.data();
+  const value_t* __restrict xp = x.data();
+  value_t* __restrict yp = y.data();
+  // One chunk-sized accumulator block, reused across chunks: the inner
+  // r-loop is unit stride in val/col (padding contributes val 0).
+  util::AlignedVector<value_t> sums(static_cast<std::size_t>(chunk_), 0.0);
+  for (index_t c = chunk_begin; c < chunk_end; ++c) {
     const index_t base = c * static_cast<index_t>(chunk_);
     const offset_t offset = chunk_offsets_[static_cast<std::size_t>(c)];
     const index_t width = chunk_widths_[static_cast<std::size_t>(c)];
-    for (int r = 0; r < chunk_ && base + r < rows_; ++r) {
-      value_t sum = 0.0;
-      for (index_t j = 0; j < width; ++j) {
-        const auto slot = static_cast<std::size_t>(
-            offset + static_cast<offset_t>(j) * chunk_ + r);
-        sum += val_[slot] * x[static_cast<std::size_t>(col_[slot])];
+    const int rows_in_chunk =
+        static_cast<int>(std::min<index_t>(static_cast<index_t>(chunk_),
+                                           rows_ - base));
+    for (int r = 0; r < rows_in_chunk; ++r) sums[static_cast<std::size_t>(r)] = 0.0;
+    for (index_t j = 0; j < width; ++j) {
+      const offset_t slot0 = offset + static_cast<offset_t>(j) * chunk_;
+      for (int r = 0; r < rows_in_chunk; ++r) {
+        sums[static_cast<std::size_t>(r)] +=
+            val[slot0 + r] * xp[col[slot0 + r]];
       }
-      y[static_cast<std::size_t>(
-          permutation_[static_cast<std::size_t>(base + r)])] = sum;
+    }
+    for (int r = 0; r < rows_in_chunk; ++r) {
+      yp[permutation_[static_cast<std::size_t>(base + r)]] =
+          sums[static_cast<std::size_t>(r)];
     }
   }
+}
+
+void SellMatrix::spmv_parallel(std::span<const value_t> x,
+                               std::span<value_t> y,
+                               team::ThreadTeam& team) const {
+  check_vectors(x, y);
+  const auto bounds =
+      team::nnz_balanced_boundaries(chunk_offsets_, team.size());
+  team.execute([&](int id) {
+    spmv_chunks(static_cast<index_t>(bounds[static_cast<std::size_t>(id)]),
+                static_cast<index_t>(bounds[static_cast<std::size_t>(id) + 1]),
+                x, y);
+  });
+}
+
+namespace {
+
+/// First entry index j in [0, len) of the (strided) row with column
+/// >= local_cols. Real entries keep their ascending CSR column order, so
+/// this is a binary search with stride `chunk`.
+inline sparse::index_t strided_split(const index_t* col, offset_t offset,
+                                     int chunk, int r, index_t len,
+                                     index_t local_cols) {
+  index_t lo = 0;
+  index_t hi = len;
+  while (lo < hi) {
+    const index_t mid = lo + (hi - lo) / 2;
+    if (col[offset + static_cast<offset_t>(mid) * chunk + r] < local_cols) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+void SellMatrix::spmv_local(index_t local_cols, std::span<const value_t> x,
+                            std::span<value_t> y) const {
+  check_vectors(x, y);
+  spmv_local_chunks(local_cols, 0, chunk_count(), x, y);
+}
+
+void SellMatrix::spmv_nonlocal(index_t local_cols,
+                               std::span<const value_t> x,
+                               std::span<value_t> y) const {
+  check_vectors(x, y);
+  spmv_nonlocal_chunks(local_cols, 0, chunk_count(), x, y);
+}
+
+void SellMatrix::spmv_local_chunks(index_t local_cols, index_t chunk_begin,
+                                   index_t chunk_end,
+                                   std::span<const value_t> x,
+                                   std::span<value_t> y) const {
+  const index_t* __restrict col = col_.data();
+  const value_t* __restrict val = val_.data();
+  const value_t* __restrict xp = x.data();
+  value_t* __restrict yp = y.data();
+  for (index_t c = chunk_begin; c < chunk_end; ++c) {
+    const index_t base = c * static_cast<index_t>(chunk_);
+    const offset_t offset = chunk_offsets_[static_cast<std::size_t>(c)];
+    const int rows_in_chunk =
+        static_cast<int>(std::min<index_t>(static_cast<index_t>(chunk_),
+                                           rows_ - base));
+    for (int r = 0; r < rows_in_chunk; ++r) {
+      const index_t len = row_lengths_[static_cast<std::size_t>(base + r)];
+      const index_t split =
+          strided_split(col, offset, chunk_, r, len, local_cols);
+      value_t sum = 0.0;
+      for (index_t j = 0; j < split; ++j) {
+        const offset_t slot = offset + static_cast<offset_t>(j) * chunk_ + r;
+        sum += val[slot] * xp[col[slot]];
+      }
+      yp[permutation_[static_cast<std::size_t>(base + r)]] = sum;
+    }
+  }
+}
+
+void SellMatrix::spmv_nonlocal_chunks(index_t local_cols, index_t chunk_begin,
+                                      index_t chunk_end,
+                                      std::span<const value_t> x,
+                                      std::span<value_t> y) const {
+  const index_t* __restrict col = col_.data();
+  const value_t* __restrict val = val_.data();
+  const value_t* __restrict xp = x.data();
+  value_t* __restrict yp = y.data();
+  for (index_t c = chunk_begin; c < chunk_end; ++c) {
+    const index_t base = c * static_cast<index_t>(chunk_);
+    const offset_t offset = chunk_offsets_[static_cast<std::size_t>(c)];
+    const int rows_in_chunk =
+        static_cast<int>(std::min<index_t>(static_cast<index_t>(chunk_),
+                                           rows_ - base));
+    for (int r = 0; r < rows_in_chunk; ++r) {
+      const index_t len = row_lengths_[static_cast<std::size_t>(base + r)];
+      const index_t split =
+          strided_split(col, offset, chunk_, r, len, local_cols);
+      // Skip rows without non-local entries: this phase's cost is Eq. 2's
+      // extra sweep of the result vector.
+      if (split == len) continue;
+      value_t sum = 0.0;
+      for (index_t j = split; j < len; ++j) {
+        const offset_t slot = offset + static_cast<offset_t>(j) * chunk_ + r;
+        sum += val[slot] * xp[col[slot]];
+      }
+      yp[permutation_[static_cast<std::size_t>(base + r)]] += sum;
+    }
+  }
+}
+
+void SellMatrix::spmv_local_parallel(index_t local_cols,
+                                     std::span<const value_t> x,
+                                     std::span<value_t> y,
+                                     team::ThreadTeam& team) const {
+  check_vectors(x, y);
+  const auto bounds =
+      team::nnz_balanced_boundaries(chunk_offsets_, team.size());
+  team.execute([&](int id) {
+    spmv_local_chunks(
+        local_cols,
+        static_cast<index_t>(bounds[static_cast<std::size_t>(id)]),
+        static_cast<index_t>(bounds[static_cast<std::size_t>(id) + 1]), x, y);
+  });
+}
+
+void SellMatrix::spmv_nonlocal_parallel(index_t local_cols,
+                                        std::span<const value_t> x,
+                                        std::span<value_t> y,
+                                        team::ThreadTeam& team) const {
+  check_vectors(x, y);
+  const auto bounds =
+      team::nnz_balanced_boundaries(chunk_offsets_, team.size());
+  team.execute([&](int id) {
+    spmv_nonlocal_chunks(
+        local_cols,
+        static_cast<index_t>(bounds[static_cast<std::size_t>(id)]),
+        static_cast<index_t>(bounds[static_cast<std::size_t>(id) + 1]), x, y);
+  });
 }
 
 }  // namespace hspmv::sparse

@@ -6,13 +6,22 @@
 // trade-offs measurable: plain ELLPACK pads every row to the longest row
 // (SIMD-friendly but catastrophic for skewed row lengths), SELL-C-sigma
 // pads per chunk of C rows after sorting windows of sigma rows by length,
-// bounding the padding.
+// bounding the padding (Kreutzer et al., arXiv:1112.5588).
+//
+// SELL-C-sigma here also provides the split local/non-local kernel pair
+// of the paper's Sect. 3.1 and thread-parallel chunk-major sweeps, so the
+// distributed engine can run its node-level compute phase on this format
+// (see spmv/engine.hpp's LocalKernel).
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "sparse/csr.hpp"
+
+namespace hspmv::team {
+class ThreadTeam;
+}
 
 namespace hspmv::sparse {
 
@@ -30,6 +39,10 @@ class EllMatrix {
   [[nodiscard]] offset_t nnz() const { return nnz_; }
   /// Stored slots / actual nonzeros (>= 1; the padding overhead).
   [[nodiscard]] double padding_ratio() const;
+  /// Heap bytes of the format's arrays (val + col for every padded slot).
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return col_.size() * sizeof(index_t) + val_.size() * sizeof(value_t);
+  }
 
   void spmv(std::span<const value_t> x, std::span<value_t> y) const;
 
@@ -46,6 +59,10 @@ class EllMatrix {
 /// of `sigma` rows, grouped into chunks of `chunk` rows, and each chunk
 /// is padded to its own maximal length. sigma = 1 disables sorting
 /// (SELL-C); sigma = rows sorts globally.
+///
+/// Layout invariant used by the split kernels: each row's real entries
+/// keep their CSR order (columns ascending); padding slots (val 0,
+/// col 0) follow the real entries of a row.
 class SellMatrix {
  public:
   SellMatrix() = default;
@@ -57,12 +74,74 @@ class SellMatrix {
   [[nodiscard]] index_t cols() const { return cols_; }
   [[nodiscard]] int chunk() const { return chunk_; }
   [[nodiscard]] offset_t nnz() const { return nnz_; }
+  [[nodiscard]] index_t chunk_count() const {
+    return static_cast<index_t>(chunk_widths_.size());
+  }
+  /// Per-chunk offsets into the slot arrays (chunk_count() + 1 entries) —
+  /// the chunk-granular analogue of CSR's row_ptr, usable with
+  /// team::nnz_balanced_boundaries for slot-balanced chunk distribution.
+  [[nodiscard]] std::span<const offset_t> chunk_offsets() const {
+    return chunk_offsets_;
+  }
+  /// permutation()[p] = original row stored at permuted position p.
+  [[nodiscard]] std::span<const index_t> permutation() const {
+    return permutation_;
+  }
   [[nodiscard]] double padding_ratio() const;
+  /// Heap bytes of the format's arrays (val + col per stored slot, chunk
+  /// metadata, permutation).
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return col_.size() * sizeof(index_t) + val_.size() * sizeof(value_t) +
+           chunk_offsets_.size() * sizeof(offset_t) +
+           chunk_widths_.size() * sizeof(index_t) +
+           permutation_.size() * sizeof(index_t);
+  }
 
   /// y = A x (y in original row order — the kernel un-permutes).
   void spmv(std::span<const value_t> x, std::span<value_t> y) const;
 
+  /// Chunk-range kernel: y(rows of chunks [chunk_begin, chunk_end)) = A x.
+  /// The inner loop runs across the rows of a chunk — unit stride in val
+  /// and col, the format's SIMD-friendly axis.
+  void spmv_chunks(index_t chunk_begin, index_t chunk_end,
+                   std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Thread-parallel y = A x: contiguous slot-balanced chunk ranges, one
+  /// per team member. Chunks never share rows, so the sweep is race-free.
+  void spmv_parallel(std::span<const value_t> x, std::span<value_t> y,
+                     team::ThreadTeam& team) const;
+
+  /// Split kernel, local phase: entries with col < local_cols only
+  /// (each row's local prefix), zeroing the covered y entries first.
+  void spmv_local(index_t local_cols, std::span<const value_t> x,
+                  std::span<value_t> y) const;
+  /// Split kernel, non-local phase: adds entries with col >= local_cols.
+  /// Rows without non-local entries are not touched (Eq. 2 traffic).
+  void spmv_nonlocal(index_t local_cols, std::span<const value_t> x,
+                     std::span<value_t> y) const;
+
+  /// Chunk-range versions of the split phases, for explicit thread
+  /// chunking (the engine's task mode).
+  void spmv_local_chunks(index_t local_cols, index_t chunk_begin,
+                         index_t chunk_end, std::span<const value_t> x,
+                         std::span<value_t> y) const;
+  void spmv_nonlocal_chunks(index_t local_cols, index_t chunk_begin,
+                            index_t chunk_end, std::span<const value_t> x,
+                            std::span<value_t> y) const;
+
+  /// Thread-parallel split phases (same chunk distribution as
+  /// spmv_parallel, so both phases of a row land on the same thread).
+  void spmv_local_parallel(index_t local_cols, std::span<const value_t> x,
+                           std::span<value_t> y,
+                           team::ThreadTeam& team) const;
+  void spmv_nonlocal_parallel(index_t local_cols, std::span<const value_t> x,
+                              std::span<value_t> y,
+                              team::ThreadTeam& team) const;
+
  private:
+  void check_vectors(std::span<const value_t> x,
+                     std::span<value_t> y) const;
+
   index_t rows_ = 0;
   index_t cols_ = 0;
   int chunk_ = 32;
@@ -70,6 +149,7 @@ class SellMatrix {
   std::vector<index_t> permutation_;      // permuted position -> orig row
   std::vector<offset_t> chunk_offsets_;   // into col_/val_ per chunk
   std::vector<index_t> chunk_widths_;
+  std::vector<index_t> row_lengths_;      // real entries per permuted row
   util::AlignedVector<index_t> col_;
   util::AlignedVector<value_t> val_;
 };

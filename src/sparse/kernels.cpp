@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "team/thread_team.hpp"
+
 namespace hspmv::sparse {
 namespace {
 
@@ -12,6 +14,43 @@ void check_shapes(const CsrMatrix& a, std::span<const value_t> b,
       c.size() < static_cast<std::size_t>(a.rows())) {
     throw std::invalid_argument("spmv: vector size mismatch");
   }
+}
+
+/// Dot product of one row's entry range [begin, end) against b, with
+/// 4 independent accumulators so the compiler can keep the FMA chains in
+/// flight (the scalar loop is latency-bound on the single accumulator).
+/// All callers use this helper, so the per-row accumulation order — and
+/// hence the bitwise result — is identical across the sequential,
+/// row-range, parallel, and split kernels.
+inline value_t row_dot(const value_t* __restrict val,
+                       const index_t* __restrict col,
+                       const value_t* __restrict b, offset_t begin,
+                       offset_t end) {
+  value_t s0 = 0.0;
+  value_t s1 = 0.0;
+  value_t s2 = 0.0;
+  value_t s3 = 0.0;
+  offset_t j = begin;
+  for (; j + 4 <= end; j += 4) {
+    s0 += val[j] * b[col[j]];
+    s1 += val[j + 1] * b[col[j + 1]];
+    s2 += val[j + 2] * b[col[j + 2]];
+    s3 += val[j + 3] * b[col[j + 3]];
+  }
+  for (; j < end; ++j) s0 += val[j] * b[col[j]];
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// First entry of row range [begin, end) with column >= local_cols.
+/// Rows are column-sorted (the split kernels' invariant), so this is a
+/// binary search.
+inline offset_t split_point(std::span<const index_t> col_idx, offset_t begin,
+                            offset_t end, index_t local_cols) {
+  const auto cols = col_idx.subspan(static_cast<std::size_t>(begin),
+                                    static_cast<std::size_t>(end - begin));
+  return begin +
+         (std::lower_bound(cols.begin(), cols.end(), local_cols) -
+          cols.begin());
 }
 
 }  // namespace
@@ -24,34 +63,26 @@ void spmv(const CsrMatrix& a, std::span<const value_t> b,
 
 void spmv_rows(const CsrMatrix& a, index_t row_begin, index_t row_end,
                std::span<const value_t> b, std::span<value_t> c) {
-  const auto row_ptr = a.row_ptr();
-  const auto col_idx = a.col_idx();
-  const auto val = a.val();
+  const offset_t* __restrict row_ptr = a.row_ptr().data();
+  const index_t* __restrict col = a.col_idx().data();
+  const value_t* __restrict val = a.val().data();
+  const value_t* __restrict x = b.data();
+  value_t* __restrict y = c.data();
   for (index_t i = row_begin; i < row_end; ++i) {
-    value_t sum = 0.0;
-    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
-         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
-      sum += val[static_cast<std::size_t>(j)] *
-             b[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
-    }
-    c[static_cast<std::size_t>(i)] = sum;
+    y[i] = row_dot(val, col, x, row_ptr[i], row_ptr[i + 1]);
   }
 }
 
 void spmv_accumulate(const CsrMatrix& a, std::span<const value_t> b,
                      std::span<value_t> c) {
   check_shapes(a, b, c);
-  const auto row_ptr = a.row_ptr();
-  const auto col_idx = a.col_idx();
-  const auto val = a.val();
+  const offset_t* __restrict row_ptr = a.row_ptr().data();
+  const index_t* __restrict col = a.col_idx().data();
+  const value_t* __restrict val = a.val().data();
+  const value_t* __restrict x = b.data();
+  value_t* __restrict y = c.data();
   for (index_t i = 0; i < a.rows(); ++i) {
-    value_t sum = c[static_cast<std::size_t>(i)];
-    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
-         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
-      sum += val[static_cast<std::size_t>(j)] *
-             b[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
-    }
-    c[static_cast<std::size_t>(i)] = sum;
+    y[i] += row_dot(val, col, x, row_ptr[i], row_ptr[i + 1]);
   }
 }
 
@@ -59,18 +90,20 @@ void spmv_general(value_t alpha, const CsrMatrix& a,
                   std::span<const value_t> b, value_t beta,
                   std::span<value_t> c) {
   check_shapes(a, b, c);
-  const auto row_ptr = a.row_ptr();
-  const auto col_idx = a.col_idx();
-  const auto val = a.val();
-  for (index_t i = 0; i < a.rows(); ++i) {
-    value_t sum = 0.0;
-    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
-         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
-      sum += val[static_cast<std::size_t>(j)] *
-             b[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
-    }
-    c[static_cast<std::size_t>(i)] =
-        alpha * sum + beta * c[static_cast<std::size_t>(i)];
+  spmv_general_rows(alpha, a, 0, a.rows(), b, beta, c);
+}
+
+void spmv_general_rows(value_t alpha, const CsrMatrix& a, index_t row_begin,
+                       index_t row_end, std::span<const value_t> b,
+                       value_t beta, std::span<value_t> c) {
+  const offset_t* __restrict row_ptr = a.row_ptr().data();
+  const index_t* __restrict col = a.col_idx().data();
+  const value_t* __restrict val = a.val().data();
+  const value_t* __restrict x = b.data();
+  value_t* __restrict y = c.data();
+  for (index_t i = row_begin; i < row_end; ++i) {
+    y[i] = alpha * row_dot(val, col, x, row_ptr[i], row_ptr[i + 1]) +
+           beta * y[i];
   }
 }
 
@@ -83,18 +116,16 @@ void spmv_local(const CsrMatrix& a, index_t local_cols,
 void spmv_local_rows(const CsrMatrix& a, index_t local_cols, index_t row_begin,
                      index_t row_end, std::span<const value_t> b,
                      std::span<value_t> c) {
-  const auto row_ptr = a.row_ptr();
-  const auto col_idx = a.col_idx();
-  const auto val = a.val();
+  const offset_t* __restrict row_ptr = a.row_ptr().data();
+  const index_t* __restrict col = a.col_idx().data();
+  const value_t* __restrict val = a.val().data();
+  const value_t* __restrict x = b.data();
+  value_t* __restrict y = c.data();
   for (index_t i = row_begin; i < row_end; ++i) {
-    value_t sum = 0.0;
-    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
-         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
-      const index_t col = col_idx[static_cast<std::size_t>(j)];
-      if (col >= local_cols) break;  // sorted rows: non-local suffix begins
-      sum += val[static_cast<std::size_t>(j)] * b[static_cast<std::size_t>(col)];
-    }
-    c[static_cast<std::size_t>(i)] = sum;
+    const offset_t begin = row_ptr[i];
+    const offset_t split = split_point(a.col_idx(), begin, row_ptr[i + 1],
+                                       local_cols);
+    y[i] = row_dot(val, col, x, begin, split);
   }
 }
 
@@ -107,26 +138,71 @@ void spmv_nonlocal(const CsrMatrix& a, index_t local_cols,
 void spmv_nonlocal_rows(const CsrMatrix& a, index_t local_cols,
                         index_t row_begin, index_t row_end,
                         std::span<const value_t> b, std::span<value_t> c) {
-  const auto row_ptr = a.row_ptr();
-  const auto col_idx = a.col_idx();
-  const auto val = a.val();
+  const offset_t* __restrict row_ptr = a.row_ptr().data();
+  const index_t* __restrict col = a.col_idx().data();
+  const value_t* __restrict val = a.val().data();
+  const value_t* __restrict x = b.data();
+  value_t* __restrict y = c.data();
   for (index_t i = row_begin; i < row_end; ++i) {
-    const offset_t begin = row_ptr[static_cast<std::size_t>(i)];
-    const offset_t end = row_ptr[static_cast<std::size_t>(i) + 1];
-    // Binary-search the first non-local entry; rows are column-sorted.
-    const auto cols = col_idx.subspan(static_cast<std::size_t>(begin),
-                                      static_cast<std::size_t>(end - begin));
-    const auto first_nonlocal =
-        std::lower_bound(cols.begin(), cols.end(), local_cols) - cols.begin();
-    value_t sum = 0.0;
-    for (offset_t j = begin + first_nonlocal; j < end; ++j) {
-      sum += val[static_cast<std::size_t>(j)] *
-             b[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
-    }
-    if (sum != 0.0 || first_nonlocal < end - begin) {
-      c[static_cast<std::size_t>(i)] += sum;
-    }
+    const offset_t end = row_ptr[i + 1];
+    const offset_t split =
+        split_point(a.col_idx(), row_ptr[i], end, local_cols);
+    // Rows without non-local entries are skipped entirely: this phase's
+    // cost is Eq. 2's extra read-modify-write sweep of C, so avoid
+    // touching C(i) when the row has nothing to contribute.
+    if (split == end) continue;
+    y[i] += row_dot(val, col, x, split, end);
   }
+}
+
+void spmv_parallel(const CsrMatrix& a, std::span<const value_t> b,
+                   std::span<value_t> c, team::ThreadTeam& team) {
+  check_shapes(a, b, c);
+  const auto bounds = team::nnz_balanced_boundaries(a.row_ptr(), team.size());
+  team.execute([&](int id) {
+    spmv_rows(a, static_cast<index_t>(bounds[static_cast<std::size_t>(id)]),
+              static_cast<index_t>(bounds[static_cast<std::size_t>(id) + 1]),
+              b, c);
+  });
+}
+
+void spmv_general_parallel(value_t alpha, const CsrMatrix& a,
+                           std::span<const value_t> b, value_t beta,
+                           std::span<value_t> c, team::ThreadTeam& team) {
+  check_shapes(a, b, c);
+  const auto bounds = team::nnz_balanced_boundaries(a.row_ptr(), team.size());
+  team.execute([&](int id) {
+    spmv_general_rows(
+        alpha, a, static_cast<index_t>(bounds[static_cast<std::size_t>(id)]),
+        static_cast<index_t>(bounds[static_cast<std::size_t>(id) + 1]), b,
+        beta, c);
+  });
+}
+
+void spmv_local_parallel(const CsrMatrix& a, index_t local_cols,
+                         std::span<const value_t> b, std::span<value_t> c,
+                         team::ThreadTeam& team) {
+  check_shapes(a, b, c);
+  const auto bounds = team::nnz_balanced_boundaries(a.row_ptr(), team.size());
+  team.execute([&](int id) {
+    spmv_local_rows(
+        a, local_cols,
+        static_cast<index_t>(bounds[static_cast<std::size_t>(id)]),
+        static_cast<index_t>(bounds[static_cast<std::size_t>(id) + 1]), b, c);
+  });
+}
+
+void spmv_nonlocal_parallel(const CsrMatrix& a, index_t local_cols,
+                            std::span<const value_t> b, std::span<value_t> c,
+                            team::ThreadTeam& team) {
+  check_shapes(a, b, c);
+  const auto bounds = team::nnz_balanced_boundaries(a.row_ptr(), team.size());
+  team.execute([&](int id) {
+    spmv_nonlocal_rows(
+        a, local_cols,
+        static_cast<index_t>(bounds[static_cast<std::size_t>(id)]),
+        static_cast<index_t>(bounds[static_cast<std::size_t>(id) + 1]), b, c);
+  });
 }
 
 }  // namespace hspmv::sparse

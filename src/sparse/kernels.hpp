@@ -1,11 +1,22 @@
-// Sequential CRS spMVM kernels — the paper's Sect. 1.2 loop and the split
-// local/non-local variant from Sect. 3.1.
+// CRS spMVM kernels — the paper's Sect. 1.2 loop and the split
+// local/non-local variant from Sect. 3.1, in sequential, row-range, and
+// thread-parallel forms.
+//
+// The parallel kernels are the node-level analogue of the paper's OpenMP
+// worksharing loops: work is distributed as one contiguous,
+// nonzero-balanced row chunk per team member (team::nnz_balanced_boundaries),
+// so a single rank can drive all cores of a memory domain toward the
+// bandwidth saturation point of Fig. 3.
 #pragma once
 
 #include <span>
 
 #include "sparse/csr.hpp"
 #include "sparse/types.hpp"
+
+namespace hspmv::team {
+class ThreadTeam;
+}
 
 namespace hspmv::sparse {
 
@@ -29,6 +40,11 @@ void spmv_general(value_t alpha, const CsrMatrix& a,
 void spmv_rows(const CsrMatrix& a, index_t row_begin, index_t row_end,
                std::span<const value_t> b, std::span<value_t> c);
 
+/// Row-range form of the alpha/beta kernel.
+void spmv_general_rows(value_t alpha, const CsrMatrix& a, index_t row_begin,
+                       index_t row_end, std::span<const value_t> b,
+                       value_t beta, std::span<value_t> c);
+
 /// Split kernel, local phase: traverses only entries with
 /// col_idx < local_cols (the process-local part of B), zeroing C first.
 /// Assumes each row's column indices are sorted ascending so the local
@@ -49,5 +65,25 @@ void spmv_local_rows(const CsrMatrix& a, index_t local_cols, index_t row_begin,
 void spmv_nonlocal_rows(const CsrMatrix& a, index_t local_cols,
                         index_t row_begin, index_t row_end,
                         std::span<const value_t> b, std::span<value_t> c);
+
+/// Thread-parallel C = A * B: each team member sweeps one contiguous
+/// nonzero-balanced row chunk. Bitwise-identical to spmv() per row (same
+/// accumulation order), so results do not depend on the thread count.
+void spmv_parallel(const CsrMatrix& a, std::span<const value_t> b,
+                   std::span<value_t> c, team::ThreadTeam& team);
+
+/// Thread-parallel C = alpha * A * B + beta * C.
+void spmv_general_parallel(value_t alpha, const CsrMatrix& a,
+                           std::span<const value_t> b, value_t beta,
+                           std::span<value_t> c, team::ThreadTeam& team);
+
+/// Thread-parallel split phases (same chunking as spmv_parallel, so the
+/// local and non-local sweeps of one row always land on the same thread).
+void spmv_local_parallel(const CsrMatrix& a, index_t local_cols,
+                         std::span<const value_t> b, std::span<value_t> c,
+                         team::ThreadTeam& team);
+void spmv_nonlocal_parallel(const CsrMatrix& a, index_t local_cols,
+                            std::span<const value_t> b, std::span<value_t> c,
+                            team::ThreadTeam& team);
 
 }  // namespace hspmv::sparse

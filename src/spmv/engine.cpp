@@ -3,6 +3,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "sparse/ell.hpp"
 #include "sparse/kernels.hpp"
 #include "util/timer.hpp"
 
@@ -10,6 +11,120 @@ namespace hspmv::spmv {
 
 using sparse::index_t;
 using sparse::value_t;
+
+namespace {
+
+/// CRS backend: contiguous nonzero-balanced row chunks — exactly the
+/// engine's historical distribution.
+class CsrLocalKernel final : public LocalKernel {
+ public:
+  CsrLocalKernel(const sparse::CsrMatrix& local, index_t local_cols,
+                 int workers)
+      : matrix_(local),
+        local_cols_(local_cols),
+        rows_(team::nnz_balanced_boundaries(local.row_ptr(), workers)) {}
+
+  void full(int worker, std::span<const value_t> x,
+            std::span<value_t> y) const override {
+    sparse::spmv_rows(matrix_, begin(worker), end(worker), x, y);
+  }
+  void local(int worker, std::span<const value_t> x,
+             std::span<value_t> y) const override {
+    sparse::spmv_local_rows(matrix_, local_cols_, begin(worker), end(worker),
+                            x, y);
+  }
+  void nonlocal(int worker, std::span<const value_t> x,
+                std::span<value_t> y) const override {
+    sparse::spmv_nonlocal_rows(matrix_, local_cols_, begin(worker),
+                               end(worker), x, y);
+  }
+
+ private:
+  [[nodiscard]] index_t begin(int worker) const {
+    return static_cast<index_t>(rows_[static_cast<std::size_t>(worker)]);
+  }
+  [[nodiscard]] index_t end(int worker) const {
+    return static_cast<index_t>(rows_[static_cast<std::size_t>(worker) + 1]);
+  }
+
+  const sparse::CsrMatrix& matrix_;
+  index_t local_cols_;
+  std::vector<std::int64_t> rows_;
+};
+
+/// SELL-C-sigma backend: contiguous slot-balanced chunk ranges. The SELL
+/// kernels un-permute on the fly, so y is written in the engine's owned
+/// row order — interchangeable with the CRS backend.
+class SellLocalKernel final : public LocalKernel {
+ public:
+  SellLocalKernel(const sparse::CsrMatrix& local, index_t local_cols,
+                  int workers, int chunk, int sigma)
+      : matrix_(sparse::SellMatrix::from_csr(local, chunk, sigma)),
+        local_cols_(local_cols),
+        chunks_(team::nnz_balanced_boundaries(matrix_.chunk_offsets(),
+                                              workers)) {}
+
+  void full(int worker, std::span<const value_t> x,
+            std::span<value_t> y) const override {
+    matrix_.spmv_chunks(begin(worker), end(worker), x, y);
+  }
+  void local(int worker, std::span<const value_t> x,
+             std::span<value_t> y) const override {
+    matrix_.spmv_local_chunks(local_cols_, begin(worker), end(worker), x, y);
+  }
+  void nonlocal(int worker, std::span<const value_t> x,
+                std::span<value_t> y) const override {
+    matrix_.spmv_nonlocal_chunks(local_cols_, begin(worker), end(worker), x,
+                                 y);
+  }
+
+ private:
+  [[nodiscard]] index_t begin(int worker) const {
+    return static_cast<index_t>(chunks_[static_cast<std::size_t>(worker)]);
+  }
+  [[nodiscard]] index_t end(int worker) const {
+    return static_cast<index_t>(chunks_[static_cast<std::size_t>(worker) + 1]);
+  }
+
+  sparse::SellMatrix matrix_;
+  index_t local_cols_;
+  std::vector<std::int64_t> chunks_;
+};
+
+}  // namespace
+
+LocalBackend parse_backend(const std::string& name) {
+  if (name == "csr" || name == "crs") return LocalBackend::kCsr;
+  if (name == "sell") return LocalBackend::kSell;
+  throw std::invalid_argument("unknown kernel backend: " + name +
+                              " (expected csr or sell)");
+}
+
+const char* backend_name(LocalBackend backend) {
+  switch (backend) {
+    case LocalBackend::kCsr:
+      return "csr";
+    case LocalBackend::kSell:
+      return "sell";
+  }
+  return "?";
+}
+
+std::unique_ptr<LocalKernel> make_local_kernel(const DistMatrix& matrix,
+                                               LocalBackend backend,
+                                               int workers, int sell_chunk,
+                                               int sell_sigma) {
+  switch (backend) {
+    case LocalBackend::kCsr:
+      return std::make_unique<CsrLocalKernel>(matrix.local(),
+                                              matrix.owned_rows(), workers);
+    case LocalBackend::kSell:
+      return std::make_unique<SellLocalKernel>(matrix.local(),
+                                               matrix.owned_rows(), workers,
+                                               sell_chunk, sell_sigma);
+  }
+  throw std::logic_error("make_local_kernel: unknown backend");
+}
 
 Timings& Timings::operator+=(const Timings& other) {
   gather_s += other.gather_s;
@@ -25,9 +140,11 @@ void SpmvEngine::set_trace(util::Timeline* trace, std::string lane_prefix) {
   trace_prefix_ = std::move(lane_prefix);
 }
 
-SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant)
+SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant,
+                       EngineOptions options)
     : matrix_(matrix),
       variant_(variant),
+      options_(options),
       team_(threads),
       compute_threads_(variant == Variant::kTaskMode ? threads - 1 : threads) {
   if (variant == Variant::kTaskMode && threads < 2) {
@@ -35,8 +152,8 @@ SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant)
         "SpmvEngine: task mode needs a communication thread plus at least "
         "one worker");
   }
-  worker_rows_ = team::nnz_balanced_boundaries(matrix.local().row_ptr(),
-                                               compute_threads_);
+  kernel_ = make_local_kernel(matrix, options_.backend, compute_threads_,
+                              options_.sell_chunk, options_.sell_sigma);
   send_buffers_.resize(matrix.plan().send_blocks.size());
   for (std::size_t s = 0; s < send_buffers_.size(); ++s) {
     send_buffers_[s].resize(matrix.plan().send_blocks[s].gather.size());
@@ -116,8 +233,6 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
   Timings t;
   util::Timer total;
   const auto& plan = matrix_.plan();
-  const auto& local = matrix_.local();
-  const index_t owned = matrix_.owned_rows();
 
   std::vector<minimpi::Request> requests;
   requests.reserve(plan.recv_blocks.size() + plan.send_blocks.size());
@@ -141,15 +256,11 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
   }
   post_sends(requests);
 
-  const auto run_chunks = [&](auto&& kernel, const char* phase_label,
-                              char glyph) {
+  const auto run_phase = [&](auto&& phase, const char* phase_label,
+                             char glyph) {
     team_.execute([&](int id) {
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
-      const auto begin =
-          static_cast<index_t>(worker_rows_[static_cast<std::size_t>(id)]);
-      const auto end = static_cast<index_t>(
-          worker_rows_[static_cast<std::size_t>(id) + 1]);
-      kernel(begin, end);
+      phase(id);
       if (trace_ != nullptr) {
         trace_->record(trace_prefix_ + "t" + std::to_string(id), phase_label,
                        trace_begin, trace_->now(), glyph);
@@ -172,33 +283,22 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
     // Fig. 4(a): finish communication, then one full kernel sweep.
     t.comm_s = traced_waitall();
     util::Timer timer;
-    run_chunks(
-        [&](index_t begin, index_t end) {
-          sparse::spmv_rows(local, begin, end, x.full(), y.owned());
-        },
-        "spMVM of all elements", '#');
+    run_phase([&](int id) { kernel_->full(id, x.full(), y.owned()); },
+              "spMVM of all elements", '#');
     t.local_s = timer.seconds();
   } else {
     // Fig. 4(b): local part first — but with deferred progress nothing
     // moves until Waitall.
     {
       util::Timer timer;
-      run_chunks(
-          [&](index_t begin, index_t end) {
-            sparse::spmv_local_rows(local, owned, begin, end, x.full(),
-                                    y.owned());
-          },
-          "spMVM: local elements", '#');
+      run_phase([&](int id) { kernel_->local(id, x.full(), y.owned()); },
+                "spMVM: local elements", '#');
       t.local_s = timer.seconds();
     }
     t.comm_s = traced_waitall();
     util::Timer timer;
-    run_chunks(
-        [&](index_t begin, index_t end) {
-          sparse::spmv_nonlocal_rows(local, owned, begin, end, x.full(),
-                                     y.owned());
-        },
-        "spMVM: non-local elements", 'n');
+    run_phase([&](int id) { kernel_->nonlocal(id, x.full(), y.owned()); },
+              "spMVM: non-local elements", 'n');
     t.nonlocal_s = timer.seconds();
   }
   t.total_s = total.seconds();
@@ -209,8 +309,6 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
   Timings t;
   util::Timer total;
   const auto& plan = matrix_.plan();
-  const auto& local = matrix_.local();
-  const index_t owned = matrix_.owned_rows();
 
   std::vector<minimpi::Request> requests;
   requests.reserve(plan.recv_blocks.size() + plan.send_blocks.size());
@@ -265,14 +363,10 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
       }
     }
     gather_done.arrive_and_wait();
-    const auto begin =
-        static_cast<index_t>(worker_rows_[static_cast<std::size_t>(worker)]);
-    const auto end = static_cast<index_t>(
-        worker_rows_[static_cast<std::size_t>(worker) + 1]);
     {
       util::Timer timer;
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
-      sparse::spmv_local_rows(local, owned, begin, end, x.full(), y.owned());
+      kernel_->local(worker, x.full(), y.owned());
       if (trace_ != nullptr) {
         trace_->record(lane, "spMVM: local elements", trace_begin,
                        trace_->now(), '#');
@@ -286,8 +380,7 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
     comm_done.arrive_and_wait();
     {
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
-      sparse::spmv_nonlocal_rows(local, owned, begin, end, x.full(),
-                                 y.owned());
+      kernel_->nonlocal(worker, x.full(), y.owned());
       if (trace_ != nullptr) {
         trace_->record(lane, "spMVM: non-local elements", trace_begin,
                        trace_->now(), 'n');

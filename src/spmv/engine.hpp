@@ -11,11 +11,17 @@
 //      executes Isend/Waitall while the remaining threads run the local
 //      spMVM; work is distributed explicitly (contiguous nonzero chunks
 //      per compute thread), since OpenMP has no subteams.
+//
+// The node-level compute phase of every variant runs through a pluggable
+// LocalKernel backend: CRS (the paper's format) or SELL-C-sigma
+// (Kreutzer et al., arXiv:1112.5588) — both support the full sweep and
+// the split local/non-local pair, so the overlap strategies compose with
+// either storage format.
 #pragma once
 
-#include <vector>
-
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "spmv/dist_matrix.hpp"
 #include "spmv/dist_vector.hpp"
@@ -30,6 +36,50 @@ enum class Variant {
   kVectorNaiveOverlap,
   kTaskMode,
 };
+
+/// Storage format of the node-level compute phase.
+enum class LocalBackend {
+  kCsr,
+  kSell,
+};
+
+/// "csr" -> kCsr, "sell" -> kSell; throws std::invalid_argument otherwise.
+LocalBackend parse_backend(const std::string& name);
+const char* backend_name(LocalBackend backend);
+
+/// Engine construction knobs beyond the (matrix, threads, variant) core.
+struct EngineOptions {
+  LocalBackend backend = LocalBackend::kCsr;
+  int sell_chunk = 32;   ///< SELL-C-sigma chunk height C
+  int sell_sigma = 256;  ///< SELL-C-sigma sorting window
+};
+
+/// Node-level compute backend: runs one worker's share of the local row
+/// block, as the full sweep or the split local/non-local pair. A worker's
+/// share (contiguous rows for CRS, contiguous chunks for SELL, balanced
+/// by nonzeros/slots) is fixed at construction, so both split phases of a
+/// row always execute on the same worker and the sweeps are race-free.
+class LocalKernel {
+ public:
+  virtual ~LocalKernel() = default;
+
+  /// y(rows of worker's share) = A x over all entries.
+  virtual void full(int worker, std::span<const sparse::value_t> x,
+                    std::span<sparse::value_t> y) const = 0;
+  /// y(share) = A x over entries with column < local_cols.
+  virtual void local(int worker, std::span<const sparse::value_t> x,
+                     std::span<sparse::value_t> y) const = 0;
+  /// y(share) += A x over entries with column >= local_cols.
+  virtual void nonlocal(int worker, std::span<const sparse::value_t> x,
+                        std::span<sparse::value_t> y) const = 0;
+};
+
+/// Build the backend for `matrix`'s local block, distributing work over
+/// `workers` shares. SELL parameters are ignored by the CSR backend.
+std::unique_ptr<LocalKernel> make_local_kernel(const DistMatrix& matrix,
+                                               LocalBackend backend,
+                                               int workers, int sell_chunk,
+                                               int sell_sigma);
 
 /// Wall-clock phase attribution of one apply(). Phases overlap in task
 /// mode, so the sum can exceed total_s there.
@@ -47,13 +97,15 @@ class SpmvEngine {
  public:
   /// `threads`: team size per rank. Task mode needs >= 2 (one
   /// communication thread + at least one worker).
-  SpmvEngine(const DistMatrix& matrix, int threads, Variant variant);
+  SpmvEngine(const DistMatrix& matrix, int threads, Variant variant,
+             EngineOptions options = {});
 
   /// y(owned) = A * x. x's halo segment is overwritten with fresh remote
   /// values. Collective across the matrix's communicator.
   Timings apply(DistVector& x, DistVector& y);
 
   [[nodiscard]] Variant variant() const { return variant_; }
+  [[nodiscard]] LocalBackend backend() const { return options_.backend; }
   [[nodiscard]] int threads() const { return team_.size(); }
   [[nodiscard]] int compute_threads() const { return compute_threads_; }
 
@@ -90,10 +142,11 @@ class SpmvEngine {
 
   const DistMatrix& matrix_;
   Variant variant_;
+  EngineOptions options_;
   team::ThreadTeam team_;
   int compute_threads_;
-  /// Contiguous nonzero-balanced row chunks, one per compute thread.
-  std::vector<std::int64_t> worker_rows_;
+  /// Format-pluggable node-level compute, one share per compute thread.
+  std::unique_ptr<LocalKernel> kernel_;
   /// One packed buffer per send block.
   std::vector<util::AlignedVector<sparse::value_t>> send_buffers_;
   util::Timeline* trace_ = nullptr;

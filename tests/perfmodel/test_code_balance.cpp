@@ -57,6 +57,48 @@ TEST(CodeBalance, SplitBalanceAlwaysLarger) {
   }
 }
 
+TEST(CodeBalance, SellReducesToCrsWithoutPadding) {
+  // beta = 1 (no padded slots): SELL-C-sigma streams exactly the CRS
+  // volume minus row_ptr, which Eq. 1 ignores anyway.
+  for (double nnzr : {5.0, 15.0, 40.0}) {
+    for (double kappa : {0.0, 2.5}) {
+      EXPECT_DOUBLE_EQ(sell_code_balance(nnzr, kappa, 1.0),
+                       crs_code_balance(nnzr, kappa));
+      EXPECT_DOUBLE_EQ(split_sell_code_balance(nnzr, kappa, 1.0),
+                       split_crs_code_balance(nnzr, kappa));
+    }
+  }
+}
+
+TEST(CodeBalance, SellPaddingScalesMatrixTerm) {
+  // Each padded slot adds 12 B of val+col traffic but no flops: the
+  // 6 byte/flop matrix term scales with beta, the rest does not.
+  EXPECT_DOUBLE_EQ(sell_code_balance(15.0, 0.0, 1.5) -
+                       sell_code_balance(15.0, 0.0, 1.0),
+                   6.0 * 0.5);
+  EXPECT_LT(sell_code_balance(10.0, 1.0, 1.1),
+            sell_code_balance(10.0, 1.0, 1.4));
+}
+
+TEST(CodeBalance, SplitSellAddsResultSweep) {
+  // The split variant pays Eq. 2's extra 8/Nnzr on top, independent of
+  // the padding ratio.
+  for (double beta : {1.0, 1.25, 2.0}) {
+    EXPECT_NEAR(split_sell_code_balance(12.0, 2.5, beta) -
+                    sell_code_balance(12.0, 2.5, beta),
+                8.0 / 12.0, 1e-12);
+  }
+}
+
+TEST(CodeBalance, SellInvalidArgsThrow) {
+  EXPECT_THROW((void)sell_code_balance(0.0, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)sell_code_balance(15.0, 0.0, 0.9),
+               std::invalid_argument);
+  EXPECT_THROW((void)split_sell_code_balance(15.0, 0.0, 0.0),
+               std::invalid_argument);
+}
+
 TEST(CodeBalance, RooflineCapsAtPeak) {
   EXPECT_DOUBLE_EQ(roofline(1e12, 1.0, 5e9), 5e9);
   EXPECT_DOUBLE_EQ(roofline(1e9, 1.0, 5e9), 1e9);

@@ -5,6 +5,7 @@
 #include "matgen/poisson.hpp"
 #include "matgen/random_matrix.hpp"
 #include "sparse/kernels.hpp"
+#include "team/thread_team.hpp"
 #include "util/prng.hpp"
 
 namespace hspmv::sparse {
@@ -124,6 +125,136 @@ TEST(Sell, RowsNotMultipleOfChunk) {
   spmv(a, x, y_csr);
   s.spmv(x, y_sell);
   expect_same_result(a, y_csr, y_sell, "sell-ragged");
+}
+
+TEST(Sell, SigmaNotMultipleOfChunk) {
+  // A ragged sorting window (sigma = 13 over chunks of 8) exercises the
+  // partial last window of each scope and the partial last chunk (45 rows).
+  const CsrMatrix a = matgen::random_power_law(45, 3, 0.8, 11);
+  const auto s = SellMatrix::from_csr(a, 8, 13);
+  const auto x = random_vector(45, 6);
+  std::vector<value_t> y_csr(45), y_sell(45, -2.0);
+  spmv(a, x, y_csr);
+  s.spmv(x, y_sell);
+  expect_same_result(a, y_csr, y_sell, "sell-ragged-sigma");
+}
+
+TEST(Sell, EmptyRowsHandled) {
+  // Empty rows sort to the back of their sigma-window and store zero real
+  // entries; the kernel must still write y = 0 for them.
+  CooBuilder b(9, 9);
+  b.add(0, 1, 2.0);
+  b.add(4, 8, 3.0);
+  b.add(4, 0, 1.0);
+  const CsrMatrix a(9, 9, b.finish());
+  const auto s = SellMatrix::from_csr(a, 4, 9);
+  std::vector<value_t> x(9, 1.0), y(9, -5.0);
+  s.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[4], 4.0);
+  for (const std::size_t i : {1u, 2u, 3u, 5u, 6u, 7u, 8u}) {
+    EXPECT_DOUBLE_EQ(y[i], 0.0) << "row " << i;
+  }
+}
+
+TEST(Sell, PermutationRoundTrip) {
+  // permutation()[r] gives the original row stored at permuted slot r; the
+  // kernel must scatter results back so y is in original row order.
+  const CsrMatrix a = matgen::random_power_law(100, 3, 0.7, 4);
+  const auto s = SellMatrix::from_csr(a, 8, 100);
+  const auto perm = s.permutation();
+  ASSERT_EQ(perm.size(), 100u);
+  std::vector<bool> seen(100, false);
+  for (const index_t p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 100);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p)]) << "duplicate " << p;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  // Unit vectors: SELL row `perm[r]` must land at y[perm[r]], i.e. the
+  // product equals the CSR product column by column.
+  std::vector<value_t> x(100, 0.0), y_csr(100), y_sell(100);
+  for (const std::size_t j : {0u, 37u, 99u}) {
+    x.assign(100, 0.0);
+    x[j] = 1.0;
+    spmv(a, x, y_csr);
+    s.spmv(x, y_sell);
+    expect_same_result(a, y_csr, y_sell, "sell-perm");
+  }
+}
+
+TEST(Sell, SplitPairSumsToFull) {
+  // The distributed engine's usage: local prefix + non-local suffix of
+  // each (column-sorted) row must reproduce the full product.
+  const CsrMatrix a = matgen::random_sparse(200, 9, 14);
+  const auto x = random_vector(200, 7);
+  std::vector<value_t> y_full(200);
+  spmv(a, x, y_full);
+  for (const auto& [chunk, sigma] :
+       {std::pair{4, 4}, std::pair{8, 64}, std::pair{32, 200}}) {
+    const auto s = SellMatrix::from_csr(a, chunk, sigma);
+    for (const index_t split : {0, 1, 97, 199, 200}) {
+      std::vector<value_t> y(200, 42.0);
+      s.spmv_local(split, x, y);
+      s.spmv_nonlocal(split, x, y);
+      expect_same_result(a, y_full, y, "sell-split");
+    }
+  }
+}
+
+TEST(Sell, SplitLocalAllColumnsEqualsFull) {
+  const CsrMatrix a = matgen::random_sparse(150, 6, 9);
+  const auto s = SellMatrix::from_csr(a, 16, 150);
+  const auto x = random_vector(150, 8);
+  std::vector<value_t> y_full(150), y_local(150, 1.0), y_nonlocal(150, 1.0);
+  s.spmv(x, y_full);
+  s.spmv_local(150, x, y_local);
+  for (std::size_t i = 0; i < 150; ++i) {
+    EXPECT_DOUBLE_EQ(y_local[i], y_full[i]) << "row " << i;
+  }
+  // All columns non-local: the local phase zeroes, the suffix adds all.
+  s.spmv_local(0, x, y_nonlocal);
+  s.spmv_nonlocal(0, x, y_nonlocal);
+  for (std::size_t i = 0; i < 150; ++i) {
+    EXPECT_DOUBLE_EQ(y_nonlocal[i], y_full[i]) << "row " << i;
+  }
+}
+
+TEST(Sell, ParallelMatchesSequential) {
+  const CsrMatrix a = matgen::random_power_law(777, 4, 0.6, 19);
+  const auto s = SellMatrix::from_csr(a, 32, 256);
+  const auto x = random_vector(777, 9);
+  std::vector<value_t> y_seq(777), y_par(777, -3.0);
+  s.spmv(x, y_seq);
+  for (const int threads : {1, 2, 4, 7}) {
+    team::ThreadTeam team(threads);
+    y_par.assign(777, -3.0);
+    s.spmv_parallel(x, y_par, team);
+    for (std::size_t i = 0; i < 777; ++i) {
+      EXPECT_DOUBLE_EQ(y_par[i], y_seq[i])
+          << "row " << i << " threads " << threads;
+    }
+    // Parallel split pair against the full product.
+    y_par.assign(777, -3.0);
+    s.spmv_local_parallel(300, x, y_par, team);
+    s.spmv_nonlocal_parallel(300, x, y_par, team);
+    expect_same_result(a, y_seq, y_par, "sell-split-parallel");
+  }
+}
+
+TEST(Sell, StorageBytesAccounting) {
+  const CsrMatrix a = matgen::random_sparse(256, 8, 33);
+  const auto s = SellMatrix::from_csr(a, 32, 256);
+  // At least 12 B per stored slot (val + col) plus the permutation.
+  const auto slots =
+      static_cast<std::size_t>(s.padding_ratio() *
+                               static_cast<double>(a.nnz()));
+  EXPECT_GE(s.storage_bytes(), slots * 12 + 256 * sizeof(index_t));
+  // At equal chunk size the metadata is identical, so the unsorted build
+  // (sigma = 1, more padding) can only cost more bytes.
+  const auto unsorted = SellMatrix::from_csr(a, 32, 1);
+  EXPECT_GE(unsorted.padding_ratio(), s.padding_ratio());
+  EXPECT_GE(unsorted.storage_bytes(), s.storage_bytes());
 }
 
 }  // namespace

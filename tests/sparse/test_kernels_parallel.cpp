@@ -1,0 +1,122 @@
+// Thread-parallel CRS kernel equivalence: for every thread count the
+// parallel kernels must reproduce the sequential reference — bitwise for
+// the monolithic sweep (identical per-row accumulation order regardless
+// of the chunking) and to tolerance for compositions whose association
+// differs (the split pair).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/paper_matrices.hpp"
+#include "matgen/random_matrix.hpp"
+#include "sparse/kernels.hpp"
+#include "team/thread_team.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::sparse {
+namespace {
+
+std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<value_t> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+struct TestMatrix {
+  const char* name;
+  CsrMatrix matrix;
+};
+
+std::vector<TestMatrix> test_matrices() {
+  std::vector<TestMatrix> matrices;
+  matrices.push_back({"banded", matgen::random_banded(600, 60, 9, 42)});
+  matrices.push_back(
+      {"power-law", matgen::random_power_law(500, 5, 0.7, 13)});
+  matrices.push_back({"HMeP scale 0", bench::make_hmep(0).matrix});
+  return matrices;
+}
+
+class ParallelKernels : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelKernels, FullSweepBitwiseEqualsSequential) {
+  team::ThreadTeam team(GetParam());
+  for (const auto& [name, a] : test_matrices()) {
+    const auto b = random_vector(static_cast<std::size_t>(a.cols()), 1);
+    std::vector<value_t> sequential(static_cast<std::size_t>(a.rows()));
+    std::vector<value_t> parallel(static_cast<std::size_t>(a.rows()), -7.0);
+    spmv(a, b, sequential);
+    spmv_parallel(a, b, parallel, team);
+    for (index_t i = 0; i < a.rows(); ++i) {
+      EXPECT_DOUBLE_EQ(parallel[static_cast<std::size_t>(i)],
+                       sequential[static_cast<std::size_t>(i)])
+          << name << " row " << i << " threads " << GetParam();
+    }
+  }
+}
+
+TEST_P(ParallelKernels, GeneralAlphaBetaEqualsSequential) {
+  team::ThreadTeam team(GetParam());
+  for (const auto& [name, a] : test_matrices()) {
+    const auto b = random_vector(static_cast<std::size_t>(a.cols()), 2);
+    auto sequential = random_vector(static_cast<std::size_t>(a.rows()), 3);
+    auto parallel = sequential;
+    spmv_general(1.5, a, b, -0.25, sequential);
+    spmv_general_parallel(1.5, a, b, -0.25, parallel, team);
+    for (index_t i = 0; i < a.rows(); ++i) {
+      EXPECT_DOUBLE_EQ(parallel[static_cast<std::size_t>(i)],
+                       sequential[static_cast<std::size_t>(i)])
+          << name << " row " << i << " threads " << GetParam();
+    }
+  }
+}
+
+TEST_P(ParallelKernels, SplitPairSumsToFullProduct) {
+  team::ThreadTeam team(GetParam());
+  for (const auto& [name, a] : test_matrices()) {
+    // A mid-matrix split: entries exist on both sides.
+    const index_t local_cols = a.cols() / 2;
+    const auto b = random_vector(static_cast<std::size_t>(a.cols()), 4);
+    std::vector<value_t> full(static_cast<std::size_t>(a.rows()));
+    std::vector<value_t> split(static_cast<std::size_t>(a.rows()), 99.0);
+    spmv(a, b, full);
+    spmv_local_parallel(a, local_cols, b, split, team);
+    spmv_nonlocal_parallel(a, local_cols, b, split, team);
+    for (index_t i = 0; i < a.rows(); ++i) {
+      EXPECT_NEAR(split[static_cast<std::size_t>(i)],
+                  full[static_cast<std::size_t>(i)], 1e-12)
+          << name << " row " << i << " threads " << GetParam();
+    }
+  }
+}
+
+TEST_P(ParallelKernels, SplitPhasesMatchSequentialSplit) {
+  team::ThreadTeam team(GetParam());
+  const CsrMatrix a = matgen::random_sparse(700, 8, 5);
+  const index_t local_cols = 300;
+  const auto b = random_vector(700, 5);
+  std::vector<value_t> seq_local(700), par_local(700, -1.0);
+  spmv_local(a, local_cols, b, seq_local);
+  spmv_local_parallel(a, local_cols, b, par_local, team);
+  std::vector<value_t> seq_both = seq_local, par_both = par_local;
+  spmv_nonlocal(a, local_cols, b, seq_both);
+  spmv_nonlocal_parallel(a, local_cols, b, par_both, team);
+  for (std::size_t i = 0; i < 700; ++i) {
+    EXPECT_DOUBLE_EQ(par_local[i], seq_local[i]) << "local row " << i;
+    EXPECT_DOUBLE_EQ(par_both[i], seq_both[i]) << "nonlocal row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelKernels,
+                         ::testing::Values(1, 2, 4, 7));
+
+TEST(ParallelKernels, SizeMismatchThrows) {
+  team::ThreadTeam team(2);
+  const CsrMatrix a = matgen::random_sparse(10, 3, 1);
+  std::vector<value_t> small_b(4), c(10);
+  EXPECT_THROW(spmv_parallel(a, small_b, c, team), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::sparse
