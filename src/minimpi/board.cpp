@@ -5,7 +5,63 @@
 
 namespace hspmv::minimpi {
 
-Board::Board(const RuntimeOptions& options) : options_(options) {}
+Board::Board(const RuntimeOptions& options)
+    : options_(options), fault_(options.chaos) {}
+
+void Board::fail_request_locked(const std::shared_ptr<RequestState>& request,
+                                const std::string& message) {
+  if (request == nullptr || request->complete) return;
+  request->error = message;
+  request->complete = true;
+}
+
+void Board::poison_locked(const std::string& message) {
+  if (!poison_error_.empty()) return;  // first failure wins
+  poison_error_ = message;
+  for (auto& op : unmatched_sends_) fail_request_locked(op.request, message);
+  for (auto& op : unmatched_recvs_) fail_request_locked(op.request, message);
+  for (auto& t : ready_) {
+    fail_request_locked(t.send_request, message);
+    fail_request_locked(t.recv_request, message);
+  }
+  for (auto& t : in_flight_) {
+    fail_request_locked(t.send_request, message);
+    fail_request_locked(t.recv_request, message);
+  }
+  // Drop everything: no payload ever moves again, so aborting ranks may
+  // free their buffers without a transfer writing into them.
+  unmatched_sends_.clear();
+  unmatched_recvs_.clear();
+  ready_.clear();
+  in_flight_.clear();
+  cv_.notify_all();
+}
+
+void Board::enqueue_transfer_locked(Transfer&& transfer) {
+  const std::uint64_t match_index = matched_messages_++;
+  if (fault_.enabled()) {
+    if (fault_.should_fail_transfer(match_index)) {
+      const std::string message =
+          "minimpi: injected transfer failure (message " +
+          std::to_string(match_index) + ", chaos seed " +
+          std::to_string(fault_.config().seed) + ")";
+      fail_request_locked(transfer.send_request, message);
+      fail_request_locked(transfer.recv_request, message);
+      poison_locked(message);
+      return;
+    }
+    transfer.hold_rounds = fault_.match_hold_rounds();
+    if (!ready_.empty() && fault_.reorder_delivery()) {
+      // Completion order across distinct requests is unordered in MPI
+      // (matching already happened FIFO), so any queue slot is legal.
+      const auto slot = static_cast<std::ptrdiff_t>(
+          fault_.pick_insert_position(ready_.size()));
+      ready_.insert(ready_.begin() + slot, std::move(transfer));
+      return;
+    }
+  }
+  ready_.push_back(std::move(transfer));
+}
 
 std::shared_ptr<RequestState> Board::post_send(std::uint64_t comm_id,
                                                int source, int dest, int tag,
@@ -35,6 +91,11 @@ std::shared_ptr<RequestState> Board::post_send(std::uint64_t comm_id,
   }
 
   std::unique_lock<std::mutex> lock(mutex_);
+  if (!poison_error_.empty()) {
+    op.request->error = poison_error_;
+    op.request->complete = true;
+    return op.request;
+  }
   for (auto it = unmatched_recvs_.begin(); it != unmatched_recvs_.end();
        ++it) {
     if (match_locked(op, *it)) {
@@ -55,11 +116,11 @@ std::shared_ptr<RequestState> Board::post_send(std::uint64_t comm_id,
       }
       recv.request->matched_tag = op.tag;
       recv.request->matched_source = op.source;
-      ready_.push_back(Transfer{op.send_data, recv.recv_data, op.bytes,
-                                op.source, op.dest, op.tag, op.global_source,
-                                op.global_dest, op.request, recv.request,
-                                op.eager_copy,
-                                {}});
+      enqueue_transfer_locked(Transfer{op.send_data, recv.recv_data, op.bytes,
+                                       op.source, op.dest, op.tag,
+                                       op.global_source, op.global_dest,
+                                       op.request, recv.request, op.eager_copy,
+                                       {}, 0});
       cv_.notify_all();
       return op.request;
     }
@@ -88,6 +149,11 @@ std::shared_ptr<RequestState> Board::post_recv(std::uint64_t comm_id,
   op.request->active = true;
 
   std::unique_lock<std::mutex> lock(mutex_);
+  if (!poison_error_.empty()) {
+    op.request->error = poison_error_;
+    op.request->complete = true;
+    return op.request;
+  }
   for (auto it = unmatched_sends_.begin(); it != unmatched_sends_.end();
        ++it) {
     if (match_locked(*it, op)) {
@@ -109,11 +175,11 @@ std::shared_ptr<RequestState> Board::post_recv(std::uint64_t comm_id,
       }
       op.request->matched_tag = send.tag;
       op.request->matched_source = send.source;
-      ready_.push_back(Transfer{send.send_data, op.recv_data, send.bytes,
-                                send.source, send.dest, send.tag,
-                                send.global_source, send.global_dest,
-                                send.request, op.request, send.eager_copy,
-                                {}});
+      enqueue_transfer_locked(Transfer{send.send_data, op.recv_data,
+                                       send.bytes, send.source, send.dest,
+                                       send.tag, send.global_source,
+                                       send.global_dest, send.request,
+                                       op.request, send.eager_copy, {}, 0});
       cv_.notify_all();
       return op.request;
     }
@@ -129,9 +195,17 @@ bool Board::match_locked(PendingOp& send, PendingOp& recv) {
          (recv.tag == kAnyTag || recv.tag == send.tag);
 }
 
-void Board::start_ready_locked(int rank, Clock::time_point now) {
+bool Board::start_ready_locked(int rank, Clock::time_point now) {
+  bool held_any = false;
   for (auto it = ready_.begin(); it != ready_.end();) {
     if (involves(*it, rank)) {
+      if (it->hold_rounds > 0) {
+        // Chaos hold: this progress visit does not start the transfer.
+        --it->hold_rounds;
+        held_any = true;
+        ++it;
+        continue;
+      }
       Transfer transfer = *it;
       double seconds = options_.latency_seconds;
       if (options_.bytes_per_second > 0.0) {
@@ -147,6 +221,7 @@ void Board::start_ready_locked(int rank, Clock::time_point now) {
       ++it;
     }
   }
+  return held_any;
 }
 
 bool Board::complete_due_locked(int rank, Clock::time_point now,
@@ -191,7 +266,7 @@ void Board::wait_all(
   std::vector<TransferRecord> records;
   while (true) {
     const auto now = Clock::now();
-    start_ready_locked(rank, now);
+    const bool held = start_ready_locked(rank, now);
     if (complete_due_locked(rank, now, records)) {
       lock.unlock();
       fire_hooks(records);
@@ -223,7 +298,10 @@ void Board::wait_all(
     }
 
     const auto deadline = next_deadline_locked(rank);
-    const auto cap = now + std::chrono::milliseconds(50);
+    // Poll fast while chaos holds a transfer back so holds drain in
+    // bounded time even when this rank is the only progress actor.
+    const auto cap = now + (held ? std::chrono::milliseconds(1)
+                                 : std::chrono::milliseconds(50));
     cv_.wait_until(lock, deadline < cap ? deadline : cap);
   }
 }
@@ -239,6 +317,16 @@ bool Board::test(int rank, const std::shared_ptr<RequestState>& request) {
       throw std::runtime_error(request->error);
     }
     if (!request->complete) return false;
+    if (fault_.enabled() &&
+        request->chaos_test_lies <
+            fault_.config().max_spurious_test_per_request &&
+        fault_.lie_about_completion()) {
+      // Chaos retry storm: report the complete request as still pending a
+      // bounded number of times. Legal — completion observation time is
+      // an implementation detail.
+      ++request->chaos_test_lies;
+      return false;
+    }
     request->active = false;
   }
   fire_hooks(records);
@@ -251,7 +339,7 @@ void Board::progress_thread_main() {
   std::vector<TransferRecord> records;
   while (true) {
     const auto now = Clock::now();
-    start_ready_locked(-1, now);
+    const bool held = start_ready_locked(-1, now);
     if (complete_due_locked(-1, now, records)) {
       lock.unlock();
       fire_hooks(records);
@@ -262,7 +350,8 @@ void Board::progress_thread_main() {
     }
     if (shutdown_ && ready_.empty() && in_flight_.empty()) return;
     const auto deadline = next_deadline_locked(-1);
-    const auto cap = now + std::chrono::milliseconds(50);
+    const auto cap = now + (held ? std::chrono::milliseconds(1)
+                                 : std::chrono::milliseconds(50));
     cv_.wait_until(lock, deadline < cap ? deadline : cap);
   }
 }

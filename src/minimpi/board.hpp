@@ -37,6 +37,9 @@ struct RequestState {
   int matched_tag = 0;     ///< actual tag (for kAnyTag receives)
   int matched_source = 0;  ///< actual source
   std::string error;       ///< nonempty on failure; rethrown at wait()
+  /// Times the chaos layer reported this complete request as pending
+  /// (bounded by ChaosConfig::max_spurious_test_per_request).
+  int chaos_test_lies = 0;
 };
 
 class Board {
@@ -74,6 +77,11 @@ class Board {
 
   [[nodiscard]] RunStats stats() const;
 
+  /// The chaos layer's decision source (never null; disabled when the
+  /// runtime options carry no chaos). Collective slots borrow it for
+  /// barrier jitter.
+  [[nodiscard]] FaultInjector* fault() { return &fault_; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -105,6 +113,8 @@ class Board {
     std::shared_ptr<RequestState> recv_request;
     std::shared_ptr<std::vector<char>> eager_copy;  // keeps src alive
     Clock::time_point deadline{};  // set when the transfer starts
+    /// Chaos: progress visits to skip before this transfer may start.
+    int hold_rounds = 0;
   };
 
   [[nodiscard]] bool involves(const Transfer& t, int rank) const {
@@ -112,8 +122,23 @@ class Board {
   }
 
   /// Move ready transfers involving `rank` into flight (stamping their
-  /// completion deadlines). Lock held.
-  void start_ready_locked(int rank, Clock::time_point now);
+  /// completion deadlines). Lock held. Returns true if chaos held any
+  /// transfer involving `rank` back — callers then poll on a short cap so
+  /// the hold drains quickly.
+  bool start_ready_locked(int rank, Clock::time_point now);
+
+  /// Route a freshly matched transfer through the chaos layer (hold,
+  /// reorder, injected failure) into the ready queue. Lock held.
+  void enqueue_transfer_locked(Transfer&& transfer);
+
+  /// Irrecoverable failure: error and complete every pending request,
+  /// drop all queued/in-flight transfers (no further payload copies), and
+  /// make every future post fail with `message`. Lock held.
+  void poison_locked(const std::string& message);
+
+  /// Error + complete one request unless it already completed cleanly.
+  static void fail_request_locked(const std::shared_ptr<RequestState>& request,
+                                  const std::string& message);
 
   /// Complete in-flight transfers involving `rank` whose deadline passed:
   /// copy payloads, flip completion flags, collect hook records. Lock
@@ -130,6 +155,7 @@ class Board {
   bool match_locked(PendingOp& send, PendingOp& recv);
 
   RuntimeOptions options_;
+  FaultInjector fault_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<PendingOp> unmatched_sends_;
@@ -137,6 +163,8 @@ class Board {
   std::deque<Transfer> ready_;      // matched, not yet started
   std::deque<Transfer> in_flight_;  // started, waiting for the deadline
   bool shutdown_ = false;
+  std::string poison_error_;  ///< nonempty after an injected failure
+  std::uint64_t matched_messages_ = 0;
   std::uint64_t transferred_messages_ = 0;
   std::uint64_t transferred_bytes_ = 0;
 };

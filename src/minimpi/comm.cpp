@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 namespace hspmv::minimpi {
 
 namespace detail {
 
 void CollectiveSlots::barrier(int size) {
+  if (injector != nullptr && injector->enabled()) {
+    // Chaos: skew this rank's barrier arrival (and thereby the publish
+    // slots of every collective built on this barrier).
+    const auto jitter = injector->barrier_jitter();
+    if (jitter.count() > 0) std::this_thread::sleep_for(jitter);
+  }
   std::unique_lock<std::mutex> lock(mutex);
   if (aborted) {
     cv.notify_all();
@@ -62,10 +69,10 @@ bool Comm::test(Request& request) const {
   return state_->board->test(global_rank(), request.state());
 }
 
-void Comm::barrier() const { state_->slots->barrier(state_->size); }
+void Comm::barrier() const { collective_slots().barrier(state_->size); }
 
 Comm Comm::split(int color, int key) const {
-  auto& slots = *state_->slots;
+  auto& slots = collective_slots();
   slots.ints[2 * static_cast<std::size_t>(rank_)] = color;
   slots.ints[2 * static_cast<std::size_t>(rank_) + 1] = key;
   slots.barrier(state_->size);
@@ -105,6 +112,7 @@ Comm Comm::split(int color, int key) const {
     }
     child->slots =
         std::make_unique<detail::CollectiveSlots>(child->size);
+    child->slots->injector = child->board->fault();
     holder = new std::shared_ptr<detail::CommState>(std::move(child));
     slots.pointers[static_cast<std::size_t>(rank_)] = holder;
   }

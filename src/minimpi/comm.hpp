@@ -65,6 +65,10 @@ struct CollectiveSlots {
   bool sense = false;
   bool aborted = false;
 
+  /// Chaos layer (owned by the Board); jitters barrier arrival — and
+  /// thereby every collective's publish slots. Null or disabled: no-op.
+  FaultInjector* injector = nullptr;
+
   std::vector<const void*> pointers;
   std::vector<std::size_t> sizes;
   std::vector<std::int64_t> ints;
@@ -98,7 +102,10 @@ class Comm {
   /// color.
   [[nodiscard]] bool valid() const { return state_ != nullptr; }
   [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] int size() const { return state_->size; }
+  [[nodiscard]] int size() const {
+    if (!valid()) throw std::logic_error("minimpi: null communicator");
+    return state_->size;
+  }
   /// World (thread-identity) rank of this comm rank.
   [[nodiscard]] int global_rank() const {
     return state_->global_of[static_cast<std::size_t>(rank_)];
@@ -233,6 +240,13 @@ class Comm {
     }
   }
 
+  /// Entry guard of every collective: using the null communicator is a
+  /// logic error, as with p2p.
+  detail::CollectiveSlots& collective_slots() const {
+    if (!valid()) throw std::logic_error("minimpi: null communicator");
+    return *state_->slots;
+  }
+
   template <typename T>
   static T apply_op(T a, T b, ReduceOp op) {
     switch (op) {
@@ -258,7 +272,7 @@ template <typename T>
 void Comm::broadcast(std::span<T> data, int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
   check_peer(root);
-  auto& slots = *state_->slots;
+  auto& slots = collective_slots();
   if (rank_ == root) {
     slots.pointers[static_cast<std::size_t>(root)] = data.data();
     slots.sizes[static_cast<std::size_t>(root)] = data.size_bytes();
@@ -283,7 +297,7 @@ void Comm::allreduce(std::span<const T> contribution, std::span<T> result,
   if (contribution.size() != result.size()) {
     throw std::invalid_argument("allreduce: size mismatch");
   }
-  auto& slots = *state_->slots;
+  auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = contribution.data();
   slots.sizes[static_cast<std::size_t>(rank_)] = contribution.size_bytes();
   slots.barrier(state_->size);
@@ -307,7 +321,7 @@ void Comm::reduce(std::span<const T> contribution, std::span<T> result,
                   ReduceOp op, int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
   check_peer(root);
-  auto& slots = *state_->slots;
+  auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = contribution.data();
   slots.barrier(state_->size);
   if (rank_ == root) {
@@ -333,7 +347,7 @@ void Comm::reduce(std::span<const T> contribution, std::span<T> result,
 template <typename T>
 std::vector<T> Comm::allgather(const T& value) const {
   static_assert(std::is_trivially_copyable_v<T>);
-  auto& slots = *state_->slots;
+  auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = &value;
   slots.barrier(state_->size);
   std::vector<T> result(static_cast<std::size_t>(state_->size));
@@ -348,7 +362,7 @@ std::vector<T> Comm::allgather(const T& value) const {
 template <typename T>
 std::vector<T> Comm::allgatherv(std::span<const T> data) const {
   static_assert(std::is_trivially_copyable_v<T>);
-  auto& slots = *state_->slots;
+  auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = data.data();
   slots.sizes[static_cast<std::size_t>(rank_)] = data.size();
   slots.barrier(state_->size);
@@ -372,7 +386,7 @@ template <typename T>
 std::vector<T> Comm::gatherv(std::span<const T> data, int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
   check_peer(root);
-  auto& slots = *state_->slots;
+  auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = data.data();
   slots.sizes[static_cast<std::size_t>(rank_)] = data.size();
   slots.barrier(state_->size);
@@ -399,7 +413,7 @@ std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& chunks,
                               int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
   check_peer(root);
-  auto& slots = *state_->slots;
+  auto& slots = collective_slots();
   if (rank_ == root) {
     if (chunks.size() != static_cast<std::size_t>(state_->size)) {
       slots.abort();
@@ -419,7 +433,7 @@ std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& chunks,
 template <typename T>
 T Comm::exscan(const T& value, ReduceOp op) const {
   static_assert(std::is_trivially_copyable_v<T>);
-  auto& slots = *state_->slots;
+  auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = &value;
   slots.barrier(state_->size);
   T accumulator{};
@@ -440,7 +454,7 @@ std::vector<std::vector<T>> Comm::alltoallv(
   if (send.size() != static_cast<std::size_t>(state_->size)) {
     throw std::invalid_argument("alltoallv: need one bucket per rank");
   }
-  auto& slots = *state_->slots;
+  auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] =
       static_cast<const void*>(&send);
   slots.barrier(state_->size);

@@ -1,0 +1,47 @@
+#include "minimpi/fault.hpp"
+
+#include <algorithm>
+
+namespace hspmv::minimpi {
+
+bool FaultInjector::roll(double probability) {
+  if (!config_.enabled || probability <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rng_.uniform() < probability;
+}
+
+int FaultInjector::match_hold_rounds() {
+  if (config_.max_hold_rounds < 1 || !roll(config_.match_hold_probability)) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return 1 + static_cast<int>(rng_.bounded(
+                 static_cast<std::uint64_t>(config_.max_hold_rounds)));
+}
+
+bool FaultInjector::reorder_delivery() {
+  return roll(config_.reorder_probability);
+}
+
+std::size_t FaultInjector::pick_insert_position(std::size_t queue_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(
+      rng_.bounded(static_cast<std::uint64_t>(queue_size) + 1));
+}
+
+std::chrono::nanoseconds FaultInjector::barrier_jitter() {
+  if (config_.max_barrier_jitter_seconds <= 0.0 ||
+      !roll(config_.barrier_jitter_probability)) {
+    return std::chrono::nanoseconds{0};
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double seconds = rng_.uniform() * config_.max_barrier_jitter_seconds;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(seconds));
+}
+
+bool FaultInjector::lie_about_completion() {
+  return roll(config_.spurious_test_probability);
+}
+
+}  // namespace hspmv::minimpi

@@ -1,0 +1,115 @@
+// Seeded fault-injection (chaos) layer for the minimpi runtime.
+//
+// The engine's correctness claim — that all spMVM variants are numerically
+// interchangeable and differ only in how communication hides behind
+// computation — must hold under *any* legal communication schedule, not
+// just the happy path. A FaultInjector, driven by a ChaosConfig threaded
+// through RuntimeOptions, perturbs the runtime within the envelope MPI
+// semantics allow: it holds matched transfers back, reorders the delivery
+// queue, jitters barrier arrival, and makes test() spuriously report
+// "still pending" a bounded number of times. None of these may change any
+// computed result bitwise; the chaos test tier asserts exactly that.
+//
+// One knob is deliberately *outside* the legal envelope: a transfer error
+// injected on a chosen message, which poisons the board so every rank's
+// next library call throws std::runtime_error — verifying that the engine
+// surfaces communication failures cleanly instead of deadlocking.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "util/prng.hpp"
+
+namespace hspmv::minimpi {
+
+/// Chaos knobs. Default-constructed: everything off (zero overhead).
+struct ChaosConfig {
+  /// Master switch; disabled injectors make no PRNG draws at all.
+  bool enabled = false;
+  /// Seeds the decision streams. Two runs with the same seed draw the
+  /// same decision sequence (per decision point; the interleaving across
+  /// threads still follows the scheduler).
+  std::uint64_t seed = 0;
+
+  /// Probability that a freshly matched transfer is held back, and for
+  /// how many progress visits at most. Models delayed message matching /
+  /// a late progress engine.
+  double match_hold_probability = 0.3;
+  int max_hold_rounds = 3;
+
+  /// Probability that a matched transfer is inserted at a random position
+  /// of the delivery queue instead of the back. Completion order of
+  /// distinct requests is unordered in MPI, so any permutation is legal —
+  /// matching itself stays FIFO per (comm, source, dest, tag).
+  double reorder_probability = 0.3;
+
+  /// Probability and cap of a sleep injected at barrier arrival (and
+  /// thereby into every collective's publish slots). Models skewed rank
+  /// timing.
+  double barrier_jitter_probability = 0.4;
+  double max_barrier_jitter_seconds = 0.001;
+
+  /// Probability that test() reports an already-complete request as still
+  /// pending, bounded per request so polling loops terminate. Models the
+  /// retry storms of a slow progress engine.
+  double spurious_test_probability = 0.25;
+  int max_spurious_test_per_request = 8;
+
+  /// Index (in match order) of the message whose transfer fails, poisoning
+  /// the board: every pending and future request errors, and every rank's
+  /// next wait/test throws std::runtime_error. kNoFailure disables it.
+  static constexpr std::uint64_t kNoFailure = ~std::uint64_t{0};
+  std::uint64_t fail_transfer_index = kNoFailure;
+
+  /// Everything on at the default intensities — the chaos tier's profile.
+  static ChaosConfig standard(std::uint64_t seed) {
+    ChaosConfig config;
+    config.enabled = true;
+    config.seed = seed;
+    return config;
+  }
+};
+
+/// Draws the chaos decisions. Thread-safe; every decision point consumes
+/// PRNG state under an internal lock, so two injectors built from the
+/// same config produce identical decision sequences.
+class FaultInjector {
+ public:
+  FaultInjector() = default;  ///< disabled
+  explicit FaultInjector(const ChaosConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const ChaosConfig& config() const { return config_; }
+
+  /// Rounds to hold a freshly matched transfer back; 0 = start normally.
+  int match_hold_rounds();
+
+  /// Whether to insert a matched transfer at a random delivery-queue slot.
+  bool reorder_delivery();
+  /// Insertion slot in [0, queue_size].
+  std::size_t pick_insert_position(std::size_t queue_size);
+
+  /// Sleep to inject before arriving at a collective barrier; zero = none.
+  std::chrono::nanoseconds barrier_jitter();
+
+  /// Whether test() should report a complete request as still pending
+  /// (caller enforces the per-request bound).
+  bool lie_about_completion();
+
+  /// True exactly for the configured fail index.
+  [[nodiscard]] bool should_fail_transfer(std::uint64_t match_index) const {
+    return config_.enabled && match_index == config_.fail_transfer_index;
+  }
+
+ private:
+  bool roll(double probability);
+
+  ChaosConfig config_{};
+  std::mutex mutex_;
+  util::Xoshiro256 rng_{0};
+};
+
+}  // namespace hspmv::minimpi

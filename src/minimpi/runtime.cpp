@@ -32,6 +32,7 @@ RunStats run(const RuntimeOptions& options,
   world->global_of.resize(static_cast<std::size_t>(options.ranks));
   std::iota(world->global_of.begin(), world->global_of.end(), 0);
   world->slots = std::make_unique<detail::CollectiveSlots>(options.ranks);
+  world->slots->injector = board.fault();
 
   std::mutex error_mutex;
   std::exception_ptr first_error;

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "minimpi/fault.hpp"
+
 namespace hspmv::minimpi {
 
 /// When message payloads actually move.
@@ -63,6 +65,8 @@ struct RuntimeOptions {
   /// Optional instrumentation hook, invoked after each completed p2p
   /// transfer (concurrently from multiple threads; must be thread-safe).
   std::function<void(const TransferRecord&)> on_transfer;
+  /// Seeded fault injection (see fault.hpp); disabled by default.
+  ChaosConfig chaos;
 };
 
 }  // namespace hspmv::minimpi

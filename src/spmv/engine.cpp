@@ -330,14 +330,22 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
       gather_done.arrive_and_wait();
       util::Timer timer;
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
-      post_sends(requests);
-      matrix_.comm().wait_all(requests);
+      // A failed halo exchange must not strand the workers at the
+      // comm_done barrier: arrive first, rethrow after.
+      std::exception_ptr comm_error;
+      try {
+        post_sends(requests);
+        matrix_.comm().wait_all(requests);
+      } catch (...) {
+        comm_error = std::current_exception();
+      }
       t.comm_s = timer.seconds();
       if (trace_ != nullptr) {
         trace_->record(lane, "comm thread: MPI_Isend + MPI_Waitall",
                        trace_begin, trace_->now(), 'W');
       }
       comm_done.arrive_and_wait();
+      if (comm_error) std::rethrow_exception(comm_error);
       // "One thread executes MPI calls only" — the communication thread
       // does not join the non-local sweep.
       return;

@@ -1,0 +1,118 @@
+// Shared oracle and drivers for the distributed-engine test suites:
+// random vectors, sequential/dense spMVM references, and a helper that
+// runs the full minimpi + partition + DistMatrix + SpmvEngine pipeline
+// and gathers the owned results into a global vector. Previously
+// duplicated across tests/spmv/test_engine*.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "minimpi/runtime.hpp"
+#include "sparse/kernels.hpp"
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::testutil {
+
+inline std::vector<sparse::value_t> random_vector(std::size_t n,
+                                                  std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<sparse::value_t> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+/// Sequential CSR reference, optionally iterated: returns A^repetitions x.
+inline std::vector<sparse::value_t> sequential_reference(
+    const sparse::CsrMatrix& a, const std::vector<sparse::value_t>& x,
+    int repetitions = 1) {
+  std::vector<sparse::value_t> result(static_cast<std::size_t>(a.rows()));
+  sparse::spmv(a, x, result);
+  for (int r = 1; r < repetitions; ++r) {
+    std::vector<sparse::value_t> next(result.size());
+    sparse::spmv(a, result, next);
+    result = std::move(next);
+  }
+  return result;
+}
+
+/// Independent oracle sharing no code with the kernels under test:
+/// per-row gather over the stored entries via CsrMatrix::row().
+inline std::vector<sparse::value_t> dense_reference(
+    const sparse::CsrMatrix& a, const std::vector<sparse::value_t>& x) {
+  std::vector<sparse::value_t> y(static_cast<std::size_t>(a.rows()), 0.0);
+  for (sparse::index_t i = 0; i < a.rows(); ++i) {
+    const auto [cols, vals] = a.row(i);
+    sparse::value_t sum = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      sum += vals[k] * x[static_cast<std::size_t>(cols[k])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+  return y;
+}
+
+/// Run the distributed pipeline (nonzero-balanced partition) under
+/// `runtime_options` (rank count, progress mode, chaos, ...) and gather
+/// every rank's owned result into the returned global vector.
+/// `repetitions` > 1 iterates y = A x through the engine (halo refresh).
+inline std::vector<sparse::value_t> distributed_product(
+    const sparse::CsrMatrix& a, const std::vector<sparse::value_t>& x_global,
+    int threads, spmv::Variant variant,
+    const minimpi::RuntimeOptions& runtime_options,
+    const spmv::EngineOptions& engine_options = {}, int repetitions = 1) {
+  std::vector<sparse::value_t> result(static_cast<std::size_t>(a.rows()),
+                                      0.0);
+  std::mutex result_mutex;
+  minimpi::run(runtime_options, [&](minimpi::Comm& comm) {
+    const auto boundaries = spmv::partition_rows(
+        a, comm.size(), spmv::PartitionStrategy::kBalancedNonzeros);
+    spmv::DistMatrix dist(comm, a, boundaries);
+    spmv::DistVector x(dist), y(dist);
+    x.assign_from_global(x_global, dist.row_begin());
+    spmv::SpmvEngine engine(dist, threads, variant, engine_options);
+    engine.apply(x, y);
+    for (int r = 1; r < repetitions; ++r) {
+      std::copy(y.owned().begin(), y.owned().end(), x.owned().begin());
+      engine.apply(x, y);
+    }
+    std::lock_guard<std::mutex> lock(result_mutex);
+    for (sparse::index_t i = 0; i < dist.owned_rows(); ++i) {
+      result[static_cast<std::size_t>(dist.row_begin() + i)] =
+          y.owned()[static_cast<std::size_t>(i)];
+    }
+  });
+  return result;
+}
+
+inline double max_abs_diff(const std::vector<sparse::value_t>& a,
+                           const std::vector<sparse::value_t>& b) {
+  double max_error = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_error = std::max(max_error, std::abs(a[i] - b[i]));
+  }
+  return max_error;
+}
+
+/// Max abs error of `variant` on ranks x threads against the sequential
+/// reference — the workhorse assertion of the engine suites.
+inline double distributed_error(
+    const sparse::CsrMatrix& a, int ranks, int threads, spmv::Variant variant,
+    minimpi::ProgressMode progress = minimpi::ProgressMode::kDeferred,
+    int repetitions = 1, const spmv::EngineOptions& engine_options = {}) {
+  const auto x = random_vector(static_cast<std::size_t>(a.cols()), 7);
+  const auto expected = sequential_reference(a, x, repetitions);
+  minimpi::RuntimeOptions options;
+  options.ranks = ranks;
+  options.progress = progress;
+  return max_abs_diff(distributed_product(a, x, threads, variant, options,
+                                          engine_options, repetitions),
+                      expected);
+}
+
+}  // namespace hspmv::testutil

@@ -1,0 +1,70 @@
+// Seed-echoing fixtures for randomized tests.
+//
+// Policy (see docs/testing.md): every randomized test derives its PRNG
+// streams from one base seed, fixed by default so CI is reproducible. On
+// failure the fixture prints the base seed; exporting HSPMV_TEST_SEED
+// re-runs the test with that (or any other) seed for reproduction or
+// extra fuzzing.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+
+#include <gtest/gtest.h>
+
+#include "util/env.hpp"
+
+namespace hspmv::testutil {
+
+/// The fixed CI seed — chosen once, never meaningful.
+inline constexpr std::uint64_t kDefaultTestSeed = 0x5eed'0206'2026ULL;
+
+/// Base seed of this process: HSPMV_TEST_SEED when set, else the default.
+inline std::uint64_t base_test_seed() {
+  return static_cast<std::uint64_t>(util::env_int(
+      "HSPMV_TEST_SEED", static_cast<std::int64_t>(kDefaultTestSeed)));
+}
+
+/// Independent stream seed `stream` derived from `base` (splitmix64), so
+/// one test can draw matrices, vectors, and chaos plans from decoupled
+/// streams.
+inline std::uint64_t sub_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace detail {
+
+/// Mixin: seed accessors + echo-on-failure, over any gtest fixture base.
+template <typename Base>
+class SeedEchoing : public Base {
+ protected:
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint64_t seed(std::uint64_t stream) const {
+    return sub_seed(seed_, stream);
+  }
+
+  void TearDown() override {
+    if (this->HasFailure()) {
+      std::cerr << "[   SEED   ] reproduce with HSPMV_TEST_SEED=" << seed_
+                << std::endl;
+    }
+    Base::TearDown();
+  }
+
+ private:
+  std::uint64_t seed_ = base_test_seed();
+};
+
+}  // namespace detail
+
+/// TEST_F base for randomized tests.
+using SeededTest = detail::SeedEchoing<::testing::Test>;
+
+/// TEST_P base for randomized parameterized tests.
+template <typename ParamT>
+using SeededParamTest = detail::SeedEchoing<::testing::TestWithParam<ParamT>>;
+
+}  // namespace hspmv::testutil

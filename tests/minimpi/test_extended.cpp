@@ -121,5 +121,93 @@ TEST(Extended, GathervSingleRank) {
   });
 }
 
+TEST(Extended, SendrecvRendezvousSizedBuffers) {
+  // eager_threshold_bytes = 0 forces the rendezvous protocol for every
+  // message, so sendrecv's internal nonblocking pairing is what prevents
+  // the head-on exchange from deadlocking.
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.eager_threshold_bytes = 0;
+  run(options, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    const std::vector<double> out(2000, comm.rank() + 0.25);
+    std::vector<double> in(2000);
+    const Status s = comm.sendrecv(std::span<const double>(out), peer,
+                                   std::span<double>(in), peer);
+    EXPECT_EQ(s.count<double>(), 2000u);
+    for (double v : in) EXPECT_DOUBLE_EQ(v, peer + 0.25);
+  });
+}
+
+TEST(Extended, SendrecvToSelf) {
+  RuntimeOptions options;
+  options.ranks = 1;
+  options.eager_threshold_bytes = 0;
+  run(options, [](Comm& comm) {
+    const std::vector<int> out{1, 2, 3};
+    std::vector<int> in(3, 0);
+    const Status s = comm.sendrecv(std::span<const int>(out), 0,
+                                   std::span<int>(in), 0);
+    EXPECT_EQ(s.source, 0);
+    EXPECT_EQ(in, out);
+  });
+}
+
+TEST(Extended, ExscanProd) {
+  run(4, [](Comm& comm) {
+    const int prefix = comm.exscan(comm.rank() + 1, ReduceOp::kProd);
+    // rank r gets 1 * 2 * ... * r = r! (rank 0's result is undefined).
+    const int factorial[] = {1, 1, 2, 6};
+    if (comm.rank() > 0) {
+      EXPECT_EQ(prefix, factorial[comm.rank()]);
+    }
+  });
+}
+
+TEST(Extended, ExscanMin) {
+  run(4, [](Comm& comm) {
+    const int values[] = {5, 3, 4, 1};
+    const int prefix_min = comm.exscan(values[comm.rank()], ReduceOp::kMin);
+    const int expected[] = {0 /*undefined at rank 0*/, 5, 3, 3};
+    if (comm.rank() > 0) {
+      EXPECT_EQ(prefix_min, expected[comm.rank()]);
+    }
+  });
+}
+
+TEST(Extended, SplitNegativeColorYieldsNullComm) {
+  run(4, [](Comm& comm) {
+    // Odd ranks opt out; even ranks form a working sub-communicator.
+    const int color = comm.rank() % 2 == 0 ? 0 : -1;
+    Comm sub = comm.split(color, comm.rank());
+    if (color < 0) {
+      EXPECT_FALSE(sub.valid());
+      // Using the null communicator is a logic error, not a crash.
+      EXPECT_THROW((void)sub.size(), std::logic_error);
+      EXPECT_THROW(sub.barrier(), std::logic_error);
+      const int value = 1;
+      EXPECT_THROW((void)sub.isend(std::span<const int>(&value, 1), 0),
+                   std::logic_error);
+    } else {
+      EXPECT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 2);
+      EXPECT_EQ(sub.allreduce(comm.rank(), ReduceOp::kSum), 0 + 2);
+    }
+  });
+}
+
+TEST(Extended, NullCommPointToPointIsLogicError) {
+  Comm null_comm;
+  EXPECT_FALSE(null_comm.valid());
+  const int value = 7;
+  int buffer = 0;
+  EXPECT_THROW((void)null_comm.isend(std::span<const int>(&value, 1), 0),
+               std::logic_error);
+  EXPECT_THROW((void)null_comm.irecv(std::span<int>(&buffer, 1), 0),
+               std::logic_error);
+  EXPECT_THROW((void)null_comm.size(), std::logic_error);
+  EXPECT_THROW(null_comm.barrier(), std::logic_error);
+}
+
 }  // namespace
 }  // namespace hspmv::minimpi

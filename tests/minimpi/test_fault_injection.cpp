@@ -1,0 +1,275 @@
+// The fault-injection layer itself: deterministic decision streams,
+// correct exchanges and collectives under heavy chaos, FIFO matching per
+// (source, tag) despite delivery reordering, bounded test() lies, and an
+// injected transfer failure surfacing as std::runtime_error on every rank
+// instead of a deadlock.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/seeded_fixture.hpp"
+#include "minimpi/fault.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace hspmv::minimpi {
+namespace {
+
+class FaultInjection : public testutil::SeededTest {};
+
+/// Every knob cranked well past the default chaos profile.
+ChaosConfig heavy(std::uint64_t seed) {
+  ChaosConfig config = ChaosConfig::standard(seed);
+  config.match_hold_probability = 0.8;
+  config.reorder_probability = 0.8;
+  config.barrier_jitter_probability = 0.8;
+  config.max_barrier_jitter_seconds = 2e-4;
+  config.spurious_test_probability = 0.8;
+  return config;
+}
+
+TEST_F(FaultInjection, InjectorIsDeterministicPerSeed) {
+  const ChaosConfig config = ChaosConfig::standard(seed(1));
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.match_hold_rounds(), b.match_hold_rounds());
+    EXPECT_EQ(a.reorder_delivery(), b.reorder_delivery());
+    EXPECT_EQ(a.pick_insert_position(17), b.pick_insert_position(17));
+    EXPECT_EQ(a.barrier_jitter().count(), b.barrier_jitter().count());
+    EXPECT_EQ(a.lie_about_completion(), b.lie_about_completion());
+  }
+}
+
+TEST_F(FaultInjection, DisabledInjectorInjectsNothing) {
+  FaultInjector off;
+  EXPECT_FALSE(off.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(off.match_hold_rounds(), 0);
+    EXPECT_FALSE(off.reorder_delivery());
+    EXPECT_EQ(off.barrier_jitter().count(), 0);
+    EXPECT_FALSE(off.lie_about_completion());
+    EXPECT_FALSE(off.should_fail_transfer(static_cast<std::uint64_t>(i)));
+  }
+}
+
+struct ExchangeOutcome {
+  int mismatches = 0;
+  RunStats stats;
+};
+
+/// All-pairs nonblocking exchange on 4 ranks with payload sizes that
+/// straddle the eager threshold, so both protocols see the chaos.
+ExchangeOutcome all_pairs_exchange(RuntimeOptions options) {
+  constexpr int kRanks = 4;
+  options.ranks = kRanks;
+  std::atomic<int> mismatches{0};
+  ExchangeOutcome outcome;
+  outcome.stats = run(options, [&](Comm& comm) {
+    const int me = comm.rank();
+    const auto count_for = [](int src, int dst) {
+      return static_cast<std::size_t>(64 + 800 * ((src + dst) % 2));
+    };
+    std::vector<std::vector<double>> in(kRanks);
+    std::vector<std::vector<double>> out(kRanks);
+    std::vector<Request> requests;
+    for (int peer = 0; peer < kRanks; ++peer) {
+      if (peer == me) continue;
+      in[static_cast<std::size_t>(peer)].resize(count_for(peer, me), -1.0);
+      requests.push_back(comm.irecv(
+          std::span<double>(in[static_cast<std::size_t>(peer)]), peer, 3));
+    }
+    for (int peer = 0; peer < kRanks; ++peer) {
+      if (peer == me) continue;
+      auto& buffer = out[static_cast<std::size_t>(peer)];
+      buffer.resize(count_for(me, peer));
+      for (std::size_t i = 0; i < buffer.size(); ++i) {
+        buffer[i] = 1000.0 * me + peer + 1e-3 * static_cast<double>(i);
+      }
+      requests.push_back(
+          comm.isend(std::span<const double>(buffer), peer, 3));
+    }
+    comm.wait_all(requests);
+    for (int peer = 0; peer < kRanks; ++peer) {
+      if (peer == me) continue;
+      const auto& received = in[static_cast<std::size_t>(peer)];
+      for (std::size_t i = 0; i < received.size(); ++i) {
+        const double expected =
+            1000.0 * peer + me + 1e-3 * static_cast<double>(i);
+        if (received[i] != expected) mismatches.fetch_add(1);
+      }
+    }
+  });
+  outcome.mismatches = mismatches.load();
+  return outcome;
+}
+
+TEST_F(FaultInjection, ExchangeSurvivesHeavyChaos) {
+  const ExchangeOutcome baseline = all_pairs_exchange(RuntimeOptions{});
+  ASSERT_EQ(baseline.mismatches, 0);
+  ASSERT_GT(baseline.stats.messages, 0u);
+  for (int s = 0; s < 20; ++s) {
+    RuntimeOptions options;
+    options.progress =
+        s % 2 == 0 ? ProgressMode::kDeferred : ProgressMode::kAsync;
+    options.chaos = heavy(seed(static_cast<std::uint64_t>(10 + s)));
+    const ExchangeOutcome chaotic = all_pairs_exchange(options);
+    EXPECT_EQ(chaotic.mismatches, 0)
+        << "chaos seed " << options.chaos.seed;
+    // Chaos may delay and reorder, but never duplicate or drop.
+    EXPECT_EQ(chaotic.stats.messages, baseline.stats.messages);
+    EXPECT_EQ(chaotic.stats.bytes, baseline.stats.bytes);
+  }
+}
+
+TEST_F(FaultInjection, SameSourceTagOrderingPreservedUnderChaos) {
+  // Reordering applies to the delivery of distinct matched transfers;
+  // matching itself must stay FIFO per (comm, source, dest, tag), so the
+  // i-th recv always pairs with the i-th send.
+  constexpr int kMessages = 16;
+  for (int s = 0; s < 8; ++s) {
+    RuntimeOptions options;
+    options.ranks = 2;
+    options.eager_threshold_bytes = 0;  // rendezvous for every message
+    options.chaos = heavy(seed(static_cast<std::uint64_t>(40 + s)));
+    run(options, [&](Comm& comm) {
+      if (comm.rank() == 0) {
+        std::vector<int> payload(kMessages);
+        std::iota(payload.begin(), payload.end(), 0);
+        std::vector<Request> sends;
+        for (int i = 0; i < kMessages; ++i) {
+          sends.push_back(comm.isend(
+              std::span<const int>(&payload[static_cast<std::size_t>(i)], 1),
+              1, 7));
+        }
+        comm.wait_all(sends);
+      } else {
+        std::vector<int> in(kMessages, -1);
+        std::vector<Request> recvs;
+        for (int i = 0; i < kMessages; ++i) {
+          recvs.push_back(comm.irecv(
+              std::span<int>(&in[static_cast<std::size_t>(i)], 1), 0, 7));
+        }
+        comm.wait_all(recvs);
+        for (int i = 0; i < kMessages; ++i) {
+          EXPECT_EQ(in[static_cast<std::size_t>(i)], i)
+              << "chaos seed " << options.chaos.seed;
+        }
+      }
+    });
+  }
+}
+
+TEST_F(FaultInjection, SpuriousTestRetriesAreBounded) {
+  // With lie probability 1 every post-completion poll lies until the
+  // per-request cap, after which test() must tell the truth.
+  RuntimeOptions options;
+  options.ranks = 2;
+  ChaosConfig config;
+  config.enabled = true;
+  config.seed = seed(60);
+  config.match_hold_probability = 0.0;
+  config.reorder_probability = 0.0;
+  config.barrier_jitter_probability = 0.0;
+  config.spurious_test_probability = 1.0;
+  config.max_spurious_test_per_request = 6;
+  options.chaos = config;
+  run(options, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int value = 42;
+      comm.send(std::span<const int>(&value, 1), 1);
+    } else {
+      int in = 0;
+      Request request = comm.irecv(std::span<int>(&in, 1), 0);
+      int false_returns = 0;
+      while (!comm.test(request)) ++false_returns;
+      EXPECT_GE(false_returns, 6);
+      EXPECT_EQ(in, 42);
+    }
+  });
+}
+
+TEST_F(FaultInjection, CollectivesCorrectUnderBarrierJitter) {
+  for (int s = 0; s < 10; ++s) {
+    RuntimeOptions options;
+    options.ranks = 4;
+    ChaosConfig config;
+    config.enabled = true;
+    config.seed = seed(static_cast<std::uint64_t>(80 + s));
+    config.match_hold_probability = 0.0;
+    config.reorder_probability = 0.0;
+    config.spurious_test_probability = 0.0;
+    config.barrier_jitter_probability = 0.9;
+    config.max_barrier_jitter_seconds = 5e-4;
+    options.chaos = config;
+    run(options, [](Comm& comm) {
+      EXPECT_EQ(comm.allreduce(comm.rank() + 1, ReduceOp::kSum), 10);
+      std::vector<int> data(3, comm.rank() == 2 ? 5 : 0);
+      comm.broadcast(std::span<int>(data), 2);
+      EXPECT_EQ(data, (std::vector<int>(3, 5)));
+      std::vector<int> mine(static_cast<std::size_t>(comm.rank()),
+                            comm.rank());
+      EXPECT_EQ(comm.allgatherv(std::span<const int>(mine)),
+                (std::vector<int>{1, 2, 2, 3, 3, 3}));
+      EXPECT_EQ(comm.exscan(comm.rank() + 1, ReduceOp::kSum),
+                comm.rank() * (comm.rank() + 1) / 2);
+    });
+  }
+}
+
+TEST_F(FaultInjection, InjectedTransferFailureSurfacesEverywhere) {
+  // Failing the very first rendezvous transfer poisons the board: no rank
+  // may hang, and every rank's library calls must throw runtime_error.
+  constexpr int kRanks = 4;
+  RuntimeOptions options;
+  options.ranks = kRanks;
+  options.eager_threshold_bytes = 0;  // no send may complete eagerly
+  options.chaos.enabled = true;
+  options.chaos.seed = seed(99);
+  options.chaos.match_hold_probability = 0.0;
+  options.chaos.reorder_probability = 0.0;
+  options.chaos.barrier_jitter_probability = 0.0;
+  options.chaos.spurious_test_probability = 0.0;
+  options.chaos.fail_transfer_index = 0;
+
+  std::atomic<int> throwers{0};
+  std::mutex message_mutex;
+  std::vector<std::string> messages;
+  EXPECT_THROW(
+      run(options,
+          [&](Comm& comm) {
+            try {
+              const int next = (comm.rank() + 1) % kRanks;
+              const int prev = (comm.rank() + kRanks - 1) % kRanks;
+              const std::vector<double> out(8, comm.rank());
+              std::vector<double> in(8, -1.0);
+              comm.sendrecv(std::span<const double>(out), next,
+                            std::span<double>(in), prev);
+              comm.barrier();
+            } catch (const std::runtime_error& error) {
+              throwers.fetch_add(1);
+              std::lock_guard<std::mutex> lock(message_mutex);
+              messages.emplace_back(error.what());
+              throw;
+            }
+          }),
+      std::runtime_error);
+  EXPECT_EQ(throwers.load(), kRanks);
+  int injected = 0;
+  for (const auto& message : messages) {
+    if (message.find("injected") != std::string::npos) ++injected;
+  }
+  // The board was poisoned before any payload moved, so every failure
+  // carries the injected-error text (none is a mere collective abort).
+  EXPECT_EQ(injected, kRanks);
+}
+
+}  // namespace
+}  // namespace hspmv::minimpi

@@ -1,19 +1,18 @@
 // End-to-end correctness of the three distributed spMVM variants against
 // the sequential kernel, across matrices, rank counts, thread counts, and
-// progress modes.
+// progress modes. Oracle and pipeline drivers live in common/reference.hpp.
 
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/reference.hpp"
 #include "matgen/holstein.hpp"
 #include "matgen/poisson.hpp"
 #include "matgen/random_matrix.hpp"
 #include "minimpi/runtime.hpp"
-#include "sparse/kernels.hpp"
 #include "spmv/engine.hpp"
 #include "spmv/partition.hpp"
-#include "util/prng.hpp"
 
 namespace hspmv::spmv {
 namespace {
@@ -21,65 +20,8 @@ namespace {
 using sparse::CsrMatrix;
 using sparse::index_t;
 using sparse::value_t;
-
-std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
-  util::Xoshiro256 rng(seed);
-  std::vector<value_t> v(n);
-  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
-  return v;
-}
-
-/// Run variant on `ranks` x `threads` and compare against sequential
-/// spMVM. Returns max abs error.
-double distributed_error(const CsrMatrix& a, int ranks, int threads,
-                         Variant variant,
-                         minimpi::ProgressMode progress =
-                             minimpi::ProgressMode::kDeferred,
-                         int repetitions = 1) {
-  const auto x_global = random_vector(static_cast<std::size_t>(a.cols()), 7);
-  std::vector<value_t> expected(static_cast<std::size_t>(a.rows()));
-  sparse::spmv(a, x_global, expected);
-  // Iterated application for repetitions > 1 (halo refresh correctness).
-  std::vector<value_t> expected_iter = expected;
-  for (int r = 1; r < repetitions; ++r) {
-    std::vector<value_t> next(expected_iter.size());
-    sparse::spmv(a, expected_iter, next);
-    expected_iter = next;
-  }
-
-  std::vector<value_t> result(static_cast<std::size_t>(a.rows()), 0.0);
-  std::mutex result_mutex;
-
-  minimpi::RuntimeOptions options;
-  options.ranks = ranks;
-  options.progress = progress;
-  minimpi::run(options, [&](minimpi::Comm& comm) {
-    const auto boundaries =
-        partition_rows(a, comm.size(), PartitionStrategy::kBalancedNonzeros);
-    DistMatrix dist(comm, a, boundaries);
-    DistVector x(dist), y(dist);
-    x.assign_from_global(x_global, dist.row_begin());
-    SpmvEngine engine(dist, threads, variant);
-    engine.apply(x, y);
-    for (int r = 1; r < repetitions; ++r) {
-      // y -> x (owned), apply again: x_{k+1} = A x_k.
-      std::copy(y.owned().begin(), y.owned().end(), x.owned().begin());
-      engine.apply(x, y);
-    }
-    std::lock_guard<std::mutex> lock(result_mutex);
-    for (index_t i = 0; i < dist.owned_rows(); ++i) {
-      result[static_cast<std::size_t>(dist.row_begin() + i)] =
-          y.owned()[static_cast<std::size_t>(i)];
-    }
-  });
-
-  const auto& reference = repetitions > 1 ? expected_iter : expected;
-  double max_error = 0.0;
-  for (std::size_t i = 0; i < result.size(); ++i) {
-    max_error = std::max(max_error, std::abs(result[i] - reference[i]));
-  }
-  return max_error;
-}
+using testutil::distributed_error;
+using testutil::random_vector;
 
 // Parameterized sweep: (ranks, threads, variant) on a random matrix.
 class EngineMatrix
@@ -174,6 +116,16 @@ TEST(Engine, EmptyPartsTolerated) {
   EXPECT_LT(distributed_error(a, 8, 2, Variant::kVectorNoOverlap), 1e-12);
 }
 
+TEST(Engine, SequentialAndDenseOraclesAgree) {
+  // Guards the shared test oracle itself: the CSR kernel reference and
+  // the independent per-row gather must coincide.
+  const CsrMatrix a = matgen::random_sparse(150, 5, 33);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols()), 11);
+  EXPECT_LT(testutil::max_abs_diff(testutil::sequential_reference(a, x),
+                                   testutil::dense_reference(a, x)),
+            1e-13);
+}
+
 TEST(Engine, TimingsArePopulated) {
   const CsrMatrix a = matgen::random_sparse(500, 8, 23);
   minimpi::run(2, [&](minimpi::Comm& comm) {
@@ -220,14 +172,8 @@ TEST(Engine, DistMatrixValidation) {
       std::invalid_argument);
 }
 
-}  // namespace
-}  // namespace hspmv::spmv
-
-namespace hspmv::spmv {
-namespace {
-
 TEST(Engine, TrafficEstimateAccounting) {
-  const sparse::CsrMatrix a = matgen::random_sparse(300, 6, 77);
+  const CsrMatrix a = matgen::random_sparse(300, 6, 77);
   minimpi::run(3, [&](minimpi::Comm& comm) {
     const auto boundaries =
         partition_rows(a, comm.size(), PartitionStrategy::kBalancedNonzeros);

@@ -1,19 +1,18 @@
 // The node-level kernel backend (CSR vs SELL-C-sigma) must be an
 // implementation detail: every engine variant has to produce the same
 // distributed product with either backend, for any chunk/sigma choice.
+// Oracle and pipeline drivers live in common/reference.hpp.
 
-#include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/reference.hpp"
 #include "matgen/poisson.hpp"
 #include "matgen/random_matrix.hpp"
 #include "minimpi/runtime.hpp"
-#include "sparse/kernels.hpp"
 #include "spmv/engine.hpp"
 #include "spmv/partition.hpp"
-#include "util/prng.hpp"
 
 namespace hspmv::spmv {
 namespace {
@@ -22,43 +21,13 @@ using sparse::CsrMatrix;
 using sparse::index_t;
 using sparse::value_t;
 
-std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
-  util::Xoshiro256 rng(seed);
-  std::vector<value_t> v(n);
-  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
-  return v;
-}
-
 /// Run `variant` with `options` on ranks x threads; return max abs error
 /// against the sequential CSR product.
 double backend_error(const CsrMatrix& a, int ranks, int threads,
                      Variant variant, const EngineOptions& options) {
-  const auto x_global = random_vector(static_cast<std::size_t>(a.cols()), 7);
-  std::vector<value_t> expected(static_cast<std::size_t>(a.rows()));
-  sparse::spmv(a, x_global, expected);
-
-  std::vector<value_t> result(static_cast<std::size_t>(a.rows()), 0.0);
-  std::mutex result_mutex;
-  minimpi::run(ranks, [&](minimpi::Comm& comm) {
-    const auto boundaries =
-        partition_rows(a, comm.size(), PartitionStrategy::kBalancedNonzeros);
-    DistMatrix dist(comm, a, boundaries);
-    DistVector x(dist), y(dist);
-    x.assign_from_global(x_global, dist.row_begin());
-    SpmvEngine engine(dist, threads, variant, options);
-    engine.apply(x, y);
-    std::lock_guard<std::mutex> lock(result_mutex);
-    for (index_t i = 0; i < dist.owned_rows(); ++i) {
-      result[static_cast<std::size_t>(dist.row_begin() + i)] =
-          y.owned()[static_cast<std::size_t>(i)];
-    }
-  });
-
-  double max_error = 0.0;
-  for (std::size_t i = 0; i < result.size(); ++i) {
-    max_error = std::max(max_error, std::abs(result[i] - expected[i]));
-  }
-  return max_error;
+  return testutil::distributed_error(a, ranks, threads, variant,
+                                     minimpi::ProgressMode::kDeferred,
+                                     /*repetitions=*/1, options);
 }
 
 class BackendSweep
@@ -88,11 +57,26 @@ INSTANTIATE_TEST_SUITE_P(
                                          Variant::kVectorNaiveOverlap,
                                          Variant::kTaskMode)));
 
+TEST(EngineBackend, BackendAccessorReflectsOptions) {
+  const CsrMatrix a = matgen::laplacian1d(10);
+  minimpi::run(1, [&](minimpi::Comm& comm) {
+    const std::vector<index_t> boundaries{0, 10};
+    DistMatrix dist(comm, a, boundaries);
+    EngineOptions options;
+    options.backend = LocalBackend::kSell;
+    SpmvEngine engine(dist, 2, Variant::kVectorNoOverlap, options);
+    EXPECT_EQ(engine.backend(), LocalBackend::kSell);
+  });
+}
+
 TEST(EngineBackend, BackendsAgreeBitwisePerVariant) {
   // Stronger than matching the reference to tolerance: with identical
   // partitioning the two backends' owned results are compared elementwise.
   const CsrMatrix a = matgen::random_banded(350, 35, 7, 3);
-  const auto x_global = random_vector(static_cast<std::size_t>(a.cols()), 5);
+  const auto x_global =
+      testutil::random_vector(static_cast<std::size_t>(a.cols()), 5);
+  minimpi::RuntimeOptions runtime_options;
+  runtime_options.ranks = 2;
   for (const Variant v : {Variant::kVectorNoOverlap,
                           Variant::kVectorNaiveOverlap, Variant::kTaskMode}) {
     std::vector<std::vector<value_t>> products;
@@ -100,24 +84,8 @@ TEST(EngineBackend, BackendsAgreeBitwisePerVariant) {
          {LocalBackend::kCsr, LocalBackend::kSell}) {
       EngineOptions options;
       options.backend = backend;
-      std::vector<value_t> result(static_cast<std::size_t>(a.rows()));
-      std::mutex mutex;
-      minimpi::run(2, [&](minimpi::Comm& comm) {
-        const auto boundaries = partition_rows(
-            a, comm.size(), PartitionStrategy::kBalancedNonzeros);
-        DistMatrix dist(comm, a, boundaries);
-        DistVector x(dist), y(dist);
-        x.assign_from_global(x_global, dist.row_begin());
-        SpmvEngine engine(dist, 2, v, options);
-        EXPECT_EQ(engine.backend(), backend);
-        engine.apply(x, y);
-        std::lock_guard<std::mutex> lock(mutex);
-        for (index_t i = 0; i < dist.owned_rows(); ++i) {
-          result[static_cast<std::size_t>(dist.row_begin() + i)] =
-              y.owned()[static_cast<std::size_t>(i)];
-        }
-      });
-      products.push_back(std::move(result));
+      products.push_back(testutil::distributed_product(
+          a, x_global, 2, v, runtime_options, options));
     }
     for (std::size_t i = 0; i < products[0].size(); ++i) {
       EXPECT_NEAR(products[0][i], products[1][i], 1e-13)

@@ -1,0 +1,260 @@
+// Chaos tier for the distributed engine: every (variant x backend) pair
+// must produce bitwise identical owned results under any legal chaos
+// schedule (held matches, reordered delivery, barrier jitter, test()
+// retry storms), and an injected transfer failure must surface as
+// std::runtime_error on every rank without deadlocking the engine.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/reference.hpp"
+#include "common/seeded_fixture.hpp"
+#include "matgen/holstein.hpp"
+#include "matgen/poisson.hpp"
+#include "matgen/random_matrix.hpp"
+#include "minimpi/runtime.hpp"
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+
+namespace hspmv::spmv {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::value_t;
+
+class EngineChaos : public testutil::SeededTest {};
+
+/// Rotates through structurally different matrices: banded, power-law
+/// (skewed rows), Holstein-Hubbard (paper's physics case), 3-D Poisson.
+CsrMatrix make_matrix(int kind, std::uint64_t seed) {
+  switch (kind % 4) {
+    case 0:
+      return matgen::random_banded(180, 24, 6, seed);
+    case 1:
+      return matgen::random_power_law(160, 3, 0.7, seed);
+    case 2: {
+      matgen::HolsteinHubbardParams params;
+      params.sites = 3;
+      params.electrons_up = 1;
+      params.electrons_down = 2;
+      params.phonon_modes = 2;
+      params.max_phonons = 2;
+      return matgen::holstein_hubbard(params);
+    }
+    default:
+      return matgen::poisson7({.nx = 6, .ny = 6, .nz = 5});
+  }
+}
+
+// The property: chaos may change scheduling only, never numbers. Each
+// (variant, backend) pair sweeps 4 matrix families x 5 chaos seeds = 20
+// chaotic runs, each compared bitwise against the calm run.
+class EngineChaosPair
+    : public testutil::SeededParamTest<std::tuple<Variant, LocalBackend>> {};
+
+TEST_P(EngineChaosPair, BitwiseStableAcrossChaosSeeds) {
+  const auto [variant, backend] = GetParam();
+  constexpr int kRanks = 4;
+  const int threads = variant == Variant::kTaskMode ? 3 : 2;
+  EngineOptions engine_options;
+  engine_options.backend = backend;
+
+  std::uint64_t chaos_stream = 100;
+  for (int kind = 0; kind < 4; ++kind) {
+    const CsrMatrix a =
+        make_matrix(kind, seed(static_cast<std::uint64_t>(kind)));
+    const auto x = testutil::random_vector(
+        static_cast<std::size_t>(a.cols()),
+        seed(static_cast<std::uint64_t>(10 + kind)));
+    const auto expected = testutil::sequential_reference(a, x);
+
+    minimpi::RuntimeOptions calm;
+    calm.ranks = kRanks;
+    const auto baseline = testutil::distributed_product(
+        a, x, threads, variant, calm, engine_options);
+    ASSERT_LT(testutil::max_abs_diff(baseline, expected), 1e-12)
+        << "matrix kind " << kind;
+
+    for (int s = 0; s < 5; ++s) {
+      minimpi::RuntimeOptions options;
+      options.ranks = kRanks;
+      options.progress = s % 2 == 0 ? minimpi::ProgressMode::kDeferred
+                                    : minimpi::ProgressMode::kAsync;
+      options.chaos = minimpi::ChaosConfig::standard(seed(chaos_stream++));
+      const auto chaotic = testutil::distributed_product(
+          a, x, threads, variant, options, engine_options);
+      ASSERT_EQ(chaotic, baseline)
+          << "matrix kind " << kind << ", chaos seed " << options.chaos.seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsTimesBackends, EngineChaosPair,
+    ::testing::Combine(::testing::Values(Variant::kVectorNoOverlap,
+                                         Variant::kVectorNaiveOverlap,
+                                         Variant::kTaskMode),
+                       ::testing::Values(LocalBackend::kCsr,
+                                         LocalBackend::kSell)));
+
+TEST_F(EngineChaos, SingleRankWorldSurvivesChaos) {
+  // Degenerate world: no p2p at all, chaos only jitters the collectives
+  // used during DistMatrix construction.
+  const CsrMatrix a = make_matrix(0, seed(1));
+  const auto x = testutil::random_vector(static_cast<std::size_t>(a.cols()),
+                                         seed(2));
+  const auto expected = testutil::sequential_reference(a, x);
+  for (const Variant variant :
+       {Variant::kVectorNoOverlap, Variant::kVectorNaiveOverlap,
+        Variant::kTaskMode}) {
+    minimpi::RuntimeOptions options;
+    options.ranks = 1;
+    options.chaos = minimpi::ChaosConfig::standard(seed(3));
+    EXPECT_LT(testutil::max_abs_diff(
+                  testutil::distributed_product(a, x, 2, variant, options),
+                  expected),
+              1e-12);
+  }
+}
+
+TEST_F(EngineChaos, ZeroRowRanksSurviveChaos) {
+  // More ranks than rows: some ranks own nothing and still participate in
+  // the (jittered) collectives and the chaos-perturbed halo exchange.
+  const CsrMatrix a = matgen::laplacian1d(5);
+  const auto x = testutil::random_vector(5, seed(4));
+  const auto expected = testutil::sequential_reference(a, x);
+  for (int s = 0; s < 3; ++s) {
+    minimpi::RuntimeOptions options;
+    options.ranks = 8;
+    options.chaos =
+        minimpi::ChaosConfig::standard(seed(static_cast<std::uint64_t>(20 + s)));
+    for (const Variant variant :
+         {Variant::kVectorNoOverlap, Variant::kTaskMode}) {
+      EXPECT_LT(testutil::max_abs_diff(
+                    testutil::distributed_product(a, x, 2, variant, options),
+                    expected),
+                1e-12)
+          << "chaos seed " << options.chaos.seed;
+    }
+  }
+}
+
+TEST_F(EngineChaos, TaskModeMinimalTeamUnderChaos) {
+  // Exactly 2 threads: the comm thread plus a single compute worker — the
+  // smallest legal task-mode team, with both backends.
+  const CsrMatrix a = make_matrix(3, seed(5));
+  const auto x = testutil::random_vector(static_cast<std::size_t>(a.cols()),
+                                         seed(6));
+  const auto expected = testutil::sequential_reference(a, x);
+  for (const LocalBackend backend : {LocalBackend::kCsr, LocalBackend::kSell}) {
+    EngineOptions engine_options;
+    engine_options.backend = backend;
+    minimpi::RuntimeOptions calm;
+    calm.ranks = 4;
+    const auto baseline = testutil::distributed_product(
+        a, x, 2, Variant::kTaskMode, calm, engine_options);
+    ASSERT_LT(testutil::max_abs_diff(baseline, expected), 1e-12);
+    for (int s = 0; s < 4; ++s) {
+      minimpi::RuntimeOptions options;
+      options.ranks = 4;
+      options.chaos = minimpi::ChaosConfig::standard(
+          seed(static_cast<std::uint64_t>(30 + s)));
+      EXPECT_EQ(testutil::distributed_product(a, x, 2, Variant::kTaskMode,
+                                              options, engine_options),
+                baseline)
+          << "chaos seed " << options.chaos.seed;
+    }
+  }
+}
+
+TEST_F(EngineChaos, InjectedFailureSurfacesOnAllRanks) {
+  // A transfer failure mid-apply must reach every rank as runtime_error —
+  // including task mode, where the comm thread owns the halo exchange and
+  // must not strand its compute workers at the team barrier.
+  constexpr int kRanks = 4;
+  const CsrMatrix a = make_matrix(0, seed(7));
+  const auto x = testutil::random_vector(static_cast<std::size_t>(a.cols()),
+                                         seed(8));
+
+  const auto pipeline = [&](minimpi::Comm& comm, Variant variant) {
+    const auto boundaries =
+        partition_rows(a, comm.size(), PartitionStrategy::kBalancedNonzeros);
+    DistMatrix dist(comm, a, boundaries);
+    DistVector xd(dist);
+    DistVector yd(dist);
+    xd.assign_from_global(x, dist.row_begin());
+    SpmvEngine engine(dist, 3, variant);
+    engine.apply(xd, yd);
+  };
+
+  // Calm probe: RunStats.messages counts the apply's matched transfers
+  // (DistMatrix construction is collectives-only), giving valid indices
+  // for the failure knob.
+  minimpi::RuntimeOptions probe_options;
+  probe_options.ranks = kRanks;
+  const minimpi::RunStats probe =
+      minimpi::run(probe_options, [&](minimpi::Comm& comm) {
+        pipeline(comm, Variant::kVectorNoOverlap);
+      });
+  ASSERT_GT(probe.messages, 1u);
+
+  for (const Variant variant :
+       {Variant::kVectorNoOverlap, Variant::kVectorNaiveOverlap,
+        Variant::kTaskMode}) {
+    for (const std::uint64_t fail_index :
+         {std::uint64_t{0}, probe.messages / 2, probe.messages - 1}) {
+      minimpi::RuntimeOptions options;
+      options.ranks = kRanks;
+      options.chaos.enabled = true;
+      options.chaos.seed = seed(9);
+      options.chaos.match_hold_probability = 0.0;
+      options.chaos.reorder_probability = 0.0;
+      options.chaos.barrier_jitter_probability = 0.0;
+      options.chaos.spurious_test_probability = 0.0;
+      options.chaos.fail_transfer_index = fail_index;
+
+      std::atomic<int> throwers{0};
+      std::mutex message_mutex;
+      std::vector<std::string> messages;
+      EXPECT_THROW(
+          minimpi::run(options,
+                       [&](minimpi::Comm& comm) {
+                         try {
+                           pipeline(comm, variant);
+                           comm.barrier();
+                         } catch (const std::runtime_error& error) {
+                           throwers.fetch_add(1);
+                           std::lock_guard<std::mutex> lock(message_mutex);
+                           messages.emplace_back(error.what());
+                           throw;
+                         }
+                       }),
+          std::runtime_error)
+          << "variant " << static_cast<int>(variant) << ", fail index "
+          << fail_index;
+      // No rank may hang or exit cleanly: ranks touching the poisoned
+      // board throw the injected error, the rest abort in the barrier.
+      EXPECT_EQ(throwers.load(), kRanks)
+          << "variant " << static_cast<int>(variant) << ", fail index "
+          << fail_index;
+      int injected = 0;
+      for (const auto& message : messages) {
+        if (message.find("injected") != std::string::npos) ++injected;
+      }
+      EXPECT_GE(injected, 1)
+          << "variant " << static_cast<int>(variant) << ", fail index "
+          << fail_index;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hspmv::spmv
