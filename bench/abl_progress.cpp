@@ -10,6 +10,7 @@
 // overlaps (its dedicated thread sits inside the library); with async
 // progress even naive overlap overlaps.
 
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
 
@@ -17,6 +18,7 @@
 #include "minimpi/runtime.hpp"
 #include "spmv/engine.hpp"
 #include "spmv/partition.hpp"
+#include "spmv/reorder.hpp"
 #include "util/cli.hpp"
 #include "util/prng.hpp"
 #include "util/table.hpp"
@@ -30,6 +32,8 @@ using sparse::value_t;
 struct Measurement {
   double total_ms = 0.0;
   double comm_ms = 0.0;
+  std::int64_t halo_elements = 0;  ///< summed over ranks (per apply)
+  std::int64_t messages = 0;
 };
 
 Measurement measure(const sparse::CsrMatrix& a, spmv::Variant variant,
@@ -47,10 +51,11 @@ Measurement measure(const sparse::CsrMatrix& a, spmv::Variant variant,
     const auto boundaries = spmv::partition_rows(
         a, comm.size(), spmv::PartitionStrategy::kBalancedNonzeros);
     spmv::DistMatrix dist(comm, a, boundaries);
-    spmv::DistVector x(dist), y(dist);
+    spmv::SpmvEngine engine(dist, threads, variant, engine_options);
+    auto x = engine.make_vector();
+    auto y = engine.make_vector();
     util::Xoshiro256 rng(1);
     for (auto& v : x.owned()) v = rng.uniform(-1.0, 1.0);
-    spmv::SpmvEngine engine(dist, threads, variant, engine_options);
 
     engine.apply(x, y);  // warm-up: halo buffers, team spin-up
     // Keep the ranks in lockstep per repetition (a barrier per spMVM, as
@@ -58,6 +63,7 @@ Measurement measure(const sparse::CsrMatrix& a, spmv::Variant variant,
     // repetition to suppress scheduling noise on oversubscribed hosts.
     double best_total = 1e30;
     double best_comm = 0.0;
+    spmv::Timings volume;
     for (int r = 0; r < repetitions; ++r) {
       comm.barrier();
       util::Timer timer;
@@ -67,11 +73,14 @@ Measurement measure(const sparse::CsrMatrix& a, spmv::Variant variant,
         best_total = total;
         best_comm = t.comm_s;
       }
+      volume = t;  // volume counters are plan-fixed, identical every rep
     }
     comm.barrier();
     std::lock_guard<std::mutex> lock(mutex);
     result.total_ms = std::max(result.total_ms, best_total * 1e3);
     result.comm_ms = std::max(result.comm_ms, best_comm * 1e3);
+    result.halo_elements += volume.halo_elements;
+    result.messages += volume.messages;
   });
   return result;
 }
@@ -86,11 +95,17 @@ int main(int argc, char** argv) {
   cli.add_option("reps", "5", "repetitions per cell");
   cli.add_option("backend", "csr",
                  "node-level kernel backend: csr or sell (SELL-C-sigma)");
+  cli.add_option("reorder", "none", "global pre-pass: none or rcm");
   if (!cli.parse(argc, argv)) return 1;
 
-  const auto a = matgen::random_banded(
-      static_cast<sparse::index_t>(cli.get_int("rows")),
-      static_cast<sparse::index_t>(cli.get_int("rows") / 10), 12, 7);
+  const auto reorder = spmv::parse_reorder(cli.get_string("reorder"));
+  const auto a =
+      spmv::make_reordered_problem(
+          matgen::random_banded(
+              static_cast<sparse::index_t>(cli.get_int("rows")),
+              static_cast<sparse::index_t>(cli.get_int("rows") / 10), 12, 7),
+          reorder)
+          .matrix;
   const double latency = cli.get_double("latency-ms") * 1e-3;
   const int reps = static_cast<int>(cli.get_int("reps"));
   spmv::EngineOptions engine_options;
@@ -98,11 +113,13 @@ int main(int argc, char** argv) {
 
   std::printf(
       "EXP-A1 — progress-mode ablation (real execution, 2 ranks x 2 "
-      "threads, %.0f ms synthetic message latency, %s kernel backend)\n\n",
-      latency * 1e3, spmv::backend_name(engine_options.backend));
+      "threads, %.0f ms synthetic message latency, %s kernel backend, "
+      "reorder=%s)\n\n",
+      latency * 1e3, spmv::backend_name(engine_options.backend),
+      spmv::reorder_name(reorder));
 
   util::Table table({"variant", "progress", "total [ms]",
-                     "time in Waitall [ms]"});
+                     "time in Waitall [ms]", "halo elems/spMVM", "msgs"});
   struct Cell {
     spmv::Variant variant;
     const char* variant_name;
@@ -126,7 +143,9 @@ int main(int argc, char** argv) {
                            /*ranks=*/2, /*threads=*/2, reps, engine_options);
     table.add_row({cell.variant_name, cell.progress_name,
                    util::Table::cell(m.total_ms, 2),
-                   util::Table::cell(m.comm_ms, 2)});
+                   util::Table::cell(m.comm_ms, 2),
+                   util::Table::cell(m.halo_elements),
+                   util::Table::cell(m.messages)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

@@ -1,42 +1,118 @@
 // EXP-E3 (extension) — the communication-volume curve behind the paper's
 // "universal drop in scalability beyond about six nodes ... ascribed to a
 // strong decrease in overall internode communication volume when the
-// number of nodes is small" (Sect. 4).
+// number of nodes is small" (Sect. 4), plus the RCM reorder pre-pass
+// (Sect. 1.3.1): bandwidth reduction clusters nonzeros near the diagonal,
+// so a contiguous partition needs fewer remote RHS elements.
 //
 // For HMeP, the total internode halo volume grows steeply while few nodes
 // own large contiguous blocks (every new cut exposes fresh coupling
 // surface) and then saturates; once it stops growing, each added node
 // brings pure comm overhead and the efficiency knee appears.
+//
+// --reorder={none,rcm} selects the pre-pass for the volume tables; a
+// delta section always compares both at --parts parts, and a distributed
+// run verifies the reordered pipeline end to end: the engine executes
+// y' = (P A P^T)(P x), the result is mapped back with the inverse
+// permutation, and the bench checks (a) the un-permuted result against
+// the sequential oracle on the original matrix and (b) that parallel and
+// serial gather produce bitwise-identical results (same bytes through
+// either data path).
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <vector>
 
 #include "common/paper_matrices.hpp"
+#include "minimpi/runtime.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/stats.hpp"
 #include "spmv/comm_plan.hpp"
+#include "spmv/engine.hpp"
 #include "spmv/partition.hpp"
+#include "spmv/reorder.hpp"
 #include "util/cli.hpp"
+#include "util/prng.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+using namespace hspmv;
+using sparse::value_t;
+
+std::int64_t halo_elements_at(const sparse::CsrMatrix& a, int parts) {
+  const auto boundaries = spmv::partition_rows(
+      a, parts, spmv::PartitionStrategy::kBalancedNonzeros);
+  return spmv::analyze_partition(a, boundaries).total_halo_elements();
+}
+
+/// Run the distributed engine on `a` across `ranks` and gather the owned
+/// results (engine-placed vectors, selectable gather path).
+std::vector<value_t> engine_product(const sparse::CsrMatrix& a,
+                                    std::span<const value_t> x_global,
+                                    int ranks, bool parallel_gather,
+                                    spmv::Timings* volume = nullptr) {
+  std::vector<value_t> result(static_cast<std::size_t>(a.rows()), 0.0);
+  std::mutex mutex;
+  minimpi::RuntimeOptions options;
+  options.ranks = ranks;
+  minimpi::run(options, [&](minimpi::Comm& comm) {
+    const auto boundaries = spmv::partition_rows(
+        a, comm.size(), spmv::PartitionStrategy::kBalancedNonzeros);
+    spmv::DistMatrix dist(comm, a, boundaries);
+    spmv::EngineOptions engine_options;
+    engine_options.parallel_gather = parallel_gather;
+    spmv::SpmvEngine engine(dist, /*threads=*/2,
+                            spmv::Variant::kVectorNoOverlap, engine_options);
+    auto x = engine.make_vector();
+    auto y = engine.make_vector();
+    x.assign_from_global(x_global, dist.row_begin());
+    const auto t = engine.apply(x, y);
+    std::lock_guard<std::mutex> lock(mutex);
+    if (volume != nullptr) *volume += t;
+    for (sparse::index_t i = 0; i < dist.owned_rows(); ++i) {
+      result[static_cast<std::size_t>(dist.row_begin() + i)] =
+          y.owned()[static_cast<std::size_t>(i)];
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace hspmv;
   util::CliParser cli("ext_comm_volume",
                       "extension: internode comm volume vs node count");
   cli.add_option("scale", "1", "paper-matrix scale level (0..3; 3 = full paper size)");
   cli.add_option("procs-per-node", "2", "processes per node (per-LD = 2)");
+  cli.add_option("reorder", "none", "global pre-pass: none or rcm");
+  cli.add_option("parts", "4", "part count for the reorder delta/verify section");
   if (!cli.parse(argc, argv)) return 1;
   const int ppn = static_cast<int>(cli.get_int("procs-per-node"));
+  const auto reorder = spmv::parse_reorder(cli.get_string("reorder"));
+  const int parts = static_cast<int>(cli.get_int("parts"));
 
   for (auto& pm :
        {bench::make_hmep(static_cast<int>(cli.get_int("scale"))),
         bench::make_samg(static_cast<int>(cli.get_int("scale")))}) {
-    std::printf("--- %s (N = %d) ---\n", pm.name.c_str(), pm.matrix.rows());
-    util::Table table({"nodes", "internode halo [MB, extrapolated]",
+    const auto problem = spmv::make_reordered_problem(pm.matrix, reorder);
+    const auto& a = problem.matrix;
+    std::printf("--- %s (N = %d, reorder=%s, bandwidth %d -> %d) ---\n",
+                pm.name.c_str(), a.rows(), spmv::reorder_name(reorder),
+                sparse::compute_stats(pm.matrix).bandwidth,
+                sparse::compute_stats(a).bandwidth);
+    util::Table table({"nodes", "total_halo_elements",
+                       "internode halo [MB, extrapolated]",
                        "growth vs previous", "per node [MB]"});
     double previous = 0.0;
     for (int nodes = 1; nodes <= 32; nodes *= 2) {
       const int processes = nodes * ppn;
       const auto boundaries = spmv::partition_rows(
-          pm.matrix, processes, spmv::PartitionStrategy::kBalancedNonzeros);
-      const auto stats = spmv::analyze_partition(pm.matrix, boundaries);
+          a, processes, spmv::PartitionStrategy::kBalancedNonzeros);
+      const auto stats = spmv::analyze_partition(a, boundaries);
       double internode_elements = 0.0;
       for (int p = 0; p < processes; ++p) {
         const int my_node = p / ppn;
@@ -51,6 +127,7 @@ int main(int argc, char** argv) {
           internode_elements * 8.0 * pm.comm_volume_scale / 1e6;
       table.add_row(
           {util::Table::cell(static_cast<std::int64_t>(nodes)),
+           util::Table::cell(stats.total_halo_elements()),
            util::Table::cell(megabytes, 2),
            previous > 0.0
                ? util::Table::cell(megabytes / previous, 2) + "x"
@@ -60,10 +137,80 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", table.to_string().c_str());
   }
+
+  // Reorder delta at a fixed part count: the halo volume RCM is meant to
+  // shrink, measured on both paper matrices.
+  std::printf("reorder delta at %d parts (total_halo_elements):\n", parts);
+  for (auto& pm :
+       {bench::make_hmep(static_cast<int>(cli.get_int("scale"))),
+        bench::make_samg(static_cast<int>(cli.get_int("scale")))}) {
+    const auto rcm = spmv::make_reordered_problem(pm.matrix,
+                                                  spmv::Reorder::kRcm);
+    const auto none_elements = halo_elements_at(pm.matrix, parts);
+    const auto rcm_elements = halo_elements_at(rcm.matrix, parts);
+    std::printf(
+        "  %-6s none=%lld rcm=%lld (%+.1f%%) -> selected reorder=%s: "
+        "total_halo_elements=%lld\n",
+        pm.name.c_str(), static_cast<long long>(none_elements),
+        static_cast<long long>(rcm_elements),
+        100.0 * (static_cast<double>(rcm_elements - none_elements) /
+                 static_cast<double>(none_elements)),
+        spmv::reorder_name(reorder),
+        static_cast<long long>(reorder == spmv::Reorder::kRcm ? rcm_elements
+                                                              : none_elements));
+  }
+
+  // End-to-end verification of the reordered distributed pipeline on the
+  // Holstein-type matrix at `parts` ranks.
+  {
+    const auto pm = bench::make_hmep(static_cast<int>(cli.get_int("scale")));
+    const auto problem = spmv::make_reordered_problem(pm.matrix, reorder);
+    util::Xoshiro256 rng(7);
+    std::vector<value_t> x(static_cast<std::size_t>(pm.matrix.cols()));
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+
+    const auto x_reordered = problem.to_reordered(x);
+    spmv::Timings volume;
+    const auto y_parallel = engine_product(problem.matrix, x_reordered, parts,
+                                           /*parallel_gather=*/true, &volume);
+    const auto y_serial = engine_product(problem.matrix, x_reordered, parts,
+                                         /*parallel_gather=*/false);
+    const bool gather_bitwise =
+        std::memcmp(y_parallel.data(), y_serial.data(),
+                    y_parallel.size() * sizeof(value_t)) == 0;
+
+    const auto y = problem.to_original(y_parallel);
+    std::vector<value_t> oracle(static_cast<std::size_t>(pm.matrix.rows()));
+    sparse::spmv(pm.matrix, x, oracle);
+    double max_error = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      max_error = std::max(max_error, std::abs(y[i] - oracle[i]));
+    }
+
+    std::printf(
+        "\nverification (%s, %d ranks, reorder=%s): engine halo bytes "
+        "sent=%lld recv=%lld msgs=%lld\n",
+        pm.name.c_str(), parts, spmv::reorder_name(reorder),
+        static_cast<long long>(volume.bytes_sent),
+        static_cast<long long>(volume.bytes_received),
+        static_cast<long long>(volume.messages));
+    std::printf(
+        "  parallel vs serial gather results bitwise identical: %s\n"
+        "  max |y - oracle| after inverse permutation: %.3e (%s; the "
+        "reordered sweep reassociates each row's sum, so equality to the "
+        "original-order oracle is up to roundoff)\n",
+        gather_bitwise ? "yes" : "NO",
+        max_error, max_error < 1e-10 ? "OK" : "FAIL");
+    if (!gather_bitwise || max_error >= 1e-10) return 1;
+  }
+
   std::printf(
       "expected: steep growth at small node counts that flattens (HMeP "
       "saturates once every phonon-block coupling is cut); the flattening "
       "point is where the paper's efficiency knee sits. sAMG grows "
-      "gently throughout (surface-to-volume).\n");
+      "gently throughout (surface-to-volume). RCM cuts the halo at small "
+      "part counts (bandwidth bounds the coupling surface a contiguous "
+      "cut exposes) but can lose to the natural HMeP block order at high "
+      "part counts.\n");
   return 0;
 }

@@ -3,7 +3,8 @@
 // a Gantt chart of rank 0's team threads during one spMVM with synthetic
 // network latency, under deferred (standard-MPI) progress.
 //
-// Expected shapes:
+// Expected shapes (the gather bar appears on every participating lane —
+// the send-buffer copy is team-parallel since the locality PR):
 //  (a) vector, no overlap:   [gather][== Waitall ==][ spMVM all ]
 //  (b) vector, naive overlap:[gather][ spMVM local ][== Waitall ==][nonlocal]
 //      (the Waitall bar stays as long as in (a): no actual overlap)
@@ -13,11 +14,13 @@
 
 #include <cstdio>
 #include <mutex>
+#include <string>
 
 #include "matgen/random_matrix.hpp"
 #include "minimpi/runtime.hpp"
 #include "spmv/engine.hpp"
 #include "spmv/partition.hpp"
+#include "spmv/reorder.hpp"
 #include "util/cli.hpp"
 #include "util/prng.hpp"
 #include "util/timeline.hpp"
@@ -26,38 +29,56 @@ namespace {
 
 using namespace hspmv;
 
-std::string run_panel(const sparse::CsrMatrix& a, spmv::Variant variant,
-                      double latency, int threads,
-                      spmv::EngineOptions engine_options) {
+struct Panel {
+  std::string rendered;
+  spmv::Timings timings;  ///< rank 0's traced apply (volume counters)
+};
+
+Panel run_panel(const sparse::CsrMatrix& a, spmv::Variant variant,
+                double latency, int threads,
+                spmv::EngineOptions engine_options) {
   minimpi::RuntimeOptions options;
   options.ranks = 2;
   options.progress = minimpi::ProgressMode::kDeferred;
   options.latency_seconds = latency;
   util::Timeline timeline;
-  std::string rendered;
+  Panel panel;
   std::mutex mutex;
   minimpi::run(options, [&](minimpi::Comm& comm) {
     const auto boundaries = spmv::partition_rows(
         a, comm.size(), spmv::PartitionStrategy::kBalancedNonzeros);
     spmv::DistMatrix dist(comm, a, boundaries);
-    spmv::DistVector x(dist), y(dist);
+    spmv::SpmvEngine engine(dist, threads, variant, engine_options);
+    auto x = engine.make_vector();
+    auto y = engine.make_vector();
     util::Xoshiro256 rng(1);
     for (auto& v : x.owned()) v = rng.uniform(-1.0, 1.0);
-    spmv::SpmvEngine engine(dist, threads, variant, engine_options);
     engine.apply(x, y);  // warm-up
     comm.barrier();
     if (comm.rank() == 0) {
       timeline.reset();
       engine.set_trace(&timeline, "rank0 ");
     }
-    engine.apply(x, y);
+    const auto t = engine.apply(x, y);
     comm.barrier();
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lock(mutex);
-      rendered = timeline.render(68);
+      panel.rendered = timeline.render(68);
+      panel.timings = t;
     }
   });
-  return rendered;
+  return panel;
+}
+
+void print_panel(const char* heading, const Panel& panel) {
+  std::printf("%s\n%s", heading, panel.rendered.c_str());
+  std::printf(
+      "rank 0 comm volume: %lld B sent, %lld B received (%lld halo "
+      "elements, %lld messages)\n\n",
+      static_cast<long long>(panel.timings.bytes_sent),
+      static_cast<long long>(panel.timings.bytes_received),
+      static_cast<long long>(panel.timings.halo_elements),
+      static_cast<long long>(panel.timings.messages));
 }
 
 }  // namespace
@@ -70,11 +91,17 @@ int main(int argc, char** argv) {
   cli.add_option("threads", "3", "team threads per rank");
   cli.add_option("backend", "csr",
                  "node-level kernel backend: csr or sell (SELL-C-sigma)");
+  cli.add_option("reorder", "none", "global pre-pass: none or rcm");
   if (!cli.parse(argc, argv)) return 1;
 
-  const auto a = matgen::random_banded(
-      static_cast<sparse::index_t>(cli.get_int("rows")),
-      static_cast<sparse::index_t>(cli.get_int("rows") / 10), 12, 7);
+  const auto reorder = spmv::parse_reorder(cli.get_string("reorder"));
+  const auto a =
+      spmv::make_reordered_problem(
+          matgen::random_banded(
+              static_cast<sparse::index_t>(cli.get_int("rows")),
+              static_cast<sparse::index_t>(cli.get_int("rows") / 10), 12, 7),
+          reorder)
+          .matrix;
   const double latency = cli.get_double("latency-ms") * 1e-3;
   const int threads = static_cast<int>(cli.get_int("threads"));
   spmv::EngineOptions engine_options;
@@ -82,22 +109,21 @@ int main(int argc, char** argv) {
 
   std::printf(
       "Fig. 4 — measured timelines (2 ranks, %d threads, deferred "
-      "progress, %.1f ms message latency, %s kernel backend; rank 0 "
-      "shown)\n\n",
-      threads, latency * 1e3, spmv::backend_name(engine_options.backend));
+      "progress, %.1f ms message latency, %s kernel backend, reorder=%s; "
+      "rank 0 shown)\n\n",
+      threads, latency * 1e3, spmv::backend_name(engine_options.backend),
+      spmv::reorder_name(reorder));
 
-  std::printf("(a) vector mode, no overlap\n%s\n",
-              run_panel(a, spmv::Variant::kVectorNoOverlap, latency,
-                        threads, engine_options)
-                  .c_str());
-  std::printf("(b) vector mode, naive overlap — Waitall does not shrink\n%s\n",
+  print_panel("(a) vector mode, no overlap",
+              run_panel(a, spmv::Variant::kVectorNoOverlap, latency, threads,
+                        engine_options));
+  print_panel("(b) vector mode, naive overlap — Waitall does not shrink",
               run_panel(a, spmv::Variant::kVectorNaiveOverlap, latency,
-                        threads, engine_options)
-                  .c_str());
-  std::printf(
-      "(c) task mode — t0's Waitall overlaps the workers' local spMVM\n%s\n",
-      run_panel(a, spmv::Variant::kTaskMode, latency, threads, engine_options)
-          .c_str());
+                        threads, engine_options));
+  print_panel(
+      "(c) task mode — t0's Waitall overlaps the workers' local spMVM",
+      run_panel(a, spmv::Variant::kTaskMode, latency, threads,
+                engine_options));
   std::printf(
       "note: the *shapes* are the reproduction target. Absolute spans on "
       "an oversubscribed single-core host include scheduler delays (all "

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "matgen/poisson.hpp"
 #include "matgen/random_matrix.hpp"
 #include "sparse/ell.hpp"
@@ -22,6 +24,7 @@
 #include "team/thread_team.hpp"
 #include "util/aligned.hpp"
 #include "util/prng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -167,6 +170,99 @@ void BM_HaloGather(benchmark::State& state) {
                           static_cast<std::int64_t>(gather.size()) * 16);
 }
 BENCHMARK(BM_HaloGather)->Arg(1 << 16)->Arg(1 << 20);
+
+/// A skewed send side: one dominant peer block holding half the elements
+/// plus smaller ones — the shape that defeats block-granular distribution
+/// and motivates GatherSchedule's element-balanced split.
+spmv::CommPlan skewed_send_plan(std::size_t owned, std::size_t elements,
+                                int blocks) {
+  spmv::CommPlan plan;
+  plan.local_rows = static_cast<index_t>(owned);
+  util::Xoshiro256 rng(5);
+  for (int b = 0; b < blocks; ++b) {
+    const std::size_t count =
+        b == 0 ? elements / 2
+               : (elements - elements / 2) /
+                     static_cast<std::size_t>(blocks - 1);
+    spmv::SendBlock block;
+    block.peer = b;
+    block.gather.resize(count);
+    for (auto& g : block.gather) {
+      g = static_cast<index_t>(rng.bounded(owned));
+    }
+    plan.send_blocks.push_back(std::move(block));
+  }
+  return plan;
+}
+
+/// Serial baseline of the engine's vector-mode gather (the pre-PR path:
+/// thread 0 walks every block). Manual time so the metric is identical to
+/// the team version: the participating thread's own span.
+void BM_HaloGatherSerial(benchmark::State& state) {
+  const std::size_t owned = 1 << 20;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plan = skewed_send_plan(owned, n, 4);
+  const auto source = random_vector(owned);
+  std::vector<util::AlignedVector<value_t>> buffers(plan.send_blocks.size());
+  for (std::size_t s = 0; s < buffers.size(); ++s) {
+    buffers[s].resize(plan.send_blocks[s].gather.size());
+  }
+  for (auto _ : state) {
+    util::Timer timer;
+    for (std::size_t s = 0; s < plan.send_blocks.size(); ++s) {
+      const auto& gather = plan.send_blocks[s].gather;
+      value_t* __restrict buffer = buffers[s].data();
+      const value_t* __restrict src = source.data();
+      for (std::size_t i = 0; i < gather.size(); ++i) {
+        buffer[i] = src[static_cast<std::size_t>(gather[i])];
+      }
+    }
+    state.SetIterationTime(timer.seconds());
+    benchmark::DoNotOptimize(buffers.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 16);
+}
+BENCHMARK(BM_HaloGatherSerial)->Arg(1 << 17)->UseManualTime();
+
+/// Team-parallel gather through GatherSchedule, timed as the engine times
+/// gather_s: each member clocks its own share, the iteration reports the
+/// max over participating threads.
+void BM_HaloGatherTeam(benchmark::State& state) {
+  const std::size_t owned = 1 << 20;
+  const std::size_t n = 1 << 17;
+  const auto plan = skewed_send_plan(owned, n, 4);
+  const auto source = random_vector(owned);
+  std::vector<util::AlignedVector<value_t>> buffers(plan.send_blocks.size());
+  for (std::size_t s = 0; s < buffers.size(); ++s) {
+    buffers[s].resize(plan.send_blocks[s].gather.size());
+  }
+  team::ThreadTeam team(static_cast<int>(state.range(0)));
+  const spmv::GatherSchedule schedule(plan, team.size());
+  for (auto _ : state) {
+    std::atomic<double> span_max{0.0};
+    team.execute([&](int id) {
+      if (schedule.elements_of(id) == 0) return;
+      util::Timer timer;
+      schedule.for_party(
+          id, [&](std::size_t s, std::int64_t begin, std::int64_t end) {
+            const index_t* __restrict gather =
+                plan.send_blocks[s].gather.data();
+            const value_t* __restrict src = source.data();
+            value_t* __restrict buffer = buffers[s].data();
+            for (std::int64_t i = begin; i < end; ++i) {
+              buffer[i] = src[gather[i]];
+            }
+          });
+      team::atomic_fetch_max(span_max, timer.seconds());
+    });
+    state.SetIterationTime(span_max.load());
+    benchmark::DoNotOptimize(buffers.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 16);
+}
+BENCHMARK(BM_HaloGatherTeam)->Arg(1)->Arg(2)->Arg(4)->UseManualTime();
 
 void BM_BuildCommPlan(benchmark::State& state) {
   // The one-time bookkeeping cost (Sect. 3.1).

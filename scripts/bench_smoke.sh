@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Bench smoke lane: run the thread-scaling and halo-gather
+# microbenchmarks with repetitions and write the median-aggregated
+# google-benchmark JSON to BENCH_kernels.json at the repository root —
+# the perf-trajectory artifact future PRs diff against.
+#
+# Environment:
+#   BENCH_SMOKE_BIN    kernels_micro binary (default: build/bench/kernels_micro)
+#   BENCH_SMOKE_OUT    output JSON path (default: <repo>/BENCH_kernels.json)
+#   BENCH_SMOKE_REPS   benchmark repetitions (default: 5)
+#   BENCH_SMOKE_STRICT 1 = fail if the team gather does not beat the
+#                      serial gather at 2 threads (default: report only —
+#                      CI hosts can be 1-core and noisy)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+bin="${BENCH_SMOKE_BIN:-${repo_root}/build/bench/kernels_micro}"
+out="${BENCH_SMOKE_OUT:-${repo_root}/BENCH_kernels.json}"
+reps="${BENCH_SMOKE_REPS:-5}"
+
+if [[ ! -x "${bin}" ]]; then
+  echo "bench_smoke: kernels_micro not found at ${bin} (build first)" >&2
+  exit 1
+fi
+
+# Thread-scaling kernels (1/2/4 threads) and the gather pair. Medians
+# over repetitions land in the JSON as *_median aggregate entries.
+"${bin}" \
+  --benchmark_filter='(Parallel|HaloGather)' \
+  --benchmark_repetitions="${reps}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json
+
+echo "bench_smoke: wrote ${out}"
+
+# Gather comparison: the team-parallel gather (max over participating
+# threads' spans — the engine's gather_s semantics) against the serial
+# baseline, medians over repetitions.
+status=0
+python3 - "${out}" <<'EOF' || status=$?
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+medians = {
+    b["name"]: b["real_time"]
+    for b in data["benchmarks"]
+    if b.get("aggregate_name") == "median"
+}
+
+serial = next((v for k, v in medians.items()
+               if k.startswith("BM_HaloGatherSerial")), None)
+team2 = medians.get("BM_HaloGatherTeam/2/manual_time_median")
+team4 = medians.get("BM_HaloGatherTeam/4/manual_time_median")
+
+if serial is None or team2 is None:
+    print("bench_smoke: gather benchmarks missing from JSON", file=sys.stderr)
+    sys.exit(2)
+
+print(f"gather medians: serial={serial:.1f} ns, "
+      f"team/2={team2:.1f} ns, team/4={team4:.1f} ns"
+      if team4 is not None else
+      f"gather medians: serial={serial:.1f} ns, team/2={team2:.1f} ns")
+faster = team2 < serial
+print(f"team-parallel gather at 2 threads vs serial: "
+      f"{serial / team2:.2f}x {'(faster)' if faster else '(NOT faster)'}")
+sys.exit(0 if faster else 3)
+EOF
+
+if [[ "${status}" -ne 0 && "${BENCH_SMOKE_STRICT:-0}" == "1" ]]; then
+  echo "bench_smoke: STRICT mode — gather comparison failed" >&2
+  exit "${status}"
+fi
+exit 0

@@ -21,3 +21,8 @@ ctest --test-dir "${build_dir}" --output-on-failure -j
 # The stress label selects the chaos suites; their timeouts double as the
 # deadlock detector for the fault-injection error paths.
 ctest --test-dir "${build_dir}" --output-on-failure -L stress
+
+# Bench smoke lane: gather + thread-scaling microbenchmarks, medians over
+# repetitions, written to BENCH_kernels.json at the repo root (the perf
+# trajectory artifact). Report-only unless BENCH_SMOKE_STRICT=1.
+ctest --test-dir "${build_dir}" --output-on-failure -L bench-smoke

@@ -138,6 +138,25 @@ class SellMatrix {
                               std::span<value_t> y,
                               team::ThreadTeam& team) const;
 
+  /// NUMA first-touch re-placement of the slot arrays for a fixed chunk
+  /// distribution (parties = chunk_bounds.size() - 1 <= team.size()):
+  /// member p clones the slots of chunks [chunk_bounds[p], chunk_bounds[p+1])
+  /// into fresh untouched storage, so each page lands on the locality
+  /// domain of the thread that will stream it in spmv_chunks. Templated on
+  /// the team type (anything with execute(body(int))) to keep sparse/
+  /// free of a team/ link dependency.
+  template <typename Team>
+  void place_first_touch(std::span<const std::int64_t> chunk_bounds,
+                         Team& team) {
+    std::vector<std::int64_t> slot_bounds(chunk_bounds.size());
+    for (std::size_t i = 0; i < chunk_bounds.size(); ++i) {
+      slot_bounds[i] =
+          chunk_offsets_[static_cast<std::size_t>(chunk_bounds[i])];
+    }
+    col_ = util::first_touch_vector<index_t>(team, col_, slot_bounds);
+    val_ = util::first_touch_vector<value_t>(team, val_, slot_bounds);
+  }
+
  private:
   void check_vectors(std::span<const value_t> x,
                      std::span<value_t> y) const;
@@ -150,8 +169,10 @@ class SellMatrix {
   std::vector<offset_t> chunk_offsets_;   // into col_/val_ per chunk
   std::vector<index_t> chunk_widths_;
   std::vector<index_t> row_lengths_;      // real entries per permuted row
-  util::AlignedVector<index_t> col_;
-  util::AlignedVector<value_t> val_;
+  // FirstTouchVector so place_first_touch can re-place without a
+  // value-initializing reallocation touching the pages first.
+  util::FirstTouchVector<index_t> col_;
+  util::FirstTouchVector<value_t> val_;
 };
 
 }  // namespace hspmv::sparse

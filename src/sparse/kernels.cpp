@@ -61,11 +61,20 @@ void spmv(const CsrMatrix& a, std::span<const value_t> b,
   spmv_rows(a, 0, a.rows(), b, c);
 }
 
+CsrView view(const CsrMatrix& a) {
+  return CsrView{a.row_ptr(), a.col_idx(), a.val()};
+}
+
 void spmv_rows(const CsrMatrix& a, index_t row_begin, index_t row_end,
                std::span<const value_t> b, std::span<value_t> c) {
-  const offset_t* __restrict row_ptr = a.row_ptr().data();
-  const index_t* __restrict col = a.col_idx().data();
-  const value_t* __restrict val = a.val().data();
+  spmv_rows(view(a), row_begin, row_end, b, c);
+}
+
+void spmv_rows(const CsrView& a, index_t row_begin, index_t row_end,
+               std::span<const value_t> b, std::span<value_t> c) {
+  const offset_t* __restrict row_ptr = a.row_ptr.data();
+  const index_t* __restrict col = a.col_idx.data();
+  const value_t* __restrict val = a.val.data();
   const value_t* __restrict x = b.data();
   value_t* __restrict y = c.data();
   for (index_t i = row_begin; i < row_end; ++i) {
@@ -116,14 +125,20 @@ void spmv_local(const CsrMatrix& a, index_t local_cols,
 void spmv_local_rows(const CsrMatrix& a, index_t local_cols, index_t row_begin,
                      index_t row_end, std::span<const value_t> b,
                      std::span<value_t> c) {
-  const offset_t* __restrict row_ptr = a.row_ptr().data();
-  const index_t* __restrict col = a.col_idx().data();
-  const value_t* __restrict val = a.val().data();
+  spmv_local_rows(view(a), local_cols, row_begin, row_end, b, c);
+}
+
+void spmv_local_rows(const CsrView& a, index_t local_cols, index_t row_begin,
+                     index_t row_end, std::span<const value_t> b,
+                     std::span<value_t> c) {
+  const offset_t* __restrict row_ptr = a.row_ptr.data();
+  const index_t* __restrict col = a.col_idx.data();
+  const value_t* __restrict val = a.val.data();
   const value_t* __restrict x = b.data();
   value_t* __restrict y = c.data();
   for (index_t i = row_begin; i < row_end; ++i) {
     const offset_t begin = row_ptr[i];
-    const offset_t split = split_point(a.col_idx(), begin, row_ptr[i + 1],
+    const offset_t split = split_point(a.col_idx, begin, row_ptr[i + 1],
                                        local_cols);
     y[i] = row_dot(val, col, x, begin, split);
   }
@@ -138,15 +153,21 @@ void spmv_nonlocal(const CsrMatrix& a, index_t local_cols,
 void spmv_nonlocal_rows(const CsrMatrix& a, index_t local_cols,
                         index_t row_begin, index_t row_end,
                         std::span<const value_t> b, std::span<value_t> c) {
-  const offset_t* __restrict row_ptr = a.row_ptr().data();
-  const index_t* __restrict col = a.col_idx().data();
-  const value_t* __restrict val = a.val().data();
+  spmv_nonlocal_rows(view(a), local_cols, row_begin, row_end, b, c);
+}
+
+void spmv_nonlocal_rows(const CsrView& a, index_t local_cols,
+                        index_t row_begin, index_t row_end,
+                        std::span<const value_t> b, std::span<value_t> c) {
+  const offset_t* __restrict row_ptr = a.row_ptr.data();
+  const index_t* __restrict col = a.col_idx.data();
+  const value_t* __restrict val = a.val.data();
   const value_t* __restrict x = b.data();
   value_t* __restrict y = c.data();
   for (index_t i = row_begin; i < row_end; ++i) {
     const offset_t end = row_ptr[i + 1];
     const offset_t split =
-        split_point(a.col_idx(), row_ptr[i], end, local_cols);
+        split_point(a.col_idx, row_ptr[i], end, local_cols);
     // Rows without non-local entries are skipped entirely: this phase's
     // cost is Eq. 2's extra read-modify-write sweep of C, so avoid
     // touching C(i) when the row has nothing to contribute.

@@ -40,6 +40,34 @@ void spmv_general(value_t alpha, const CsrMatrix& a,
 void spmv_rows(const CsrMatrix& a, index_t row_begin, index_t row_end,
                std::span<const value_t> b, std::span<value_t> c);
 
+/// Raw-array view of a CRS matrix — the kernels' minimal contract. Lets
+/// callers that own placement-optimized copies of the three arrays (the
+/// engine's first-touch local blocks) run the same kernels, with the same
+/// per-row accumulation order, without materializing a CsrMatrix.
+struct CsrView {
+  std::span<const offset_t> row_ptr;  ///< rows+1 entries
+  std::span<const index_t> col_idx;
+  std::span<const value_t> val;
+
+  [[nodiscard]] index_t rows() const {
+    return static_cast<index_t>(row_ptr.size()) - 1;
+  }
+};
+
+/// View of a's storage (valid while a lives).
+CsrView view(const CsrMatrix& a);
+
+/// Row-range kernels on a raw view; bitwise-identical to the CsrMatrix
+/// forms (shared row_dot helper).
+void spmv_rows(const CsrView& a, index_t row_begin, index_t row_end,
+               std::span<const value_t> b, std::span<value_t> c);
+void spmv_local_rows(const CsrView& a, index_t local_cols, index_t row_begin,
+                     index_t row_end, std::span<const value_t> b,
+                     std::span<value_t> c);
+void spmv_nonlocal_rows(const CsrView& a, index_t local_cols,
+                        index_t row_begin, index_t row_end,
+                        std::span<const value_t> b, std::span<value_t> c);
+
 /// Row-range form of the alpha/beta kernel.
 void spmv_general_rows(value_t alpha, const CsrMatrix& a, index_t row_begin,
                        index_t row_end, std::span<const value_t> b,

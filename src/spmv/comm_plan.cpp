@@ -3,10 +3,30 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "team/thread_team.hpp"
+
 namespace hspmv::spmv {
 
 using sparse::index_t;
 using sparse::offset_t;
+
+GatherSchedule::GatherSchedule(const CommPlan& plan, int parties) {
+  if (parties < 1) {
+    throw std::invalid_argument("GatherSchedule: parties must be >= 1");
+  }
+  block_offsets_.reserve(plan.send_blocks.size() + 1);
+  block_offsets_.push_back(0);
+  for (const auto& block : plan.send_blocks) {
+    block_offsets_.push_back(block_offsets_.back() +
+                             static_cast<std::int64_t>(block.gather.size()));
+  }
+  bounds_.reserve(static_cast<std::size_t>(parties) + 1);
+  bounds_.push_back(0);
+  for (int p = 0; p < parties; ++p) {
+    bounds_.push_back(
+        team::static_chunk(0, block_offsets_.back(), p, parties).end);
+  }
+}
 
 int owner_of(std::span<const index_t> boundaries, index_t col) {
   // boundaries is nondecreasing with front 0 and back = rows; the owner

@@ -12,6 +12,7 @@
 // spMVM.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -47,6 +48,54 @@ struct CommPlan {
   [[nodiscard]] std::size_t recv_elements() const {
     return static_cast<std::size_t>(halo_count);
   }
+};
+
+/// Element-balanced decomposition of a plan's send-side gather across
+/// `parties` threads. The per-block gather lists are flattened into one
+/// element index space and split with static_chunk, then a party's chunk
+/// is mapped back to (block, element-range) pieces — so a single huge
+/// send block (the skewed-peer case) still splits evenly instead of
+/// serializing on whichever thread owns the block.
+class GatherSchedule {
+ public:
+  GatherSchedule() = default;
+  GatherSchedule(const CommPlan& plan, int parties);
+
+  [[nodiscard]] int parties() const {
+    return static_cast<int>(bounds_.size()) - 1;
+  }
+  [[nodiscard]] std::int64_t total_elements() const {
+    return block_offsets_.empty() ? 0 : block_offsets_.back();
+  }
+  /// Flattened-element count of `party`'s share (for idle-thread checks).
+  [[nodiscard]] std::int64_t elements_of(int party) const {
+    return bounds_[static_cast<std::size_t>(party) + 1] -
+           bounds_[static_cast<std::size_t>(party)];
+  }
+
+  /// Invoke fn(block, element_begin, element_end) for each piece of
+  /// `party`'s share: gather elements [element_begin, element_end) of
+  /// send block `block`'s gather list. Pieces are emitted in block order.
+  template <typename Fn>
+  void for_party(int party, Fn&& fn) const {
+    const auto begin = bounds_[static_cast<std::size_t>(party)];
+    const auto end = bounds_[static_cast<std::size_t>(party) + 1];
+    if (begin >= end) return;
+    // First block whose flattened range extends past `begin`.
+    std::size_t b = 0;
+    while (block_offsets_[b + 1] <= begin) ++b;
+    for (; b + 1 < block_offsets_.size() && block_offsets_[b] < end; ++b) {
+      const auto piece_begin =
+          std::max(begin, block_offsets_[b]) - block_offsets_[b];
+      const auto piece_end =
+          std::min(end, block_offsets_[b + 1]) - block_offsets_[b];
+      fn(b, piece_begin, piece_end);
+    }
+  }
+
+ private:
+  std::vector<std::int64_t> block_offsets_;  ///< blocks+1 prefix sums
+  std::vector<std::int64_t> bounds_;         ///< parties+1 static chunks
 };
 
 /// Model-facing partition analysis: communication structure of every part

@@ -53,6 +53,11 @@ DistMatrix DistMatrix::from_local_block(
   return result;
 }
 
+std::int64_t DistMatrix::total_halo_elements() const {
+  return comm_.allreduce(static_cast<std::int64_t>(halo_count()),
+                         minimpi::ReduceOp::kSum);
+}
+
 void DistMatrix::init_from_block(const sparse::CsrMatrix& block,
                                  std::span<const index_t> boundaries) {
   local_ = build_local_plan(block, boundaries, comm_.rank());

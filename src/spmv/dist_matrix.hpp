@@ -47,6 +47,11 @@ class DistMatrix {
     return local_.halo_globals[static_cast<std::size_t>(h)];
   }
 
+  /// Collective: sum of every rank's halo_count() — the measured
+  /// counterpart of PartitionCommStats::total_halo_elements(), and the
+  /// quantity an RCM pre-pass is meant to shrink.
+  [[nodiscard]] std::int64_t total_halo_elements() const;
+
  private:
   DistMatrix() = default;
 

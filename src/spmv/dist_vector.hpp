@@ -2,6 +2,7 @@
 // relabeled local matrix can index it directly.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 
@@ -15,7 +16,42 @@ class DistVector {
   explicit DistVector(const DistMatrix& matrix)
       : owned_(matrix.owned_rows()),
         data_(static_cast<std::size_t>(matrix.owned_rows()) +
-              static_cast<std::size_t>(matrix.halo_count())) {}
+                  static_cast<std::size_t>(matrix.halo_count()),
+              0.0) {}
+
+  /// NUMA-placed construction: allocate without touching the pages, then
+  /// have each team member zero the row slice [boundaries[p],
+  /// boundaries[p+1]) it will later stream — first-touch placement
+  /// matching the kernels' row distribution. Member id serves party
+  /// id - party_offset (the engine's task mode passes 1 because member 0
+  /// is the communication thread); the first party also zeroes the halo
+  /// tail, which every halo exchange rewrites anyway. Values match the
+  /// plain constructor (all zero). Templated on the team so this header
+  /// stays free of a team/ dependency.
+  template <typename Team>
+  DistVector(const DistMatrix& matrix, Team& team,
+             std::span<const std::int64_t> boundaries, int party_offset = 0)
+      : owned_(matrix.owned_rows()) {
+    data_.resize(static_cast<std::size_t>(matrix.owned_rows()) +
+                 static_cast<std::size_t>(matrix.halo_count()));
+    const auto parties = static_cast<int>(boundaries.size()) - 1;
+    sparse::value_t* __restrict p = data_.data();
+    team.execute([&](int id) {
+      const int party = id - party_offset;
+      if (party < 0 || party >= parties) return;
+      const auto begin = boundaries[static_cast<std::size_t>(party)];
+      const auto end = boundaries[static_cast<std::size_t>(party) + 1];
+      for (std::int64_t i = begin; i < end; ++i) {
+        p[static_cast<std::size_t>(i)] = 0.0;
+      }
+      if (party == 0) {
+        for (std::size_t i = static_cast<std::size_t>(owned_);
+             i < data_.size(); ++i) {
+          p[i] = 0.0;
+        }
+      }
+    });
+  }
 
   /// The elements this rank owns.
   [[nodiscard]] std::span<sparse::value_t> owned() {
@@ -60,7 +96,9 @@ class DistVector {
 
  private:
   sparse::index_t owned_;
-  util::AlignedVector<sparse::value_t> data_;
+  // FirstTouchVector so the placed constructor's resize() maps pages
+  // without touching them; both constructors then write every element.
+  util::FirstTouchVector<sparse::value_t> data_;
 };
 
 }  // namespace hspmv::spmv

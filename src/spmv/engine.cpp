@@ -1,5 +1,6 @@
 #include "spmv/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 
@@ -14,29 +15,64 @@ using sparse::value_t;
 
 namespace {
 
+/// Presents a ThreadTeam to the placement templates with member ids
+/// shifted by `offset`, so party = id - offset: task mode's communication
+/// thread maps to party -1 and idles while workers first-touch their
+/// shares.
+struct OffsetTeam {
+  team::ThreadTeam& team;
+  int offset;
+
+  void execute(const std::function<void(int)>& body) {
+    team.execute([&](int id) { body(id - offset); });
+  }
+};
+
 /// CRS backend: contiguous nonzero-balanced row chunks — exactly the
-/// engine's historical distribution.
+/// engine's historical distribution. With a placement team, the three
+/// CRS arrays are cloned first-touch: worker w's pages (its row range of
+/// row_ptr, its entry range of col/val) are written by the thread that
+/// later streams them, and the kernels run on the placed views.
 class CsrLocalKernel final : public LocalKernel {
  public:
   CsrLocalKernel(const sparse::CsrMatrix& local, index_t local_cols,
-                 int workers)
-      : matrix_(local),
-        local_cols_(local_cols),
-        rows_(team::nnz_balanced_boundaries(local.row_ptr(), workers)) {}
+                 int workers, team::ThreadTeam* place_team, int party_offset)
+      : local_cols_(local_cols),
+        rows_(team::nnz_balanced_boundaries(local.row_ptr(), workers)) {
+    if (place_team == nullptr) {
+      view_ = sparse::view(local);  // DistMatrix outlives the engine
+      return;
+    }
+    // Worker w streams entries [row_ptr[rows_[w]], row_ptr[rows_[w+1]]).
+    std::vector<std::int64_t> entries(rows_.size());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      entries[i] = local.row_ptr()[static_cast<std::size_t>(rows_[i])];
+    }
+    OffsetTeam team{*place_team, party_offset};
+    row_ptr_ = util::first_touch_vector<sparse::offset_t>(
+        team, local.row_ptr(), rows_);
+    col_ = util::first_touch_vector<index_t>(team, local.col_idx(), entries);
+    val_ = util::first_touch_vector<value_t>(team, local.val(), entries);
+    view_ = sparse::CsrView{row_ptr_, col_, val_};
+  }
 
   void full(int worker, std::span<const value_t> x,
             std::span<value_t> y) const override {
-    sparse::spmv_rows(matrix_, begin(worker), end(worker), x, y);
+    sparse::spmv_rows(view_, begin(worker), end(worker), x, y);
   }
   void local(int worker, std::span<const value_t> x,
              std::span<value_t> y) const override {
-    sparse::spmv_local_rows(matrix_, local_cols_, begin(worker), end(worker),
+    sparse::spmv_local_rows(view_, local_cols_, begin(worker), end(worker),
                             x, y);
   }
   void nonlocal(int worker, std::span<const value_t> x,
                 std::span<value_t> y) const override {
-    sparse::spmv_nonlocal_rows(matrix_, local_cols_, begin(worker),
+    sparse::spmv_nonlocal_rows(view_, local_cols_, begin(worker),
                                end(worker), x, y);
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> row_boundaries() const override {
+    return rows_;
   }
 
  private:
@@ -47,9 +83,14 @@ class CsrLocalKernel final : public LocalKernel {
     return static_cast<index_t>(rows_[static_cast<std::size_t>(worker) + 1]);
   }
 
-  const sparse::CsrMatrix& matrix_;
   index_t local_cols_;
   std::vector<std::int64_t> rows_;
+  // Placed clones of the CRS arrays (empty when running on the view of
+  // the DistMatrix's storage).
+  util::FirstTouchVector<sparse::offset_t> row_ptr_;
+  util::FirstTouchVector<index_t> col_;
+  util::FirstTouchVector<value_t> val_;
+  sparse::CsrView view_;
 };
 
 /// SELL-C-sigma backend: contiguous slot-balanced chunk ranges. The SELL
@@ -58,11 +99,17 @@ class CsrLocalKernel final : public LocalKernel {
 class SellLocalKernel final : public LocalKernel {
  public:
   SellLocalKernel(const sparse::CsrMatrix& local, index_t local_cols,
-                  int workers, int chunk, int sigma)
+                  int workers, int chunk, int sigma,
+                  team::ThreadTeam* place_team, int party_offset)
       : matrix_(sparse::SellMatrix::from_csr(local, chunk, sigma)),
         local_cols_(local_cols),
         chunks_(team::nnz_balanced_boundaries(matrix_.chunk_offsets(),
-                                              workers)) {}
+                                              workers)) {
+    if (place_team != nullptr) {
+      OffsetTeam team{*place_team, party_offset};
+      matrix_.place_first_touch(chunks_, team);
+    }
+  }
 
   void full(int worker, std::span<const value_t> x,
             std::span<value_t> y) const override {
@@ -76,6 +123,16 @@ class SellLocalKernel final : public LocalKernel {
                 std::span<value_t> y) const override {
     matrix_.spmv_nonlocal_chunks(local_cols_, begin(worker), end(worker), x,
                                  y);
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> row_boundaries() const override {
+    // Chunk boundaries scaled to rows, clamped at the ragged last chunk.
+    std::vector<std::int64_t> rows(chunks_.size());
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      rows[i] = std::min<std::int64_t>(chunks_[i] * matrix_.chunk(),
+                                       matrix_.rows());
+    }
+    return rows;
   }
 
  private:
@@ -113,15 +170,19 @@ const char* backend_name(LocalBackend backend) {
 std::unique_ptr<LocalKernel> make_local_kernel(const DistMatrix& matrix,
                                                LocalBackend backend,
                                                int workers, int sell_chunk,
-                                               int sell_sigma) {
+                                               int sell_sigma,
+                                               team::ThreadTeam* place_team,
+                                               int party_offset) {
   switch (backend) {
     case LocalBackend::kCsr:
       return std::make_unique<CsrLocalKernel>(matrix.local(),
-                                              matrix.owned_rows(), workers);
+                                              matrix.owned_rows(), workers,
+                                              place_team, party_offset);
     case LocalBackend::kSell:
       return std::make_unique<SellLocalKernel>(matrix.local(),
                                                matrix.owned_rows(), workers,
-                                               sell_chunk, sell_sigma);
+                                               sell_chunk, sell_sigma,
+                                               place_team, party_offset);
   }
   throw std::logic_error("make_local_kernel: unknown backend");
 }
@@ -132,6 +193,10 @@ Timings& Timings::operator+=(const Timings& other) {
   local_s += other.local_s;
   nonlocal_s += other.nonlocal_s;
   total_s += other.total_s;
+  bytes_sent += other.bytes_sent;
+  bytes_received += other.bytes_received;
+  halo_elements += other.halo_elements;
+  messages += other.messages;
   return *this;
 }
 
@@ -152,12 +217,55 @@ SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant,
         "SpmvEngine: task mode needs a communication thread plus at least "
         "one worker");
   }
+  const int party_offset = variant == Variant::kTaskMode ? 1 : 0;
   kernel_ = make_local_kernel(matrix, options_.backend, compute_threads_,
-                              options_.sell_chunk, options_.sell_sigma);
-  send_buffers_.resize(matrix.plan().send_blocks.size());
+                              options_.sell_chunk, options_.sell_sigma,
+                              options_.first_touch ? &team_ : nullptr,
+                              party_offset);
+  const auto& plan = matrix.plan();
+  send_buffers_.resize(plan.send_blocks.size());
   for (std::size_t s = 0; s < send_buffers_.size(); ++s) {
-    send_buffers_[s].resize(matrix.plan().send_blocks[s].gather.size());
+    // FirstTouchVector: no stores yet, pages stay unmapped until touched.
+    send_buffers_[s].resize(plan.send_blocks[s].gather.size());
   }
+  gather_schedule_ = GatherSchedule(plan, team_.size());
+  task_gather_schedule_ = GatherSchedule(plan, compute_threads_);
+  if (options_.first_touch) {
+    // Touch each buffer page from the thread that will gather into it:
+    // vector mode follows the full-team schedule, task mode the
+    // workers-only schedule.
+    team_.execute([&](int id) {
+      if (variant_ == Variant::kTaskMode) {
+        if (id == 0) return;
+        task_gather_schedule_.for_party(
+            id - 1, [&](std::size_t s, std::int64_t begin, std::int64_t end) {
+              util::touch_pages(std::span<value_t>(send_buffers_[s]), begin,
+                                end);
+            });
+      } else if (options_.parallel_gather) {
+        gather_schedule_.for_party(id, [&](std::size_t s, std::int64_t begin,
+                                           std::int64_t end) {
+          util::touch_pages(std::span<value_t>(send_buffers_[s]), begin, end);
+        });
+      } else if (id == 0) {
+        for (auto& buffer : send_buffers_) {
+          util::touch_pages(std::span<value_t>(buffer), 0,
+                            static_cast<std::int64_t>(buffer.size()));
+        }
+      }
+    });
+  } else {
+    // Match the historical zero-initialized buffers.
+    for (auto& buffer : send_buffers_) {
+      std::fill(buffer.begin(), buffer.end(), 0.0);
+    }
+  }
+}
+
+DistVector SpmvEngine::make_vector() {
+  if (!options_.first_touch) return DistVector(matrix_);
+  return DistVector(matrix_, team_, kernel_->row_boundaries(),
+                    variant_ == Variant::kTaskMode ? 1 : 0);
 }
 
 void SpmvEngine::post_recvs(DistVector& x,
@@ -217,15 +325,31 @@ Timings SpmvEngine::apply(DistVector& x, DistVector& y) {
       y.owned_size() != matrix_.owned_rows()) {
     throw std::invalid_argument("SpmvEngine::apply: vector shape mismatch");
   }
+  Timings t;
   switch (variant_) {
     case Variant::kVectorNoOverlap:
-      return apply_vector(x, y, /*naive_overlap=*/false);
+      t = apply_vector(x, y, /*naive_overlap=*/false);
+      break;
     case Variant::kVectorNaiveOverlap:
-      return apply_vector(x, y, /*naive_overlap=*/true);
+      t = apply_vector(x, y, /*naive_overlap=*/true);
+      break;
     case Variant::kTaskMode:
-      return apply_task_mode(x, y);
+      t = apply_task_mode(x, y);
+      break;
+    default:
+      throw std::logic_error("SpmvEngine::apply: unknown variant");
   }
-  throw std::logic_error("SpmvEngine::apply: unknown variant");
+  // Communication volume is fixed by the plan — attach the measured-side
+  // counters to every apply().
+  const auto& plan = matrix_.plan();
+  t.halo_elements = static_cast<std::int64_t>(plan.halo_count);
+  t.bytes_received =
+      t.halo_elements * static_cast<std::int64_t>(sizeof(value_t));
+  t.bytes_sent = static_cast<std::int64_t>(plan.send_elements()) *
+                 static_cast<std::int64_t>(sizeof(value_t));
+  t.messages = static_cast<std::int64_t>(plan.recv_blocks.size() +
+                                         plan.send_blocks.size());
+  return t;
 }
 
 Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
@@ -239,9 +363,38 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
   post_recvs(x, requests);
 
   // Gather the send buffers "after the receive has been initiated,
-  // potentially hiding the cost of copying" (Sect. 3.1). One thread per
-  // block; blocks are few and small relative to the kernel.
-  {
+  // potentially hiding the cost of copying" (Sect. 3.1). Team-parallel:
+  // GatherSchedule splits the flattened element space evenly, so a
+  // single dominant peer block spreads across threads instead of
+  // serializing. gather_s is the max over participating threads (each
+  // times its own share), matching task mode's semantics.
+  if (options_.parallel_gather) {
+    const auto owned_span = x.owned();
+    std::atomic<double> gather_max{0.0};
+    team_.execute([&](int id) {
+      if (gather_schedule_.elements_of(id) == 0) return;
+      util::Timer timer;
+      const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+      gather_schedule_.for_party(
+          id, [&](std::size_t s, std::int64_t begin, std::int64_t end) {
+            const index_t* __restrict gather =
+                plan.send_blocks[s].gather.data();
+            const value_t* __restrict owned = owned_span.data();
+            value_t* __restrict buffer = send_buffers_[s].data();
+            for (std::int64_t i = begin; i < end; ++i) {
+              buffer[i] = owned[gather[i]];
+            }
+          });
+      team::atomic_fetch_max(gather_max, timer.seconds());
+      if (trace_ != nullptr) {
+        trace_->record(trace_prefix_ + "t" + std::to_string(id),
+                       "gather (copy to send buffers)", trace_begin,
+                       trace_->now(), 'g');
+      }
+    });
+    t.gather_s = gather_max.load();
+  } else {
+    // Historical serial loop on thread 0, one block at a time.
     util::Timer timer;
     const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
     const auto owned_span = x.owned();
@@ -354,21 +507,23 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
     {
       util::Timer timer;
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
-      // Distribute the gather lists over workers by block.
-      for (std::size_t s = static_cast<std::size_t>(worker);
-           s < plan.send_blocks.size();
-           s += static_cast<std::size_t>(compute_threads_)) {
-        gather_block(plan.send_blocks[s], owned_span, s);
-      }
+      // Element-balanced gather over the workers (same schedule shape as
+      // vector mode, minus the communication thread).
+      task_gather_schedule_.for_party(
+          worker, [&](std::size_t s, std::int64_t begin, std::int64_t end) {
+            const index_t* __restrict gather =
+                plan.send_blocks[s].gather.data();
+            const value_t* __restrict owned = owned_span.data();
+            value_t* __restrict buffer = send_buffers_[s].data();
+            for (std::int64_t i = begin; i < end; ++i) {
+              buffer[i] = owned[gather[i]];
+            }
+          });
       if (trace_ != nullptr) {
         trace_->record(lane, "gather (copy to send buffers)", trace_begin,
                        trace_->now(), 'g');
       }
-      const double mine = timer.seconds();
-      double previous = gather_seconds.load();
-      while (previous < mine &&
-             !gather_seconds.compare_exchange_weak(previous, mine)) {
-      }
+      team::atomic_fetch_max(gather_seconds, timer.seconds());
     }
     gather_done.arrive_and_wait();
     {
@@ -379,11 +534,7 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
         trace_->record(lane, "spMVM: local elements", trace_begin,
                        trace_->now(), '#');
       }
-      const double mine = timer.seconds();
-      double previous = local_seconds.load();
-      while (previous < mine &&
-             !local_seconds.compare_exchange_weak(previous, mine)) {
-      }
+      team::atomic_fetch_max(local_seconds, timer.seconds());
     }
     comm_done.arrive_and_wait();
     {

@@ -17,6 +17,16 @@
 // (Kreutzer et al., arXiv:1112.5588) — both support the full sweep and
 // the split local/non-local pair, so the overlap strategies compose with
 // either storage format.
+//
+// Halo data movement is locality-aware on both sides. Send: the gather
+// into the packed buffers runs team-parallel (GatherSchedule splits the
+// flattened element space, so one huge peer block still spreads across
+// threads). Receive: there is no unpack step at all — each peer's halo
+// run is contiguous in the [owned | halo] RHS segment (CommPlan invariant),
+// so irecv targets the final x.halo() subspan directly and the kernels
+// read received values in place. Storage follows first-touch placement:
+// matrix arrays, send buffers, and (via make_vector) the vectors are
+// paged where their streaming thread lives.
 #pragma once
 
 #include <memory>
@@ -52,6 +62,15 @@ struct EngineOptions {
   LocalBackend backend = LocalBackend::kCsr;
   int sell_chunk = 32;   ///< SELL-C-sigma chunk height C
   int sell_sigma = 256;  ///< SELL-C-sigma sorting window
+  /// Team-parallel send-buffer gather in the vector-mode variants
+  /// (element-balanced via GatherSchedule). Off = the historical serial
+  /// loop on thread 0. Either way the buffers hold identical bytes.
+  bool parallel_gather = true;
+  /// NUMA first-touch placement of the local matrix block and send
+  /// buffers: pages are touched by the team member that later streams
+  /// them (same nnz-balanced boundaries the kernels use). Results are
+  /// bitwise-unchanged; only page placement differs.
+  bool first_touch = true;
 };
 
 /// Node-level compute backend: runs one worker's share of the local row
@@ -72,23 +91,45 @@ class LocalKernel {
   /// y(share) += A x over entries with column >= local_cols.
   virtual void nonlocal(int worker, std::span<const sparse::value_t> x,
                         std::span<sparse::value_t> y) const = 0;
+
+  /// Owned-row boundaries of the worker shares (workers+1 entries): the
+  /// rows worker w writes lie in [b[w], b[w+1]). For SELL this is the
+  /// chunk-granular approximation (writes un-permute within a sigma
+  /// window). Used to first-touch result/RHS storage where it is written.
+  [[nodiscard]] virtual std::vector<std::int64_t> row_boundaries() const = 0;
 };
 
 /// Build the backend for `matrix`'s local block, distributing work over
 /// `workers` shares. SELL parameters are ignored by the CSR backend.
+/// With `place_team` non-null the backend's arrays are re-placed by NUMA
+/// first-touch: team member `party_offset + w` copies worker w's share
+/// (task mode passes 1 — member 0 is the communication thread).
 std::unique_ptr<LocalKernel> make_local_kernel(const DistMatrix& matrix,
                                                LocalBackend backend,
                                                int workers, int sell_chunk,
-                                               int sell_sigma);
+                                               int sell_sigma,
+                                               team::ThreadTeam* place_team =
+                                                   nullptr,
+                                               int party_offset = 0);
 
 /// Wall-clock phase attribution of one apply(). Phases overlap in task
-/// mode, so the sum can exceed total_s there.
+/// mode, so the sum can exceed total_s there. gather_s is the max over
+/// participating threads (each times its own share) in every variant.
 struct Timings {
   double gather_s = 0.0;
   double comm_s = 0.0;       ///< time inside Waitall (plus Isend posting)
   double local_s = 0.0;      ///< local/full compute phase (max over threads)
   double nonlocal_s = 0.0;
   double total_s = 0.0;
+
+  /// Measured communication volume of this rank's halo exchange — the
+  /// LIKWID-style counters to hold against TrafficEstimate. Exact (from
+  /// the communication plan), identical every apply(); operator+= sums
+  /// them like the times, so per-apply averages divide the same way.
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+  std::int64_t halo_elements = 0;  ///< elements received into the halo
+  std::int64_t messages = 0;       ///< sends + receives posted
 
   Timings& operator+=(const Timings& other);
 };
@@ -103,6 +144,11 @@ class SpmvEngine {
   /// y(owned) = A * x. x's halo segment is overwritten with fresh remote
   /// values. Collective across the matrix's communicator.
   Timings apply(DistVector& x, DistVector& y);
+
+  /// A zero DistVector for this engine's matrix with NUMA-placed storage:
+  /// each team member first-touches the row slice its kernel share will
+  /// write/stream (plain un-placed construction when first_touch is off).
+  [[nodiscard]] DistVector make_vector();
 
   [[nodiscard]] Variant variant() const { return variant_; }
   [[nodiscard]] LocalBackend backend() const { return options_.backend; }
@@ -147,8 +193,13 @@ class SpmvEngine {
   int compute_threads_;
   /// Format-pluggable node-level compute, one share per compute thread.
   std::unique_ptr<LocalKernel> kernel_;
-  /// One packed buffer per send block.
-  std::vector<util::AlignedVector<sparse::value_t>> send_buffers_;
+  /// One packed buffer per send block (first-touched by the gathering
+  /// threads when options_.first_touch).
+  std::vector<util::FirstTouchVector<sparse::value_t>> send_buffers_;
+  /// Element-balanced split of the vector-mode gather over the full team.
+  GatherSchedule gather_schedule_;
+  /// Task-mode split over the workers only (member 0 does MPI).
+  GatherSchedule task_gather_schedule_;
   util::Timeline* trace_ = nullptr;
   std::string trace_prefix_;
 };

@@ -1,0 +1,72 @@
+#include "spmv/reorder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sparse/rcm.hpp"
+
+namespace hspmv::spmv {
+
+using sparse::index_t;
+using sparse::value_t;
+
+Reorder parse_reorder(const std::string& name) {
+  if (name == "none") return Reorder::kNone;
+  if (name == "rcm") return Reorder::kRcm;
+  throw std::invalid_argument("unknown reorder: " + name +
+                              " (expected none or rcm)");
+}
+
+const char* reorder_name(Reorder reorder) {
+  switch (reorder) {
+    case Reorder::kNone:
+      return "none";
+    case Reorder::kRcm:
+      return "rcm";
+  }
+  return "?";
+}
+
+std::vector<value_t> ReorderedProblem::to_reordered(
+    std::span<const value_t> x) const {
+  std::vector<value_t> result(x.size());
+  if (new_of.empty()) {
+    std::copy(x.begin(), x.end(), result.begin());
+    return result;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    result[static_cast<std::size_t>(new_of[i])] = x[i];
+  }
+  return result;
+}
+
+std::vector<value_t> ReorderedProblem::to_original(
+    std::span<const value_t> y) const {
+  std::vector<value_t> result(y.size());
+  if (new_of.empty()) {
+    std::copy(y.begin(), y.end(), result.begin());
+    return result;
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    result[i] = y[static_cast<std::size_t>(new_of[i])];
+  }
+  return result;
+}
+
+ReorderedProblem make_reordered_problem(const sparse::CsrMatrix& a,
+                                        Reorder reorder) {
+  ReorderedProblem problem;
+  problem.reorder = reorder;
+  switch (reorder) {
+    case Reorder::kNone:
+      problem.matrix = a;
+      return problem;
+    case Reorder::kRcm:
+      problem.new_of = sparse::rcm_permutation(a);
+      problem.matrix = a.permute_symmetric(problem.new_of);
+      return problem;
+  }
+  throw std::logic_error("make_reordered_problem: unknown reorder");
+}
+
+}  // namespace hspmv::spmv

@@ -1,0 +1,52 @@
+// Opt-in global reordering pre-pass for the distributed pipeline.
+//
+// The paper applied RCM to the Holstein Hamiltonian (Sect. 1.3.1) before
+// distributing it: bandwidth reduction clusters the nonzeros near the
+// diagonal, so a contiguous row partition needs fewer remote RHS
+// elements — smaller halo volume and fewer messages. This module wires
+// sparse::rcm_permutation into that flow: reorder globally, re-partition,
+// run the engine on the reordered system, and map results back with the
+// inverse permutation. y' = P A P^T (P x) implies P^T y' = A x, so after
+// un-permuting the reordered pipeline solves the original problem.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace hspmv::spmv {
+
+enum class Reorder {
+  kNone,
+  kRcm,
+};
+
+/// "none" -> kNone, "rcm" -> kRcm; throws std::invalid_argument otherwise.
+Reorder parse_reorder(const std::string& name);
+const char* reorder_name(Reorder reorder);
+
+/// A matrix prepared for the distributed pipeline under a reordering:
+/// the (possibly permuted) matrix plus the permutation needed to move
+/// vectors between the original and reordered numberings. For kNone the
+/// permutation is empty and matrix is an untouched copy.
+struct ReorderedProblem {
+  sparse::CsrMatrix matrix;            ///< P A P^T (or A for kNone)
+  std::vector<sparse::index_t> new_of; ///< new_of[old] = new (empty: identity)
+  Reorder reorder = Reorder::kNone;
+
+  /// x' with x'[new_of[i]] = x[i] — RHS into the reordered numbering.
+  [[nodiscard]] std::vector<sparse::value_t> to_reordered(
+      std::span<const sparse::value_t> x) const;
+  /// y with y[i] = y'[new_of[i]] — results back to the original numbering.
+  [[nodiscard]] std::vector<sparse::value_t> to_original(
+      std::span<const sparse::value_t> y) const;
+};
+
+/// Apply `reorder` to `a` (RCM uses the symmetrized pattern, valid for
+/// any square matrix).
+ReorderedProblem make_reordered_problem(const sparse::CsrMatrix& a,
+                                        Reorder reorder);
+
+}  // namespace hspmv::spmv

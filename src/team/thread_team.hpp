@@ -8,6 +8,7 @@
 // static range chunking, and nonzero-balanced row chunking.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -17,6 +18,17 @@
 #include <vector>
 
 namespace hspmv::team {
+
+/// Lock-free max-reduction into `target` — the per-phase timing
+/// aggregation ("max over participating threads") used by the engine's
+/// parallel gather and task-mode compute phases.
+inline void atomic_fetch_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (current < value &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
 
 /// Reusable sense-reversing barrier for `parties` threads (cv-based; the
 /// host may have fewer cores than threads, so spinning would livelock).

@@ -1,18 +1,33 @@
-// Cache-line / SIMD-aligned storage.
+// Cache-line / SIMD-aligned storage and NUMA first-touch placement.
 //
 // The spMVM kernels stream large arrays; aligning them to 64 bytes avoids
 // split loads and makes the cache-simulator's line accounting exact.
+//
+// On multi-LD (NUMA) nodes, *which thread writes a page first* decides
+// where the page lives: under Linux's default first-touch policy a page
+// is placed on the locality domain of the faulting thread. The paper's
+// node-level model (Eq. 1, Fig. 3's per-LD saturation) assumes data is
+// placed where it is streamed — perfmodel/stream.cpp does this for the
+// STREAM arrays, and the facilities below do it for the engine's
+// matrices, vectors and send buffers: allocate without touching, then
+// have each team member write exactly the chunk it will later stream.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <limits>
 #include <new>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 namespace hspmv::util {
 
 inline constexpr std::size_t kCacheLineBytes = 64;
+/// Granularity of first-touch placement (smallest-page assumption; touch
+/// strides use this, so huge pages only make the touch redundant).
+inline constexpr std::size_t kPageBytes = 4096;
 
 /// Minimal C++17 allocator returning 64-byte aligned memory.
 template <typename T, std::size_t Alignment = kCacheLineBytes>
@@ -59,5 +74,117 @@ class AlignedAllocator {
 /// std::vector with 64-byte aligned storage.
 template <typename T>
 using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// AlignedAllocator that *default-initializes* on construct: for trivial
+/// T, resize() then performs no stores at all, so the freshly mapped
+/// pages stay untouched until real data is written into them — the
+/// prerequisite for first-touch placement. Values are indeterminate
+/// until written; only use through the first_touch_* helpers or code
+/// that provably writes before reading.
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class DefaultInitAllocator : public AlignedAllocator<T, Alignment> {
+ public:
+  using value_type = T;
+
+  DefaultInitAllocator() noexcept = default;
+  template <typename U>
+  DefaultInitAllocator(const DefaultInitAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U, Alignment>;
+  };
+
+  template <typename U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(static_cast<Args&&>(args)...);
+  }
+};
+
+/// 64-byte aligned vector whose growth does not touch the new pages.
+template <typename T>
+using FirstTouchVector = std::vector<T, DefaultInitAllocator<T>>;
+
+/// Write `value` into [begin, end) of `data` at page stride (plus both
+/// endpoints): claims NUMA placement of every page the range overlaps
+/// without streaming the whole range. The touched elements hold `value`;
+/// the rest of the range stays indeterminate — use first_touch_fill when
+/// the range must also end up initialized.
+template <typename T>
+void touch_pages(std::span<T> data, std::int64_t begin, std::int64_t end,
+                 T value = T{}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  constexpr auto stride =
+      static_cast<std::int64_t>(kPageBytes / sizeof(T) > 0 ? kPageBytes /
+                                                                 sizeof(T)
+                                                           : 1);
+  for (std::int64_t i = begin; i < end; i += stride) {
+    data[static_cast<std::size_t>(i)] = value;
+  }
+  if (end > begin) data[static_cast<std::size_t>(end - 1)] = value;
+}
+
+/// Team-driven first-touch fill: member p of `team` writes `value` into
+/// its chunk [boundaries[p], boundaries[p+1]) of `data`, so each page is
+/// placed on the locality domain of the thread that owns the chunk.
+/// boundaries has parties+1 entries with parties <= team.size(); members
+/// beyond the last party idle. `party_of(id)` maps a team member id to
+/// its party (or a negative value for non-participants) — the identity
+/// by default; the engine's task mode passes id - 1 because member 0 is
+/// the communication thread.
+template <typename T, typename Team, typename PartyOf>
+void first_touch_fill(Team& team, std::span<T> data,
+                      std::span<const std::int64_t> boundaries,
+                      PartyOf&& party_of, T value = T{}) {
+  const auto parties = static_cast<int>(boundaries.size()) - 1;
+  team.execute([&](int id) {
+    const int party = party_of(id);
+    if (party < 0 || party >= parties) return;
+    const auto begin = boundaries[static_cast<std::size_t>(party)];
+    const auto end = boundaries[static_cast<std::size_t>(party) + 1];
+    for (std::int64_t i = begin; i < end; ++i) {
+      data[static_cast<std::size_t>(i)] = value;
+    }
+  });
+}
+
+template <typename T, typename Team>
+void first_touch_fill(Team& team, std::span<T> data,
+                      std::span<const std::int64_t> boundaries,
+                      T value = T{}) {
+  first_touch_fill(team, data, boundaries, [](int id) { return id; }, value);
+}
+
+/// Team-driven placed copy: allocate untouched storage for src.size()
+/// elements and have member p copy chunk [boundaries[p], boundaries[p+1])
+/// — the placement-preserving clone used for the engine's local matrix
+/// blocks. Elements outside [boundaries.front(), boundaries.back()) are
+/// copied by member 0.
+template <typename T, typename Team>
+FirstTouchVector<T> first_touch_vector(Team& team, std::span<const T> src,
+                                       std::span<const std::int64_t>
+                                           boundaries) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  FirstTouchVector<T> result;
+  result.resize(src.size());  // no stores: pages stay untouched
+  const auto parties = static_cast<int>(boundaries.size()) - 1;
+  T* __restrict dst = result.data();
+  const T* __restrict from = src.data();
+  team.execute([&](int id) {
+    if (id < 0 || id >= parties) return;
+    auto begin = boundaries[static_cast<std::size_t>(id)];
+    auto end = boundaries[static_cast<std::size_t>(id) + 1];
+    if (id == 0) begin = 0;
+    if (id == parties - 1) end = static_cast<std::int64_t>(src.size());
+    for (std::int64_t i = begin; i < end; ++i) {
+      dst[static_cast<std::size_t>(i)] = from[static_cast<std::size_t>(i)];
+    }
+  });
+  return result;
+}
 
 }  // namespace hspmv::util

@@ -15,6 +15,7 @@
 #include "sparse/kernels.hpp"
 #include "spmv/engine.hpp"
 #include "spmv/partition.hpp"
+#include "spmv/reorder.hpp"
 #include "util/prng.hpp"
 
 namespace hspmv::testutil {
@@ -113,6 +114,25 @@ inline double distributed_error(
   return max_abs_diff(distributed_product(a, x, threads, variant, options,
                                           engine_options, repetitions),
                       expected);
+}
+
+/// Max abs error of the *reordered* distributed pipeline against the
+/// sequential reference on the ORIGINAL matrix: reorder globally, run
+/// `variant` on ranks x threads on P A P^T with P x, map the result back
+/// with the inverse permutation, compare to A x. Exercises the full
+/// reorder -> partition -> engine -> un-permute flow.
+inline double reordered_distributed_error(
+    const sparse::CsrMatrix& a, spmv::Reorder reorder, int ranks, int threads,
+    spmv::Variant variant, const spmv::EngineOptions& engine_options = {}) {
+  const auto problem = spmv::make_reordered_problem(a, reorder);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols()), 7);
+  const auto expected = sequential_reference(a, x);
+  minimpi::RuntimeOptions options;
+  options.ranks = ranks;
+  const auto y_reordered = distributed_product(
+      problem.matrix, problem.to_reordered(x), threads, variant, options,
+      engine_options);
+  return max_abs_diff(problem.to_original(y_reordered), expected);
 }
 
 }  // namespace hspmv::testutil

@@ -172,6 +172,130 @@ TEST(BuildLocalPlan, NoHaloForBlockDiagonalMatrix) {
   EXPECT_TRUE(lp.plan.recv_blocks.empty());
 }
 
+/// A plan with only a send side: gather-list sizes per peer block.
+CommPlan send_only_plan(const std::vector<index_t>& block_sizes) {
+  CommPlan plan;
+  for (std::size_t b = 0; b < block_sizes.size(); ++b) {
+    SendBlock sb;
+    sb.peer = static_cast<int>(b) + 1;
+    sb.gather.resize(static_cast<std::size_t>(block_sizes[b]));
+    for (index_t i = 0; i < block_sizes[b]; ++i) {
+      sb.gather[static_cast<std::size_t>(i)] = i;
+    }
+    plan.send_blocks.push_back(std::move(sb));
+  }
+  return plan;
+}
+
+/// Flattened element ids covered by `party`, in emission order.
+std::vector<std::int64_t> covered_by(const GatherSchedule& schedule,
+                                     const CommPlan& plan, int party) {
+  std::vector<std::int64_t> block_base(plan.send_blocks.size() + 1, 0);
+  for (std::size_t b = 0; b < plan.send_blocks.size(); ++b) {
+    block_base[b + 1] =
+        block_base[b] +
+        static_cast<std::int64_t>(plan.send_blocks[b].gather.size());
+  }
+  std::vector<std::int64_t> elements;
+  schedule.for_party(party, [&](std::size_t block, std::int64_t begin,
+                                std::int64_t end) {
+    EXPECT_LT(begin, end);  // no empty pieces emitted
+    EXPECT_LE(end, static_cast<std::int64_t>(
+                       plan.send_blocks[block].gather.size()));
+    for (std::int64_t i = begin; i < end; ++i) {
+      elements.push_back(block_base[block] + i);
+    }
+  });
+  return elements;
+}
+
+TEST(GatherSchedule, PartitionsEveryElementExactlyOnce) {
+  const CommPlan plan = send_only_plan({5, 1, 7, 3});
+  const GatherSchedule schedule(plan, 3);
+  EXPECT_EQ(schedule.parties(), 3);
+  EXPECT_EQ(schedule.total_elements(), 16);
+  std::vector<std::int64_t> all;
+  std::int64_t accounted = 0;
+  for (int party = 0; party < schedule.parties(); ++party) {
+    const auto mine = covered_by(schedule, plan, party);
+    EXPECT_EQ(static_cast<std::int64_t>(mine.size()),
+              schedule.elements_of(party));
+    accounted += schedule.elements_of(party);
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  EXPECT_EQ(accounted, schedule.total_elements());
+  // Concatenating the parties' shares in order yields 0..15 exactly.
+  ASSERT_EQ(all.size(), 16u);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(GatherSchedule, SplitsSingleDominantBlock) {
+  // The skewed-peer case the element-wise split exists for: one block
+  // holds nearly everything, yet no party serializes on it.
+  const CommPlan plan = send_only_plan({100, 4});
+  const GatherSchedule schedule(plan, 4);
+  for (int party = 0; party < 4; ++party) {
+    EXPECT_EQ(schedule.elements_of(party), 26);
+  }
+  // Parties 0..2 work exclusively inside block 0.
+  for (int party = 0; party < 3; ++party) {
+    schedule.for_party(party, [&](std::size_t block, std::int64_t,
+                                  std::int64_t) { EXPECT_EQ(block, 0u); });
+  }
+  // The last party finishes block 0 and takes all of block 1.
+  int pieces = 0;
+  schedule.for_party(3, [&](std::size_t block, std::int64_t begin,
+                            std::int64_t end) {
+    if (block == 0) {
+      EXPECT_EQ(begin, 78);
+      EXPECT_EQ(end, 100);
+    } else {
+      EXPECT_EQ(block, 1u);
+      EXPECT_EQ(begin, 0);
+      EXPECT_EQ(end, 4);
+    }
+    ++pieces;
+  });
+  EXPECT_EQ(pieces, 2);
+}
+
+TEST(GatherSchedule, EmptyPlanAndDefaultConstruction) {
+  const CommPlan empty;
+  const GatherSchedule schedule(empty, 4);
+  EXPECT_EQ(schedule.parties(), 4);
+  EXPECT_EQ(schedule.total_elements(), 0);
+  for (int party = 0; party < 4; ++party) {
+    EXPECT_EQ(schedule.elements_of(party), 0);
+    schedule.for_party(party, [](std::size_t, std::int64_t, std::int64_t) {
+      FAIL() << "no pieces expected from an empty plan";
+    });
+  }
+}
+
+TEST(GatherSchedule, MorePartiesThanElements) {
+  const CommPlan plan = send_only_plan({2, 1});
+  const GatherSchedule schedule(plan, 8);
+  std::int64_t total = 0;
+  for (int party = 0; party < 8; ++party) {
+    total += schedule.elements_of(party);
+  }
+  EXPECT_EQ(total, 3);
+  // The surplus parties are cleanly idle.
+  int busy = 0;
+  for (int party = 0; party < 8; ++party) {
+    if (schedule.elements_of(party) > 0) ++busy;
+  }
+  EXPECT_LE(busy, 3);
+}
+
+TEST(GatherSchedule, RejectsNonPositivePartyCount) {
+  const CommPlan plan = send_only_plan({4});
+  EXPECT_THROW((void)GatherSchedule(plan, 0), std::invalid_argument);
+  EXPECT_THROW((void)GatherSchedule(plan, -2), std::invalid_argument);
+}
+
 TEST(BuildLocalPlan, BadArgsThrow) {
   const CsrMatrix a = matgen::laplacian1d(10);
   const std::vector<index_t> boundaries{0, 5, 10};

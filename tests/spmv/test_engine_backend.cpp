@@ -118,6 +118,85 @@ TEST(EngineBackend, ParseBackendRoundTrip) {
   EXPECT_THROW(parse_backend("ellpack"), std::invalid_argument);
 }
 
+TEST(EngineBackend, ParallelAndSerialGatherAgreeBitwise) {
+  // The team-parallel send-buffer gather copies the same elements to the
+  // same slots as the legacy serial loop — same bytes through either data
+  // path, for every variant and both backends.
+  const CsrMatrix a = matgen::random_sparse(500, 9, 31);
+  const auto x_global =
+      testutil::random_vector(static_cast<std::size_t>(a.cols()), 13);
+  minimpi::RuntimeOptions runtime_options;
+  runtime_options.ranks = 3;
+  for (const Variant v : {Variant::kVectorNoOverlap,
+                          Variant::kVectorNaiveOverlap, Variant::kTaskMode}) {
+    for (const LocalBackend backend :
+         {LocalBackend::kCsr, LocalBackend::kSell}) {
+      std::vector<std::vector<value_t>> products;
+      for (const bool parallel_gather : {true, false}) {
+        EngineOptions options;
+        options.backend = backend;
+        options.parallel_gather = parallel_gather;
+        products.push_back(testutil::distributed_product(
+            a, x_global, 3, v, runtime_options, options));
+      }
+      ASSERT_EQ(products[0].size(), products[1].size());
+      for (std::size_t i = 0; i < products[0].size(); ++i) {
+        ASSERT_EQ(products[0][i], products[1][i])
+            << "variant " << static_cast<int>(v) << " backend "
+            << backend_name(backend) << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(EngineBackend, FirstTouchOnOffAgreeBitwise) {
+  // NUMA placement must be invisible to the arithmetic: placed clones of
+  // the local blocks and placed vectors hold identical data.
+  const CsrMatrix a = matgen::random_banded(400, 60, 8, 17);
+  const auto x_global =
+      testutil::random_vector(static_cast<std::size_t>(a.cols()), 29);
+  minimpi::RuntimeOptions runtime_options;
+  runtime_options.ranks = 2;
+  for (const Variant v : {Variant::kVectorNoOverlap, Variant::kTaskMode}) {
+    for (const LocalBackend backend :
+         {LocalBackend::kCsr, LocalBackend::kSell}) {
+      std::vector<std::vector<value_t>> products;
+      for (const bool first_touch : {true, false}) {
+        EngineOptions options;
+        options.backend = backend;
+        options.first_touch = first_touch;
+        products.push_back(testutil::distributed_product(
+            a, x_global, 3, v, runtime_options, options));
+      }
+      for (std::size_t i = 0; i < products[0].size(); ++i) {
+        ASSERT_EQ(products[0][i], products[1][i])
+            << "variant " << static_cast<int>(v) << " backend "
+            << backend_name(backend) << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(EngineBackend, CommVolumeCountersMatchThePlan) {
+  // Timings' volume counters are plan-derived: across both ranks of a
+  // 1D Laplacian cut in the middle, each rank sends and receives exactly
+  // one element per spMVM (8 bytes, 1 message each way).
+  const CsrMatrix a = matgen::laplacian1d(64);
+  minimpi::run(2, [&](minimpi::Comm& comm) {
+    const auto boundaries = spmv::partition_rows(
+        a, comm.size(), spmv::PartitionStrategy::kBalancedRows);
+    DistMatrix dist(comm, a, boundaries);
+    SpmvEngine engine(dist, 2, Variant::kVectorNoOverlap);
+    auto x = engine.make_vector();
+    auto y = engine.make_vector();
+    const auto t = engine.apply(x, y);
+    EXPECT_EQ(t.halo_elements, 1);
+    EXPECT_EQ(t.bytes_received, static_cast<std::int64_t>(sizeof(value_t)));
+    EXPECT_EQ(t.bytes_sent, static_cast<std::int64_t>(sizeof(value_t)));
+    EXPECT_EQ(t.messages, 2);  // one recv + one send
+  });
+}
+
 TEST(EngineBackend, EmptyPartsToleratedWithSell) {
   // More parts than rows: some ranks own zero rows; the SELL kernel must
   // cope with an empty local matrix.

@@ -1,0 +1,127 @@
+#include "util/aligned.hpp"
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "team/thread_team.hpp"
+
+namespace hspmv::util {
+namespace {
+
+TEST(AlignedAllocator, VectorStorageIsCacheLineAligned) {
+  AlignedVector<double> v(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+  AlignedVector<std::int32_t> w(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(DefaultInitAllocator, ResizeThenWriteReadsBack) {
+  // Values are indeterminate after resize (that is the point — no stores,
+  // pages stay untouched); anything written must read back exactly.
+  FirstTouchVector<double> v;
+  v.resize(10000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+  for (std::size_t i = 0; i < v.size(); i += 97) {
+    v[i] = static_cast<double>(i) * 0.5;
+  }
+  for (std::size_t i = 0; i < v.size(); i += 97) {
+    EXPECT_EQ(v[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(DefaultInitAllocator, ValueConstructionStillWorks) {
+  FirstTouchVector<double> v;
+  v.push_back(3.25);
+  v.assign(5, -1.0);
+  for (const double x : v) EXPECT_EQ(x, -1.0);
+  // Non-trivial element types keep their default constructor semantics.
+  std::vector<std::vector<int>, DefaultInitAllocator<std::vector<int>>> nested;
+  nested.resize(3);
+  EXPECT_TRUE(nested[0].empty());
+}
+
+TEST(TouchPages, WritesStrideAndEndpoints) {
+  std::vector<double> data(3000, -1.0);
+  constexpr std::int64_t kStride =
+      static_cast<std::int64_t>(kPageBytes / sizeof(double));  // 512
+  touch_pages(std::span<double>(data), 100, 2000, 0.0);
+  EXPECT_EQ(data[100], 0.0);           // range start
+  EXPECT_EQ(data[100 + kStride], 0.0); // one page later
+  EXPECT_EQ(data[1999], 0.0);          // range end (exclusive bound - 1)
+  EXPECT_EQ(data[99], -1.0);           // before the range: untouched
+  EXPECT_EQ(data[101], -1.0);          // between strides: untouched
+  EXPECT_EQ(data[2000], -1.0);         // past the range: untouched
+}
+
+TEST(TouchPages, EmptyRangeIsNoOp) {
+  std::vector<double> data(10, -1.0);
+  touch_pages(std::span<double>(data), 4, 4, 0.0);
+  for (const double x : data) EXPECT_EQ(x, -1.0);
+}
+
+TEST(FirstTouchFill, EveryElementGetsValue) {
+  team::ThreadTeam team(3);
+  std::vector<double> data(301, -1.0);
+  const std::vector<std::int64_t> boundaries{0, 100, 200, 301};
+  first_touch_fill(team, std::span<double>(data), boundaries, 2.5);
+  for (const double x : data) EXPECT_EQ(x, 2.5);
+}
+
+TEST(FirstTouchFill, PartyOfOffsetAndIdleMembers) {
+  // Task-mode shape: member 0 is the comm thread (party -1, idles), the
+  // workers cover the parties. More members than parties also idles the
+  // excess cleanly.
+  team::ThreadTeam team(4);
+  std::vector<double> data(50, -1.0);
+  const std::vector<std::int64_t> boundaries{0, 30, 50};
+  first_touch_fill(
+      team, std::span<double>(data), boundaries,
+      [](int id) { return id - 1; }, 9.0);
+  for (const double x : data) EXPECT_EQ(x, 9.0);
+}
+
+TEST(FirstTouchVector, CopiesExactlyWithEdgeExtension) {
+  // Boundaries that do not span the whole array: member 0 extends its
+  // chunk to the front, the last party to the back — nothing is dropped.
+  team::ThreadTeam team(2);
+  std::vector<std::int64_t> src(1000);
+  std::iota(src.begin(), src.end(), 17);
+  const std::vector<std::int64_t> boundaries{100, 600, 900};
+  const auto copy = first_touch_vector<std::int64_t>(
+      team, std::span<const std::int64_t>(src), boundaries);
+  ASSERT_EQ(copy.size(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(copy[i], src[i]) << "element " << i;
+  }
+}
+
+TEST(FirstTouchVector, FewerPartiesThanTeamMembers) {
+  team::ThreadTeam team(4);
+  std::vector<double> src(333);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<double>(i) * 1.25;
+  }
+  const std::vector<std::int64_t> boundaries{0, 333};  // one party, 3 idle
+  const auto copy = first_touch_vector<double>(
+      team, std::span<const double>(src), boundaries);
+  ASSERT_EQ(copy.size(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(copy[i], src[i]);
+  }
+}
+
+TEST(FirstTouchVector, EmptySource) {
+  team::ThreadTeam team(2);
+  const std::vector<double> src;
+  const std::vector<std::int64_t> boundaries{0, 0, 0};
+  const auto copy = first_touch_vector<double>(
+      team, std::span<const double>(src), boundaries);
+  EXPECT_TRUE(copy.empty());
+}
+
+}  // namespace
+}  // namespace hspmv::util
