@@ -3,9 +3,52 @@
 # the randomized stress tier (chaos tests) with a pinned seed so CI is
 # reproducible. Override the seed by exporting HSPMV_TEST_SEED, or pass a
 # build directory as the first argument (default: build).
+#
+# Optional lanes (first argument):
+#   tier1.sh asan   — rebuild under AddressSanitizer, run the functional
+#                     suite (bench-smoke excluded) in build-asan
+#   tier1.sh ubsan  — same under UBSan (-fno-sanitize-recover) in
+#                     build-ubsan
+#   tier1.sh tsan   — same under ThreadSanitizer in build-tsan
+#   tier1.sh lint   — static-analysis pass (scripts/lint.sh: clang-tidy
+#                     when available, strict GCC warnings otherwise)
+# Without a lane argument the classic full tier-1 runs.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+sanitizer_lane() {
+  local lane="$1" sanitize="$2"
+  local lane_dir="${repo_root}/build-${lane}"
+  cmake -B "${lane_dir}" -S "${repo_root}" -DHSPMV_SANITIZE="${sanitize}"
+  cmake --build "${lane_dir}" -j
+  # Full functional suite under the sanitizer; the benchmark smoke lane
+  # is excluded (sanitizer timings are meaningless and slow).
+  # Note: -j needs an explicit count here — a bare -j would swallow the
+  # following -LE flag as its argument and silently drop the exclusion.
+  ctest --test-dir "${lane_dir}" --output-on-failure -j "$(nproc)" \
+    -LE bench-smoke
+}
+
+case "${1:-}" in
+  asan)
+    sanitizer_lane asan address
+    exit 0
+    ;;
+  ubsan)
+    sanitizer_lane ubsan undefined
+    exit 0
+    ;;
+  tsan)
+    sanitizer_lane tsan thread
+    exit 0
+    ;;
+  lint)
+    "${repo_root}/scripts/lint.sh" "${2:-${repo_root}/build}"
+    exit 0
+    ;;
+esac
+
 build_dir="${1:-${repo_root}/build}"
 
 # Fixed CI seed for the stress lane (tests/common/seeded_fixture.hpp uses

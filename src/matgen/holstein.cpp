@@ -214,9 +214,12 @@ sparse::CsrMatrix holstein_hubbard(const HolsteinHubbardParams& params,
                        -params.hopping * sign);
     }
 
-    // Electron-phonon coupling (electron state unchanged).
+    // Electron-phonon coupling (electron state unchanged). Pointer formed
+    // with data() arithmetic: with zero phonon modes `density` is empty,
+    // and operator[] may not bind a reference even at offset 0.
     const std::uint8_t* site_density =
-        &density[static_cast<std::size_t>(e) * static_cast<std::size_t>(modes)];
+        density.data() +
+        static_cast<std::size_t>(e) * static_cast<std::size_t>(modes);
     for (const auto& t : transitions[static_cast<std::size_t>(p)]) {
       const int nd = site_density[t.mode];
       if (nd == 0) continue;

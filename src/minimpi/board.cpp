@@ -3,10 +3,49 @@
 #include <algorithm>
 #include <cstring>
 
+#include "minimpi/comm.hpp"
+
 namespace hspmv::minimpi {
 
 Board::Board(const RuntimeOptions& options)
-    : options_(options), fault_(options.chaos) {}
+    : options_(options), fault_(options.chaos) {
+  if (options.validate.enabled || options.validate.watchdog_seconds > 0.0) {
+    checker_ = std::make_unique<UsageChecker>(
+        options.validate, static_cast<std::size_t>(options.ranks));
+  }
+}
+
+bool Board::poisoned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !poison_error_.empty();
+}
+
+void Board::finalize_validation() {
+  if (checker_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (poison_error_.empty()) {
+    for (const auto& op : unmatched_sends_) {
+      checker_->on_unmatched_send(op.global_source, op.global_dest, op.tag,
+                                  op.bytes);
+    }
+  }
+  checker_->on_finalize(!poison_error_.empty());
+}
+
+std::vector<int> Board::unmatched_peers_locked(
+    const std::vector<std::shared_ptr<RequestState>>& requests) const {
+  std::vector<int> peers;
+  for (const auto& request : requests) {
+    if (request == nullptr || request->complete) continue;
+    for (const auto& op : unmatched_sends_) {
+      if (op.request == request) peers.push_back(op.global_dest);
+    }
+    for (const auto& op : unmatched_recvs_) {
+      if (op.request == request) peers.push_back(op.global_source);
+    }
+  }
+  return peers;
+}
 
 void Board::fail_request_locked(const std::shared_ptr<RequestState>& request,
                                 const std::string& message) {
@@ -96,12 +135,23 @@ std::shared_ptr<RequestState> Board::post_send(std::uint64_t comm_id,
     op.request->complete = true;
     return op.request;
   }
+  if (checker_ != nullptr) {
+    // Eager sends buffered their payload at post time: the user buffer is
+    // immediately reusable, so it is not an overlap hazard.
+    checker_->on_post(op.request, /*is_recv=*/false, data, bytes,
+                      global_source, global_dest, tag,
+                      /*tracked_buffer=*/op.eager_copy == nullptr);
+  }
   for (auto it = unmatched_recvs_.begin(); it != unmatched_recvs_.end();
        ++it) {
     if (match_locked(op, *it)) {
       PendingOp recv = *it;
       unmatched_recvs_.erase(it);
       if (op.bytes > recv.bytes) {
+        if (checker_ != nullptr) {
+          checker_->on_truncation(op.global_source, op.global_dest, op.tag,
+                                  op.bytes, recv.bytes);
+        }
         const std::string message =
             "minimpi: message truncation (send " + std::to_string(op.bytes) +
             " bytes into recv capacity " + std::to_string(recv.bytes) + ")";
@@ -154,12 +204,21 @@ std::shared_ptr<RequestState> Board::post_recv(std::uint64_t comm_id,
     op.request->complete = true;
     return op.request;
   }
+  if (checker_ != nullptr) {
+    checker_->on_post(op.request, /*is_recv=*/true, data, capacity_bytes,
+                      global_dest, global_source, tag,
+                      /*tracked_buffer=*/true);
+  }
   for (auto it = unmatched_sends_.begin(); it != unmatched_sends_.end();
        ++it) {
     if (match_locked(*it, op)) {
       PendingOp send = *it;
       unmatched_sends_.erase(it);
       if (send.bytes > op.bytes) {
+        if (checker_ != nullptr) {
+          checker_->on_truncation(send.global_source, send.global_dest,
+                                  send.tag, send.bytes, op.bytes);
+        }
         const std::string message =
             "minimpi: message truncation (send " +
             std::to_string(send.bytes) + " bytes into recv capacity " +
@@ -263,11 +322,22 @@ void Board::fire_hooks(const std::vector<TransferRecord>& records) {
 void Board::wait_all(
     int rank, const std::vector<std::shared_ptr<RequestState>>& requests) {
   std::unique_lock<std::mutex> lock(mutex_);
+  if (checker_ != nullptr) {
+    for (const auto& request : requests) checker_->on_wait(request, rank);
+  }
   std::vector<TransferRecord> records;
+  bool registered = false;       // in the checker's blocked registry
+  bool watchdog_dumped = false;
+  int idle_rounds = 0;           // cv timeouts without any completion
+  const auto blocked_since = Clock::now();
+  const auto leave = [&] {
+    if (registered) checker_->leave_blocked(rank);
+  };
   while (true) {
     const auto now = Clock::now();
     const bool held = start_ready_locked(rank, now);
     if (complete_due_locked(rank, now, records)) {
+      idle_rounds = 0;
       lock.unlock();
       fire_hooks(records);
       records.clear();
@@ -280,6 +350,7 @@ void Board::wait_all(
     for (const auto& request : requests) {
       if (request == nullptr) continue;
       if (!request->error.empty()) {
+        leave();
         throw std::runtime_error(request->error);
       }
       if (!request->complete) {
@@ -289,13 +360,48 @@ void Board::wait_all(
     }
     if (all_complete) {
       for (const auto& request : requests) {
-        if (request != nullptr) request->active = false;
+        if (request == nullptr) continue;
+        if (checker_ != nullptr) checker_->on_retire(request);
+        request->active = false;
       }
+      leave();
       return;
     }
     if (shutdown_) {
+      leave();
       throw std::runtime_error("minimpi: runtime aborted during wait");
     }
+
+    if (checker_ != nullptr && rank >= 0) {
+      auto peers = unmatched_peers_locked(requests);
+      const std::string description =
+          "blocked in wait_all on " + std::to_string(requests.size()) +
+          " request(s)";
+      if (!registered) {
+        checker_->enter_blocked_wait(rank, std::move(peers), description);
+        registered = true;
+      } else {
+        checker_->update_blocked_wait(rank, std::move(peers));
+      }
+      if (options_.validate.watchdog_seconds > 0.0 && !watchdog_dumped &&
+          std::chrono::duration<double>(now - blocked_since).count() >
+              options_.validate.watchdog_seconds) {
+        watchdog_dumped = true;
+        checker_->dump_blocked_state(
+            "watchdog: rank " + std::to_string(rank) + " blocked beyond " +
+            std::to_string(options_.validate.watchdog_seconds) + " s");
+      }
+      // Only scan once the wait has been idle for a couple of timeouts:
+      // transient matching gaps resolve themselves within one round.
+      if (checker_->enabled() && idle_rounds >= 2) {
+        const std::string deadlock = checker_->check_deadlock(rank);
+        if (!deadlock.empty()) {
+          leave();
+          throw std::runtime_error("minimpi: " + deadlock);
+        }
+      }
+    }
+    ++idle_rounds;
 
     const auto deadline = next_deadline_locked(rank);
     // Poll fast while chaos holds a transfer back so holds drain in
@@ -327,6 +433,7 @@ bool Board::test(int rank, const std::shared_ptr<RequestState>& request) {
       ++request->chaos_test_lies;
       return false;
     }
+    if (checker_ != nullptr) checker_->on_retire(request);
     request->active = false;
   }
   fire_hooks(records);
@@ -356,10 +463,27 @@ void Board::progress_thread_main() {
   }
 }
 
+void Board::register_slots(detail::CollectiveSlots* slots) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_registry_.push_back(slots);
+}
+
+void Board::unregister_slots(detail::CollectiveSlots* slots) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_registry_.erase(
+      std::remove(slots_registry_.begin(), slots_registry_.end(), slots),
+      slots_registry_.end());
+}
+
 void Board::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
+    // Unblock collectives of *every* communicator, not just the world's:
+    // a rank stuck in a sub-communicator barrier would otherwise hang
+    // forever once a peer aborts. Lock order board -> slots is safe; the
+    // barrier wait path never takes the board mutex.
+    for (detail::CollectiveSlots* slots : slots_registry_) slots->abort();
   }
   cv_.notify_all();
 }

@@ -29,6 +29,10 @@
 
 namespace hspmv::minimpi {
 
+namespace detail {
+struct CollectiveSlots;
+}
+
 /// Completion state shared between a Request handle and the board.
 struct RequestState {
   bool complete = false;
@@ -81,6 +85,30 @@ class Board {
   /// runtime options carry no chaos). Collective slots borrow it for
   /// barrier jitter.
   [[nodiscard]] FaultInjector* fault() { return &fault_; }
+
+  /// The usage validator; null unless RuntimeOptions::validate enables
+  /// the checks or the blocked-state watchdog. Collective slots borrow it
+  /// for deadlock detection across barriers.
+  [[nodiscard]] UsageChecker* checker() { return checker_.get(); }
+
+  /// True once an injected failure poisoned the board (every pending and
+  /// future request errors out).
+  [[nodiscard]] bool poisoned() const;
+
+  /// End-of-run validation: report sends still unmatched on the board and
+  /// requests never waited to completion. Called by run() after all rank
+  /// threads joined cleanly.
+  void finalize_validation();
+
+  [[nodiscard]] const ValidateOptions& validate_options() const {
+    return options_.validate;
+  }
+
+  /// Shutdown propagation: registered collective slots are aborted when
+  /// the runtime shuts down, so a failing rank also unblocks barriers of
+  /// derived communicators. Slots unregister from their destructor.
+  void register_slots(detail::CollectiveSlots* slots);
+  void unregister_slots(detail::CollectiveSlots* slots);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -154,8 +182,15 @@ class Board {
 
   bool match_locked(PendingOp& send, PendingOp& recv);
 
+  /// World ranks of the still-unmatched peers of `requests` (the ranks
+  /// that must act before the corresponding transfer can even start).
+  /// Lock held.
+  [[nodiscard]] std::vector<int> unmatched_peers_locked(
+      const std::vector<std::shared_ptr<RequestState>>& requests) const;
+
   RuntimeOptions options_;
   FaultInjector fault_;
+  std::unique_ptr<UsageChecker> checker_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<PendingOp> unmatched_sends_;
@@ -164,6 +199,7 @@ class Board {
   std::deque<Transfer> in_flight_;  // started, waiting for the deadline
   bool shutdown_ = false;
   std::string poison_error_;  ///< nonempty after an injected failure
+  std::vector<detail::CollectiveSlots*> slots_registry_;
   std::uint64_t matched_messages_ = 0;
   std::uint64_t transferred_messages_ = 0;
   std::uint64_t transferred_bytes_ = 0;

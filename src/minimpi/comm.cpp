@@ -8,7 +8,11 @@ namespace hspmv::minimpi {
 
 namespace detail {
 
-void CollectiveSlots::barrier(int size) {
+CollectiveSlots::~CollectiveSlots() {
+  if (board != nullptr) board->unregister_slots(this);
+}
+
+void CollectiveSlots::barrier(int size, int global_rank) {
   if (injector != nullptr && injector->enabled()) {
     // Chaos: skew this rank's barrier arrival (and thereby the publish
     // slots of every collective built on this barrier).
@@ -21,15 +25,56 @@ void CollectiveSlots::barrier(int size) {
     throw std::runtime_error("minimpi: collective aborted");
   }
   const bool my_sense = sense;
+  const std::uint64_t my_generation =
+      release_generation.load(std::memory_order_relaxed);
   if (++arrived == size) {
     arrived = 0;
     sense = !sense;
+    release_generation.fetch_add(1, std::memory_order_release);
     cv.notify_all();
     return;
   }
+  bool registered = false;
+  bool watchdog_dumped = false;
+  int idle_rounds = 0;
+  const auto blocked_since = std::chrono::steady_clock::now();
+  const auto leave = [&] {
+    if (registered) checker->leave_blocked(global_rank);
+  };
   while (sense == my_sense && !aborted) {
+    if (checker != nullptr && global_rank >= 0 && global_of != nullptr) {
+      if (!registered) {
+        checker->enter_blocked_collective(
+            global_rank, comm_id, *global_of, &release_generation,
+            my_generation,
+            "blocked in collective barrier on comm " +
+                std::to_string(comm_id));
+        registered = true;
+      }
+      if (watchdog_seconds > 0.0 && !watchdog_dumped &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        blocked_since)
+                  .count() > watchdog_seconds) {
+        watchdog_dumped = true;
+        checker->dump_blocked_state(
+            "watchdog: rank " + std::to_string(global_rank) +
+            " blocked beyond " + std::to_string(watchdog_seconds) +
+            " s in a collective");
+      }
+      // Scan only after a couple of idle timeouts: a barrier the rest of
+      // the ranks are still running toward resolves on its own.
+      if (checker->enabled() && idle_rounds >= 2) {
+        const std::string deadlock = checker->check_deadlock(global_rank);
+        if (!deadlock.empty()) {
+          leave();
+          throw std::runtime_error("minimpi: " + deadlock);
+        }
+      }
+    }
+    ++idle_rounds;
     cv.wait_for(lock, std::chrono::milliseconds(50));
   }
+  leave();
   if (aborted) {
     throw std::runtime_error("minimpi: collective aborted");
   }
@@ -39,6 +84,7 @@ void CollectiveSlots::abort() {
   {
     std::lock_guard<std::mutex> lock(mutex);
     aborted = true;
+    release_generation.fetch_add(1, std::memory_order_release);
   }
   cv.notify_all();
 }
@@ -69,13 +115,15 @@ bool Comm::test(Request& request) const {
   return state_->board->test(global_rank(), request.state());
 }
 
-void Comm::barrier() const { collective_slots().barrier(state_->size); }
+void Comm::barrier() const {
+  collective_slots().barrier(state_->size, global_rank());
+}
 
 Comm Comm::split(int color, int key) const {
   auto& slots = collective_slots();
   slots.ints[2 * static_cast<std::size_t>(rank_)] = color;
   slots.ints[2 * static_cast<std::size_t>(rank_) + 1] = key;
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
 
   // Build my group: ranks with my color, ordered by (key, old rank).
   struct Member {
@@ -113,10 +161,17 @@ Comm Comm::split(int color, int key) const {
     child->slots =
         std::make_unique<detail::CollectiveSlots>(child->size);
     child->slots->injector = child->board->fault();
+    child->slots->checker = child->board->checker();
+    child->slots->comm_id = child->id;
+    child->slots->global_of = &child->global_of;
+    child->slots->watchdog_seconds =
+        child->board->validate_options().watchdog_seconds;
+    child->slots->board = child->board;
+    child->board->register_slots(child->slots.get());
     holder = new std::shared_ptr<detail::CommState>(std::move(child));
     slots.pointers[static_cast<std::size_t>(rank_)] = holder;
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
 
   Comm result;
   if (color >= 0) {
@@ -132,7 +187,7 @@ Comm Comm::split(int color, int key) const {
     }
     result = Comm(*published, new_rank);
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   delete holder;
   return result;
 }

@@ -7,6 +7,7 @@
 // not apply to them).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -58,23 +59,48 @@ struct CollectiveSlots {
       : pointers(static_cast<std::size_t>(size), nullptr),
         sizes(static_cast<std::size_t>(size), 0),
         ints(2 * static_cast<std::size_t>(size), 0) {}
+  ~CollectiveSlots();
 
   std::mutex mutex;
   std::condition_variable cv;
   int arrived = 0;
   bool sense = false;
   bool aborted = false;
+  /// Bumped on every barrier release (and on abort). A blocked-in-barrier
+  /// registration captures the entry value so the deadlock scanner can
+  /// tell a released-but-not-yet-rescheduled waiter from a genuinely
+  /// blocked one without taking this mutex (lock order stays
+  /// slots -> checker).
+  std::atomic<std::uint64_t> release_generation{0};
 
   /// Chaos layer (owned by the Board); jitters barrier arrival — and
   /// thereby every collective's publish slots. Null or disabled: no-op.
   FaultInjector* injector = nullptr;
 
+  /// Owning board. When set, the slots register for shutdown propagation:
+  /// a runtime abort also unblocks barriers of derived communicators, not
+  /// just the world's (set by both comm creation sites).
+  Board* board = nullptr;
+  /// Usage validator (owned by the board; null when validation is off).
+  /// Barrier waiters register in its blocked-state registry, so the
+  /// wait-for-graph cycle detector sees ranks stuck in collectives and
+  /// the watchdog can dump them.
+  UsageChecker* checker = nullptr;
+  std::uint64_t comm_id = 0;
+  /// World ranks of the communicator's members (points into the owning
+  /// CommState; same lifetime as these slots).
+  const std::vector<int>* global_of = nullptr;
+  double watchdog_seconds = 0.0;
+
   std::vector<const void*> pointers;
   std::vector<std::size_t> sizes;
   std::vector<std::int64_t> ints;
 
-  /// Central sense-reversing barrier. Throws if abort() was signalled.
-  void barrier(int size);
+  /// Central sense-reversing barrier. Throws if abort() was signalled or
+  /// the checker's cycle detector proves this barrier deadlocked.
+  /// `global_rank` identifies the arriving thread for the blocked-state
+  /// registry (-1: unregistered).
+  void barrier(int size, int global_rank = -1);
   void abort();
 };
 
@@ -277,7 +303,7 @@ void Comm::broadcast(std::span<T> data, int root) const {
     slots.pointers[static_cast<std::size_t>(root)] = data.data();
     slots.sizes[static_cast<std::size_t>(root)] = data.size_bytes();
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   if (rank_ != root) {
     if (slots.sizes[static_cast<std::size_t>(root)] != data.size_bytes()) {
       slots.abort();
@@ -287,7 +313,7 @@ void Comm::broadcast(std::span<T> data, int root) const {
         slots.pointers[static_cast<std::size_t>(root)]);
     std::copy(src, src + data.size(), data.begin());
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
 }
 
 template <typename T>
@@ -300,7 +326,7 @@ void Comm::allreduce(std::span<const T> contribution, std::span<T> result,
   auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = contribution.data();
   slots.sizes[static_cast<std::size_t>(rank_)] = contribution.size_bytes();
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   for (std::size_t i = 0; i < result.size(); ++i) {
     T accumulator =
         static_cast<const T*>(slots.pointers[0])[i];
@@ -313,7 +339,7 @@ void Comm::allreduce(std::span<const T> contribution, std::span<T> result,
     }
     result[i] = accumulator;
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
 }
 
 template <typename T>
@@ -323,7 +349,7 @@ void Comm::reduce(std::span<const T> contribution, std::span<T> result,
   check_peer(root);
   auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = contribution.data();
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   if (rank_ == root) {
     if (result.size() != contribution.size()) {
       slots.abort();
@@ -341,7 +367,7 @@ void Comm::reduce(std::span<const T> contribution, std::span<T> result,
       result[i] = accumulator;
     }
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
 }
 
 template <typename T>
@@ -349,13 +375,13 @@ std::vector<T> Comm::allgather(const T& value) const {
   static_assert(std::is_trivially_copyable_v<T>);
   auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = &value;
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   std::vector<T> result(static_cast<std::size_t>(state_->size));
   for (int r = 0; r < state_->size; ++r) {
     result[static_cast<std::size_t>(r)] =
         *static_cast<const T*>(slots.pointers[static_cast<std::size_t>(r)]);
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   return result;
 }
 
@@ -365,7 +391,7 @@ std::vector<T> Comm::allgatherv(std::span<const T> data) const {
   auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = data.data();
   slots.sizes[static_cast<std::size_t>(rank_)] = data.size();
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   std::size_t total = 0;
   for (int r = 0; r < state_->size; ++r) {
     total += slots.sizes[static_cast<std::size_t>(r)];
@@ -378,7 +404,7 @@ std::vector<T> Comm::allgatherv(std::span<const T> data) const {
     result.insert(result.end(), src,
                   src + slots.sizes[static_cast<std::size_t>(r)]);
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   return result;
 }
 
@@ -389,7 +415,7 @@ std::vector<T> Comm::gatherv(std::span<const T> data, int root) const {
   auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = data.data();
   slots.sizes[static_cast<std::size_t>(rank_)] = data.size();
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   std::vector<T> result;
   if (rank_ == root) {
     std::size_t total = 0;
@@ -404,7 +430,7 @@ std::vector<T> Comm::gatherv(std::span<const T> data, int root) const {
                     src + slots.sizes[static_cast<std::size_t>(r)]);
     }
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   return result;
 }
 
@@ -422,11 +448,11 @@ std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& chunks,
     slots.pointers[static_cast<std::size_t>(root)] =
         static_cast<const void*>(&chunks);
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   const auto* all = static_cast<const std::vector<std::vector<T>>*>(
       slots.pointers[static_cast<std::size_t>(root)]);
   std::vector<T> mine = (*all)[static_cast<std::size_t>(rank_)];
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   return mine;
 }
 
@@ -435,7 +461,7 @@ T Comm::exscan(const T& value, ReduceOp op) const {
   static_assert(std::is_trivially_copyable_v<T>);
   auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] = &value;
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   T accumulator{};
   for (int r = 0; r < rank_; ++r) {
     const T contribution =
@@ -443,7 +469,7 @@ T Comm::exscan(const T& value, ReduceOp op) const {
     accumulator =
         r == 0 ? contribution : apply_op(accumulator, contribution, op);
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   return accumulator;
 }
 
@@ -457,7 +483,7 @@ std::vector<std::vector<T>> Comm::alltoallv(
   auto& slots = collective_slots();
   slots.pointers[static_cast<std::size_t>(rank_)] =
       static_cast<const void*>(&send);
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   std::vector<std::vector<T>> received(
       static_cast<std::size_t>(state_->size));
   for (int r = 0; r < state_->size; ++r) {
@@ -466,7 +492,7 @@ std::vector<std::vector<T>> Comm::alltoallv(
     received[static_cast<std::size_t>(r)] =
         (*their_send)[static_cast<std::size_t>(rank_)];
   }
-  slots.barrier(state_->size);
+  slots.barrier(state_->size, global_rank());
   return received;
 }
 

@@ -33,6 +33,12 @@ RunStats run(const RuntimeOptions& options,
   std::iota(world->global_of.begin(), world->global_of.end(), 0);
   world->slots = std::make_unique<detail::CollectiveSlots>(options.ranks);
   world->slots->injector = board.fault();
+  world->slots->checker = board.checker();
+  world->slots->comm_id = world->id;
+  world->slots->global_of = &world->global_of;
+  world->slots->watchdog_seconds = options.validate.watchdog_seconds;
+  world->slots->board = &board;
+  board.register_slots(world->slots.get());
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
@@ -62,6 +68,10 @@ RunStats run(const RuntimeOptions& options,
     });
   }
   for (auto& t : threads) t.join();
+
+  // Leak/unmatched-send audit before shutdown, and only for clean runs:
+  // requests abandoned because a rank threw are not user bugs.
+  if (!first_error) board.finalize_validation();
 
   board.shutdown();
   if (progress_thread.joinable()) progress_thread.join();

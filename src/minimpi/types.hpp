@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "minimpi/fault.hpp"
+#include "minimpi/validate.hpp"
 
 namespace hspmv::minimpi {
 
@@ -67,6 +68,8 @@ struct RuntimeOptions {
   std::function<void(const TransferRecord&)> on_transfer;
   /// Seeded fault injection (see fault.hpp); disabled by default.
   ChaosConfig chaos;
+  /// MPI-usage validation (see validate.hpp); disabled by default.
+  ValidateOptions validate;
 };
 
 }  // namespace hspmv::minimpi

@@ -1,0 +1,405 @@
+#include "minimpi/validate.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "minimpi/board.hpp"
+
+namespace hspmv::minimpi {
+
+const char* violation_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kBufferReuse:
+      return "buffer-reuse";
+    case ViolationKind::kRequestLeak:
+      return "request-leak";
+    case ViolationKind::kDoubleWait:
+      return "double-wait";
+    case ViolationKind::kTruncation:
+      return "truncation";
+    case ViolationKind::kDeadlock:
+      return "deadlock";
+    case ViolationKind::kUnmatchedSend:
+      return "unmatched-send";
+  }
+  return "?";
+}
+
+UsageChecker::UsageChecker(const ValidateOptions& options, std::size_t ranks)
+    : options_(options), blocked_(ranks), is_blocked_(ranks, false) {}
+
+void UsageChecker::report_locked(ViolationKind kind, int rank,
+                                 std::string message) {
+  Diagnostic diagnostic{kind, rank, std::move(message)};
+  if (options_.log_to_stderr) {
+    std::cerr << "minimpi-validate[" << violation_name(kind) << "] rank "
+              << rank << ": " << diagnostic.message << std::endl;
+  }
+  if (options_.on_diagnostic) options_.on_diagnostic(diagnostic);
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+std::string UsageChecker::describe_locked(const TrackedRequest& t) const {
+  std::ostringstream out;
+  out << (t.is_recv ? "irecv" : "isend") << " #" << t.serial << " (rank "
+      << t.rank << (t.is_recv ? " <- " : " -> ") << t.peer << ", tag "
+      << t.tag << ", " << t.bytes << " bytes, buffer [" << t.data << ", "
+      << static_cast<const void*>(static_cast<const char*>(t.data) + t.bytes)
+      << "))";
+  return out.str();
+}
+
+void UsageChecker::prune_completed_locked() {
+  // Completed transfers no longer touch their buffers; drop them from the
+  // overlap set but keep leak bookkeeping (owners_) for non-retired ones.
+  for (auto it = live_.begin(); it != live_.end();) {
+    const auto owner = owners_.find(it->first);
+    const bool complete =
+        owner == owners_.end() || owner->second->complete;
+    if (complete && it->second.retired) {
+      owners_.erase(it->first);
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void UsageChecker::on_post(const std::shared_ptr<RequestState>& request,
+                           bool is_recv, const void* data, std::size_t bytes,
+                           int rank, int peer, int tag, bool tracked_buffer) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  prune_completed_locked();
+
+  TrackedRequest tracked;
+  tracked.is_recv = is_recv;
+  tracked.data = data;
+  tracked.bytes = bytes;
+  tracked.rank = rank;
+  tracked.peer = peer;
+  tracked.tag = tag;
+  tracked.buffer_tracked = tracked_buffer;
+  tracked.serial = next_serial_++;
+
+  if (tracked_buffer && bytes > 0) {
+    const auto* begin = static_cast<const char*>(data);
+    const auto* end = begin + bytes;
+    for (const auto& [state, other] : live_) {
+      if (!other.buffer_tracked || other.bytes == 0 || other.retired) {
+        continue;
+      }
+      const auto owner = owners_.find(state);
+      if (owner == owners_.end() || owner->second->complete) continue;
+      // Read-read sharing (two sends from one buffer) is legal; any
+      // overlap involving a transfer-written recv buffer is a race.
+      if (!is_recv && !other.is_recv) continue;
+      const auto* other_begin = static_cast<const char*>(other.data);
+      const auto* other_end = other_begin + other.bytes;
+      if (begin < other_end && other_begin < end) {
+        report_locked(ViolationKind::kBufferReuse, rank,
+                      "buffer of " + describe_locked(tracked) +
+                          " overlaps in-flight " + describe_locked(other));
+      }
+    }
+  }
+
+  live_.emplace(request.get(), tracked);
+  owners_.emplace(request.get(), request);
+}
+
+void UsageChecker::on_truncation(int send_rank, int recv_rank, int tag,
+                                 std::size_t send_bytes,
+                                 std::size_t recv_capacity) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  report_locked(ViolationKind::kTruncation, recv_rank,
+                "receive truncation: send of " + std::to_string(send_bytes) +
+                    " bytes (rank " + std::to_string(send_rank) + " -> " +
+                    std::to_string(recv_rank) + ", tag " +
+                    std::to_string(tag) + ") exceeds recv capacity " +
+                    std::to_string(recv_capacity) + " bytes");
+}
+
+void UsageChecker::on_wait(const std::shared_ptr<RequestState>& request,
+                           int rank) {
+  if (!options_.enabled || request == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!request->active) {
+    const auto it = live_.find(request.get());
+    report_locked(ViolationKind::kDoubleWait, rank,
+                  "wait on a request that already completed a wait/test" +
+                      (it != live_.end()
+                           ? ": " + describe_locked(it->second)
+                           : std::string()));
+  }
+}
+
+void UsageChecker::on_retire(const std::shared_ptr<RequestState>& request) {
+  if (!options_.enabled || request == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = live_.find(request.get());
+  if (it != live_.end()) it->second.retired = true;
+}
+
+void UsageChecker::on_unmatched_send(int rank, int peer, int tag,
+                                     std::size_t bytes) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  report_locked(ViolationKind::kUnmatchedSend, rank,
+                "send to rank " + std::to_string(peer) + " (tag " +
+                    std::to_string(tag) + ", " + std::to_string(bytes) +
+                    " bytes) was never matched by a receive");
+}
+
+void UsageChecker::on_finalize(bool poisoned) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finalized_) return;
+  finalized_ = true;
+  if (poisoned) return;  // the runtime errored these requests out itself
+  for (const auto& [state, tracked] : live_) {
+    if (tracked.retired) continue;
+    const auto owner = owners_.find(state);
+    if (owner != owners_.end() && !owner->second->error.empty()) {
+      continue;  // errored by the runtime, not leaked by the user
+    }
+    report_locked(ViolationKind::kRequestLeak, tracked.rank,
+                  "request leaked at finalize (never waited/tested to "
+                  "completion): " +
+                      describe_locked(tracked));
+  }
+}
+
+// ---- blocked-state registry ----
+
+void UsageChecker::enter_blocked_wait(int rank, std::vector<int> waiting_for,
+                                      std::string description) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= blocked_.size()) return;
+  std::sort(waiting_for.begin(), waiting_for.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& state = blocked_[static_cast<std::size_t>(rank)];
+  state.kind = BlockedState::Kind::kWait;
+  state.waiting_for = std::move(waiting_for);
+  state.release_gen = nullptr;
+  state.description = std::move(description);
+  state.seq = ++next_blocked_seq_;
+  is_blocked_[static_cast<std::size_t>(rank)] = true;
+}
+
+void UsageChecker::update_blocked_wait(int rank,
+                                       std::vector<int> waiting_for) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= blocked_.size()) return;
+  std::sort(waiting_for.begin(), waiting_for.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& state = blocked_[static_cast<std::size_t>(rank)];
+  // The sequence number bumps only on real change: a wait stuck on the
+  // same peer set keeps its signature, so a cycle through it can be
+  // confirmed across scans, while any progress resets pending cycles.
+  if (state.waiting_for == waiting_for) return;
+  state.waiting_for = std::move(waiting_for);
+  state.seq = ++next_blocked_seq_;
+}
+
+void UsageChecker::leave_blocked(int rank) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= blocked_.size()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  is_blocked_[static_cast<std::size_t>(rank)] = false;
+  blocked_[static_cast<std::size_t>(rank)] = BlockedState{};
+}
+
+void UsageChecker::enter_blocked_collective(
+    int rank, std::uint64_t comm_id, std::vector<int> members,
+    const std::atomic<std::uint64_t>* release_gen, std::uint64_t gen_at_entry,
+    std::string description) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= blocked_.size()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& state = blocked_[static_cast<std::size_t>(rank)];
+  state.kind = BlockedState::Kind::kCollective;
+  state.comm_id = comm_id;
+  state.members = std::move(members);
+  state.release_gen = release_gen;
+  state.gen_at_entry = gen_at_entry;
+  state.description = std::move(description);
+  state.seq = ++next_blocked_seq_;
+  is_blocked_[static_cast<std::size_t>(rank)] = true;
+}
+
+std::string UsageChecker::check_deadlock(int rank) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= blocked_.size()) {
+    return {};
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto ranks = static_cast<int>(blocked_.size());
+  // A rank whose barrier has already released is merely waiting to be
+  // rescheduled — it will depart without anyone's help, so it can never
+  // be an obstacle in a wait-for cycle.
+  const auto blocked_now = [&](int r) {
+    if (!is_blocked_[static_cast<std::size_t>(r)]) return false;
+    const auto& state = blocked_[static_cast<std::size_t>(r)];
+    if (state.kind == BlockedState::Kind::kCollective &&
+        state.release_gen != nullptr &&
+        state.release_gen->load(std::memory_order_acquire) !=
+            state.gen_at_entry) {
+      return false;
+    }
+    return true;
+  };
+  // Edges into *blocked* ranks only: a running rank can still act, so a
+  // wait on it is satisfiable and breaks the cycle.
+  const auto edges_of = [&](int r) {
+    std::vector<int> targets;
+    const auto& state = blocked_[static_cast<std::size_t>(r)];
+    if (state.kind == BlockedState::Kind::kWait) {
+      for (int peer : state.waiting_for) {
+        if (peer >= 0 && peer < ranks && blocked_now(peer)) {
+          targets.push_back(peer);
+        }
+      }
+    } else {
+      for (int member : state.members) {
+        if (member == r || member < 0 || member >= ranks) continue;
+        if (!blocked_now(member)) continue;
+        const auto& other = blocked_[static_cast<std::size_t>(member)];
+        // A member blocked on the same collective is a co-waiter, not an
+        // obstacle; anything else can never arrive here.
+        if (other.kind == BlockedState::Kind::kCollective &&
+            other.comm_id == state.comm_id) {
+          continue;
+        }
+        targets.push_back(member);
+      }
+    }
+    return targets;
+  };
+
+  if (!blocked_now(rank)) return {};
+
+  // Iterative DFS from `rank` looking for any cycle among blocked ranks.
+  std::vector<int> color(static_cast<std::size_t>(ranks), 0);  // 0/1/2
+  std::vector<int> parent(static_cast<std::size_t>(ranks), -1);
+  std::vector<int> stack{rank};
+  std::vector<int> cycle;
+  while (!stack.empty() && cycle.empty()) {
+    const int node = stack.back();
+    if (color[static_cast<std::size_t>(node)] == 0) {
+      color[static_cast<std::size_t>(node)] = 1;
+      for (int next : edges_of(node)) {
+        if (color[static_cast<std::size_t>(next)] == 1) {
+          // Back edge: recover the cycle node -> ... -> next -> node.
+          cycle.push_back(next);
+          for (int walk = node; walk != next && walk != -1;
+               walk = parent[static_cast<std::size_t>(walk)]) {
+            cycle.push_back(walk);
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          break;
+        }
+        if (color[static_cast<std::size_t>(next)] == 0) {
+          parent[static_cast<std::size_t>(next)] = node;
+          stack.push_back(next);
+        }
+      }
+    } else {
+      color[static_cast<std::size_t>(node)] = 2;
+      stack.pop_back();
+    }
+  }
+  if (cycle.empty()) {
+    pending_cycles_.erase(rank);
+    return {};
+  }
+
+  // Registry entries of other ranks refresh only when their wait loops
+  // wake, so a just-found cycle may be built on a stale edge (a request
+  // that matched, a barrier that released a moment ago). Report only
+  // after the identical cycle — same ranks, same registration sequence
+  // numbers, i.e. zero observed progress — survives consecutive scans.
+  PendingCycle observed;
+  observed.signature.reserve(cycle.size());
+  for (int r : cycle) {
+    observed.signature.emplace_back(r,
+                                    blocked_[static_cast<std::size_t>(r)].seq);
+  }
+  std::sort(observed.signature.begin(), observed.signature.end());
+  auto& pending = pending_cycles_[rank];
+  if (pending.signature == observed.signature) {
+    ++pending.hits;
+  } else {
+    pending.signature = std::move(observed.signature);
+    pending.hits = 1;
+  }
+  if (pending.hits < kCycleConfirmScans) return {};
+
+  std::ostringstream out;
+  out << "deadlock: wait-for cycle ";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    out << "rank " << cycle[i] << " -> ";
+  }
+  out << "rank " << cycle.front() << "; ";
+  for (int r : cycle) {
+    out << "[rank " << r << ": "
+        << blocked_[static_cast<std::size_t>(r)].description << "] ";
+  }
+  const std::string message = out.str();
+  if (!deadlock_reported_) {
+    deadlock_reported_ = true;
+    report_locked(ViolationKind::kDeadlock, rank, message);
+    dump_blocked_state_locked("deadlock cycle detected by rank " +
+                              std::to_string(rank));
+  }
+  return message;
+}
+
+void UsageChecker::dump_blocked_state_locked(const std::string& reason) {
+  std::cerr << "minimpi-validate: blocked-operation state (" << reason
+            << "):\n";
+  for (std::size_t r = 0; r < blocked_.size(); ++r) {
+    std::cerr << "  rank " << r << ": ";
+    if (!is_blocked_[r]) {
+      std::cerr << "running\n";
+      continue;
+    }
+    const auto& state = blocked_[r];
+    std::cerr << state.description;
+    if (state.kind == BlockedState::Kind::kWait) {
+      std::cerr << " (waiting for unmatched peers:";
+      if (state.waiting_for.empty()) {
+        std::cerr << " none — transfers in flight";
+      } else {
+        for (int peer : state.waiting_for) std::cerr << ' ' << peer;
+      }
+      std::cerr << ')';
+    } else {
+      std::cerr << " (collective on comm " << state.comm_id
+                << ", members:";
+      for (int member : state.members) std::cerr << ' ' << member;
+      if (state.release_gen != nullptr &&
+          state.release_gen->load(std::memory_order_acquire) !=
+              state.gen_at_entry) {
+        std::cerr << "; released, departing";
+      }
+      std::cerr << ')';
+    }
+    std::cerr << '\n';
+  }
+  std::cerr.flush();
+}
+
+void UsageChecker::dump_blocked_state(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dump_blocked_state_locked(reason);
+}
+
+std::vector<Diagnostic> UsageChecker::diagnostics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return diagnostics_;
+}
+
+std::size_t UsageChecker::violation_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return diagnostics_.size();
+}
+
+}  // namespace hspmv::minimpi

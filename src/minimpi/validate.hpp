@@ -1,0 +1,228 @@
+// MPI-usage validator — the MUST/Marmot analogue for the minimpi runtime.
+//
+// The hybrid task-mode code shape (hand-rolled loop distribution plus a
+// dedicated communication thread, paper Fig. 4c) is exactly where the
+// classic MPI misuse classes corrupt results without crashing: a buffer
+// reused while a nonblocking transfer is still in flight, a request that
+// is never waited on, a wait repeated on a retired request, a truncating
+// receive, or a send/recv cycle that silently deadlocks. The UsageChecker
+// observes every Board event (posts, completions, waits, finalize) and
+// every collective barrier, and turns each violation into a typed
+// Diagnostic instead of a silent wrong answer.
+//
+// The checker is opt-in via RuntimeOptions::validate and sits entirely on
+// the runtime's control paths — it never touches payload bytes, so an
+// enabled checker cannot change any computed result.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hspmv::minimpi {
+
+struct RequestState;
+
+/// Violation classes the checker can report. Every class has a dedicated
+/// negative test asserting it fires (tests/minimpi/test_validate.cpp).
+enum class ViolationKind {
+  /// A nonblocking send/recv posted over a byte range that overlaps an
+  /// earlier posted, still-incomplete transfer where at least one side
+  /// writes (any overlap with a pending recv buffer, or a recv over a
+  /// pending send buffer).
+  kBufferReuse,
+  /// A request that was still active (never waited/tested to completion)
+  /// when the runtime finalized.
+  kRequestLeak,
+  /// wait/wait_all invoked on a request that already retired through a
+  /// previous wait or successful test (MPI_Wait on a freed request).
+  kDoubleWait,
+  /// A matched send larger than the receive buffer's capacity.
+  kTruncation,
+  /// A cycle in the wait-for graph of blocked ranks: every rank on the
+  /// cycle is blocked in a wait or collective that only another blocked
+  /// cycle member could release.
+  kDeadlock,
+  /// A send that no receive ever matched by finalize (lost message).
+  kUnmatchedSend,
+};
+
+const char* violation_name(ViolationKind kind);
+
+/// One reported violation. `rank` is the world rank the violation is
+/// attributed to (-1 when it is not attributable to a single rank).
+struct Diagnostic {
+  ViolationKind kind;
+  int rank = -1;
+  std::string message;
+};
+
+/// Checker configuration, threaded through RuntimeOptions::validate.
+struct ValidateOptions {
+  /// Master switch for the usage checks. Off: the runtime makes no
+  /// checker calls at all (zero overhead).
+  bool enabled = false;
+  /// Invoked for every diagnostic, from the reporting thread (under the
+  /// checker lock — keep it cheap and do not call back into the runtime).
+  std::function<void(const Diagnostic&)> on_diagnostic;
+  /// Echo every diagnostic to stderr (useful in ctest logs).
+  bool log_to_stderr = true;
+  /// Wall-clock watchdog: a rank blocked in one wait or collective longer
+  /// than this dumps the full per-rank blocked-operation state to stderr
+  /// (post-mortem diagnosis of hung runs). 0 disables. Works even with
+  /// `enabled` false.
+  double watchdog_seconds = 0.0;
+};
+
+/// Tracks per-request and per-rank state and reports violations.
+///
+/// Thread-safety: all methods are safe to call concurrently; the Board
+/// calls the on_* hooks under its own mutex, collectives call the
+/// blocked-state hooks under the slots mutex. Lock order is always
+/// (board or slots) -> checker; the checker never calls back into either.
+class UsageChecker {
+ public:
+  explicit UsageChecker(const ValidateOptions& options, std::size_t ranks);
+
+  [[nodiscard]] bool enabled() const { return options_.enabled; }
+  [[nodiscard]] const ValidateOptions& options() const { return options_; }
+
+  // ---- Board hooks (called with the board mutex held) ----
+
+  /// A nonblocking op was posted. `is_recv` marks the buffer as written
+  /// by the transfer; `tracked_buffer` is false for eager sends (payload
+  /// copied at post time, user buffer immediately reusable).
+  void on_post(const std::shared_ptr<RequestState>& request, bool is_recv,
+               const void* data, std::size_t bytes, int rank, int peer,
+               int tag, bool tracked_buffer);
+
+  /// A matched send overflowed the receive capacity.
+  void on_truncation(int send_rank, int recv_rank, int tag,
+                     std::size_t send_bytes, std::size_t recv_capacity);
+
+  /// A send still sat unmatched on the board at finalize (lost message).
+  void on_unmatched_send(int rank, int peer, int tag, std::size_t bytes);
+
+  /// wait/wait_all is about to consume `request` on `rank`.
+  void on_wait(const std::shared_ptr<RequestState>& request, int rank);
+
+  /// A request retired (wait or successful test observed completion).
+  void on_retire(const std::shared_ptr<RequestState>& request);
+
+  /// End of run(): report leaks and unmatched sends. Suppressed when the
+  /// board was poisoned (`poisoned`) — requests the runtime errored out
+  /// itself are not user bugs.
+  void on_finalize(bool poisoned);
+
+  // ---- blocked-state registry (wait-for graph + watchdog) ----
+
+  /// Rank entered a blocking point-to-point wait. `waiting_for` holds the
+  /// candidate peer world ranks of the still-unmatched requests (refreshed
+  /// via update_blocked_wait as matching progresses).
+  void enter_blocked_wait(int rank, std::vector<int> waiting_for,
+                          std::string description);
+  void update_blocked_wait(int rank, std::vector<int> waiting_for);
+  void leave_blocked(int rank);
+
+  /// Rank entered a collective barrier on communicator `comm_id` whose
+  /// members are `members` (world ranks). `release_gen` points at the
+  /// barrier's release counter and `gen_at_entry` is its value when the
+  /// rank started waiting: once they differ, the barrier has released and
+  /// the rank only *looks* blocked until its thread is rescheduled — the
+  /// cycle scanner must not treat it as an obstacle. A rank leaves by
+  /// leave_blocked.
+  void enter_blocked_collective(int rank, std::uint64_t comm_id,
+                                std::vector<int> members,
+                                const std::atomic<std::uint64_t>* release_gen,
+                                std::uint64_t gen_at_entry,
+                                std::string description);
+
+  /// Scan the blocked-state registry for a wait-for cycle through `rank`.
+  /// Edges: a p2p-blocked rank waits for each peer of an unmatched
+  /// request; a collective-blocked rank waits for every member not itself
+  /// blocked on the same collective. A cycle in which every node is
+  /// blocked is a deadlock (AND-wait semantics) — but because registry
+  /// entries of *other* ranks refresh only when those ranks' wait loops
+  /// wake, a cycle is reported only after it has been observed unchanged
+  /// (same ranks, same registration sequence numbers) on consecutive
+  /// scans; transient windows where a rank matched or a barrier released
+  /// but the waiter has not yet been rescheduled self-heal in between.
+  /// On confirmation: reports kDeadlock naming the cycle, dumps the
+  /// blocked state, and returns the message (empty otherwise).
+  [[nodiscard]] std::string check_deadlock(int rank);
+
+  /// Watchdog trip: dump the blocked-operation state of every rank to
+  /// stderr (rate-limited to one dump per trip site by the caller).
+  void dump_blocked_state(const std::string& reason);
+
+  /// Diagnostics recorded so far (copy).
+  [[nodiscard]] std::vector<Diagnostic> diagnostics() const;
+  [[nodiscard]] std::size_t violation_count() const;
+
+ private:
+  struct TrackedRequest {
+    bool is_recv = false;
+    const void* data = nullptr;
+    std::size_t bytes = 0;
+    int rank = -1;     ///< posting world rank
+    int peer = -1;     ///< other side (world rank)
+    int tag = 0;
+    bool retired = false;
+    bool buffer_tracked = false;
+    std::uint64_t serial = 0;  ///< post order, for readable messages
+  };
+
+  struct BlockedState {
+    enum class Kind { kWait, kCollective } kind = Kind::kWait;
+    std::vector<int> waiting_for;  ///< p2p: unmatched peers (sorted)
+    std::uint64_t comm_id = 0;     ///< collective identity
+    std::vector<int> members;      ///< collective membership (world ranks)
+    /// Collective release tracking (see enter_blocked_collective).
+    const std::atomic<std::uint64_t>* release_gen = nullptr;
+    std::uint64_t gen_at_entry = 0;
+    /// Bumped whenever the registration's content changes (enter, or an
+    /// update with a different peer set) — the cycle-confirmation
+    /// signature, so any progress between scans invalidates a pending
+    /// cycle.
+    std::uint64_t seq = 0;
+    std::string description;
+  };
+
+  void report_locked(ViolationKind kind, int rank, std::string message);
+  void prune_completed_locked();
+  void dump_blocked_state_locked(const std::string& reason);
+  [[nodiscard]] std::string describe_locked(const TrackedRequest& t) const;
+
+  ValidateOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<const RequestState*, TrackedRequest> live_;
+  /// Keeps RequestState alive for finalize-time leak attribution.
+  std::unordered_map<const RequestState*, std::shared_ptr<RequestState>>
+      owners_;
+  std::vector<BlockedState> blocked_;  ///< indexed by world rank
+  std::vector<bool> is_blocked_;
+  std::vector<Diagnostic> diagnostics_;
+  std::uint64_t next_serial_ = 0;
+  std::uint64_t next_blocked_seq_ = 0;
+  bool finalized_ = false;
+  bool deadlock_reported_ = false;
+
+  /// Consecutive scans that must observe the identical cycle before it is
+  /// reported (each scan is one ~50 ms idle timeout apart).
+  static constexpr int kCycleConfirmScans = 3;
+  /// Per-scanning-rank pending cycle: sorted (rank, seq) signature plus
+  /// the number of consecutive scans that produced it.
+  struct PendingCycle {
+    std::vector<std::pair<int, std::uint64_t>> signature;
+    int hits = 0;
+  };
+  std::unordered_map<int, PendingCycle> pending_cycles_;
+};
+
+}  // namespace hspmv::minimpi

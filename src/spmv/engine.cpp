@@ -135,6 +135,36 @@ class SellLocalKernel final : public LocalKernel {
     return rows;
   }
 
+  [[nodiscard]] std::vector<team::Range> write_ranges(
+      int worker) const override {
+    // The kernels un-permute on the fly: chunk-position p writes original
+    // row permutation()[p]. A sigma window crossing a worker boundary
+    // makes those rows non-contiguous, so coalesce the sorted row set
+    // into maximal runs instead of assuming one range per worker.
+    const auto perm = matrix_.permutation();
+    const auto first = static_cast<std::int64_t>(
+        chunks_[static_cast<std::size_t>(worker)] * matrix_.chunk());
+    const auto last = std::min<std::int64_t>(
+        chunks_[static_cast<std::size_t>(worker) + 1] * matrix_.chunk(),
+        matrix_.rows());
+    std::vector<std::int64_t> rows;
+    rows.reserve(static_cast<std::size_t>(std::max<std::int64_t>(
+        last - first, 0)));
+    for (std::int64_t p = first; p < last; ++p) {
+      rows.push_back(perm[static_cast<std::size_t>(p)]);
+    }
+    std::sort(rows.begin(), rows.end());
+    std::vector<team::Range> ranges;
+    for (const std::int64_t row : rows) {
+      if (!ranges.empty() && ranges.back().end == row) {
+        ++ranges.back().end;
+      } else {
+        ranges.push_back(team::Range{row, row + 1});
+      }
+    }
+    return ranges;
+  }
+
  private:
   [[nodiscard]] index_t begin(int worker) const {
     return static_cast<index_t>(chunks_[static_cast<std::size_t>(worker)]);
@@ -149,6 +179,12 @@ class SellLocalKernel final : public LocalKernel {
 };
 
 }  // namespace
+
+std::vector<team::Range> LocalKernel::write_ranges(int worker) const {
+  const auto rows = row_boundaries();
+  return {team::Range{rows[static_cast<std::size_t>(worker)],
+                      rows[static_cast<std::size_t>(worker) + 1]}};
+}
 
 LocalBackend parse_backend(const std::string& name) {
   if (name == "csr" || name == "crs") return LocalBackend::kCsr;
@@ -211,7 +247,8 @@ SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant,
       variant_(variant),
       options_(options),
       team_(threads),
-      compute_threads_(variant == Variant::kTaskMode ? threads - 1 : threads) {
+      compute_threads_(variant == Variant::kTaskMode ? threads - 1 : threads),
+      range_checker_(options.range_check) {
   if (variant == Variant::kTaskMode && threads < 2) {
     throw std::invalid_argument(
         "SpmvEngine: task mode needs a communication thread plus at least "
@@ -234,26 +271,38 @@ SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant,
     // Touch each buffer page from the thread that will gather into it:
     // vector mode follows the full-team schedule, task mode the
     // workers-only schedule.
+    const auto offsets = send_block_offsets();
+    const std::int64_t total =
+        offsets.empty() ? 0 : offsets.back();
+    range_checker_.begin_phase("first-touch send buffers", total);
     team_.execute([&](int id) {
       if (variant_ == Variant::kTaskMode) {
         if (id == 0) return;
         task_gather_schedule_.for_party(
             id - 1, [&](std::size_t s, std::int64_t begin, std::int64_t end) {
+              range_checker_.claim("first-touch send buffers", id,
+                                   offsets[s] + begin, offsets[s] + end);
               util::touch_pages(std::span<value_t>(send_buffers_[s]), begin,
                                 end);
             });
       } else if (options_.parallel_gather) {
         gather_schedule_.for_party(id, [&](std::size_t s, std::int64_t begin,
                                            std::int64_t end) {
+          range_checker_.claim("first-touch send buffers", id,
+                               offsets[s] + begin, offsets[s] + end);
           util::touch_pages(std::span<value_t>(send_buffers_[s]), begin, end);
         });
       } else if (id == 0) {
-        for (auto& buffer : send_buffers_) {
+        for (std::size_t s = 0; s < send_buffers_.size(); ++s) {
+          auto& buffer = send_buffers_[s];
+          range_checker_.claim("first-touch send buffers", id, offsets[s],
+                               offsets[s + 1]);
           util::touch_pages(std::span<value_t>(buffer), 0,
                             static_cast<std::int64_t>(buffer.size()));
         }
       }
     });
+    range_checker_.check("first-touch send buffers");
   } else {
     // Match the historical zero-initialized buffers.
     for (auto& buffer : send_buffers_) {
@@ -262,9 +311,38 @@ SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant,
   }
 }
 
+std::vector<std::int64_t> SpmvEngine::send_block_offsets() const {
+  const auto& blocks = matrix_.plan().send_blocks;
+  std::vector<std::int64_t> offsets(blocks.size() + 1, 0);
+  for (std::size_t s = 0; s < blocks.size(); ++s) {
+    offsets[s + 1] =
+        offsets[s] + static_cast<std::int64_t>(blocks[s].gather.size());
+  }
+  return offsets;
+}
+
+void SpmvEngine::claim_kernel_writes(const std::string& phase, int worker) {
+  for (const team::Range& range : kernel_->write_ranges(worker)) {
+    range_checker_.claim(phase, worker, range);
+  }
+}
+
 DistVector SpmvEngine::make_vector() {
   if (!options_.first_touch) return DistVector(matrix_);
-  return DistVector(matrix_, team_, kernel_->row_boundaries(),
+  const auto boundaries = kernel_->row_boundaries();
+  if (range_checker_.enabled()) {
+    // The first-touch fill partitions the owned rows by the same
+    // boundaries the kernels use — validate that they really are a
+    // partition before handing them to the parallel zero-fill.
+    range_checker_.begin_phase("first-touch vector", matrix_.owned_rows());
+    for (int w = 0; w < compute_threads_; ++w) {
+      range_checker_.claim("first-touch vector", w,
+                           boundaries[static_cast<std::size_t>(w)],
+                           boundaries[static_cast<std::size_t>(w) + 1]);
+    }
+    range_checker_.check("first-touch vector");
+  }
+  return DistVector(matrix_, team_, boundaries,
                     variant_ == Variant::kTaskMode ? 1 : 0);
 }
 
@@ -368,6 +446,12 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
   // single dominant peer block spreads across threads instead of
   // serializing. gather_s is the max over participating threads (each
   // times its own share), matching task mode's semantics.
+  const bool check_ranges = range_checker_.enabled();
+  std::vector<std::int64_t> offsets;
+  if (check_ranges) {
+    offsets = send_block_offsets();
+    range_checker_.begin_phase("gather", offsets.back());
+  }
   if (options_.parallel_gather) {
     const auto owned_span = x.owned();
     std::atomic<double> gather_max{0.0};
@@ -377,6 +461,10 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
       gather_schedule_.for_party(
           id, [&](std::size_t s, std::int64_t begin, std::int64_t end) {
+            if (check_ranges) {
+              range_checker_.claim("gather", id, offsets[s] + begin,
+                                   offsets[s] + end);
+            }
             const index_t* __restrict gather =
                 plan.send_blocks[s].gather.data();
             const value_t* __restrict owned = owned_span.data();
@@ -399,6 +487,9 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
     const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
     const auto owned_span = x.owned();
     for (std::size_t s = 0; s < plan.send_blocks.size(); ++s) {
+      if (check_ranges) {
+        range_checker_.claim("gather", 0, offsets[s], offsets[s + 1]);
+      }
       gather_block(plan.send_blocks[s], owned_span, s);
     }
     t.gather_s = timer.seconds();
@@ -407,18 +498,26 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
                      trace_begin, trace_->now(), 'g');
     }
   }
+  if (check_ranges) range_checker_.check("gather");
   post_sends(requests);
 
   const auto run_phase = [&](auto&& phase, const char* phase_label,
                              char glyph) {
+    if (check_ranges) {
+      range_checker_.begin_phase(phase_label,
+                                 static_cast<std::int64_t>(
+                                     matrix_.owned_rows()));
+    }
     team_.execute([&](int id) {
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+      if (check_ranges) claim_kernel_writes(phase_label, id);
       phase(id);
       if (trace_ != nullptr) {
         trace_->record(trace_prefix_ + "t" + std::to_string(id), phase_label,
                        trace_begin, trace_->now(), glyph);
       }
     });
+    if (check_ranges) range_checker_.check(phase_label);
   };
 
   const auto traced_waitall = [&]() {
@@ -477,10 +576,25 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
   std::atomic<double> local_seconds{0.0};
   const auto owned_span = x.owned();
 
+  // Two phases are in flight at once: the gather claims are validated by
+  // the comm thread right after the gather_done barrier, while the
+  // compute claims accumulate until the whole fork/join ends (local and
+  // non-local sweeps write the same rows, so one claim set covers both).
+  const bool check_ranges = range_checker_.enabled();
+  std::vector<std::int64_t> offsets;
+  if (check_ranges) {
+    offsets = send_block_offsets();
+    range_checker_.begin_phase("gather", offsets.back());
+    range_checker_.begin_phase("task-mode compute",
+                               static_cast<std::int64_t>(
+                                   matrix_.owned_rows()));
+  }
+
   team_.execute([&](int id) {
     const std::string lane = trace_prefix_ + "t" + std::to_string(id);
     if (id == 0) {
       gather_done.arrive_and_wait();
+      if (check_ranges) range_checker_.check("gather");
       util::Timer timer;
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
       // A failed halo exchange must not strand the workers at the
@@ -511,6 +625,10 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
       // vector mode, minus the communication thread).
       task_gather_schedule_.for_party(
           worker, [&](std::size_t s, std::int64_t begin, std::int64_t end) {
+            if (check_ranges) {
+              range_checker_.claim("gather", worker, offsets[s] + begin,
+                                   offsets[s] + end);
+            }
             const index_t* __restrict gather =
                 plan.send_blocks[s].gather.data();
             const value_t* __restrict owned = owned_span.data();
@@ -529,6 +647,7 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
     {
       util::Timer timer;
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+      if (check_ranges) claim_kernel_writes("task-mode compute", worker);
       kernel_->local(worker, x.full(), y.owned());
       if (trace_ != nullptr) {
         trace_->record(lane, "spMVM: local elements", trace_begin,
@@ -546,6 +665,8 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
       }
     }
   });
+
+  if (check_ranges) range_checker_.check("task-mode compute");
 
   t.gather_s = gather_seconds.load();
   t.local_s = local_seconds.load();

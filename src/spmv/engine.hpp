@@ -35,6 +35,7 @@
 
 #include "spmv/dist_matrix.hpp"
 #include "spmv/dist_vector.hpp"
+#include "team/range_check.hpp"
 #include "team/thread_team.hpp"
 #include "util/aligned.hpp"
 #include "util/timeline.hpp"
@@ -71,6 +72,12 @@ struct EngineOptions {
   /// them (same nnz-balanced boundaries the kernels use). Results are
   /// bitwise-unchanged; only page placement differs.
   bool first_touch = true;
+  /// Debug-mode write-range race detector: every parallel phase (gather,
+  /// first-touch fills, kernel sweeps) registers the element ranges each
+  /// team member writes, and the engine asserts pairwise disjointness and
+  /// full coverage at the phase's closing barrier. Off by default — the
+  /// bookkeeping serializes on a mutex.
+  team::RangeCheckOptions range_check;
 };
 
 /// Node-level compute backend: runs one worker's share of the local row
@@ -97,6 +104,14 @@ class LocalKernel {
   /// chunk-granular approximation (writes un-permute within a sigma
   /// window). Used to first-touch result/RHS storage where it is written.
   [[nodiscard]] virtual std::vector<std::int64_t> row_boundaries() const = 0;
+
+  /// The *exact* owned-row indices worker w's sweeps write, as sorted
+  /// disjoint half-open ranges. The default derives the single contiguous
+  /// range from row_boundaries(); SELL overrides it because a sigma
+  /// window crossing a worker boundary interleaves rows of neighbouring
+  /// workers. Consumed by the write-range race detector.
+  [[nodiscard]] virtual std::vector<team::Range> write_ranges(
+      int worker) const;
 };
 
 /// Build the backend for `matrix`'s local block, distributing work over
@@ -177,7 +192,21 @@ class SpmvEngine {
   };
   [[nodiscard]] TrafficEstimate traffic_estimate() const;
 
+  /// The write-range race detector (inert unless EngineOptions::range_check
+  /// enabled it). Tests read its diagnostics after apply().
+  [[nodiscard]] const team::WriteRangeChecker& range_checker() const {
+    return range_checker_;
+  }
+
  private:
+  /// Flattened send-element offset of block s (send_blocks.size()+1
+  /// entries) — maps a (block, element) gather span onto the single
+  /// [0, total_send_elements) domain the range checker validates.
+  [[nodiscard]] std::vector<std::int64_t> send_block_offsets() const;
+
+  /// Register worker w's kernel write ranges with the checker.
+  void claim_kernel_writes(const std::string& phase, int worker);
+
   void post_recvs(DistVector& x, std::vector<minimpi::Request>& requests);
   void gather_block(const SendBlock& block,
                     std::span<const sparse::value_t> owned, std::size_t slot);
@@ -202,6 +231,8 @@ class SpmvEngine {
   GatherSchedule task_gather_schedule_;
   util::Timeline* trace_ = nullptr;
   std::string trace_prefix_;
+  /// Debug-mode write-range recorder (default-constructed = inert).
+  team::WriteRangeChecker range_checker_;
 };
 
 }  // namespace hspmv::spmv

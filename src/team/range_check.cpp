@@ -1,0 +1,130 @@
+#include "team/range_check.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+namespace hspmv::team {
+
+const char* range_violation_name(RangeViolation kind) {
+  switch (kind) {
+    case RangeViolation::kOverlap:
+      return "overlapping-writes";
+    case RangeViolation::kGap:
+      return "coverage-gap";
+  }
+  return "unknown";
+}
+
+WriteRangeChecker::WriteRangeChecker(RangeCheckOptions options)
+    : options_(std::move(options)) {}
+
+void WriteRangeChecker::begin_phase(const std::string& phase,
+                                    std::int64_t extent) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  PhaseState& state = phases_[phase];
+  state.extent = extent;
+  state.claims.clear();
+}
+
+void WriteRangeChecker::claim(const std::string& phase, int party,
+                              std::int64_t begin, std::int64_t end) {
+  if (!options_.enabled || begin >= end) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = phases_.find(phase);
+  if (it == phases_.end()) return;
+  it->second.claims.push_back(Claim{party, begin, end});
+}
+
+std::size_t WriteRangeChecker::check(const std::string& phase) {
+  if (!options_.enabled) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = phases_.find(phase);
+  if (it == phases_.end()) return 0;
+  const std::int64_t extent = it->second.extent;
+  std::vector<Claim> claims = std::move(it->second.claims);
+  phases_.erase(it);
+
+  // Merge each party's own claims first: one worker revisiting its own
+  // elements (e.g. a SELL chunk writing rows in permuted order) is
+  // sequential within that thread, not a race.
+  std::sort(claims.begin(), claims.end(),
+            [](const Claim& a, const Claim& b) {
+              if (a.party != b.party) return a.party < b.party;
+              return a.begin < b.begin;
+            });
+  std::vector<Claim> merged;
+  for (const Claim& c : claims) {
+    if (!merged.empty() && merged.back().party == c.party &&
+        c.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, c.end);
+    } else {
+      merged.push_back(c);
+    }
+  }
+
+  std::sort(merged.begin(), merged.end(),
+            [](const Claim& a, const Claim& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end < b.end;
+            });
+
+  std::size_t violations = 0;
+  std::int64_t covered_end = 0;  // claims cover [0, covered_end) so far
+  int covered_party = -1;        // party that extended coverage last
+  for (const Claim& c : merged) {
+    if (c.begin > covered_end) {
+      std::ostringstream out;
+      out << "elements [" << covered_end << ", " << c.begin
+          << ") of domain [0, " << extent << ") claimed by no party";
+      report_locked(RangeViolation::kGap, phase, out.str());
+      ++violations;
+    } else if (c.begin < covered_end && c.party != covered_party) {
+      std::ostringstream out;
+      out << "parties " << covered_party << " and " << c.party
+          << " both write elements [" << c.begin << ", "
+          << std::min(covered_end, c.end) << ")";
+      report_locked(RangeViolation::kOverlap, phase, out.str());
+      ++violations;
+    }
+    if (c.end > covered_end) {
+      covered_end = c.end;
+      covered_party = c.party;
+    }
+  }
+  if (covered_end < extent) {
+    std::ostringstream out;
+    out << "elements [" << covered_end << ", " << extent
+        << ") of domain [0, " << extent << ") claimed by no party";
+    report_locked(RangeViolation::kGap, phase, out.str());
+    ++violations;
+  }
+  return violations;
+}
+
+void WriteRangeChecker::report_locked(RangeViolation kind,
+                                      const std::string& phase,
+                                      std::string message) {
+  RangeDiagnostic diagnostic{kind, phase, std::move(message)};
+  if (options_.log_to_stderr) {
+    std::cerr << "[hspmv:range-check] " << range_violation_name(kind)
+              << " in phase '" << phase << "': " << diagnostic.message
+              << "\n";
+  }
+  if (options_.on_diagnostic) options_.on_diagnostic(diagnostic);
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+std::size_t WriteRangeChecker::violation_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return diagnostics_.size();
+}
+
+std::vector<RangeDiagnostic> WriteRangeChecker::diagnostics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return diagnostics_;
+}
+
+}  // namespace hspmv::team

@@ -1,0 +1,101 @@
+// Debug-mode write-range race detector for ThreadTeam phases.
+//
+// Task-mode SpMV distributes loops explicitly (no OpenMP worksharing), so
+// nothing in the type system guarantees two workers never write the same
+// output element, or that a rewritten schedule still covers every element.
+// This checker makes both properties testable: each parallel phase declares
+// its output domain, every member registers the element ranges it intends
+// to write, and the check at the phase's closing barrier asserts the claims
+// are pairwise disjoint across parties and cover the whole domain.
+//
+// Phases are keyed by name so overlapping pipelines work: task mode keeps
+// a "gather" phase and a "compute" phase open simultaneously (workers claim
+// compute rows while the gather claims await their barrier-side check).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "team/thread_team.hpp"
+
+namespace hspmv::team {
+
+/// What a phase's claim set got wrong.
+enum class RangeViolation {
+  kOverlap,  ///< two parties claimed intersecting write ranges (a race)
+  kGap,      ///< part of the declared domain was claimed by nobody
+};
+
+[[nodiscard]] const char* range_violation_name(RangeViolation kind);
+
+struct RangeDiagnostic {
+  RangeViolation kind;
+  std::string phase;    ///< name passed to begin_phase()
+  std::string message;  ///< human-readable description with indices
+};
+
+struct RangeCheckOptions {
+  /// Master switch; a default-constructed checker is inert and every call
+  /// is a cheap no-op, so call sites need no #ifdefs.
+  bool enabled = false;
+  /// Invoked for every violation (under the checker mutex; keep it light).
+  std::function<void(const RangeDiagnostic&)> on_diagnostic;
+  /// Also print each violation to stderr (default on: a race found in a
+  /// test run should be visible even if nobody installed a callback).
+  bool log_to_stderr = true;
+};
+
+/// Recorder + validator for a team's parallel write phases. Thread-safe:
+/// claim() is called concurrently by team members; begin_phase()/check()
+/// are called by whichever thread owns the phase's enclosing barrier.
+class WriteRangeChecker {
+ public:
+  WriteRangeChecker() = default;  // disabled
+  explicit WriteRangeChecker(RangeCheckOptions options);
+
+  [[nodiscard]] bool enabled() const { return options_.enabled; }
+
+  /// Open (or reset) the named phase writing the index domain [0, extent).
+  void begin_phase(const std::string& phase, std::int64_t extent);
+
+  /// Register that team member `party` writes [begin, end) of `phase`'s
+  /// domain. Empty ranges and claims on unopened phases are ignored.
+  void claim(const std::string& phase, int party, std::int64_t begin,
+             std::int64_t end);
+  void claim(const std::string& phase, int party, const Range& range) {
+    claim(phase, party, range.begin, range.end);
+  }
+
+  /// Validate `phase` at its closing barrier: claims must be pairwise
+  /// disjoint across parties and jointly cover [0, extent). Closes the
+  /// phase and returns the number of violations it contributed.
+  std::size_t check(const std::string& phase);
+
+  [[nodiscard]] std::size_t violation_count() const;
+  [[nodiscard]] std::vector<RangeDiagnostic> diagnostics() const;
+
+ private:
+  struct Claim {
+    int party;
+    std::int64_t begin;
+    std::int64_t end;
+  };
+  struct PhaseState {
+    std::int64_t extent = 0;
+    std::vector<Claim> claims;
+  };
+
+  void report_locked(RangeViolation kind, const std::string& phase,
+                     std::string message);
+
+  RangeCheckOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, PhaseState> phases_;
+  std::vector<RangeDiagnostic> diagnostics_;
+};
+
+}  // namespace hspmv::team

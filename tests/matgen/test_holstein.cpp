@@ -107,6 +107,34 @@ TEST(Holstein, TwoSiteSingleElectronHopping) {
   EXPECT_DOUBLE_EQ(h.at(1, 1), 0.0);
 }
 
+TEST(Holstein, ZeroPhononModesIgnoreCouplingParameters) {
+  // Regression: with phonon_modes == 0 the per-site density table is
+  // empty, and the coupling loop must not touch it (the row assembler
+  // once formed the density pointer through vector::operator[], which is
+  // undefined on an empty vector even at offset 0 — caught by the UBSan
+  // lane). The observable property: coupling and frequency are inert.
+  HolsteinHubbardParams bare;
+  bare.sites = 3;
+  bare.electrons_up = 1;
+  bare.electrons_down = 1;
+  bare.phonon_modes = 0;
+  bare.max_phonons = 0;
+  bare.hopping = 1.25;
+  bare.hubbard_u = 2.0;
+  HolsteinHubbardParams coupled = bare;
+  coupled.coupling = 3.0;
+  coupled.phonon_frequency = 1.7;
+  const CsrMatrix a = holstein_hubbard(bare);
+  const CsrMatrix b = holstein_hubbard(coupled);
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(a.at(i, j), b.at(i, j));
+    }
+  }
+}
+
 TEST(Holstein, HubbardDiagonal) {
   // Two sites, one up + one down, no phonons. Electron states
   // (u, d) in {0,1}^2; U on the two doubly-occupied states.

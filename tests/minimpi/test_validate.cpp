@@ -1,0 +1,359 @@
+// Negative tests for the MPI usage validator: every ViolationKind has a
+// test that provokes exactly that misuse and asserts the diagnostic
+// fires, plus clean-run tests asserting well-formed programs produce no
+// diagnostics at all.
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minimpi/runtime.hpp"
+
+namespace hspmv::minimpi {
+namespace {
+
+/// Thread-safe capture of every diagnostic the checker reports.
+struct DiagnosticLog {
+  std::mutex mutex;
+  std::vector<Diagnostic> all;
+
+  [[nodiscard]] ValidateOptions options() {
+    ValidateOptions validate;
+    validate.enabled = true;
+    validate.on_diagnostic = [this](const Diagnostic& diagnostic) {
+      std::lock_guard<std::mutex> lock(mutex);
+      all.push_back(diagnostic);
+    };
+    return validate;
+  }
+
+  [[nodiscard]] std::size_t count(ViolationKind kind) {
+    std::lock_guard<std::mutex> lock(mutex);
+    return static_cast<std::size_t>(
+        std::count_if(all.begin(), all.end(), [kind](const Diagnostic& d) {
+          return d.kind == kind;
+        }));
+  }
+
+  [[nodiscard]] std::size_t total() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return all.size();
+  }
+
+  [[nodiscard]] std::string first_message(ViolationKind kind) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const Diagnostic& d : all) {
+      if (d.kind == kind) return d.message;
+    }
+    return {};
+  }
+};
+
+RuntimeOptions with_validation(DiagnosticLog& log, int ranks) {
+  RuntimeOptions options;
+  options.ranks = ranks;
+  options.validate = log.options();
+  return options;
+}
+
+TEST(Validate, CleanExchangeReportsNothing) {
+  DiagnosticLog log;
+  run(with_validation(log, 4), [](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int iteration = 0; iteration < 5; ++iteration) {
+      // Large enough for the rendezvous path so buffers are tracked.
+      std::vector<double> out(1024, comm.rank() * 1.0 + iteration);
+      std::vector<double> in(1024, -1.0);
+      std::vector<Request> requests;
+      requests.push_back(comm.irecv(std::span<double>(in), prev));
+      requests.push_back(comm.isend(std::span<const double>(out), next));
+      comm.wait_all(requests);
+      EXPECT_DOUBLE_EQ(in.front(), prev * 1.0 + iteration);
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(log.total(), 0u);
+}
+
+TEST(Validate, CleanSplitCollectivesReportNothing) {
+  DiagnosticLog log;
+  run(with_validation(log, 4), [](Comm& comm) {
+    Comm half = comm.split(comm.rank() % 2, comm.rank());
+    for (int iteration = 0; iteration < 3; ++iteration) {
+      half.barrier();
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(log.total(), 0u);
+}
+
+TEST(Validate, OverlappingRecvBuffersAreFlagged) {
+  DiagnosticLog log;
+  run(with_validation(log, 2), [](Comm& comm) {
+    // 8 KiB: above the eager threshold, so both transfers stay pending
+    // and both touch the user buffer.
+    std::vector<double> payload(1024, 1.0);
+    if (comm.rank() == 0) {
+      std::vector<double> buffer(1024, 0.0);
+      std::vector<Request> requests;
+      requests.push_back(comm.irecv(std::span<double>(buffer), 1, /*tag=*/0));
+      // Misuse: second receive posted into the same buffer while the
+      // first transfer may still be writing it.
+      requests.push_back(comm.irecv(std::span<double>(buffer), 1, /*tag=*/1));
+      comm.wait_all(requests);
+    } else {
+      comm.send(std::span<const double>(payload), 0, /*tag=*/0);
+      comm.send(std::span<const double>(payload), 0, /*tag=*/1);
+    }
+  });
+  EXPECT_EQ(log.count(ViolationKind::kBufferReuse), 1u);
+  EXPECT_NE(log.first_message(ViolationKind::kBufferReuse).find("overlaps"),
+            std::string::npos);
+}
+
+TEST(Validate, SendOverPendingRecvBufferIsFlagged) {
+  DiagnosticLog log;
+  run(with_validation(log, 2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> buffer(1024, 0.0);
+      std::vector<Request> requests;
+      requests.push_back(comm.irecv(std::span<double>(buffer), 1));
+      // Misuse: sending from a buffer a pending receive writes into.
+      requests.push_back(
+          comm.isend(std::span<const double>(buffer), 1, /*tag=*/7));
+      comm.wait_all(requests);
+    } else {
+      std::vector<double> payload(1024, 2.0);
+      std::vector<double> sink(1024, 0.0);
+      std::vector<Request> requests;
+      requests.push_back(comm.irecv(std::span<double>(sink), 0, /*tag=*/7));
+      requests.push_back(comm.isend(std::span<const double>(payload), 0));
+      comm.wait_all(requests);
+    }
+  });
+  EXPECT_EQ(log.count(ViolationKind::kBufferReuse), 1u);
+}
+
+TEST(Validate, LeakedRequestIsFlaggedAtFinalize) {
+  DiagnosticLog log;
+  run(with_validation(log, 2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data{1, 2, 3};
+      // Misuse: the request is never waited or tested.
+      Request leaked = comm.isend(std::span<const int>(data), 1);
+      (void)leaked;
+      // The eager payload is buffered at post, so exiting is "safe" —
+      // which is exactly why the leak would go unnoticed without the
+      // checker.
+      comm.barrier();
+    } else {
+      std::vector<int> in(3, 0);
+      comm.recv(std::span<int>(in), 0);
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(log.count(ViolationKind::kRequestLeak), 1u);
+  EXPECT_EQ(log.count(ViolationKind::kUnmatchedSend), 0u);
+}
+
+TEST(Validate, DoubleWaitIsFlagged) {
+  DiagnosticLog log;
+  run(with_validation(log, 2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data{4, 5, 6};
+      Request request = comm.isend(std::span<const int>(data), 1);
+      comm.wait(request);
+      // Misuse: waiting again on the already-retired request.
+      comm.wait(request);
+    } else {
+      std::vector<int> in(3, 0);
+      comm.recv(std::span<int>(in), 0);
+    }
+  });
+  EXPECT_EQ(log.count(ViolationKind::kDoubleWait), 1u);
+}
+
+TEST(Validate, TruncatingReceiveIsFlagged) {
+  DiagnosticLog log;
+  EXPECT_THROW(
+      run(with_validation(log, 2),
+          [](Comm& comm) {
+            if (comm.rank() == 0) {
+              const std::vector<int> data(8, 42);
+              comm.send(std::span<const int>(data), 1);
+            } else {
+              std::vector<int> in(4, 0);  // capacity < message size
+              comm.recv(std::span<int>(in), 0);
+            }
+          }),
+      std::runtime_error);
+  EXPECT_EQ(log.count(ViolationKind::kTruncation), 1u);
+}
+
+TEST(Validate, RecvRecvDeadlockCycleIsNamed) {
+  DiagnosticLog log;
+  try {
+    run(with_validation(log, 2), [](Comm& comm) {
+      // Classic head-to-head deadlock: both ranks block in a receive and
+      // nobody ever sends.
+      std::vector<int> in(4, 0);
+      comm.recv(std::span<int>(in), 1 - comm.rank());
+    });
+    FAIL() << "deadlock was not detected";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("wait-for cycle"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_EQ(log.count(ViolationKind::kDeadlock), 1u);
+  const std::string message = log.first_message(ViolationKind::kDeadlock);
+  EXPECT_NE(message.find("rank 0"), std::string::npos);
+  EXPECT_NE(message.find("rank 1"), std::string::npos);
+}
+
+TEST(Validate, MixedBarrierRecvDeadlockIsDetected) {
+  DiagnosticLog log;
+  EXPECT_THROW(
+      run(with_validation(log, 2),
+          [](Comm& comm) {
+            if (comm.rank() == 0) {
+              comm.barrier();  // blocks: rank 1 never arrives
+            } else {
+              std::vector<int> in(4, 0);
+              comm.recv(std::span<int>(in), 0);  // blocks: rank 0 never sends
+            }
+          }),
+      std::runtime_error);
+  EXPECT_EQ(log.count(ViolationKind::kDeadlock), 1u);
+}
+
+TEST(Validate, UnmatchedSendIsFlaggedAtFinalize) {
+  DiagnosticLog log;
+  run(with_validation(log, 2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data{7};
+      // Eager send completes locally; no receive ever matches it.
+      Request request = comm.isend(std::span<const int>(data), 1);
+      comm.wait(request);
+    }
+  });
+  EXPECT_EQ(log.count(ViolationKind::kUnmatchedSend), 1u);
+  EXPECT_EQ(log.count(ViolationKind::kRequestLeak), 0u);
+}
+
+TEST(Validate, PoisonedRunsReportNoLeaks) {
+  // When chaos poisons the board, abandoned requests are the runtime's
+  // fault, not the user's: the finalize audit must stay silent.
+  DiagnosticLog log;
+  RuntimeOptions options = with_validation(log, 2);
+  options.chaos.enabled = true;
+  options.chaos.seed = 1234;
+  options.chaos.fail_transfer_index = 0;  // first transfer poisons the board
+  EXPECT_THROW(run(options,
+                   [](Comm& comm) {
+                     std::vector<double> buffer(1024, 0.0);
+                     const std::vector<double> data(1024, 1.0);
+                     if (comm.rank() == 0) {
+                       comm.send(std::span<const double>(data), 1);
+                     } else {
+                       comm.recv(std::span<double>(buffer), 0);
+                     }
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(log.count(ViolationKind::kRequestLeak), 0u);
+  EXPECT_EQ(log.count(ViolationKind::kUnmatchedSend), 0u);
+}
+
+TEST(Validate, WatchdogOnlyModeDoesNotDisturbSlowRuns) {
+  // watchdog_seconds without `enabled` dumps blocked state on stalls but
+  // must neither report diagnostics nor change results.
+  DiagnosticLog log;
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.validate.watchdog_seconds = 0.1;
+  run(options, [](Comm& comm) {
+    std::vector<int> in(4, 0);
+    const std::vector<int> out{1, 2, 3, 4};
+    if (comm.rank() == 0) {
+      comm.recv(std::span<int>(in), 1);
+      EXPECT_EQ(in, (std::vector<int>{1, 2, 3, 4}));
+    } else {
+      // Stall long enough for rank 0's watchdog to trip and dump.
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      comm.send(std::span<const int>(out), 0);
+    }
+  });
+  EXPECT_EQ(log.total(), 0u);
+}
+
+TEST(Validate, ReleasedBarrierWaiterIsNotADeadlockObstacle) {
+  // Regression for a contention false positive: ranks 1 and 3 race past
+  // a just-released barrier into the next round's wait while ranks 0 and
+  // 2 — released but not yet rescheduled — still sit registered as
+  // blocked-in-collective. The scanner used to read that stale record as
+  // a wait-for edge and report a cycle. The registration now carries the
+  // barrier's release generation; once it moves on, the waiter is no
+  // obstacle no matter how long the scheduler starves it.
+  ValidateOptions options;
+  options.enabled = true;
+  options.log_to_stderr = false;
+  std::size_t reported = 0;
+  options.on_diagnostic = [&reported](const Diagnostic&) { ++reported; };
+  UsageChecker checker(options, 4);
+
+  std::atomic<std::uint64_t> generation{7};
+  checker.enter_blocked_collective(2, 0, {0, 1, 2, 3}, &generation, 7,
+                                   "blocked in collective barrier on comm 0");
+  generation.fetch_add(1);  // the barrier releases; rank 2 not rescheduled
+  checker.enter_blocked_wait(3, {2}, "blocked in wait_all on 2 request(s)");
+  for (int scan = 0; scan < 6; ++scan) {
+    EXPECT_EQ(checker.check_deadlock(3), "");
+  }
+  EXPECT_EQ(reported, 0u);
+
+  // Same shape, barrier NOT released: a certain deadlock, reported once
+  // the cycle survives the confirmation scans.
+  checker.enter_blocked_collective(2, 0, {0, 1, 2, 3}, &generation,
+                                   generation.load(),
+                                   "blocked in collective barrier on comm 0");
+  std::string message;
+  for (int scan = 0; scan < 6 && message.empty(); ++scan) {
+    message = checker.check_deadlock(3);
+  }
+  EXPECT_NE(message.find("wait-for cycle"), std::string::npos);
+  EXPECT_EQ(reported, 1u);
+}
+
+TEST(Validate, DeadlockReportWaitsForConsecutiveConfirmation) {
+  // A found cycle is reported only after identical consecutive scans;
+  // any change to a member's registration (observed progress) resets the
+  // pending confirmation. This is what lets stale p2p records — a match
+  // the owner has not yet woken up to notice — self-heal.
+  ValidateOptions options;
+  options.enabled = true;
+  options.log_to_stderr = false;
+  UsageChecker checker(options, 2);
+  checker.enter_blocked_wait(0, {1}, "blocked in wait_all on 1 request(s)");
+  checker.enter_blocked_wait(1, {0}, "blocked in wait_all on 1 request(s)");
+  EXPECT_EQ(checker.check_deadlock(0), "");
+  EXPECT_EQ(checker.check_deadlock(0), "");
+  // Progress on rank 1 (different peer set) invalidates the pending
+  // cycle even though a cycle is still present afterwards.
+  checker.update_blocked_wait(1, {});
+  checker.update_blocked_wait(1, {0});
+  EXPECT_EQ(checker.check_deadlock(0), "");
+  EXPECT_EQ(checker.check_deadlock(0), "");
+  // Third consecutive unchanged observation: confirmed.
+  const std::string message = checker.check_deadlock(0);
+  EXPECT_NE(message.find("wait-for cycle"), std::string::npos);
+  EXPECT_NE(message.find("rank 0"), std::string::npos);
+  EXPECT_NE(message.find("rank 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hspmv::minimpi

@@ -67,6 +67,11 @@ TEST_P(EngineChaosPair, BitwiseStableAcrossChaosSeeds) {
   EngineOptions engine_options;
   engine_options.backend = backend;
 
+  // The usage checker rides along on every chaotic run: held matches,
+  // reordered delivery and jitter must never look like a violation to it
+  // (the engine's MPI usage is clean under any legal schedule).
+  std::atomic<std::size_t> checker_diagnostics{0};
+
   std::uint64_t chaos_stream = 100;
   for (int kind = 0; kind < 4; ++kind) {
     const CsrMatrix a =
@@ -89,12 +94,16 @@ TEST_P(EngineChaosPair, BitwiseStableAcrossChaosSeeds) {
       options.progress = s % 2 == 0 ? minimpi::ProgressMode::kDeferred
                                     : minimpi::ProgressMode::kAsync;
       options.chaos = minimpi::ChaosConfig::standard(seed(chaos_stream++));
+      options.validate.enabled = true;
+      options.validate.on_diagnostic =
+          [&](const minimpi::Diagnostic&) { ++checker_diagnostics; };
       const auto chaotic = testutil::distributed_product(
           a, x, threads, variant, options, engine_options);
       ASSERT_EQ(chaotic, baseline)
           << "matrix kind " << kind << ", chaos seed " << options.chaos.seed;
     }
   }
+  EXPECT_EQ(checker_diagnostics.load(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -220,6 +229,13 @@ TEST_F(EngineChaos, InjectedFailureSurfacesOnAllRanks) {
       options.chaos.barrier_jitter_probability = 0.0;
       options.chaos.spurious_test_probability = 0.0;
       options.chaos.fail_transfer_index = fail_index;
+      // A poisoned run must not produce checker false positives: the
+      // requests the runtime errors out itself are not user leaks, and
+      // aborted ranks are not deadlocked.
+      std::atomic<std::size_t> false_positives{0};
+      options.validate.enabled = true;
+      options.validate.on_diagnostic =
+          [&](const minimpi::Diagnostic&) { ++false_positives; };
 
       std::atomic<int> throwers{0};
       std::mutex message_mutex;
@@ -250,6 +266,9 @@ TEST_F(EngineChaos, InjectedFailureSurfacesOnAllRanks) {
         if (message.find("injected") != std::string::npos) ++injected;
       }
       EXPECT_GE(injected, 1)
+          << "variant " << static_cast<int>(variant) << ", fail index "
+          << fail_index;
+      EXPECT_EQ(false_positives.load(), 0u)
           << "variant " << static_cast<int>(variant) << ", fail index "
           << fail_index;
     }

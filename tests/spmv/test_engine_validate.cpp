@@ -1,0 +1,175 @@
+// Clean-run certification of the distributed engine under the full
+// correctness-analysis suite: every engine variant x kernel backend runs
+// with the minimpi UsageChecker AND the ThreadTeam write-range detector
+// enabled, and must produce correct results with ZERO diagnostics. A
+// false positive here would make the checkers useless as CI gates.
+#include <atomic>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/reference.hpp"
+#include "matgen/poisson.hpp"
+#include "matgen/random_matrix.hpp"
+#include "minimpi/runtime.hpp"
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+
+namespace hspmv::spmv {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::value_t;
+
+struct CheckedRun {
+  std::vector<value_t> result;
+  std::size_t mpi_diagnostics = 0;
+  std::size_t range_diagnostics = 0;
+};
+
+/// Full distributed pipeline with both checkers armed. Vectors come from
+/// engine.make_vector() so the first-touch fill phases are validated too.
+CheckedRun checked_product(const CsrMatrix& a,
+                           const std::vector<value_t>& x_global, int ranks,
+                           int threads, Variant variant,
+                           EngineOptions engine_options, int repetitions) {
+  CheckedRun run_result;
+  run_result.result.assign(static_cast<std::size_t>(a.rows()), 0.0);
+
+  std::atomic<std::size_t> mpi_count{0};
+  std::atomic<std::size_t> range_count{0};
+
+  minimpi::RuntimeOptions runtime_options;
+  runtime_options.ranks = ranks;
+  runtime_options.validate.enabled = true;
+  runtime_options.validate.on_diagnostic =
+      [&](const minimpi::Diagnostic&) { ++mpi_count; };
+
+  engine_options.range_check.enabled = true;
+  engine_options.range_check.on_diagnostic =
+      [&](const team::RangeDiagnostic&) { ++range_count; };
+
+  std::mutex result_mutex;
+  minimpi::run(runtime_options, [&](minimpi::Comm& comm) {
+    const auto boundaries = partition_rows(
+        a, comm.size(), PartitionStrategy::kBalancedNonzeros);
+    DistMatrix dist(comm, a, boundaries);
+    SpmvEngine engine(dist, threads, variant, engine_options);
+    DistVector x = engine.make_vector();
+    DistVector y = engine.make_vector();
+    x.assign_from_global(x_global, dist.row_begin());
+    engine.apply(x, y);
+    for (int r = 1; r < repetitions; ++r) {
+      std::copy(y.owned().begin(), y.owned().end(), x.owned().begin());
+      engine.apply(x, y);
+    }
+    std::lock_guard<std::mutex> lock(result_mutex);
+    for (sparse::index_t i = 0; i < dist.owned_rows(); ++i) {
+      run_result.result[static_cast<std::size_t>(dist.row_begin() + i)] =
+          y.owned()[static_cast<std::size_t>(i)];
+    }
+  });
+
+  run_result.mpi_diagnostics = mpi_count.load();
+  run_result.range_diagnostics = range_count.load();
+  return run_result;
+}
+
+class ValidateSweep
+    : public ::testing::TestWithParam<std::tuple<Variant, LocalBackend>> {};
+
+TEST_P(ValidateSweep, EngineRunsCleanUnderBothCheckers) {
+  const auto [variant, backend] = GetParam();
+  EngineOptions options;
+  options.backend = backend;
+  // Small sigma window relative to the worker shares so SELL's permuted
+  // write ranges actually interleave across worker boundaries.
+  options.sell_chunk = 8;
+  options.sell_sigma = 32;
+
+  const CsrMatrix a = matgen::random_sparse(300, 7, 92);
+  const auto x = testutil::random_vector(static_cast<std::size_t>(a.cols()),
+                                         17);
+  const auto expected = testutil::sequential_reference(a, x, 3);
+
+  const CheckedRun run = checked_product(a, x, /*ranks=*/3, /*threads=*/3,
+                                         variant, options, /*repetitions=*/3);
+  EXPECT_LT(testutil::max_abs_diff(run.result, expected), 1e-11);
+  EXPECT_EQ(run.mpi_diagnostics, 0u);
+  EXPECT_EQ(run.range_diagnostics, 0u);
+}
+
+TEST_P(ValidateSweep, SerialGatherAndNoFirstTouchRunClean) {
+  // The historical serial-gather / un-placed storage paths claim ranges
+  // differently (thread 0 owns everything): they must validate too.
+  const auto [variant, backend] = GetParam();
+  EngineOptions options;
+  options.backend = backend;
+  options.parallel_gather = false;
+  options.first_touch = false;
+
+  const CsrMatrix a = matgen::poisson7({.nx = 6, .ny = 6, .nz = 6});
+  const auto x = testutil::random_vector(static_cast<std::size_t>(a.cols()),
+                                         43);
+  const auto expected = testutil::sequential_reference(a, x, 2);
+
+  const CheckedRun run = checked_product(a, x, /*ranks=*/2, /*threads=*/2,
+                                         variant, options, /*repetitions=*/2);
+  EXPECT_LT(testutil::max_abs_diff(run.result, expected), 1e-11);
+  EXPECT_EQ(run.mpi_diagnostics, 0u);
+  EXPECT_EQ(run.range_diagnostics, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsTimesBackends, ValidateSweep,
+    ::testing::Combine(::testing::Values(Variant::kVectorNoOverlap,
+                                         Variant::kVectorNaiveOverlap,
+                                         Variant::kTaskMode),
+                       ::testing::Values(LocalBackend::kCsr,
+                                         LocalBackend::kSell)));
+
+TEST(EngineValidate, SellWriteRangesPartitionTheRows) {
+  // Unit-level check of the SELL override: the per-worker write ranges
+  // must partition [0, rows) exactly even when sigma windows straddle
+  // worker boundaries.
+  const CsrMatrix a = matgen::random_sparse(257, 6, 5);
+  minimpi::run(1, [&](minimpi::Comm& comm) {
+    const auto boundaries =
+        partition_rows(a, 1, PartitionStrategy::kBalancedNonzeros);
+    DistMatrix dist(comm, a, boundaries);
+    const int workers = 4;
+    auto kernel = make_local_kernel(dist, LocalBackend::kSell, workers,
+                                    /*sell_chunk=*/8, /*sell_sigma=*/64);
+    std::vector<int> cover(static_cast<std::size_t>(a.rows()), 0);
+    for (int w = 0; w < workers; ++w) {
+      for (const team::Range& range : kernel->write_ranges(w)) {
+        for (std::int64_t i = range.begin; i < range.end; ++i) {
+          ++cover[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+    for (const int hits : cover) EXPECT_EQ(hits, 1);
+  });
+}
+
+TEST(EngineValidate, RangeCheckerAccessorExposesDiagnostics) {
+  const CsrMatrix a = matgen::poisson7({.nx = 4, .ny = 4, .nz = 4});
+  minimpi::run(1, [&](minimpi::Comm& comm) {
+    const auto boundaries =
+        partition_rows(a, 1, PartitionStrategy::kBalancedNonzeros);
+    DistMatrix dist(comm, a, boundaries);
+    EngineOptions options;
+    options.range_check.enabled = true;
+    SpmvEngine engine(dist, 2, Variant::kVectorNoOverlap, options);
+    DistVector x = engine.make_vector();
+    DistVector y = engine.make_vector();
+    engine.apply(x, y);
+    EXPECT_TRUE(engine.range_checker().enabled());
+    EXPECT_EQ(engine.range_checker().violation_count(), 0u);
+  });
+}
+
+}  // namespace
+}  // namespace hspmv::spmv
