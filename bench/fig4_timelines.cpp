@@ -12,18 +12,27 @@
 //                            t1: [gather][ spMVM local ].........[nonlocal]
 //      (communication and local compute bars overlap in wall time)
 
+#include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "matgen/random_matrix.hpp"
 #include "minimpi/runtime.hpp"
+#include "solvers/resilience.hpp"
+#include "sparse/kernels.hpp"
 #include "spmv/engine.hpp"
 #include "spmv/partition.hpp"
 #include "spmv/reorder.hpp"
+#include "spmv/resilient.hpp"
+#include "spmv/retry.hpp"
 #include "util/cli.hpp"
 #include "util/prng.hpp"
 #include "util/timeline.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -70,15 +79,112 @@ Panel run_panel(const sparse::CsrMatrix& a, spmv::Variant variant,
   return panel;
 }
 
+/// Recovery demo (--inject-failure): repeated applies through the
+/// recoverable engine on 4 ranks; the victim dies mid-sequence, the
+/// survivors shrink + rebuild and redo the interrupted apply. Reports
+/// recovery wall clock, applies lost, and halo retries alongside the
+/// panel timings.
+void run_recovery_demo(const sparse::CsrMatrix& a, int threads,
+                       spmv::EngineOptions engine_options,
+                       const solvers::FailurePlan& plan) {
+  constexpr int kRanks = 4;
+  const int applies = plan.iteration + 3;
+  if (plan.rank < 0 || plan.rank >= kRanks || plan.iteration >= applies) {
+    std::printf("recovery demo: --inject-failure rank must be in [0, %d)\n",
+                kRanks);
+    return;
+  }
+  // Partition-independent input: entry i depends only on the global row,
+  // so the recomputed apply after the rebuild targets the same product.
+  std::vector<sparse::value_t> xg(static_cast<std::size_t>(a.cols()));
+  util::Xoshiro256 rng(11);
+  for (auto& v : xg) v = rng.uniform(-1.0, 1.0);
+  std::vector<sparse::value_t> expected(static_cast<std::size_t>(a.rows()));
+  sparse::spmv(a, xg, expected);
+
+  std::atomic<long long> retries{0};
+  std::mutex mutex;
+  double recovery_seconds = 0.0;
+  int applies_lost = 0;
+  int final_size = 0;
+  double max_error = -1.0;
+
+  minimpi::RuntimeOptions options;
+  options.ranks = kRanks;
+  minimpi::run(options, [&](minimpi::Comm& comm) {
+    const int world_rank = comm.global_rank();
+    spmv::RecoverableSpmv op(comm, a, threads,
+                             spmv::Variant::kVectorNoOverlap, engine_options);
+    auto fill = [&](spmv::DistVector& x) {
+      const auto row_begin =
+          static_cast<std::size_t>(op.matrix().row_begin());
+      for (std::size_t i = 0; i < x.owned().size(); ++i) {
+        x.owned()[i] = xg[row_begin + i];
+      }
+    };
+    auto x = op.make_vector();
+    auto y = op.make_vector();
+    fill(x);
+    double local_recovery = 0.0;
+    int local_lost = 0;
+    for (int it = 0; it < applies; ++it) {
+      try {
+        if (it == plan.iteration && world_rank == plan.rank) {
+          op.comm().simulate_rank_failure();
+        }
+        const auto t = op.apply(x, y);
+        retries.fetch_add(t.retries);
+      } catch (const minimpi::FaultError& fault) {
+        if (fault.kind() == minimpi::FaultKind::kTransient) throw;
+        if (fault.rank() == world_rank) return;  // the victim is done
+        util::Timer timer;
+        op.shrink_and_rebuild();
+        x = op.make_vector();
+        y = op.make_vector();
+        fill(x);
+        // Survivors observe the fault at different apply indices (one
+        // mid-apply, one about to start the next); resume from the
+        // earliest so every survivor performs the same number of
+        // matching halo exchanges from here on.
+        const int resume = static_cast<int>(op.comm().allreduce(
+            static_cast<long long>(it), minimpi::ReduceOp::kMin));
+        local_recovery += timer.seconds();
+        local_lost += it - resume + 1;  // applies redone by this rank
+        it = resume - 1;                // redo from `resume`
+      }
+    }
+    const auto yg =
+        op.comm().allgatherv(std::span<const sparse::value_t>(y.owned()));
+    double error = 0.0;
+    for (std::size_t i = 0; i < yg.size(); ++i) {
+      error = std::max(error, std::abs(yg[i] - expected[i]));
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    recovery_seconds = std::max(recovery_seconds, local_recovery);
+    applies_lost = std::max(applies_lost, local_lost);
+    final_size = op.comm().size();
+    max_error = std::max(max_error, error);
+  });
+
+  std::printf(
+      "recovery demo (%d ranks, kill rank %d at apply %d of %d):\n"
+      "  recovered in %.2f ms, %d applies lost, %lld halo retries, final "
+      "comm size %d, max |y - y*| = %.2e  %s\n\n",
+      kRanks, plan.rank, plan.iteration, applies, recovery_seconds * 1e3,
+      applies_lost, retries.load(), final_size, max_error,
+      max_error < 1e-12 ? "OK" : "MISMATCH");
+}
+
 void print_panel(const char* heading, const Panel& panel) {
   std::printf("%s\n%s", heading, panel.rendered.c_str());
   std::printf(
       "rank 0 comm volume: %lld B sent, %lld B received (%lld halo "
-      "elements, %lld messages)\n\n",
+      "elements, %lld messages, %lld retries)\n\n",
       static_cast<long long>(panel.timings.bytes_sent),
       static_cast<long long>(panel.timings.bytes_received),
       static_cast<long long>(panel.timings.halo_elements),
-      static_cast<long long>(panel.timings.messages));
+      static_cast<long long>(panel.timings.messages),
+      static_cast<long long>(panel.timings.retries));
 }
 
 }  // namespace
@@ -92,6 +198,12 @@ int main(int argc, char** argv) {
   cli.add_option("backend", "csr",
                  "node-level kernel backend: csr or sell (SELL-C-sigma)");
   cli.add_option("reorder", "none", "global pre-pass: none or rcm");
+  cli.add_option("retry-policy", "off",
+                 "halo-exchange retry policy: off, on, or key=value list "
+                 "(attempts, base, multiplier, max, timeout, seed)");
+  cli.add_option("inject-failure", "",
+                 "append a recovery demo killing rank R at apply I "
+                 "(\"R:I\"; docs/resilience.md)");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto reorder = spmv::parse_reorder(cli.get_string("reorder"));
@@ -106,6 +218,7 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(cli.get_int("threads"));
   spmv::EngineOptions engine_options;
   engine_options.backend = spmv::parse_backend(cli.get_string("backend"));
+  engine_options.retry = spmv::RetryPolicy::parse(cli.get_string("retry-policy"));
 
   std::printf(
       "Fig. 4 — measured timelines (2 ranks, %d threads, deferred "
@@ -124,6 +237,11 @@ int main(int argc, char** argv) {
       "(c) task mode — t0's Waitall overlaps the workers' local spMVM",
       run_panel(a, spmv::Variant::kTaskMode, latency, threads,
                 engine_options));
+  const std::string inject = cli.get_string("inject-failure");
+  if (!inject.empty()) {
+    run_recovery_demo(a, threads, engine_options,
+                      hspmv::solvers::parse_failure_plan(inject));
+  }
   std::printf(
       "note: the *shapes* are the reproduction target. Absolute spans on "
       "an oversubscribed single-core host include scheduler delays (all "

@@ -12,6 +12,9 @@
 #   tier1.sh tsan   — same under ThreadSanitizer in build-tsan
 #   tier1.sh lint   — static-analysis pass (scripts/lint.sh: clang-tidy
 #                     when available, strict GCC warnings otherwise)
+#   tier1.sh resilience — repeated runs of the fault-tolerance suites
+#                     (ctest -L resilience; docs/resilience.md) so flaky
+#                     recovery interleavings surface before they land
 # Without a lane argument the classic full tier-1 runs.
 set -euo pipefail
 
@@ -45,6 +48,20 @@ case "${1:-}" in
     ;;
   lint)
     "${repo_root}/scripts/lint.sh" "${2:-${repo_root}/build}"
+    exit 0
+    ;;
+  resilience)
+    # Recovery paths are interleaving-sensitive (revocation racing
+    # in-flight halo traffic, shrink rendezvous, checkpoint commit
+    # windows): run the resilience label repeatedly to shake out flakes.
+    lane_dir="${2:-${repo_root}/build}"
+    repeats="${HSPMV_RESILIENCE_REPEATS:-5}"
+    cmake -B "${lane_dir}" -S "${repo_root}"
+    cmake --build "${lane_dir}" -j
+    for ((i = 1; i <= repeats; ++i)); do
+      echo "== resilience pass ${i}/${repeats} =="
+      ctest --test-dir "${lane_dir}" --output-on-failure -L resilience
+    done
     exit 0
     ;;
 esac

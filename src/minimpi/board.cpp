@@ -8,7 +8,10 @@
 namespace hspmv::minimpi {
 
 Board::Board(const RuntimeOptions& options)
-    : options_(options), fault_(options.chaos) {
+    : options_(options),
+      fault_(options.chaos),
+      dead_(static_cast<std::size_t>(options.ranks), 0),
+      last_beat_(static_cast<std::size_t>(options.ranks), Clock::now()) {
   if (options.validate.enabled || options.validate.watchdog_seconds > 0.0) {
     checker_ = std::make_unique<UsageChecker>(
         options.validate, static_cast<std::size_t>(options.ranks));
@@ -25,8 +28,8 @@ void Board::finalize_validation() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (poison_error_.empty()) {
     for (const auto& op : unmatched_sends_) {
-      checker_->on_unmatched_send(op.global_source, op.global_dest, op.tag,
-                                  op.bytes);
+      checker_->on_unmatched_send(op.comm_id, op.global_source,
+                                  op.global_dest, op.tag, op.bytes);
     }
   }
   checker_->on_finalize(!poison_error_.empty());
@@ -48,24 +51,40 @@ std::vector<int> Board::unmatched_peers_locked(
 }
 
 void Board::fail_request_locked(const std::shared_ptr<RequestState>& request,
-                                const std::string& message) {
+                                const std::string& message, FaultKind kind,
+                                int fault_rank) const {
   if (request == nullptr || request->complete) return;
   request->error = message;
+  request->faulted = true;
+  request->fault_kind = kind;
+  request->fault_rank = fault_rank;
+  request->fault_epoch = epoch_;
   request->complete = true;
+}
+
+void Board::throw_request_error(const RequestState& request) {
+  if (request.faulted) {
+    throw FaultError(request.fault_kind, request.fault_rank,
+                     request.fault_epoch, request.error);
+  }
+  throw std::runtime_error(request.error);
 }
 
 void Board::poison_locked(const std::string& message) {
   if (!poison_error_.empty()) return;  // first failure wins
   poison_error_ = message;
-  for (auto& op : unmatched_sends_) fail_request_locked(op.request, message);
-  for (auto& op : unmatched_recvs_) fail_request_locked(op.request, message);
+  const auto fail = [&](const std::shared_ptr<RequestState>& request) {
+    fail_request_locked(request, message, FaultKind::kPermanent, -1);
+  };
+  for (auto& op : unmatched_sends_) fail(op.request);
+  for (auto& op : unmatched_recvs_) fail(op.request);
   for (auto& t : ready_) {
-    fail_request_locked(t.send_request, message);
-    fail_request_locked(t.recv_request, message);
+    fail(t.send_request);
+    fail(t.recv_request);
   }
   for (auto& t : in_flight_) {
-    fail_request_locked(t.send_request, message);
-    fail_request_locked(t.recv_request, message);
+    fail(t.send_request);
+    fail(t.recv_request);
   }
   // Drop everything: no payload ever moves again, so aborting ranks may
   // free their buffers without a transfer writing into them.
@@ -73,6 +92,7 @@ void Board::poison_locked(const std::string& message) {
   unmatched_recvs_.clear();
   ready_.clear();
   in_flight_.clear();
+  dropped_.clear();
   cv_.notify_all();
 }
 
@@ -80,12 +100,40 @@ void Board::enqueue_transfer_locked(Transfer&& transfer) {
   const std::uint64_t match_index = matched_messages_++;
   if (fault_.enabled()) {
     if (fault_.should_fail_transfer(match_index)) {
+      if (fault_.config().failure_mode ==
+          ChaosConfig::FailureMode::kTransient) {
+        // Transient fault: only this transfer fails; the board stays
+        // healthy and the message may be reposted.
+        const std::string message =
+            "minimpi: injected transient transfer failure (message " +
+            std::to_string(match_index) + ", chaos seed " +
+            std::to_string(fault_.config().seed) + ")";
+        if (transfer.send_request->complete &&
+            transfer.eager_copy != nullptr) {
+          // The eager sender already observed completion — retain the
+          // payload so the receiver's reposted irecv can re-match it
+          // (transport-level redelivery).
+          dropped_.push_back(DroppedMessage{
+              transfer.comm_id, transfer.source, transfer.dest, transfer.tag,
+              transfer.global_source, transfer.global_dest, transfer.bytes,
+              transfer.eager_copy});
+        } else {
+          fail_request_locked(transfer.send_request, message,
+                              FaultKind::kTransient, -1);
+        }
+        fail_request_locked(transfer.recv_request, message,
+                            FaultKind::kTransient, -1);
+        cv_.notify_all();
+        return;
+      }
       const std::string message =
           "minimpi: injected transfer failure (message " +
           std::to_string(match_index) + ", chaos seed " +
           std::to_string(fault_.config().seed) + ")";
-      fail_request_locked(transfer.send_request, message);
-      fail_request_locked(transfer.recv_request, message);
+      fail_request_locked(transfer.send_request, message,
+                          FaultKind::kPermanent, -1);
+      fail_request_locked(transfer.recv_request, message,
+                          FaultKind::kPermanent, -1);
       poison_locked(message);
       return;
     }
@@ -130,15 +178,42 @@ std::shared_ptr<RequestState> Board::post_send(std::uint64_t comm_id,
   }
 
   std::unique_lock<std::mutex> lock(mutex_);
+  beat_locked(global_source);
   if (!poison_error_.empty()) {
     op.request->error = poison_error_;
+    op.request->faulted = true;
+    op.request->fault_kind = FaultKind::kPermanent;
+    op.request->complete = true;
+    return op.request;
+  }
+  if (const auto revoked = revoked_comms_.find(comm_id);
+      revoked != revoked_comms_.end()) {
+    // Assign directly: an eager send is already complete, which would
+    // make fail_request_locked a no-op.
+    op.request->error = "minimpi: send posted on revoked communicator " +
+                        std::to_string(comm_id);
+    op.request->faulted = true;
+    op.request->fault_kind = FaultKind::kPermanent;
+    op.request->fault_rank = revoked->second;
+    op.request->fault_epoch = epoch_;
+    op.request->complete = true;
+    return op.request;
+  }
+  if (global_dest >= 0 && global_dest < static_cast<int>(dead_.size()) &&
+      dead_[static_cast<std::size_t>(global_dest)] != 0) {
+    op.request->error =
+        "minimpi: send posted to dead rank " + std::to_string(global_dest);
+    op.request->faulted = true;
+    op.request->fault_kind = FaultKind::kPermanent;
+    op.request->fault_rank = global_dest;
+    op.request->fault_epoch = epoch_;
     op.request->complete = true;
     return op.request;
   }
   if (checker_ != nullptr) {
     // Eager sends buffered their payload at post time: the user buffer is
     // immediately reusable, so it is not an overlap hazard.
-    checker_->on_post(op.request, /*is_recv=*/false, data, bytes,
+    checker_->on_post(op.request, comm_id, /*is_recv=*/false, data, bytes,
                       global_source, global_dest, tag,
                       /*tracked_buffer=*/op.eager_copy == nullptr);
   }
@@ -170,7 +245,7 @@ std::shared_ptr<RequestState> Board::post_send(std::uint64_t comm_id,
                                        op.source, op.dest, op.tag,
                                        op.global_source, op.global_dest,
                                        op.request, recv.request, op.eager_copy,
-                                       {}, 0});
+                                       comm_id, {}, 0});
       cv_.notify_all();
       return op.request;
     }
@@ -199,15 +274,72 @@ std::shared_ptr<RequestState> Board::post_recv(std::uint64_t comm_id,
   op.request->active = true;
 
   std::unique_lock<std::mutex> lock(mutex_);
+  beat_locked(global_dest);
   if (!poison_error_.empty()) {
     op.request->error = poison_error_;
+    op.request->faulted = true;
+    op.request->fault_kind = FaultKind::kPermanent;
     op.request->complete = true;
     return op.request;
   }
+  if (const auto revoked = revoked_comms_.find(comm_id);
+      revoked != revoked_comms_.end()) {
+    fail_request_locked(op.request,
+                        "minimpi: receive posted on revoked communicator " +
+                            std::to_string(comm_id),
+                        FaultKind::kPermanent, revoked->second);
+    return op.request;
+  }
+  if (global_source >= 0 && global_source < static_cast<int>(dead_.size()) &&
+      dead_[static_cast<std::size_t>(global_source)] != 0) {
+    fail_request_locked(op.request,
+                        "minimpi: receive posted from dead rank " +
+                            std::to_string(global_source),
+                        FaultKind::kPermanent, global_source);
+    return op.request;
+  }
   if (checker_ != nullptr) {
-    checker_->on_post(op.request, /*is_recv=*/true, data, capacity_bytes,
-                      global_dest, global_source, tag,
+    checker_->on_post(op.request, comm_id, /*is_recv=*/true, data,
+                      capacity_bytes, global_dest, global_source, tag,
                       /*tracked_buffer=*/true);
+  }
+  // Transport-level redelivery: a transient-failed eager payload was
+  // matched *before* anything still sitting in the unmatched-send queue,
+  // so FIFO order requires checking it first.
+  for (auto it = dropped_.begin(); it != dropped_.end(); ++it) {
+    if (it->comm_id != comm_id || it->dest != dest || it->source != source ||
+        (tag != kAnyTag && tag != it->tag)) {
+      continue;
+    }
+    DroppedMessage message = *it;
+    dropped_.erase(it);
+    if (message.bytes > op.bytes) {
+      if (checker_ != nullptr) {
+        checker_->on_truncation(message.global_source, message.global_dest,
+                                message.tag, message.bytes, op.bytes);
+      }
+      op.request->error = "minimpi: message truncation (send " +
+                          std::to_string(message.bytes) +
+                          " bytes into recv capacity " +
+                          std::to_string(op.bytes) + ")";
+      op.request->complete = true;
+      cv_.notify_all();
+      return op.request;
+    }
+    op.request->matched_tag = message.tag;
+    op.request->matched_source = message.source;
+    // The original sender already completed; a fresh pre-completed dummy
+    // stands in for its side of the transfer.
+    auto redelivery_send = std::make_shared<RequestState>();
+    redelivery_send->complete = true;
+    redelivery_send->transferred_bytes = message.bytes;
+    enqueue_transfer_locked(Transfer{
+        message.eager_copy->data(), op.recv_data, message.bytes,
+        message.source, message.dest, message.tag, message.global_source,
+        message.global_dest, redelivery_send, op.request, message.eager_copy,
+        comm_id, {}, 0});
+    cv_.notify_all();
+    return op.request;
   }
   for (auto it = unmatched_sends_.begin(); it != unmatched_sends_.end();
        ++it) {
@@ -238,7 +370,8 @@ std::shared_ptr<RequestState> Board::post_recv(std::uint64_t comm_id,
                                        send.bytes, send.source, send.dest,
                                        send.tag, send.global_source,
                                        send.global_dest, send.request,
-                                       op.request, send.eager_copy, {}, 0});
+                                       op.request, send.eager_copy, comm_id,
+                                       {}, 0});
       cv_.notify_all();
       return op.request;
     }
@@ -335,6 +468,7 @@ void Board::wait_all(
   };
   while (true) {
     const auto now = Clock::now();
+    beat_locked(rank);
     const bool held = start_ready_locked(rank, now);
     if (complete_due_locked(rank, now, records)) {
       idle_rounds = 0;
@@ -346,12 +480,20 @@ void Board::wait_all(
       continue;
     }
 
+    if (options_.heartbeat_timeout_seconds > 0.0 && idle_rounds >= 1) {
+      // Failure detection: a still-unmatched peer that has not touched
+      // the board within the timeout is declared dead — the declaration
+      // errors this rank's requests, so the next pass throws FaultError
+      // instead of waiting forever.
+      check_heartbeats_locked(unmatched_peers_locked(requests));
+    }
+
     bool all_complete = true;
     for (const auto& request : requests) {
       if (request == nullptr) continue;
       if (!request->error.empty()) {
         leave();
-        throw std::runtime_error(request->error);
+        throw_request_error(*request);
       }
       if (!request->complete) {
         all_complete = false;
@@ -417,12 +559,23 @@ bool Board::test(int rank, const std::shared_ptr<RequestState>& request) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     const auto now = Clock::now();
+    beat_locked(rank);
     start_ready_locked(rank, now);
     complete_due_locked(rank, now, records);
     if (!request->error.empty()) {
-      throw std::runtime_error(request->error);
+      throw_request_error(*request);
     }
-    if (!request->complete) return false;
+    if (!request->complete) {
+      // Polling loops (the engine's retry-capable halo wait) never enter
+      // wait_all, so failure detection must also run here: a still-
+      // unmatched peer past the timeout is declared dead, which errors
+      // this request — rethrown immediately instead of polling forever.
+      if (options_.heartbeat_timeout_seconds > 0.0) {
+        check_heartbeats_locked(unmatched_peers_locked({request}));
+        if (!request->error.empty()) throw_request_error(*request);
+      }
+      return false;
+    }
     if (fault_.enabled() &&
         request->chaos_test_lies <
             fault_.config().max_spurious_test_per_request &&
@@ -491,6 +644,248 @@ void Board::shutdown() {
 RunStats Board::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return RunStats{transferred_messages_, transferred_bytes_};
+}
+
+// ---- fault-tolerant execution layer ----
+
+void Board::beat_locked(int rank) {
+  if (rank >= 0 && rank < static_cast<int>(last_beat_.size())) {
+    last_beat_[static_cast<std::size_t>(rank)] = Clock::now();
+  }
+}
+
+void Board::check_heartbeats_locked(const std::vector<int>& suspects) {
+  if (options_.heartbeat_timeout_seconds <= 0.0) return;
+  const auto now = Clock::now();
+  for (const int suspect : suspects) {
+    if (suspect < 0 || suspect >= static_cast<int>(dead_.size())) continue;
+    if (dead_[static_cast<std::size_t>(suspect)] != 0) continue;
+    const double silent =
+        std::chrono::duration<double>(
+            now - last_beat_[static_cast<std::size_t>(suspect)])
+            .count();
+    if (silent > options_.heartbeat_timeout_seconds) {
+      declare_dead_locked(suspect, "no heartbeat for " +
+                                       std::to_string(silent) + " s");
+    }
+  }
+}
+
+template <typename Predicate>
+void Board::drop_matching_locked(const Predicate& condemned,
+                                 const std::string& message, int fault_rank) {
+  const auto fail = [&](const std::shared_ptr<RequestState>& request) {
+    fail_request_locked(request, message, FaultKind::kPermanent, fault_rank);
+  };
+  const auto drop_ops = [&](std::deque<PendingOp>& queue) {
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (condemned(it->comm_id, it->global_source, it->global_dest)) {
+        fail(it->request);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  const auto drop_transfers = [&](std::deque<Transfer>& queue) {
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (condemned(it->comm_id, it->global_source, it->global_dest)) {
+        fail(it->send_request);
+        fail(it->recv_request);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  drop_ops(unmatched_sends_);
+  drop_ops(unmatched_recvs_);
+  drop_transfers(ready_);
+  drop_transfers(in_flight_);
+  for (auto it = dropped_.begin(); it != dropped_.end();) {
+    if (condemned(it->comm_id, it->global_source, it->global_dest)) {
+      it = dropped_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Board::declare_dead_locked(int rank, const std::string& reason) {
+  if (rank < 0 || rank >= static_cast<int>(dead_.size())) return;
+  if (dead_[static_cast<std::size_t>(rank)] != 0) return;
+  dead_[static_cast<std::size_t>(rank)] = 1;
+  ++epoch_;
+  const std::string message = "minimpi: rank " + std::to_string(rank) +
+                              " declared dead (" + reason + ", epoch " +
+                              std::to_string(epoch_) + ")";
+  if (checker_ != nullptr) checker_->on_rank_dead(rank, epoch_);
+  // ULFM semantics: every communicator containing the dead rank is
+  // revoked — including survivor<->survivor traffic on it, which would
+  // otherwise leave a survivor that never talks to the dead rank blocked
+  // in an exchange its peers have abandoned. Lock order board -> slots
+  // matches shutdown().
+  for (detail::CollectiveSlots* slots : slots_registry_) {
+    if (slots->global_of == nullptr) continue;
+    if (std::find(slots->global_of->begin(), slots->global_of->end(), rank) ==
+        slots->global_of->end()) {
+      continue;
+    }
+    revoked_comms_.emplace(slots->comm_id, rank);
+    if (checker_ != nullptr) checker_->on_comm_revoked(slots->comm_id);
+    slots->revoke(rank, epoch_, message);
+  }
+  // A shrink rendezvous still forming is keyed to the old epoch — abort
+  // it so its waiters re-key against the new survivor set.
+  for (auto& entry : shrink_slots_) {
+    if (entry.second.result == nullptr) entry.second.aborted = true;
+  }
+  drop_matching_locked(
+      [&](std::uint64_t comm_id, int global_source, int global_dest) {
+        return global_source == rank || global_dest == rank ||
+               revoked_comms_.count(comm_id) > 0;
+      },
+      message, rank);
+  cv_.notify_all();
+}
+
+void Board::declare_dead(int rank, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    declare_dead_locked(rank, reason);
+  }
+  cv_.notify_all();
+}
+
+void Board::revoke_comm_locked(std::uint64_t comm_id, int dead_rank,
+                               const std::string& reason) {
+  if (revoked_comms_.count(comm_id) > 0) return;
+  revoked_comms_.emplace(comm_id, dead_rank);
+  if (checker_ != nullptr) checker_->on_comm_revoked(comm_id);
+  for (detail::CollectiveSlots* slots : slots_registry_) {
+    if (slots->comm_id == comm_id) slots->revoke(dead_rank, epoch_, reason);
+  }
+  drop_matching_locked(
+      [&](std::uint64_t id, int, int) { return id == comm_id; }, reason,
+      dead_rank);
+  cv_.notify_all();
+}
+
+void Board::revoke_comm(std::uint64_t comm_id, int dead_rank,
+                        const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    revoke_comm_locked(comm_id, dead_rank, reason);
+  }
+  cv_.notify_all();
+}
+
+void Board::collective_heartbeat(int global_rank,
+                                 const std::vector<int>& members) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  beat_locked(global_rank);
+  if (options_.heartbeat_timeout_seconds <= 0.0) return;
+  std::vector<int> suspects;
+  suspects.reserve(members.size());
+  for (const int member : members) {
+    if (member != global_rank) suspects.push_back(member);
+  }
+  check_heartbeats_locked(suspects);
+}
+
+std::uint64_t Board::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+bool Board::is_dead(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rank >= 0 && rank < static_cast<int>(dead_.size()) &&
+         dead_[static_cast<std::size_t>(rank)] != 0;
+}
+
+std::vector<int> Board::dead_ranks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> result;
+  for (std::size_t r = 0; r < dead_.size(); ++r) {
+    if (dead_[r] != 0) result.push_back(static_cast<int>(r));
+  }
+  return result;
+}
+
+bool Board::comm_revoked(std::uint64_t comm_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return revoked_comms_.count(comm_id) > 0;
+}
+
+std::shared_ptr<detail::CommState> Board::shrink_comm(
+    const detail::CommState& parent, int global_rank, int* new_rank) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  beat_locked(global_rank);
+  if (global_rank >= 0 && global_rank < static_cast<int>(dead_.size()) &&
+      dead_[static_cast<std::size_t>(global_rank)] != 0) {
+    throw FaultError(FaultKind::kPermanent, global_rank, epoch_,
+                     "minimpi: shrink called by a rank declared dead");
+  }
+  std::vector<int> survivors;
+  survivors.reserve(parent.global_of.size());
+  for (const int member : parent.global_of) {
+    if (member >= 0 && member < static_cast<int>(dead_.size()) &&
+        dead_[static_cast<std::size_t>(member)] != 0) {
+      continue;
+    }
+    survivors.push_back(member);
+  }
+  const std::uint64_t entry_epoch = epoch_;
+  ShrinkSlot& slot = shrink_slots_[{parent.id, entry_epoch}];
+  if (slot.expected == 0) slot.expected = static_cast<int>(survivors.size());
+  ++slot.arrived;
+  if (slot.arrived == slot.expected && !slot.aborted &&
+      slot.result == nullptr) {
+    // Last survivor in: build the shrunk communicator state every waiter
+    // shares. Same publication shape as split(), but the rendezvous is
+    // board-level — a barrier on the parent cannot release, its dead
+    // member never arrives.
+    auto child = std::make_shared<detail::CommState>();
+    child->id = parent.next_comm_id->fetch_add(1);
+    child->size = static_cast<int>(survivors.size());
+    child->board = this;
+    child->next_comm_id = parent.next_comm_id;
+    child->global_of = survivors;
+    child->slots = std::make_unique<detail::CollectiveSlots>(child->size);
+    child->slots->injector = &fault_;
+    child->slots->checker = checker_.get();
+    child->slots->comm_id = child->id;
+    child->slots->global_of = &child->global_of;
+    child->slots->watchdog_seconds = options_.validate.watchdog_seconds;
+    child->slots->board = this;
+    slots_registry_.push_back(child->slots.get());  // lock already held
+    slot.result = child;
+    cv_.notify_all();
+  }
+  while (slot.result == nullptr) {
+    if (shutdown_) {
+      throw std::runtime_error("minimpi: runtime aborted during shrink");
+    }
+    if (slot.aborted || epoch_ != entry_epoch) {
+      // A further death invalidated this rendezvous' survivor set; every
+      // waiter throws and retries under the new epoch key.
+      slot.aborted = true;
+      cv_.notify_all();
+      throw FaultError(
+          FaultKind::kPermanent, -1, epoch_,
+          "minimpi: communicator membership changed during shrink (epoch " +
+              std::to_string(entry_epoch) + " -> " + std::to_string(epoch_) +
+              "); retry");
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  if (new_rank != nullptr) {
+    const auto it =
+        std::find(survivors.begin(), survivors.end(), global_rank);
+    *new_rank = static_cast<int>(it - survivors.begin());
+  }
+  return slot.result;
 }
 
 }  // namespace hspmv::minimpi

@@ -19,10 +19,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "minimpi/types.hpp"
@@ -31,6 +33,7 @@ namespace hspmv::minimpi {
 
 namespace detail {
 struct CollectiveSlots;
+struct CommState;
 }
 
 /// Completion state shared between a Request handle and the board.
@@ -41,6 +44,13 @@ struct RequestState {
   int matched_tag = 0;     ///< actual tag (for kAnyTag receives)
   int matched_source = 0;  ///< actual source
   std::string error;       ///< nonempty on failure; rethrown at wait()
+  /// Fault taxonomy of a failed request: when `faulted` is set, wait/test
+  /// rethrow the error as a typed FaultError{fault_kind, fault_rank,
+  /// fault_epoch} instead of a bare std::runtime_error.
+  bool faulted = false;
+  FaultKind fault_kind = FaultKind::kPermanent;
+  int fault_rank = -1;
+  std::uint64_t fault_epoch = 0;
   /// Times the chaos layer reported this complete request as pending
   /// (bounded by ChaosConfig::max_spurious_test_per_request).
   int chaos_test_lies = 0;
@@ -110,6 +120,43 @@ class Board {
   void register_slots(detail::CollectiveSlots* slots);
   void unregister_slots(detail::CollectiveSlots* slots);
 
+  // ---- fault-tolerant execution layer (docs/resilience.md) ----
+
+  /// Declare world rank `rank` dead: bump the failure epoch, record it in
+  /// the shared dead set (the consensus source every rank reads), revoke
+  /// every registered communicator containing it, and error out all
+  /// pending operations on those communicators or involving that rank
+  /// with FaultKind::kPermanent. Idempotent. Called by the heartbeat
+  /// detector and by Comm::simulate_rank_failure().
+  void declare_dead(int rank, const std::string& reason);
+
+  /// ULFM-style MPI_Comm_revoke: error every pending and future operation
+  /// on communicator `comm_id` with FaultKind::kPermanent and release its
+  /// collective barriers. Idempotent.
+  void revoke_comm(std::uint64_t comm_id, int dead_rank,
+                   const std::string& reason);
+
+  /// ULFM-style MPI_Comm_shrink: board-level rendezvous of `parent`'s
+  /// survivors (a normal barrier cannot work — the dead member never
+  /// arrives). Every survivor gets the *same* fresh CommState over the
+  /// survivors in old rank order; `new_rank` receives the caller's rank
+  /// in it. Throws FaultError if the caller itself is dead or the failure
+  /// epoch advances mid-shrink (a second death) — callers retry, and the
+  /// new epoch keys a fresh rendezvous with a consistent survivor set.
+  std::shared_ptr<detail::CommState> shrink_comm(
+      const detail::CommState& parent, int global_rank, int* new_rank);
+
+  /// Liveness probe for collective waiters: records `global_rank`'s
+  /// heartbeat and, when heartbeat detection is enabled, declares members
+  /// silent beyond the timeout dead. Called WITHOUT the slots mutex held
+  /// (lock order is board -> slots).
+  void collective_heartbeat(int global_rank, const std::vector<int>& members);
+
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] bool is_dead(int rank) const;
+  [[nodiscard]] std::vector<int> dead_ranks() const;
+  [[nodiscard]] bool comm_revoked(std::uint64_t comm_id) const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -140,9 +187,36 @@ class Board {
     std::shared_ptr<RequestState> send_request;
     std::shared_ptr<RequestState> recv_request;
     std::shared_ptr<std::vector<char>> eager_copy;  // keeps src alive
+    std::uint64_t comm_id = 0;     ///< for revocation on rank death
     Clock::time_point deadline{};  // set when the transfer starts
     /// Chaos: progress visits to skip before this transfer may start.
     int hold_rounds = 0;
+  };
+
+  /// An eager-sent payload whose transfer failed transiently after the
+  /// sender already observed completion. The transport retains it for
+  /// redelivery: the receiver's reposted irecv re-matches it (checked
+  /// before the unmatched-send queue — it was matched first, so FIFO
+  /// order is preserved), making receiver-only retry sufficient.
+  struct DroppedMessage {
+    std::uint64_t comm_id;
+    int source;
+    int dest;
+    int tag;
+    int global_source;
+    int global_dest;
+    std::size_t bytes;
+    std::shared_ptr<std::vector<char>> eager_copy;
+  };
+
+  /// Rendezvous state of one shrink, keyed by (parent comm id, failure
+  /// epoch at entry) — every survivor of the same failure joins the same
+  /// slot; a second death aborts the slot and the retry re-keys.
+  struct ShrinkSlot {
+    int expected = 0;
+    int arrived = 0;
+    bool aborted = false;
+    std::shared_ptr<detail::CommState> result;
   };
 
   [[nodiscard]] bool involves(const Transfer& t, int rank) const {
@@ -164,9 +238,30 @@ class Board {
   /// make every future post fail with `message`. Lock held.
   void poison_locked(const std::string& message);
 
-  /// Error + complete one request unless it already completed cleanly.
-  static void fail_request_locked(const std::shared_ptr<RequestState>& request,
-                                  const std::string& message);
+  /// Error + complete one request unless it already completed cleanly,
+  /// stamping the typed fault fields so wait/test throw FaultError.
+  void fail_request_locked(const std::shared_ptr<RequestState>& request,
+                           const std::string& message, FaultKind kind,
+                           int fault_rank) const;
+
+  /// declare_dead / revoke_comm bodies; lock held.
+  void declare_dead_locked(int rank, const std::string& reason);
+  void revoke_comm_locked(std::uint64_t comm_id, int dead_rank,
+                          const std::string& reason);
+  /// Drop every pending op and queued transfer matching `condemned`
+  /// (a predicate over comm id and the two global ranks), failing their
+  /// requests permanently. Lock held.
+  template <typename Predicate>
+  void drop_matching_locked(const Predicate& condemned,
+                            const std::string& message, int fault_rank);
+  /// Heartbeat bookkeeping + silent-peer detection over `suspects`
+  /// (empty: no detection, just beat). Lock held.
+  void beat_locked(int rank);
+  void check_heartbeats_locked(const std::vector<int>& suspects);
+
+  /// Throw the request's recorded error as FaultError (faulted) or
+  /// std::runtime_error.
+  [[noreturn]] static void throw_request_error(const RequestState& request);
 
   /// Complete in-flight transfers involving `rank` whose deadline passed:
   /// copy payloads, flip completion flags, collect hook records. Lock
@@ -203,6 +298,15 @@ class Board {
   std::uint64_t matched_messages_ = 0;
   std::uint64_t transferred_messages_ = 0;
   std::uint64_t transferred_bytes_ = 0;
+
+  // ---- fault-tolerance state ----
+  std::deque<DroppedMessage> dropped_;  ///< transient-failed eager payloads
+  std::vector<char> dead_;              ///< dead_[world rank] != 0: declared dead
+  std::vector<Clock::time_point> last_beat_;  ///< per-rank liveness
+  std::uint64_t epoch_ = 0;             ///< bumps once per declared death
+  /// Revoked communicator -> world rank of the death that revoked it.
+  std::map<std::uint64_t, int> revoked_comms_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, ShrinkSlot> shrink_slots_;
 };
 
 }  // namespace hspmv::minimpi

@@ -12,6 +12,12 @@ CollectiveSlots::~CollectiveSlots() {
   if (board != nullptr) board->unregister_slots(this);
 }
 
+void CollectiveSlots::throw_revoked_locked() const {
+  throw FaultError(FaultKind::kPermanent, revoked_by, revoke_epoch,
+                   "minimpi: collective on revoked communicator " +
+                       std::to_string(comm_id) + " (" + revoke_reason + ")");
+}
+
 void CollectiveSlots::barrier(int size, int global_rank) {
   if (injector != nullptr && injector->enabled()) {
     // Chaos: skew this rank's barrier arrival (and thereby the publish
@@ -20,6 +26,10 @@ void CollectiveSlots::barrier(int size, int global_rank) {
     if (jitter.count() > 0) std::this_thread::sleep_for(jitter);
   }
   std::unique_lock<std::mutex> lock(mutex);
+  if (revoked) {
+    cv.notify_all();
+    throw_revoked_locked();
+  }
   if (aborted) {
     cv.notify_all();
     throw std::runtime_error("minimpi: collective aborted");
@@ -41,7 +51,20 @@ void CollectiveSlots::barrier(int size, int global_rank) {
   const auto leave = [&] {
     if (registered) checker->leave_blocked(global_rank);
   };
-  while (sense == my_sense && !aborted) {
+  while (sense == my_sense && !aborted && !revoked) {
+    if (board != nullptr && global_rank >= 0 && global_of != nullptr &&
+        idle_rounds >= 1) {
+      // Liveness probe: beat, and let the board's failure detector
+      // declare silent members dead — which revokes these very slots and
+      // ends the wait with FaultError instead of hanging forever. The
+      // slots mutex is released around the call (lock order is
+      // board -> slots, never the reverse).
+      const std::vector<int> members = *global_of;
+      lock.unlock();
+      board->collective_heartbeat(global_rank, members);
+      lock.lock();
+      if (sense != my_sense || aborted || revoked) continue;
+    }
     if (checker != nullptr && global_rank >= 0 && global_of != nullptr) {
       if (!registered) {
         checker->enter_blocked_collective(
@@ -75,6 +98,7 @@ void CollectiveSlots::barrier(int size, int global_rank) {
     cv.wait_for(lock, std::chrono::milliseconds(50));
   }
   leave();
+  if (revoked) throw_revoked_locked();
   if (aborted) {
     throw std::runtime_error("minimpi: collective aborted");
   }
@@ -84,6 +108,23 @@ void CollectiveSlots::abort() {
   {
     std::lock_guard<std::mutex> lock(mutex);
     aborted = true;
+    release_generation.fetch_add(1, std::memory_order_release);
+  }
+  cv.notify_all();
+}
+
+void CollectiveSlots::revoke(int dead_rank, std::uint64_t epoch,
+                             const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!revoked) {
+      revoked = true;
+      revoked_by = dead_rank;
+      revoke_epoch = epoch;
+      revoke_reason = reason;
+    }
+    // Waiters are released (to throw), so the deadlock scanner must stop
+    // treating them as obstacles.
     release_generation.fetch_add(1, std::memory_order_release);
   }
   cv.notify_all();
@@ -117,6 +158,49 @@ bool Comm::test(Request& request) const {
 
 void Comm::barrier() const {
   collective_slots().barrier(state_->size, global_rank());
+}
+
+void Comm::revoke() const {
+  if (!valid()) throw std::logic_error("minimpi: null communicator");
+  state_->board->revoke_comm(
+      state_->id, -1,
+      "minimpi: communicator " + std::to_string(state_->id) + " revoked");
+}
+
+Comm Comm::shrink() const {
+  if (!valid()) throw std::logic_error("minimpi: null communicator");
+  int new_rank = -1;
+  auto shrunk = state_->board->shrink_comm(*state_, global_rank(), &new_rank);
+  return Comm(std::move(shrunk), new_rank);
+}
+
+bool Comm::is_revoked() const {
+  if (!valid()) throw std::logic_error("minimpi: null communicator");
+  return state_->board->comm_revoked(state_->id);
+}
+
+std::vector<int> Comm::failed_members() const {
+  if (!valid()) throw std::logic_error("minimpi: null communicator");
+  std::vector<int> failed;
+  for (int r = 0; r < state_->size; ++r) {
+    if (state_->board->is_dead(state_->global_of[static_cast<std::size_t>(r)]))
+      failed.push_back(r);
+  }
+  return failed;
+}
+
+std::uint64_t Comm::epoch() const {
+  if (!valid()) throw std::logic_error("minimpi: null communicator");
+  return state_->board->epoch();
+}
+
+void Comm::simulate_rank_failure() const {
+  if (!valid()) throw std::logic_error("minimpi: null communicator");
+  const int victim = global_rank();
+  state_->board->declare_dead(victim, "injected rank failure");
+  throw FaultError(FaultKind::kPermanent, victim, state_->board->epoch(),
+                   "minimpi: rank " + std::to_string(victim) +
+                       " killed by fault injection");
 }
 
 Comm Comm::split(int color, int key) const {

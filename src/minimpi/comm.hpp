@@ -14,6 +14,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -66,6 +67,14 @@ struct CollectiveSlots {
   int arrived = 0;
   bool sense = false;
   bool aborted = false;
+  /// ULFM revocation state: set when a member of this communicator died
+  /// or revoke() was called. Barrier entry and waiters throw FaultError
+  /// {kPermanent, revoked_by, revoke_epoch} instead of blocking on a
+  /// member that will never arrive.
+  bool revoked = false;
+  int revoked_by = -1;
+  std::uint64_t revoke_epoch = 0;
+  std::string revoke_reason;
   /// Bumped on every barrier release (and on abort). A blocked-in-barrier
   /// registration captures the entry value so the deadlock scanner can
   /// tell a released-but-not-yet-rescheduled waiter from a genuinely
@@ -96,12 +105,21 @@ struct CollectiveSlots {
   std::vector<std::size_t> sizes;
   std::vector<std::int64_t> ints;
 
-  /// Central sense-reversing barrier. Throws if abort() was signalled or
-  /// the checker's cycle detector proves this barrier deadlocked.
-  /// `global_rank` identifies the arriving thread for the blocked-state
-  /// registry (-1: unregistered).
+  /// Central sense-reversing barrier. Throws if abort() was signalled,
+  /// the communicator was revoked (FaultError), or the checker's cycle
+  /// detector proves this barrier deadlocked. `global_rank` identifies
+  /// the arriving thread for the blocked-state registry (-1:
+  /// unregistered).
   void barrier(int size, int global_rank = -1);
   void abort();
+  /// Revoke this communicator after `dead_rank`'s death at `epoch`:
+  /// current waiters wake and throw FaultError, future barriers throw on
+  /// entry. Called by the Board with its mutex held (lock order
+  /// board -> slots, as with abort()).
+  void revoke(int dead_rank, std::uint64_t epoch, const std::string& reason);
+
+ private:
+  [[noreturn]] void throw_revoked_locked() const;
 };
 
 struct CommState {
@@ -257,6 +275,41 @@ class Comm {
   /// Duplicate: same group and ordering, isolated message/collective
   /// space (MPI_Comm_dup).
   [[nodiscard]] Comm dup() const { return split(0, rank_); }
+
+  // ---- fault tolerance (ULFM analogues; docs/resilience.md) ----
+
+  /// MPI_Comm_revoke: every pending and future operation on this
+  /// communicator fails with FaultError{kPermanent} and blocked
+  /// collectives release. Any rank may call it; it is not collective.
+  void revoke() const;
+
+  /// MPI_Comm_shrink: collective among the *survivors* — returns a fresh
+  /// working communicator over the live members in old rank order.
+  /// Throws FaultError if another member dies mid-shrink (retry under
+  /// the new epoch) or the caller itself is dead.
+  [[nodiscard]] Comm shrink() const;
+
+  /// True once this communicator was revoked (a member died or revoke()
+  /// was called).
+  [[nodiscard]] bool is_revoked() const;
+
+  /// Comm ranks of members declared dead so far.
+  [[nodiscard]] std::vector<int> failed_members() const;
+
+  /// World ranks of all members, in comm rank order (the group).
+  [[nodiscard]] std::vector<int> group() const {
+    if (!valid()) throw std::logic_error("minimpi: null communicator");
+    return state_->global_of;
+  }
+
+  /// The board's failure epoch: bumps once per declared rank death.
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Fault-injection hook: declare *this* rank dead (revoking every
+  /// communicator containing it) and throw FaultError on it — the
+  /// driver-level "kill rank R at iteration I" primitive of the
+  /// resilience tests and benches.
+  [[noreturn]] void simulate_rank_failure() const;
 
  private:
   void check_peer(int peer) const {

@@ -4,6 +4,16 @@
 
 namespace hspmv::minimpi {
 
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kPermanent:
+      return "permanent";
+  }
+  return "?";
+}
+
 bool FaultInjector::roll(double probability) {
   if (!config_.enabled || probability <= 0.0) return false;
   std::lock_guard<std::mutex> lock(mutex_);

@@ -10,19 +10,58 @@
 // "still pending" a bounded number of times. None of these may change any
 // computed result bitwise; the chaos test tier asserts exactly that.
 //
-// One knob is deliberately *outside* the legal envelope: a transfer error
-// injected on a chosen message, which poisons the board so every rank's
-// next library call throws std::runtime_error — verifying that the engine
-// surfaces communication failures cleanly instead of deadlocking.
+// Two knobs are deliberately *outside* the legal envelope: a transfer
+// error injected on a chosen message window, either as a *transient*
+// fault (the affected requests error with FaultKind::kTransient and the
+// message may be reposted — the retry/backoff layer's test vector) or as
+// the legacy *poison* (the whole board errors permanently) — verifying
+// that the engine surfaces communication failures cleanly instead of
+// deadlocking.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 
 #include "util/prng.hpp"
 
 namespace hspmv::minimpi {
+
+/// Failure taxonomy of the fault-tolerant execution layer (docs/
+/// resilience.md). Transient: the operation failed but the channel is
+/// intact — repost and retry. Permanent: a rank died or a communicator
+/// was revoked — recovery requires shrink + rebuild + restore.
+enum class FaultKind {
+  kTransient,
+  kPermanent,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Typed communication failure, thrown by wait/test/collectives instead
+/// of a bare std::runtime_error (which it still derives from, so legacy
+/// catch sites keep working). `rank` is the world rank the fault is
+/// attributed to (-1 when unattributable, e.g. a poisoned board or a
+/// transient transfer fault), `epoch` the board's failure epoch at throw
+/// time — it bumps once per declared rank death, so survivors can tell a
+/// stale fault from a fresh one.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(FaultKind kind, int rank, std::uint64_t epoch,
+             const std::string& message)
+      : std::runtime_error(message), kind_(kind), rank_(rank), epoch_(epoch) {}
+
+  [[nodiscard]] FaultKind kind() const { return kind_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  FaultKind kind_;
+  int rank_;
+  std::uint64_t epoch_;
+};
 
 /// Chaos knobs. Default-constructed: everything off (zero overhead).
 struct ChaosConfig {
@@ -57,11 +96,27 @@ struct ChaosConfig {
   double spurious_test_probability = 0.25;
   int max_spurious_test_per_request = 8;
 
-  /// Index (in match order) of the message whose transfer fails, poisoning
-  /// the board: every pending and future request errors, and every rank's
-  /// next wait/test throws std::runtime_error. kNoFailure disables it.
+  /// What an injected transfer failure does to the board.
+  enum class FailureMode {
+    /// Legacy irrecoverable failure: the whole board poisons — every
+    /// pending and future request errors with FaultKind::kPermanent.
+    kPoison,
+    /// Transient fault: only the matched transfer's requests error with
+    /// FaultKind::kTransient; the message may be reposted (eager payloads
+    /// are retained for transport-level redelivery, so a receiver-only
+    /// retry also succeeds). The board stays healthy.
+    kTransient,
+  };
+
+  /// Index (in match order) of the first message whose transfer fails.
+  /// kNoFailure disables injection entirely.
   static constexpr std::uint64_t kNoFailure = ~std::uint64_t{0};
   std::uint64_t fail_transfer_index = kNoFailure;
+  /// How many consecutive match indices fail, starting at
+  /// fail_transfer_index — > 1 re-fails reposted messages, exercising the
+  /// retry layer's bounded-attempt escalation.
+  std::uint64_t fail_transfer_count = 1;
+  FailureMode failure_mode = FailureMode::kPoison;
 
   /// Everything on at the default intensities — the chaos tier's profile.
   static ChaosConfig standard(std::uint64_t seed) {
@@ -99,9 +154,12 @@ class FaultInjector {
   /// (caller enforces the per-request bound).
   bool lie_about_completion();
 
-  /// True exactly for the configured fail index.
+  /// True for match indices inside the configured fail window.
   [[nodiscard]] bool should_fail_transfer(std::uint64_t match_index) const {
-    return config_.enabled && match_index == config_.fail_transfer_index;
+    return config_.enabled &&
+           match_index >= config_.fail_transfer_index &&
+           match_index - config_.fail_transfer_index <
+               config_.fail_transfer_count;
   }
 
  private:

@@ -66,6 +66,14 @@ struct RuntimeOptions {
   /// Optional instrumentation hook, invoked after each completed p2p
   /// transfer (concurrently from multiple threads; must be thread-safe).
   std::function<void(const TransferRecord&)> on_transfer;
+  /// Heartbeat-based failure detection: a rank blocked in a wait or
+  /// collective that observes no liveness signal from a required peer for
+  /// longer than this declares that peer dead (consensus via the board's
+  /// shared dead set + failure epoch) and fails over instead of
+  /// deadlocking. Ranks beat on every board interaction, so the timeout
+  /// must exceed the longest pure-compute phase between library calls.
+  /// 0 disables detection (silent peers hang the wait, as before).
+  double heartbeat_timeout_seconds = 0.0;
   /// Seeded fault injection (see fault.hpp); disabled by default.
   ChaosConfig chaos;
   /// MPI-usage validation (see validate.hpp); disabled by default.

@@ -27,7 +27,11 @@ const char* violation_name(ViolationKind kind) {
 }
 
 UsageChecker::UsageChecker(const ValidateOptions& options, std::size_t ranks)
-    : options_(options), blocked_(ranks), is_blocked_(ranks, false) {}
+    : options_(options),
+      blocked_(ranks),
+      is_blocked_(ranks, false),
+      is_dead_(ranks, false),
+      dead_epoch_(ranks, 0) {}
 
 void UsageChecker::report_locked(ViolationKind kind, int rank,
                                  std::string message) {
@@ -67,13 +71,15 @@ void UsageChecker::prune_completed_locked() {
 }
 
 void UsageChecker::on_post(const std::shared_ptr<RequestState>& request,
-                           bool is_recv, const void* data, std::size_t bytes,
-                           int rank, int peer, int tag, bool tracked_buffer) {
+                           std::uint64_t comm_id, bool is_recv,
+                           const void* data, std::size_t bytes, int rank,
+                           int peer, int tag, bool tracked_buffer) {
   if (!options_.enabled) return;
   std::lock_guard<std::mutex> lock(mutex_);
   prune_completed_locked();
 
   TrackedRequest tracked;
+  tracked.comm_id = comm_id;
   tracked.is_recv = is_recv;
   tracked.data = data;
   tracked.bytes = bytes;
@@ -143,10 +149,34 @@ void UsageChecker::on_retire(const std::shared_ptr<RequestState>& request) {
   if (it != live_.end()) it->second.retired = true;
 }
 
-void UsageChecker::on_unmatched_send(int rank, int peer, int tag,
-                                     std::size_t bytes) {
+void UsageChecker::on_rank_dead(int rank, std::uint64_t epoch) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= is_dead_.size()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  is_dead_[static_cast<std::size_t>(rank)] = true;
+  dead_epoch_[static_cast<std::size_t>(rank)] = epoch;
+  // A pending (not yet confirmed) cycle may run through the dead rank;
+  // forget it so confirmation restarts from live topology only.
+  pending_cycles_.clear();
+}
+
+void UsageChecker::on_comm_revoked(std::uint64_t comm_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  revoked_comms_.insert(comm_id);
+}
+
+void UsageChecker::on_unmatched_send(std::uint64_t comm_id, int rank,
+                                     int peer, int tag, std::size_t bytes) {
   if (!options_.enabled) return;
   std::lock_guard<std::mutex> lock(mutex_);
+  // Sends stranded by a declared rank failure or a communicator
+  // revocation are recovery debris (the board already errored or dropped
+  // them), not lost messages.
+  const auto dead = [&](int r) {
+    return r >= 0 && static_cast<std::size_t>(r) < is_dead_.size() &&
+           is_dead_[static_cast<std::size_t>(r)];
+  };
+  if (dead(rank) || dead(peer)) return;
+  if (revoked_comms_.count(comm_id) > 0) return;
   report_locked(ViolationKind::kUnmatchedSend, rank,
                 "send to rank " + std::to_string(peer) + " (tag " +
                     std::to_string(tag) + ", " + std::to_string(bytes) +
@@ -159,11 +189,24 @@ void UsageChecker::on_finalize(bool poisoned) {
   if (finalized_) return;
   finalized_ = true;
   if (poisoned) return;  // the runtime errored these requests out itself
+  const auto dead = [&](int r) {
+    return r >= 0 && static_cast<std::size_t>(r) < is_dead_.size() &&
+           is_dead_[static_cast<std::size_t>(r)];
+  };
   for (const auto& [state, tracked] : live_) {
     if (tracked.retired) continue;
     const auto owner = owners_.find(state);
     if (owner != owners_.end() && !owner->second->error.empty()) {
       continue;  // errored by the runtime, not leaked by the user
+    }
+    if (dead(tracked.rank) || dead(tracked.peer)) {
+      continue;  // stranded by a declared rank failure, not leaked
+    }
+    if (revoked_comms_.count(tracked.comm_id) > 0) {
+      // Posted on a later-revoked communicator: the fault, not the user,
+      // abandoned it (e.g. survivor<->survivor halo traffic cut short by
+      // a third rank's death mid-exchange).
+      continue;
     }
     report_locked(ViolationKind::kRequestLeak, tracked.rank,
                   "request leaked at finalize (never waited/tested to "
@@ -236,6 +279,10 @@ std::string UsageChecker::check_deadlock(int rank) {
   // rescheduled — it will depart without anyone's help, so it can never
   // be an obstacle in a wait-for cycle.
   const auto blocked_now = [&](int r) {
+    // A dead rank never arrives anywhere, but the board revoked every
+    // communicator containing it, so waits on it end in FaultError, not a
+    // hang: it is failure-recovery territory, not a usage deadlock.
+    if (is_dead_[static_cast<std::size_t>(r)]) return false;
     if (!is_blocked_[static_cast<std::size_t>(r)]) return false;
     const auto& state = blocked_[static_cast<std::size_t>(r)];
     if (state.kind == BlockedState::Kind::kCollective &&
@@ -357,6 +404,10 @@ void UsageChecker::dump_blocked_state_locked(const std::string& reason) {
             << "):\n";
   for (std::size_t r = 0; r < blocked_.size(); ++r) {
     std::cerr << "  rank " << r << ": ";
+    if (is_dead_[r]) {
+      std::cerr << "dead (epoch " << dead_epoch_[r] << ")\n";
+      continue;
+    }
     if (!is_blocked_[r]) {
       std::cerr << "running\n";
       continue;

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace hspmv::minimpi {
@@ -95,19 +96,34 @@ class UsageChecker {
 
   // ---- Board hooks (called with the board mutex held) ----
 
-  /// A nonblocking op was posted. `is_recv` marks the buffer as written
-  /// by the transfer; `tracked_buffer` is false for eager sends (payload
-  /// copied at post time, user buffer immediately reusable).
-  void on_post(const std::shared_ptr<RequestState>& request, bool is_recv,
-               const void* data, std::size_t bytes, int rank, int peer,
-               int tag, bool tracked_buffer);
+  /// A nonblocking op was posted on communicator `comm_id`. `is_recv`
+  /// marks the buffer as written by the transfer; `tracked_buffer` is
+  /// false for eager sends (payload copied at post time, user buffer
+  /// immediately reusable).
+  void on_post(const std::shared_ptr<RequestState>& request,
+               std::uint64_t comm_id, bool is_recv, const void* data,
+               std::size_t bytes, int rank, int peer, int tag,
+               bool tracked_buffer);
 
   /// A matched send overflowed the receive capacity.
   void on_truncation(int send_rank, int recv_rank, int tag,
                      std::size_t send_bytes, std::size_t recv_capacity);
 
   /// A send still sat unmatched on the board at finalize (lost message).
-  void on_unmatched_send(int rank, int peer, int tag, std::size_t bytes);
+  void on_unmatched_send(std::uint64_t comm_id, int rank, int peer, int tag,
+                         std::size_t bytes);
+
+  /// The board declared `rank` dead (failure `epoch`). From here on the
+  /// rank is neither an obstacle in the wait-for graph (its comms are
+  /// revoked, so every wait on it ends in FaultError, not a hang) nor a
+  /// source of finalize diagnostics — requests stranded by a declared
+  /// failure are recovery debris, not user bugs.
+  void on_rank_dead(int rank, std::uint64_t epoch);
+
+  /// The board revoked communicator `comm_id` (a member died or the user
+  /// called revoke()). Requests posted on it can never complete — any
+  /// still pending at finalize are recovery debris, not user leaks.
+  void on_comm_revoked(std::uint64_t comm_id);
 
   /// wait/wait_all is about to consume `request` on `rank`.
   void on_wait(const std::shared_ptr<RequestState>& request, int rank);
@@ -167,6 +183,7 @@ class UsageChecker {
 
  private:
   struct TrackedRequest {
+    std::uint64_t comm_id = 0;
     bool is_recv = false;
     const void* data = nullptr;
     std::size_t bytes = 0;
@@ -207,6 +224,9 @@ class UsageChecker {
       owners_;
   std::vector<BlockedState> blocked_;  ///< indexed by world rank
   std::vector<bool> is_blocked_;
+  std::vector<bool> is_dead_;  ///< ranks declared dead by the board
+  std::vector<std::uint64_t> dead_epoch_;
+  std::unordered_set<std::uint64_t> revoked_comms_;
   std::vector<Diagnostic> diagnostics_;
   std::uint64_t next_serial_ = 0;
   std::uint64_t next_blocked_seq_ = 0;

@@ -1,0 +1,268 @@
+#include "solvers/resilience.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <stdexcept>
+#include <utility>
+
+namespace hspmv::solvers {
+
+using sparse::value_t;
+
+namespace {
+
+/// Private tags of the buddy exchange — keep out of the solvers' way
+/// (halo exchange and solver p2p use tag 0).
+constexpr int kHeaderTag = 9101;
+constexpr int kPayloadTag = 9102;
+
+/// Serialized snapshot header: [row_begin, iteration, vector_count,
+/// slice_len, scalar_count]. Doubles represent these integers exactly
+/// (all well below 2^53).
+constexpr std::size_t kHeaderLen = 5;
+
+}  // namespace
+
+void BuddyCheckpoint::serialize(const Snapshot& snapshot,
+                                std::vector<value_t>& out) {
+  out.push_back(static_cast<value_t>(snapshot.row_begin));
+  out.push_back(static_cast<value_t>(snapshot.iteration));
+  out.push_back(static_cast<value_t>(snapshot.vector_count));
+  out.push_back(static_cast<value_t>(snapshot.slice_len));
+  out.push_back(static_cast<value_t>(snapshot.scalars.size()));
+  out.insert(out.end(), snapshot.data.begin(), snapshot.data.end());
+  out.insert(out.end(), snapshot.scalars.begin(), snapshot.scalars.end());
+}
+
+void BuddyCheckpoint::save(
+    const minimpi::Comm& comm, sparse::index_t row_begin,
+    std::int64_t iteration,
+    const std::vector<std::span<const value_t>>& vectors,
+    std::span<const value_t> scalars) {
+  if (iteration < 0) {
+    throw std::invalid_argument("BuddyCheckpoint: negative iteration");
+  }
+  Snapshot mine;
+  mine.row_begin = row_begin;
+  mine.iteration = iteration;
+  mine.vector_count = static_cast<std::int64_t>(vectors.size());
+  mine.slice_len =
+      vectors.empty() ? 0 : static_cast<std::int64_t>(vectors.front().size());
+  for (const auto& v : vectors) {
+    if (static_cast<std::int64_t>(v.size()) != mine.slice_len) {
+      throw std::invalid_argument(
+          "BuddyCheckpoint: vector slices must have equal length");
+    }
+    mine.data.insert(mine.data.end(), v.begin(), v.end());
+  }
+  mine.scalars.assign(scalars.begin(), scalars.end());
+
+  Snapshot theirs;
+  if (comm.size() == 1) {
+    theirs = mine;  // self-buddy: the slice survives trivially
+  } else {
+    // My snapshot goes to (rank+1) % size; (rank-1) % size entrusts me
+    // with theirs. Headers first (sizes differ across ranks), then the
+    // payload. A FaultError here (dead buddy, revoked comm) aborts the
+    // round without commit — the previous generations stay restorable.
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    value_t header[kHeaderLen] = {
+        static_cast<value_t>(mine.row_begin),
+        static_cast<value_t>(mine.iteration),
+        static_cast<value_t>(mine.vector_count),
+        static_cast<value_t>(mine.slice_len),
+        static_cast<value_t>(mine.scalars.size()),
+    };
+    value_t their_header[kHeaderLen] = {};
+    comm.sendrecv(std::span<const value_t>(header, kHeaderLen), next,
+                  std::span<value_t>(their_header, kHeaderLen), prev,
+                  kHeaderTag, kHeaderTag);
+    theirs.row_begin = static_cast<std::int64_t>(their_header[0]);
+    theirs.iteration = static_cast<std::int64_t>(their_header[1]);
+    theirs.vector_count = static_cast<std::int64_t>(their_header[2]);
+    theirs.slice_len = static_cast<std::int64_t>(their_header[3]);
+    theirs.data.resize(static_cast<std::size_t>(theirs.vector_count) *
+                       static_cast<std::size_t>(theirs.slice_len));
+    theirs.scalars.resize(static_cast<std::size_t>(their_header[4]));
+    std::vector<value_t> send_payload = mine.data;
+    send_payload.insert(send_payload.end(), mine.scalars.begin(),
+                        mine.scalars.end());
+    std::vector<value_t> recv_payload(theirs.data.size() +
+                                      theirs.scalars.size());
+    comm.sendrecv(std::span<const value_t>(send_payload),
+                  next, std::span<value_t>(recv_payload), prev, kPayloadTag,
+                  kPayloadTag);
+    std::copy(recv_payload.begin(),
+              recv_payload.begin() +
+                  static_cast<std::ptrdiff_t>(theirs.data.size()),
+              theirs.data.begin());
+    std::copy(recv_payload.begin() +
+                  static_cast<std::ptrdiff_t>(theirs.data.size()),
+              recv_payload.end(), theirs.scalars.begin());
+  }
+
+  // Commit: the just-replaced generation becomes the fallback.
+  own_prev_ = std::move(own_);
+  buddy_prev_ = std::move(buddy_);
+  own_ = std::move(mine);
+  buddy_ = std::move(theirs);
+}
+
+BuddyCheckpoint::Restored BuddyCheckpoint::restore_global(
+    const minimpi::Comm& shrunk, sparse::index_t global_rows,
+    sparse::index_t row_begin, sparse::index_t local_rows) {
+  // Every survivor contributes all its committed snapshots; allgatherv
+  // hands every rank the same stream, so all survivors independently
+  // pick the same generation.
+  std::vector<value_t> contribution;
+  for (const Snapshot* snapshot :
+       {&own_, &buddy_, &own_prev_, &buddy_prev_}) {
+    if (!snapshot->empty()) serialize(*snapshot, contribution);
+  }
+  const std::vector<value_t> stream =
+      shrunk.allgatherv(std::span<const value_t>(contribution));
+
+  // Parse and deduplicate by (iteration, row_begin): within one save
+  // round every slice of one generation comes from the same partition,
+  // so a generation either tiles [0, global_rows) or has lost a slice.
+  using SliceKey = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+  std::map<SliceKey, Snapshot> slices;
+  std::size_t cursor = 0;
+  while (cursor + kHeaderLen <= stream.size()) {
+    Snapshot parsed;
+    parsed.row_begin = static_cast<std::int64_t>(stream[cursor]);
+    parsed.iteration = static_cast<std::int64_t>(stream[cursor + 1]);
+    parsed.vector_count = static_cast<std::int64_t>(stream[cursor + 2]);
+    parsed.slice_len = static_cast<std::int64_t>(stream[cursor + 3]);
+    const auto scalar_count =
+        static_cast<std::size_t>(stream[cursor + 4]);
+    cursor += kHeaderLen;
+    const auto data_len = static_cast<std::size_t>(parsed.vector_count) *
+                          static_cast<std::size_t>(parsed.slice_len);
+    if (cursor + data_len + scalar_count > stream.size()) {
+      throw std::runtime_error(
+          "BuddyCheckpoint: truncated snapshot stream");
+    }
+    parsed.data.assign(stream.begin() + static_cast<std::ptrdiff_t>(cursor),
+                       stream.begin() +
+                           static_cast<std::ptrdiff_t>(cursor + data_len));
+    cursor += data_len;
+    parsed.scalars.assign(
+        stream.begin() + static_cast<std::ptrdiff_t>(cursor),
+        stream.begin() + static_cast<std::ptrdiff_t>(cursor + scalar_count));
+    cursor += scalar_count;
+    SliceKey key{parsed.iteration, parsed.row_begin, parsed.slice_len};
+    slices.emplace(std::move(key), std::move(parsed));
+  }
+
+  // Candidate iterations, newest first; the first whose slices tile the
+  // full row range wins.
+  std::vector<std::int64_t> candidates;
+  for (const auto& [key, snapshot] : slices) {
+    if (candidates.empty() || candidates.back() != std::get<0>(key)) {
+      candidates.push_back(std::get<0>(key));
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());
+  for (const std::int64_t iteration : candidates) {
+    // All slices of one generation come from the same save round and
+    // hence one partition, and the map deduplicated exact copies — so a
+    // complete generation tiles [0, global_rows) strictly.
+    std::int64_t covered = 0;
+    std::int64_t vector_count = -1;
+    bool consistent = true;
+    auto it = slices.lower_bound({iteration, 0, 0});
+    for (; it != slices.end() && std::get<0>(it->first) == iteration; ++it) {
+      const Snapshot& s = it->second;
+      if (s.row_begin != covered ||
+          (vector_count >= 0 && s.vector_count != vector_count)) {
+        consistent = false;
+        break;
+      }
+      vector_count = s.vector_count;
+      covered += s.slice_len;
+    }
+    if (!consistent || covered != static_cast<std::int64_t>(global_rows)) {
+      continue;
+    }
+
+    Restored restored;
+    restored.iteration = iteration;
+    restored.vectors.assign(
+        static_cast<std::size_t>(std::max<std::int64_t>(vector_count, 0)),
+        std::vector<value_t>(static_cast<std::size_t>(global_rows)));
+    for (auto walk = slices.lower_bound({iteration, 0, 0});
+         walk != slices.end() && std::get<0>(walk->first) == iteration;
+         ++walk) {
+      const Snapshot& s = walk->second;
+      for (std::int64_t k = 0; k < s.vector_count; ++k) {
+        std::copy(s.data.begin() + static_cast<std::ptrdiff_t>(
+                                       k * s.slice_len),
+                  s.data.begin() + static_cast<std::ptrdiff_t>(
+                                       (k + 1) * s.slice_len),
+                  restored.vectors[static_cast<std::size_t>(k)].begin() +
+                      static_cast<std::ptrdiff_t>(s.row_begin));
+      }
+      if (s.row_begin == 0) restored.scalars = s.scalars;
+    }
+
+    // Reseed: this rank's new slice of the restored state becomes the
+    // sole committed snapshot, so a recovery interrupted before the
+    // next save can restore again from the survivors' own snapshots.
+    Snapshot reseeded;
+    reseeded.row_begin = row_begin;
+    reseeded.iteration = iteration;
+    reseeded.vector_count =
+        static_cast<std::int64_t>(restored.vectors.size());
+    reseeded.slice_len = local_rows;
+    for (const auto& vec : restored.vectors) {
+      reseeded.data.insert(
+          reseeded.data.end(),
+          vec.begin() + static_cast<std::ptrdiff_t>(row_begin),
+          vec.begin() + static_cast<std::ptrdiff_t>(row_begin + local_rows));
+    }
+    reseeded.scalars = restored.scalars;
+    own_ = std::move(reseeded);
+    buddy_ = Snapshot{};
+    own_prev_ = Snapshot{};
+    buddy_prev_ = Snapshot{};
+    return restored;
+  }
+
+  throw CheckpointLostError(
+      shrunk.epoch(),
+      "buddy checkpoint lost: no surviving generation tiles all " +
+          std::to_string(global_rows) +
+          " rows (a buddy pair died within one checkpoint interval)");
+}
+
+FailurePlan parse_failure_plan(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    throw std::invalid_argument(
+        "parse_failure_plan: expected \"<rank>:<iteration>\", got \"" + spec +
+        "\"");
+  }
+  FailurePlan plan;
+  std::size_t consumed = 0;
+  try {
+    plan.rank = std::stoi(spec.substr(0, colon), &consumed);
+    if (consumed != colon) throw std::invalid_argument(spec);
+    plan.iteration = std::stoi(spec.substr(colon + 1), &consumed);
+    if (consumed != spec.size() - colon - 1) throw std::invalid_argument(spec);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(
+        "parse_failure_plan: expected \"<rank>:<iteration>\", got \"" + spec +
+        "\"");
+  }
+  if (plan.rank < 0 || plan.iteration < 0) {
+    throw std::invalid_argument(
+        "parse_failure_plan: rank and iteration must be >= 0 in \"" + spec +
+        "\"");
+  }
+  return plan;
+}
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,169 @@
+// Fault-tolerant solver infrastructure: buddy checkpointing and the
+// recovery options/statistics shared by the resilient drivers.
+//
+// The recovery model (docs/resilience.md) is checkpoint/restart over
+// shrinking communicators. Every K iterations each rank snapshots its
+// owned vector slices plus the replicated scalar state, keeps the
+// snapshot in memory, and replicates it to a buddy (rank+1 mod size) —
+// so any single rank's state survives that rank. On a permanent fault
+// the survivors shrink the communicator (ULFM-style), deterministically
+// repartition, reassemble the last complete checkpoint from own + buddy
+// snapshots (pulling a dead rank's slice from its buddy), roll the
+// iteration back, and continue. Losing a buddy *pair* between two
+// checkpoints loses a slice for good: restore throws
+// CheckpointLostError and the driver gives up.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "solvers/cg.hpp"
+#include "solvers/lanczos.hpp"
+#include "spmv/engine.hpp"
+
+namespace hspmv::solvers {
+
+/// A planned permanent failure: kill world rank `rank` when it reaches
+/// iteration `iteration` (CLI syntax "<rank>:<iteration>").
+struct FailurePlan {
+  int rank = -1;
+  int iteration = 0;
+};
+
+/// Parse the CLI syntax "<rank>:<iteration>" (e.g. "2:7"). Throws
+/// std::invalid_argument on malformed input or negative fields.
+[[nodiscard]] FailurePlan parse_failure_plan(const std::string& spec);
+
+/// Knobs of the resilient drivers.
+struct ResilienceOptions {
+  /// Checkpoint every this many iterations (a bootstrap checkpoint at
+  /// iteration 0 always happens). Larger: less overhead, more
+  /// iterations lost per failure. Must be >= 1.
+  int checkpoint_interval = 10;
+  /// Permanent failures survived before the driver gives up and lets
+  /// the FaultError escape.
+  int max_recoveries = 8;
+  /// Injected permanent failures (world ranks; fire once each).
+  std::vector<FailurePlan> failures;
+  /// Distributed-engine shape. `engine.retry` is the transient-fault
+  /// policy of the halo exchange.
+  spmv::Variant variant = spmv::Variant::kVectorNoOverlap;
+  spmv::EngineOptions engine;
+  int threads = 2;  ///< team size per rank (>= 2 for task mode)
+};
+
+/// What recovery cost, per rank.
+struct RecoveryStats {
+  int failures_recovered = 0;   ///< completed shrink+restore cycles
+  int iterations_lost = 0;      ///< sum of rollback distances
+  std::int64_t transient_retries = 0;  ///< halo-exchange reposts (Timings)
+  double recovery_seconds = 0.0;       ///< wall clock inside recovery
+  /// False on a killed rank: its driver returns early with whatever
+  /// partial result it had; only survivors carry the solution.
+  bool survivor = true;
+  int final_size = 0;  ///< communicator size at the end
+};
+
+/// A checkpoint slice that no survivor holds — the buddy pair died
+/// within one checkpoint interval. Unrecoverable by design.
+class CheckpointLostError : public minimpi::FaultError {
+ public:
+  CheckpointLostError(std::uint64_t epoch, const std::string& message)
+      : minimpi::FaultError(minimpi::FaultKind::kPermanent, -1, epoch,
+                            message) {}
+};
+
+/// In-memory buddy-checkpoint store (one per rank, lives in the rank's
+/// driver). Holds the two latest committed generations of this rank's
+/// snapshot and of its buddy's — the previous generation covers the
+/// window where a failure interrupts a save round after some ranks
+/// committed and before others did.
+class BuddyCheckpoint {
+ public:
+  /// Loosely collective over `comm`: snapshot `vectors` (owned slices of
+  /// equal length starting at global row `row_begin`) plus `scalars`
+  /// (replicated, identical on every rank), then exchange with the
+  /// buddies ((rank+1) % size receives mine). Commits atomically: a
+  /// FaultError during the exchange leaves the previous generations
+  /// untouched.
+  void save(const minimpi::Comm& comm, sparse::index_t row_begin,
+            std::int64_t iteration,
+            const std::vector<std::span<const sparse::value_t>>& vectors,
+            std::span<const sparse::value_t> scalars);
+
+  struct Restored {
+    std::int64_t iteration = 0;
+    /// Full global vectors, reassembled from the slices.
+    std::vector<std::vector<sparse::value_t>> vectors;
+    std::vector<sparse::value_t> scalars;
+  };
+
+  /// Collective over the shrunk communicator: gather every survivor's
+  /// snapshots, pick the most recent iteration whose slices tile
+  /// [0, global_rows) completely, and reassemble it. Also reseeds this
+  /// store: the caller's new slice [row_begin, row_begin + local_rows)
+  /// of the restored state becomes the sole committed snapshot (buddy
+  /// replication happens at the caller's next save), so an interrupted
+  /// recovery can restore again. Throws CheckpointLostError when no
+  /// complete generation survives.
+  [[nodiscard]] Restored restore_global(const minimpi::Comm& shrunk,
+                                        sparse::index_t global_rows,
+                                        sparse::index_t row_begin,
+                                        sparse::index_t local_rows);
+
+ private:
+  struct Snapshot {
+    std::int64_t row_begin = 0;
+    std::int64_t iteration = -1;  ///< -1: empty slot
+    std::vector<sparse::value_t> data;  ///< vectors * slice_len, packed
+    std::vector<sparse::value_t> scalars;
+    std::int64_t slice_len = 0;
+    std::int64_t vector_count = 0;
+
+    [[nodiscard]] bool empty() const { return iteration < 0; }
+  };
+
+  static void serialize(const Snapshot& snapshot,
+                        std::vector<sparse::value_t>& out);
+
+  Snapshot own_, buddy_, own_prev_, buddy_prev_;
+};
+
+// ---- resilient drivers ----
+// Both run the standard iteration on a RecoverableSpmv operator, catch
+// FaultError, shrink + rebuild + restore + roll back, and continue to
+// convergence. A killed rank returns early with survivor == false.
+
+struct ResilientCgResult {
+  CgResult cg;
+  RecoveryStats recovery;
+  /// Replicated global solution (survivors; empty on a killed rank).
+  std::vector<sparse::value_t> x;
+};
+
+/// Solve `global` x = b (b replicated, global.rows() entries) with
+/// fault-tolerant distributed CG. Collective over `comm`.
+ResilientCgResult resilient_cg(minimpi::Comm comm,
+                               const sparse::CsrMatrix& global,
+                               std::span<const sparse::value_t> b,
+                               const ResilienceOptions& resilience = {},
+                               const CgOptions& options = {});
+
+struct ResilientLanczosResult {
+  LanczosResult lanczos;
+  RecoveryStats recovery;
+};
+
+/// Extremal eigenvalues of symmetric `global` with fault-tolerant
+/// distributed Lanczos. The start vector is derived per global row from
+/// options.seed, so it is independent of the partition (and of rank
+/// failures). Collective over `comm`.
+ResilientLanczosResult resilient_lanczos(
+    minimpi::Comm comm, const sparse::CsrMatrix& global,
+    const ResilienceOptions& resilience = {},
+    const LanczosOptions& options = {});
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,195 @@
+// Fault-tolerant distributed conjugate gradients.
+//
+// The iteration is the textbook CG of cg.cpp on a RecoverableSpmv
+// operator, wrapped in the recovery protocol: checkpoint x every K
+// iterations (buddy-replicated), and on FaultError shrink the
+// communicator, rebuild the engine over the survivors, restore the last
+// complete checkpoint, restart the recurrence from it (r = b - A x,
+// p = r), and continue. Transient faults never reach this level when the
+// engine's retry policy absorbs them; one that escapes (retries
+// exhausted, exchange deadline) is rethrown — retrying a healthy
+// exchange is the engine's job, not the solver's.
+#include <cmath>
+#include <stdexcept>
+
+#include "solvers/resilience.hpp"
+#include "spmv/resilient.hpp"
+#include "util/timer.hpp"
+
+namespace hspmv::solvers {
+
+using sparse::index_t;
+using sparse::value_t;
+
+ResilientCgResult resilient_cg(minimpi::Comm comm,
+                               const sparse::CsrMatrix& global,
+                               std::span<const value_t> b,
+                               const ResilienceOptions& resilience,
+                               const CgOptions& options) {
+  if (global.rows() != global.cols()) {
+    throw std::invalid_argument("resilient_cg: matrix must be square");
+  }
+  if (b.size() != static_cast<std::size_t>(global.rows())) {
+    throw std::invalid_argument(
+        "resilient_cg: b must be the replicated global right-hand side");
+  }
+  if (resilience.checkpoint_interval < 1) {
+    throw std::invalid_argument(
+        "resilient_cg: checkpoint_interval must be >= 1");
+  }
+  const int world_rank = comm.global_rank();
+
+  ResilientCgResult out;
+  RecoveryStats& stats = out.recovery;
+  spmv::RecoverableSpmv op(std::move(comm), global, resilience.threads,
+                           resilience.variant, resilience.engine);
+  BuddyCheckpoint store;
+
+  // Partition-local state, rebuilt on every recovery.
+  index_t row_begin = 0;
+  std::size_t n = 0;
+  spmv::DistVector xd = op.make_vector();
+  spmv::DistVector yd = op.make_vector();
+  std::vector<value_t> x, r, p, ap;
+
+  const auto resize_state = [&] {
+    row_begin = op.matrix().row_begin();
+    n = static_cast<std::size_t>(op.matrix().owned_rows());
+    x.assign(n, 0.0);
+    r.assign(n, 0.0);
+    p.assign(n, 0.0);
+    ap.assign(n, 0.0);
+    xd = op.make_vector();
+    yd = op.make_vector();
+  };
+  const auto apply = [&](const std::vector<value_t>& in,
+                         std::vector<value_t>& result) {
+    std::copy(in.begin(), in.end(), xd.owned().begin());
+    const spmv::Timings t = op.apply(xd, yd);
+    stats.transient_retries += t.retries;
+    std::copy(yd.owned().begin(), yd.owned().end(), result.begin());
+  };
+  const auto dot = [&](std::span<const value_t> u,
+                       std::span<const value_t> v) {
+    value_t local = 0.0;
+    for (std::size_t i = 0; i < u.size(); ++i) local += u[i] * v[i];
+    return op.comm().allreduce(local, minimpi::ReduceOp::kSum);
+  };
+  const auto local_b = [&] {
+    return b.subspan(static_cast<std::size_t>(row_begin), n);
+  };
+  /// (Re)start the recurrence from the current x: r = b - A x, p = r.
+  const auto restart = [&] {
+    apply(x, ap);
+    const auto bl = local_b();
+    for (std::size_t i = 0; i < n; ++i) r[i] = bl[i] - ap[i];
+    std::copy(r.begin(), r.end(), p.begin());
+    return dot(r, r);
+  };
+
+  resize_state();
+  const double b_norm = std::sqrt(dot(local_b(), local_b()));
+  const double threshold =
+      options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+  double rr = restart();
+  out.cg.residual_history.push_back(std::sqrt(rr));
+
+  int it = 0;
+  bool converged = std::sqrt(rr) <= threshold;
+  while (!converged && it < options.max_iterations) {
+    try {
+      // Checkpoint before the planned-failure hook fires: a victim dying
+      // at a checkpoint iteration commits its slice to the buddy first,
+      // so that iteration (not the previous one) is restorable.
+      if (it % resilience.checkpoint_interval == 0) {
+        store.save(op.comm(), row_begin, it,
+                   {std::span<const value_t>(x)}, {});
+      }
+      for (const FailurePlan& plan : resilience.failures) {
+        if (plan.rank == world_rank && plan.iteration == it) {
+          op.comm().simulate_rank_failure();
+        }
+      }
+
+      apply(p, ap);
+      const double p_ap = dot(p, ap);
+      if (p_ap <= 0.0) {
+        throw std::runtime_error(
+            "resilient_cg: operator is not positive definite (p'Ap <= 0)");
+      }
+      const double alpha = rr / p_ap;
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] += alpha * p[i];
+        r[i] -= alpha * ap[i];
+      }
+      const double rr_next = dot(r, r);
+      const double beta = rr_next / rr;
+      for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+      rr = rr_next;
+      ++it;
+      out.cg.residual_history.push_back(std::sqrt(rr));
+      converged = std::sqrt(rr) <= threshold;
+    } catch (const minimpi::FaultError& fault) {
+      if (fault.kind() == minimpi::FaultKind::kTransient) throw;
+      if (fault.rank() == world_rank) {
+        // This rank was killed: leave quietly, the survivors carry on.
+        stats.survivor = false;
+        stats.final_size = 0;
+        return out;
+      }
+      util::Timer recovery_timer;
+      minimpi::FaultError current = fault;
+      for (int attempt = 0;; ++attempt) {
+        if (attempt >= resilience.max_recoveries) throw current;
+        try {
+          op.shrink_and_rebuild();
+          const auto restored = store.restore_global(
+              op.comm(), global.rows(), op.matrix().row_begin(),
+              op.matrix().owned_rows());
+          stats.iterations_lost += it - static_cast<int>(restored.iteration);
+          it = static_cast<int>(restored.iteration);
+          resize_state();
+          std::copy(restored.vectors.at(0).begin() + row_begin,
+                    restored.vectors.at(0).begin() + row_begin +
+                        static_cast<std::ptrdiff_t>(n),
+                    x.begin());
+          rr = restart();
+          out.cg.residual_history.resize(static_cast<std::size_t>(it));
+          out.cg.residual_history.push_back(std::sqrt(rr));
+          converged = std::sqrt(rr) <= threshold;
+          // Replicate the restored slice to the new buddy right away:
+          // the next failure must not depend on reaching the next
+          // scheduled checkpoint.
+          store.save(op.comm(), row_begin, it,
+                     {std::span<const value_t>(x)}, {});
+          ++stats.failures_recovered;
+          break;
+        } catch (const CheckpointLostError&) {
+          throw;
+        } catch (const minimpi::FaultError& again) {
+          // Another death mid-recovery: run the whole recovery again
+          // under the new epoch.
+          if (again.kind() == minimpi::FaultKind::kTransient) throw;
+          if (again.rank() == world_rank) {
+            stats.survivor = false;
+            stats.final_size = 0;
+            return out;
+          }
+          current = again;
+        }
+      }
+      stats.recovery_seconds += recovery_timer.seconds();
+    }
+  }
+
+  out.cg.iterations = it;
+  out.cg.converged = converged;
+  out.cg.residual_norm = std::sqrt(rr);
+  out.cg.relative_residual =
+      b_norm > 0.0 ? out.cg.residual_norm / b_norm : out.cg.residual_norm;
+  stats.final_size = op.comm().size();
+  out.x = op.comm().allgatherv(std::span<const value_t>(x));
+  return out;
+}
+
+}  // namespace hspmv::solvers

@@ -1,0 +1,253 @@
+// Fault-tolerant distributed Lanczos.
+//
+// Mirrors lanczos.cpp on a RecoverableSpmv operator with the same
+// recovery protocol as resilient_cg.cpp: buddy-checkpoint the recurrence
+// state every K iterations, and on a permanent FaultError shrink,
+// rebuild, restore, roll back, continue. Unlike CG the recurrence cannot
+// be restarted from x alone, so the checkpoint carries the Lanczos
+// vectors (v, v_prev, and the reorthogonalization basis when enabled)
+// plus the tridiagonal coefficients as replicated scalars.
+#include <cmath>
+#include <stdexcept>
+
+#include "solvers/resilience.hpp"
+#include "solvers/tridiag.hpp"
+#include "spmv/resilient.hpp"
+#include "util/timer.hpp"
+
+namespace hspmv::solvers {
+
+using sparse::index_t;
+using sparse::value_t;
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Start-vector entry for global row `row`: a hash of (seed, row) mapped
+/// to [-1, 1). Unlike the sequential driver's PRNG stream this depends
+/// only on the global row index, so the start vector — and hence the
+/// whole recurrence — is independent of the partition and survives
+/// repartitioning after a failure.
+value_t start_entry(std::uint64_t seed, std::int64_t row) {
+  const std::uint64_t h = mix64(mix64(seed) ^ static_cast<std::uint64_t>(row));
+  return -1.0 + 2.0 * (static_cast<value_t>(h >> 11) * 0x1.0p-53);
+}
+
+}  // namespace
+
+ResilientLanczosResult resilient_lanczos(minimpi::Comm comm,
+                                         const sparse::CsrMatrix& global,
+                                         const ResilienceOptions& resilience,
+                                         const LanczosOptions& options) {
+  if (global.rows() != global.cols()) {
+    throw std::invalid_argument("resilient_lanczos: matrix must be square");
+  }
+  if (options.max_iterations < 1) {
+    throw std::invalid_argument(
+        "resilient_lanczos: max_iterations must be >= 1");
+  }
+  if (resilience.checkpoint_interval < 1) {
+    throw std::invalid_argument(
+        "resilient_lanczos: checkpoint_interval must be >= 1");
+  }
+  const int world_rank = comm.global_rank();
+
+  ResilientLanczosResult out;
+  LanczosResult& result = out.lanczos;
+  RecoveryStats& stats = out.recovery;
+  spmv::RecoverableSpmv op(std::move(comm), global, resilience.threads,
+                           resilience.variant, resilience.engine);
+  BuddyCheckpoint store;
+
+  index_t row_begin = 0;
+  std::size_t n = 0;
+  spmv::DistVector xd = op.make_vector();
+  spmv::DistVector yd = op.make_vector();
+  std::vector<value_t> v, v_prev, w;
+  std::vector<std::vector<value_t>> basis;
+
+  const auto resize_state = [&] {
+    row_begin = op.matrix().row_begin();
+    n = static_cast<std::size_t>(op.matrix().owned_rows());
+    v.assign(n, 0.0);
+    v_prev.assign(n, 0.0);
+    w.assign(n, 0.0);
+    xd = op.make_vector();
+    yd = op.make_vector();
+  };
+  const auto apply = [&](const std::vector<value_t>& in,
+                         std::vector<value_t>& res) {
+    std::copy(in.begin(), in.end(), xd.owned().begin());
+    const spmv::Timings t = op.apply(xd, yd);
+    stats.transient_retries += t.retries;
+    std::copy(yd.owned().begin(), yd.owned().end(), res.begin());
+  };
+  const auto dot = [&](std::span<const value_t> a,
+                       std::span<const value_t> c) {
+    value_t local = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) local += a[i] * c[i];
+    return op.comm().allreduce(local, minimpi::ReduceOp::kSum);
+  };
+
+  resize_state();
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = start_entry(options.seed, row_begin + static_cast<std::int64_t>(i));
+  }
+  const value_t norm = std::sqrt(dot(v, v));
+  if (norm == 0.0) {
+    throw std::runtime_error("resilient_lanczos: zero start vector");
+  }
+  for (auto& entry : v) entry /= norm;
+
+  double previous_lowest = 0.0;
+
+  // Checkpoint layout: vectors = [v, v_prev, basis...], scalars =
+  // [n_alpha, alpha..., n_beta, beta..., previous_lowest].
+  const auto save_checkpoint = [&](int it) {
+    std::vector<std::span<const value_t>> vectors;
+    vectors.emplace_back(v);
+    vectors.emplace_back(v_prev);
+    for (const auto& q : basis) vectors.emplace_back(q);
+    std::vector<value_t> scalars;
+    scalars.push_back(static_cast<value_t>(result.alpha.size()));
+    scalars.insert(scalars.end(), result.alpha.begin(), result.alpha.end());
+    scalars.push_back(static_cast<value_t>(result.beta.size()));
+    scalars.insert(scalars.end(), result.beta.begin(), result.beta.end());
+    scalars.push_back(previous_lowest);
+    store.save(op.comm(), row_begin, it, vectors, scalars);
+  };
+
+  int it = 0;
+  while (!result.converged && it < options.max_iterations) {
+    try {
+      if (it % resilience.checkpoint_interval == 0) save_checkpoint(it);
+      for (const FailurePlan& plan : resilience.failures) {
+        if (plan.rank == world_rank && plan.iteration == it) {
+          op.comm().simulate_rank_failure();
+        }
+      }
+
+      if (options.full_reorthogonalization) basis.push_back(v);
+      apply(v, w);
+      const double a = dot(w, v);
+      result.alpha.push_back(a);
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] -= a * v[i];
+        if (it > 0) w[i] -= result.beta.back() * v_prev[i];
+      }
+      if (options.full_reorthogonalization) {
+        for (const auto& q : basis) {
+          const double projection = dot(w, q);
+          for (std::size_t i = 0; i < n; ++i) w[i] -= projection * q[i];
+        }
+      }
+      const double b = std::sqrt(dot(w, w));
+
+      result.ritz_values = tridiagonal_eigenvalues(result.alpha, result.beta);
+      result.iterations = it + 1;
+      const double lowest = result.ritz_values.front();
+      if (it > 0 && std::abs(lowest - previous_lowest) <
+                        options.tolerance * (1.0 + std::abs(lowest))) {
+        result.converged = true;
+        break;
+      }
+      previous_lowest = lowest;
+
+      if (b < 1e-14) {
+        // Invariant subspace found: the Ritz values are exact.
+        result.converged = true;
+        break;
+      }
+      result.beta.push_back(b);
+      v_prev = v;
+      for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / b;
+      ++it;
+    } catch (const minimpi::FaultError& fault) {
+      if (fault.kind() == minimpi::FaultKind::kTransient) throw;
+      if (fault.rank() == world_rank) {
+        stats.survivor = false;
+        stats.final_size = 0;
+        return out;
+      }
+      util::Timer recovery_timer;
+      minimpi::FaultError current = fault;
+      for (int attempt = 0;; ++attempt) {
+        if (attempt >= resilience.max_recoveries) throw current;
+        try {
+          op.shrink_and_rebuild();
+          const auto restored = store.restore_global(
+              op.comm(), global.rows(), op.matrix().row_begin(),
+              op.matrix().owned_rows());
+          stats.iterations_lost += it - static_cast<int>(restored.iteration);
+          it = static_cast<int>(restored.iteration);
+          resize_state();
+          const auto slice = [&](const std::vector<value_t>& full,
+                                 std::vector<value_t>& local) {
+            std::copy(full.begin() + row_begin,
+                      full.begin() + row_begin +
+                          static_cast<std::ptrdiff_t>(n),
+                      local.begin());
+          };
+          slice(restored.vectors.at(0), v);
+          slice(restored.vectors.at(1), v_prev);
+          basis.assign(restored.vectors.size() - 2,
+                       std::vector<value_t>(n, 0.0));
+          for (std::size_t k = 2; k < restored.vectors.size(); ++k) {
+            slice(restored.vectors[k], basis[k - 2]);
+          }
+          const auto& scalars = restored.scalars;
+          std::size_t cursor = 0;
+          const auto n_alpha = static_cast<std::size_t>(scalars.at(cursor++));
+          result.alpha.assign(
+              scalars.begin() + static_cast<std::ptrdiff_t>(cursor),
+              scalars.begin() + static_cast<std::ptrdiff_t>(cursor + n_alpha));
+          cursor += n_alpha;
+          const auto n_beta = static_cast<std::size_t>(scalars.at(cursor++));
+          result.beta.assign(
+              scalars.begin() + static_cast<std::ptrdiff_t>(cursor),
+              scalars.begin() + static_cast<std::ptrdiff_t>(cursor + n_beta));
+          cursor += n_beta;
+          previous_lowest = scalars.at(cursor);
+          // A top-of-iteration checkpoint holds it alphas and it betas
+          // (the recurrence needs the trailing beta); the tridiagonal
+          // solve wants one beta fewer than alphas.
+          result.ritz_values =
+              result.alpha.empty()
+                  ? std::vector<double>{}
+                  : tridiagonal_eigenvalues(
+                        result.alpha,
+                        {result.beta.begin(),
+                         result.beta.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 result.alpha.size() - 1)});
+          result.iterations = it;
+          save_checkpoint(it);
+          ++stats.failures_recovered;
+          break;
+        } catch (const CheckpointLostError&) {
+          throw;
+        } catch (const minimpi::FaultError& again) {
+          if (again.kind() == minimpi::FaultKind::kTransient) throw;
+          if (again.rank() == world_rank) {
+            stats.survivor = false;
+            stats.final_size = 0;
+            return out;
+          }
+          current = again;
+        }
+      }
+      stats.recovery_seconds += recovery_timer.seconds();
+    }
+  }
+
+  stats.final_size = op.comm().size();
+  return out;
+}
+
+}  // namespace hspmv::solvers

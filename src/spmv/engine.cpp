@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
+#include "minimpi/fault.hpp"
 #include "sparse/ell.hpp"
 #include "sparse/kernels.hpp"
 #include "util/timer.hpp"
@@ -233,6 +236,7 @@ Timings& Timings::operator+=(const Timings& other) {
   bytes_received += other.bytes_received;
   halo_elements += other.halo_elements;
   messages += other.messages;
+  retries += other.retries;
   return *this;
 }
 
@@ -243,7 +247,7 @@ void SpmvEngine::set_trace(util::Timeline* trace, std::string lane_prefix) {
 
 SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant,
                        EngineOptions options)
-    : matrix_(matrix),
+    : matrix_(&matrix),
       variant_(variant),
       options_(options),
       team_(threads),
@@ -254,12 +258,18 @@ SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant,
         "SpmvEngine: task mode needs a communication thread plus at least "
         "one worker");
   }
-  const int party_offset = variant == Variant::kTaskMode ? 1 : 0;
+  rebuild(matrix);
+}
+
+void SpmvEngine::rebuild(const DistMatrix& matrix) {
+  matrix_ = &matrix;
+  const int party_offset = variant_ == Variant::kTaskMode ? 1 : 0;
   kernel_ = make_local_kernel(matrix, options_.backend, compute_threads_,
                               options_.sell_chunk, options_.sell_sigma,
                               options_.first_touch ? &team_ : nullptr,
                               party_offset);
   const auto& plan = matrix.plan();
+  send_buffers_.clear();
   send_buffers_.resize(plan.send_blocks.size());
   for (std::size_t s = 0; s < send_buffers_.size(); ++s) {
     // FirstTouchVector: no stores yet, pages stay unmapped until touched.
@@ -312,7 +322,7 @@ SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant,
 }
 
 std::vector<std::int64_t> SpmvEngine::send_block_offsets() const {
-  const auto& blocks = matrix_.plan().send_blocks;
+  const auto& blocks = matrix_->plan().send_blocks;
   std::vector<std::int64_t> offsets(blocks.size() + 1, 0);
   for (std::size_t s = 0; s < blocks.size(); ++s) {
     offsets[s + 1] =
@@ -328,13 +338,13 @@ void SpmvEngine::claim_kernel_writes(const std::string& phase, int worker) {
 }
 
 DistVector SpmvEngine::make_vector() {
-  if (!options_.first_touch) return DistVector(matrix_);
+  if (!options_.first_touch) return DistVector(*matrix_);
   const auto boundaries = kernel_->row_boundaries();
   if (range_checker_.enabled()) {
     // The first-touch fill partitions the owned rows by the same
     // boundaries the kernels use — validate that they really are a
     // partition before handing them to the parallel zero-fill.
-    range_checker_.begin_phase("first-touch vector", matrix_.owned_rows());
+    range_checker_.begin_phase("first-touch vector", matrix_->owned_rows());
     for (int w = 0; w < compute_threads_; ++w) {
       range_checker_.claim("first-touch vector", w,
                            boundaries[static_cast<std::size_t>(w)],
@@ -342,15 +352,15 @@ DistVector SpmvEngine::make_vector() {
     }
     range_checker_.check("first-touch vector");
   }
-  return DistVector(matrix_, team_, boundaries,
+  return DistVector(*matrix_, team_, boundaries,
                     variant_ == Variant::kTaskMode ? 1 : 0);
 }
 
 void SpmvEngine::post_recvs(DistVector& x,
                             std::vector<minimpi::Request>& requests) {
   auto halo = x.halo();
-  for (const RecvBlock& block : matrix_.plan().recv_blocks) {
-    requests.push_back(matrix_.comm().irecv(
+  for (const RecvBlock& block : matrix_->plan().recv_blocks) {
+    requests.push_back(matrix_->comm().irecv(
         halo.subspan(static_cast<std::size_t>(block.halo_offset),
                      static_cast<std::size_t>(block.count)),
         block.peer));
@@ -367,19 +377,101 @@ void SpmvEngine::gather_block(const SendBlock& block,
 }
 
 void SpmvEngine::post_sends(std::vector<minimpi::Request>& requests) {
-  const auto& blocks = matrix_.plan().send_blocks;
+  const auto& blocks = matrix_->plan().send_blocks;
   for (std::size_t s = 0; s < blocks.size(); ++s) {
-    requests.push_back(matrix_.comm().isend(
+    requests.push_back(matrix_->comm().isend(
         std::span<const value_t>(send_buffers_[s].data(),
                                  send_buffers_[s].size()),
         blocks[s].peer));
   }
 }
 
+void SpmvEngine::repost_request(DistVector& x,
+                                std::vector<minimpi::Request>& requests,
+                                std::size_t index) {
+  const auto& plan = matrix_->plan();
+  const std::size_t recv_count = plan.recv_blocks.size();
+  if (index < recv_count) {
+    const RecvBlock& block = plan.recv_blocks[index];
+    auto halo = x.halo();
+    requests[index] = matrix_->comm().irecv(
+        halo.subspan(static_cast<std::size_t>(block.halo_offset),
+                     static_cast<std::size_t>(block.count)),
+        block.peer);
+  } else {
+    const std::size_t s = index - recv_count;
+    requests[index] = matrix_->comm().isend(
+        std::span<const value_t>(send_buffers_[s].data(),
+                                 send_buffers_[s].size()),
+        plan.send_blocks[s].peer);
+  }
+}
+
+void SpmvEngine::wait_exchange(DistVector& x,
+                               std::vector<minimpi::Request>& requests,
+                               std::int64_t& retries) {
+  const RetryPolicy& policy = options_.retry;
+  if (!policy.enabled) {
+    matrix_->comm().wait_all(requests);
+    return;
+  }
+  // Poll each request individually so a transient fault identifies its
+  // request: recvs (index < recv_count) repost the irecv into the same
+  // halo subspan — a transiently dropped eager payload is then
+  // redelivered by the transport — and rendezvous sends repost the
+  // isend of the (unchanged) packed buffer. Permanent faults (dead rank,
+  // revoked comm) rethrow for the shrink/rebuild recovery path.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<int> attempts(requests.size(), 1);
+  std::vector<char> done(requests.size(), 0);
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].valid()) {
+      ++remaining;
+    } else {
+      done[i] = 1;
+    }
+  }
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (done[i]) continue;
+      try {
+        if (matrix_->comm().test(requests[i])) {
+          done[i] = 1;
+          --remaining;
+          progressed = true;
+        }
+      } catch (const minimpi::FaultError& fault) {
+        if (fault.kind() != minimpi::FaultKind::kTransient) throw;
+        if (attempts[i] >= policy.max_attempts) throw;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            policy.backoff_seconds(attempts[i], matrix_->comm().rank())));
+        repost_request(x, requests, i);
+        ++attempts[i];
+        ++retries;
+        progressed = true;
+      }
+    }
+    if (policy.exchange_timeout_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() > policy.exchange_timeout_seconds) {
+      throw minimpi::FaultError(
+          minimpi::FaultKind::kTransient, -1, matrix_->comm().epoch(),
+          "halo exchange exceeded its deadline of " +
+              std::to_string(policy.exchange_timeout_seconds) + " s");
+    }
+    if (!progressed) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
 SpmvEngine::TrafficEstimate SpmvEngine::traffic_estimate() const {
   TrafficEstimate estimate;
-  const auto& local = matrix_.local();
-  const auto& plan = matrix_.plan();
+  const auto& local = matrix_->local();
+  const auto& plan = matrix_->plan();
   const auto nnz = static_cast<double>(local.nnz());
   const auto rows = static_cast<double>(local.rows());
   // Streaming arrays: val (8 B) + col_idx (4 B) per nonzero, row_ptr
@@ -399,8 +491,8 @@ SpmvEngine::TrafficEstimate SpmvEngine::traffic_estimate() const {
 }
 
 Timings SpmvEngine::apply(DistVector& x, DistVector& y) {
-  if (x.owned_size() != matrix_.owned_rows() ||
-      y.owned_size() != matrix_.owned_rows()) {
+  if (x.owned_size() != matrix_->owned_rows() ||
+      y.owned_size() != matrix_->owned_rows()) {
     throw std::invalid_argument("SpmvEngine::apply: vector shape mismatch");
   }
   Timings t;
@@ -419,7 +511,7 @@ Timings SpmvEngine::apply(DistVector& x, DistVector& y) {
   }
   // Communication volume is fixed by the plan — attach the measured-side
   // counters to every apply().
-  const auto& plan = matrix_.plan();
+  const auto& plan = matrix_->plan();
   t.halo_elements = static_cast<std::int64_t>(plan.halo_count);
   t.bytes_received =
       t.halo_elements * static_cast<std::int64_t>(sizeof(value_t));
@@ -434,7 +526,7 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
                                  bool naive_overlap) {
   Timings t;
   util::Timer total;
-  const auto& plan = matrix_.plan();
+  const auto& plan = matrix_->plan();
 
   std::vector<minimpi::Request> requests;
   requests.reserve(plan.recv_blocks.size() + plan.send_blocks.size());
@@ -506,7 +598,7 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
     if (check_ranges) {
       range_checker_.begin_phase(phase_label,
                                  static_cast<std::int64_t>(
-                                     matrix_.owned_rows()));
+                                     matrix_->owned_rows()));
     }
     team_.execute([&](int id) {
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
@@ -523,7 +615,7 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
   const auto traced_waitall = [&]() {
     util::Timer timer;
     const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
-    matrix_.comm().wait_all(requests);
+    wait_exchange(x, requests, t.retries);
     if (trace_ != nullptr) {
       trace_->record(trace_prefix_ + "t0", "MPI_Waitall", trace_begin,
                      trace_->now(), 'W');
@@ -560,7 +652,7 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
 Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
   Timings t;
   util::Timer total;
-  const auto& plan = matrix_.plan();
+  const auto& plan = matrix_->plan();
 
   std::vector<minimpi::Request> requests;
   requests.reserve(plan.recv_blocks.size() + plan.send_blocks.size());
@@ -587,7 +679,7 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
     range_checker_.begin_phase("gather", offsets.back());
     range_checker_.begin_phase("task-mode compute",
                                static_cast<std::int64_t>(
-                                   matrix_.owned_rows()));
+                                   matrix_->owned_rows()));
   }
 
   team_.execute([&](int id) {
@@ -602,7 +694,7 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
       std::exception_ptr comm_error;
       try {
         post_sends(requests);
-        matrix_.comm().wait_all(requests);
+        wait_exchange(x, requests, t.retries);
       } catch (...) {
         comm_error = std::current_exception();
       }

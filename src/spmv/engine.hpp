@@ -35,6 +35,7 @@
 
 #include "spmv/dist_matrix.hpp"
 #include "spmv/dist_vector.hpp"
+#include "spmv/retry.hpp"
 #include "team/range_check.hpp"
 #include "team/thread_team.hpp"
 #include "util/aligned.hpp"
@@ -78,6 +79,10 @@ struct EngineOptions {
   /// full coverage at the phase's closing barrier. Off by default — the
   /// bookkeeping serializes on a mutex.
   team::RangeCheckOptions range_check;
+  /// Transient-fault retry of the halo exchange (see retry.hpp). Off by
+  /// default: the engine waits with one wait_all and any fault escalates
+  /// unchanged.
+  RetryPolicy retry;
 };
 
 /// Node-level compute backend: runs one worker's share of the local row
@@ -145,6 +150,9 @@ struct Timings {
   std::int64_t bytes_received = 0;
   std::int64_t halo_elements = 0;  ///< elements received into the halo
   std::int64_t messages = 0;       ///< sends + receives posted
+  /// Transient-fault reposts performed by the retry policy (0 unless
+  /// EngineOptions::retry is enabled and faults were injected).
+  std::int64_t retries = 0;
 
   Timings& operator+=(const Timings& other);
 };
@@ -159,6 +167,15 @@ class SpmvEngine {
   /// y(owned) = A * x. x's halo segment is overwritten with fresh remote
   /// values. Collective across the matrix's communicator.
   Timings apply(DistVector& x, DistVector& y);
+
+  /// Re-target the engine at a different DistMatrix — the recovery path
+  /// after a communicator shrink (the new matrix lives on the shrunk
+  /// comm with repartitioned rows). Rebuilds the kernel shares, send
+  /// buffers, and gather schedules exactly as construction does; the
+  /// thread team, variant, and options persist. `matrix` must outlive
+  /// the engine. Vectors from make_vector() of the old matrix are
+  /// incompatible — make fresh ones.
+  void rebuild(const DistMatrix& matrix);
 
   /// A zero DistVector for this engine's matrix with NUMA-placed storage:
   /// each team member first-touches the row slice its kernel share will
@@ -212,10 +229,22 @@ class SpmvEngine {
                     std::span<const sparse::value_t> owned, std::size_t slot);
   void post_sends(std::vector<minimpi::Request>& requests);
 
+  /// Complete the posted exchange. Without a retry policy this is one
+  /// wait_all; with one it polls the requests, reposts transiently
+  /// faulted ones (bounded attempts, exponential backoff), and counts
+  /// the reposts into `retries`. Permanent faults always rethrow.
+  void wait_exchange(DistVector& x, std::vector<minimpi::Request>& requests,
+                     std::int64_t& retries);
+
+  /// Repost request `index` of the [recvs | sends] exchange vector.
+  void repost_request(DistVector& x, std::vector<minimpi::Request>& requests,
+                      std::size_t index);
+
   Timings apply_vector(DistVector& x, DistVector& y, bool naive_overlap);
   Timings apply_task_mode(DistVector& x, DistVector& y);
 
-  const DistMatrix& matrix_;
+  /// Never null; repointed by rebuild() after a communicator shrink.
+  const DistMatrix* matrix_;
   Variant variant_;
   EngineOptions options_;
   team::ThreadTeam team_;

@@ -1,0 +1,57 @@
+#include "spmv/resilient.hpp"
+
+#include <stdexcept>
+
+#include "minimpi/fault.hpp"
+
+namespace hspmv::spmv {
+
+RecoverableSpmv::RecoverableSpmv(minimpi::Comm comm,
+                                 const sparse::CsrMatrix& global, int threads,
+                                 Variant variant, EngineOptions options)
+    : comm_(std::move(comm)),
+      global_(&global),
+      threads_(threads),
+      variant_(variant),
+      options_(options) {
+  build();
+}
+
+void RecoverableSpmv::build() {
+  boundaries_ = partition_rows(*global_, comm_.size(),
+                               PartitionStrategy::kBalancedNonzeros);
+  // The engine keeps a pointer into matrix_, so replace the matrix first
+  // and re-target the engine after (its thread team persists).
+  matrix_ = std::make_unique<DistMatrix>(comm_, *global_, boundaries_);
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<SpmvEngine>(*matrix_, threads_, variant_,
+                                           options_);
+  } else {
+    engine_->rebuild(*matrix_);
+  }
+}
+
+void RecoverableSpmv::rebuild(minimpi::Comm shrunk) {
+  if (!shrunk.valid()) {
+    throw std::logic_error("RecoverableSpmv::rebuild: null communicator");
+  }
+  comm_ = std::move(shrunk);
+  build();
+}
+
+void RecoverableSpmv::shrink_and_rebuild() {
+  // Another rank dying mid-shrink aborts the rendezvous with FaultError;
+  // each retry runs under the bumped epoch. The attempt bound can never
+  // bind in a well-formed run — there are at most size-1 further deaths.
+  const int max_attempts = comm_.size() + 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    try {
+      rebuild(comm_.shrink());
+      return;
+    } catch (const minimpi::FaultError&) {
+      if (attempt + 1 == max_attempts) throw;
+    }
+  }
+}
+
+}  // namespace hspmv::spmv

@@ -1,0 +1,72 @@
+// Recoverable distributed spMVM: the engine plus everything needed to
+// rebuild it over the survivors after a rank failure.
+//
+// The plain SpmvEngine is pinned to one DistMatrix on one communicator;
+// when a rank dies, that communicator is revoked and the partition it
+// encodes references a member that no longer exists. RecoverableSpmv
+// keeps the ingredients — the replicated global matrix and the partition
+// strategy — so recovery is deterministic re-derivation, not improvised
+// state surgery: shrink the communicator (ULFM-style), repartition the
+// same global matrix over the survivor count with the same strategy,
+// rebuild the DistMatrix (fresh halo plan) and re-target the engine's
+// kernel onto the new row block. Every survivor computes the identical
+// boundaries, so no coordination beyond the shrink itself is needed.
+//
+// The resilient solver drivers (src/solvers/resilient.hpp) own one of
+// these per rank and combine it with buddy checkpointing.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+
+namespace hspmv::spmv {
+
+class RecoverableSpmv {
+ public:
+  /// Collective over `comm`: partition `global` by balanced nonzeros
+  /// over comm.size() ranks and build the distributed engine. `global`
+  /// must outlive this object (it is the recovery seed).
+  RecoverableSpmv(minimpi::Comm comm, const sparse::CsrMatrix& global,
+                  int threads, Variant variant, EngineOptions options = {});
+
+  /// Forwarded engine surface.
+  Timings apply(DistVector& x, DistVector& y) { return engine_->apply(x, y); }
+  [[nodiscard]] DistVector make_vector() { return engine_->make_vector(); }
+  [[nodiscard]] SpmvEngine& engine() { return *engine_; }
+  [[nodiscard]] const DistMatrix& matrix() const { return *matrix_; }
+  [[nodiscard]] const minimpi::Comm& comm() const { return comm_; }
+  [[nodiscard]] const sparse::CsrMatrix& global() const { return *global_; }
+  /// Current row boundaries (comm.size()+1 entries).
+  [[nodiscard]] std::span<const sparse::index_t> boundaries() const {
+    return boundaries_;
+  }
+
+  /// Collective over `shrunk` (the survivors): deterministically
+  /// repartition the global matrix over the new size and rebuild the
+  /// distributed state on it. Old DistVectors are invalid afterwards.
+  void rebuild(minimpi::Comm shrunk);
+
+  /// Shrink the current (revoked) communicator and rebuild on the
+  /// result, retrying the shrink when membership changes mid-flight
+  /// (another death aborts the rendezvous with FaultError; the next
+  /// attempt runs under the new epoch). Collective among survivors.
+  void shrink_and_rebuild();
+
+ private:
+  void build();
+
+  minimpi::Comm comm_;
+  const sparse::CsrMatrix* global_;
+  int threads_;
+  Variant variant_;
+  EngineOptions options_;
+  std::vector<sparse::index_t> boundaries_;
+  std::unique_ptr<DistMatrix> matrix_;
+  std::unique_ptr<SpmvEngine> engine_;
+};
+
+}  // namespace hspmv::spmv

@@ -1,0 +1,52 @@
+// Retry policy for the halo exchange — the transient-fault half of the
+// fault-tolerant execution layer (docs/resilience.md).
+//
+// A transient fault (dropped transfer, chaos-injected link error) fails
+// the affected request with FaultError{kTransient} but leaves the rank
+// and the runtime healthy: reposting the same irecv/isend succeeds, and
+// an eagerly-buffered payload is even redelivered by the transport. The
+// policy bounds how often one exchange reposts (max_attempts), spaces the
+// attempts with exponential backoff plus deterministic per-(seed,
+// attempt, rank) jitter — identical runs retry at identical times, so
+// retried results stay bitwise-reproducible — and caps the whole
+// exchange with a deadline. Permanent faults (a dead rank, a revoked
+// communicator) are never retried; they escalate to the caller, whose
+// recovery path is shrink + rebuild + restore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hspmv::spmv {
+
+struct RetryPolicy {
+  /// Master switch. Off: the engine waits exactly as before (one
+  /// wait_all, any fault escalates immediately).
+  bool enabled = false;
+  /// Total posts of one request, the initial one included: 4 means up to
+  /// 3 reposts before the transient fault escalates as-is.
+  int max_attempts = 4;
+  /// Backoff before repost k (k = 1 is the first retry):
+  /// min(base * multiplier^(k-1), max) + jitter.
+  double base_backoff_seconds = 1e-4;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.1;
+  /// Deterministic jitter in [0, base) mixed from (jitter_seed, attempt,
+  /// rank) — decorrelates the ranks' retry storms without a random
+  /// source.
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Deadline on one whole exchange (all requests, retries included).
+  /// Exceeding it throws FaultError{kTransient}. 0 disables.
+  double exchange_timeout_seconds = 0.0;
+
+  /// Sleep before repost `attempt` (>= 1) on `rank`.
+  [[nodiscard]] double backoff_seconds(int attempt, int rank) const;
+
+  /// Parse "off" | "on" | a comma-separated key=value list over keys
+  /// attempts, base, multiplier, max, timeout, seed (e.g.
+  /// "attempts=6,base=1e-5,timeout=2"). Any key list implies enabled.
+  /// Throws std::invalid_argument on unknown keys or malformed values.
+  static RetryPolicy parse(const std::string& spec);
+};
+
+}  // namespace hspmv::spmv

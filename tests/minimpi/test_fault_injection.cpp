@@ -1,8 +1,9 @@
 // The fault-injection layer itself: deterministic decision streams,
 // correct exchanges and collectives under heavy chaos, FIFO matching per
-// (source, tag) despite delivery reordering, bounded test() lies, and an
-// injected transfer failure surfacing as std::runtime_error on every rank
-// instead of a deadlock.
+// (source, tag) despite delivery reordering, bounded test() lies, and
+// injected transfer failures surfacing as typed FaultError everywhere —
+// kPermanent board poison on every rank instead of a deadlock, and
+// kTransient per-transfer faults that a plain repost recovers from.
 
 #include <atomic>
 #include <cstdint>
@@ -253,7 +254,12 @@ TEST_F(FaultInjection, InjectedTransferFailureSurfacesEverywhere) {
               comm.sendrecv(std::span<const double>(out), next,
                             std::span<double>(in), prev);
               comm.barrier();
-            } catch (const std::runtime_error& error) {
+            } catch (const FaultError& error) {
+              // The stringly-typed poison of old is now a typed fault:
+              // an irrecoverable injected failure reads as kPermanent,
+              // unattributable to any single rank.
+              EXPECT_EQ(error.kind(), FaultKind::kPermanent);
+              EXPECT_EQ(error.rank(), -1);
               throwers.fetch_add(1);
               std::lock_guard<std::mutex> lock(message_mutex);
               messages.emplace_back(error.what());
@@ -269,6 +275,48 @@ TEST_F(FaultInjection, InjectedTransferFailureSurfacesEverywhere) {
   // The board was poisoned before any payload moved, so every failure
   // carries the injected-error text (none is a mere collective abort).
   EXPECT_EQ(injected, kRanks);
+}
+
+TEST_F(FaultInjection, TransientFailureIsRepostable) {
+  // kTransient errors only the failed transfer's requests and leaves the
+  // board healthy: both endpoints observe FaultError{kTransient}, repost,
+  // and the retried transfer delivers the original payload.
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.eager_threshold_bytes = 0;  // rendezvous: both sides fault
+  options.chaos.enabled = true;
+  options.chaos.seed = seed(50);
+  options.chaos.match_hold_probability = 0.0;
+  options.chaos.reorder_probability = 0.0;
+  options.chaos.barrier_jitter_probability = 0.0;
+  options.chaos.spurious_test_probability = 0.0;
+  options.chaos.fail_transfer_index = 0;
+  options.chaos.failure_mode = ChaosConfig::FailureMode::kTransient;
+
+  std::atomic<int> transient_faults{0};
+  run(options, [&](Comm& comm) {
+    const std::vector<double> out(64, 1.0 + comm.rank());
+    std::vector<double> in(64, -1.0);
+    for (int attempt = 0;; ++attempt) {
+      ASSERT_LT(attempt, 3) << "retry did not converge";
+      try {
+        Request request = comm.rank() == 0
+                              ? comm.isend(std::span<const double>(out), 1)
+                              : comm.irecv(std::span<double>(in), 0);
+        comm.wait_all({&request, 1});
+        break;
+      } catch (const FaultError& error) {
+        ASSERT_EQ(error.kind(), FaultKind::kTransient);
+        transient_faults.fetch_add(1);
+      }
+    }
+    if (comm.rank() == 1) {
+      for (const double x : in) EXPECT_EQ(x, 1.0);
+    }
+    comm.barrier();  // the board must still be fully usable
+    EXPECT_EQ(comm.allreduce(comm.rank() + 1, ReduceOp::kSum), 3);
+  });
+  EXPECT_EQ(transient_faults.load(), 2);
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 // Chaos tier for the distributed engine: every (variant x backend) pair
 // must produce bitwise identical owned results under any legal chaos
 // schedule (held matches, reordered delivery, barrier jitter, test()
-// retry storms), and an injected transfer failure must surface as
-// std::runtime_error on every rank without deadlocking the engine.
+// retry storms), and an injected transfer failure must surface as a typed
+// FaultError (kPermanent poison) on every rank without deadlocking the
+// engine.
 
 #include <atomic>
 #include <cstdint>
@@ -20,6 +21,7 @@
 #include "matgen/holstein.hpp"
 #include "matgen/poisson.hpp"
 #include "matgen/random_matrix.hpp"
+#include "minimpi/fault.hpp"
 #include "minimpi/runtime.hpp"
 #include "spmv/engine.hpp"
 #include "spmv/partition.hpp"
@@ -246,7 +248,18 @@ TEST_F(EngineChaos, InjectedFailureSurfacesOnAllRanks) {
                          try {
                            pipeline(comm, variant);
                            comm.barrier();
+                         } catch (const minimpi::FaultError& error) {
+                           // Typed fault: board poison is permanent and
+                           // unattributable.
+                           EXPECT_EQ(error.kind(),
+                                     minimpi::FaultKind::kPermanent);
+                           throwers.fetch_add(1);
+                           std::lock_guard<std::mutex> lock(message_mutex);
+                           messages.emplace_back(error.what());
+                           throw;
                          } catch (const std::runtime_error& error) {
+                           // Ranks swept up by the runtime abort after the
+                           // first failure may see a plain abort error.
                            throwers.fetch_add(1);
                            std::lock_guard<std::mutex> lock(message_mutex);
                            messages.emplace_back(error.what());

@@ -1,0 +1,351 @@
+// Recovery tier for the distributed engine (docs/resilience.md):
+// transient halo-exchange faults absorbed by the retry/backoff layer must
+// be invisible — bitwise-identical results, zero validator diagnostics —
+// while permanent rank deaths must surface as FaultError{kPermanent} and
+// leave the survivors able to shrink the communicator, deterministically
+// repartition, and produce the same bits as a calm run at the survivor
+// count.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/reference.hpp"
+#include "common/seeded_fixture.hpp"
+#include "matgen/random_matrix.hpp"
+#include "minimpi/fault.hpp"
+#include "minimpi/runtime.hpp"
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+#include "spmv/resilient.hpp"
+
+namespace hspmv::spmv {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::value_t;
+
+class EngineRecover : public testutil::SeededTest {};
+
+class EngineRecoverPair
+    : public testutil::SeededParamTest<std::tuple<Variant, LocalBackend>> {};
+
+/// Fast-backoff retry policy so the sweeps don't sleep their way through
+/// CI; semantics identical to the defaults.
+RetryPolicy test_retry() {
+  RetryPolicy retry;
+  retry.enabled = true;
+  retry.max_attempts = 4;
+  retry.base_backoff_seconds = 1e-5;
+  retry.max_backoff_seconds = 1e-4;
+  return retry;
+}
+
+/// Matched-transfer count of one calm apply (DistMatrix construction is
+/// collectives-only, so all match indices belong to the halo exchange) —
+/// the valid index window for transient-failure injection.
+std::uint64_t probe_messages(const CsrMatrix& a, int threads, Variant variant,
+                             const EngineOptions& engine_options, int ranks) {
+  minimpi::RuntimeOptions options;
+  options.ranks = ranks;
+  const auto x = testutil::random_vector(static_cast<std::size_t>(a.cols()), 1);
+  return minimpi::run(options,
+                      [&](minimpi::Comm& comm) {
+                        const auto boundaries = partition_rows(
+                            a, comm.size(),
+                            PartitionStrategy::kBalancedNonzeros);
+                        DistMatrix dist(comm, a, boundaries);
+                        DistVector xd(dist), yd(dist);
+                        xd.assign_from_global(x, dist.row_begin());
+                        SpmvEngine engine(dist, threads, variant,
+                                          engine_options);
+                        engine.apply(xd, yd);
+                      })
+      .messages;
+}
+
+TEST_P(EngineRecoverPair, TransientFaultsAreBitwiseInvisible) {
+  // The retry property: a transient transfer failure plus redelivery may
+  // change scheduling only, never numbers — 20 chaos seeds spread the
+  // failed match index over the whole apply, on top of the standard
+  // chaos intensities (holds, reordering, jitter, test() lies).
+  const auto [variant, backend] = GetParam();
+  constexpr int kRanks = 4;
+  const int threads = variant == Variant::kTaskMode ? 3 : 2;
+  EngineOptions engine_options;
+  engine_options.backend = backend;
+  engine_options.retry = test_retry();
+
+  const CsrMatrix a = matgen::random_banded(180, 24, 6, seed(1));
+  const auto x =
+      testutil::random_vector(static_cast<std::size_t>(a.cols()), seed(2));
+  const auto expected = testutil::sequential_reference(a, x);
+
+  minimpi::RuntimeOptions calm;
+  calm.ranks = kRanks;
+  const auto baseline = testutil::distributed_product(a, x, threads, variant,
+                                                      calm, engine_options);
+  ASSERT_LT(testutil::max_abs_diff(baseline, expected), 1e-12);
+
+  const std::uint64_t messages =
+      probe_messages(a, threads, variant, engine_options, kRanks);
+  ASSERT_GT(messages, 1u);
+
+  std::atomic<std::size_t> diagnostics{0};
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    minimpi::RuntimeOptions options;
+    options.ranks = kRanks;
+    options.progress = s % 2 == 0 ? minimpi::ProgressMode::kDeferred
+                                  : minimpi::ProgressMode::kAsync;
+    options.chaos = minimpi::ChaosConfig::standard(seed(100 + s));
+    options.chaos.failure_mode = minimpi::ChaosConfig::FailureMode::kTransient;
+    options.chaos.fail_transfer_index = messages * s / 20;
+    options.validate.enabled = true;
+    options.validate.on_diagnostic =
+        [&](const minimpi::Diagnostic&) { ++diagnostics; };
+    const auto chaotic = testutil::distributed_product(
+        a, x, threads, variant, options, engine_options);
+    ASSERT_EQ(chaotic, baseline)
+        << "chaos seed " << options.chaos.seed << ", fail index "
+        << options.chaos.fail_transfer_index;
+  }
+  EXPECT_EQ(diagnostics.load(), 0u);
+}
+
+TEST_P(EngineRecoverPair, PermanentDeathShrinkRebuildMatchesCalmRun) {
+  // One rank dies mid-run. Survivors must observe FaultError{kPermanent},
+  // shrink, deterministically repartition, and then compute bit-for-bit
+  // what a calm run at the survivor count computes. The validator rides
+  // along: recovery must produce zero diagnostics (no leak/deadlock false
+  // positives from the dead rank's traffic).
+  const auto [variant, backend] = GetParam();
+  constexpr int kRanks = 4;
+  constexpr int kVictim = 1;
+  const int threads = variant == Variant::kTaskMode ? 3 : 2;
+  EngineOptions engine_options;
+  engine_options.backend = backend;
+  engine_options.retry = test_retry();
+
+  const CsrMatrix a = matgen::random_banded(160, 20, 5, seed(3));
+  const auto x =
+      testutil::random_vector(static_cast<std::size_t>(a.cols()), seed(4));
+  const auto expected = testutil::sequential_reference(a, x);
+
+  std::atomic<std::size_t> diagnostics{0};
+  minimpi::RuntimeOptions options;
+  options.ranks = kRanks;
+  options.validate.enabled = true;
+  options.validate.on_diagnostic =
+      [&](const minimpi::Diagnostic&) { ++diagnostics; };
+
+  std::vector<value_t> result(static_cast<std::size_t>(a.rows()), 0.0);
+  std::mutex result_mutex;
+  minimpi::run(options, [&](minimpi::Comm& comm) {
+    RecoverableSpmv op(comm, a, threads, variant, engine_options);
+    DistVector xd = op.make_vector();
+    DistVector yd = op.make_vector();
+    try {
+      xd.assign_from_global(x, op.matrix().row_begin());
+      op.apply(xd, yd);  // pre-failure apply on the full world
+      if (comm.rank() == kVictim) comm.simulate_rank_failure();
+      // The revocation may land while a slower survivor is still inside
+      // its own first apply, or only once it waits in the barrier for the
+      // member that will never arrive — either way it must be a
+      // permanent FaultError, never a hang.
+      comm.barrier();
+      ADD_FAILURE() << "rank " << comm.rank()
+                    << " observed no fault after the death";
+      return;
+    } catch (const minimpi::FaultError& fault) {
+      EXPECT_EQ(fault.kind(), minimpi::FaultKind::kPermanent);
+      if (comm.rank() == kVictim) {
+        EXPECT_EQ(fault.rank(), kVictim);
+        return;  // dead: must not abort the board via run()'s rethrow
+      }
+    }
+
+    op.shrink_and_rebuild();
+    EXPECT_EQ(op.comm().size(), kRanks - 1);
+    // Every survivor re-derives the partition locally — no coordination.
+    const auto boundaries = partition_rows(
+        a, kRanks - 1, PartitionStrategy::kBalancedNonzeros);
+    ASSERT_EQ(op.boundaries().size(), boundaries.size());
+    for (std::size_t i = 0; i < boundaries.size(); ++i) {
+      EXPECT_EQ(op.boundaries()[i], boundaries[i]);
+    }
+
+    xd = op.make_vector();
+    yd = op.make_vector();
+    xd.assign_from_global(x, op.matrix().row_begin());
+    op.apply(xd, yd);
+    std::lock_guard<std::mutex> lock(result_mutex);
+    for (sparse::index_t i = 0; i < op.matrix().owned_rows(); ++i) {
+      result[static_cast<std::size_t>(op.matrix().row_begin() + i)] =
+          yd.owned()[static_cast<std::size_t>(i)];
+    }
+  });
+
+  EXPECT_LT(testutil::max_abs_diff(result, expected), 1e-12);
+  // Determinism of the rebuilt pipeline: identical bits to a world that
+  // was born with kRanks - 1 members.
+  minimpi::RuntimeOptions calm;
+  calm.ranks = kRanks - 1;
+  EXPECT_EQ(result, testutil::distributed_product(a, x, threads, variant, calm,
+                                                  engine_options));
+  EXPECT_EQ(diagnostics.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsTimesBackends, EngineRecoverPair,
+    ::testing::Combine(::testing::Values(Variant::kVectorNoOverlap,
+                                         Variant::kVectorNaiveOverlap,
+                                         Variant::kTaskMode),
+                       ::testing::Values(LocalBackend::kCsr,
+                                         LocalBackend::kSell)));
+
+TEST_F(EngineRecover, TransientRetriesAreCountedInTimings) {
+  constexpr int kRanks = 4;
+  const CsrMatrix a = matgen::random_banded(120, 16, 4, seed(5));
+  const auto x =
+      testutil::random_vector(static_cast<std::size_t>(a.cols()), seed(6));
+  const auto expected = testutil::sequential_reference(a, x);
+  EngineOptions engine_options;
+  engine_options.retry = test_retry();
+
+  minimpi::RuntimeOptions options;
+  options.ranks = kRanks;
+  options.chaos.enabled = true;
+  options.chaos.seed = seed(7);
+  options.chaos.match_hold_probability = 0.0;
+  options.chaos.reorder_probability = 0.0;
+  options.chaos.barrier_jitter_probability = 0.0;
+  options.chaos.spurious_test_probability = 0.0;
+  options.chaos.failure_mode = minimpi::ChaosConfig::FailureMode::kTransient;
+  options.chaos.fail_transfer_index = 0;
+
+  std::atomic<std::int64_t> retries{0};
+  std::vector<value_t> result(static_cast<std::size_t>(a.rows()), 0.0);
+  std::mutex result_mutex;
+  minimpi::run(options, [&](minimpi::Comm& comm) {
+    const auto boundaries = partition_rows(
+        a, comm.size(), PartitionStrategy::kBalancedNonzeros);
+    DistMatrix dist(comm, a, boundaries);
+    DistVector xd(dist), yd(dist);
+    xd.assign_from_global(x, dist.row_begin());
+    SpmvEngine engine(dist, 2, Variant::kVectorNoOverlap, engine_options);
+    const Timings t = engine.apply(xd, yd);
+    retries.fetch_add(t.retries);
+    std::lock_guard<std::mutex> lock(result_mutex);
+    for (sparse::index_t i = 0; i < dist.owned_rows(); ++i) {
+      result[static_cast<std::size_t>(dist.row_begin() + i)] =
+          yd.owned()[static_cast<std::size_t>(i)];
+    }
+  });
+  EXPECT_LT(testutil::max_abs_diff(result, expected), 1e-12);
+  EXPECT_GE(retries.load(), 1);
+}
+
+TEST_F(EngineRecover, RetriesExhaustedEscalateAsTransientFault) {
+  // Every repost re-fails (huge fail window): after max_attempts the
+  // engine must give up and rethrow the FaultError with kind kTransient —
+  // bounded-attempt escalation, not an infinite repost loop.
+  constexpr int kRanks = 4;
+  const CsrMatrix a = matgen::random_banded(120, 16, 4, seed(8));
+  const auto x =
+      testutil::random_vector(static_cast<std::size_t>(a.cols()), seed(9));
+  EngineOptions engine_options;
+  engine_options.retry = test_retry();
+  engine_options.retry.max_attempts = 2;
+
+  minimpi::RuntimeOptions options;
+  options.ranks = kRanks;
+  options.chaos.enabled = true;
+  options.chaos.seed = seed(10);
+  options.chaos.match_hold_probability = 0.0;
+  options.chaos.reorder_probability = 0.0;
+  options.chaos.barrier_jitter_probability = 0.0;
+  options.chaos.spurious_test_probability = 0.0;
+  options.chaos.failure_mode = minimpi::ChaosConfig::FailureMode::kTransient;
+  options.chaos.fail_transfer_index = 0;
+  options.chaos.fail_transfer_count = 1u << 20;
+
+  std::atomic<int> transient_throwers{0};
+  EXPECT_THROW(
+      minimpi::run(options,
+                   [&](minimpi::Comm& comm) {
+                     const auto boundaries = partition_rows(
+                         a, comm.size(),
+                         PartitionStrategy::kBalancedNonzeros);
+                     DistMatrix dist(comm, a, boundaries);
+                     DistVector xd(dist), yd(dist);
+                     xd.assign_from_global(x, dist.row_begin());
+                     SpmvEngine engine(dist, 2, Variant::kVectorNoOverlap,
+                                       engine_options);
+                     try {
+                       engine.apply(xd, yd);
+                       comm.barrier();
+                     } catch (const minimpi::FaultError& fault) {
+                       if (fault.kind() == minimpi::FaultKind::kTransient) {
+                         transient_throwers.fetch_add(1);
+                       }
+                       throw;
+                     }
+                   }),
+      std::runtime_error);
+  EXPECT_GE(transient_throwers.load(), 1);
+}
+
+TEST_F(EngineRecover, HeartbeatDeclaresSilentRankDead) {
+  // A rank that stops participating without an error (returns from its
+  // rank_main) must be declared dead by the failure detector, not hang
+  // its peers: the halo wait throws FaultError{kPermanent, victim}, and
+  // the survivors can shrink and carry on.
+  constexpr int kRanks = 3;
+  constexpr int kVictim = 2;
+  const CsrMatrix a = matgen::random_banded(90, 12, 4, seed(11));
+  const auto x =
+      testutil::random_vector(static_cast<std::size_t>(a.cols()), seed(12));
+
+  minimpi::RuntimeOptions options;
+  options.ranks = kRanks;
+  // Generous timeout: detection latency is all it costs, while a tight
+  // one risks declaring a merely descheduled rank dead on loaded or
+  // sanitizer-slowed machines.
+  options.heartbeat_timeout_seconds = 1.5;
+
+  std::atomic<int> permanent_faults{0};
+  minimpi::run(options, [&](minimpi::Comm& comm) {
+    RecoverableSpmv op(comm, a, 2, Variant::kVectorNoOverlap);
+    DistVector xd = op.make_vector();
+    DistVector yd = op.make_vector();
+    try {
+      xd.assign_from_global(x, op.matrix().row_begin());
+      op.apply(xd, yd);
+      if (comm.rank() == kVictim) return;  // silent death: no error
+
+      xd.assign_from_global(x, op.matrix().row_begin());
+      op.apply(xd, yd);
+      // A survivor not adjacent to the victim may finish this apply; the
+      // barrier then faces the dead member directly.
+      comm.barrier();
+      ADD_FAILURE() << "silent death went undetected";
+      return;
+    } catch (const minimpi::FaultError& fault) {
+      EXPECT_EQ(fault.kind(), minimpi::FaultKind::kPermanent);
+      permanent_faults.fetch_add(1);
+    }
+    op.shrink_and_rebuild();
+    EXPECT_EQ(op.comm().size(), kRanks - 1);
+    EXPECT_EQ(op.comm().allreduce(1, minimpi::ReduceOp::kSum), kRanks - 1);
+  });
+  EXPECT_EQ(permanent_faults.load(), kRanks - 1);
+}
+
+}  // namespace
+}  // namespace hspmv::spmv
