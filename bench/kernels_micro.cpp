@@ -135,6 +135,49 @@ void BM_SpmvSellParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmvSellParallel)->Arg(1)->Arg(2)->Arg(4);
 
+/// EXP-K2 — blocked multi-RHS (SpMM) sweep over K right-hand sides,
+/// K in {1, 2, 4, 8, 16}. GFlop/s counts 2*nnz*K flops per iteration, so
+/// dividing by K gives effective per-vector throughput: the measured
+/// counterpart of B_CRS / B_SpMM(K) (perfmodel::spmm_speedup_bound).
+/// The matrix is sized well past cache (Nnzr = 15 at 2^20 rows, ~190 MB
+/// of CRS arrays) so the K = 1 baseline is genuinely bandwidth-bound.
+void BM_SpmmCrs(benchmark::State& state) {
+  const auto a = bench_matrix(1 << 20, 15);
+  const auto k = static_cast<int>(state.range(0));
+  const auto b = random_vector(static_cast<std::size_t>(a.cols()) *
+                               static_cast<std::size_t>(k));
+  util::AlignedVector<value_t> c(static_cast<std::size_t>(a.rows()) *
+                                 static_cast<std::size_t>(k));
+  for (auto _ : state) {
+    sparse::spmm(a, k, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, 2.0 * static_cast<double>(a.nnz()) *
+                        static_cast<double>(k));
+  state.counters["K"] = static_cast<double>(k);
+}
+BENCHMARK(BM_SpmmCrs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/// SELL-C-sigma blocked sweep, same K axis (the format Kreutzer et al.
+/// designed with blocked RHS in mind).
+void BM_SpmmSell(benchmark::State& state) {
+  const auto a = bench_matrix(1 << 20, 15);
+  const auto s = sparse::SellMatrix::from_csr(a, 32, 256);
+  const auto k = static_cast<int>(state.range(0));
+  const auto b = random_vector(static_cast<std::size_t>(a.cols()) *
+                               static_cast<std::size_t>(k));
+  util::AlignedVector<value_t> c(static_cast<std::size_t>(a.rows()) *
+                                 static_cast<std::size_t>(k));
+  for (auto _ : state) {
+    s.spmm(k, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, 2.0 * static_cast<double>(a.nnz()) *
+                        static_cast<double>(k));
+  state.counters["K"] = static_cast<double>(k);
+}
+BENCHMARK(BM_SpmmSell)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
 void BM_SpmvLowNnzr(benchmark::State& state) {
   // The sAMG-like regime: Nnzr ~ 7 has a higher relative index overhead.
   const auto a =

@@ -23,10 +23,11 @@ if [[ ! -x "${bin}" ]]; then
   exit 1
 fi
 
-# Thread-scaling kernels (1/2/4 threads) and the gather pair. Medians
-# over repetitions land in the JSON as *_median aggregate entries.
+# Thread-scaling kernels (1/2/4 threads), the gather pair, and the
+# blocked-SpMM K-sweep (K = 1/2/4/8/16 right-hand sides). Medians over
+# repetitions land in the JSON as *_median aggregate entries.
 "${bin}" \
-  --benchmark_filter='(Parallel|HaloGather)' \
+  --benchmark_filter='(Parallel|HaloGather|Spmm)' \
   --benchmark_repetitions="${reps}" \
   --benchmark_report_aggregates_only=true \
   --benchmark_out="${out}" \
@@ -72,5 +73,55 @@ EOF
 if [[ "${status}" -ne 0 && "${BENCH_SMOKE_STRICT:-0}" == "1" ]]; then
   echo "bench_smoke: STRICT mode — gather comparison failed" >&2
   exit "${status}"
+fi
+
+# SpMM K-sweep: per-vector speedup of the blocked kernel over K=1.
+# Streaming the matrix once for K right-hand sides amortizes its
+# traffic, so per-vector time t_K/K should fall as K grows
+# (B_SpMM(K) = 6/K + 12/Nnzr + kappa/2 per vector vs Eq. 1's
+# 6 + 12/Nnzr + kappa/2). The K=8 point is the acceptance bar:
+# per-vector speedup >= 1.5x over K=1.
+spmm_status=0
+python3 - "${out}" <<'EOF' || spmm_status=$?
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+medians = {
+    b["name"]: b["real_time"]
+    for b in data["benchmarks"]
+    if b.get("aggregate_name") == "median"
+}
+
+ok = True
+for bench in ("BM_SpmmCrs", "BM_SpmmSell"):
+    t1 = medians.get(f"{bench}/1_median")
+    if t1 is None:
+        print(f"bench_smoke: {bench}/1 median missing from JSON",
+              file=sys.stderr)
+        sys.exit(2)
+    row = []
+    speedup8 = None
+    for k in (2, 4, 8, 16):
+        tk = medians.get(f"{bench}/{k}_median")
+        if tk is None:
+            continue
+        # Per-vector speedup: K vectors in t_K vs K runs of t_1.
+        speedup = (t1 * k) / tk
+        row.append(f"K={k}: {speedup:.2f}x")
+        if k == 8:
+            speedup8 = speedup
+    print(f"{bench} per-vector speedup vs K=1: " + ", ".join(row))
+    if speedup8 is not None and speedup8 < 1.5:
+        print(f"bench_smoke: {bench} K=8 per-vector speedup "
+              f"{speedup8:.2f}x < 1.5x target", file=sys.stderr)
+        ok = False
+sys.exit(0 if ok else 3)
+EOF
+
+if [[ "${spmm_status}" -ne 0 && "${BENCH_SMOKE_STRICT:-0}" == "1" ]]; then
+  echo "bench_smoke: STRICT mode — SpMM K-sweep check failed" >&2
+  exit "${spmm_status}"
 fi
 exit 0

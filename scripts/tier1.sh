@@ -31,6 +31,11 @@ sanitizer_lane() {
   # following -LE flag as its argument and silently drop the exclusion.
   ctest --test-dir "${lane_dir}" --output-on-failure -j "$(nproc)" \
     -LE bench-smoke
+  # Dedicated pass over the blocked-SpMM suites: the bitwise
+  # variant x backend x K equivalence claims must hold under the
+  # sanitizers too (TSan especially — the K-wide halo exchange and
+  # blocked kernels are new cross-thread surface).
+  ctest --test-dir "${lane_dir}" --output-on-failure -L spmm
 }
 
 case "${1:-}" in

@@ -422,8 +422,13 @@ bool Board::complete_due_locked(int rank, Clock::time_point now,
   for (auto it = in_flight_.begin(); it != in_flight_.end();) {
     if (involves(*it, rank) && it->deadline <= now) {
       if (it->bytes > 0) std::memcpy(it->dst, it->src, it->bytes);
-      it->send_request->complete = true;
-      it->send_request->transferred_bytes = it->bytes;
+      if (it->eager_copy == nullptr) {
+        // An eager send completed at post time; the sender may already
+        // have waited on it and read these fields outside the board
+        // mutex, so rewriting them here would race with that read.
+        it->send_request->complete = true;
+        it->send_request->transferred_bytes = it->bytes;
+      }
       it->recv_request->complete = true;
       it->recv_request->transferred_bytes = it->bytes;
       ++transferred_messages_;

@@ -38,7 +38,11 @@ struct CommState;
 
 /// Completion state shared between a Request handle and the board.
 struct RequestState {
-  bool complete = false;
+  /// Atomic so completion may be polled without the board mutex (the
+  /// async progress thread completes transfers while user ranks spin on
+  /// `test()`-style checks); all other fields are only written before
+  /// `complete` is set and read after it is observed true.
+  std::atomic<bool> complete{false};
   bool active = false;  ///< posted and not yet waited to completion
   std::size_t transferred_bytes = 0;
   int matched_tag = 0;     ///< actual tag (for kAnyTag receives)

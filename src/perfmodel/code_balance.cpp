@@ -44,6 +44,40 @@ double split_sell_code_balance(double nnzr, double kappa,
   return 6.0 * padding_ratio + 20.0 / nnzr + kappa / 2.0;
 }
 
+namespace {
+void check_block_width(double block_width) {
+  if (block_width < 1.0) {
+    throw std::invalid_argument("code balance: block width must be >= 1");
+  }
+}
+}  // namespace
+
+double spmm_code_balance(double nnzr, double kappa, double block_width) {
+  check_nnzr(nnzr);
+  check_block_width(block_width);
+  return 6.0 / block_width + 12.0 / nnzr + kappa / 2.0;
+}
+
+double split_spmm_code_balance(double nnzr, double kappa,
+                               double block_width) {
+  check_nnzr(nnzr);
+  check_block_width(block_width);
+  return 6.0 / block_width + 20.0 / nnzr + kappa / 2.0;
+}
+
+double sell_spmm_code_balance(double nnzr, double kappa,
+                              double padding_ratio, double block_width) {
+  check_nnzr(nnzr);
+  check_padding(padding_ratio);
+  check_block_width(block_width);
+  return 6.0 * padding_ratio / block_width + 12.0 / nnzr + kappa / 2.0;
+}
+
+double spmm_speedup_bound(double nnzr, double kappa, double block_width) {
+  return crs_code_balance(nnzr, kappa) /
+         spmm_code_balance(nnzr, kappa, block_width);
+}
+
 double performance_bound(double bandwidth_bytes_per_s, double balance) {
   if (balance <= 0.0) {
     throw std::invalid_argument("performance_bound: balance must be > 0");

@@ -31,6 +31,32 @@ double sell_code_balance(double nnzr, double kappa, double padding_ratio);
 double split_sell_code_balance(double nnzr, double kappa,
                                double padding_ratio);
 
+/// Blocked multi-RHS (SpMM) code balance, per right-hand side: with K
+/// columns resident in one row-major block, the matrix streams (val +
+/// col_idx, the 6 bytes/flop term) are loaded once per block instead of
+/// once per vector, while each column still pays its own B load, C
+/// write-allocate + evict, and kappa traffic:
+///   B_SpMM(K) = 6/K + 12/Nnzr + kappa/2   [bytes/flop per vector].
+/// K = 1 recovers Eq. (1); K -> inf leaves only the vector floor
+/// 12/Nnzr + kappa/2 — the model behind the engine's blocked apply.
+double spmm_code_balance(double nnzr, double kappa, double block_width);
+
+/// Split (local/non-local) blocked kernel: the second C sweep is per
+/// column, so the 8/Nnzr penalty of Eq. (2) does not amortize:
+///   B_split_SpMM(K) = 6/K + 20/Nnzr + kappa/2.
+double split_spmm_code_balance(double nnzr, double kappa,
+                               double block_width);
+
+/// SELL-C-sigma blocked kernel: the padded slot streams amortize like
+/// the CRS arrays (they are the same 6 bytes/flop scaled by beta):
+///   B_SELL_SpMM(K) = 6*beta/K + 12/Nnzr + kappa/2.
+double sell_spmm_code_balance(double nnzr, double kappa,
+                              double padding_ratio, double block_width);
+
+/// Model-predicted per-vector speedup of a K-wide blocked apply over
+/// K = 1 in the bandwidth-bound limit: B_CRS / B_SpMM(K).
+double spmm_speedup_bound(double nnzr, double kappa, double block_width);
+
 /// Bandwidth-limited performance bound in flop/s:
 /// bandwidth [bytes/s] / balance [bytes/flop].
 double performance_bound(double bandwidth_bytes_per_s, double balance);

@@ -304,6 +304,134 @@ void SellMatrix::spmv_nonlocal_chunks(index_t local_cols, index_t chunk_begin,
   }
 }
 
+void SellMatrix::spmm(int width, std::span<const value_t> x,
+                      std::span<value_t> y) const {
+  if (width < 1) {
+    throw std::invalid_argument("SellMatrix::spmm: width must be >= 1");
+  }
+  if (x.size() < static_cast<std::size_t>(cols_) *
+                     static_cast<std::size_t>(width) ||
+      y.size() < static_cast<std::size_t>(rows_) *
+                     static_cast<std::size_t>(width)) {
+    throw std::invalid_argument("SellMatrix::spmm: block size mismatch");
+  }
+  spmm_chunks(width, 0, chunk_count(), x, y);
+}
+
+void SellMatrix::spmm_chunks(int width, index_t chunk_begin,
+                             index_t chunk_end, std::span<const value_t> x,
+                             std::span<value_t> y) const {
+  const index_t* __restrict col = col_.data();
+  const value_t* __restrict val = val_.data();
+  const value_t* __restrict xp = x.data();
+  value_t* __restrict yp = y.data();
+  const auto k = static_cast<std::size_t>(width);
+  util::AlignedVector<value_t> sums(static_cast<std::size_t>(chunk_), 0.0);
+  // Column-outer per chunk: each RHS column replays spmv_chunks' exact
+  // slot-major accumulation, so column q is bitwise spmv on column q.
+  for (index_t c = chunk_begin; c < chunk_end; ++c) {
+    const index_t base = c * static_cast<index_t>(chunk_);
+    const offset_t offset = chunk_offsets_[static_cast<std::size_t>(c)];
+    const index_t chunk_width = chunk_widths_[static_cast<std::size_t>(c)];
+    const int rows_in_chunk =
+        static_cast<int>(std::min<index_t>(static_cast<index_t>(chunk_),
+                                           rows_ - base));
+    for (std::size_t q = 0; q < k; ++q) {
+      for (int r = 0; r < rows_in_chunk; ++r) {
+        sums[static_cast<std::size_t>(r)] = 0.0;
+      }
+      for (index_t j = 0; j < chunk_width; ++j) {
+        const offset_t slot0 = offset + static_cast<offset_t>(j) * chunk_;
+        for (int r = 0; r < rows_in_chunk; ++r) {
+          sums[static_cast<std::size_t>(r)] +=
+              val[slot0 + r] *
+              xp[static_cast<std::size_t>(col[slot0 + r]) * k + q];
+        }
+      }
+      for (int r = 0; r < rows_in_chunk; ++r) {
+        yp[static_cast<std::size_t>(
+               permutation_[static_cast<std::size_t>(base + r)]) *
+               k +
+           q] = sums[static_cast<std::size_t>(r)];
+      }
+    }
+  }
+}
+
+void SellMatrix::spmm_local_chunks(index_t local_cols, int width,
+                                   index_t chunk_begin, index_t chunk_end,
+                                   std::span<const value_t> x,
+                                   std::span<value_t> y) const {
+  const index_t* __restrict col = col_.data();
+  const value_t* __restrict val = val_.data();
+  const value_t* __restrict xp = x.data();
+  value_t* __restrict yp = y.data();
+  const auto k = static_cast<std::size_t>(width);
+  for (index_t c = chunk_begin; c < chunk_end; ++c) {
+    const index_t base = c * static_cast<index_t>(chunk_);
+    const offset_t offset = chunk_offsets_[static_cast<std::size_t>(c)];
+    const int rows_in_chunk =
+        static_cast<int>(std::min<index_t>(static_cast<index_t>(chunk_),
+                                           rows_ - base));
+    for (int r = 0; r < rows_in_chunk; ++r) {
+      const index_t len = row_lengths_[static_cast<std::size_t>(base + r)];
+      const index_t split =
+          strided_split(col, offset, chunk_, r, len, local_cols);
+      const std::size_t out = static_cast<std::size_t>(
+                                  permutation_[static_cast<std::size_t>(
+                                      base + r)]) *
+                              k;
+      for (std::size_t q = 0; q < k; ++q) {
+        value_t sum = 0.0;
+        for (index_t j = 0; j < split; ++j) {
+          const offset_t slot =
+              offset + static_cast<offset_t>(j) * chunk_ + r;
+          sum += val[slot] * xp[static_cast<std::size_t>(col[slot]) * k + q];
+        }
+        yp[out + q] = sum;
+      }
+    }
+  }
+}
+
+void SellMatrix::spmm_nonlocal_chunks(index_t local_cols, int width,
+                                      index_t chunk_begin, index_t chunk_end,
+                                      std::span<const value_t> x,
+                                      std::span<value_t> y) const {
+  const index_t* __restrict col = col_.data();
+  const value_t* __restrict val = val_.data();
+  const value_t* __restrict xp = x.data();
+  value_t* __restrict yp = y.data();
+  const auto k = static_cast<std::size_t>(width);
+  for (index_t c = chunk_begin; c < chunk_end; ++c) {
+    const index_t base = c * static_cast<index_t>(chunk_);
+    const offset_t offset = chunk_offsets_[static_cast<std::size_t>(c)];
+    const int rows_in_chunk =
+        static_cast<int>(std::min<index_t>(static_cast<index_t>(chunk_),
+                                           rows_ - base));
+    for (int r = 0; r < rows_in_chunk; ++r) {
+      const index_t len = row_lengths_[static_cast<std::size_t>(base + r)];
+      const index_t split =
+          strided_split(col, offset, chunk_, r, len, local_cols);
+      // Same skip as spmv_nonlocal_chunks, per row across all columns.
+      if (split == len) continue;
+      const std::size_t out = static_cast<std::size_t>(
+                                  permutation_[static_cast<std::size_t>(
+                                      base + r)]) *
+                              k;
+      for (std::size_t q = 0; q < k; ++q) {
+        value_t sum = 0.0;
+        for (index_t j = split; j < len; ++j) {
+          const offset_t slot =
+              offset + static_cast<offset_t>(j) * chunk_ + r;
+          sum += val[slot] * xp[static_cast<std::size_t>(col[slot]) * k + q];
+        }
+        yp[out + q] += sum;
+      }
+    }
+  }
+}
+
 void SellMatrix::spmv_local_parallel(index_t local_cols,
                                      std::span<const value_t> x,
                                      std::span<value_t> y,

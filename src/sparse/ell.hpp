@@ -129,6 +129,24 @@ class SellMatrix {
                             index_t chunk_end, std::span<const value_t> x,
                             std::span<value_t> y) const;
 
+  /// Blocked multi-RHS (SpMM) sweeps: x and y hold `width` interleaved
+  /// columns per row (element (row, q) at row*width + q). Column q runs
+  /// in exactly the slot-major accumulation order of the spmv kernels,
+  /// so SpMM column q is bitwise spmv on column q. Chunk slots stay
+  /// cache-resident across the width passes — the matrix's padded
+  /// streams amortize over the block (6*beta/K term of B_SpMM).
+  void spmm(int width, std::span<const value_t> x,
+            std::span<value_t> y) const;
+  void spmm_chunks(int width, index_t chunk_begin, index_t chunk_end,
+                   std::span<const value_t> x, std::span<value_t> y) const;
+  void spmm_local_chunks(index_t local_cols, int width, index_t chunk_begin,
+                         index_t chunk_end, std::span<const value_t> x,
+                         std::span<value_t> y) const;
+  void spmm_nonlocal_chunks(index_t local_cols, int width,
+                            index_t chunk_begin, index_t chunk_end,
+                            std::span<const value_t> x,
+                            std::span<value_t> y) const;
+
   /// Thread-parallel split phases (same chunk distribution as
   /// spmv_parallel, so both phases of a row land on the same thread).
   void spmv_local_parallel(index_t local_cols, std::span<const value_t> x,

@@ -41,6 +41,44 @@ inline value_t row_dot(const value_t* __restrict val,
   return (s0 + s1) + (s2 + s3);
 }
 
+/// row_dot against one column of a row-major `stride`-column block: b
+/// points at column q's first element (block base + q) and entry col[j]
+/// of the column lives at b[col[j] * stride]. Same four accumulators,
+/// same unroll, same (s0 + s1) + (s2 + s3) reduction as row_dot, so the
+/// result is bitwise-identical to row_dot on the extracted column.
+inline value_t row_dot_strided(const value_t* __restrict val,
+                               const index_t* __restrict col,
+                               const value_t* __restrict b, offset_t begin,
+                               offset_t end, index_t stride) {
+  const auto k = static_cast<std::size_t>(stride);
+  value_t s0 = 0.0;
+  value_t s1 = 0.0;
+  value_t s2 = 0.0;
+  value_t s3 = 0.0;
+  offset_t j = begin;
+  for (; j + 4 <= end; j += 4) {
+    s0 += val[j] * b[static_cast<std::size_t>(col[j]) * k];
+    s1 += val[j + 1] * b[static_cast<std::size_t>(col[j + 1]) * k];
+    s2 += val[j + 2] * b[static_cast<std::size_t>(col[j + 2]) * k];
+    s3 += val[j + 3] * b[static_cast<std::size_t>(col[j + 3]) * k];
+  }
+  for (; j < end; ++j) {
+    s0 += val[j] * b[static_cast<std::size_t>(col[j]) * k];
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+void check_block_shapes(const CsrView& a, index_t cols, int width,
+                        std::span<const value_t> b, std::span<value_t> c) {
+  if (width < 1) throw std::invalid_argument("spmm: width must be >= 1");
+  if (b.size() < static_cast<std::size_t>(cols) *
+                     static_cast<std::size_t>(width) ||
+      c.size() < static_cast<std::size_t>(a.rows()) *
+                     static_cast<std::size_t>(width)) {
+    throw std::invalid_argument("spmm: block size mismatch");
+  }
+}
+
 /// First entry of row range [begin, end) with column >= local_cols.
 /// Rows are column-sorted (the split kernels' invariant), so this is a
 /// binary search.
@@ -173,6 +211,76 @@ void spmv_nonlocal_rows(const CsrView& a, index_t local_cols,
     // touching C(i) when the row has nothing to contribute.
     if (split == end) continue;
     y[i] += row_dot(val, col, x, split, end);
+  }
+}
+
+void spmm(const CsrMatrix& a, int width, std::span<const value_t> b,
+          std::span<value_t> c) {
+  check_block_shapes(view(a), a.cols(), width, b, c);
+  spmm_rows(view(a), width, 0, a.rows(), b, c);
+}
+
+void spmm_rows(const CsrView& a, int width, index_t row_begin,
+               index_t row_end, std::span<const value_t> b,
+               std::span<value_t> c) {
+  const offset_t* __restrict row_ptr = a.row_ptr.data();
+  const index_t* __restrict col = a.col_idx.data();
+  const value_t* __restrict val = a.val.data();
+  const value_t* __restrict x = b.data();
+  value_t* __restrict y = c.data();
+  const auto k = static_cast<std::size_t>(width);
+  // Column-outer per row: the row's val/col entries stay in L1 across
+  // the k passes, so the matrix streams from memory once per block.
+  for (index_t i = row_begin; i < row_end; ++i) {
+    const offset_t begin = row_ptr[i];
+    const offset_t end = row_ptr[i + 1];
+    const std::size_t base = static_cast<std::size_t>(i) * k;
+    for (std::size_t q = 0; q < k; ++q) {
+      y[base + q] = row_dot_strided(val, col, x + q, begin, end, width);
+    }
+  }
+}
+
+void spmm_local_rows(const CsrView& a, index_t local_cols, int width,
+                     index_t row_begin, index_t row_end,
+                     std::span<const value_t> b, std::span<value_t> c) {
+  const offset_t* __restrict row_ptr = a.row_ptr.data();
+  const index_t* __restrict col = a.col_idx.data();
+  const value_t* __restrict val = a.val.data();
+  const value_t* __restrict x = b.data();
+  value_t* __restrict y = c.data();
+  const auto k = static_cast<std::size_t>(width);
+  for (index_t i = row_begin; i < row_end; ++i) {
+    const offset_t begin = row_ptr[i];
+    const offset_t split = split_point(a.col_idx, begin, row_ptr[i + 1],
+                                       local_cols);
+    const std::size_t base = static_cast<std::size_t>(i) * k;
+    for (std::size_t q = 0; q < k; ++q) {
+      y[base + q] = row_dot_strided(val, col, x + q, begin, split, width);
+    }
+  }
+}
+
+void spmm_nonlocal_rows(const CsrView& a, index_t local_cols, int width,
+                        index_t row_begin, index_t row_end,
+                        std::span<const value_t> b, std::span<value_t> c) {
+  const offset_t* __restrict row_ptr = a.row_ptr.data();
+  const index_t* __restrict col = a.col_idx.data();
+  const value_t* __restrict val = a.val.data();
+  const value_t* __restrict x = b.data();
+  value_t* __restrict y = c.data();
+  const auto k = static_cast<std::size_t>(width);
+  for (index_t i = row_begin; i < row_end; ++i) {
+    const offset_t end = row_ptr[i + 1];
+    const offset_t split =
+        split_point(a.col_idx, row_ptr[i], end, local_cols);
+    // Same skip as spmv_nonlocal_rows: a row without non-local entries
+    // costs no C traffic in any column.
+    if (split == end) continue;
+    const std::size_t base = static_cast<std::size_t>(i) * k;
+    for (std::size_t q = 0; q < k; ++q) {
+      y[base + q] += row_dot_strided(val, col, x + q, split, end, width);
+    }
   }
 }
 

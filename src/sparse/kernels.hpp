@@ -68,6 +68,31 @@ void spmv_nonlocal_rows(const CsrView& a, index_t local_cols,
                         index_t row_begin, index_t row_end,
                         std::span<const value_t> b, std::span<value_t> c);
 
+/// Blocked multi-RHS (SpMM) kernels: B and C hold `width` interleaved
+/// columns per row — element (row, q) lives at row*width + q (row-major
+/// K-column blocks). Column q is accumulated in exactly the row_dot
+/// order of the spMVM kernels, so SpMM column q is bitwise-identical to
+/// spmv on column q alone. The matrix row is re-traversed once per
+/// column but stays cache-resident across the K passes, amortizing its
+/// DRAM traffic over the block — the B_SpMM(K) = 6/K + 12/Nnzr + kappa/2
+/// model of perfmodel/code_balance.hpp.
+void spmm(const CsrMatrix& a, int width, std::span<const value_t> b,
+          std::span<value_t> c);
+
+/// Row-range SpMM on a raw view (width = 1 is bitwise spmv_rows).
+void spmm_rows(const CsrView& a, int width, index_t row_begin,
+               index_t row_end, std::span<const value_t> b,
+               std::span<value_t> c);
+/// Split SpMM, local phase: columns < local_cols, zeroing C's rows first.
+void spmm_local_rows(const CsrView& a, index_t local_cols, int width,
+                     index_t row_begin, index_t row_end,
+                     std::span<const value_t> b, std::span<value_t> c);
+/// Split SpMM, non-local phase: adds columns >= local_cols; rows without
+/// non-local entries are skipped (Eq. 2's extra C sweep, per column).
+void spmm_nonlocal_rows(const CsrView& a, index_t local_cols, int width,
+                        index_t row_begin, index_t row_end,
+                        std::span<const value_t> b, std::span<value_t> c);
+
 /// Row-range form of the alpha/beta kernel.
 void spmv_general_rows(value_t alpha, const CsrMatrix& a, index_t row_begin,
                        index_t row_end, std::span<const value_t> b,

@@ -74,6 +74,21 @@ class CsrLocalKernel final : public LocalKernel {
                                end(worker), x, y);
   }
 
+  void full_block(int worker, int width, std::span<const value_t> x,
+                  std::span<value_t> y) const override {
+    sparse::spmm_rows(view_, width, begin(worker), end(worker), x, y);
+  }
+  void local_block(int worker, int width, std::span<const value_t> x,
+                   std::span<value_t> y) const override {
+    sparse::spmm_local_rows(view_, local_cols_, width, begin(worker),
+                            end(worker), x, y);
+  }
+  void nonlocal_block(int worker, int width, std::span<const value_t> x,
+                      std::span<value_t> y) const override {
+    sparse::spmm_nonlocal_rows(view_, local_cols_, width, begin(worker),
+                               end(worker), x, y);
+  }
+
   [[nodiscard]] std::vector<std::int64_t> row_boundaries() const override {
     return rows_;
   }
@@ -126,6 +141,21 @@ class SellLocalKernel final : public LocalKernel {
                 std::span<value_t> y) const override {
     matrix_.spmv_nonlocal_chunks(local_cols_, begin(worker), end(worker), x,
                                  y);
+  }
+
+  void full_block(int worker, int width, std::span<const value_t> x,
+                  std::span<value_t> y) const override {
+    matrix_.spmm_chunks(width, begin(worker), end(worker), x, y);
+  }
+  void local_block(int worker, int width, std::span<const value_t> x,
+                   std::span<value_t> y) const override {
+    matrix_.spmm_local_chunks(local_cols_, width, begin(worker), end(worker),
+                              x, y);
+  }
+  void nonlocal_block(int worker, int width, std::span<const value_t> x,
+                      std::span<value_t> y) const override {
+    matrix_.spmm_nonlocal_chunks(local_cols_, width, begin(worker),
+                                 end(worker), x, y);
   }
 
   [[nodiscard]] std::vector<std::int64_t> row_boundaries() const override {
@@ -269,44 +299,70 @@ void SpmvEngine::rebuild(const DistMatrix& matrix) {
                               options_.first_touch ? &team_ : nullptr,
                               party_offset);
   const auto& plan = matrix.plan();
-  send_buffers_.clear();
-  send_buffers_.resize(plan.send_blocks.size());
-  for (std::size_t s = 0; s < send_buffers_.size(); ++s) {
-    // FirstTouchVector: no stores yet, pages stay unmapped until touched.
-    send_buffers_[s].resize(plan.send_blocks[s].gather.size());
-  }
   gather_schedule_ = GatherSchedule(plan, team_.size());
   task_gather_schedule_ = GatherSchedule(plan, compute_threads_);
+  place_send_buffers(send_buffers_, 1);
+  // The blocked buffers belong to the old plan — drop them; the next
+  // blocked apply re-places them lazily.
+  block_send_buffers_.clear();
+  block_width_ = 0;
+}
+
+std::vector<util::FirstTouchVector<value_t>>& SpmvEngine::buffers_for(
+    int width) {
+  return width == 1 ? send_buffers_ : block_send_buffers_;
+}
+
+void SpmvEngine::ensure_block_buffers(int width) {
+  if (width == block_width_) return;
+  place_send_buffers(block_send_buffers_, width);
+  block_width_ = width;
+}
+
+void SpmvEngine::place_send_buffers(
+    std::vector<util::FirstTouchVector<value_t>>& buffers, int width) {
+  const auto& plan = matrix_->plan();
+  const auto k = static_cast<std::int64_t>(width);
+  buffers.clear();
+  buffers.resize(plan.send_blocks.size());
+  for (std::size_t s = 0; s < buffers.size(); ++s) {
+    // FirstTouchVector: no stores yet, pages stay unmapped until touched.
+    buffers[s].resize(plan.send_blocks[s].gather.size() *
+                      static_cast<std::size_t>(width));
+  }
   if (options_.first_touch) {
     // Touch each buffer page from the thread that will gather into it:
     // vector mode follows the full-team schedule, task mode the
-    // workers-only schedule.
+    // workers-only schedule. The schedules stay in element units; value
+    // offsets (claims included) scale by width.
     const auto offsets = send_block_offsets();
-    const std::int64_t total =
-        offsets.empty() ? 0 : offsets.back();
-    range_checker_.begin_phase("first-touch send buffers", total);
+    range_checker_.begin_phase("first-touch send buffers",
+                               offsets.back() * k);
     team_.execute([&](int id) {
       if (variant_ == Variant::kTaskMode) {
         if (id == 0) return;
         task_gather_schedule_.for_party(
             id - 1, [&](std::size_t s, std::int64_t begin, std::int64_t end) {
               range_checker_.claim("first-touch send buffers", id,
-                                   offsets[s] + begin, offsets[s] + end);
-              util::touch_pages(std::span<value_t>(send_buffers_[s]), begin,
-                                end);
+                                   (offsets[s] + begin) * k,
+                                   (offsets[s] + end) * k);
+              util::touch_pages(std::span<value_t>(buffers[s]), begin * k,
+                                end * k);
             });
       } else if (options_.parallel_gather) {
         gather_schedule_.for_party(id, [&](std::size_t s, std::int64_t begin,
                                            std::int64_t end) {
           range_checker_.claim("first-touch send buffers", id,
-                               offsets[s] + begin, offsets[s] + end);
-          util::touch_pages(std::span<value_t>(send_buffers_[s]), begin, end);
+                               (offsets[s] + begin) * k,
+                               (offsets[s] + end) * k);
+          util::touch_pages(std::span<value_t>(buffers[s]), begin * k,
+                            end * k);
         });
       } else if (id == 0) {
-        for (std::size_t s = 0; s < send_buffers_.size(); ++s) {
-          auto& buffer = send_buffers_[s];
-          range_checker_.claim("first-touch send buffers", id, offsets[s],
-                               offsets[s + 1]);
+        for (std::size_t s = 0; s < buffers.size(); ++s) {
+          auto& buffer = buffers[s];
+          range_checker_.claim("first-touch send buffers", id,
+                               offsets[s] * k, offsets[s + 1] * k);
           util::touch_pages(std::span<value_t>(buffer), 0,
                             static_cast<std::int64_t>(buffer.size()));
         }
@@ -315,7 +371,7 @@ void SpmvEngine::rebuild(const DistMatrix& matrix) {
     range_checker_.check("first-touch send buffers");
   } else {
     // Match the historical zero-initialized buffers.
-    for (auto& buffer : send_buffers_) {
+    for (auto& buffer : buffers) {
       std::fill(buffer.begin(), buffer.end(), 0.0);
     }
   }
@@ -356,58 +412,107 @@ DistVector SpmvEngine::make_vector() {
                     variant_ == Variant::kTaskMode ? 1 : 0);
 }
 
-void SpmvEngine::post_recvs(DistVector& x,
+MultiVector SpmvEngine::make_multi_vector(int width) {
+  if (!options_.first_touch) return MultiVector(*matrix_, width);
+  const auto boundaries = kernel_->row_boundaries();
+  if (range_checker_.enabled()) {
+    // Same row-space partition validation as make_vector — the blocked
+    // fill scales the same boundaries by width.
+    range_checker_.begin_phase("first-touch vector", matrix_->owned_rows());
+    for (int w = 0; w < compute_threads_; ++w) {
+      range_checker_.claim("first-touch vector", w,
+                           boundaries[static_cast<std::size_t>(w)],
+                           boundaries[static_cast<std::size_t>(w) + 1]);
+    }
+    range_checker_.check("first-touch vector");
+  }
+  return MultiVector(*matrix_, width, team_, boundaries,
+                     variant_ == Variant::kTaskMode ? 1 : 0);
+}
+
+void SpmvEngine::post_recvs(const ApplyView& v,
                             std::vector<minimpi::Request>& requests) {
-  auto halo = x.halo();
+  const auto k = static_cast<std::size_t>(v.width);
   for (const RecvBlock& block : matrix_->plan().recv_blocks) {
+    // A peer's halo run is contiguous even blocked: K values per element,
+    // elements in halo order — one message, no unpack.
     requests.push_back(matrix_->comm().irecv(
-        halo.subspan(static_cast<std::size_t>(block.halo_offset),
-                     static_cast<std::size_t>(block.count)),
+        v.x_halo.subspan(static_cast<std::size_t>(block.halo_offset) * k,
+                         static_cast<std::size_t>(block.count) * k),
         block.peer));
   }
 }
 
 void SpmvEngine::gather_block(const SendBlock& block,
                               std::span<const value_t> owned,
-                              std::size_t slot) {
-  auto& buffer = send_buffers_[slot];
+                              std::size_t slot, int width) {
+  auto& buffer = buffers_for(width)[slot];
+  const auto k = static_cast<std::size_t>(width);
   for (std::size_t i = 0; i < block.gather.size(); ++i) {
-    buffer[i] = owned[static_cast<std::size_t>(block.gather[i])];
+    const std::size_t src = static_cast<std::size_t>(block.gather[i]) * k;
+    for (std::size_t q = 0; q < k; ++q) {
+      buffer[i * k + q] = owned[src + q];
+    }
   }
 }
 
-void SpmvEngine::post_sends(std::vector<minimpi::Request>& requests) {
+void SpmvEngine::post_sends(const ApplyView& v,
+                            std::vector<minimpi::Request>& requests) {
   const auto& blocks = matrix_->plan().send_blocks;
+  auto& buffers = buffers_for(v.width);
   for (std::size_t s = 0; s < blocks.size(); ++s) {
     requests.push_back(matrix_->comm().isend(
-        std::span<const value_t>(send_buffers_[s].data(),
-                                 send_buffers_[s].size()),
+        std::span<const value_t>(buffers[s].data(), buffers[s].size()),
         blocks[s].peer));
   }
 }
 
-void SpmvEngine::repost_request(DistVector& x,
+void SpmvEngine::kernel_full(int worker, const ApplyView& v) const {
+  if (v.width == 1) {
+    kernel_->full(worker, v.x_full, v.y_owned);
+  } else {
+    kernel_->full_block(worker, v.width, v.x_full, v.y_owned);
+  }
+}
+
+void SpmvEngine::kernel_local(int worker, const ApplyView& v) const {
+  if (v.width == 1) {
+    kernel_->local(worker, v.x_full, v.y_owned);
+  } else {
+    kernel_->local_block(worker, v.width, v.x_full, v.y_owned);
+  }
+}
+
+void SpmvEngine::kernel_nonlocal(int worker, const ApplyView& v) const {
+  if (v.width == 1) {
+    kernel_->nonlocal(worker, v.x_full, v.y_owned);
+  } else {
+    kernel_->nonlocal_block(worker, v.width, v.x_full, v.y_owned);
+  }
+}
+
+void SpmvEngine::repost_request(const ApplyView& v,
                                 std::vector<minimpi::Request>& requests,
                                 std::size_t index) {
   const auto& plan = matrix_->plan();
+  const auto k = static_cast<std::size_t>(v.width);
   const std::size_t recv_count = plan.recv_blocks.size();
   if (index < recv_count) {
     const RecvBlock& block = plan.recv_blocks[index];
-    auto halo = x.halo();
     requests[index] = matrix_->comm().irecv(
-        halo.subspan(static_cast<std::size_t>(block.halo_offset),
-                     static_cast<std::size_t>(block.count)),
+        v.x_halo.subspan(static_cast<std::size_t>(block.halo_offset) * k,
+                         static_cast<std::size_t>(block.count) * k),
         block.peer);
   } else {
     const std::size_t s = index - recv_count;
+    auto& buffers = buffers_for(v.width);
     requests[index] = matrix_->comm().isend(
-        std::span<const value_t>(send_buffers_[s].data(),
-                                 send_buffers_[s].size()),
+        std::span<const value_t>(buffers[s].data(), buffers[s].size()),
         plan.send_blocks[s].peer);
   }
 }
 
-void SpmvEngine::wait_exchange(DistVector& x,
+void SpmvEngine::wait_exchange(const ApplyView& v,
                                std::vector<minimpi::Request>& requests,
                                std::int64_t& retries) {
   const RetryPolicy& policy = options_.retry;
@@ -447,7 +552,7 @@ void SpmvEngine::wait_exchange(DistVector& x,
         if (attempts[i] >= policy.max_attempts) throw;
         std::this_thread::sleep_for(std::chrono::duration<double>(
             policy.backoff_seconds(attempts[i], matrix_->comm().rank())));
-        repost_request(x, requests, i);
+        repost_request(v, requests, i);
         ++attempts[i];
         ++retries;
         progressed = true;
@@ -468,23 +573,28 @@ void SpmvEngine::wait_exchange(DistVector& x,
   }
 }
 
-SpmvEngine::TrafficEstimate SpmvEngine::traffic_estimate() const {
+SpmvEngine::TrafficEstimate SpmvEngine::traffic_estimate(int width) const {
   TrafficEstimate estimate;
   const auto& local = matrix_->local();
   const auto& plan = matrix_->plan();
   const auto nnz = static_cast<double>(local.nnz());
   const auto rows = static_cast<double>(local.rows());
+  const auto k = static_cast<double>(width);
   // Streaming arrays: val (8 B) + col_idx (4 B) per nonzero, row_ptr
-  // (8 B) per row.
+  // (8 B) per row — loaded once per blocked apply regardless of width
+  // (the 6/K amortization of B_SpMM).
   estimate.matrix_bytes = nnz * 12.0 + rows * 8.0;
-  // B loaded at least once (owned + halo), C write-allocate + evict.
+  // B loaded at least once (owned + halo), C write-allocate + evict —
+  // per column.
   estimate.vector_bytes =
-      8.0 * (rows + static_cast<double>(plan.halo_count)) + 16.0 * rows;
+      (8.0 * (rows + static_cast<double>(plan.halo_count)) + 16.0 * rows) *
+      k;
   if (variant_ != Variant::kVectorNoOverlap) {
-    estimate.extra_c_bytes = 16.0 * rows;  // Eq. 2's second C sweep
+    estimate.extra_c_bytes = 16.0 * rows * k;  // Eq. 2's second C sweep
   }
-  estimate.comm_recv_bytes = 8.0 * static_cast<double>(plan.halo_count);
-  estimate.comm_send_bytes = 8.0 * static_cast<double>(plan.send_elements());
+  estimate.comm_recv_bytes = 8.0 * static_cast<double>(plan.halo_count) * k;
+  estimate.comm_send_bytes =
+      8.0 * static_cast<double>(plan.send_elements()) * k;
   estimate.messages = static_cast<int>(plan.recv_blocks.size() +
                                        plan.send_blocks.size());
   return estimate;
@@ -495,57 +605,77 @@ Timings SpmvEngine::apply(DistVector& x, DistVector& y) {
       y.owned_size() != matrix_->owned_rows()) {
     throw std::invalid_argument("SpmvEngine::apply: vector shape mismatch");
   }
+  return apply_view(ApplyView{x.owned(), x.full(), x.halo(), y.owned(), 1});
+}
+
+Timings SpmvEngine::apply(MultiVector& x, MultiVector& y) {
+  if (x.owned_size() != matrix_->owned_rows() ||
+      y.owned_size() != matrix_->owned_rows()) {
+    throw std::invalid_argument("SpmvEngine::apply: block shape mismatch");
+  }
+  if (x.width() != y.width()) {
+    throw std::invalid_argument("SpmvEngine::apply: block width mismatch");
+  }
+  ensure_block_buffers(x.width());
+  return apply_view(
+      ApplyView{x.owned(), x.full(), x.halo(), y.owned(), x.width()});
+}
+
+Timings SpmvEngine::apply_view(const ApplyView& v) {
   Timings t;
   switch (variant_) {
     case Variant::kVectorNoOverlap:
-      t = apply_vector(x, y, /*naive_overlap=*/false);
+      t = apply_vector(v, /*naive_overlap=*/false);
       break;
     case Variant::kVectorNaiveOverlap:
-      t = apply_vector(x, y, /*naive_overlap=*/true);
+      t = apply_vector(v, /*naive_overlap=*/true);
       break;
     case Variant::kTaskMode:
-      t = apply_task_mode(x, y);
+      t = apply_task_mode(v);
       break;
     default:
       throw std::logic_error("SpmvEngine::apply: unknown variant");
   }
-  // Communication volume is fixed by the plan — attach the measured-side
-  // counters to every apply().
+  // Communication volume is fixed by the plan (times the block width) —
+  // attach the measured-side counters to every apply().
   const auto& plan = matrix_->plan();
-  t.halo_elements = static_cast<std::int64_t>(plan.halo_count);
+  const auto k = static_cast<std::int64_t>(v.width);
+  t.halo_elements = static_cast<std::int64_t>(plan.halo_count) * k;
   t.bytes_received =
       t.halo_elements * static_cast<std::int64_t>(sizeof(value_t));
-  t.bytes_sent = static_cast<std::int64_t>(plan.send_elements()) *
+  t.bytes_sent = static_cast<std::int64_t>(plan.send_elements()) * k *
                  static_cast<std::int64_t>(sizeof(value_t));
   t.messages = static_cast<std::int64_t>(plan.recv_blocks.size() +
                                          plan.send_blocks.size());
   return t;
 }
 
-Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
-                                 bool naive_overlap) {
+Timings SpmvEngine::apply_vector(const ApplyView& v, bool naive_overlap) {
   Timings t;
   util::Timer total;
   const auto& plan = matrix_->plan();
+  const auto k = static_cast<std::int64_t>(v.width);
+  auto& buffers = buffers_for(v.width);
 
   std::vector<minimpi::Request> requests;
   requests.reserve(plan.recv_blocks.size() + plan.send_blocks.size());
-  post_recvs(x, requests);
+  post_recvs(v, requests);
 
   // Gather the send buffers "after the receive has been initiated,
   // potentially hiding the cost of copying" (Sect. 3.1). Team-parallel:
   // GatherSchedule splits the flattened element space evenly, so a
   // single dominant peer block spreads across threads instead of
   // serializing. gather_s is the max over participating threads (each
-  // times its own share), matching task mode's semantics.
+  // times its own share), matching task mode's semantics. Blocked
+  // applies copy K contiguous values per element.
   const bool check_ranges = range_checker_.enabled();
   std::vector<std::int64_t> offsets;
   if (check_ranges) {
     offsets = send_block_offsets();
-    range_checker_.begin_phase("gather", offsets.back());
+    range_checker_.begin_phase("gather", offsets.back() * k);
   }
   if (options_.parallel_gather) {
-    const auto owned_span = x.owned();
+    const auto owned_span = v.x_owned;
     std::atomic<double> gather_max{0.0};
     team_.execute([&](int id) {
       if (gather_schedule_.elements_of(id) == 0) return;
@@ -554,15 +684,18 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
       gather_schedule_.for_party(
           id, [&](std::size_t s, std::int64_t begin, std::int64_t end) {
             if (check_ranges) {
-              range_checker_.claim("gather", id, offsets[s] + begin,
-                                   offsets[s] + end);
+              range_checker_.claim("gather", id, (offsets[s] + begin) * k,
+                                   (offsets[s] + end) * k);
             }
             const index_t* __restrict gather =
                 plan.send_blocks[s].gather.data();
             const value_t* __restrict owned = owned_span.data();
-            value_t* __restrict buffer = send_buffers_[s].data();
+            value_t* __restrict buffer = buffers[s].data();
             for (std::int64_t i = begin; i < end; ++i) {
-              buffer[i] = owned[gather[i]];
+              const std::int64_t src = gather[i] * k;
+              for (std::int64_t q = 0; q < k; ++q) {
+                buffer[i * k + q] = owned[src + q];
+              }
             }
           });
       team::atomic_fetch_max(gather_max, timer.seconds());
@@ -577,12 +710,13 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
     // Historical serial loop on thread 0, one block at a time.
     util::Timer timer;
     const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
-    const auto owned_span = x.owned();
+    const auto owned_span = v.x_owned;
     for (std::size_t s = 0; s < plan.send_blocks.size(); ++s) {
       if (check_ranges) {
-        range_checker_.claim("gather", 0, offsets[s], offsets[s + 1]);
+        range_checker_.claim("gather", 0, offsets[s] * k,
+                             offsets[s + 1] * k);
       }
-      gather_block(plan.send_blocks[s], owned_span, s);
+      gather_block(plan.send_blocks[s], owned_span, s, v.width);
     }
     t.gather_s = timer.seconds();
     if (trace_ != nullptr) {
@@ -591,7 +725,7 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
     }
   }
   if (check_ranges) range_checker_.check("gather");
-  post_sends(requests);
+  post_sends(v, requests);
 
   const auto run_phase = [&](auto&& phase, const char* phase_label,
                              char glyph) {
@@ -615,7 +749,7 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
   const auto traced_waitall = [&]() {
     util::Timer timer;
     const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
-    wait_exchange(x, requests, t.retries);
+    wait_exchange(v, requests, t.retries);
     if (trace_ != nullptr) {
       trace_->record(trace_prefix_ + "t0", "MPI_Waitall", trace_begin,
                      trace_->now(), 'W');
@@ -627,21 +761,21 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
     // Fig. 4(a): finish communication, then one full kernel sweep.
     t.comm_s = traced_waitall();
     util::Timer timer;
-    run_phase([&](int id) { kernel_->full(id, x.full(), y.owned()); },
-              "spMVM of all elements", '#');
+    run_phase([&](int id) { kernel_full(id, v); }, "spMVM of all elements",
+              '#');
     t.local_s = timer.seconds();
   } else {
     // Fig. 4(b): local part first — but with deferred progress nothing
     // moves until Waitall.
     {
       util::Timer timer;
-      run_phase([&](int id) { kernel_->local(id, x.full(), y.owned()); },
+      run_phase([&](int id) { kernel_local(id, v); },
                 "spMVM: local elements", '#');
       t.local_s = timer.seconds();
     }
     t.comm_s = traced_waitall();
     util::Timer timer;
-    run_phase([&](int id) { kernel_->nonlocal(id, x.full(), y.owned()); },
+    run_phase([&](int id) { kernel_nonlocal(id, v); },
               "spMVM: non-local elements", 'n');
     t.nonlocal_s = timer.seconds();
   }
@@ -649,14 +783,16 @@ Timings SpmvEngine::apply_vector(DistVector& x, DistVector& y,
   return t;
 }
 
-Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
+Timings SpmvEngine::apply_task_mode(const ApplyView& v) {
   Timings t;
   util::Timer total;
   const auto& plan = matrix_->plan();
+  const auto k = static_cast<std::int64_t>(v.width);
+  auto& buffers = buffers_for(v.width);
 
   std::vector<minimpi::Request> requests;
   requests.reserve(plan.recv_blocks.size() + plan.send_blocks.size());
-  post_recvs(x, requests);
+  post_recvs(v, requests);
 
   // Fig. 4(c): thread 0 is the communication thread. Workers gather the
   // send buffers, hit a barrier (comm thread included, so it may post the
@@ -666,7 +802,7 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
   team::Barrier comm_done(team_.size());
   std::atomic<double> gather_seconds{0.0};
   std::atomic<double> local_seconds{0.0};
-  const auto owned_span = x.owned();
+  const auto owned_span = v.x_owned;
 
   // Two phases are in flight at once: the gather claims are validated by
   // the comm thread right after the gather_done barrier, while the
@@ -676,7 +812,7 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
   std::vector<std::int64_t> offsets;
   if (check_ranges) {
     offsets = send_block_offsets();
-    range_checker_.begin_phase("gather", offsets.back());
+    range_checker_.begin_phase("gather", offsets.back() * k);
     range_checker_.begin_phase("task-mode compute",
                                static_cast<std::int64_t>(
                                    matrix_->owned_rows()));
@@ -693,8 +829,8 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
       // comm_done barrier: arrive first, rethrow after.
       std::exception_ptr comm_error;
       try {
-        post_sends(requests);
-        wait_exchange(x, requests, t.retries);
+        post_sends(v, requests);
+        wait_exchange(v, requests, t.retries);
       } catch (...) {
         comm_error = std::current_exception();
       }
@@ -718,15 +854,19 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
       task_gather_schedule_.for_party(
           worker, [&](std::size_t s, std::int64_t begin, std::int64_t end) {
             if (check_ranges) {
-              range_checker_.claim("gather", worker, offsets[s] + begin,
-                                   offsets[s] + end);
+              range_checker_.claim("gather", worker,
+                                   (offsets[s] + begin) * k,
+                                   (offsets[s] + end) * k);
             }
             const index_t* __restrict gather =
                 plan.send_blocks[s].gather.data();
             const value_t* __restrict owned = owned_span.data();
-            value_t* __restrict buffer = send_buffers_[s].data();
+            value_t* __restrict buffer = buffers[s].data();
             for (std::int64_t i = begin; i < end; ++i) {
-              buffer[i] = owned[gather[i]];
+              const std::int64_t src = gather[i] * k;
+              for (std::int64_t q = 0; q < k; ++q) {
+                buffer[i * k + q] = owned[src + q];
+              }
             }
           });
       if (trace_ != nullptr) {
@@ -740,7 +880,7 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
       util::Timer timer;
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
       if (check_ranges) claim_kernel_writes("task-mode compute", worker);
-      kernel_->local(worker, x.full(), y.owned());
+      kernel_local(worker, v);
       if (trace_ != nullptr) {
         trace_->record(lane, "spMVM: local elements", trace_begin,
                        trace_->now(), '#');
@@ -750,7 +890,7 @@ Timings SpmvEngine::apply_task_mode(DistVector& x, DistVector& y) {
     comm_done.arrive_and_wait();
     {
       const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
-      kernel_->nonlocal(worker, x.full(), y.owned());
+      kernel_nonlocal(worker, v);
       if (trace_ != nullptr) {
         trace_->record(lane, "spMVM: non-local elements", trace_begin,
                        trace_->now(), 'n');

@@ -35,6 +35,7 @@
 
 #include "spmv/dist_matrix.hpp"
 #include "spmv/dist_vector.hpp"
+#include "spmv/multi_vector.hpp"
 #include "spmv/retry.hpp"
 #include "team/range_check.hpp"
 #include "team/thread_team.hpp"
@@ -104,6 +105,21 @@ class LocalKernel {
   virtual void nonlocal(int worker, std::span<const sparse::value_t> x,
                         std::span<sparse::value_t> y) const = 0;
 
+  /// Blocked multi-RHS (SpMM) sweeps: x and y hold `width` interleaved
+  /// columns per row (MultiVector layout). Same shares as the
+  /// single-vector sweeps, so row_boundaries()/write_ranges() describe
+  /// the blocked writes too (claims are in row space); column q of the
+  /// block is bitwise-identical to the single-vector kernel on column q.
+  virtual void full_block(int worker, int width,
+                          std::span<const sparse::value_t> x,
+                          std::span<sparse::value_t> y) const = 0;
+  virtual void local_block(int worker, int width,
+                           std::span<const sparse::value_t> x,
+                           std::span<sparse::value_t> y) const = 0;
+  virtual void nonlocal_block(int worker, int width,
+                              std::span<const sparse::value_t> x,
+                              std::span<sparse::value_t> y) const = 0;
+
   /// Owned-row boundaries of the worker shares (workers+1 entries): the
   /// rows worker w writes lie in [b[w], b[w+1]). For SELL this is the
   /// chunk-granular approximation (writes un-permute within a sigma
@@ -168,6 +184,15 @@ class SpmvEngine {
   /// values. Collective across the matrix's communicator.
   Timings apply(DistVector& x, DistVector& y);
 
+  /// Blocked apply: y(owned block) = A * x for width() right-hand sides
+  /// at once, through the same variant (including task-mode overlap).
+  /// The halo exchange moves width values per boundary element — each
+  /// peer's K-wide block is one contiguous message — and the kernels run
+  /// the blocked sweeps, amortizing matrix traffic over the columns.
+  /// Column q of the result is bitwise-identical to the single-vector
+  /// apply on column q. x and y must share the same width.
+  Timings apply(MultiVector& x, MultiVector& y);
+
   /// Re-target the engine at a different DistMatrix — the recovery path
   /// after a communicator shrink (the new matrix lives on the shrunk
   /// comm with repartitioned rows). Rebuilds the kernel shares, send
@@ -182,6 +207,11 @@ class SpmvEngine {
   /// write/stream (plain un-placed construction when first_touch is off).
   [[nodiscard]] DistVector make_vector();
 
+  /// A zero MultiVector of `width` columns with the same NUMA placement
+  /// policy as make_vector() (row slices first-touched by their kernel
+  /// share's thread, scaled by width).
+  [[nodiscard]] MultiVector make_multi_vector(int width);
+
   [[nodiscard]] Variant variant() const { return variant_; }
   [[nodiscard]] LocalBackend backend() const { return options_.backend; }
   [[nodiscard]] int threads() const { return team_.size(); }
@@ -194,7 +224,10 @@ class SpmvEngine {
 
   /// Model-based per-apply traffic accounting for this rank (the
   /// LIKWID-counter analogue): minimum memory bytes per Eq. 1/2 plus the
-  /// exact halo-exchange bytes from the communication plan.
+  /// exact halo-exchange bytes from the communication plan. For a
+  /// blocked apply pass its width: the vector, extra-C, and
+  /// communication terms scale by K while the matrix streams once — the
+  /// amortization B_SpMM(K) models.
   struct TrafficEstimate {
     double matrix_bytes = 0.0;   ///< val + col_idx + row_ptr streaming
     double vector_bytes = 0.0;   ///< B first load + C write-allocate/evict
@@ -207,7 +240,7 @@ class SpmvEngine {
       return matrix_bytes + vector_bytes + extra_c_bytes;
     }
   };
-  [[nodiscard]] TrafficEstimate traffic_estimate() const;
+  [[nodiscard]] TrafficEstimate traffic_estimate(int width = 1) const;
 
   /// The write-range race detector (inert unless EngineOptions::range_check
   /// enabled it). Tests read its diagnostics after apply().
@@ -216,32 +249,67 @@ class SpmvEngine {
   }
 
  private:
+  /// One apply()'s operands, width-agnostic: DistVector (width 1) and
+  /// MultiVector run the same exchange and kernel code through this.
+  struct ApplyView {
+    std::span<sparse::value_t> x_owned;
+    std::span<sparse::value_t> x_full;
+    std::span<sparse::value_t> x_halo;
+    std::span<sparse::value_t> y_owned;
+    int width = 1;
+  };
+
   /// Flattened send-element offset of block s (send_blocks.size()+1
   /// entries) — maps a (block, element) gather span onto the single
   /// [0, total_send_elements) domain the range checker validates.
+  /// Blocked applies scale claims by width (one claim unit per value).
   [[nodiscard]] std::vector<std::int64_t> send_block_offsets() const;
 
   /// Register worker w's kernel write ranges with the checker.
   void claim_kernel_writes(const std::string& phase, int worker);
 
-  void post_recvs(DistVector& x, std::vector<minimpi::Request>& requests);
+  /// The packed send buffers serving `width` (send_buffers_ for 1,
+  /// block_send_buffers_ otherwise).
+  [[nodiscard]] std::vector<util::FirstTouchVector<sparse::value_t>>&
+  buffers_for(int width);
+  /// (Re)allocate + first-touch `buffers` at gather.size() * width
+  /// elements per send block.
+  void place_send_buffers(
+      std::vector<util::FirstTouchVector<sparse::value_t>>& buffers,
+      int width);
+  /// Size block_send_buffers_ for `width`, lazily on the first blocked
+  /// apply of that width (the K=1 buffers keep their placement).
+  void ensure_block_buffers(int width);
+
+  void post_recvs(const ApplyView& v,
+                  std::vector<minimpi::Request>& requests);
   void gather_block(const SendBlock& block,
-                    std::span<const sparse::value_t> owned, std::size_t slot);
-  void post_sends(std::vector<minimpi::Request>& requests);
+                    std::span<const sparse::value_t> owned, std::size_t slot,
+                    int width);
+  void post_sends(const ApplyView& v,
+                  std::vector<minimpi::Request>& requests);
+
+  /// Dispatch a kernel phase at the view's width.
+  void kernel_full(int worker, const ApplyView& v) const;
+  void kernel_local(int worker, const ApplyView& v) const;
+  void kernel_nonlocal(int worker, const ApplyView& v) const;
 
   /// Complete the posted exchange. Without a retry policy this is one
   /// wait_all; with one it polls the requests, reposts transiently
   /// faulted ones (bounded attempts, exponential backoff), and counts
   /// the reposts into `retries`. Permanent faults always rethrow.
-  void wait_exchange(DistVector& x, std::vector<minimpi::Request>& requests,
+  void wait_exchange(const ApplyView& v,
+                     std::vector<minimpi::Request>& requests,
                      std::int64_t& retries);
 
   /// Repost request `index` of the [recvs | sends] exchange vector.
-  void repost_request(DistVector& x, std::vector<minimpi::Request>& requests,
+  void repost_request(const ApplyView& v,
+                      std::vector<minimpi::Request>& requests,
                       std::size_t index);
 
-  Timings apply_vector(DistVector& x, DistVector& y, bool naive_overlap);
-  Timings apply_task_mode(DistVector& x, DistVector& y);
+  Timings apply_view(const ApplyView& v);
+  Timings apply_vector(const ApplyView& v, bool naive_overlap);
+  Timings apply_task_mode(const ApplyView& v);
 
   /// Never null; repointed by rebuild() after a communicator shrink.
   const DistMatrix* matrix_;
@@ -254,6 +322,12 @@ class SpmvEngine {
   /// One packed buffer per send block (first-touched by the gathering
   /// threads when options_.first_touch).
   std::vector<util::FirstTouchVector<sparse::value_t>> send_buffers_;
+  /// Blocked-apply counterpart: gather.size() * width values per block,
+  /// sized for the most recent blocked width (0 = none yet). Kept apart
+  /// from send_buffers_ so blocked applies never disturb the K=1
+  /// buffers' first-touch placement.
+  std::vector<util::FirstTouchVector<sparse::value_t>> block_send_buffers_;
+  int block_width_ = 0;
   /// Element-balanced split of the vector-mode gather over the full team.
   GatherSchedule gather_schedule_;
   /// Task-mode split over the workers only (member 0 does MPI).

@@ -1,0 +1,154 @@
+// Distributed multi-vector: `width` right-hand sides stored as row-major
+// K-column blocks over the same [owned | halo] row layout as DistVector.
+//
+// Element (row, q) lives at row * width + q, so one boundary row's K
+// values are contiguous — the halo exchange gathers and receives whole
+// K-wide blocks per element, and each peer's halo run stays a single
+// contiguous span (CommPlan invariant times width). The blocked kernels
+// (sparse::spmm_rows, SellMatrix::spmm_chunks) read and write this
+// layout directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "spmv/dist_matrix.hpp"
+#include "util/aligned.hpp"
+
+namespace hspmv::spmv {
+
+class MultiVector {
+ public:
+  MultiVector(const DistMatrix& matrix, int width)
+      : width_(check_width(width)),
+        owned_(matrix.owned_rows()),
+        data_((static_cast<std::size_t>(matrix.owned_rows()) +
+               static_cast<std::size_t>(matrix.halo_count())) *
+                  static_cast<std::size_t>(width),
+              0.0) {}
+
+  /// NUMA-placed construction, mirroring DistVector's: team member
+  /// id - party_offset zeroes the row slice [boundaries[p],
+  /// boundaries[p+1]) — scaled by width — that its kernel share will
+  /// write, and the first party zeroes the halo tail. Values match the
+  /// plain constructor (all zero). Templated on the team so this header
+  /// stays free of a team/ dependency.
+  template <typename Team>
+  MultiVector(const DistMatrix& matrix, int width, Team& team,
+              std::span<const std::int64_t> boundaries, int party_offset = 0)
+      : width_(check_width(width)), owned_(matrix.owned_rows()) {
+    data_.resize((static_cast<std::size_t>(matrix.owned_rows()) +
+                  static_cast<std::size_t>(matrix.halo_count())) *
+                 static_cast<std::size_t>(width));
+    const auto parties = static_cast<int>(boundaries.size()) - 1;
+    const auto k = static_cast<std::int64_t>(width);
+    sparse::value_t* __restrict p = data_.data();
+    team.execute([&](int id) {
+      const int party = id - party_offset;
+      if (party < 0 || party >= parties) return;
+      const auto begin = boundaries[static_cast<std::size_t>(party)] * k;
+      const auto end = boundaries[static_cast<std::size_t>(party) + 1] * k;
+      for (std::int64_t i = begin; i < end; ++i) {
+        p[static_cast<std::size_t>(i)] = 0.0;
+      }
+      if (party == 0) {
+        for (std::size_t i = static_cast<std::size_t>(owned_) *
+                             static_cast<std::size_t>(width_);
+             i < data_.size(); ++i) {
+          p[i] = 0.0;
+        }
+      }
+    });
+  }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] sparse::index_t owned_size() const { return owned_; }
+
+  /// The owned block: owned_size() rows of width() values each.
+  [[nodiscard]] std::span<sparse::value_t> owned() {
+    return std::span<sparse::value_t>(data_.data(), owned_elements());
+  }
+  [[nodiscard]] std::span<const sparse::value_t> owned() const {
+    return std::span<const sparse::value_t>(data_.data(), owned_elements());
+  }
+
+  /// Owned + halo — what the blocked kernels read as B.
+  [[nodiscard]] std::span<sparse::value_t> full() {
+    return std::span<sparse::value_t>(data_.data(), data_.size());
+  }
+  [[nodiscard]] std::span<const sparse::value_t> full() const {
+    return std::span<const sparse::value_t>(data_.data(), data_.size());
+  }
+
+  /// Halo block only (halo rows x width values).
+  [[nodiscard]] std::span<sparse::value_t> halo() {
+    return std::span<sparse::value_t>(data_.data() + owned_elements(),
+                                      data_.size() - owned_elements());
+  }
+
+  /// One row's K values, contiguous.
+  [[nodiscard]] std::span<sparse::value_t> row(sparse::index_t i) {
+    return std::span<sparse::value_t>(
+        data_.data() + static_cast<std::size_t>(i) *
+                           static_cast<std::size_t>(width_),
+        static_cast<std::size_t>(width_));
+  }
+
+  /// Initialize owned column q from this rank's slice of a replicated
+  /// global vector.
+  void assign_column_from_global(int column,
+                                 std::span<const sparse::value_t> global,
+                                 sparse::index_t row_begin) {
+    check_column(column);
+    if (global.size() < static_cast<std::size_t>(row_begin) +
+                            static_cast<std::size_t>(owned_)) {
+      throw std::invalid_argument("MultiVector: global vector too small");
+    }
+    for (sparse::index_t i = 0; i < owned_; ++i) {
+      data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(width_) +
+            static_cast<std::size_t>(column)] =
+          global[static_cast<std::size_t>(row_begin + i)];
+    }
+  }
+
+  /// De-interleave owned column q into `out` (owned_size() entries).
+  void extract_owned_column(int column,
+                            std::span<sparse::value_t> out) const {
+    check_column(column);
+    if (out.size() < static_cast<std::size_t>(owned_)) {
+      throw std::invalid_argument("MultiVector: output column too small");
+    }
+    for (sparse::index_t i = 0; i < owned_; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          data_[static_cast<std::size_t>(i) *
+                    static_cast<std::size_t>(width_) +
+                static_cast<std::size_t>(column)];
+    }
+  }
+
+ private:
+  static int check_width(int width) {
+    if (width < 1) {
+      throw std::invalid_argument("MultiVector: width must be >= 1");
+    }
+    return width;
+  }
+  void check_column(int column) const {
+    if (column < 0 || column >= width_) {
+      throw std::invalid_argument("MultiVector: column out of range");
+    }
+  }
+  [[nodiscard]] std::size_t owned_elements() const {
+    return static_cast<std::size_t>(owned_) *
+           static_cast<std::size_t>(width_);
+  }
+
+  int width_;
+  sparse::index_t owned_;
+  // FirstTouchVector so the placed constructor's resize() maps pages
+  // without touching them; both constructors then write every element.
+  util::FirstTouchVector<sparse::value_t> data_;
+};
+
+}  // namespace hspmv::spmv

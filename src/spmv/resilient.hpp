@@ -35,7 +35,14 @@ class RecoverableSpmv {
 
   /// Forwarded engine surface.
   Timings apply(DistVector& x, DistVector& y) { return engine_->apply(x, y); }
+  /// Blocked multi-RHS apply (see SpmvEngine::apply(MultiVector&, ...)).
+  Timings apply(MultiVector& x, MultiVector& y) {
+    return engine_->apply(x, y);
+  }
   [[nodiscard]] DistVector make_vector() { return engine_->make_vector(); }
+  [[nodiscard]] MultiVector make_multi_vector(int width) {
+    return engine_->make_multi_vector(width);
+  }
   [[nodiscard]] SpmvEngine& engine() { return *engine_; }
   [[nodiscard]] const DistMatrix& matrix() const { return *matrix_; }
   [[nodiscard]] const minimpi::Comm& comm() const { return comm_; }

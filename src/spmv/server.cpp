@@ -1,0 +1,224 @@
+#include "spmv/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "minimpi/fault.hpp"
+#include "util/stats.hpp"
+
+namespace hspmv::spmv {
+
+using sparse::index_t;
+using sparse::value_t;
+
+BatchQueue::BatchQueue(std::size_t capacity, int max_block,
+                       double max_wait_s)
+    : capacity_(capacity), max_block_(max_block), max_wait_s_(max_wait_s) {
+  if (capacity == 0) {
+    throw std::invalid_argument("BatchQueue: capacity must be >= 1");
+  }
+  if (max_block < 1) {
+    throw std::invalid_argument("BatchQueue: max_block must be >= 1");
+  }
+  if (max_wait_s < 0.0) {
+    throw std::invalid_argument("BatchQueue: max_wait must be >= 0");
+  }
+}
+
+bool BatchQueue::try_submit(std::uint64_t id, std::vector<value_t>& x) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(ServerRequest{id, std::move(x), clock_.seconds()});
+  }
+  ready_.notify_all();
+  return true;
+}
+
+void BatchQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t BatchQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::vector<ServerRequest> BatchQueue::next_batch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (queue_.size() >= static_cast<std::size_t>(max_block_)) break;
+    if (closed_) break;  // drain what is queued, then shut down
+    if (queue_.empty()) {
+      ready_.wait(lock);
+      continue;
+    }
+    // A partial batch leaves when its oldest request has waited
+    // max_wait_s — the latency bound batching trades against.
+    const double deadline = queue_.front().submit_s + max_wait_s_;
+    const double remaining = deadline - clock_.seconds();
+    if (remaining <= 0.0) break;
+    ready_.wait_for(lock, std::chrono::duration<double>(remaining));
+  }
+  const std::size_t count =
+      std::min(queue_.size(), static_cast<std::size_t>(max_block_));
+  std::vector<ServerRequest> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+std::vector<double> ServerReport::latencies() const {
+  std::vector<double> result;
+  result.reserve(completed.size());
+  for (const CompletedRequest& r : completed) {
+    result.push_back(r.latency_s());
+  }
+  return result;
+}
+
+double ServerReport::latency_percentile(double q) const {
+  return util::percentile(latencies(), q);
+}
+
+double ServerReport::throughput_rps() const {
+  if (completed.empty()) return 0.0;
+  double first_submit = completed.front().submit_s;
+  double last_complete = completed.front().complete_s;
+  for (const CompletedRequest& r : completed) {
+    first_submit = std::min(first_submit, r.submit_s);
+    last_complete = std::max(last_complete, r.complete_s);
+  }
+  const double span = last_complete - first_submit;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(completed.size()) / span;
+}
+
+SpmvServer::SpmvServer(minimpi::Comm comm, const sparse::CsrMatrix& global,
+                       int threads, Variant variant,
+                       EngineOptions engine_options, ServerOptions options)
+    : spmv_(std::move(comm), global, threads, variant,
+            std::move(engine_options)),
+      options_(std::move(options)) {}
+
+ServerReport SpmvServer::serve(BatchQueue& queue) {
+  ServerReport report;
+  // The batch being served survives a fault here so the replay after
+  // shrink + rebuild serves exactly the same requests (rank 0 only).
+  std::vector<ServerRequest> pending;
+  int batch_index = 0;
+  for (;;) {
+    try {
+      if (!serve_one(queue, pending, batch_index, report)) break;
+      ++batch_index;
+    } catch (const minimpi::FaultError& fault) {
+      if (fault.kind() != minimpi::FaultKind::kPermanent) throw;
+      if (fault.rank() == spmv_.comm().rank()) {
+        // This rank is the one declared dead — it leaves the service;
+        // the survivors recover without it.
+        throw;
+      }
+      spmv_.shrink_and_rebuild();
+      ++report.rebuilds;
+      ++batch_index;  // the replay is a fresh attempt on every survivor
+    }
+  }
+  return report;
+}
+
+bool SpmvServer::serve_one(BatchQueue& queue,
+                           std::vector<ServerRequest>& pending,
+                           int batch_index, ServerReport& report) {
+  const minimpi::Comm& comm = spmv_.comm();
+  const auto rows = static_cast<std::size_t>(spmv_.global().rows());
+  const bool root = comm.rank() == 0;
+
+  // Batch header: the block width (0 = queue closed and drained, which
+  // shuts every rank down together).
+  std::int64_t width = 0;
+  if (root) {
+    if (pending.empty()) pending = queue.next_batch();
+    width = static_cast<std::int64_t>(pending.size());
+  }
+  comm.broadcast(std::span<std::int64_t>(&width, 1), 0);
+  if (width == 0) return false;
+
+  // Batch payload: ids, then the K global right-hand sides packed
+  // column-after-column (sizes are implied by width * rows, so one
+  // broadcast each suffices).
+  std::vector<std::uint64_t> ids(static_cast<std::size_t>(width), 0);
+  std::vector<value_t> packed(static_cast<std::size_t>(width) * rows, 0.0);
+  if (root) {
+    for (std::size_t q = 0; q < pending.size(); ++q) {
+      ids[q] = pending[q].id;
+      if (pending[q].x.size() != rows) {
+        throw std::invalid_argument(
+            "SpmvServer: request size != global rows");
+      }
+      std::copy(pending[q].x.begin(), pending[q].x.end(),
+                packed.begin() + static_cast<std::ptrdiff_t>(q * rows));
+    }
+  }
+  comm.broadcast(std::span<std::uint64_t>(ids), 0);
+  comm.broadcast(std::span<value_t>(packed), 0);
+
+  if (options_.before_apply) options_.before_apply(batch_index, comm);
+
+  // Assemble the K-wide block, apply, gather each column to rank 0.
+  const index_t row_begin = spmv_.matrix().row_begin();
+  MultiVector x = spmv_.make_multi_vector(static_cast<int>(width));
+  MultiVector y = spmv_.make_multi_vector(static_cast<int>(width));
+  for (std::int64_t q = 0; q < width; ++q) {
+    x.assign_column_from_global(
+        static_cast<int>(q),
+        std::span<const value_t>(packed.data() +
+                                     static_cast<std::size_t>(q) * rows,
+                                 rows),
+        row_begin);
+  }
+  spmv_.apply(x, y);
+
+  std::vector<value_t> owned_column(
+      static_cast<std::size_t>(spmv_.matrix().owned_rows()), 0.0);
+  std::vector<std::vector<value_t>> results;
+  if (root && options_.keep_results) {
+    results.resize(static_cast<std::size_t>(width));
+  }
+  for (std::int64_t q = 0; q < width; ++q) {
+    y.extract_owned_column(static_cast<int>(q),
+                           std::span<value_t>(owned_column));
+    auto global_column = comm.gatherv(
+        std::span<const value_t>(owned_column.data(), owned_column.size()),
+        0);
+    if (root && options_.keep_results) {
+      results[static_cast<std::size_t>(q)] = std::move(global_column);
+    }
+  }
+
+  if (root) {
+    const double complete_s = queue.now();
+    for (std::size_t q = 0; q < pending.size(); ++q) {
+      CompletedRequest done;
+      done.id = pending[q].id;
+      done.submit_s = pending[q].submit_s;
+      done.complete_s = complete_s;
+      done.batch_width = static_cast<int>(width);
+      if (options_.keep_results) done.y = std::move(results[q]);
+      report.completed.push_back(std::move(done));
+    }
+    report.batch_widths.push_back(static_cast<int>(width));
+    pending.clear();
+  }
+  return true;
+}
+
+}  // namespace hspmv::spmv

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "minimpi/runtime.hpp"
@@ -86,6 +87,72 @@ inline std::vector<sparse::value_t> distributed_product(
     for (sparse::index_t i = 0; i < dist.owned_rows(); ++i) {
       result[static_cast<std::size_t>(dist.row_begin() + i)] =
           y.owned()[static_cast<std::size_t>(i)];
+    }
+  });
+  return result;
+}
+
+/// Dense K-column oracle for blocked SpMM: column q of the result is
+/// the dense_reference of column q. Columns are stored interleaved
+/// (row-major, width K) to match MultiVector's layout.
+inline std::vector<sparse::value_t> dense_block_reference(
+    const sparse::CsrMatrix& a, int width,
+    const std::vector<sparse::value_t>& x_block) {
+  const auto k = static_cast<std::size_t>(width);
+  std::vector<sparse::value_t> y(static_cast<std::size_t>(a.rows()) * k,
+                                 0.0);
+  for (std::size_t q = 0; q < k; ++q) {
+    std::vector<sparse::value_t> column(
+        static_cast<std::size_t>(a.cols()));
+    for (std::size_t i = 0; i < column.size(); ++i) {
+      column[i] = x_block[i * k + q];
+    }
+    const auto y_column = dense_reference(a, column);
+    for (std::size_t i = 0; i < y_column.size(); ++i) {
+      y[i * k + q] = y_column[i];
+    }
+  }
+  return y;
+}
+
+/// Blocked analogue of distributed_product: run the pipeline once with
+/// a K-wide MultiVector whose columns are `xs`, and gather each rank's
+/// owned block into the returned K global result columns (column q of
+/// the return = engine result for xs[q]).
+inline std::vector<std::vector<sparse::value_t>> distributed_spmm_product(
+    const sparse::CsrMatrix& a,
+    const std::vector<std::vector<sparse::value_t>>& xs, int threads,
+    spmv::Variant variant, const minimpi::RuntimeOptions& runtime_options,
+    const spmv::EngineOptions& engine_options = {}) {
+  const int width = static_cast<int>(xs.size());
+  std::vector<std::vector<sparse::value_t>> result(
+      xs.size(), std::vector<sparse::value_t>(
+                     static_cast<std::size_t>(a.rows()), 0.0));
+  std::mutex result_mutex;
+  minimpi::run(runtime_options, [&](minimpi::Comm& comm) {
+    const auto boundaries = spmv::partition_rows(
+        a, comm.size(), spmv::PartitionStrategy::kBalancedNonzeros);
+    spmv::DistMatrix dist(comm, a, boundaries);
+    spmv::SpmvEngine engine(dist, threads, variant, engine_options);
+    spmv::MultiVector x = engine.make_multi_vector(width);
+    spmv::MultiVector y = engine.make_multi_vector(width);
+    for (int q = 0; q < width; ++q) {
+      x.assign_column_from_global(
+          q,
+          std::span<const sparse::value_t>(xs[static_cast<std::size_t>(q)]),
+          dist.row_begin());
+    }
+    engine.apply(x, y);
+    std::vector<sparse::value_t> owned_column(
+        static_cast<std::size_t>(dist.owned_rows()));
+    std::lock_guard<std::mutex> lock(result_mutex);
+    for (int q = 0; q < width; ++q) {
+      y.extract_owned_column(q, std::span<sparse::value_t>(owned_column));
+      for (sparse::index_t i = 0; i < dist.owned_rows(); ++i) {
+        result[static_cast<std::size_t>(q)]
+              [static_cast<std::size_t>(dist.row_begin() + i)] =
+                  owned_column[static_cast<std::size_t>(i)];
+      }
     }
   });
   return result;

@@ -195,6 +195,32 @@ TEST(Validate, TruncatingReceiveIsFlagged) {
   EXPECT_EQ(log.count(ViolationKind::kTruncation), 1u);
 }
 
+TEST(Validate, BlockWidthMismatchedHaloRecvIsFlagged) {
+  // SpMM-shaped misuse: a K-wide halo block (count x K values per peer)
+  // sent against a receive sized for the scalar K=1 exchange. The
+  // checker's size accounting is byte-generic — no per-column stride
+  // assumptions — so the width mismatch surfaces as a truncation
+  // diagnostic rather than silent data loss. Guards the blocked engine
+  // path's contract that send and recv buffers scale together by K.
+  constexpr int kWidth = 8;
+  constexpr int kHaloCount = 256;
+  DiagnosticLog log;
+  EXPECT_THROW(
+      run(with_validation(log, 2),
+          [](Comm& comm) {
+            if (comm.rank() == 0) {
+              const std::vector<double> block(
+                  static_cast<std::size_t>(kHaloCount) * kWidth, 1.0);
+              comm.send(std::span<const double>(block), 1);
+            } else {
+              std::vector<double> scalar_sized(kHaloCount, 0.0);
+              comm.recv(std::span<double>(scalar_sized), 0);
+            }
+          }),
+      std::runtime_error);
+  EXPECT_EQ(log.count(ViolationKind::kTruncation), 1u);
+}
+
 TEST(Validate, RecvRecvDeadlockCycleIsNamed) {
   DiagnosticLog log;
   try {

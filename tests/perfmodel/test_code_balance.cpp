@@ -99,6 +99,85 @@ TEST(CodeBalance, SellInvalidArgsThrow) {
                std::invalid_argument);
 }
 
+TEST(CodeBalance, SpmmWidthOneRecoversSingleVectorModel) {
+  // K = 1 must reproduce Eq. 1 / Eq. 2 / the SELL balance exactly — the
+  // blocked model is a strict generalization.
+  for (double nnzr : {5.0, 15.0, 40.0}) {
+    for (double kappa : {0.0, 2.5}) {
+      EXPECT_DOUBLE_EQ(spmm_code_balance(nnzr, kappa, 1),
+                       crs_code_balance(nnzr, kappa));
+      EXPECT_DOUBLE_EQ(split_spmm_code_balance(nnzr, kappa, 1),
+                       split_crs_code_balance(nnzr, kappa));
+      EXPECT_DOUBLE_EQ(sell_spmm_code_balance(nnzr, kappa, 1.25, 1),
+                       sell_code_balance(nnzr, kappa, 1.25));
+      EXPECT_DOUBLE_EQ(spmm_speedup_bound(nnzr, kappa, 1), 1.0);
+    }
+  }
+}
+
+TEST(CodeBalance, SpmmAmortizesOnlyTheMatrixTerm) {
+  // Per-vector balance: the 6 byte/flop matrix term divides by K while
+  // the vector terms (12/Nnzr and kappa/2) are per-RHS and stay put.
+  const double nnzr = 15.0;
+  const double kappa = 2.5;
+  for (int k : {2, 4, 8, 16}) {
+    EXPECT_NEAR(spmm_code_balance(nnzr, kappa, k),
+                6.0 / k + 12.0 / nnzr + kappa / 2.0, 1e-12);
+    EXPECT_NEAR(split_spmm_code_balance(nnzr, kappa, k) -
+                    spmm_code_balance(nnzr, kappa, k),
+                8.0 / nnzr, 1e-12);
+    EXPECT_NEAR(sell_spmm_code_balance(nnzr, kappa, 1.5, k) -
+                    spmm_code_balance(nnzr, kappa, k),
+                6.0 * 0.5 / k, 1e-12);
+  }
+}
+
+TEST(CodeBalance, SpmmBalanceMonotoneWithFloorInK) {
+  // More RHS per matrix stream -> lower per-vector balance, with the
+  // K -> infinity floor at the pure vector traffic 12/Nnzr + kappa/2.
+  const double floor = 12.0 / 15.0 + 2.5 / 2.0;
+  double previous = spmm_code_balance(15.0, 2.5, 1);
+  for (int k : {2, 4, 8, 16, 64, 1024}) {
+    const double balance = spmm_code_balance(15.0, 2.5, k);
+    EXPECT_LT(balance, previous);
+    EXPECT_GT(balance, floor);
+    previous = balance;
+  }
+  EXPECT_NEAR(spmm_code_balance(15.0, 2.5, 1 << 20), floor, 1e-5);
+}
+
+TEST(CodeBalance, SpmmSpeedupBoundMatchesBalanceRatio) {
+  // The bandwidth-limited per-vector speedup is exactly the balance
+  // ratio, monotone in K, and capped by B_CRS over the vector floor.
+  const double nnzr = 15.0;
+  const double kappa = 0.0;
+  EXPECT_NEAR(spmm_speedup_bound(nnzr, kappa, 8),
+              crs_code_balance(nnzr, kappa) /
+                  spmm_code_balance(nnzr, kappa, 8),
+              1e-12);
+  EXPECT_GT(spmm_speedup_bound(nnzr, kappa, 8),
+            spmm_speedup_bound(nnzr, kappa, 2));
+  const double cap =
+      crs_code_balance(nnzr, kappa) / (12.0 / nnzr + kappa / 2.0);
+  EXPECT_LT(spmm_speedup_bound(nnzr, kappa, 1 << 20), cap);
+  // Nehalem-like numbers: the model predicts K = 8 buys well over the
+  // 1.5x acceptance bar — 4.4x at kappa = 0, 2.9x at the measured
+  // kappa = 2.5.
+  EXPECT_GT(spmm_speedup_bound(15.0, 0.0, 8), 3.0);
+  EXPECT_GT(spmm_speedup_bound(15.0, 2.5, 8), 1.5);
+}
+
+TEST(CodeBalance, SpmmInvalidArgsThrow) {
+  EXPECT_THROW((void)spmm_code_balance(15.0, 0.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)split_spmm_code_balance(15.0, 0.0, -1),
+               std::invalid_argument);
+  EXPECT_THROW((void)sell_spmm_code_balance(15.0, 0.0, 1.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)spmm_speedup_bound(0.0, 0.0, 4),
+               std::invalid_argument);
+}
+
 TEST(CodeBalance, RooflineCapsAtPeak) {
   EXPECT_DOUBLE_EQ(roofline(1e12, 1.0, 5e9), 5e9);
   EXPECT_DOUBLE_EQ(roofline(1e9, 1.0, 5e9), 1e9);

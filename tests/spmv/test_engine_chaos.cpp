@@ -116,6 +116,73 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(LocalBackend::kCsr,
                                          LocalBackend::kSell)));
 
+// Same property for the blocked multi-RHS path: the K-wide halo
+// exchange (one contiguous K-block per peer) must be bitwise stable
+// under held matches, reordered delivery and jitter, for every column
+// of the block, with the usage checker riding along.
+class SpmmChaosPair
+    : public testutil::SeededParamTest<std::tuple<Variant, LocalBackend>> {};
+
+TEST_P(SpmmChaosPair, BlockedApplyBitwiseStableAcrossChaosSeeds) {
+  const auto [variant, backend] = GetParam();
+  constexpr int kRanks = 4;
+  constexpr int kWidth = 4;
+  const int threads = variant == Variant::kTaskMode ? 3 : 2;
+  EngineOptions engine_options;
+  engine_options.backend = backend;
+
+  std::atomic<std::size_t> checker_diagnostics{0};
+
+  std::uint64_t chaos_stream = 300;
+  for (int kind = 0; kind < 4; ++kind) {
+    const CsrMatrix a =
+        make_matrix(kind, seed(static_cast<std::uint64_t>(40 + kind)));
+    std::vector<std::vector<value_t>> xs;
+    for (int q = 0; q < kWidth; ++q) {
+      xs.push_back(testutil::random_vector(
+          static_cast<std::size_t>(a.cols()),
+          seed(static_cast<std::uint64_t>(50 + 10 * kind + q))));
+    }
+
+    minimpi::RuntimeOptions calm;
+    calm.ranks = kRanks;
+    const auto baseline = testutil::distributed_spmm_product(
+        a, xs, threads, variant, calm, engine_options);
+    for (int q = 0; q < kWidth; ++q) {
+      ASSERT_LT(
+          testutil::max_abs_diff(
+              baseline[static_cast<std::size_t>(q)],
+              testutil::sequential_reference(a, xs[static_cast<std::size_t>(q)])),
+          1e-12)
+          << "matrix kind " << kind << " column " << q;
+    }
+
+    for (int s = 0; s < 5; ++s) {
+      minimpi::RuntimeOptions options;
+      options.ranks = kRanks;
+      options.progress = s % 2 == 0 ? minimpi::ProgressMode::kDeferred
+                                    : minimpi::ProgressMode::kAsync;
+      options.chaos = minimpi::ChaosConfig::standard(seed(chaos_stream++));
+      options.validate.enabled = true;
+      options.validate.on_diagnostic =
+          [&](const minimpi::Diagnostic&) { ++checker_diagnostics; };
+      const auto chaotic = testutil::distributed_spmm_product(
+          a, xs, threads, variant, options, engine_options);
+      ASSERT_EQ(chaotic, baseline)
+          << "matrix kind " << kind << ", chaos seed " << options.chaos.seed;
+    }
+  }
+  EXPECT_EQ(checker_diagnostics.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsTimesBackends, SpmmChaosPair,
+    ::testing::Combine(::testing::Values(Variant::kVectorNoOverlap,
+                                         Variant::kVectorNaiveOverlap,
+                                         Variant::kTaskMode),
+                       ::testing::Values(LocalBackend::kCsr,
+                                         LocalBackend::kSell)));
+
 TEST_F(EngineChaos, SingleRankWorldSurvivesChaos) {
   // Degenerate world: no p2p at all, chaos only jitters the collectives
   // used during DistMatrix construction.
