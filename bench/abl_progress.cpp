@@ -94,7 +94,14 @@ int main(int argc, char** argv) {
   cli.add_option("latency-ms", "25", "synthetic per-message latency");
   cli.add_option("reps", "5", "repetitions per cell");
   cli.add_option("backend", "csr",
-                 "node-level kernel backend: csr or sell (SELL-C-sigma)");
+                 "node-level kernel backend: csr, sell (SELL-C-sigma), or "
+                 "auto (per-matrix autotuner)");
+  cli.add_option("tune", "cached",
+                 "autotuner mode for --backend=auto: off (code-balance "
+                 "model, no IO), cached (tune on miss), or force");
+  cli.add_option("tuning-cache", "",
+                 "tuning-cache file for --backend=auto (empty = default "
+                 "path, see docs/performance.md)");
   cli.add_option("reorder", "none", "global pre-pass: none or rcm");
   if (!cli.parse(argc, argv)) return 1;
 
@@ -110,6 +117,8 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(cli.get_int("reps"));
   spmv::EngineOptions engine_options;
   engine_options.backend = spmv::parse_backend(cli.get_string("backend"));
+  engine_options.tune = spmv::parse_tune_mode(cli.get_string("tune"));
+  engine_options.tuning_cache = cli.get_string("tuning-cache");
 
   std::printf(
       "EXP-A1 — progress-mode ablation (real execution, 2 ranks x 2 "

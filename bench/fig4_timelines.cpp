@@ -196,7 +196,14 @@ int main(int argc, char** argv) {
   cli.add_option("latency-ms", "8", "synthetic per-message latency");
   cli.add_option("threads", "3", "team threads per rank");
   cli.add_option("backend", "csr",
-                 "node-level kernel backend: csr or sell (SELL-C-sigma)");
+                 "node-level kernel backend: csr, sell (SELL-C-sigma), or "
+                 "auto (per-matrix autotuner)");
+  cli.add_option("tune", "cached",
+                 "autotuner mode for --backend=auto: off (code-balance "
+                 "model, no IO), cached (tune on miss), or force");
+  cli.add_option("tuning-cache", "",
+                 "tuning-cache file for --backend=auto (empty = default "
+                 "path, see docs/performance.md)");
   cli.add_option("reorder", "none", "global pre-pass: none or rcm");
   cli.add_option("retry-policy", "off",
                  "halo-exchange retry policy: off, on, or key=value list "
@@ -218,6 +225,8 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(cli.get_int("threads"));
   spmv::EngineOptions engine_options;
   engine_options.backend = spmv::parse_backend(cli.get_string("backend"));
+  engine_options.tune = spmv::parse_tune_mode(cli.get_string("tune"));
+  engine_options.tuning_cache = cli.get_string("tuning-cache");
   engine_options.retry = spmv::RetryPolicy::parse(cli.get_string("retry-policy"));
 
   std::printf(

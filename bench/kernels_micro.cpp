@@ -12,18 +12,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <string>
 
 #include "matgen/poisson.hpp"
 #include "matgen/random_matrix.hpp"
 #include "sparse/ell.hpp"
 #include "sparse/kernels.hpp"
 #include "sparse/rcm.hpp"
+#include "spmv/autotune.hpp"
 #include "spmv/comm_plan.hpp"
 #include "spmv/partition.hpp"
 #include "team/thread_team.hpp"
 #include "util/aligned.hpp"
 #include "util/prng.hpp"
+#include "util/simd.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -134,6 +139,81 @@ void BM_SpmvSellParallel(benchmark::State& state) {
   set_gflops(state, 2.0 * static_cast<double>(a.nnz()));
 }
 BENCHMARK(BM_SpmvSellParallel)->Arg(1)->Arg(2)->Arg(4);
+
+/// EXP-K3 — SIMD-vs-scalar SELL pair on a skewed-row family, the regime
+/// sigma-sorting targets: power-law row lengths pad unsorted chunks and
+/// starve vector lanes, so both the chunk width C and the sorting window
+/// sigma matter. The *Scalar twins run the pinned no-autovec reference
+/// sweeps (SellMatrix::spmv_chunks_scalar) — the honest baseline the
+/// SIMD path is diffed against (tests/sparse/test_simd_kernels.cpp
+/// certifies the two agree bitwise).
+CsrMatrix skewed_matrix() {
+  return matgen::random_power_law(1 << 16, 6, 0.55, 4242);
+}
+
+void run_sell_pair(benchmark::State& state, const CsrMatrix& a, int chunk,
+                   int sigma, bool simd) {
+  const auto s = sparse::SellMatrix::from_csr(a, chunk, sigma);
+  const auto b = random_vector(static_cast<std::size_t>(a.cols()));
+  util::AlignedVector<value_t> c(static_cast<std::size_t>(a.rows()));
+  for (auto _ : state) {
+    if (simd) {
+      s.spmv_chunks(0, s.chunk_count(), b, c);
+    } else {
+      s.spmv_chunks_scalar(0, s.chunk_count(), b, c);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, 2.0 * static_cast<double>(a.nnz()));
+  state.counters["C"] = static_cast<double>(chunk);
+  state.counters["sigma"] = static_cast<double>(s.sigma());
+  state.counters["beta"] = s.padding_ratio();
+}
+
+void BM_SpmvSellScalar(benchmark::State& state) {
+  const auto chunk = static_cast<int>(state.range(0));
+  run_sell_pair(state, skewed_matrix(), chunk, 8 * chunk, /*simd=*/false);
+}
+BENCHMARK(BM_SpmvSellScalar)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SpmvSellSimd(benchmark::State& state) {
+  const auto chunk = static_cast<int>(state.range(0));
+  run_sell_pair(state, skewed_matrix(), chunk, 8 * chunk, /*simd=*/true);
+}
+BENCHMARK(BM_SpmvSellSimd)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+/// The SELL configuration the autotuner's candidate list rates best on
+/// this matrix, by direct min-of-reps measurement. The overall autotuned
+/// winner may be CRS (the byte-balance model and the timed sweep both
+/// can prefer it); the Auto pair below exists to record the SIMD-vs-
+/// scalar ratio at the *autotuned* (C, sigma), so it always picks the
+/// best SELL candidate.
+spmv::TunedConfig best_sell_config(const sparse::CsrMatrix& a,
+                                   const spmv::TunedConfig& tuned) {
+  if (tuned.backend == spmv::LocalBackend::kSell) return tuned;
+  spmv::AutotuneOptions options;
+  options.prune_ratio = 0.0;  // rate every SELL candidate
+  const auto b = random_vector(static_cast<std::size_t>(a.cols()));
+  util::AlignedVector<value_t> y(static_cast<std::size_t>(a.rows()));
+  spmv::TunedConfig best{spmv::LocalBackend::kSell, 32, 256, true};
+  double best_seconds = 1e30;
+  for (const auto& candidate : spmv::candidate_configs(a, options)) {
+    if (candidate.backend != spmv::LocalBackend::kSell) continue;
+    const auto s = sparse::SellMatrix::from_csr(a, candidate.sell_chunk,
+                                                candidate.sell_sigma);
+    double seconds = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      util::Timer timer;
+      s.spmv(b, y);
+      seconds = std::min(seconds, timer.seconds());
+    }
+    if (seconds < best_seconds) {
+      best_seconds = seconds;
+      best = candidate;
+    }
+  }
+  return best;
+}
 
 /// EXP-K2 — blocked multi-RHS (SpMM) sweep over K right-hand sides,
 /// K in {1, 2, 4, 8, 16}. GFlop/s counts 2*nnz*K flops per iteration, so
@@ -335,7 +415,52 @@ BENCHMARK(BM_RcmReorder)->Arg(32)->Arg(128);
 // Explicit main (rather than BENCHMARK_MAIN) so the JSON-output contract
 // is visible here: benchmark::Initialize consumes the standard flags,
 // including --benchmark_out=BENCH_kernels.json.
+//
+// hspmv-specific flags, stripped before benchmark::Initialize sees argv:
+//   --tune=off|cached|force   autotuner mode for the SellAuto pair
+//                             (default cached: tune on miss, persist)
+//   --tuning-cache=PATH       tuning-cache file (default: the autotuner's
+//                             resolution chain, see docs/performance.md)
 int main(int argc, char** argv) {
+  auto tune = hspmv::spmv::TuneMode::kCached;
+  std::string tuning_cache;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--tune=", 0) == 0) {
+      tune = hspmv::spmv::parse_tune_mode(arg.substr(7));
+    } else if (arg.rfind("--tuning-cache=", 0) == 0) {
+      tuning_cache = arg.substr(15);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  // EXP-K3b — the before/after pair at the autotuned (C, sigma): resolve
+  // through the per-matrix autotuner (cache hits skip the timed sweep),
+  // then register the pair at the best SELL configuration. Registered
+  // from main so the resolved config lands in the benchmark counters.
+  const auto skewed = skewed_matrix();
+  const auto tuned = hspmv::spmv::resolve_tuned(skewed, tune, tuning_cache);
+  const auto sell = best_sell_config(skewed, tuned);
+  std::printf(
+      "kernels_micro: simd=%s (%d double lanes), autotuned winner=%s, "
+      "SellAuto pair at C=%d sigma=%d\n",
+      hspmv::util::simd::isa_name(), hspmv::util::simd::kDoubleLanes,
+      hspmv::spmv::backend_name(tuned.backend), sell.sell_chunk,
+      sell.sell_sigma);
+  benchmark::RegisterBenchmark(
+      "BM_SpmvSellAutoScalar", [&skewed, sell](benchmark::State& state) {
+        run_sell_pair(state, skewed, sell.sell_chunk, sell.sell_sigma,
+                      /*simd=*/false);
+      });
+  benchmark::RegisterBenchmark(
+      "BM_SpmvSellAutoSimd", [&skewed, sell](benchmark::State& state) {
+        run_sell_pair(state, skewed, sell.sell_chunk, sell.sell_sigma,
+                      /*simd=*/true);
+      });
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

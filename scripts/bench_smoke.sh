@@ -23,17 +23,50 @@ if [[ ! -x "${bin}" ]]; then
   exit 1
 fi
 
-# Thread-scaling kernels (1/2/4 threads), the gather pair, and the
-# blocked-SpMM K-sweep (K = 1/2/4/8/16 right-hand sides). Medians over
-# repetitions land in the JSON as *_median aggregate entries.
+# BENCH_kernels.json is the perf-trajectory artifact future PRs diff
+# against: numbers from a non-Release binary would poison that record.
+# Refuse to (over)write it unless the binary's build tree says Release.
+build_dir="$(cd "$(dirname "${bin}")/.." && pwd)"
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "${build_dir}/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "${build_type}" != "Release" ]]; then
+  echo "bench_smoke: refusing to write ${out}: ${bin} comes from a" \
+       "'${build_type:-unknown}' build tree (${build_dir}), need Release." >&2
+  echo "bench_smoke: configure with -DCMAKE_BUILD_TYPE=Release" \
+       "(scripts/tier1.sh does) and rebuild." >&2
+  exit 1
+fi
+
+# Thread-scaling kernels (1/2/4 threads), the gather pair, the
+# blocked-SpMM K-sweep (K = 1/2/4/8/16 right-hand sides), and the SELL
+# SIMD-vs-scalar sweep plus its autotuned pair. Medians over repetitions
+# land in the JSON as *_median aggregate entries. The tuning cache stays
+# inside the build tree so bench runs never touch ~/.cache.
 "${bin}" \
-  --benchmark_filter='(Parallel|HaloGather|Spmm)' \
+  --tuning-cache="${build_dir}/tuning-cache.json" \
+  --benchmark_filter='(Parallel|HaloGather|Spmm|SellScalar|SellSimd|SellAuto)' \
   --benchmark_repetitions="${reps}" \
   --benchmark_report_aggregates_only=true \
   --benchmark_out="${out}" \
   --benchmark_out_format=json
 
-echo "bench_smoke: wrote ${out}"
+# Stamp provenance into the JSON context: the commit the numbers belong
+# to (perf trajectories are meaningless without it) and the build type
+# the gate above verified.
+git_head="$(git -C "${repo_root}" rev-parse HEAD 2>/dev/null || echo unknown)"
+python3 - "${out}" "${git_head}" "${build_type}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+data.setdefault("context", {})
+data["context"]["git_head"] = sys.argv[2]
+data["context"]["build_type"] = sys.argv[3]
+with open(sys.argv[1], "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+EOF
+
+echo "bench_smoke: wrote ${out} (HEAD ${git_head}, ${build_type})"
 
 # Gather comparison: the team-parallel gather (max over participating
 # threads' spans — the engine's gather_s semantics) against the serial
@@ -123,5 +156,47 @@ EOF
 if [[ "${spmm_status}" -ne 0 && "${BENCH_SMOKE_STRICT:-0}" == "1" ]]; then
   echo "bench_smoke: STRICT mode — SpMM K-sweep check failed" >&2
   exit "${spmm_status}"
+fi
+
+# SELL SIMD-vs-scalar: the C-sweep ratios plus the before/after pair at
+# the autotuned (C, sigma). The pair is the acceptance bar: SIMD must be
+# >= 1.2x the pinned-scalar reference on the skewed-row family (the
+# kernels are bitwise-identical, so this is pure throughput).
+simd_status=0
+python3 - "${out}" <<'EOF' || simd_status=$?
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+medians = {
+    b["name"]: b["real_time"]
+    for b in data["benchmarks"]
+    if b.get("aggregate_name") == "median"
+}
+
+row = []
+for c in (4, 8, 16, 32, 64):
+    scalar = medians.get(f"BM_SpmvSellScalar/{c}_median")
+    simd = medians.get(f"BM_SpmvSellSimd/{c}_median")
+    if scalar is not None and simd is not None:
+        row.append(f"C={c}: {scalar / simd:.2f}x")
+if row:
+    print("SELL SIMD vs scalar (C-sweep, sigma=8C): " + ", ".join(row))
+
+scalar = medians.get("BM_SpmvSellAutoScalar_median")
+simd = medians.get("BM_SpmvSellAutoSimd_median")
+if scalar is None or simd is None:
+    print("bench_smoke: SellAuto pair missing from JSON", file=sys.stderr)
+    sys.exit(2)
+speedup = scalar / simd
+print(f"SELL SIMD vs scalar at autotuned (C, sigma): {speedup:.2f}x "
+      f"{'(>= 1.2x target)' if speedup >= 1.2 else '(BELOW 1.2x target)'}")
+sys.exit(0 if speedup >= 1.2 else 3)
+EOF
+
+if [[ "${simd_status}" -ne 0 && "${BENCH_SMOKE_STRICT:-0}" == "1" ]]; then
+  echo "bench_smoke: STRICT mode — SELL SIMD speedup check failed" >&2
+  exit "${simd_status}"
 fi
 exit 0

@@ -87,6 +87,11 @@ ctest --test-dir "${build_dir}" --output-on-failure -j
 # deadlock detector for the fault-injection error paths.
 ctest --test-dir "${build_dir}" --output-on-failure -L stress
 
+# The SIMD/autotune tier: SIMD-vs-scalar kernel equivalence per the
+# documented bitwise/ulp policy, plus the autotuner cache/fingerprint/
+# determinism suite (docs/performance.md).
+ctest --test-dir "${build_dir}" --output-on-failure -L autotune
+
 # Bench smoke lane: gather + thread-scaling microbenchmarks, medians over
 # repetitions, written to BENCH_kernels.json at the repo root (the perf
 # trajectory artifact). Report-only unless BENCH_SMOKE_STRICT=1.

@@ -1,10 +1,13 @@
 #include "sparse/ell.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "team/thread_team.hpp"
+#include "util/simd.hpp"
 
 namespace hspmv::sparse {
 
@@ -74,10 +77,17 @@ SellMatrix SellMatrix::from_csr(const CsrMatrix& a, int chunk, int sigma) {
   if (sigma < 1) {
     throw std::invalid_argument("SellMatrix: sigma must be >= 1");
   }
+  // Round sigma > 1 up to a multiple of chunk so sorting windows align
+  // with chunk boundaries (a window ending mid-chunk cannot reduce that
+  // chunk's padding). sigma = 1 means "no sorting" and stays as-is.
+  if (sigma > 1 && sigma % chunk != 0) {
+    sigma += chunk - sigma % chunk;
+  }
   SellMatrix m;
   m.rows_ = a.rows();
   m.cols_ = a.cols();
   m.chunk_ = chunk;
+  m.sigma_ = sigma;
   m.nnz_ = a.nnz();
 
   const auto row_ptr = a.row_ptr();
@@ -158,15 +168,266 @@ void SellMatrix::check_vectors(std::span<const value_t> x,
   }
 }
 
+namespace {
+
+namespace simd = hspmv::util::simd;
+
+/// First entry index j in [0, len) of the (strided) row with column
+/// >= local_cols. Real entries keep their ascending CSR column order, so
+/// this is a binary search with stride `chunk`.
+inline sparse::index_t strided_split(const index_t* col, offset_t offset,
+                                     int chunk, int r, index_t len,
+                                     index_t local_cols) {
+  index_t lo = 0;
+  index_t hi = len;
+  while (lo < hi) {
+    const index_t mid = lo + (hi - lo) / 2;
+    if (col[offset + static_cast<offset_t>(mid) * chunk + r] < local_cols) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Raw-pointer view of one SellMatrix for the file-local SIMD sweeps.
+struct SellView {
+  const index_t* col;
+  const value_t* val;
+  const offset_t* chunk_offsets;
+  const index_t* chunk_widths;
+  const index_t* row_lengths;
+  const index_t* perm;
+  index_t rows;
+  int chunk;
+};
+
+// Chunk-major SIMD sweeps. Vectorization runs across the chunk's row
+// axis r (the format's unit-stride axis): each vector lane owns one row
+// and accumulates that row's entries in ascending-j order with fused
+// multiply-adds — the exact per-row operation sequence of the scalar
+// kernels once the compiler contracts their `sum += v*x` to FMA (GCC's
+// default, relied on by the bitwise SIMD-vs-scalar policy). No
+// reassociation ever happens: lanes never mix rows, and the un-permute
+// store is elementwise. Lane groups crossing the chunk's row count (the
+// ragged last chunk, or C < kDoubleLanes) run fully masked so no slot
+// outside the chunk is ever read.
+//
+// The blocked (width > 1) variants gather column q through indices
+// col*width + q; for width == 1 the scale is skipped, which loads the
+// same values — so SpMM column q stays bitwise SpMV on column q, the
+// invariant the engine suites assert.
+
+/// Full sweep over chunks [chunk_begin, chunk_end), all entries
+/// (padding included: val 0 * x[col 0], exactly like the scalar loop).
+void sell_full_simd(const SellView& a, int width, index_t chunk_begin,
+                    index_t chunk_end, const value_t* __restrict xp,
+                    value_t* __restrict yp) {
+  constexpr int kW = simd::kDoubleLanes;
+  const auto k = static_cast<std::size_t>(width);
+  for (index_t c = chunk_begin; c < chunk_end; ++c) {
+    const index_t base = c * static_cast<index_t>(a.chunk);
+    const offset_t offset = a.chunk_offsets[c];
+    const index_t chunk_width = a.chunk_widths[c];
+    const int rows_in_chunk = static_cast<int>(
+        std::min<index_t>(static_cast<index_t>(a.chunk), a.rows - base));
+    for (int r0 = 0; r0 < rows_in_chunk; r0 += kW) {
+      const int m = std::min(kW, rows_in_chunk - r0);
+      alignas(64) double lane[kW];
+      if (m == kW) {
+        for (std::size_t q = 0; q < k; ++q) {
+          simd::VecD acc = simd::vzero();
+          for (index_t j = 0; j < chunk_width; ++j) {
+            const offset_t slot0 =
+                offset + static_cast<offset_t>(j) * a.chunk + r0;
+            simd::VecI idx = simd::iload(a.col + slot0);
+            if (width > 1) idx = simd::iscale(idx, width);
+            acc = simd::vfma(simd::vload(a.val + slot0),
+                             simd::vgather(xp + q, idx), acc);
+          }
+          simd::vstore(lane, acc);
+          for (int r = 0; r < kW; ++r) {
+            yp[static_cast<std::size_t>(
+                   a.perm[static_cast<std::size_t>(base + r0 + r)]) *
+                   k +
+               q] = lane[r];
+          }
+        }
+      } else {
+        const simd::MaskD lanes = simd::mask_first(m);
+        for (std::size_t q = 0; q < k; ++q) {
+          simd::VecD acc = simd::vzero();
+          for (index_t j = 0; j < chunk_width; ++j) {
+            const offset_t slot0 =
+                offset + static_cast<offset_t>(j) * a.chunk + r0;
+            simd::VecI idx = simd::iload(a.col + slot0, lanes);
+            if (width > 1) idx = simd::iscale(idx, width);
+            acc = simd::vfma(simd::vload(a.val + slot0, lanes),
+                             simd::vgather(xp + q, idx, lanes), acc, lanes);
+          }
+          simd::vstore(lane, acc);
+          for (int r = 0; r < m; ++r) {
+            yp[static_cast<std::size_t>(
+                   a.perm[static_cast<std::size_t>(base + r0 + r)]) *
+                   k +
+               q] = lane[r];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Split local phase: per-lane entry range [0, split_r) via a range mask
+/// per j — lanes whose range excludes j keep their accumulator untouched
+/// (masked FMA), matching the scalar kernel's exact iteration set.
+void sell_local_simd(const SellView& a, int width, index_t local_cols,
+                     index_t chunk_begin, index_t chunk_end,
+                     const value_t* __restrict xp, value_t* __restrict yp) {
+  constexpr int kW = simd::kDoubleLanes;
+  const auto k = static_cast<std::size_t>(width);
+  for (index_t c = chunk_begin; c < chunk_end; ++c) {
+    const index_t base = c * static_cast<index_t>(a.chunk);
+    const offset_t offset = a.chunk_offsets[c];
+    const int rows_in_chunk = static_cast<int>(
+        std::min<index_t>(static_cast<index_t>(a.chunk), a.rows - base));
+    for (int r0 = 0; r0 < rows_in_chunk; r0 += kW) {
+      const int m = std::min(kW, rows_in_chunk - r0);
+      const simd::MaskD lanes = simd::mask_first(m);
+      alignas(64) std::int32_t splits[kW];
+      index_t max_split = 0;
+      for (int r = 0; r < m; ++r) {
+        const index_t len =
+            a.row_lengths[static_cast<std::size_t>(base + r0 + r)];
+        splits[r] =
+            strided_split(a.col, offset, a.chunk, r0 + r, len, local_cols);
+        max_split = std::max<index_t>(max_split, splits[r]);
+      }
+      for (int r = m; r < kW; ++r) splits[r] = 0;
+      const simd::VecI lo = simd::ibroadcast(0);
+      const simd::VecI hi = simd::iload(splits);
+      alignas(64) double lane[kW];
+      for (std::size_t q = 0; q < k; ++q) {
+        simd::VecD acc = simd::vzero();
+        for (index_t j = 0; j < max_split; ++j) {
+          const simd::MaskD mj = simd::mask_range(lo, hi, j, lanes);
+          const offset_t slot0 =
+              offset + static_cast<offset_t>(j) * a.chunk + r0;
+          simd::VecI idx = simd::iload(a.col + slot0, mj);
+          if (width > 1) idx = simd::iscale(idx, width);
+          acc = simd::vfma(simd::vload(a.val + slot0, mj),
+                           simd::vgather(xp + q, idx, mj), acc, mj);
+        }
+        simd::vstore(lane, acc);
+        for (int r = 0; r < m; ++r) {
+          yp[static_cast<std::size_t>(
+                 a.perm[static_cast<std::size_t>(base + r0 + r)]) *
+                 k +
+             q] = lane[r];
+        }
+      }
+    }
+  }
+}
+
+/// Split non-local phase: per-lane entry range [split_r, len_r); rows
+/// without non-local entries are never stored (Eq. 2 traffic skip, same
+/// as the scalar kernel).
+void sell_nonlocal_simd(const SellView& a, int width, index_t local_cols,
+                        index_t chunk_begin, index_t chunk_end,
+                        const value_t* __restrict xp,
+                        value_t* __restrict yp) {
+  constexpr int kW = simd::kDoubleLanes;
+  const auto k = static_cast<std::size_t>(width);
+  for (index_t c = chunk_begin; c < chunk_end; ++c) {
+    const index_t base = c * static_cast<index_t>(a.chunk);
+    const offset_t offset = a.chunk_offsets[c];
+    const int rows_in_chunk = static_cast<int>(
+        std::min<index_t>(static_cast<index_t>(a.chunk), a.rows - base));
+    for (int r0 = 0; r0 < rows_in_chunk; r0 += kW) {
+      const int m = std::min(kW, rows_in_chunk - r0);
+      const simd::MaskD lanes = simd::mask_first(m);
+      alignas(64) std::int32_t splits[kW];
+      alignas(64) std::int32_t lens[kW];
+      index_t min_split = std::numeric_limits<index_t>::max();
+      index_t max_len = 0;
+      bool any = false;
+      for (int r = 0; r < m; ++r) {
+        const index_t len =
+            a.row_lengths[static_cast<std::size_t>(base + r0 + r)];
+        const index_t split =
+            strided_split(a.col, offset, a.chunk, r0 + r, len, local_cols);
+        splits[r] = split;
+        lens[r] = len;
+        if (split < len) {
+          any = true;
+          min_split = std::min(min_split, split);
+          max_len = std::max(max_len, len);
+        }
+      }
+      if (!any) continue;
+      for (int r = m; r < kW; ++r) {
+        splits[r] = 0;
+        lens[r] = 0;  // empty range: the mask is never active
+      }
+      const simd::VecI lo = simd::iload(splits);
+      const simd::VecI hi = simd::iload(lens);
+      alignas(64) double lane[kW];
+      for (std::size_t q = 0; q < k; ++q) {
+        simd::VecD acc = simd::vzero();
+        for (index_t j = min_split; j < max_len; ++j) {
+          const simd::MaskD mj = simd::mask_range(lo, hi, j, lanes);
+          const offset_t slot0 =
+              offset + static_cast<offset_t>(j) * a.chunk + r0;
+          simd::VecI idx = simd::iload(a.col + slot0, mj);
+          if (width > 1) idx = simd::iscale(idx, width);
+          acc = simd::vfma(simd::vload(a.val + slot0, mj),
+                           simd::vgather(xp + q, idx, mj), acc, mj);
+        }
+        simd::vstore(lane, acc);
+        for (int r = 0; r < m; ++r) {
+          if (splits[r] >= lens[r]) continue;
+          yp[static_cast<std::size_t>(
+                 a.perm[static_cast<std::size_t>(base + r0 + r)]) *
+                 k +
+             q] += lane[r];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void SellMatrix::spmv(std::span<const value_t> x,
                       std::span<value_t> y) const {
   check_vectors(x, y);
   spmv_chunks(0, chunk_count(), x, y);
 }
 
+// Production entry points: chunk-major SIMD when the shim found vector
+// lanes, scalar reference loops otherwise. See ell.hpp's *_scalar block
+// for the per-path equivalence policy.
+
 void SellMatrix::spmv_chunks(index_t chunk_begin, index_t chunk_end,
                              std::span<const value_t> x,
                              std::span<value_t> y) const {
+  if constexpr (simd::kDoubleLanes > 1) {
+    const SellView view{col_.data(),          val_.data(),
+                        chunk_offsets_.data(), chunk_widths_.data(),
+                        row_lengths_.data(),  permutation_.data(),
+                        rows_,                chunk_};
+    sell_full_simd(view, 1, chunk_begin, chunk_end, x.data(), y.data());
+  } else {
+    spmv_chunks_scalar(chunk_begin, chunk_end, x, y);
+  }
+}
+
+HSPMV_NO_AUTOVEC
+void SellMatrix::spmv_chunks_scalar(index_t chunk_begin, index_t chunk_end,
+                                    std::span<const value_t> x,
+                                    std::span<value_t> y) const {
   const index_t* __restrict col = col_.data();
   const value_t* __restrict val = val_.data();
   const value_t* __restrict xp = x.data();
@@ -209,29 +470,6 @@ void SellMatrix::spmv_parallel(std::span<const value_t> x,
   });
 }
 
-namespace {
-
-/// First entry index j in [0, len) of the (strided) row with column
-/// >= local_cols. Real entries keep their ascending CSR column order, so
-/// this is a binary search with stride `chunk`.
-inline sparse::index_t strided_split(const index_t* col, offset_t offset,
-                                     int chunk, int r, index_t len,
-                                     index_t local_cols) {
-  index_t lo = 0;
-  index_t hi = len;
-  while (lo < hi) {
-    const index_t mid = lo + (hi - lo) / 2;
-    if (col[offset + static_cast<offset_t>(mid) * chunk + r] < local_cols) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
-
-}  // namespace
-
 void SellMatrix::spmv_local(index_t local_cols, std::span<const value_t> x,
                             std::span<value_t> y) const {
   check_vectors(x, y);
@@ -249,6 +487,24 @@ void SellMatrix::spmv_local_chunks(index_t local_cols, index_t chunk_begin,
                                    index_t chunk_end,
                                    std::span<const value_t> x,
                                    std::span<value_t> y) const {
+  if constexpr (simd::kDoubleLanes > 1) {
+    const SellView view{col_.data(),          val_.data(),
+                        chunk_offsets_.data(), chunk_widths_.data(),
+                        row_lengths_.data(),  permutation_.data(),
+                        rows_,                chunk_};
+    sell_local_simd(view, 1, local_cols, chunk_begin, chunk_end, x.data(),
+                    y.data());
+  } else {
+    spmv_local_chunks_scalar(local_cols, chunk_begin, chunk_end, x, y);
+  }
+}
+
+HSPMV_NO_AUTOVEC
+void SellMatrix::spmv_local_chunks_scalar(index_t local_cols,
+                                          index_t chunk_begin,
+                                          index_t chunk_end,
+                                          std::span<const value_t> x,
+                                          std::span<value_t> y) const {
   const index_t* __restrict col = col_.data();
   const value_t* __restrict val = val_.data();
   const value_t* __restrict xp = x.data();
@@ -277,6 +533,24 @@ void SellMatrix::spmv_nonlocal_chunks(index_t local_cols, index_t chunk_begin,
                                       index_t chunk_end,
                                       std::span<const value_t> x,
                                       std::span<value_t> y) const {
+  if constexpr (simd::kDoubleLanes > 1) {
+    const SellView view{col_.data(),          val_.data(),
+                        chunk_offsets_.data(), chunk_widths_.data(),
+                        row_lengths_.data(),  permutation_.data(),
+                        rows_,                chunk_};
+    sell_nonlocal_simd(view, 1, local_cols, chunk_begin, chunk_end, x.data(),
+                       y.data());
+  } else {
+    spmv_nonlocal_chunks_scalar(local_cols, chunk_begin, chunk_end, x, y);
+  }
+}
+
+HSPMV_NO_AUTOVEC
+void SellMatrix::spmv_nonlocal_chunks_scalar(index_t local_cols,
+                                             index_t chunk_begin,
+                                             index_t chunk_end,
+                                             std::span<const value_t> x,
+                                             std::span<value_t> y) const {
   const index_t* __restrict col = col_.data();
   const value_t* __restrict val = val_.data();
   const value_t* __restrict xp = x.data();
@@ -321,6 +595,22 @@ void SellMatrix::spmm(int width, std::span<const value_t> x,
 void SellMatrix::spmm_chunks(int width, index_t chunk_begin,
                              index_t chunk_end, std::span<const value_t> x,
                              std::span<value_t> y) const {
+  if constexpr (simd::kDoubleLanes > 1) {
+    const SellView view{col_.data(),          val_.data(),
+                        chunk_offsets_.data(), chunk_widths_.data(),
+                        row_lengths_.data(),  permutation_.data(),
+                        rows_,                chunk_};
+    sell_full_simd(view, width, chunk_begin, chunk_end, x.data(), y.data());
+  } else {
+    spmm_chunks_scalar(width, chunk_begin, chunk_end, x, y);
+  }
+}
+
+HSPMV_NO_AUTOVEC
+void SellMatrix::spmm_chunks_scalar(int width, index_t chunk_begin,
+                                    index_t chunk_end,
+                                    std::span<const value_t> x,
+                                    std::span<value_t> y) const {
   const index_t* __restrict col = col_.data();
   const value_t* __restrict val = val_.data();
   const value_t* __restrict xp = x.data();
@@ -362,6 +652,25 @@ void SellMatrix::spmm_local_chunks(index_t local_cols, int width,
                                    index_t chunk_begin, index_t chunk_end,
                                    std::span<const value_t> x,
                                    std::span<value_t> y) const {
+  if constexpr (simd::kDoubleLanes > 1) {
+    const SellView view{col_.data(),          val_.data(),
+                        chunk_offsets_.data(), chunk_widths_.data(),
+                        row_lengths_.data(),  permutation_.data(),
+                        rows_,                chunk_};
+    sell_local_simd(view, width, local_cols, chunk_begin, chunk_end,
+                    x.data(), y.data());
+  } else {
+    spmm_local_chunks_scalar(local_cols, width, chunk_begin, chunk_end, x,
+                             y);
+  }
+}
+
+HSPMV_NO_AUTOVEC
+void SellMatrix::spmm_local_chunks_scalar(index_t local_cols, int width,
+                                          index_t chunk_begin,
+                                          index_t chunk_end,
+                                          std::span<const value_t> x,
+                                          std::span<value_t> y) const {
   const index_t* __restrict col = col_.data();
   const value_t* __restrict val = val_.data();
   const value_t* __restrict xp = x.data();
@@ -398,6 +707,25 @@ void SellMatrix::spmm_nonlocal_chunks(index_t local_cols, int width,
                                       index_t chunk_begin, index_t chunk_end,
                                       std::span<const value_t> x,
                                       std::span<value_t> y) const {
+  if constexpr (simd::kDoubleLanes > 1) {
+    const SellView view{col_.data(),          val_.data(),
+                        chunk_offsets_.data(), chunk_widths_.data(),
+                        row_lengths_.data(),  permutation_.data(),
+                        rows_,                chunk_};
+    sell_nonlocal_simd(view, width, local_cols, chunk_begin, chunk_end,
+                       x.data(), y.data());
+  } else {
+    spmm_nonlocal_chunks_scalar(local_cols, width, chunk_begin, chunk_end, x,
+                                y);
+  }
+}
+
+HSPMV_NO_AUTOVEC
+void SellMatrix::spmm_nonlocal_chunks_scalar(index_t local_cols, int width,
+                                             index_t chunk_begin,
+                                             index_t chunk_end,
+                                             std::span<const value_t> x,
+                                             std::span<value_t> y) const {
   const index_t* __restrict col = col_.data();
   const value_t* __restrict val = val_.data();
   const value_t* __restrict xp = x.data();

@@ -67,12 +67,20 @@ class SellMatrix {
  public:
   SellMatrix() = default;
 
+  /// Throws std::invalid_argument for chunk < 1 or sigma < 1. A sigma > 1
+  /// that is not a multiple of chunk is rounded *up* to the next multiple
+  /// (a sorting window narrower than a chunk, or ending mid-chunk, cannot
+  /// reduce that chunk's padding — chunks never straddle windows after
+  /// rounding); sigma() reports the effective value. The autotuner sweep
+  /// feeds arbitrary (C, sigma) pairs through this normalization.
   static SellMatrix from_csr(const CsrMatrix& a, int chunk = 32,
                              int sigma = 1);
 
   [[nodiscard]] index_t rows() const { return rows_; }
   [[nodiscard]] index_t cols() const { return cols_; }
   [[nodiscard]] int chunk() const { return chunk_; }
+  /// Effective sorting window (post-rounding; see from_csr).
+  [[nodiscard]] int sigma() const { return sigma_; }
   [[nodiscard]] offset_t nnz() const { return nnz_; }
   [[nodiscard]] index_t chunk_count() const {
     return static_cast<index_t>(chunk_widths_.size());
@@ -147,6 +155,37 @@ class SellMatrix {
                             std::span<const value_t> x,
                             std::span<value_t> y) const;
 
+  /// Scalar reference sweeps: the pre-SIMD chunk kernels, pinned scalar
+  /// (auto-vectorization disabled) for equivalence tests and honest
+  /// SIMD-vs-scalar benchmarking. The production *_chunks entry points
+  /// dispatch to util/simd.hpp's chunk-major vector path when lanes are
+  /// available; that path assigns one lane per chunk row and accumulates
+  /// over j in the scalar order, so no reassociation occurs — with the
+  /// toolchain contracting the scalar loops to FMA (GCC's default) the
+  /// SIMD path is *bitwise* identical to these references, the policy
+  /// asserted by tests/sparse/test_simd_kernels.cpp.
+  void spmv_chunks_scalar(index_t chunk_begin, index_t chunk_end,
+                          std::span<const value_t> x,
+                          std::span<value_t> y) const;
+  void spmv_local_chunks_scalar(index_t local_cols, index_t chunk_begin,
+                                index_t chunk_end, std::span<const value_t> x,
+                                std::span<value_t> y) const;
+  void spmv_nonlocal_chunks_scalar(index_t local_cols, index_t chunk_begin,
+                                   index_t chunk_end,
+                                   std::span<const value_t> x,
+                                   std::span<value_t> y) const;
+  void spmm_chunks_scalar(int width, index_t chunk_begin, index_t chunk_end,
+                          std::span<const value_t> x,
+                          std::span<value_t> y) const;
+  void spmm_local_chunks_scalar(index_t local_cols, int width,
+                                index_t chunk_begin, index_t chunk_end,
+                                std::span<const value_t> x,
+                                std::span<value_t> y) const;
+  void spmm_nonlocal_chunks_scalar(index_t local_cols, int width,
+                                   index_t chunk_begin, index_t chunk_end,
+                                   std::span<const value_t> x,
+                                   std::span<value_t> y) const;
+
   /// Thread-parallel split phases (same chunk distribution as
   /// spmv_parallel, so both phases of a row land on the same thread).
   void spmv_local_parallel(index_t local_cols, std::span<const value_t> x,
@@ -182,6 +221,7 @@ class SellMatrix {
   index_t rows_ = 0;
   index_t cols_ = 0;
   int chunk_ = 32;
+  int sigma_ = 1;
   offset_t nnz_ = 0;
   std::vector<index_t> permutation_;      // permuted position -> orig row
   std::vector<offset_t> chunk_offsets_;   // into col_/val_ per chunk

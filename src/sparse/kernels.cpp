@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "team/thread_team.hpp"
+#include "util/simd.hpp"
 
 namespace hspmv::sparse {
 namespace {
@@ -16,16 +17,16 @@ void check_shapes(const CsrMatrix& a, std::span<const value_t> b,
   }
 }
 
-/// Dot product of one row's entry range [begin, end) against b, with
-/// 4 independent accumulators so the compiler can keep the FMA chains in
-/// flight (the scalar loop is latency-bound on the single accumulator).
-/// All callers use this helper, so the per-row accumulation order — and
-/// hence the bitwise result — is identical across the sequential,
-/// row-range, parallel, and split kernels.
-inline value_t row_dot(const value_t* __restrict val,
-                       const index_t* __restrict col,
-                       const value_t* __restrict b, offset_t begin,
-                       offset_t end) {
+/// Scalar reference dot product of one row's entry range [begin, end)
+/// against b, with 4 independent accumulators so the compiler can keep
+/// the FMA chains in flight (a single accumulator is latency-bound).
+/// This is the kernels' scalar fallback and the baseline the SIMD path
+/// is tested/benchmarked against; its 4-accumulator summation order is
+/// part of the documented contract.
+HSPMV_NO_AUTOVEC inline value_t row_dot_scalar(const value_t* __restrict val,
+                                               const index_t* __restrict col,
+                                               const value_t* __restrict b,
+                                               offset_t begin, offset_t end) {
   value_t s0 = 0.0;
   value_t s1 = 0.0;
   value_t s2 = 0.0;
@@ -41,15 +42,16 @@ inline value_t row_dot(const value_t* __restrict val,
   return (s0 + s1) + (s2 + s3);
 }
 
-/// row_dot against one column of a row-major `stride`-column block: b
-/// points at column q's first element (block base + q) and entry col[j]
-/// of the column lives at b[col[j] * stride]. Same four accumulators,
-/// same unroll, same (s0 + s1) + (s2 + s3) reduction as row_dot, so the
-/// result is bitwise-identical to row_dot on the extracted column.
-inline value_t row_dot_strided(const value_t* __restrict val,
-                               const index_t* __restrict col,
-                               const value_t* __restrict b, offset_t begin,
-                               offset_t end, index_t stride) {
+/// row_dot_scalar against one column of a row-major `stride`-column
+/// block: b points at column q's first element (block base + q) and
+/// entry col[j] of the column lives at b[col[j] * stride]. Same four
+/// accumulators, same unroll, same (s0 + s1) + (s2 + s3) reduction as
+/// row_dot_scalar, so the result is bitwise-identical to row_dot_scalar
+/// on the extracted column.
+HSPMV_NO_AUTOVEC inline value_t row_dot_strided_scalar(
+    const value_t* __restrict val, const index_t* __restrict col,
+    const value_t* __restrict b, offset_t begin, offset_t end,
+    index_t stride) {
   const auto k = static_cast<std::size_t>(stride);
   value_t s0 = 0.0;
   value_t s1 = 0.0;
@@ -66,6 +68,92 @@ inline value_t row_dot_strided(const value_t* __restrict val,
     s0 += val[j] * b[static_cast<std::size_t>(col[j]) * k];
   }
   return (s0 + s1) + (s2 + s3);
+}
+
+namespace simd = hspmv::util::simd;
+
+/// Vectorized row dot: one kDoubleLanes-wide accumulator over gathered
+/// RHS values, tail handled as one masked iteration, fixed pairwise
+/// reduction.
+///
+/// Relaxed-reassociation policy of this path: it runs kDoubleLanes
+/// accumulators where the scalar reference runs 4, so against
+/// row_dot_scalar it is equivalent only to a componentwise ulp tolerance
+/// (asserted in tests/sparse/test_simd_kernels.cpp) — not bitwise.
+/// Within the SIMD path all the repo's bitwise invariants hold: the
+/// strided twin below replays the identical operation sequence per
+/// column, so SpMM column q stays bitwise SpMV on column q, and results
+/// stay independent of the thread count (per-row order is fixed).
+inline value_t row_dot_simd(const value_t* __restrict val,
+                            const index_t* __restrict col,
+                            const value_t* __restrict b, offset_t begin,
+                            offset_t end) {
+  constexpr offset_t kW = simd::kDoubleLanes;
+  simd::VecD acc = simd::vzero();
+  offset_t j = begin;
+  for (; j + kW <= end; j += kW) {
+    acc = simd::vfma(simd::vload(val + j),
+                     simd::vgather(b, simd::iload(col + j)), acc);
+  }
+  if (j < end) {
+    const simd::MaskD tail = simd::mask_first(static_cast<int>(end - j));
+    acc = simd::vfma(simd::vload(val + j, tail),
+                     simd::vgather(b, simd::iload(col + j, tail), tail), acc,
+                     tail);
+  }
+  return simd::vreduce(acc);
+}
+
+/// Strided twin of row_dot_simd (same loop structure, same masked tail,
+/// same reduction — indices scaled by the block width), so SpMM column q
+/// is bitwise row_dot_simd on the extracted column.
+inline value_t row_dot_strided_simd(const value_t* __restrict val,
+                                    const index_t* __restrict col,
+                                    const value_t* __restrict b,
+                                    offset_t begin, offset_t end,
+                                    index_t stride) {
+  constexpr offset_t kW = simd::kDoubleLanes;
+  simd::VecD acc = simd::vzero();
+  offset_t j = begin;
+  for (; j + kW <= end; j += kW) {
+    acc = simd::vfma(
+        simd::vload(val + j),
+        simd::vgather(b, simd::iscale(simd::iload(col + j), stride)), acc);
+  }
+  if (j < end) {
+    const simd::MaskD tail = simd::mask_first(static_cast<int>(end - j));
+    acc = simd::vfma(
+        simd::vload(val + j, tail),
+        simd::vgather(b, simd::iscale(simd::iload(col + j, tail), stride),
+                      tail),
+        acc, tail);
+  }
+  return simd::vreduce(acc);
+}
+
+/// Hot-path dispatch: SIMD when the shim found vector lanes, the scalar
+/// 4-accumulator reference otherwise (the portable fallback the issue's
+/// policy note refers to).
+inline value_t row_dot(const value_t* __restrict val,
+                       const index_t* __restrict col,
+                       const value_t* __restrict b, offset_t begin,
+                       offset_t end) {
+  if constexpr (simd::kDoubleLanes > 1) {
+    return row_dot_simd(val, col, b, begin, end);
+  } else {
+    return row_dot_scalar(val, col, b, begin, end);
+  }
+}
+
+inline value_t row_dot_strided(const value_t* __restrict val,
+                               const index_t* __restrict col,
+                               const value_t* __restrict b, offset_t begin,
+                               offset_t end, index_t stride) {
+  if constexpr (simd::kDoubleLanes > 1) {
+    return row_dot_strided_simd(val, col, b, begin, end, stride);
+  } else {
+    return row_dot_strided_scalar(val, col, b, begin, end, stride);
+  }
 }
 
 void check_block_shapes(const CsrView& a, index_t cols, int width,
@@ -280,6 +368,38 @@ void spmm_nonlocal_rows(const CsrView& a, index_t local_cols, int width,
     const std::size_t base = static_cast<std::size_t>(i) * k;
     for (std::size_t q = 0; q < k; ++q) {
       y[base + q] += row_dot_strided(val, col, x + q, split, end, width);
+    }
+  }
+}
+
+void spmv_rows_scalar(const CsrView& a, index_t row_begin, index_t row_end,
+                      std::span<const value_t> b, std::span<value_t> c) {
+  const offset_t* __restrict row_ptr = a.row_ptr.data();
+  const index_t* __restrict col = a.col_idx.data();
+  const value_t* __restrict val = a.val.data();
+  const value_t* __restrict x = b.data();
+  value_t* __restrict y = c.data();
+  for (index_t i = row_begin; i < row_end; ++i) {
+    y[i] = row_dot_scalar(val, col, x, row_ptr[i], row_ptr[i + 1]);
+  }
+}
+
+void spmm_rows_scalar(const CsrView& a, int width, index_t row_begin,
+                      index_t row_end, std::span<const value_t> b,
+                      std::span<value_t> c) {
+  const offset_t* __restrict row_ptr = a.row_ptr.data();
+  const index_t* __restrict col = a.col_idx.data();
+  const value_t* __restrict val = a.val.data();
+  const value_t* __restrict x = b.data();
+  value_t* __restrict y = c.data();
+  const auto k = static_cast<std::size_t>(width);
+  for (index_t i = row_begin; i < row_end; ++i) {
+    const offset_t begin = row_ptr[i];
+    const offset_t end = row_ptr[i + 1];
+    const std::size_t base = static_cast<std::size_t>(i) * k;
+    for (std::size_t q = 0; q < k; ++q) {
+      y[base + q] =
+          row_dot_strided_scalar(val, col, x + q, begin, end, width);
     }
   }
 }

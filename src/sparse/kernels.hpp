@@ -93,6 +93,20 @@ void spmm_nonlocal_rows(const CsrView& a, index_t local_cols, int width,
                         index_t row_begin, index_t row_end,
                         std::span<const value_t> b, std::span<value_t> c);
 
+/// Scalar reference sweeps: the pre-SIMD kernels, pinned to row_dot's
+/// 4-accumulator summation order with auto-vectorization disabled. The
+/// production spmv_rows/spmm_rows dispatch to util/simd.hpp's vector path
+/// when lanes are available; that path runs kDoubleLanes accumulators, so
+/// it matches these references to a componentwise ulp tolerance (policy
+/// asserted in tests/sparse/test_simd_kernels.cpp), while SpMM-column-q ==
+/// SpMV-column-q and thread-count independence remain bitwise within
+/// either path.
+void spmv_rows_scalar(const CsrView& a, index_t row_begin, index_t row_end,
+                      std::span<const value_t> b, std::span<value_t> c);
+void spmm_rows_scalar(const CsrView& a, int width, index_t row_begin,
+                      index_t row_end, std::span<const value_t> b,
+                      std::span<value_t> c);
+
 /// Row-range form of the alpha/beta kernel.
 void spmv_general_rows(value_t alpha, const CsrMatrix& a, index_t row_begin,
                        index_t row_end, std::span<const value_t> b,

@@ -1,0 +1,447 @@
+#include "spmv/autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "perfmodel/code_balance.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/kernels.hpp"
+#include "team/thread_team.hpp"
+#include "util/timer.hpp"
+
+namespace hspmv::spmv {
+
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+MatrixFingerprint MatrixFingerprint::of(const sparse::CsrMatrix& a) {
+  MatrixFingerprint fp;
+  fp.rows = a.rows();
+  fp.cols = a.cols();
+  fp.nnz = a.nnz();
+  if (a.rows() == 0) return fp;
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const double mean =
+      static_cast<double>(a.nnz()) / static_cast<double>(a.rows());
+  double variance = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto len = static_cast<index_t>(
+        row_ptr[static_cast<std::size_t>(i) + 1] -
+        row_ptr[static_cast<std::size_t>(i)]);
+    fp.max_row_length = std::max(fp.max_row_length, len);
+    const double d = static_cast<double>(len) - mean;
+    variance += d * d;
+    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
+         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      const auto distance = static_cast<index_t>(
+          std::abs(static_cast<std::int64_t>(col_idx[static_cast<std::size_t>(
+                       j)]) -
+                   static_cast<std::int64_t>(i)));
+      fp.bandwidth = std::max(fp.bandwidth, distance);
+    }
+  }
+  fp.mean_row_length = mean;
+  fp.stddev_row_length =
+      std::sqrt(variance / static_cast<double>(a.rows()));
+  return fp;
+}
+
+std::string MatrixFingerprint::key() const {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer), "v1|%d|%d|%lld|%.6g|%.6g|%d|%d",
+                rows, cols, static_cast<long long>(nnz), mean_row_length,
+                stddev_row_length, max_row_length, bandwidth);
+  return buffer;
+}
+
+namespace {
+
+/// from_csr's sigma normalization (keep in sync with SellMatrix).
+int effective_sigma(int sigma, int chunk) {
+  if (sigma > 1 && sigma % chunk != 0) sigma += chunk - sigma % chunk;
+  return sigma;
+}
+
+/// SELL padding ratio beta = slots/nnz for (chunk, sigma), simulated from
+/// the row lengths alone — the model prior never builds the matrix.
+double simulated_padding_ratio(std::vector<index_t> lengths, offset_t nnz,
+                               int chunk, int sigma) {
+  if (nnz == 0) return 1.0;
+  const auto rows = static_cast<std::int64_t>(lengths.size());
+  if (sigma > 1) {
+    for (std::int64_t w = 0; w < rows; w += sigma) {
+      const auto end = std::min<std::int64_t>(rows, w + sigma);
+      std::sort(lengths.begin() + w, lengths.begin() + end,
+                std::greater<index_t>());
+    }
+  }
+  std::int64_t slots = 0;
+  for (std::int64_t base = 0; base < rows; base += chunk) {
+    const auto end = std::min<std::int64_t>(rows, base + chunk);
+    index_t width = 0;
+    for (std::int64_t r = base; r < end; ++r) {
+      width = std::max(width, lengths[static_cast<std::size_t>(r)]);
+    }
+    // Full chunk stride, ragged last chunk included (from_csr allocates
+    // width * chunk slots per chunk unconditionally).
+    slots += static_cast<std::int64_t>(width) * chunk;
+  }
+  return static_cast<double>(slots) / static_cast<double>(nnz);
+}
+
+struct ScoredConfig {
+  TunedConfig config;
+  double balance = 0.0;
+};
+
+/// All (backend, C, sigma) candidates with their code-balance model
+/// values, deduplicated on the *effective* sigma and deterministically
+/// ordered (csr, then sell by ascending C, sigma).
+std::vector<ScoredConfig> scored_candidates(const sparse::CsrMatrix& a,
+                                            const AutotuneOptions& options) {
+  std::vector<ScoredConfig> scored;
+  const double nnzr =
+      a.rows() > 0
+          ? static_cast<double>(a.nnz()) / static_cast<double>(a.rows())
+          : 0.0;
+  scored.push_back(
+      {TunedConfig{LocalBackend::kCsr, 0, 0, true},
+       perfmodel::crs_code_balance(std::max(nnzr, 1.0), options.kappa)});
+  if (a.rows() == 0 || a.nnz() == 0) return scored;
+
+  std::vector<index_t> lengths(static_cast<std::size_t>(a.rows()));
+  const auto row_ptr = a.row_ptr();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    lengths[static_cast<std::size_t>(i)] = static_cast<index_t>(
+        row_ptr[static_cast<std::size_t>(i) + 1] -
+        row_ptr[static_cast<std::size_t>(i)]);
+  }
+
+  std::set<std::pair<int, int>> seen;
+  for (const int chunk : options.chunks) {
+    if (chunk < 1) continue;
+    const int sigmas[] = {1, chunk, 8 * chunk,
+                          static_cast<int>(std::min<std::int64_t>(
+                              a.rows(), std::numeric_limits<int>::max()))};
+    for (const int sigma : sigmas) {
+      if (sigma < 1) continue;
+      const int eff = effective_sigma(sigma, chunk);
+      if (!seen.insert({chunk, eff}).second) continue;
+      const double beta =
+          simulated_padding_ratio(lengths, a.nnz(), chunk, eff);
+      scored.push_back(
+          {TunedConfig{LocalBackend::kSell, chunk, eff, true},
+           perfmodel::sell_code_balance(std::max(nnzr, 1.0), options.kappa,
+                                        beta)});
+    }
+  }
+  return scored;
+}
+
+/// Wall-clock measurement of one candidate: min-over-reps time of the
+/// full local sweep at `options.threads` workers with the candidate's
+/// schedule. The team outlives the call (one fork/join per rep).
+double measure_config(const sparse::CsrMatrix& a, const TunedConfig& config,
+                      const AutotuneOptions& options,
+                      team::ThreadTeam& team) {
+  if (options.measure) return options.measure(config);
+  std::vector<value_t> x(static_cast<std::size_t>(a.cols()));
+  std::vector<value_t> y(static_cast<std::size_t>(a.rows()), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 1.0 + 0.125 * static_cast<double>(i % 7);  // deterministic RHS
+  }
+  const int reps = std::max(1, options.reps);
+  double best = std::numeric_limits<double>::infinity();
+  if (config.backend == LocalBackend::kCsr) {
+    const auto view = sparse::view(a);
+    const auto bounds =
+        config.nnz_balanced
+            ? team::nnz_balanced_boundaries(a.row_ptr(), team.size())
+            : team::uniform_boundaries(a.rows(), team.size());
+    for (int rep = 0; rep < reps; ++rep) {
+      util::Timer timer;
+      team.execute([&](int id) {
+        sparse::spmv_rows(
+            view,
+            static_cast<index_t>(bounds[static_cast<std::size_t>(id)]),
+            static_cast<index_t>(bounds[static_cast<std::size_t>(id) + 1]),
+            x, y);
+      });
+      best = std::min(best, timer.seconds());
+    }
+  } else {
+    const auto sell = sparse::SellMatrix::from_csr(a, config.sell_chunk,
+                                                   config.sell_sigma);
+    const auto bounds =
+        config.nnz_balanced
+            ? team::nnz_balanced_boundaries(sell.chunk_offsets(), team.size())
+            : team::uniform_boundaries(sell.chunk_count(), team.size());
+    for (int rep = 0; rep < reps; ++rep) {
+      util::Timer timer;
+      team.execute([&](int id) {
+        sell.spmv_chunks(
+            static_cast<index_t>(bounds[static_cast<std::size_t>(id)]),
+            static_cast<index_t>(bounds[static_cast<std::size_t>(id) + 1]),
+            x, y);
+      });
+      best = std::min(best, timer.seconds());
+    }
+  }
+  return best;
+}
+
+/// Minimal tolerant JSON field extraction for the cache's fixed schema.
+/// Each helper scans `object` for `"name":` and parses the value after
+/// it; returns false on absence or malformed content.
+bool find_field(const std::string& object, const std::string& name,
+                std::size_t& value_pos) {
+  const std::string needle = "\"" + name + "\"";
+  const std::size_t at = object.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t colon = object.find(':', at + needle.size());
+  if (colon == std::string::npos) return false;
+  value_pos = object.find_first_not_of(" \t\r\n", colon + 1);
+  return value_pos != std::string::npos;
+}
+
+bool extract_string(const std::string& object, const std::string& name,
+                    std::string& out) {
+  std::size_t pos = 0;
+  if (!find_field(object, name, pos) || object[pos] != '"') return false;
+  const std::size_t end = object.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  out = object.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+bool extract_double(const std::string& object, const std::string& name,
+                    double& out) {
+  std::size_t pos = 0;
+  if (!find_field(object, name, pos)) return false;
+  try {
+    out = std::stod(object.substr(pos));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool extract_int(const std::string& object, const std::string& name,
+                 int& out) {
+  std::size_t pos = 0;
+  if (!find_field(object, name, pos)) return false;
+  try {
+    out = std::stoi(object.substr(pos));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool extract_bool(const std::string& object, const std::string& name,
+                  bool& out) {
+  std::size_t pos = 0;
+  if (!find_field(object, name, pos)) return false;
+  if (object.compare(pos, 4, "true") == 0) {
+    out = true;
+    return true;
+  }
+  if (object.compare(pos, 5, "false") == 0) {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TuningCache TuningCache::load(const std::filesystem::path& path) {
+  TuningCache cache;
+  std::ifstream in(path);
+  if (!in) return cache;  // missing/unreadable -> empty, tune-on-miss
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Version gate: a mismatched (or absent) version rejects the whole
+  // file — the schema may have changed, so nothing in it is trusted.
+  int version = -1;
+  if (!extract_int(text, "version", version) || version != kVersion) {
+    return cache;
+  }
+
+  // Entries are scanned object by object; a malformed entry is skipped
+  // without poisoning its neighbours.
+  std::size_t pos = 0;
+  while ((pos = text.find("{\"key\"", pos)) != std::string::npos) {
+    const std::size_t end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string object = text.substr(pos, end - pos + 1);
+    pos = end + 1;
+
+    TuningEntry entry;
+    std::string key;
+    std::string backend;
+    if (!extract_string(object, "key", key) ||
+        !extract_string(object, "backend", backend) ||
+        !extract_int(object, "chunk", entry.config.sell_chunk) ||
+        !extract_int(object, "sigma", entry.config.sell_sigma) ||
+        !extract_bool(object, "nnz_balanced", entry.config.nnz_balanced) ||
+        !extract_double(object, "seconds", entry.seconds)) {
+      continue;
+    }
+    try {
+      entry.config.backend = parse_backend(backend);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    if (entry.config.backend == LocalBackend::kAuto) continue;
+    if (entry.config.backend == LocalBackend::kSell &&
+        (entry.config.sell_chunk < 1 || entry.config.sell_sigma < 1)) {
+      continue;
+    }
+    cache.entries_[key] = entry;
+  }
+  return cache;
+}
+
+void TuningCache::save(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      throw std::runtime_error("TuningCache: cannot write " + tmp.string());
+    }
+    out << "{\n  \"version\": " << kVersion << ",\n  \"entries\": [";
+    bool first = true;
+    for (const auto& [key, entry] : entries_) {
+      if (!first) out << ",";
+      first = false;
+      char seconds[32];
+      std::snprintf(seconds, sizeof(seconds), "%.9g", entry.seconds);
+      out << "\n    {\"key\": \"" << key << "\", \"backend\": \""
+          << backend_name(entry.config.backend)
+          << "\", \"chunk\": " << entry.config.sell_chunk
+          << ", \"sigma\": " << entry.config.sell_sigma
+          << ", \"nnz_balanced\": "
+          << (entry.config.nnz_balanced ? "true" : "false")
+          << ", \"seconds\": " << seconds << "}";
+    }
+    out << "\n  ]\n}\n";
+  }
+  std::filesystem::rename(tmp, path);  // atomic on POSIX
+}
+
+const TuningEntry* TuningCache::find(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void TuningCache::insert(const std::string& key, const TuningEntry& entry) {
+  entries_[key] = entry;
+}
+
+std::filesystem::path default_cache_path() {
+  if (const char* env = std::getenv("HSPMV_TUNING_CACHE");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  if (const char* home = std::getenv("HOME");
+      home != nullptr && *home != '\0') {
+    return std::filesystem::path(home) / ".cache" / "hspmv" /
+           "tuning-v1.json";
+  }
+  return "hspmv-tuning-v1.json";
+}
+
+std::vector<TunedConfig> candidate_configs(const sparse::CsrMatrix& a,
+                                           const AutotuneOptions& options) {
+  auto scored = scored_candidates(a, options);
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& s : scored) best = std::min(best, s.balance);
+  std::vector<TunedConfig> configs;
+  for (const auto& s : scored) {
+    if (options.prune_ratio > 0.0 && s.balance > options.prune_ratio * best) {
+      continue;
+    }
+    configs.push_back(s.config);
+  }
+  return configs;
+}
+
+TunedConfig model_pick(const sparse::CsrMatrix& a,
+                       const AutotuneOptions& options) {
+  const auto scored = scored_candidates(a, options);
+  const ScoredConfig* best = &scored.front();
+  for (const auto& s : scored) {
+    if (s.balance < best->balance) best = &s;  // ties keep the earlier
+  }
+  TunedConfig config = best->config;
+  config.nnz_balanced = true;
+  return config;
+}
+
+TuningEntry autotune(const sparse::CsrMatrix& a,
+                     const AutotuneOptions& options) {
+  const auto candidates = candidate_configs(a, options);
+  team::ThreadTeam team(std::max(1, options.threads));
+  TuningEntry best;
+  best.seconds = std::numeric_limits<double>::infinity();
+  for (const TunedConfig& candidate : candidates) {
+    std::vector<TunedConfig> schedules{candidate};
+    if (options.threads > 1) {
+      TunedConfig uniform = candidate;
+      uniform.nnz_balanced = false;
+      schedules.push_back(uniform);
+    }
+    for (const TunedConfig& config : schedules) {
+      const double seconds = measure_config(a, config, options, team);
+      if (seconds < best.seconds) {
+        best.config = config;
+        best.seconds = seconds;
+      }
+    }
+  }
+  if (!std::isfinite(best.seconds)) {
+    best.config = TunedConfig{LocalBackend::kCsr, 0, 0, true};
+    best.seconds = 0.0;
+  }
+  return best;
+}
+
+TunedConfig resolve_tuned(const sparse::CsrMatrix& a, TuneMode mode,
+                          const std::string& cache_path,
+                          const AutotuneOptions& options) {
+  if (mode == TuneMode::kOff) return model_pick(a, options);
+  const std::filesystem::path path =
+      cache_path.empty() ? default_cache_path()
+                         : std::filesystem::path(cache_path);
+  const std::string key = MatrixFingerprint::of(a).key();
+  TuningCache cache = TuningCache::load(path);
+  if (mode == TuneMode::kCached) {
+    if (const TuningEntry* hit = cache.find(key)) return hit->config;
+  }
+  const TuningEntry entry = autotune(a, options);
+  cache.insert(key, entry);
+  try {
+    cache.save(path);
+  } catch (const std::exception&) {
+    // An unwritable cache must not fail the engine — the tuning result
+    // is still used, it just will not persist.
+  }
+  return entry.config;
+}
+
+}  // namespace hspmv::spmv

@@ -1,0 +1,136 @@
+// Per-matrix kernel autotuning with a persistent cache.
+//
+// A kAuto engine (spmv/engine.hpp) must pick a concrete node-level
+// configuration: backend in {csr, sell}, the SELL chunk height C and
+// sorting window sigma, and the worker schedule. The right choice depends
+// on the matrix — SELL's padding ratio beta is a property of the row
+// length distribution — so the tuner works per matrix:
+//
+//  1. Candidate generation sweeps backend x C in {4..64} x sigma in
+//     {1, C, 8C, n}, pruned by the paper-derived code-balance priors
+//     (perfmodel/code_balance.hpp): B_CRS = 6 + 12/Nnzr + kappa/2 and
+//     B_SELL = 6 beta + 12/Nnzr + kappa/2, with beta simulated exactly
+//     from the row lengths without building the matrix. Candidates whose
+//     model balance exceeds prune_ratio x the best model balance are
+//     dropped before any timing.
+//  2. The surviving candidates run a timed sweep (min over reps) of the
+//     local sweep at the engine's worker count, for both schedules
+//     (nonzero-balanced and uniform shares) when threads > 1.
+//  3. The winner is persisted in a versioned JSON cache keyed by a
+//     MatrixFingerprint (dims, nnz, row-length histogram moments,
+//     bandwidth), so the next engine on an equivalent matrix skips the
+//     sweep entirely (TuneMode::kCached).
+//
+// The cache lives at $HSPMV_TUNING_CACHE, or ~/.cache/hspmv/tuning-v1.json
+// (EngineOptions::tuning_cache overrides). Unreadable, corrupted, or
+// version-mismatched caches are treated as empty — tune-on-miss rebuilds
+// them; they are never trusted blindly.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "spmv/engine.hpp"
+
+namespace hspmv::spmv {
+
+/// Structural identity of a matrix for cache keying: two matrices with
+/// the same fingerprint get the same tuning decision. Deliberately
+/// value-blind (tuning depends on sparsity structure, not numbers).
+struct MatrixFingerprint {
+  sparse::index_t rows = 0;
+  sparse::index_t cols = 0;
+  sparse::offset_t nnz = 0;
+  /// Row-length histogram moments: mean (Nnzr), standard deviation, and
+  /// maximum — the skew that drives SELL's padding ratio.
+  double mean_row_length = 0.0;
+  double stddev_row_length = 0.0;
+  sparse::index_t max_row_length = 0;
+  /// max |col - row| over the stored entries.
+  sparse::index_t bandwidth = 0;
+
+  static MatrixFingerprint of(const sparse::CsrMatrix& a);
+
+  /// Stable cache-key string "v1|rows|cols|nnz|mean|stddev|max|bw"
+  /// (moments printed with fixed precision so the key is reproducible).
+  [[nodiscard]] std::string key() const;
+};
+
+/// Tuning-sweep knobs.
+struct AutotuneOptions {
+  /// Timed repetitions per candidate; the minimum is kept (the
+  /// bandwidth-bound steady state, insensitive to one-off noise).
+  int reps = 5;
+  /// Worker count the engine will run with; > 1 also sweeps the schedule
+  /// (nnz-balanced vs uniform shares).
+  int threads = 1;
+  /// Model prior: candidates with code balance > prune_ratio x the best
+  /// model balance are dropped un-timed. <= 0 disables pruning.
+  double prune_ratio = 1.5;
+  /// kappa of the code-balance model (extra B traffic; 0 = compulsory).
+  double kappa = 0.0;
+  /// SELL chunk heights to sweep; sigma sweeps {1, C, 8C, rows} per C.
+  std::vector<int> chunks = {4, 8, 16, 32, 64};
+  /// Test seam: when set, replaces the wall-clock measurement — must
+  /// return the "seconds" for a candidate. Makes tune-on-miss fully
+  /// deterministic (seeded-clock tests).
+  std::function<double(const TunedConfig&)> measure;
+};
+
+/// One cache entry: the winning configuration and its measured time.
+struct TuningEntry {
+  TunedConfig config;
+  double seconds = 0.0;
+};
+
+/// Versioned persistent map fingerprint-key -> winner. The on-disk format
+/// is a single JSON object {"version": 1, "entries": [...]}; load() of a
+/// missing/corrupted/version-mismatched file yields an empty cache.
+class TuningCache {
+ public:
+  static constexpr int kVersion = 1;
+
+  static TuningCache load(const std::filesystem::path& path);
+  /// Atomic persist (temp file + rename); creates parent directories.
+  void save(const std::filesystem::path& path) const;
+
+  [[nodiscard]] const TuningEntry* find(const std::string& key) const;
+  void insert(const std::string& key, const TuningEntry& entry);
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, TuningEntry> entries_;
+};
+
+/// $HSPMV_TUNING_CACHE if set, else ~/.cache/hspmv/tuning-v1.json
+/// ($HOME-relative; falls back to the current directory without $HOME).
+std::filesystem::path default_cache_path();
+
+/// The model-pruned candidate list for a fingerprint (deterministic:
+/// csr first, then sell by ascending C, sigma). Every candidate has
+/// nnz_balanced = true; the timed sweep adds the uniform-schedule twin.
+std::vector<TunedConfig> candidate_configs(const sparse::CsrMatrix& a,
+                                           const AutotuneOptions& options);
+
+/// Deterministic no-IO pick: the candidate with the best code-balance
+/// model value (TuneMode::kOff's resolution).
+TunedConfig model_pick(const sparse::CsrMatrix& a,
+                       const AutotuneOptions& options = {});
+
+/// Full timed sweep over the pruned candidates; returns the winner.
+TuningEntry autotune(const sparse::CsrMatrix& a,
+                     const AutotuneOptions& options = {});
+
+/// TuneMode dispatch used by SpmvEngine::rebuild for a kAuto backend:
+/// kOff -> model_pick; kCached -> cache hit or tune-and-persist;
+/// kForce -> tune-and-persist unconditionally. `cache_path` empty means
+/// default_cache_path().
+TunedConfig resolve_tuned(const sparse::CsrMatrix& a, TuneMode mode,
+                          const std::string& cache_path,
+                          const AutotuneOptions& options = {});
+
+}  // namespace hspmv::spmv

@@ -9,6 +9,7 @@
 #include "minimpi/fault.hpp"
 #include "sparse/ell.hpp"
 #include "sparse/kernels.hpp"
+#include "spmv/autotune.hpp"
 #include "util/timer.hpp"
 
 namespace hspmv::spmv {
@@ -39,9 +40,12 @@ struct OffsetTeam {
 class CsrLocalKernel final : public LocalKernel {
  public:
   CsrLocalKernel(const sparse::CsrMatrix& local, index_t local_cols,
-                 int workers, team::ThreadTeam* place_team, int party_offset)
+                 int workers, team::ThreadTeam* place_team, int party_offset,
+                 bool nnz_balanced)
       : local_cols_(local_cols),
-        rows_(team::nnz_balanced_boundaries(local.row_ptr(), workers)) {
+        rows_(nnz_balanced
+                  ? team::nnz_balanced_boundaries(local.row_ptr(), workers)
+                  : team::uniform_boundaries(local.rows(), workers)) {
     if (place_team == nullptr) {
       view_ = sparse::view(local);  // DistMatrix outlives the engine
       return;
@@ -118,11 +122,15 @@ class SellLocalKernel final : public LocalKernel {
  public:
   SellLocalKernel(const sparse::CsrMatrix& local, index_t local_cols,
                   int workers, int chunk, int sigma,
-                  team::ThreadTeam* place_team, int party_offset)
+                  team::ThreadTeam* place_team, int party_offset,
+                  bool nnz_balanced)
       : matrix_(sparse::SellMatrix::from_csr(local, chunk, sigma)),
         local_cols_(local_cols),
-        chunks_(team::nnz_balanced_boundaries(matrix_.chunk_offsets(),
-                                              workers)) {
+        chunks_(nnz_balanced
+                    ? team::nnz_balanced_boundaries(matrix_.chunk_offsets(),
+                                                    workers)
+                    : team::uniform_boundaries(matrix_.chunk_count(),
+                                               workers)) {
     if (place_team != nullptr) {
       OffsetTeam team{*place_team, party_offset};
       matrix_.place_first_touch(chunks_, team);
@@ -222,8 +230,9 @@ std::vector<team::Range> LocalKernel::write_ranges(int worker) const {
 LocalBackend parse_backend(const std::string& name) {
   if (name == "csr" || name == "crs") return LocalBackend::kCsr;
   if (name == "sell") return LocalBackend::kSell;
+  if (name == "auto") return LocalBackend::kAuto;
   throw std::invalid_argument("unknown kernel backend: " + name +
-                              " (expected csr or sell)");
+                              " (expected csr, sell, or auto)");
 }
 
 const char* backend_name(LocalBackend backend) {
@@ -232,6 +241,28 @@ const char* backend_name(LocalBackend backend) {
       return "csr";
     case LocalBackend::kSell:
       return "sell";
+    case LocalBackend::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+TuneMode parse_tune_mode(const std::string& name) {
+  if (name == "off") return TuneMode::kOff;
+  if (name == "cached") return TuneMode::kCached;
+  if (name == "force") return TuneMode::kForce;
+  throw std::invalid_argument("unknown tune mode: " + name +
+                              " (expected off, cached, or force)");
+}
+
+const char* tune_mode_name(TuneMode mode) {
+  switch (mode) {
+    case TuneMode::kOff:
+      return "off";
+    case TuneMode::kCached:
+      return "cached";
+    case TuneMode::kForce:
+      return "force";
   }
   return "?";
 }
@@ -241,17 +272,24 @@ std::unique_ptr<LocalKernel> make_local_kernel(const DistMatrix& matrix,
                                                int workers, int sell_chunk,
                                                int sell_sigma,
                                                team::ThreadTeam* place_team,
-                                               int party_offset) {
+                                               int party_offset,
+                                               bool nnz_balanced) {
   switch (backend) {
     case LocalBackend::kCsr:
       return std::make_unique<CsrLocalKernel>(matrix.local(),
                                               matrix.owned_rows(), workers,
-                                              place_team, party_offset);
+                                              place_team, party_offset,
+                                              nnz_balanced);
     case LocalBackend::kSell:
       return std::make_unique<SellLocalKernel>(matrix.local(),
                                                matrix.owned_rows(), workers,
                                                sell_chunk, sell_sigma,
-                                               place_team, party_offset);
+                                               place_team, party_offset,
+                                               nnz_balanced);
+    case LocalBackend::kAuto:
+      throw std::invalid_argument(
+          "make_local_kernel: kAuto must be resolved to a concrete backend "
+          "first (see spmv/autotune.hpp)");
   }
   throw std::logic_error("make_local_kernel: unknown backend");
 }
@@ -267,6 +305,11 @@ Timings& Timings::operator+=(const Timings& other) {
   halo_elements += other.halo_elements;
   messages += other.messages;
   retries += other.retries;
+  // Configuration fields: copy, don't sum — the accumulated timing keeps
+  // the configuration of the applies it aggregates.
+  backend = other.backend;
+  sell_chunk = other.sell_chunk;
+  sell_sigma = other.sell_sigma;
   return *this;
 }
 
@@ -293,11 +336,22 @@ SpmvEngine::SpmvEngine(const DistMatrix& matrix, int threads, Variant variant,
 
 void SpmvEngine::rebuild(const DistMatrix& matrix) {
   matrix_ = &matrix;
+  if (options_.backend == LocalBackend::kAuto) {
+    // Resolve the configuration for *this* local block (a rebuild after a
+    // communicator shrink re-tunes: the block changed).
+    AutotuneOptions tune_options;
+    tune_options.threads = compute_threads_;
+    tuned_ = resolve_tuned(matrix.local(), options_.tune,
+                           options_.tuning_cache, tune_options);
+  } else {
+    tuned_ = TunedConfig{options_.backend, options_.sell_chunk,
+                         options_.sell_sigma, options_.nnz_balanced};
+  }
   const int party_offset = variant_ == Variant::kTaskMode ? 1 : 0;
-  kernel_ = make_local_kernel(matrix, options_.backend, compute_threads_,
-                              options_.sell_chunk, options_.sell_sigma,
+  kernel_ = make_local_kernel(matrix, tuned_.backend, compute_threads_,
+                              tuned_.sell_chunk, tuned_.sell_sigma,
                               options_.first_touch ? &team_ : nullptr,
-                              party_offset);
+                              party_offset, tuned_.nnz_balanced);
   const auto& plan = matrix.plan();
   gather_schedule_ = GatherSchedule(plan, team_.size());
   task_gather_schedule_ = GatherSchedule(plan, compute_threads_);
@@ -647,6 +701,10 @@ Timings SpmvEngine::apply_view(const ApplyView& v) {
                  static_cast<std::int64_t>(sizeof(value_t));
   t.messages = static_cast<std::int64_t>(plan.recv_blocks.size() +
                                          plan.send_blocks.size());
+  // Report the resolved kernel configuration (what kAuto actually chose).
+  t.backend = tuned_.backend;
+  t.sell_chunk = tuned_.backend == LocalBackend::kSell ? tuned_.sell_chunk : 0;
+  t.sell_sigma = tuned_.backend == LocalBackend::kSell ? tuned_.sell_sigma : 0;
   return t;
 }
 

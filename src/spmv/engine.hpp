@@ -50,21 +50,58 @@ enum class Variant {
   kTaskMode,
 };
 
-/// Storage format of the node-level compute phase.
+/// Storage format of the node-level compute phase. kAuto defers the
+/// choice to the per-matrix autotuner (spmv/autotune.hpp): the engine
+/// resolves it to a concrete (backend, C, sigma, schedule) configuration
+/// at rebuild() time, per EngineOptions::tune.
 enum class LocalBackend {
   kCsr,
   kSell,
+  kAuto,
 };
 
-/// "csr" -> kCsr, "sell" -> kSell; throws std::invalid_argument otherwise.
+/// "csr" -> kCsr, "sell" -> kSell, "auto" -> kAuto; throws
+/// std::invalid_argument otherwise.
 LocalBackend parse_backend(const std::string& name);
 const char* backend_name(LocalBackend backend);
+
+/// How a kAuto engine resolves its configuration (the --tune flag).
+enum class TuneMode {
+  kOff,     ///< no timing, no cache IO: deterministic code-balance model pick
+  kCached,  ///< consult the tuning cache; timed sweep only on a miss, persist
+  kForce,   ///< always re-run the timed sweep and overwrite the cache entry
+};
+
+/// "off" -> kOff, "cached" -> kCached, "force" -> kForce; throws
+/// std::invalid_argument otherwise.
+TuneMode parse_tune_mode(const std::string& name);
+const char* tune_mode_name(TuneMode mode);
+
+/// One concrete node-level kernel configuration — what the autotuner
+/// sweeps and what a kAuto engine resolves to.
+struct TunedConfig {
+  LocalBackend backend = LocalBackend::kCsr;
+  int sell_chunk = 32;       ///< SELL-C-sigma chunk height C (ignored for CSR)
+  int sell_sigma = 1;        ///< SELL sorting window (ignored for CSR)
+  /// Thread schedule of the local sweeps: nonzero/slot-balanced
+  /// contiguous chunks (true, the engine's historical distribution) or
+  /// uniform row/chunk counts per worker (OpenMP schedule(static)).
+  bool nnz_balanced = true;
+};
 
 /// Engine construction knobs beyond the (matrix, threads, variant) core.
 struct EngineOptions {
   LocalBackend backend = LocalBackend::kCsr;
   int sell_chunk = 32;   ///< SELL-C-sigma chunk height C
   int sell_sigma = 256;  ///< SELL-C-sigma sorting window
+  /// kAuto resolution policy (ignored for explicit backends).
+  TuneMode tune = TuneMode::kCached;
+  /// Tuning-cache file for kAuto. Empty = autotune::default_cache_path()
+  /// (HSPMV_TUNING_CACHE env var, else ~/.cache/hspmv/tuning-v1.json).
+  std::string tuning_cache;
+  /// Thread schedule of the kernel sweeps (see TunedConfig::nnz_balanced);
+  /// a kAuto engine takes the autotuned value instead.
+  bool nnz_balanced = true;
   /// Team-parallel send-buffer gather in the vector-mode variants
   /// (element-balanced via GatherSchedule). Off = the historical serial
   /// loop on thread 0. Either way the buffers hold identical bytes.
@@ -140,13 +177,16 @@ class LocalKernel {
 /// With `place_team` non-null the backend's arrays are re-placed by NUMA
 /// first-touch: team member `party_offset + w` copies worker w's share
 /// (task mode passes 1 — member 0 is the communication thread).
+/// `nnz_balanced` selects the worker-share schedule (TunedConfig field).
+/// `backend` must be concrete — pass a resolved configuration, not kAuto.
 std::unique_ptr<LocalKernel> make_local_kernel(const DistMatrix& matrix,
                                                LocalBackend backend,
                                                int workers, int sell_chunk,
                                                int sell_sigma,
                                                team::ThreadTeam* place_team =
                                                    nullptr,
-                                               int party_offset = 0);
+                                               int party_offset = 0,
+                                               bool nnz_balanced = true);
 
 /// Wall-clock phase attribution of one apply(). Phases overlap in task
 /// mode, so the sum can exceed total_s there. gather_s is the max over
@@ -169,6 +209,14 @@ struct Timings {
   /// Transient-fault reposts performed by the retry policy (0 unless
   /// EngineOptions::retry is enabled and faults were injected).
   std::int64_t retries = 0;
+
+  /// The node-level kernel configuration that produced this timing (the
+  /// engine's resolved TunedConfig — reports what kAuto actually chose).
+  /// operator+= copies these from the right-hand side instead of summing:
+  /// accumulated timings keep the configuration of the applies they sum.
+  LocalBackend backend = LocalBackend::kCsr;
+  int sell_chunk = 0;  ///< 0 until an apply() stamps the configuration
+  int sell_sigma = 0;
 
   Timings& operator+=(const Timings& other);
 };
@@ -213,7 +261,12 @@ class SpmvEngine {
   [[nodiscard]] MultiVector make_multi_vector(int width);
 
   [[nodiscard]] Variant variant() const { return variant_; }
-  [[nodiscard]] LocalBackend backend() const { return options_.backend; }
+  /// The *resolved* backend: for a kAuto engine this is what the tuner
+  /// chose (never kAuto itself).
+  [[nodiscard]] LocalBackend backend() const { return tuned_.backend; }
+  /// The full resolved node-level configuration (== the options for
+  /// explicit backends).
+  [[nodiscard]] const TunedConfig& tuned_config() const { return tuned_; }
   [[nodiscard]] int threads() const { return team_.size(); }
   [[nodiscard]] int compute_threads() const { return compute_threads_; }
 
@@ -315,6 +368,9 @@ class SpmvEngine {
   const DistMatrix* matrix_;
   Variant variant_;
   EngineOptions options_;
+  /// Concrete kernel configuration: options_' backend fields, or the
+  /// autotuner's pick when options_.backend is kAuto. Set by rebuild().
+  TunedConfig tuned_;
   team::ThreadTeam team_;
   int compute_threads_;
   /// Format-pluggable node-level compute, one share per compute thread.

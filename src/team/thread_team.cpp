@@ -64,6 +64,22 @@ std::vector<std::int64_t> nnz_balanced_boundaries(
   return boundaries;
 }
 
+std::vector<std::int64_t> uniform_boundaries(std::int64_t count, int parts) {
+  if (parts < 1) {
+    throw std::invalid_argument("uniform_boundaries: parts must be >= 1");
+  }
+  if (count < 0) {
+    throw std::invalid_argument("uniform_boundaries: negative count");
+  }
+  std::vector<std::int64_t> boundaries(static_cast<std::size_t>(parts) + 1);
+  boundaries.front() = 0;
+  for (int p = 0; p < parts; ++p) {
+    boundaries[static_cast<std::size_t>(p) + 1] =
+        static_chunk(0, count, p, parts).end;
+  }
+  return boundaries;
+}
+
 ThreadTeam::ThreadTeam(int threads) {
   if (threads < 1) {
     throw std::invalid_argument("ThreadTeam: threads must be >= 1");

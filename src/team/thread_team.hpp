@@ -69,6 +69,12 @@ Range static_chunk(std::int64_t begin, std::int64_t end, int part, int parts);
 std::vector<std::int64_t> nnz_balanced_boundaries(
     std::span<const std::int64_t> row_ptr, int parts);
 
+/// Boundaries splitting [0, count) into `parts` contiguous chunks of
+/// approximately equal *element* count (static_chunk semantics) — the
+/// schedule alternative the autotuner sweeps against nnz balancing.
+/// Returns parts+1 boundaries with front() == 0 and back() == count.
+std::vector<std::int64_t> uniform_boundaries(std::int64_t count, int parts);
+
 /// Persistent worker pool. Threads are created once and reused across
 /// execute() calls; a fork/join costs two barrier passes, no thread spawn.
 class ThreadTeam {

@@ -1,0 +1,308 @@
+// Autotuner tier (ctest -L autotune): fingerprint stability, tuning-cache
+// round-trip and rejection of corrupted/version-mismatched files,
+// deterministic tune-on-miss through the measurement seam, and the
+// engine-level kAuto path with the write-range race detector on.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/reference.hpp"
+#include "matgen/random_matrix.hpp"
+#include "spmv/autotune.hpp"
+#include "spmv/engine.hpp"
+
+namespace hspmv::spmv {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_cache(const char* name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  std::error_code ec;
+  fs::remove(path, ec);
+  return path;
+}
+
+TuningEntry sample_entry(LocalBackend backend, int chunk, int sigma,
+                         bool nnz_balanced, double seconds) {
+  TuningEntry entry;
+  entry.config = TunedConfig{backend, chunk, sigma, nnz_balanced};
+  entry.seconds = seconds;
+  return entry;
+}
+
+TEST(Fingerprint, StableAcrossRebuilds) {
+  const auto a = matgen::random_power_law(300, 5, 0.6, 7);
+  const auto b = matgen::random_power_law(300, 5, 0.6, 7);  // same seed
+  EXPECT_EQ(MatrixFingerprint::of(a).key(), MatrixFingerprint::of(b).key());
+  EXPECT_FALSE(MatrixFingerprint::of(a).key().empty());
+}
+
+TEST(Fingerprint, DiscriminatesStructure) {
+  const auto a = matgen::random_power_law(300, 5, 0.6, 7);
+  const auto b = matgen::random_power_law(300, 5, 0.6, 8);  // other seed
+  const auto c = matgen::random_sparse(300, 5, 3);
+  EXPECT_NE(MatrixFingerprint::of(a).key(), MatrixFingerprint::of(b).key());
+  EXPECT_NE(MatrixFingerprint::of(a).key(), MatrixFingerprint::of(c).key());
+}
+
+TEST(TuningCacheIo, RoundTrip) {
+  const auto path = temp_cache("roundtrip.json");
+  TuningCache cache;
+  cache.insert("k1", sample_entry(LocalBackend::kSell, 16, 128, true,
+                                  1.25e-5));
+  cache.insert("k2", sample_entry(LocalBackend::kCsr, 0, 0, false, 3.5e-4));
+  cache.save(path);
+
+  const TuningCache loaded = TuningCache::load(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  const TuningEntry* e1 = loaded.find("k1");
+  ASSERT_NE(e1, nullptr);
+  EXPECT_EQ(e1->config.backend, LocalBackend::kSell);
+  EXPECT_EQ(e1->config.sell_chunk, 16);
+  EXPECT_EQ(e1->config.sell_sigma, 128);
+  EXPECT_TRUE(e1->config.nnz_balanced);
+  EXPECT_DOUBLE_EQ(e1->seconds, 1.25e-5);
+  const TuningEntry* e2 = loaded.find("k2");
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(e2->config.backend, LocalBackend::kCsr);
+  EXPECT_FALSE(e2->config.nnz_balanced);
+  EXPECT_EQ(loaded.find("absent"), nullptr);
+}
+
+TEST(TuningCacheIo, MissingFileIsEmpty) {
+  EXPECT_EQ(TuningCache::load(temp_cache("never-written.json")).size(), 0u);
+}
+
+TEST(TuningCacheIo, CorruptedFileRejectedGracefully) {
+  const auto path = temp_cache("corrupt.json");
+  std::ofstream(path) << "this is {{{ not json at all";
+  EXPECT_EQ(TuningCache::load(path).size(), 0u);
+}
+
+TEST(TuningCacheIo, VersionMismatchRejected) {
+  const auto path = temp_cache("version.json");
+  std::ofstream(path)
+      << "{\"version\": 99, \"entries\": [{\"key\": \"k\", \"backend\": "
+         "\"csr\", \"chunk\": 0, \"sigma\": 0, \"nnz_balanced\": true, "
+         "\"seconds\": 1.0}]}";
+  EXPECT_EQ(TuningCache::load(path).size(), 0u);
+}
+
+TEST(TuningCacheIo, MalformedEntrySkippedOthersKept) {
+  const auto path = temp_cache("partial.json");
+  std::ofstream(path)
+      << "{\"version\": 1, \"entries\": ["
+         "{\"key\": \"bad\", \"backend\": \"sell\"},"  // missing fields
+         "{\"key\": \"worse\", \"backend\": \"vortex\", \"chunk\": 4, "
+         "\"sigma\": 4, \"nnz_balanced\": true, \"seconds\": 1.0},"
+         "{\"key\": \"good\", \"backend\": \"sell\", \"chunk\": 8, "
+         "\"sigma\": 64, \"nnz_balanced\": false, \"seconds\": 2.5e-6}]}";
+  const TuningCache cache = TuningCache::load(path);
+  ASSERT_EQ(cache.size(), 1u);
+  const TuningEntry* good = cache.find("good");
+  ASSERT_NE(good, nullptr);
+  EXPECT_EQ(good->config.sell_chunk, 8);
+  EXPECT_FALSE(good->config.nnz_balanced);
+}
+
+TEST(Candidates, DeterministicAndNormalized) {
+  const auto a = matgen::random_power_law(400, 5, 0.7, 11);
+  const AutotuneOptions options;
+  const auto first = candidate_configs(a, options);
+  const auto second = candidate_configs(a, options);
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(first.front().backend, LocalBackend::kCsr);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].backend, second[i].backend) << i;
+    EXPECT_EQ(first[i].sell_chunk, second[i].sell_chunk) << i;
+    EXPECT_EQ(first[i].sell_sigma, second[i].sell_sigma) << i;
+    if (first[i].backend == LocalBackend::kSell && first[i].sell_sigma > 1) {
+      // Sigmas are pre-normalized to multiples of C (from_csr's rounding),
+      // so the cached configuration reproduces the matrix exactly.
+      EXPECT_EQ(first[i].sell_sigma % first[i].sell_chunk, 0) << i;
+    }
+  }
+}
+
+TEST(Candidates, PruningBoundsTheSweep) {
+  const auto a = matgen::random_power_law(400, 5, 0.7, 11);
+  AutotuneOptions loose;
+  loose.prune_ratio = 0.0;  // disabled
+  AutotuneOptions tight;
+  tight.prune_ratio = 1.0 + 1e-9;  // only the model-best survives
+  EXPECT_GE(candidate_configs(a, loose).size(),
+            candidate_configs(a, tight).size());
+  EXPECT_GE(candidate_configs(a, tight).size(), 1u);
+}
+
+TEST(ModelPick, DeterministicConcreteBackend) {
+  const auto a = matgen::random_power_law(400, 5, 0.7, 11);
+  const TunedConfig pick = model_pick(a);
+  EXPECT_NE(pick.backend, LocalBackend::kAuto);
+  const TunedConfig again = model_pick(a);
+  EXPECT_EQ(pick.backend, again.backend);
+  EXPECT_EQ(pick.sell_chunk, again.sell_chunk);
+  EXPECT_EQ(pick.sell_sigma, again.sell_sigma);
+}
+
+/// A seeded "clock": deterministic synthetic seconds per configuration,
+/// rigged so one specific SELL configuration wins.
+struct RiggedMeasure {
+  int* calls;
+  double operator()(const TunedConfig& config) const {
+    ++*calls;
+    if (config.backend == LocalBackend::kSell && config.sell_chunk == 16 &&
+        config.nnz_balanced) {
+      return 1.0e-6 + 1.0e-9 * config.sell_sigma;  // sigma = 1 wins overall
+    }
+    return 1.0e-3;
+  }
+};
+
+TEST(TuneOnMiss, DeterministicWithSeededMeasure) {
+  const auto a = matgen::random_power_law(300, 5, 0.6, 13);
+  int calls = 0;
+  AutotuneOptions options;
+  options.measure = RiggedMeasure{&calls};
+  const TuningEntry first = autotune(a, options);
+  const int first_calls = calls;
+  EXPECT_GT(first_calls, 1);
+  EXPECT_EQ(first.config.backend, LocalBackend::kSell);
+  EXPECT_EQ(first.config.sell_chunk, 16);
+  EXPECT_EQ(first.config.sell_sigma, 1);
+  EXPECT_DOUBLE_EQ(first.seconds, 1.0e-6 + 1.0e-9);
+  // Same matrix, same rigged clock: identical winner and call count.
+  const TuningEntry second = autotune(a, options);
+  EXPECT_EQ(calls, 2 * first_calls);
+  EXPECT_EQ(second.config.sell_chunk, first.config.sell_chunk);
+  EXPECT_EQ(second.config.sell_sigma, first.config.sell_sigma);
+  EXPECT_DOUBLE_EQ(second.seconds, first.seconds);
+}
+
+TEST(ResolveTuned, CachedHitSkipsMeasurement) {
+  const auto a = matgen::random_power_law(300, 5, 0.6, 13);
+  const auto path = temp_cache("resolve.json");
+  int calls = 0;
+  AutotuneOptions options;
+  options.measure = RiggedMeasure{&calls};
+  // Miss: measures and persists.
+  const TunedConfig tuned =
+      resolve_tuned(a, TuneMode::kCached, path.string(), options);
+  EXPECT_GT(calls, 0);
+  EXPECT_EQ(tuned.backend, LocalBackend::kSell);
+  EXPECT_TRUE(fs::exists(path));
+  // Hit: the rigged clock must not tick.
+  calls = 0;
+  const TunedConfig cached =
+      resolve_tuned(a, TuneMode::kCached, path.string(), options);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(cached.backend, tuned.backend);
+  EXPECT_EQ(cached.sell_chunk, tuned.sell_chunk);
+  EXPECT_EQ(cached.sell_sigma, tuned.sell_sigma);
+  EXPECT_EQ(cached.nnz_balanced, tuned.nnz_balanced);
+}
+
+TEST(ResolveTuned, ForceRetunesAndOverwrites) {
+  const auto a = matgen::random_power_law(300, 5, 0.6, 13);
+  const auto path = temp_cache("force.json");
+  // Seed the cache with a bogus winner under the right key.
+  {
+    TuningCache cache;
+    cache.insert(MatrixFingerprint::of(a).key(),
+                 sample_entry(LocalBackend::kCsr, 0, 0, true, 99.0));
+    cache.save(path);
+  }
+  int calls = 0;
+  AutotuneOptions options;
+  options.measure = RiggedMeasure{&calls};
+  const TunedConfig forced =
+      resolve_tuned(a, TuneMode::kForce, path.string(), options);
+  EXPECT_GT(calls, 0);  // kForce never trusts the cache
+  EXPECT_EQ(forced.backend, LocalBackend::kSell);
+  const TuningCache cache = TuningCache::load(path);
+  const TuningEntry* entry = cache.find(MatrixFingerprint::of(a).key());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->config.backend, LocalBackend::kSell);  // overwritten
+}
+
+TEST(ResolveTuned, OffModeDoesNoIo) {
+  const auto a = matgen::random_power_law(300, 5, 0.6, 13);
+  const auto path = temp_cache("off.json");
+  const TunedConfig off = resolve_tuned(a, TuneMode::kOff, path.string());
+  EXPECT_NE(off.backend, LocalBackend::kAuto);
+  EXPECT_FALSE(fs::exists(path));  // no cache written, none read
+}
+
+TEST(ParseFlags, BackendAndTuneMode) {
+  EXPECT_EQ(parse_backend("auto"), LocalBackend::kAuto);
+  EXPECT_STREQ(backend_name(LocalBackend::kAuto), "auto");
+  EXPECT_EQ(parse_tune_mode("off"), TuneMode::kOff);
+  EXPECT_EQ(parse_tune_mode("cached"), TuneMode::kCached);
+  EXPECT_EQ(parse_tune_mode("force"), TuneMode::kForce);
+  EXPECT_STREQ(tune_mode_name(TuneMode::kCached), "cached");
+  EXPECT_THROW((void)parse_tune_mode("sometimes"), std::invalid_argument);
+}
+
+TEST(EngineAuto, ResolvesAppliesAndReportsExactly) {
+  // End to end: a kAuto engine (real timed sweep on a small matrix, local
+  // temp cache) must produce the exact product, report the resolved
+  // configuration in its Timings, and keep the write-range race detector
+  // exact (zero diagnostics with full coverage checks on).
+  const auto a = matgen::random_power_law(400, 6, 0.6, 17);
+  const auto path = temp_cache("engine.json");
+  const auto x = testutil::random_vector(400, 7);
+  const auto expected = testutil::sequential_reference(a, x);
+
+  int diagnostics = 0;
+  EngineOptions options;
+  options.backend = LocalBackend::kAuto;
+  options.tune = TuneMode::kCached;
+  options.tuning_cache = path.string();
+  options.range_check.enabled = true;
+  options.range_check.log_to_stderr = false;
+  options.range_check.on_diagnostic = [&](const team::RangeDiagnostic&) {
+    ++diagnostics;
+  };
+
+  minimpi::RuntimeOptions runtime;
+  runtime.ranks = 2;
+  const auto result = testutil::distributed_product(
+      a, x, /*threads=*/2, Variant::kVectorNaiveOverlap, runtime, options);
+  EXPECT_LT(testutil::max_abs_diff(result, expected), 1e-10);
+  EXPECT_EQ(diagnostics, 0);
+  EXPECT_TRUE(fs::exists(path));  // tune-on-miss persisted per local block
+
+  // Single-rank engine over the same cache: inspect the resolved config.
+  minimpi::RuntimeOptions single;
+  single.ranks = 1;
+  minimpi::run(single, [&](minimpi::Comm& comm) {
+    const auto boundaries = partition_rows(
+        a, comm.size(), PartitionStrategy::kBalancedNonzeros);
+    DistMatrix dist(comm, a, boundaries);
+    SpmvEngine engine(dist, /*threads=*/2, Variant::kVectorNoOverlap,
+                      options);
+    EXPECT_NE(engine.backend(), LocalBackend::kAuto);
+    EXPECT_EQ(engine.backend(), engine.tuned_config().backend);
+    DistVector vx = engine.make_vector();
+    DistVector vy = engine.make_vector();
+    vx.assign_from_global(x, dist.row_begin());
+    const Timings t = engine.apply(vx, vy);
+    EXPECT_EQ(t.backend, engine.backend());
+    if (t.backend == LocalBackend::kSell) {
+      EXPECT_GT(t.sell_chunk, 0);
+      EXPECT_GT(t.sell_sigma, 0);
+    } else {
+      EXPECT_EQ(t.sell_chunk, 0);
+      EXPECT_EQ(t.sell_sigma, 0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace hspmv::spmv
