@@ -136,6 +136,7 @@ void run_recovery_demo(const sparse::CsrMatrix& a, int threads,
         retries.fetch_add(t.retries);
       } catch (const minimpi::FaultError& fault) {
         if (fault.kind() == minimpi::FaultKind::kTransient) throw;
+        // HSPMV-CHECK-ALLOW(divergent-collective): the victim rank is dead to the protocol; survivors shrink and rebuild the communicator before their next collective
         if (fault.rank() == world_rank) return;  // the victim is done
         util::Timer timer;
         op.shrink_and_rebuild();

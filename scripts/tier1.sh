@@ -10,8 +10,15 @@
 #   tier1.sh ubsan  — same under UBSan (-fno-sanitize-recover) in
 #                     build-ubsan
 #   tier1.sh tsan   — same under ThreadSanitizer in build-tsan
-#   tier1.sh lint   — static-analysis pass (scripts/lint.sh: clang-tidy
-#                     when available, strict GCC warnings otherwise)
+#   tier1.sh lint   — static-analysis pass (scripts/lint.sh: hspmv-check,
+#                     then clang-tidy when available, strict GCC
+#                     warnings otherwise)
+#   tier1.sh staticcheck — project-specific invariant analysis only:
+#                     hspmv-check over the tree against the committed
+#                     baseline (scripts/staticcheck.sh, writes
+#                     ANALYSIS_report.json) plus the staticcheck-labeled
+#                     ctest suite. Skips with a notice where the
+#                     toolchain cannot build the tool.
 #   tier1.sh resilience — repeated runs of the fault-tolerance suites
 #                     (ctest -L resilience; docs/resilience.md) so flaky
 #                     recovery interleavings surface before they land
@@ -53,6 +60,21 @@ case "${1:-}" in
     ;;
   lint)
     "${repo_root}/scripts/lint.sh" "${2:-${repo_root}/build}"
+    exit 0
+    ;;
+  staticcheck)
+    lane_dir="${2:-${repo_root}/build}"
+    # The analyzer run over the whole tree (graceful skip inside the
+    # script when the tool cannot be built)...
+    "${repo_root}/scripts/staticcheck.sh" "${lane_dir}"
+    # ...plus the fixture/clean-tree suite, wherever the tests build.
+    if cmake -B "${lane_dir}" -S "${repo_root}" >/dev/null &&
+       cmake --build "${lane_dir}" -j --target test_hspmv_check \
+         >/dev/null; then
+      ctest --test-dir "${lane_dir}" --output-on-failure -L staticcheck
+    else
+      echo "staticcheck: test_hspmv_check unavailable; ctest lane skipped"
+    fi
     exit 0
     ;;
   resilience)

@@ -1,0 +1,194 @@
+// divergent-collective: a minimpi collective reachable under a
+// rank-dependent branch with no matching collective on the sibling path.
+//
+// Collectives in minimpi (as in MPI) must be executed uniformly by every
+// rank of the communicator, or the stragglers block forever — the
+// runtime's deadlock *detector* (src/minimpi/validate.cpp's wait-for
+// cycle scan) can only prove that after the hang happens on an executed
+// path; this check proves the absence of the pattern in the source.
+//
+// Two shapes are flagged:
+//  (A) a rank-conditional branch whose set of collective calls differs
+//      from its sibling branch (or that has collectives and no sibling);
+//  (B) a rank-conditional branch that leaves the function (return /
+//      throw / simulate_rank_failure) while collectives still follow
+//      later in the same function body.
+// Branches that call .abort() or .revoke() are sanctioned: those are the
+// protocol's own release valves and wake the peers instead of stranding
+// them (the recovery drivers' divergence is exactly this shape).
+#include <set>
+
+#include "analysis/registry.hpp"
+#include "analysis/support.hpp"
+
+namespace hspmv::analysis {
+
+namespace {
+
+using support::IfView;
+using support::is_ident;
+using support::is_kw;
+using support::is_method_call;
+using support::is_punct;
+using support::parse_if;
+
+const std::set<std::string>& collective_names() {
+  static const std::set<std::string> kNames = {
+      "barrier",   "allreduce", "broadcast", "bcast",    "reduce",
+      "allgather", "allgatherv","alltoallv", "gatherv",  "scatterv",
+      "exscan",    "split",     "dup",       "shrink"};
+  return kNames;
+}
+
+/// Identifiers that make a condition rank-dependent. `.rank()` calls are
+/// covered by the bare `rank` identifier.
+const std::set<std::string>& rank_idents() {
+  static const std::set<std::string> kNames = {
+      "rank",    "rank_",   "my_rank",  "myrank",
+      "is_root", "root",    "root_",    "leader",
+      "global_rank"};
+  return kNames;
+}
+
+bool condition_is_rank_dependent(const FileModel& m, TokRange cond) {
+  for (std::size_t i = cond.begin; i < cond.end; ++i) {
+    if (!is_ident(m.toks[i]) || rank_idents().count(m.toks[i].text) == 0) {
+      continue;
+    }
+    // A plain data member like `plan.rank` is configuration, not this
+    // process's communicator rank; a member *call* (`comm.rank()`,
+    // `fault.rank()`) or a bare local (`rank`, `is_root`) is.
+    const bool member = i > cond.begin && (is_punct(m.toks[i - 1], ".") ||
+                                           is_punct(m.toks[i - 1], "->"));
+    const bool call =
+        i + 1 < cond.end && is_punct(m.toks[i + 1], "(");
+    if (!member || call) return true;
+  }
+  return false;
+}
+
+/// Multiset of collective method names called in `r` (method-call form
+/// only: `x.barrier(...)`, `x->allreduce(...)`).
+std::multiset<std::string> collectives_in(const FileModel& m, TokRange r) {
+  std::multiset<std::string> found;
+  for (std::size_t i = r.begin; i < r.end; ++i) {
+    std::size_t open = 0;
+    if (is_method_call(m, i, open) &&
+        collective_names().count(m.toks[i].text) != 0) {
+      found.insert(m.toks[i].text);
+    }
+  }
+  return found;
+}
+
+bool has_release_valve(const FileModel& m, TokRange r) {
+  for (std::size_t i = r.begin; i < r.end; ++i) {
+    std::size_t open = 0;
+    if (is_method_call(m, i, open) &&
+        (m.toks[i].text == "abort" || m.toks[i].text == "revoke")) {
+      return true;
+    }
+    if (is_ident(m.toks[i], "simulate_rank_failure")) return true;
+  }
+  return false;
+}
+
+bool branch_leaves_function(const FileModel& m, TokRange r) {
+  int depth = 0;
+  for (std::size_t i = r.begin; i < r.end; ++i) {
+    const Token& t = m.toks[i];
+    // Lambdas inside the branch have their own control flow.
+    if (is_punct(t, "{")) ++depth;
+    if (is_punct(t, "}")) --depth;
+    if (depth < 0) break;
+    if (is_kw(t, "return") || is_kw(t, "throw")) return true;
+  }
+  return false;
+}
+
+class DivergentCollectiveCheck final : public Check {
+ public:
+  [[nodiscard]] std::string id() const override {
+    return "divergent-collective";
+  }
+  [[nodiscard]] std::string description() const override {
+    return "collective under a rank-dependent branch without a matching "
+           "collective on the sibling path";
+  }
+  [[nodiscard]] std::string mirrors() const override {
+    return "minimpi usage validator deadlock-cycle detection "
+           "(src/minimpi/validate.cpp)";
+  }
+  [[nodiscard]] bool applies(const std::string& path) const override {
+    if (is_fixture_path(path)) return true;
+    // minimpi *implements* the collective protocol; inside it,
+    // rank-conditional slot publishing is the algorithm itself.
+    if (path_starts_with_any(path, {"src/minimpi/"})) return false;
+    return path_starts_with_any(path, {"src/", "bench/", "examples/"});
+  }
+
+  void run(const FileModel& m,
+           std::vector<Finding>& findings) const override {
+    for (const FunctionInfo& f : m.functions) {
+      if (f.is_lambda) continue;
+      scan_body(m, f, findings);
+    }
+  }
+
+ private:
+  void scan_body(const FileModel& m, const FunctionInfo& f,
+                 std::vector<Finding>& findings) const {
+    for (std::size_t i = f.body.begin; i < f.body.end; ++i) {
+      if (!is_kw(m.toks[i], "if")) continue;
+      // Skip `else if` heads: the parent if's scan covers the chain.
+      if (i > f.body.begin && is_kw(m.toks[i - 1], "else")) continue;
+      const IfView v = parse_if(m, i);
+      if (!v.valid) continue;
+      if (!condition_is_rank_dependent(m, v.cond)) continue;
+
+      const auto then_coll = collectives_in(m, v.then_branch);
+      const auto else_coll = collectives_in(m, v.else_branch);
+      const bool then_valve = has_release_valve(m, v.then_branch);
+      const bool else_valve = has_release_valve(m, v.else_branch);
+
+      // (A) branch collective sets differ.
+      if (then_coll != else_coll && !(then_valve || else_valve)) {
+        const TokRange& where =
+            !then_coll.empty() ? v.then_branch : v.else_branch;
+        const std::string name = !then_coll.empty() ? *then_coll.begin()
+                                                    : *else_coll.begin();
+        findings.push_back(Finding{
+            id(), m.path, m.line_of(where.begin),
+            "collective '" + name +
+                "' under a rank-dependent branch has no matching "
+                "collective on the sibling path: ranks taking the other "
+                "branch block forever in the next collective",
+            false, "", false});
+        continue;
+      }
+      // (B) rank-dependent early exit with collectives still ahead.
+      const bool leaves = branch_leaves_function(m, v.then_branch) ||
+                          (v.has_else &&
+                           branch_leaves_function(m, v.else_branch));
+      if (leaves && !then_valve && !else_valve) {
+        const auto after = collectives_in(m, TokRange{v.end, f.body.end});
+        if (!after.empty()) {
+          findings.push_back(Finding{
+              id(), m.path, m.line_of(i),
+              "rank-dependent branch leaves the function while "
+              "collective '" + *after.begin() +
+                  "' still follows: the exiting rank never joins it",
+              false, "", false});
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_divergent_collective_check() {
+  return std::make_unique<DivergentCollectiveCheck>();
+}
+
+}  // namespace hspmv::analysis

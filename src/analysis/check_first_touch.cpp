@@ -1,0 +1,124 @@
+// first-touch: kernel-path value storage must go through the NUMA
+// placement machinery of util/aligned.hpp (FirstTouchVector /
+// first_touch_vector / AlignedVector / DistVector / MultiVector), not
+// raw std::vector<double> / new double[].
+//
+// A raw vector zero-initializes on resize, so every page is touched by
+// the allocating thread and lands on *its* locality domain — on a
+// multi-LD node the streaming threads then pull the whole array across
+// the QPI/UPI link and vector-mode spMVM loses the Fig. 3 saturation
+// point (Schubert et al., arXiv:1101.0091). The runtime side of this
+// contract is the engine's first-touch fills and their range-checker
+// claims; this check pins the allocation sites themselves.
+//
+// Scope: the hot-path subsystems (src/spmv, src/sparse, src/solvers).
+// Cold metadata (histories, reports, eigensolver workspaces) is expected
+// to carry an inline HSPMV-CHECK-ALLOW with the reason it is not
+// streamed by kernels.
+#include <set>
+
+#include "analysis/registry.hpp"
+#include "analysis/support.hpp"
+
+namespace hspmv::analysis {
+
+namespace {
+
+using support::is_ident;
+using support::is_kw;
+using support::is_punct;
+
+bool is_value_type_token(const Token& t) {
+  return is_kw(t, "double") || is_kw(t, "float") ||
+         is_ident(t, "value_t");
+}
+
+class FirstTouchCheck final : public Check {
+ public:
+  [[nodiscard]] std::string id() const override { return "first-touch"; }
+  [[nodiscard]] std::string description() const override {
+    return "raw std::vector<double>/new[] allocation on a kernel path "
+           "bypasses FirstTouchVector/first_touch_vector placement";
+  }
+  [[nodiscard]] std::string mirrors() const override {
+    return "engine first-touch fills + write-range claims "
+           "(util/aligned.hpp, team/range_check.hpp)";
+  }
+  [[nodiscard]] bool applies(const std::string& path) const override {
+    if (is_fixture_path(path)) return true;
+    return path_starts_with_any(
+        path, {"src/spmv/", "src/sparse/", "src/solvers/"});
+  }
+
+  void run(const FileModel& m,
+           std::vector<Finding>& findings) const override {
+    const auto& toks = m.toks;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      // new double[...] / new value_t[...]
+      if (is_kw(toks[i], "new")) {
+        std::size_t j = i + 1;
+        while (j < toks.size() &&
+               (is_punct(toks[j], "::") || is_ident(toks[j], "sparse") ||
+                is_ident(toks[j], "hspmv") || is_kw(toks[j], "const"))) {
+          ++j;
+        }
+        if (j + 1 < toks.size() && is_value_type_token(toks[j]) &&
+            is_punct(toks[j + 1], "[")) {
+          findings.push_back(Finding{
+              id(), m.path, m.line_of(i),
+              "raw 'new " + toks[j].text +
+                  "[]' bypasses first-touch placement: pages land on the "
+                  "allocating thread's domain — use "
+                  "util::FirstTouchVector and a placed fill",
+              false, "", false});
+        }
+        continue;
+      }
+      // std::vector<VT> name  (declaration creating storage)
+      if (!is_ident(toks[i], "vector")) continue;
+      if (i < 2 || !is_punct(toks[i - 1], "::") ||
+          !is_ident(toks[i - 2], "std")) {
+        continue;
+      }
+      if (!is_punct(toks[i + 1], "<")) continue;
+      std::size_t j = i + 2;
+      while (j < toks.size() &&
+             (is_kw(toks[j], "const") || is_punct(toks[j], "::") ||
+              is_ident(toks[j], "sparse") || is_ident(toks[j], "hspmv"))) {
+        ++j;
+      }
+      if (j + 1 >= toks.size() || !is_value_type_token(toks[j]) ||
+          !is_punct(toks[j + 1], ">")) {
+        continue;
+      }
+      const std::size_t name_at = j + 2;
+      if (name_at >= toks.size() || !is_ident(toks[name_at])) continue;
+      const Token& after = toks[name_at + 1];
+      const bool in_function =
+          m.enclosing_function(name_at) != nullptr;
+      // Declarations that allocate: `v;` `v = ...;` `v{...}` anywhere,
+      // `v(...)` only inside a body (at class/namespace scope that shape
+      // is a function declaration returning vector<VT>).
+      const bool allocates =
+          is_punct(after, ";") || is_punct(after, "=") ||
+          is_punct(after, "{") || (in_function && is_punct(after, "("));
+      if (!allocates) continue;
+      findings.push_back(Finding{
+          id(), m.path, m.line_of(name_at),
+          "'std::vector<" + toks[j].text + "> " + toks[name_at].text +
+              "' on a kernel path zero-fills on the allocating thread: "
+              "use util::FirstTouchVector + a placed fill (or "
+              "engine make_vector), or justify with "
+              "HSPMV-CHECK-ALLOW(first-touch) if it is cold metadata",
+          false, "", false});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_first_touch_check() {
+  return std::make_unique<FirstTouchCheck>();
+}
+
+}  // namespace hspmv::analysis

@@ -1,0 +1,284 @@
+// nonblocking-lifetime: a buffer handed to isend/irecv must stay
+// untouched and alive until the matching wait/test — the static twin of
+// the minimpi usage validator's buffer-reuse overlap rule
+// (src/minimpi/validate.cpp), which can only flag an overlap that an
+// executed test actually drives.
+//
+// Within one function body, for every `x.isend(buf...)` / `x.irecv(...)`
+// call site we track (a) the buffer's base variable and (b) the request
+// binding (`Request r = ...`, `requests.push_back(...)`,
+// `requests[i] = ...`). Scanning forward until the request escapes into
+// any call (wait/wait_all/test or a helper that takes it — conservative:
+// any mention in call arguments satisfies the site), we flag:
+//   - mutation of the buffer base (resize/clear/assign/..., whole-object
+//     or element assignment);
+//   - a second post re-using the same buffer expression from a distinct
+//     call site;
+//   - a discarded request (no binding at all);
+//   - a locally-bound request that reaches `return` or the end of the
+//     function without ever being waited on (scope-out before wait).
+// Cross-function request hand-offs (binding is a parameter or member)
+// are out of static scope — the dynamic validator owns those paths.
+#include <set>
+
+#include "analysis/registry.hpp"
+#include "analysis/support.hpp"
+
+namespace hspmv::analysis {
+
+namespace {
+
+using support::base_identifier;
+using support::call_args;
+using support::is_ident;
+using support::is_kw;
+using support::is_method_call;
+using support::is_punct;
+using support::range_mentions;
+
+struct PostSite {
+  std::size_t name_index = 0;  ///< token index of isend/irecv
+  std::size_t open = 0;        ///< its '('
+  std::string buffer_base;
+  std::string binding;         ///< request variable/container; "" = none
+};
+
+const std::set<std::string>& mutator_methods() {
+  static const std::set<std::string> kNames = {
+      "resize", "clear", "assign", "push_back", "emplace_back",
+      "pop_back", "shrink_to_fit", "erase", "insert", "swap"};
+  return kNames;
+}
+
+/// The request binding of a post at token `i` (the method-name token):
+/// looks left for `ident = `, `ident[...] = `, or `ident.push_back(`.
+std::string find_binding(const FileModel& m, std::size_t i) {
+  // Walk left past the receiver chain (`matrix_->comm().irecv`): stop at
+  // the first token that cannot belong to the callee expression.
+  std::size_t j = i;
+  while (j > 0) {
+    const Token& t = m.toks[j - 1];
+    if (is_punct(t, ".") || is_punct(t, "->") || is_punct(t, "::") ||
+        is_ident(t)) {
+      --j;
+      continue;
+    }
+    if (is_punct(t, ")") && m.match[j - 1] != FileModel::npos) {
+      j = m.match[j - 1];
+      continue;
+    }
+    break;
+  }
+  if (j == 0) return "";
+  const Token& before = m.toks[j - 1];
+  if (is_punct(before, "=") && j >= 2) {
+    std::size_t k = j - 1;  // token after the assignment target
+    // target: ident or ident[expr]
+    if (is_punct(m.toks[k - 1], "]") &&
+        m.match[k - 1] != FileModel::npos) {
+      k = m.match[k - 1];
+    }
+    if (k >= 1 && is_ident(m.toks[k - 1])) return m.toks[k - 1].text;
+    return "";
+  }
+  if (is_punct(before, "(") && j >= 3 &&
+      is_ident(m.toks[j - 2], "push_back") && is_punct(m.toks[j - 3], ".") &&
+      j >= 4 && is_ident(m.toks[j - 4])) {
+    return m.toks[j - 4].text;
+  }
+  return "";
+}
+
+/// Is `name` declared inside this function body before token `at`?
+/// (Request locals: `Request r`, `auto r =`, `std::vector<Request> v`.)
+bool is_local_binding(const FileModel& m, const FunctionInfo& f,
+                      std::size_t at, const std::string& name) {
+  for (std::size_t i = f.body.begin; i < at && i < f.body.end; ++i) {
+    if (!is_ident(m.toks[i]) || m.toks[i].text != name) continue;
+    if (i == f.body.begin) continue;
+    const Token& prev = m.toks[i - 1];
+    const bool typeish =
+        is_kw(prev, "auto") || is_ident(prev) || is_punct(prev, ">");
+    if (!typeish) continue;
+    // Exclude member access / call argument positions.
+    if (is_punct(m.toks[i - 1], ".") || is_punct(m.toks[i - 1], "->")) {
+      continue;
+    }
+    const Token& next = m.toks[i + 1];
+    if (is_punct(next, ";") || is_punct(next, "=") || is_punct(next, "{") ||
+        is_punct(next, "(")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class NonblockingLifetimeCheck final : public Check {
+ public:
+  [[nodiscard]] std::string id() const override {
+    return "nonblocking-lifetime";
+  }
+  [[nodiscard]] std::string description() const override {
+    return "buffer modified, re-posted, or scoped out between "
+           "isend/irecv and the matching wait/test";
+  }
+  [[nodiscard]] std::string mirrors() const override {
+    return "minimpi usage validator buffer-reuse rule "
+           "(src/minimpi/validate.cpp)";
+  }
+  [[nodiscard]] bool applies(const std::string& path) const override {
+    if (is_fixture_path(path)) return true;
+    return path_starts_with_any(path, {"src/", "bench/", "examples/"});
+  }
+
+  void run(const FileModel& m,
+           std::vector<Finding>& findings) const override {
+    for (const FunctionInfo& f : m.functions) {
+      scan_function(m, f, findings);
+    }
+  }
+
+ private:
+  static bool is_post_call(const FileModel& m, std::size_t i,
+                           std::size_t& open) {
+    if (!is_method_call(m, i, open)) return false;
+    return m.toks[i].text == "isend" || m.toks[i].text == "irecv";
+  }
+
+  void scan_function(const FileModel& m, const FunctionInfo& f,
+                     std::vector<Finding>& findings) const {
+    // Nested lambdas are scanned as their own functions; skip their
+    // tokens when scanning the enclosing body.
+    auto innermost = [&](std::size_t i) {
+      return m.enclosing_function(i) == &f;
+    };
+    for (std::size_t i = f.body.begin; i < f.body.end; ++i) {
+      std::size_t open = 0;
+      if (!is_post_call(m, i, open) || !innermost(i)) continue;
+      const auto args = call_args(m, open);
+      if (args.empty()) continue;
+      PostSite site;
+      site.name_index = i;
+      site.open = open;
+      // isend(peer, tag, buffer): rank/tag are integer expressions, so
+      // the buffer is the first argument with a resolvable base object.
+      for (const TokRange& arg : args) {
+        site.buffer_base = base_identifier(m, arg);
+        if (!site.buffer_base.empty()) break;
+      }
+      site.binding = find_binding(m, i);
+
+      if (site.binding.empty()) {
+        findings.push_back(Finding{
+            id(), m.path, m.line_of(i),
+            "request returned by " + m.toks[i].text +
+                " is discarded: nothing can ever wait on it, so the "
+                "buffer's lifetime is unprovable",
+            false, "", false});
+        continue;
+      }
+      scan_forward(m, f, site, findings);
+    }
+  }
+
+  void scan_forward(const FileModel& m, const FunctionInfo& f,
+                    const PostSite& site,
+                    std::vector<Finding>& findings) const {
+    const std::size_t after = m.match[site.open] != FileModel::npos
+                                  ? m.match[site.open] + 1
+                                  : site.open + 1;
+    const bool local = is_local_binding(m, f, site.name_index, site.binding);
+    for (std::size_t i = after; i < f.body.end; ++i) {
+      const Token& t = m.toks[i];
+      // Satisfaction: the request binding escapes into any call
+      // (wait/wait_all/test or a helper that receives it).
+      if (is_ident(t) && i + 1 < f.body.end &&
+          is_punct(m.toks[i + 1], "(") &&
+          m.match[i + 1] != FileModel::npos) {
+        const TokRange args{i + 2, m.match[i + 1]};
+        if (range_mentions(m, args, site.binding)) return;
+      }
+      // Early return with a live locally-bound request.
+      if (local && is_kw(t, "return")) {
+        findings.push_back(Finding{
+            id(), m.path, m.line_of(i),
+            "function can return while request '" + site.binding +
+                "' from " + m.toks[site.name_index].text + " (buffer '" +
+                site.buffer_base +
+                "') is still in flight — wait/test it first",
+            false, "", false});
+        return;
+      }
+      // Buffer mutation before the wait.
+      if (!site.buffer_base.empty() && is_ident(t) &&
+          t.text == site.buffer_base && i > 0 &&
+          !is_punct(m.toks[i - 1], ".") && !is_punct(m.toks[i - 1], "->")) {
+        // x.resize( / x.clear( ... mutating method call
+        if (i + 2 < f.body.end && is_punct(m.toks[i + 1], ".") &&
+            is_ident(m.toks[i + 2]) &&
+            mutator_methods().count(m.toks[i + 2].text) != 0) {
+          findings.push_back(mutation_finding(m, site, i,
+                                              m.toks[i + 2].text + "()"));
+          return;
+        }
+        // whole-object or element assignment
+        std::size_t k = i + 1;
+        if (k < f.body.end && is_punct(m.toks[k], "[") &&
+            m.match[k] != FileModel::npos) {
+          k = m.match[k] + 1;
+        }
+        if (k < f.body.end && is_punct(m.toks[k], "=")) {
+          findings.push_back(mutation_finding(m, site, i, "assignment"));
+          return;
+        }
+      }
+      // Re-post from the same buffer at a distinct call site.
+      std::size_t open2 = 0;
+      if (is_post_call(m, i, open2) && i != site.name_index) {
+        const auto args2 = call_args(m, open2);
+        if (!args2.empty() && !site.buffer_base.empty() &&
+            base_identifier(m, args2[0]) == site.buffer_base) {
+          findings.push_back(Finding{
+              id(), m.path, m.line_of(i),
+              "buffer '" + site.buffer_base + "' re-posted to " +
+                  m.toks[i].text + " while the request from line " +
+                  std::to_string(m.line_of(site.name_index)) +
+                  " is still in flight",
+              false, "", false});
+          return;
+        }
+      }
+    }
+    if (local) {
+      findings.push_back(Finding{
+          id(), m.path, m.line_of(site.name_index),
+          "request '" + site.binding + "' from " +
+              m.toks[site.name_index].text +
+              " goes out of scope without a wait/test: the transfer may "
+              "still target buffer '" + site.buffer_base +
+              "' after it is freed",
+          false, "", false});
+    }
+  }
+
+  Finding mutation_finding(const FileModel& m, const PostSite& site,
+                           std::size_t where,
+                           const std::string& how) const {
+    return Finding{
+        id(), m.path, m.line_of(where),
+        "buffer '" + site.buffer_base + "' modified (" + how +
+            ") while the " + m.toks[site.name_index].text +
+            " posted at line " +
+            std::to_string(m.line_of(site.name_index)) +
+            " is still in flight — move the mutation after the wait",
+        false, "", false};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_nonblocking_lifetime_check() {
+  return std::make_unique<NonblockingLifetimeCheck>();
+}
+
+}  // namespace hspmv::analysis

@@ -1,0 +1,227 @@
+// write-range-claim: every parallel writer must be able to claim its
+// write set — the static twin of the phase-keyed ThreadTeam write-range
+// race detector (src/team/range_check.hpp), which checks claimed spans
+// for disjointness and coverage at phase barriers but only for phases a
+// test executes.
+//
+// Two shapes are flagged:
+//  (A) a LocalKernel subclass overriding a compute entry point (full /
+//      local / nonlocal / *_block) without declaring either
+//      write_ranges() or row_boundaries() — without one of those the
+//      range checker has no claims for the kernel's sweeps and the
+//      engine cannot first-touch result storage where it is written;
+//  (B) a whole-object write to by-reference captured state inside a
+//      ThreadTeam parallel lambda (team.execute / team.parallel_for):
+//      `sum += ...` / `flag = ...` on a shared capture is exactly the
+//      unclaimed-write race the runtime detector exists for. Indexed
+//      writes (data[i] = v) are the claimed-span pattern and stay out of
+//      scope here — their disjointness is the runtime detector's job.
+#include <set>
+
+#include "analysis/registry.hpp"
+#include "analysis/support.hpp"
+
+namespace hspmv::analysis {
+
+namespace {
+
+using support::is_ident;
+using support::is_kw;
+using support::is_method_call;
+using support::is_punct;
+
+const std::set<std::string>& compute_entry_points() {
+  static const std::set<std::string> kNames = {
+      "full",       "local",       "nonlocal",
+      "full_block", "local_block", "nonlocal_block"};
+  return kNames;
+}
+
+/// Method names declared at depth 1 of a class body.
+std::set<std::string> declared_methods(const FileModel& m,
+                                       const ClassInfo& c) {
+  std::set<std::string> names;
+  int depth = 0;
+  for (std::size_t i = c.body.begin; i < c.body.end; ++i) {
+    const Token& t = m.toks[i];
+    if (is_punct(t, "{") || is_punct(t, "(") || is_punct(t, "[")) {
+      ++depth;
+      continue;
+    }
+    if (is_punct(t, "}") || is_punct(t, ")") || is_punct(t, "]")) {
+      --depth;
+      continue;
+    }
+    if (depth == 0 && is_ident(t) && i + 1 < c.body.end &&
+        is_punct(m.toks[i + 1], "(")) {
+      names.insert(t.text);
+    }
+  }
+  return names;
+}
+
+bool captures_by_reference(const FileModel& m, const FunctionInfo& lambda) {
+  for (std::size_t i = lambda.captures.begin; i < lambda.captures.end;
+       ++i) {
+    if (is_punct(m.toks[i], "&")) return true;
+    if (is_kw(m.toks[i], "this")) return true;
+  }
+  return false;
+}
+
+/// Identifiers declared inside the lambda (params + locals): writes to
+/// these are thread-private.
+std::set<std::string> lambda_locals(const FileModel& m,
+                                    const FunctionInfo& lambda) {
+  std::set<std::string> locals;
+  auto scan = [&](TokRange r, bool decl_only) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      if (!is_ident(m.toks[i])) continue;
+      if (i == 0) continue;
+      const Token& prev = m.toks[i - 1];
+      const bool after_type = is_ident(prev) || prev.keyword ||
+                              is_punct(prev, ">") || is_punct(prev, "*") ||
+                              is_punct(prev, "&");
+      if (is_punct(prev, ".") || is_punct(prev, "->")) continue;
+      if (!after_type) continue;
+      if (decl_only) {
+        locals.insert(m.toks[i].text);
+        continue;
+      }
+      const Token& next = m.toks[i + 1];
+      if (is_punct(next, "=") || is_punct(next, ";") ||
+          is_punct(next, "{") || is_punct(next, ",") ||
+          is_punct(next, ")") || is_punct(next, ":")) {
+        locals.insert(m.toks[i].text);
+      }
+    }
+  };
+  scan(lambda.params, true);
+  scan(lambda.body, false);
+  return locals;
+}
+
+class WriteRangeClaimCheck final : public Check {
+ public:
+  [[nodiscard]] std::string id() const override {
+    return "write-range-claim";
+  }
+  [[nodiscard]] std::string description() const override {
+    return "LocalKernel override without write_ranges/row_boundaries, or "
+           "unclaimed shared-capture write in a ThreadTeam lambda";
+  }
+  [[nodiscard]] std::string mirrors() const override {
+    return "ThreadTeam write-range race detector "
+           "(src/team/range_check.hpp)";
+  }
+  [[nodiscard]] bool applies(const std::string& path) const override {
+    if (is_fixture_path(path)) return true;
+    return path_starts_with_any(path, {"src/", "bench/", "examples/"});
+  }
+
+  void run(const FileModel& m,
+           std::vector<Finding>& findings) const override {
+    check_kernel_subclasses(m, findings);
+    check_team_lambdas(m, findings);
+  }
+
+ private:
+  void check_kernel_subclasses(const FileModel& m,
+                               std::vector<Finding>& findings) const {
+    for (const ClassInfo& c : m.classes) {
+      bool derives = false;
+      for (const std::string& base : c.bases) {
+        derives = derives || base == "LocalKernel";
+      }
+      if (!derives) continue;
+      const auto methods = declared_methods(m, c);
+      std::string entry;
+      for (const std::string& name : methods) {
+        if (compute_entry_points().count(name) != 0) {
+          entry = name;
+          break;
+        }
+      }
+      if (entry.empty()) continue;
+      if (methods.count("write_ranges") != 0 ||
+          methods.count("row_boundaries") != 0) {
+        continue;
+      }
+      findings.push_back(Finding{
+          id(), m.path, c.line,
+          "LocalKernel subclass '" + c.name + "' overrides '" + entry +
+              "' without declaring write_ranges() or row_boundaries(): "
+              "the range checker gets no claims for its sweeps and "
+              "first-touch placement cannot follow its writers",
+          false, "", false});
+    }
+  }
+
+  void check_team_lambdas(const FileModel& m,
+                          std::vector<Finding>& findings) const {
+    for (std::size_t i = 0; i < m.toks.size(); ++i) {
+      std::size_t open = 0;
+      if (!is_method_call(m, i, open)) continue;
+      const std::string& name = m.toks[i].text;
+      if (name != "execute" && name != "parallel_for") continue;
+      // Receiver must look like a team (team, team_, place_team, ...).
+      if (i < 2) continue;
+      const Token& recv = m.toks[i - 2];
+      if (!is_ident(recv) ||
+          recv.text.find("team") == std::string::npos) {
+        continue;
+      }
+      if (m.match[open] == FileModel::npos) continue;
+      // Lambdas passed inside this call's argument list.
+      const TokRange args{open + 1, m.match[open]};
+      for (const FunctionInfo& lambda : m.functions) {
+        if (!lambda.is_lambda) continue;
+        if (lambda.head_begin < args.begin || lambda.head_begin >= args.end)
+          continue;
+        if (!captures_by_reference(m, lambda)) continue;
+        scan_lambda_writes(m, lambda, findings);
+      }
+    }
+  }
+
+  void scan_lambda_writes(const FileModel& m, const FunctionInfo& lambda,
+                          std::vector<Finding>& findings) const {
+    const auto locals = lambda_locals(m, lambda);
+    for (std::size_t i = lambda.body.begin; i < lambda.body.end; ++i) {
+      const Token& t = m.toks[i];
+      if (!is_ident(t)) continue;
+      if (locals.count(t.text) != 0) continue;
+      if (i + 1 >= lambda.body.end || i == 0) continue;
+      const Token& op = m.toks[i + 1];
+      const bool assign_op = is_punct(op, "=") || is_punct(op, "+=") ||
+                             is_punct(op, "-=") || is_punct(op, "*=") ||
+                             is_punct(op, "/=");
+      if (!assign_op) continue;
+      // Statement-start targets only: indexed writes (prev is ']'),
+      // member writes (prev '.' / '->'), and comparisons are excluded.
+      const Token& prev = m.toks[i - 1];
+      const bool stmt_start = is_punct(prev, ";") || is_punct(prev, "{") ||
+                              is_punct(prev, "}") || is_punct(prev, ")");
+      if (!stmt_start) continue;
+      // Nested lambdas own their bodies.
+      const FunctionInfo* inner = m.enclosing_function(i);
+      if (inner != &lambda) continue;
+      findings.push_back(Finding{
+          id(), m.path, m.line_of(i),
+          "write to by-reference capture '" + t.text +
+              "' inside a ThreadTeam parallel lambda: every member runs "
+              "this — an unclaimed overlapping write the range checker "
+              "would flag at the phase barrier. Make it per-worker "
+              "(indexed by id), an atomic, or claim the span",
+          false, "", false});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_write_range_claim_check() {
+  return std::make_unique<WriteRangeClaimCheck>();
+}
+
+}  // namespace hspmv::analysis

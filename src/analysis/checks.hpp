@@ -1,0 +1,63 @@
+// The hspmv-check domain checks — each proves at compile time an
+// invariant one of the repo's *dynamic* validators can only catch on an
+// executed path (the cross-reference table lives in
+// docs/correctness-tooling.md):
+//
+//   divergent-collective  <-> minimpi usage validator's deadlock scanner
+//   nonblocking-lifetime  <-> minimpi validator's buffer-reuse rule
+//   first-touch           <-> util/aligned.hpp placement + range checker
+//   write-range-claim     <-> team/range_check.hpp race detector
+//   determinism-policy    <-> bitwise-stability chaos sweeps + ulp policy
+//
+// Checks consume the AST-facade (model.hpp) only; they are frontend-
+// agnostic. Findings at a line covered by a
+// `// HSPMV-CHECK-ALLOW(check-id): reason` comment are reported as
+// suppressed (the driver enforces a non-empty reason).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/model.hpp"
+
+namespace hspmv::analysis {
+
+struct Finding {
+  std::string check;    ///< check id
+  std::string file;     ///< repo-relative path
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;
+  bool baselined = false;  ///< matched the committed baseline file
+};
+
+class Check {
+ public:
+  virtual ~Check() = default;
+  /// Stable kebab-case id, used in ALLOW comments, baseline, and JSON.
+  [[nodiscard]] virtual std::string id() const = 0;
+  /// One-line description for --list-checks and the JSON report.
+  [[nodiscard]] virtual std::string description() const = 0;
+  /// The dynamic validator this check mirrors (cross-reference).
+  [[nodiscard]] virtual std::string mirrors() const = 0;
+  /// Path filter (repo-relative, '/'-separated). Fixture files under
+  /// tests/analysis/fixtures/ are always in scope so every check can be
+  /// certified by a deliberately-broken TU.
+  [[nodiscard]] virtual bool applies(const std::string& path) const = 0;
+  virtual void run(const FileModel& file,
+                   std::vector<Finding>& findings) const = 0;
+};
+
+/// All registered domain checks, in reporting order.
+const std::vector<std::unique_ptr<Check>>& all_checks();
+
+/// True when `path` is a negative-fixture TU (always in scope).
+bool is_fixture_path(const std::string& path);
+
+/// Shared helper: does `path` start with any of the given prefixes?
+bool path_starts_with_any(const std::string& path,
+                          std::initializer_list<const char*> prefixes);
+
+}  // namespace hspmv::analysis

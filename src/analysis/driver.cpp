@@ -1,0 +1,268 @@
+#include "analysis/driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "analysis/model.hpp"
+
+namespace hspmv::analysis {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+bool skip_directory(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || name.rfind("build", 0) == 0 ||
+         name == "CMakeFiles";
+}
+
+/// The analyzer's own sources (and its CLI) document the ALLOW marker
+/// syntax verbatim in comments, which the lexer cannot tell apart from a
+/// real suppression. They are exercised by the fixture suite instead of
+/// by self-analysis.
+bool is_self_source(const fs::path& p) {
+  const std::string s = p.lexically_normal().generic_string();
+  // The fixture corpus is the one part of the tool's tree that MUST be
+  // analyzable — it is the input of the fixture suite.
+  if (s.find("tests/analysis/fixtures/") != std::string::npos) return false;
+  return s.find("src/analysis/") != std::string::npos ||
+         s.find("tools/hspmv-check/") != std::string::npos ||
+         s.find("tests/analysis/") != std::string::npos;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Minimal extraction of "file" entries from compile_commands.json —
+/// enough for the CMake-emitted schema without a JSON dependency.
+std::vector<std::string> compile_commands_files(const std::string& path) {
+  std::vector<std::string> files;
+  const std::string text = read_file(path);
+  const std::string key = "\"file\"";
+  std::size_t at = 0;
+  while ((at = text.find(key, at)) != std::string::npos) {
+    std::size_t colon = text.find(':', at + key.size());
+    if (colon == std::string::npos) break;
+    std::size_t open = text.find('"', colon + 1);
+    if (open == std::string::npos) break;
+    std::size_t close = open + 1;
+    while (close < text.size() && text[close] != '"') {
+      if (text[close] == '\\') ++close;
+      ++close;
+    }
+    files.push_back(text.substr(open + 1, close - open - 1));
+    at = close;
+  }
+  return files;
+}
+
+std::string display_path(const std::string& path,
+                         const std::string& repo_root) {
+  std::string normal = fs::path(path).lexically_normal().generic_string();
+  if (!repo_root.empty()) {
+    std::error_code ec;
+    const fs::path canon_root = fs::weakly_canonical(repo_root, ec);
+    std::string root = (ec ? fs::path(repo_root).lexically_normal()
+                           : canon_root)
+                           .generic_string();
+    if (!root.empty() && root.back() != '/') root += '/';
+    if (normal.rfind(root, 0) == 0) return normal.substr(root.size());
+  }
+  return normal;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// Lines covered by a suppression: its own line plus the next line that
+/// carries a token.
+std::vector<int> covered_lines(const FileModel& model,
+                               const Suppression& s) {
+  std::vector<int> lines{s.line};
+  int next = 0;
+  for (const Token& t : model.toks) {
+    if (t.kind == Tok::kEnd) break;
+    if (t.line > s.line && (next == 0 || t.line < next)) next = t.line;
+  }
+  if (next != 0) lines.push_back(next);
+  return lines;
+}
+
+}  // namespace
+
+std::vector<std::string> discover_files(const AnalysisOptions& options) {
+  // Canonical paths so the same TU reached via a relative root and an
+  // absolute compile_commands entry dedupes to one analysis.
+  std::set<std::string> files;
+  auto add = [&](const fs::path& p) {
+    if (is_self_source(p)) return;
+    std::error_code ec;
+    const fs::path canon = fs::weakly_canonical(p, ec);
+    files.insert((ec ? p.lexically_normal() : canon).string());
+  };
+  for (const std::string& root : options.roots) {
+    fs::path p(root);
+    std::error_code ec;
+    if (fs::is_regular_file(p, ec)) {
+      add(p);
+      continue;
+    }
+    if (!fs::is_directory(p, ec)) continue;
+    fs::recursive_directory_iterator it(
+        p, fs::directory_options::skip_permission_denied, ec);
+    const fs::recursive_directory_iterator end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() && skip_directory(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && has_source_extension(it->path())) {
+        add(it->path());
+      }
+    }
+  }
+  if (!options.compile_commands.empty()) {
+    for (const std::string& f :
+         compile_commands_files(options.compile_commands)) {
+      fs::path p(f);
+      std::error_code ec;
+      if (fs::is_regular_file(p, ec) && has_source_extension(p)) {
+        add(p);
+      }
+    }
+  }
+  return {files.begin(), files.end()};
+}
+
+AnalysisResult run_analysis(const AnalysisOptions& options) {
+  AnalysisResult result;
+  const Baseline baseline = options.baseline_path.empty()
+                                ? Baseline{}
+                                : load_baseline(options.baseline_path);
+  const Frontend& frontend = default_frontend();
+
+  auto check_enabled = [&](const std::string& id) {
+    if (options.only_checks.empty()) return true;
+    return std::find(options.only_checks.begin(), options.only_checks.end(),
+                     id) != options.only_checks.end();
+  };
+
+  for (const std::string& path : discover_files(options)) {
+    const std::string text = read_file(path);
+    const std::string shown = display_path(path, options.repo_root);
+    FileModel model = frontend.parse(shown, text);
+    ++result.report.files_analyzed;
+    const std::vector<std::string> lines = split_lines(text);
+
+    std::vector<Finding> file_findings;
+    for (const auto& check : all_checks()) {
+      if (!check_enabled(check->id())) continue;
+      if (!check->applies(shown)) continue;
+      check->run(model, file_findings);
+    }
+
+    // Inline suppressions: a finding is suppressed when an ALLOW for its
+    // check covers its line. Track use so stale ALLOWs are flagged.
+    std::vector<bool> used(model.suppressions.size(), false);
+    for (Finding& f : file_findings) {
+      for (std::size_t s = 0; s < model.suppressions.size(); ++s) {
+        const Suppression& sup = model.suppressions[s];
+        if (sup.check != f.check || sup.reason.empty()) continue;
+        const auto covered = covered_lines(model, sup);
+        if (std::find(covered.begin(), covered.end(), f.line) !=
+            covered.end()) {
+          f.suppressed = true;
+          f.suppress_reason = sup.reason;
+          used[s] = true;
+          break;
+        }
+      }
+    }
+    // Malformed or stale suppressions are findings themselves: an ALLOW
+    // without a reason is not a justification, and an ALLOW that no
+    // longer suppresses anything is debt.
+    for (std::size_t s = 0; s < model.suppressions.size(); ++s) {
+      const Suppression& sup = model.suppressions[s];
+      if (sup.check.empty() || sup.reason.empty()) {
+        file_findings.push_back(Finding{
+            "bad-suppression", shown, sup.line,
+            "HSPMV-CHECK-ALLOW needs a check id and a non-empty reason "
+            "(// HSPMV-CHECK-ALLOW(check-id): why this is safe)",
+            false,
+            "",
+            false});
+      } else if (!used[s] && check_enabled(sup.check)) {
+        bool known = false;
+        for (const auto& check : all_checks()) {
+          known = known || check->id() == sup.check;
+        }
+        file_findings.push_back(Finding{
+            "bad-suppression", shown, sup.line,
+            known ? "stale HSPMV-CHECK-ALLOW(" + sup.check +
+                        "): no finding at the covered lines — remove it"
+                  : "HSPMV-CHECK-ALLOW names unknown check '" + sup.check +
+                        "'",
+            false,
+            "",
+            false});
+      }
+    }
+
+    std::sort(file_findings.begin(), file_findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.line, a.check, a.message) <
+                       std::tie(b.line, b.check, b.message);
+              });
+    // A statement inside nested loops (or reachable through two model
+    // views) may be reported once per enclosing construct; one diagnosis
+    // per (line, check, message) is enough.
+    file_findings.erase(
+        std::unique(file_findings.begin(), file_findings.end(),
+                    [](const Finding& a, const Finding& b) {
+                      return a.line == b.line && a.check == b.check &&
+                             a.message == b.message;
+                    }),
+        file_findings.end());
+
+    for (Finding& f : file_findings) {
+      const std::string line_text =
+          f.line >= 1 && static_cast<std::size_t>(f.line) <= lines.size()
+              ? lines[static_cast<std::size_t>(f.line) - 1]
+              : "";
+      if (!f.suppressed && baseline.contains(f, line_text)) {
+        f.baselined = true;
+      }
+      result.finding_lines.push_back(line_text);
+      result.report.findings.push_back(std::move(f));
+    }
+  }
+  return result;
+}
+
+}  // namespace hspmv::analysis

@@ -1,0 +1,42 @@
+// hspmv-check driver: file discovery (roots and/or compile_commands.json),
+// parse via the default frontend, run every registered check, apply
+// inline suppressions and the committed baseline, and aggregate a Report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+
+namespace hspmv::analysis {
+
+struct AnalysisOptions {
+  /// Directories (scanned recursively for .hpp/.cpp/.h/.cc) or single
+  /// files. Paths may be absolute or relative to the working directory.
+  std::vector<std::string> roots;
+  /// Prefix stripped from paths for display/baseline keys (with its
+  /// trailing '/'); typically the repo root.
+  std::string repo_root;
+  /// Optional compile_commands.json: its translation units (plus the
+  /// headers found under `roots`) form the file set — the preferred
+  /// invocation, mirroring clang tooling.
+  std::string compile_commands;
+  /// Optional committed baseline file (report.hpp).
+  std::string baseline_path;
+  /// Restrict to these check ids (empty = all).
+  std::vector<std::string> only_checks;
+};
+
+struct AnalysisResult {
+  Report report;
+  /// Source text of each finding's line, parallel to report.findings
+  /// (baseline fingerprint input).
+  std::vector<std::string> finding_lines;
+};
+
+/// Returns the discovered file list (absolute/as-given paths), sorted.
+std::vector<std::string> discover_files(const AnalysisOptions& options);
+
+AnalysisResult run_analysis(const AnalysisOptions& options);
+
+}  // namespace hspmv::analysis

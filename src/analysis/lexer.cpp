@@ -1,0 +1,243 @@
+#include "analysis/lexer.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace hspmv::analysis {
+
+namespace {
+
+const std::unordered_set<std::string>& keyword_set() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "alignas",   "alignof",  "asm",          "auto",     "bool",
+      "break",     "case",     "catch",        "char",     "class",
+      "const",     "constexpr","consteval",    "constinit","const_cast",
+      "continue",  "decltype", "default",      "delete",   "do",
+      "double",    "dynamic_cast", "else",     "enum",     "explicit",
+      "export",    "extern",   "false",        "float",    "for",
+      "friend",    "goto",     "if",           "inline",   "int",
+      "long",      "mutable",  "namespace",    "new",      "noexcept",
+      "nullptr",   "operator", "private",      "protected","public",
+      "register",  "reinterpret_cast", "requires", "return", "short",
+      "signed",    "sizeof",   "static",       "static_assert",
+      "static_cast", "struct", "switch",       "template", "this",
+      "thread_local", "throw", "true",         "try",      "typedef",
+      "typeid",    "typename", "union",        "unsigned", "using",
+      "virtual",   "void",     "volatile",     "wchar_t",  "while",
+      "override",  "final",  // contextual, but keywordish for our checks
+  };
+  return kKeywords;
+}
+
+// Longest-match punctuation, 3 then 2 then 1 characters.
+const char* const kPunct3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+const char* const kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
+                               ">=", "==", "!=", "&&", "||", "+=", "-=",
+                               "*=", "/=", "%=", "&=", "|=", "^=", "##"};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// Parse HSPMV-CHECK-ALLOW(check-id): reason out of one comment body.
+void scan_comment_for_suppression(const std::string& comment, int line,
+                                  std::vector<Suppression>& out) {
+  static const std::string kMarker = "HSPMV-CHECK-ALLOW";
+  const std::size_t at = comment.find(kMarker);
+  if (at == std::string::npos) return;
+  Suppression s;
+  s.line = line;
+  std::size_t i = at + kMarker.size();
+  if (i < comment.size() && comment[i] == '(') {
+    const std::size_t close = comment.find(')', i);
+    if (close != std::string::npos) {
+      s.check = trim(comment.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else {
+      i = comment.size();
+    }
+  }
+  // Reason: everything after the first ':' following the id.
+  const std::size_t colon = comment.find(':', i);
+  if (colon != std::string::npos) {
+    s.reason = trim(comment.substr(colon + 1));
+  }
+  out.push_back(std::move(s));
+}
+
+}  // namespace
+
+bool is_cxx_keyword(const std::string& word) {
+  return keyword_set().count(word) != 0;
+}
+
+LexResult lex(const std::string& text) {
+  LexResult result;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_start = true;  // only whitespace seen since the last newline
+
+  auto peek = [&](std::size_t off) -> char {
+    return i + off < n ? text[i + off] : '\0';
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = true;
+      continue;
+    }
+    if (c == '\\' && peek(1) == '\n') {  // line continuation
+      ++line;
+      i += 2;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of (continued) line. A
+    // directive does not hide suppressions — they live in // comments,
+    // which do not appear inside the directives this repo writes.
+    if (c == '#' && line_start) {
+      while (i < n && text[i] != '\n') {
+        if (text[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    line_start = false;
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i + 2;
+      while (i < n && text[i] != '\n') ++i;
+      scan_comment_for_suppression(text.substr(start, i - start), line,
+                                   result.suppressions);
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int comment_line = line;
+      const std::size_t start = i + 2;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      const std::size_t end = i < n ? i : n;
+      i = i + 2 <= n ? i + 2 : n;
+      scan_comment_for_suppression(text.substr(start, end - start),
+                                   comment_line, result.suppressions);
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t d = i + 2;
+      while (d < n && text[d] != '(') ++d;
+      const std::string delim = text.substr(i + 2, d - (i + 2));
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t close = text.find(closer, d);
+      const std::size_t end =
+          close == std::string::npos ? n : close + closer.size();
+      Token t{Tok::kString, text.substr(i, end - i), line, false};
+      for (std::size_t k = i; k < end; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      result.tokens.push_back(std::move(t));
+      i = end;
+      continue;
+    }
+    // String / char literal (with escape handling).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      const std::size_t end = j < n ? j + 1 : n;
+      result.tokens.push_back(Token{quote == '"' ? Tok::kString : Tok::kChar,
+                                    text.substr(i, end - i), line, false});
+      i = end;
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) !=
+                           0 ||
+                       text[j] == '_')) {
+        ++j;
+      }
+      std::string word = text.substr(i, j - i);
+      const bool kw = is_cxx_keyword(word);
+      result.tokens.push_back(Token{Tok::kIdent, std::move(word), line, kw});
+      i = j;
+      continue;
+    }
+    // Number (pp-number: digits, letters, dots, exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) !=
+                         0)) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = text[j];
+        if (std::isalnum(static_cast<unsigned char>(d)) != 0 || d == '.' ||
+            d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') &&
+            (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+             text[j - 1] == 'p' || text[j - 1] == 'P')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      result.tokens.push_back(
+          Token{Tok::kNumber, text.substr(i, j - i), line, false});
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPunct3) {
+      if (text.compare(i, 3, p) == 0) {
+        result.tokens.push_back(Token{Tok::kPunct, p, line, false});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPunct2) {
+      if (text.compare(i, 2, p) == 0) {
+        result.tokens.push_back(Token{Tok::kPunct, p, line, false});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    result.tokens.push_back(
+        Token{Tok::kPunct, std::string(1, c), line, false});
+    ++i;
+  }
+  result.tokens.push_back(Token{Tok::kEnd, "", line, false});
+  return result;
+}
+
+}  // namespace hspmv::analysis

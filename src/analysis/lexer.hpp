@@ -1,0 +1,40 @@
+// C++ lexer of the hspmv-check frontend: text -> Token stream plus the
+// suppression comments the driver honours.
+//
+// This is not a conforming preprocessor — it tokenizes one translation
+// unit's *text*, skipping preprocessor directives and comments, which is
+// exactly the granularity the project-invariant checks need (they match
+// the repo's own idioms, not arbitrary C++). Raw strings, line
+// continuations, and digraph-free punctuation longest-match are handled;
+// macros are not expanded.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/token.hpp"
+
+namespace hspmv::analysis {
+
+/// One `// HSPMV-CHECK-ALLOW(check-id): reason` comment. The suppression
+/// covers its own line and the next line that carries code (so it can sit
+/// trailing a statement or on its own line above one).
+struct Suppression {
+  int line = 0;            ///< line the comment appears on
+  std::string check;       ///< check id inside the parentheses
+  std::string reason;      ///< text after the colon, trimmed
+};
+
+struct LexResult {
+  std::vector<Token> tokens;          ///< ends with a kEnd sentinel
+  std::vector<Suppression> suppressions;
+};
+
+/// Tokenize `text`. Never throws on malformed input: unknown bytes become
+/// single-character kPunct tokens so analysis degrades instead of dying.
+LexResult lex(const std::string& text);
+
+/// True for C++ keywords (the lexer sets Token::keyword with this).
+bool is_cxx_keyword(const std::string& word);
+
+}  // namespace hspmv::analysis

@@ -1,0 +1,307 @@
+#include "analysis/model.hpp"
+
+#include <array>
+#include <unordered_set>
+
+namespace hspmv::analysis {
+
+namespace {
+
+constexpr std::size_t npos = FileModel::npos;
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+bool is_kw(const Token& t, const char* word) {
+  return t.kind == Tok::kIdent && t.keyword && t.text == word;
+}
+
+/// Pair up ()[]{} with one stack; mismatches leave npos (analysis then
+/// simply sees smaller structure instead of failing).
+std::vector<std::size_t> match_brackets(const std::vector<Token>& toks) {
+  std::vector<std::size_t> match(toks.size(), npos);
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kPunct || t.text.size() != 1) continue;
+    const char c = t.text[0];
+    if (c == '(' || c == '[' || c == '{') {
+      stack.push_back(i);
+      continue;
+    }
+    if (c == ')' || c == ']' || c == '}') {
+      const char open = c == ')' ? '(' : (c == ']' ? '[' : '{');
+      // Pop to the nearest matching opener; skip unbalanced strays.
+      while (!stack.empty() && toks[stack.back()].text[0] != open) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        match[stack.back()] = i;
+        match[i] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+  return match;
+}
+
+/// Skip a name (identifiers, ::, template argument lists) starting at
+/// `pos`; returns one past the name, or `pos` if none.
+std::size_t skip_name(const FileModel& m, std::size_t pos) {
+  std::size_t i = pos;
+  int angle = 0;
+  while (i < m.toks.size()) {
+    const Token& t = m.toks[i];
+    if (t.kind == Tok::kIdent && !t.keyword) {
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "::")) {
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "<")) {
+      ++angle;
+      ++i;
+      continue;
+    }
+    if (angle > 0) {
+      if (is_punct(t, ">")) --angle;
+      ++i;
+      continue;
+    }
+    break;
+  }
+  return i;
+}
+
+/// From the token after a parameter-list ')', skip cv/ref/noexcept/
+/// override/final/trailing-return/ctor-init-list. Returns the index of
+/// the body '{' or npos when this is not a definition.
+std::size_t skip_to_body(const FileModel& m, std::size_t pos) {
+  const std::vector<Token>& toks = m.toks;
+  std::size_t i = pos;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (is_punct(t, "{")) return i;
+    if (is_kw(t, "const") || is_kw(t, "override") || is_kw(t, "final") ||
+        is_kw(t, "mutable") || is_kw(t, "volatile") ||
+        is_punct(t, "&") || is_punct(t, "&&")) {
+      ++i;
+      continue;
+    }
+    if (is_kw(t, "noexcept")) {
+      ++i;
+      if (i < toks.size() && is_punct(toks[i], "(") &&
+          m.match[i] != npos) {
+        i = m.match[i] + 1;
+      }
+      continue;
+    }
+    if (is_punct(t, "->")) {  // trailing return type
+      i = skip_name(m, i + 1);
+      // allow pointer/reference decoration on the return type
+      while (i < toks.size() &&
+             (is_punct(toks[i], "*") || is_punct(toks[i], "&") ||
+              is_kw(toks[i], "const"))) {
+        ++i;
+      }
+      continue;
+    }
+    if (is_punct(t, ":")) {  // constructor initializer list
+      i += 1;
+      while (i < toks.size()) {
+        i = skip_name(m, i);
+        if (i >= toks.size()) return npos;
+        if ((is_punct(toks[i], "(") || is_punct(toks[i], "{")) &&
+            m.match[i] != npos) {
+          i = m.match[i] + 1;
+        } else {
+          return npos;  // malformed for our purposes
+        }
+        if (i < toks.size() && is_punct(toks[i], ",")) {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      continue;
+    }
+    return npos;
+  }
+  return npos;
+}
+
+void find_functions_and_loops(FileModel& m) {
+  const std::vector<Token>& toks = m.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    // ---- loops ----
+    if (is_kw(t, "for") || is_kw(t, "while")) {
+      if (i + 1 < toks.size() && is_punct(toks[i + 1], "(") &&
+          m.match[i + 1] != npos) {
+        const std::size_t close = m.match[i + 1];
+        std::size_t body_begin = close + 1;
+        std::size_t body_end;
+        if (body_begin < toks.size() && is_punct(toks[body_begin], "{") &&
+            m.match[body_begin] != npos) {
+          body_end = m.match[body_begin];
+          ++body_begin;
+        } else {  // single statement: to the ';' at bracket depth 0
+          body_end = body_begin;
+          int depth = 0;
+          while (body_end < toks.size()) {
+            const Token& s = toks[body_end];
+            if (is_punct(s, "(") || is_punct(s, "[") || is_punct(s, "{")) {
+              ++depth;
+            } else if (is_punct(s, ")") || is_punct(s, "]") ||
+                       is_punct(s, "}")) {
+              --depth;
+            } else if (is_punct(s, ";") && depth == 0) {
+              break;
+            }
+            ++body_end;
+          }
+        }
+        m.loop_bodies.push_back(TokRange{body_begin, body_end});
+      }
+      continue;
+    }
+    if (is_kw(t, "do")) {
+      if (i + 1 < toks.size() && is_punct(toks[i + 1], "{") &&
+          m.match[i + 1] != npos) {
+        m.loop_bodies.push_back(TokRange{i + 2, m.match[i + 1]});
+      }
+      continue;
+    }
+    // ---- named function definitions: ident ( params ) [...] { ----
+    if (t.kind == Tok::kIdent && !t.keyword && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(") && m.match[i + 1] != npos) {
+      const std::size_t close = m.match[i + 1];
+      const std::size_t brace = skip_to_body(m, close + 1);
+      if (brace != npos && m.match[brace] != npos) {
+        FunctionInfo f;
+        f.name = t.text;
+        f.is_lambda = false;
+        f.head_begin = i;
+        f.params = TokRange{i + 2, close};
+        f.brace = brace;
+        f.body = TokRange{brace + 1, m.match[brace]};
+        m.functions.push_back(std::move(f));
+      }
+      continue;
+    }
+    // ---- lambdas: [caps] (params)? [...] { ----
+    if (is_punct(t, "[") && m.match[i] != npos) {
+      // An indexing '[' follows a value; a lambda-introducer does not.
+      if (i > 0) {
+        const Token& prev = toks[i - 1];
+        const bool value_before =
+            (prev.kind == Tok::kIdent && !prev.keyword) ||
+            prev.kind == Tok::kNumber || prev.kind == Tok::kString ||
+            is_punct(prev, ")") || is_punct(prev, "]");
+        if (value_before) continue;
+      }
+      const std::size_t cap_close = m.match[i];
+      std::size_t j = cap_close + 1;
+      TokRange params{0, 0};
+      if (j < toks.size() && is_punct(toks[j], "(") && m.match[j] != npos) {
+        params = TokRange{j + 1, m.match[j]};
+        j = m.match[j] + 1;
+      }
+      const std::size_t brace = skip_to_body(m, j);
+      if (brace != npos && m.match[brace] != npos) {
+        FunctionInfo f;
+        f.is_lambda = true;
+        f.head_begin = i;
+        f.captures = TokRange{i + 1, cap_close};
+        f.params = params;
+        f.brace = brace;
+        f.body = TokRange{brace + 1, m.match[brace]};
+        m.functions.push_back(std::move(f));
+      }
+      continue;
+    }
+  }
+}
+
+void find_classes(FileModel& m) {
+  const std::vector<Token>& toks = m.toks;
+  static const std::unordered_set<std::string> kAccess = {
+      "public", "protected", "private", "virtual"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_kw(toks[i], "class") && !is_kw(toks[i], "struct")) continue;
+    // `enum class` is not a class for our purposes.
+    if (i > 0 && is_kw(toks[i - 1], "enum")) continue;
+    std::size_t j = i + 1;
+    // Skip attributes.
+    while (j + 1 < toks.size() && is_punct(toks[j], "[") &&
+           m.match[j] != npos) {
+      j = m.match[j] + 1;
+    }
+    if (j >= toks.size() || toks[j].kind != Tok::kIdent ||
+        toks[j].keyword) {
+      continue;
+    }
+    ClassInfo c;
+    c.name = toks[j].text;
+    c.line = toks[j].line;
+    j = skip_name(m, j);  // swallow template-id names like Foo<T>
+    if (j < toks.size() && is_kw(toks[j], "final")) ++j;
+    if (j < toks.size() && is_punct(toks[j], ":")) {
+      // Base clause: collect base name identifiers until '{'.
+      ++j;
+      int angle = 0;
+      while (j < toks.size() && !is_punct(toks[j], "{") &&
+             !is_punct(toks[j], ";")) {
+        const Token& b = toks[j];
+        if (is_punct(b, "<")) ++angle;
+        if (is_punct(b, ">") && angle > 0) --angle;
+        if (angle == 0 && b.kind == Tok::kIdent && !b.keyword &&
+            kAccess.count(b.text) == 0) {
+          c.bases.push_back(b.text);
+        }
+        ++j;
+      }
+    }
+    if (j < toks.size() && is_punct(toks[j], "{") && m.match[j] != npos) {
+      c.body = TokRange{j + 1, m.match[j]};
+      m.classes.push_back(std::move(c));
+    }
+  }
+}
+
+}  // namespace
+
+const FunctionInfo* FileModel::enclosing_function(std::size_t i) const {
+  const FunctionInfo* best = nullptr;
+  for (const FunctionInfo& f : functions) {
+    if (!f.body.contains(i)) continue;
+    if (best == nullptr || f.body.end - f.body.begin <
+                               best->body.end - best->body.begin) {
+      best = &f;
+    }
+  }
+  return best;
+}
+
+FileModel TokenFrontend::parse(const std::string& path,
+                               const std::string& text) const {
+  FileModel m;
+  m.path = path;
+  LexResult lexed = lex(text);
+  m.toks = std::move(lexed.tokens);
+  m.suppressions = std::move(lexed.suppressions);
+  m.match = match_brackets(m.toks);
+  find_functions_and_loops(m);
+  find_classes(m);
+  return m;
+}
+
+const Frontend& default_frontend() {
+  static const TokenFrontend kFrontend;
+  return kFrontend;
+}
+
+}  // namespace hspmv::analysis

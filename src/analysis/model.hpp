@@ -1,0 +1,102 @@
+// AST-facade of hspmv-check: the structural view the checks consume.
+//
+// The checks are written against FileModel only — never against a
+// particular parser — so the frontend is swappable: today TokenFrontend
+// derives the model from src/analysis/lexer.hpp's token stream; a
+// clang-tidy module or libclang walker can populate the same FileModel
+// when clang dev headers are available, without touching a single check.
+//
+// The model is deliberately *structural*, not semantic: functions,
+// classes with their base names, lambdas, loop bodies, and bracket
+// matching. That is enough to prove the project-idiom invariants the
+// checks encode (docs/correctness-tooling.md, "Static checks") because
+// the repo's own conventions make the relevant facts syntactically
+// visible (collectives are method calls, placement goes through named
+// helpers, kernels subclass LocalKernel, ...).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/lexer.hpp"
+#include "analysis/token.hpp"
+
+namespace hspmv::analysis {
+
+/// Half-open token-index range [begin, end).
+struct TokRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] bool empty() const { return begin >= end; }
+  [[nodiscard]] bool contains(std::size_t i) const {
+    return i >= begin && i < end;
+  }
+};
+
+/// A function definition (or lambda) with a parsed body.
+struct FunctionInfo {
+  std::string name;       ///< unqualified name; "" for lambdas
+  bool is_lambda = false;
+  TokRange body;          ///< tokens strictly inside the braces
+  std::size_t brace = 0;  ///< index of the opening '{'
+  std::size_t head_begin = 0;  ///< first token of the signature (approx.)
+  TokRange params;        ///< tokens inside the parameter parentheses
+  TokRange captures;      ///< lambda capture list tokens (lambdas only)
+};
+
+/// A class/struct definition with its base-clause names.
+struct ClassInfo {
+  std::string name;
+  std::vector<std::string> bases;  ///< base-class name identifiers
+  TokRange body;                   ///< tokens strictly inside the braces
+  int line = 0;
+};
+
+struct FileModel {
+  std::string path;   ///< repo-relative display path
+  std::vector<Token> toks;
+  std::vector<Suppression> suppressions;
+  /// match[i] = index of the bracket matching toks[i] for ()[]{} tokens,
+  /// npos otherwise (or when unbalanced).
+  std::vector<std::size_t> match;
+  std::vector<FunctionInfo> functions;  ///< includes lambdas
+  std::vector<ClassInfo> classes;
+  std::vector<TokRange> loop_bodies;  ///< for/while/do statement bodies
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] int line_of(std::size_t i) const {
+    return i < toks.size() ? toks[i].line : 0;
+  }
+  [[nodiscard]] bool in_loop(std::size_t i) const {
+    for (const TokRange& r : loop_bodies) {
+      if (r.contains(i)) return true;
+    }
+    return false;
+  }
+  /// Innermost function (lambdas included) whose body contains token i.
+  [[nodiscard]] const FunctionInfo* enclosing_function(std::size_t i) const;
+};
+
+/// The swappable parsing frontend (see file header).
+class Frontend {
+ public:
+  virtual ~Frontend() = default;
+  [[nodiscard]] virtual FileModel parse(const std::string& path,
+                                        const std::string& text) const = 0;
+};
+
+/// Token-stream frontend: the always-available implementation.
+class TokenFrontend : public Frontend {
+ public:
+  [[nodiscard]] FileModel parse(const std::string& path,
+                                const std::string& text) const override;
+};
+
+/// The frontend the driver uses (today: TokenFrontend).
+const Frontend& default_frontend();
+
+}  // namespace hspmv::analysis

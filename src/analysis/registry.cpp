@@ -1,0 +1,30 @@
+#include "analysis/registry.hpp"
+
+namespace hspmv::analysis {
+
+bool is_fixture_path(const std::string& path) {
+  return path.find("tests/analysis/fixtures") != std::string::npos;
+}
+
+bool path_starts_with_any(const std::string& path,
+                          std::initializer_list<const char*> prefixes) {
+  for (const char* prefix : prefixes) {
+    if (path.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+const std::vector<std::unique_ptr<Check>>& all_checks() {
+  static const std::vector<std::unique_ptr<Check>> kChecks = [] {
+    std::vector<std::unique_ptr<Check>> checks;
+    checks.push_back(make_divergent_collective_check());
+    checks.push_back(make_nonblocking_lifetime_check());
+    checks.push_back(make_first_touch_check());
+    checks.push_back(make_write_range_claim_check());
+    checks.push_back(make_determinism_policy_check());
+    return checks;
+  }();
+  return kChecks;
+}
+
+}  // namespace hspmv::analysis

@@ -1,0 +1,17 @@
+// Internal factory declarations for the registered checks (one TU per
+// check; registry.cpp assembles them in reporting order).
+#pragma once
+
+#include <memory>
+
+#include "analysis/checks.hpp"
+
+namespace hspmv::analysis {
+
+std::unique_ptr<Check> make_divergent_collective_check();
+std::unique_ptr<Check> make_nonblocking_lifetime_check();
+std::unique_ptr<Check> make_first_touch_check();
+std::unique_ptr<Check> make_write_range_claim_check();
+std::unique_ptr<Check> make_determinism_policy_check();
+
+}  // namespace hspmv::analysis

@@ -1,0 +1,161 @@
+#include "analysis/report.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace hspmv::analysis {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int Report::unsuppressed_count() const {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed && !f.baselined) ++n;
+  }
+  return n;
+}
+
+std::map<std::string, std::pair<int, int>> Report::counts() const {
+  std::map<std::string, std::pair<int, int>> by_check;
+  for (const auto& check : all_checks()) {
+    by_check[check->id()] = {0, 0};
+  }
+  for (const Finding& f : findings) {
+    auto& entry = by_check[f.check];
+    ++entry.first;
+    if (f.suppressed || f.baselined) ++entry.second;
+  }
+  return by_check;
+}
+
+std::string Report::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"tool\": \"hspmv-check\",\n  \"schema\": 1,\n";
+  out << "  \"files_analyzed\": " << files_analyzed << ",\n";
+  out << "  \"unsuppressed\": " << unsuppressed_count() << ",\n";
+  int suppressed = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed || f.baselined) ++suppressed;
+  }
+  out << "  \"suppressed\": " << suppressed << ",\n";
+  out << "  \"checks\": {\n";
+  const auto by_check = counts();
+  std::size_t i = 0;
+  for (const auto& [id, counts_pair] : by_check) {
+    out << "    \"" << json_escape(id) << "\": {\"total\": "
+        << counts_pair.first << ", \"suppressed\": " << counts_pair.second
+        << "}";
+    out << (++i < by_check.size() ? ",\n" : "\n");
+  }
+  out << "  },\n  \"findings\": [\n";
+  for (std::size_t k = 0; k < findings.size(); ++k) {
+    const Finding& f = findings[k];
+    out << "    {\"check\": \"" << json_escape(f.check) << "\", \"file\": \""
+        << json_escape(f.file) << "\", \"line\": " << f.line
+        << ", \"message\": \"" << json_escape(f.message) << "\""
+        << ", \"suppressed\": " << (f.suppressed ? "true" : "false")
+        << ", \"baselined\": " << (f.baselined ? "true" : "false");
+    if (f.suppressed) {
+      out << ", \"reason\": \"" << json_escape(f.suppress_reason) << "\"";
+    }
+    out << "}" << (k + 1 < findings.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string line_fingerprint(const std::string& line_text) {
+  const std::string trimmed = trim(line_text);
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (const char c : trimmed) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string Baseline::key(const Finding& f, const std::string& line_text) {
+  return f.check + "\t" + f.file + "\t" + line_fingerprint(line_text);
+}
+
+bool Baseline::contains(const Finding& f,
+                        const std::string& line_text) const {
+  return entries.count(key(f, line_text)) != 0;
+}
+
+Baseline load_baseline(const std::string& path) {
+  Baseline baseline;
+  std::ifstream in(path);
+  if (!in) return baseline;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    baseline.entries.insert(t);
+  }
+  return baseline;
+}
+
+std::string baseline_text(const Report& report,
+                          const std::vector<std::string>& line_texts) {
+  std::ostringstream out;
+  out << "# hspmv-check suppression baseline\n"
+      << "# format: check-id<TAB>file<TAB>line-fingerprint\n"
+      << "# regenerate: tools/hspmv-check --update-baseline <this file>\n";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (f.suppressed) continue;
+    out << Baseline::key(f, i < line_texts.size() ? line_texts[i] : "")
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hspmv::analysis

@@ -1,0 +1,53 @@
+// Finding aggregation, machine-readable JSON report, and the committed
+// suppression baseline of hspmv-check.
+//
+// Baseline entries are line-content fingerprints (check id, file,
+// FNV-1a of the trimmed source line), so they survive unrelated edits
+// that only shift line numbers. The baseline is the escape hatch for
+// findings that predate the check or await a larger fix; new code should
+// prefer an inline HSPMV-CHECK-ALLOW with a written reason.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/checks.hpp"
+
+namespace hspmv::analysis {
+
+struct Report {
+  std::vector<Finding> findings;  ///< all findings, suppressed included
+  int files_analyzed = 0;
+
+  [[nodiscard]] int unsuppressed_count() const;
+  /// check id -> (total, suppressed-or-baselined) counts.
+  [[nodiscard]] std::map<std::string, std::pair<int, int>> counts() const;
+  /// The ANALYSIS_report.json payload (schema documented in
+  /// docs/correctness-tooling.md).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// FNV-1a 64-bit of the trimmed line text, rendered as 16 hex digits.
+std::string line_fingerprint(const std::string& line_text);
+
+struct Baseline {
+  /// "check-id<TAB>file<TAB>fingerprint" keys.
+  std::set<std::string> entries;
+
+  [[nodiscard]] bool contains(const Finding& f,
+                              const std::string& line_text) const;
+  static std::string key(const Finding& f, const std::string& line_text);
+};
+
+/// Load a baseline file; missing file yields an empty baseline. Lines
+/// starting with '#' and blank lines are comments.
+Baseline load_baseline(const std::string& path);
+
+/// Serialize findings (unsuppressed only) as baseline lines.
+std::string baseline_text(const Report& report,
+                          const std::vector<std::string>& line_texts);
+
+}  // namespace hspmv::analysis

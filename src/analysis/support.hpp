@@ -1,0 +1,170 @@
+// Internal token-pattern helpers shared by the hspmv-check checks.
+// Everything here operates on the AST-facade (model.hpp) only.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/model.hpp"
+
+namespace hspmv::analysis::support {
+
+inline bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+inline bool is_kw(const Token& t, const char* word) {
+  return t.kind == Tok::kIdent && t.keyword && t.text == word;
+}
+
+inline bool is_ident(const Token& t) {
+  return t.kind == Tok::kIdent && !t.keyword;
+}
+
+inline bool is_ident(const Token& t, const char* name) {
+  return is_ident(t) && t.text == name;
+}
+
+/// A method call `recv.name(` / `recv->name(`: returns true and sets
+/// `open` to the '(' index when toks[i] is the method-name identifier.
+inline bool is_method_call(const FileModel& m, std::size_t i,
+                           std::size_t& open) {
+  if (i + 1 >= m.toks.size() || i == 0) return false;
+  if (!is_ident(m.toks[i])) return false;
+  if (!is_punct(m.toks[i + 1], "(")) return false;
+  const Token& prev = m.toks[i - 1];
+  if (!is_punct(prev, ".") && !is_punct(prev, "->")) return false;
+  open = i + 1;
+  return true;
+}
+
+/// Split the top-level comma-separated arguments of a call whose '(' is
+/// at `open` (with a valid match).
+inline std::vector<TokRange> call_args(const FileModel& m,
+                                       std::size_t open) {
+  std::vector<TokRange> args;
+  const std::size_t close = m.match[open];
+  if (close == FileModel::npos) return args;
+  std::size_t begin = open + 1;
+  int depth = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const Token& t = m.toks[i];
+    if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) ++depth;
+    if (is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}")) --depth;
+    if (depth == 0 && is_punct(t, ",")) {
+      args.push_back(TokRange{begin, i});
+      begin = i + 1;
+    }
+  }
+  if (begin < close) args.push_back(TokRange{begin, close});
+  return args;
+}
+
+/// Does range `r` mention identifier `name`?
+inline bool range_mentions(const FileModel& m, TokRange r,
+                           const std::string& name) {
+  for (std::size_t i = r.begin; i < r.end && i < m.toks.size(); ++i) {
+    if (is_ident(m.toks[i]) && m.toks[i].text == name) return true;
+  }
+  return false;
+}
+
+/// First identifier in `r` that is not a type-ish name — the "base
+/// variable" of an argument expression like
+/// `std::span<const value_t>(buf.data() + o, n)` -> "buf".
+inline std::string base_identifier(const FileModel& m, TokRange r) {
+  static const std::unordered_set<std::string> kTypeish = {
+      "std",     "span",   "const",   "value_t", "double",   "float",
+      "int",     "size_t", "int64_t", "uint64_t","int32_t",  "uint32_t",
+      "sparse",  "util",   "minimpi", "hspmv",   "team",     "spmv",
+      "char",    "uint8_t","int8_t",  "vector",  "offset_t", "index_t",
+      "static_cast", "reinterpret_cast"};
+  for (std::size_t i = r.begin; i < r.end && i < m.toks.size(); ++i) {
+    const Token& t = m.toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    if (t.keyword || kTypeish.count(t.text) != 0) continue;
+    return t.text;
+  }
+  return "";
+}
+
+/// Token range of an `if` statement's pieces starting at the `if`
+/// keyword index. Handles block and single-statement branches and
+/// `else`/`else if`. Valid() is false when the shape is not parseable.
+struct IfView {
+  TokRange cond;
+  TokRange then_branch;
+  TokRange else_branch;  ///< empty when there is no else
+  bool has_else = false;
+  std::size_t end = 0;  ///< one past the whole statement
+  bool valid = false;
+};
+
+inline std::size_t statement_end(const FileModel& m, std::size_t begin) {
+  int depth = 0;
+  std::size_t i = begin;
+  while (i < m.toks.size()) {
+    const Token& t = m.toks[i];
+    if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) ++depth;
+    if (is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}")) {
+      if (depth == 0) return i;  // ran out of the enclosing block
+      --depth;
+    }
+    if (is_punct(t, ";") && depth == 0) return i + 1;
+    ++i;
+  }
+  return i;
+}
+
+inline IfView parse_if(const FileModel& m, std::size_t if_index) {
+  IfView v;
+  if (!is_kw(m.toks[if_index], "if")) return v;
+  std::size_t open = if_index + 1;
+  // C++17 if-constexpr / init-statement forms are not used with rank
+  // conditions in this repo; plain `if (` only.
+  if (open >= m.toks.size() || !is_punct(m.toks[open], "(") ||
+      m.match[open] == FileModel::npos) {
+    return v;
+  }
+  const std::size_t close = m.match[open];
+  v.cond = TokRange{open + 1, close};
+  std::size_t then_begin = close + 1;
+  std::size_t then_end;
+  if (then_begin < m.toks.size() && is_punct(m.toks[then_begin], "{") &&
+      m.match[then_begin] != FileModel::npos) {
+    then_end = m.match[then_begin];
+    v.then_branch = TokRange{then_begin + 1, then_end};
+    then_end += 1;
+  } else {
+    then_end = statement_end(m, then_begin);
+    v.then_branch = TokRange{then_begin, then_end};
+  }
+  v.end = then_end;
+  if (then_end < m.toks.size() && is_kw(m.toks[then_end], "else")) {
+    v.has_else = true;
+    std::size_t else_begin = then_end + 1;
+    std::size_t else_end;
+    if (else_begin < m.toks.size() && is_punct(m.toks[else_begin], "{") &&
+        m.match[else_begin] != FileModel::npos) {
+      else_end = m.match[else_begin];
+      v.else_branch = TokRange{else_begin + 1, else_end};
+      else_end += 1;
+    } else if (else_begin < m.toks.size() &&
+               is_kw(m.toks[else_begin], "if")) {
+      // else-if chain: the whole chained statement is the else branch.
+      IfView nested = parse_if(m, else_begin);
+      else_end = nested.valid ? nested.end : statement_end(m, else_begin);
+      v.else_branch = TokRange{else_begin, else_end};
+    } else {
+      else_end = statement_end(m, else_begin);
+      v.else_branch = TokRange{else_begin, else_end};
+    }
+    v.end = else_end;
+  }
+  v.valid = true;
+  return v;
+}
+
+}  // namespace hspmv::analysis::support

@@ -1,0 +1,32 @@
+// Token stream of the hspmv-check frontend (src/analysis/).
+//
+// The static checks in this subsystem prove source-level invariants —
+// uniform collectives, nonblocking buffer lifetimes, first-touch
+// placement, write-range claims, pinned reduction order — against the
+// project's own coding idioms. They consume a FileModel (model.hpp)
+// built from this token stream; the stream itself is produced by the
+// Lexer (lexer.hpp), which strips comments and preprocessor lines while
+// recording HSPMV-CHECK-ALLOW suppressions.
+#pragma once
+
+#include <string>
+
+namespace hspmv::analysis {
+
+enum class Tok {
+  kIdent,    ///< identifiers and keywords (Token::keyword distinguishes)
+  kNumber,   ///< integer / floating literal (pp-number, one token)
+  kString,   ///< string literal, including raw strings
+  kChar,     ///< character literal
+  kPunct,    ///< operators and punctuation, longest-match (e.g. "+=")
+  kEnd,      ///< one-past-the-last sentinel
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int line = 0;        ///< 1-based source line
+  bool keyword = false;  ///< kIdent that is a C++ keyword
+};
+
+}  // namespace hspmv::analysis

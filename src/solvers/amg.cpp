@@ -6,6 +6,7 @@
 
 #include "sparse/kernels.hpp"
 #include "sparse/spgemm.hpp"
+#include "sparse/vector_ops.hpp"
 
 namespace hspmv::solvers {
 
@@ -17,6 +18,7 @@ using sparse::value_t;
 std::vector<index_t> aggregate(const CsrMatrix& a,
                                double strength_threshold) {
   const index_t n = a.rows();
+  // HSPMV-CHECK-ALLOW(first-touch): setup-time Jacobi scratch; built once sequentially, never swept by a team
   std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
   for (index_t i = 0; i < n; ++i) diag[static_cast<std::size_t>(i)] = a.at(i, i);
 
@@ -200,6 +202,7 @@ AmgHierarchy::AmgHierarchy(const CsrMatrix& a, const AmgOptions& options)
 double AmgHierarchy::operator_complexity() const {
   double total = 0.0;
   for (const auto& level : levels_) {
+    // HSPMV-CHECK-ALLOW(determinism-policy): integer nnz counts summed in fixed level order; exact in double
     total += static_cast<double>(level.a.nnz());
   }
   return total / static_cast<double>(levels_.front().a.nnz());
@@ -273,6 +276,7 @@ void AmgHierarchy::cycle(std::size_t l) {
       double sum = 0.0;
       for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
            k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        // HSPMV-CHECK-ALLOW(determinism-policy): sequential correction sweep; ascending-k CSR order is fixed
         sum += vals[static_cast<std::size_t>(k)] *
                next.x[static_cast<std::size_t>(
                    cols[static_cast<std::size_t>(k)])];
@@ -298,19 +302,15 @@ void AmgHierarchy::v_cycle(std::span<const double> b, std::span<double> x) {
 int AmgHierarchy::solve(std::span<const double> b, std::span<double> x,
                         double tolerance, int max_cycles) {
   AmgLevel& top = levels_.front();
-  double b_norm = 0.0;
-  for (const double v : b) b_norm += v * v;
-  b_norm = std::sqrt(b_norm);
+  const double b_norm = sparse::norm2(b);
   const double threshold = tolerance * (b_norm > 0.0 ? b_norm : 1.0);
   for (int cycle_count = 1; cycle_count <= max_cycles; ++cycle_count) {
     v_cycle(b, x);
     sparse::spmv(top.a, x, top.r);
-    double r_norm = 0.0;
     for (std::size_t i = 0; i < top.r.size(); ++i) {
-      const double r = b[i] - top.r[i];
-      r_norm += r * r;
+      top.r[i] = b[i] - top.r[i];
     }
-    if (std::sqrt(r_norm) <= threshold) return cycle_count;
+    if (sparse::norm2(top.r) <= threshold) return cycle_count;
   }
   return max_cycles;
 }

@@ -43,6 +43,7 @@ struct AmgOptions {
 struct AmgLevel {
   sparse::CsrMatrix a;
   sparse::CsrMatrix p;            ///< prolongation to this level's fine side
+  // HSPMV-CHECK-ALLOW(first-touch): level metadata built at setup; the sequential smoother reads it on the calling thread
   std::vector<double> inv_diag;   ///< 1 / a_ii for the Jacobi smoother
   // Work vectors (sized once).
   std::vector<double> x, b, r;
@@ -78,6 +79,7 @@ class AmgHierarchy {
   AmgOptions options_;
   std::vector<AmgLevel> levels_;
   // Dense Cholesky-ish factorization of the coarsest operator.
+  // HSPMV-CHECK-ALLOW(first-touch): coarsest-level dense factor; tiny and solved sequentially
   std::vector<double> coarse_dense_;
   int coarse_n_ = 0;
 };

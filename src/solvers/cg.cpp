@@ -18,6 +18,7 @@ CgResult conjugate_gradient(const Operator& op,
     throw std::invalid_argument("cg: vector size mismatch");
   }
   const std::size_t n = op.local_size;
+  // HSPMV-CHECK-ALLOW(first-touch): sequential reference solver; the allocating thread is the only consumer
   std::vector<value_t> r(n), p(n), ap(n);
 
   // r = b - A x
@@ -78,6 +79,7 @@ CgResult preconditioned_conjugate_gradient(
     throw std::invalid_argument("pcg: vector size mismatch");
   }
   const std::size_t n = op.local_size;
+  // HSPMV-CHECK-ALLOW(first-touch): sequential reference solver; the allocating thread is the only consumer
   std::vector<value_t> r(n), z(n), p(n), ap(n);
 
   op.apply(x, ap);

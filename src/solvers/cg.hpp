@@ -20,6 +20,7 @@ struct CgResult {
   bool converged = false;
   double residual_norm = 0.0;       ///< final ||r||
   double relative_residual = 0.0;   ///< ||r|| / ||b||
+  // HSPMV-CHECK-ALLOW(first-touch): per-iteration convergence log; cold diagnostics
   std::vector<double> residual_history;
 };
 

@@ -45,10 +45,12 @@ std::vector<double> kpm_moments(const Operator& op,
     throw std::invalid_argument("kpm_moments: bad options");
   }
   const std::size_t n = op.local_size;
+  // HSPMV-CHECK-ALLOW(first-touch): moment accumulator on the host; cold next to op.apply traffic
   std::vector<double> moments(static_cast<std::size_t>(options.moments),
                               0.0);
   util::Xoshiro256 rng(options.seed);
 
+  // HSPMV-CHECK-ALLOW(first-touch): stochastic-estimator scratch; hot placement is owned by op.apply's engine
   std::vector<value_t> r(n), t0(n), t1(n), t2(n);
   for (int vec = 0; vec < options.random_vectors; ++vec) {
     // Rademacher vector: the standard stochastic trace estimator.
@@ -75,6 +77,7 @@ std::vector<double> jackson_kernel(int n_moments) {
   if (n_moments < 1) {
     throw std::invalid_argument("jackson_kernel: n_moments must be >= 1");
   }
+  // HSPMV-CHECK-ALLOW(first-touch): n_moments-sized kernel weight table; host-side
   std::vector<double> g(static_cast<std::size_t>(n_moments));
   const double big_n = n_moments + 1.0;
   const double phase = std::numbers::pi / big_n;
@@ -94,6 +97,7 @@ std::vector<double> kpm_density(const std::vector<double>& moments,
     throw std::invalid_argument("kpm_density: no moments");
   }
   const auto g = jackson_kernel(static_cast<int>(moments.size()));
+  // HSPMV-CHECK-ALLOW(first-touch): spectral density output; host-side post-processing
   std::vector<double> density;
   density.reserve(energies.size());
   for (const double energy : energies) {
@@ -106,6 +110,7 @@ std::vector<double> kpm_density(const std::vector<double>& moments,
     const double theta = std::acos(x);
     double sum = g[0] * moments[0];
     for (std::size_t m = 1; m < moments.size(); ++m) {
+      // HSPMV-CHECK-ALLOW(determinism-policy): host-side Chebyshev series in fixed ascending-moment order
       sum += 2.0 * g[m] * moments[m] *
              std::cos(static_cast<double>(m) * theta);
     }
@@ -131,9 +136,13 @@ int chebyshev_propagate(const Operator& op, const SpectralWindow& window,
 
   // exp(-i H t) = e^{-i b t} sum_n c_n T_n(H~), c_n = (2 - d_n0) (-i)^n
   // J_n(tau).
+  // HSPMV-CHECK-ALLOW(first-touch): propagation scratch; hot placement is owned by op.apply's engine
   std::vector<value_t> t0_r(psi_real.begin(), psi_real.end());
+  // HSPMV-CHECK-ALLOW(first-touch): propagation scratch; hot placement is owned by op.apply's engine
   std::vector<value_t> t0_i(psi_imag.begin(), psi_imag.end());
+  // HSPMV-CHECK-ALLOW(first-touch): propagation scratch; hot placement is owned by op.apply's engine
   std::vector<value_t> t1_r(n), t1_i(n), t2_r(n), t2_i(n);
+  // HSPMV-CHECK-ALLOW(first-touch): propagation scratch; hot placement is owned by op.apply's engine
   std::vector<value_t> out_r(n, 0.0), out_i(n, 0.0);
 
   const auto accumulate = [&](int order, std::span<const value_t> vr,

@@ -19,8 +19,11 @@ LanczosResult lanczos(const Operator& op, const LanczosOptions& options) {
   }
   const std::size_t n = op.local_size;
 
+  // HSPMV-CHECK-ALLOW(first-touch): sequential reference Lanczos; the allocating thread is the only consumer
   std::vector<value_t> v(n);       // current Lanczos vector
+  // HSPMV-CHECK-ALLOW(first-touch): sequential reference Lanczos; the allocating thread is the only consumer
   std::vector<value_t> v_prev(n, 0.0);
+  // HSPMV-CHECK-ALLOW(first-touch): sequential reference Lanczos; the allocating thread is the only consumer
   std::vector<value_t> w(n);
   std::vector<std::vector<value_t>> basis;  // for reorthogonalization
 

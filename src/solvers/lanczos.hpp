@@ -24,11 +24,14 @@ struct LanczosOptions {
 
 struct LanczosResult {
   /// Ritz values of the final tridiagonal matrix, ascending.
+  // HSPMV-CHECK-ALLOW(first-touch): iteration-count-sized eigenvalue results; cold metadata
   std::vector<double> ritz_values;
   int iterations = 0;
   bool converged = false;
   /// Lanczos recurrence coefficients (for diagnostics / KPM reuse).
+  // HSPMV-CHECK-ALLOW(first-touch): iteration-count-sized tridiagonal coefficients; cold metadata
   std::vector<double> alpha;
+  // HSPMV-CHECK-ALLOW(first-touch): iteration-count-sized tridiagonal coefficients; cold metadata
   std::vector<double> beta;
 
   [[nodiscard]] double smallest() const { return ritz_values.front(); }

@@ -86,9 +86,11 @@ void BuddyCheckpoint::save(
     theirs.data.resize(static_cast<std::size_t>(theirs.vector_count) *
                        static_cast<std::size_t>(theirs.slice_len));
     theirs.scalars.resize(static_cast<std::size_t>(their_header[4]));
+    // HSPMV-CHECK-ALLOW(first-touch): checkpoint-exchange message staging; not a sweep target
     std::vector<value_t> send_payload = mine.data;
     send_payload.insert(send_payload.end(), mine.scalars.begin(),
                         mine.scalars.end());
+    // HSPMV-CHECK-ALLOW(first-touch): checkpoint-exchange message staging; not a sweep target
     std::vector<value_t> recv_payload(theirs.data.size() +
                                       theirs.scalars.size());
     comm.sendrecv(std::span<const value_t>(send_payload),
@@ -116,11 +118,13 @@ BuddyCheckpoint::Restored BuddyCheckpoint::restore_global(
   // Every survivor contributes all its committed snapshots; allgatherv
   // hands every rank the same stream, so all survivors independently
   // pick the same generation.
+  // HSPMV-CHECK-ALLOW(first-touch): checkpoint restore staging on the calling thread
   std::vector<value_t> contribution;
   for (const Snapshot* snapshot :
        {&own_, &buddy_, &own_prev_, &buddy_prev_}) {
     if (!snapshot->empty()) serialize(*snapshot, contribution);
   }
+  // HSPMV-CHECK-ALLOW(first-touch): checkpoint restore staging on the calling thread
   const std::vector<value_t> stream =
       shrunk.allgatherv(std::span<const value_t>(contribution));
 

@@ -98,6 +98,7 @@ class BuddyCheckpoint {
     std::int64_t iteration = 0;
     /// Full global vectors, reassembled from the slices.
     std::vector<std::vector<sparse::value_t>> vectors;
+    // HSPMV-CHECK-ALLOW(first-touch): checkpoint scalar block; cold metadata
     std::vector<sparse::value_t> scalars;
   };
 
@@ -118,7 +119,9 @@ class BuddyCheckpoint {
   struct Snapshot {
     std::int64_t row_begin = 0;
     std::int64_t iteration = -1;  ///< -1: empty slot
+    // HSPMV-CHECK-ALLOW(first-touch): checkpoint slice storage; written and read by the calling thread
     std::vector<sparse::value_t> data;  ///< vectors * slice_len, packed
+    // HSPMV-CHECK-ALLOW(first-touch): checkpoint scalar block; cold metadata
     std::vector<sparse::value_t> scalars;
     std::int64_t slice_len = 0;
     std::int64_t vector_count = 0;
@@ -141,6 +144,7 @@ struct ResilientCgResult {
   CgResult cg;
   RecoveryStats recovery;
   /// Replicated global solution (survivors; empty on a killed rank).
+  // HSPMV-CHECK-ALLOW(first-touch): restored global vector on the recovery path; rebuilt engines re-place hot data
   std::vector<sparse::value_t> x;
 };
 

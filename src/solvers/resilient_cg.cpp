@@ -13,6 +13,7 @@
 #include <stdexcept>
 
 #include "solvers/resilience.hpp"
+#include "sparse/vector_ops.hpp"
 #include "spmv/resilient.hpp"
 #include "util/timer.hpp"
 
@@ -71,8 +72,9 @@ ResilientCgResult resilient_cg(minimpi::Comm comm,
   };
   const auto dot = [&](std::span<const value_t> u,
                        std::span<const value_t> v) {
-    value_t local = 0.0;
-    for (std::size_t i = 0; i < u.size(); ++i) local += u[i] * v[i];
+    // Pinned local order (sparse::dot) so the distributed dot is
+    // bitwise-stable for a fixed partition.
+    const value_t local = sparse::dot(u, v);
     return op.comm().allreduce(local, minimpi::ReduceOp::kSum);
   };
   const auto local_b = [&] {
@@ -131,6 +133,7 @@ ResilientCgResult resilient_cg(minimpi::Comm comm,
       converged = std::sqrt(rr) <= threshold;
     } catch (const minimpi::FaultError& fault) {
       if (fault.kind() == minimpi::FaultKind::kTransient) throw;
+      // HSPMV-CHECK-ALLOW(divergent-collective): the victim rank is dead to the protocol; survivors shrink and rebuild the communicator before their next collective
       if (fault.rank() == world_rank) {
         // This rank was killed: leave quietly, the survivors carry on.
         stats.survivor = false;
@@ -170,6 +173,7 @@ ResilientCgResult resilient_cg(minimpi::Comm comm,
           // Another death mid-recovery: run the whole recovery again
           // under the new epoch.
           if (again.kind() == minimpi::FaultKind::kTransient) throw;
+          // HSPMV-CHECK-ALLOW(divergent-collective): the victim rank is dead to the protocol; survivors shrink and rebuild the communicator before their next collective
           if (again.rank() == world_rank) {
             stats.survivor = false;
             stats.final_size = 0;

@@ -12,6 +12,7 @@
 
 #include "solvers/resilience.hpp"
 #include "solvers/tridiag.hpp"
+#include "sparse/vector_ops.hpp"
 #include "spmv/resilient.hpp"
 #include "util/timer.hpp"
 
@@ -90,8 +91,9 @@ ResilientLanczosResult resilient_lanczos(minimpi::Comm comm,
   };
   const auto dot = [&](std::span<const value_t> a,
                        std::span<const value_t> c) {
-    value_t local = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) local += a[i] * c[i];
+    // Pinned local order (sparse::dot) so the distributed dot is
+    // bitwise-stable for a fixed partition.
+    const value_t local = sparse::dot(a, c);
     return op.comm().allreduce(local, minimpi::ReduceOp::kSum);
   };
 
@@ -114,6 +116,7 @@ ResilientLanczosResult resilient_lanczos(minimpi::Comm comm,
     vectors.emplace_back(v);
     vectors.emplace_back(v_prev);
     for (const auto& q : basis) vectors.emplace_back(q);
+    // HSPMV-CHECK-ALLOW(first-touch): checkpoint scalar packing; cold
     std::vector<value_t> scalars;
     scalars.push_back(static_cast<value_t>(result.alpha.size()));
     scalars.insert(scalars.end(), result.alpha.begin(), result.alpha.end());

@@ -16,6 +16,7 @@ std::vector<double> tridiagonal_eigenvalues(std::vector<double> alpha,
   // Work arrays: d = diagonal (becomes eigenvalues), e = subdiagonal
   // shifted so e[i] couples d[i] and d[i+1]; e[n-1] = 0.
   std::vector<double>& d = alpha;
+  // HSPMV-CHECK-ALLOW(first-touch): QL workspace for the m-by-m tridiagonal problem; iteration-count-sized
   std::vector<double> e(n, 0.0);
   std::copy(beta.begin(), beta.end(), e.begin());
 

@@ -16,6 +16,7 @@ struct OccupancyGrid {
   index_t block_size = 0;
   /// Row-major densities: fraction of positions in each block that hold a
   /// nonzero, in [0, 1].
+  // HSPMV-CHECK-ALLOW(first-touch): occupancy histogram output; diagnostics
   std::vector<double> density;
 
   [[nodiscard]] double at(index_t br, index_t bc) const {

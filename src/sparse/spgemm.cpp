@@ -20,6 +20,7 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
   util::AlignedVector<value_t> out_vals;
 
   // Gustavson: a dense accumulator row with a touched-columns list.
+  // HSPMV-CHECK-ALLOW(first-touch): sequential SpGEMM dense accumulator; the allocating thread is the only consumer
   std::vector<value_t> accumulator(static_cast<std::size_t>(cols), 0.0);
   std::vector<bool> touched(static_cast<std::size_t>(cols), false);
   std::vector<index_t> touched_list;

@@ -30,7 +30,9 @@ MatrixStats compute_stats(const CsrMatrix& a) {
       s.has_full_diagonal = false;
     }
     const double delta = static_cast<double>(len) - mean;
+    // HSPMV-CHECK-ALLOW(determinism-policy): Welford update in fixed ascending-row order; structural diagnostics
     mean += delta / static_cast<double>(i + 1);
+    // HSPMV-CHECK-ALLOW(determinism-policy): Welford update in fixed ascending-row order; structural diagnostics
     m2 += delta * (static_cast<double>(len) - mean);
 
     bool diag = false;

@@ -91,6 +91,7 @@ void symmetric_spmv(const SymmetricCsr& a, std::span<const value_t> x,
          k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
       const index_t j = col_idx[static_cast<std::size_t>(k)];
       const value_t v = val[static_cast<std::size_t>(k)];
+      // HSPMV-CHECK-ALLOW(determinism-policy): ascending-k upper-triangle order is fixed; fused with the mirrored scatter so row_dot cannot apply
       sum += v * x[static_cast<std::size_t>(j)];
       if (j != i) {
         // Mirrored contribution of the (j, i) entry.
@@ -144,6 +145,7 @@ void symmetric_spmv_parallel(const SymmetricCsr& a,
            k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
         const index_t j = col_idx[static_cast<std::size_t>(k)];
         const value_t v = val[static_cast<std::size_t>(k)];
+        // HSPMV-CHECK-ALLOW(determinism-policy): ascending-k upper-triangle order is fixed; fused with the mirrored scatter so row_dot cannot apply
         sum += v * x[static_cast<std::size_t>(j)];
         if (j != i) mine[static_cast<std::size_t>(j)] += v * xi;
       }

@@ -14,6 +14,7 @@
 #include "sparse/ell.hpp"
 #include "sparse/kernels.hpp"
 #include "team/thread_team.hpp"
+#include "util/aligned.hpp"
 #include "util/timer.hpp"
 
 namespace hspmv::spmv {
@@ -39,6 +40,7 @@ MatrixFingerprint MatrixFingerprint::of(const sparse::CsrMatrix& a) {
         row_ptr[static_cast<std::size_t>(i)]);
     fp.max_row_length = std::max(fp.max_row_length, len);
     const double d = static_cast<double>(len) - mean;
+    // HSPMV-CHECK-ALLOW(determinism-policy): fixed ascending-row sum for the structural fingerprint; not a certified numeric result
     variance += d * d;
     for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
          j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
@@ -154,8 +156,22 @@ double measure_config(const sparse::CsrMatrix& a, const TunedConfig& config,
                       const AutotuneOptions& options,
                       team::ThreadTeam& team) {
   if (options.measure) return options.measure(config);
-  std::vector<value_t> x(static_cast<std::size_t>(a.cols()));
-  std::vector<value_t> y(static_cast<std::size_t>(a.rows()), 0.0);
+  // Measurement buffers placed the way the engine places its own
+  // vectors: the team first-touches the pages it will sweep, so the
+  // candidate timings see production NUMA locality instead of
+  // master-thread pages.
+  util::FirstTouchVector<value_t> x(static_cast<std::size_t>(a.cols()));
+  util::FirstTouchVector<value_t> y(static_cast<std::size_t>(a.rows()));
+  {
+    const auto x_bounds = team::uniform_boundaries(
+        static_cast<std::int64_t>(x.size()), team.size());
+    const auto y_bounds = team::uniform_boundaries(
+        static_cast<std::int64_t>(y.size()), team.size());
+    util::first_touch_fill(team, std::span<value_t>(x),
+                           std::span<const std::int64_t>(x_bounds));
+    util::first_touch_fill(team, std::span<value_t>(y),
+                           std::span<const std::int64_t>(y_bounds));
+  }
   for (std::size_t i = 0; i < x.size(); ++i) {
     x[i] = 1.0 + 0.125 * static_cast<double>(i % 7);  // deterministic RHS
   }

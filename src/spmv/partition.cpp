@@ -48,6 +48,7 @@ std::vector<std::int64_t> partition_nnz(
 double partition_imbalance(const sparse::CsrMatrix& a,
                            std::span<const sparse::index_t> boundaries) {
   const auto nnz = partition_nnz(a, boundaries);
+  // HSPMV-CHECK-ALLOW(first-touch): partitioner input copy; sequential setup path
   std::vector<double> loads(nnz.begin(), nnz.end());
   return util::imbalance_factor(loads);
 }

@@ -29,6 +29,7 @@ const char* reorder_name(Reorder reorder) {
 
 std::vector<value_t> ReorderedProblem::to_reordered(
     std::span<const value_t> x) const {
+  // HSPMV-CHECK-ALLOW(first-touch): permutation staging; sequential setup/teardown path
   std::vector<value_t> result(x.size());
   if (new_of.empty()) {
     std::copy(x.begin(), x.end(), result.begin());
@@ -42,6 +43,7 @@ std::vector<value_t> ReorderedProblem::to_reordered(
 
 std::vector<value_t> ReorderedProblem::to_original(
     std::span<const value_t> y) const {
+  // HSPMV-CHECK-ALLOW(first-touch): permutation staging; sequential setup/teardown path
   std::vector<value_t> result(y.size());
   if (new_of.empty()) {
     std::copy(y.begin(), y.end(), result.begin());

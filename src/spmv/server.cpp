@@ -78,6 +78,7 @@ std::vector<ServerRequest> BatchQueue::next_batch() {
 }
 
 std::vector<double> ServerReport::latencies() const {
+  // HSPMV-CHECK-ALLOW(first-touch): latency report assembly; diagnostics
   std::vector<double> result;
   result.reserve(completed.size());
   for (const CompletedRequest& r : completed) {
@@ -148,22 +149,29 @@ bool SpmvServer::serve_one(BatchQueue& queue,
   if (root) {
     if (pending.empty()) pending = queue.next_batch();
     width = static_cast<std::int64_t>(pending.size());
+    // A malformed request must fail on every rank together: throwing
+    // from inside the root-only packing block below would leave the
+    // other ranks blocked in the payload broadcasts, so signal it
+    // through the header instead.
+    for (const ServerRequest& request : pending) {
+      if (request.x.size() != rows) width = -1;
+    }
   }
   comm.broadcast(std::span<std::int64_t>(&width, 1), 0);
+  if (width < 0) {
+    throw std::invalid_argument("SpmvServer: request size != global rows");
+  }
   if (width == 0) return false;
 
   // Batch payload: ids, then the K global right-hand sides packed
   // column-after-column (sizes are implied by width * rows, so one
   // broadcast each suffices).
   std::vector<std::uint64_t> ids(static_cast<std::size_t>(width), 0);
+  // HSPMV-CHECK-ALLOW(first-touch): broadcast staging; the engine re-places the block into its own vectors
   std::vector<value_t> packed(static_cast<std::size_t>(width) * rows, 0.0);
   if (root) {
     for (std::size_t q = 0; q < pending.size(); ++q) {
       ids[q] = pending[q].id;
-      if (pending[q].x.size() != rows) {
-        throw std::invalid_argument(
-            "SpmvServer: request size != global rows");
-      }
       std::copy(pending[q].x.begin(), pending[q].x.end(),
                 packed.begin() + static_cast<std::ptrdiff_t>(q * rows));
     }
@@ -187,6 +195,7 @@ bool SpmvServer::serve_one(BatchQueue& queue,
   }
   spmv_.apply(x, y);
 
+  // HSPMV-CHECK-ALLOW(first-touch): gather staging on the communication path; not a sweep target
   std::vector<value_t> owned_column(
       static_cast<std::size_t>(spmv_.matrix().owned_rows()), 0.0);
   std::vector<std::vector<value_t>> results;

@@ -32,6 +32,7 @@ namespace hspmv::spmv {
 /// submission time on the queue's clock.
 struct ServerRequest {
   std::uint64_t id = 0;
+  // HSPMV-CHECK-ALLOW(first-touch): request payload owned by the submitting client thread
   std::vector<sparse::value_t> x;
   double submit_s = 0.0;
 };
@@ -83,6 +84,7 @@ struct CompletedRequest {
   double complete_s = 0.0;
   int batch_width = 0;  ///< K of the batch that served it
   /// The global result vector (only kept when ServerOptions::keep_results).
+  // HSPMV-CHECK-ALLOW(first-touch): completed-result copy handed back to the client; report path
   std::vector<sparse::value_t> y;
 
   [[nodiscard]] double latency_s() const { return complete_s - submit_s; }

@@ -111,6 +111,7 @@ Timings SymmetricSpmvEngine::apply(DistVector& x, DistVector& y) {
              k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
           const index_t c = col_idx[static_cast<std::size_t>(k)];
           const value_t v = val[static_cast<std::size_t>(k)];
+          // HSPMV-CHECK-ALLOW(determinism-policy): ascending-k order within each owned row is fixed; fused with the halo scatter
           sum += v * x_full[static_cast<std::size_t>(c)];
           if (c != i) mine[static_cast<std::size_t>(c)] += v * xi;
         }

@@ -1,0 +1,29 @@
+// Negative fixture for hspmv-check: bad-suppression (the meta check the
+// driver applies to every ALLOW marker).
+//
+// Analyzed by tests/analysis/test_hspmv_check.cpp; never compiled.
+// Three broken markers: one with no reason, one naming a check that does
+// not exist, and one stale (covering a line with no finding).
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void reasonless(std::size_t n) {
+  // HSPMV-CHECK-ALLOW(first-touch):
+  std::vector<double> x(n, 0.0);
+  (void)x;
+}
+
+void unknown_check(std::size_t n) {
+  // HSPMV-CHECK-ALLOW(no-such-check): confidently wrong
+  std::vector<double> y(n, 0.0);
+  (void)y;
+}
+
+int stale(int value) {
+  // HSPMV-CHECK-ALLOW(determinism-policy): nothing here accumulates
+  return value + 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Fixture for hspmv-check: a file every check must pass untouched.
+//
+// Analyzed by tests/analysis/test_hspmv_check.cpp; never compiled.
+// Collectives executed uniformly, a waited request, placed allocation
+// via the first-touch alias, a pinned-helper reduction name, and a team
+// lambda writing only indexed claimed spans.
+#include <span>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "team/thread_team.hpp"
+#include "util/aligned.hpp"
+
+namespace fixture {
+
+double row_dot(std::span<const double> values,
+               std::span<const double> x) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    sum += values[k] * x[k];
+  }
+  return sum;
+}
+
+long long uniform_collectives(minimpi::Comm& comm, long long value) {
+  comm.barrier();
+  return comm.allreduce(value, minimpi::ReduceOp::kSum);
+}
+
+void waited_request(minimpi::Comm& comm, std::span<const double> buffer) {
+  auto request = comm.isend(1, 0, buffer);
+  comm.wait(request);
+}
+
+void placed_fill(hspmv::team::ThreadTeam& team, std::size_t n,
+                 std::span<const std::int64_t> boundaries) {
+  hspmv::util::FirstTouchVector<double> y(n);
+  hspmv::util::first_touch_fill(team, std::span<double>(y), boundaries);
+  team.execute([&](int id) {
+    y[static_cast<std::size_t>(id)] = 1.0;
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Negative fixture for hspmv-check: determinism-policy.
+//
+// Analyzed by tests/analysis/test_hspmv_check.cpp; never compiled.
+// Exercises the three flagged shapes: an ad-hoc scalar FP reduction
+// loop, std::accumulate on a kernel path, and a raw SIMD intrinsic
+// outside the util/simd.hpp shim.
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace fixture {
+
+double adhoc_reduction(std::span<const double> values) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    acc += values[i];
+  }
+  return acc;
+}
+
+double left_fold(const std::vector<double>& values) {
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+double raw_intrinsic(const double* a, const double* b) {
+  __m256d va = _mm256_loadu_pd(a);
+  __m256d vb = _mm256_loadu_pd(b);
+  __m256d prod = _mm256_mul_pd(va, vb);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, prod);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Negative fixture for hspmv-check: divergent-collective.
+//
+// Analyzed by tests/analysis/test_hspmv_check.cpp; never compiled. Both
+// flagged shapes are present: a rank-conditional branch whose collective
+// set differs from its (absent) sibling, and a rank-dependent early
+// return with a collective still ahead in the function.
+#include "minimpi/comm.hpp"
+
+namespace fixture {
+
+// Shape (A): only rank 0 enters the barrier; everyone else sails past
+// and the barrier never completes.
+void lopsided_barrier(minimpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();
+  }
+}
+
+// Shape (B): rank 0 leaves before the allreduce every other rank joins.
+long long early_exit(minimpi::Comm& comm, long long value) {
+  if (comm.rank() == 0) {
+    return value;
+  }
+  return comm.allreduce(value, minimpi::ReduceOp::kSum);
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Negative fixture for hspmv-check: first-touch.
+//
+// Analyzed by tests/analysis/test_hspmv_check.cpp; never compiled.
+// A kernel-path result vector allocated with the zero-filling default
+// allocator: every page lands on the allocating thread's NUMA node
+// before the team ever touches its chunk.
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace fixture {
+
+std::vector<double> misplaced_result(std::size_t n) {
+  std::vector<double> y(n, 0.0);
+  return y;
+}
+
+void misplaced_operand(std::size_t n) {
+  std::vector<hspmv::sparse::value_t> x(n);
+  (void)x;
+}
+
+}  // namespace fixture

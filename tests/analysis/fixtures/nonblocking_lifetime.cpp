@@ -1,0 +1,33 @@
+// Negative fixture for hspmv-check: nonblocking-lifetime.
+//
+// Analyzed by tests/analysis/test_hspmv_check.cpp; never compiled.
+// Exercises three of the flagged shapes: a discarded request, a buffer
+// mutated while its send is in flight, and a locally-bound request that
+// scopes out without a wait.
+#include <span>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+
+namespace fixture {
+
+// Discarded request: nothing can ever wait on the isend.
+void fire_and_forget(minimpi::Comm& comm, std::span<const double> buffer) {
+  comm.isend(1, 0, buffer);
+}
+
+// Buffer resized between the post and the wait: the transfer may still
+// be reading the old storage when the reallocation frees it.
+void mutate_in_flight(minimpi::Comm& comm, std::vector<double>& buffer) {
+  auto request = comm.isend(1, 0, std::span<const double>(buffer));
+  buffer.resize(buffer.size() * 2);
+  comm.wait(request);
+}
+
+// Locally-bound request with no wait on any path: the receive can still
+// target `scratch` after both go out of scope.
+void scope_out(minimpi::Comm& comm, std::vector<double>& scratch) {
+  auto request = comm.irecv(0, 0, std::span<double>(scratch));
+}
+
+}  // namespace fixture

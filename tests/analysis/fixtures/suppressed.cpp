@@ -1,0 +1,18 @@
+// Fixture for hspmv-check: a real finding under a justified ALLOW.
+//
+// Analyzed by tests/analysis/test_hspmv_check.cpp; never compiled. The
+// declaration below would fire first-touch, but the marker carries a
+// reason, so the driver must record it as suppressed — not unsuppressed,
+// and not stale.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void justified(std::size_t n) {
+  // HSPMV-CHECK-ALLOW(first-touch): fixture metadata; never swept by a team
+  std::vector<double> x(n, 0.0);
+  (void)x;
+}
+
+}  // namespace fixture

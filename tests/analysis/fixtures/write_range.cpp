@@ -1,0 +1,29 @@
+// Negative fixture for hspmv-check: write-range-claim.
+//
+// Analyzed by tests/analysis/test_hspmv_check.cpp; never compiled.
+// Shape (A): a LocalKernel subclass with a compute entry point but no
+// write_ranges()/row_boundaries() — the runtime range checker would have
+// no claims for its sweeps. Shape (B): a whole-object write to a
+// by-reference capture inside a team lambda — the unclaimed-write race.
+#include <span>
+
+#include "spmv/engine.hpp"
+#include "team/thread_team.hpp"
+
+namespace fixture {
+
+class UnclaimedKernel : public hspmv::spmv::LocalKernel {
+ public:
+  void full(std::span<const double> x, std::span<double> y, int worker);
+};
+
+double racy_sum(hspmv::team::ThreadTeam& team,
+                std::span<const double> data) {
+  double total = 0.0;
+  team.execute([&](int id) {
+    total += data[static_cast<std::size_t>(id)];
+  });
+  return total;
+}
+
+}  // namespace fixture

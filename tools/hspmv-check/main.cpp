@@ -1,0 +1,143 @@
+// hspmv-check — the project-specific static analysis CLI.
+//
+// Proves the MPI/team/NUMA/determinism source invariants of the hybrid
+// model at compile time (check list: --list-checks; design and the
+// static<->dynamic cross-reference table: docs/correctness-tooling.md).
+//
+//   hspmv-check --root src --baseline tools/hspmv-check-baseline.txt
+//               [--compile-commands build/compile_commands.json]
+//               [--json ANALYSIS_report.json] [--check id]...
+//
+// Exit status: 0 = no unsuppressed findings, 1 = findings, 2 = usage.
+// Suppress a justified finding inline with
+//   // HSPMV-CHECK-ALLOW(check-id): reason
+// or record legacy findings in the committed baseline
+// (--update-baseline rewrites it from the current run).
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/driver.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "usage: hspmv-check [options] \n"
+      "  --root DIR             analyze DIR recursively (repeatable;\n"
+      "                         default: src bench examples relative to\n"
+      "                         --repo-root)\n"
+      "  --repo-root DIR        repo root for display paths (default: .)\n"
+      "  --compile-commands F   add the TUs listed in F to the file set\n"
+      "  --baseline F           committed suppression baseline file\n"
+      "  --update-baseline F    rewrite F from this run's findings\n"
+      "  --json F               write the machine-readable report to F\n"
+      "  --check ID             run only check ID (repeatable)\n"
+      "  --list-checks          print the registered checks and exit\n"
+      "  --quiet                suppress per-finding text output\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  using hspmv::analysis::AnalysisOptions;
+  using hspmv::analysis::Finding;
+
+  AnalysisOptions options;
+  options.repo_root = ".";
+  std::string json_path;
+  std::string update_baseline_path;
+  bool quiet = false;
+
+  auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "hspmv-check: " << flag << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      options.roots.push_back(need_value(i, "--root"));
+    } else if (arg == "--repo-root") {
+      options.repo_root = need_value(i, "--repo-root");
+    } else if (arg == "--compile-commands") {
+      options.compile_commands = need_value(i, "--compile-commands");
+    } else if (arg == "--baseline") {
+      options.baseline_path = need_value(i, "--baseline");
+    } else if (arg == "--update-baseline") {
+      update_baseline_path = need_value(i, "--update-baseline");
+    } else if (arg == "--json") {
+      json_path = need_value(i, "--json");
+    } else if (arg == "--check") {
+      options.only_checks.push_back(need_value(i, "--check"));
+    } else if (arg == "--list-checks") {
+      for (const auto& check : hspmv::analysis::all_checks()) {
+        std::cout << check->id() << "\n    " << check->description()
+                  << "\n    mirrors: " << check->mirrors() << "\n";
+      }
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::cerr << "hspmv-check: unknown option '" << arg << "'\n";
+      print_usage();
+      return 2;
+    }
+  }
+  if (options.roots.empty()) {
+    for (const char* sub : {"src", "bench", "examples"}) {
+      const fs::path p = fs::path(options.repo_root) / sub;
+      std::error_code ec;
+      if (fs::is_directory(p, ec)) options.roots.push_back(p.string());
+    }
+  }
+
+  const auto result = hspmv::analysis::run_analysis(options);
+  const auto& report = result.report;
+
+  if (!quiet) {
+    for (const Finding& f : report.findings) {
+      if (f.suppressed) continue;  // justified inline — not noise
+      std::cout << f.file << ":" << f.line << ": "
+                << (f.baselined ? "[baselined] " : "") << "[" << f.check
+                << "] " << f.message << "\n";
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << report.to_json();
+    if (!out) {
+      std::cerr << "hspmv-check: cannot write " << json_path << "\n";
+      return 2;
+    }
+  }
+  if (!update_baseline_path.empty()) {
+    std::ofstream out(update_baseline_path);
+    out << hspmv::analysis::baseline_text(report, result.finding_lines);
+    if (!out) {
+      std::cerr << "hspmv-check: cannot write " << update_baseline_path
+                << "\n";
+      return 2;
+    }
+  }
+
+  int suppressed = 0;
+  for (const Finding& f : report.findings) {
+    if (f.suppressed || f.baselined) ++suppressed;
+  }
+  std::cout << "hspmv-check: " << report.files_analyzed << " files, "
+            << report.unsuppressed_count() << " unsuppressed finding(s), "
+            << suppressed << " suppressed/baselined\n";
+  return report.unsuppressed_count() == 0 ? 0 : 1;
+}
