@@ -1,0 +1,147 @@
+// EXP-EL — capacity planning with the traffic-scenario engine: replay
+// every named trace (or a chosen subset) against the batching server on
+// an in-process elastic cluster and report, per phase, the membership,
+// latency percentiles vs the phase SLO, and the migration bill of every
+// topology change (incremental rows moved vs what full re-replication
+// would have touched). This turns the Fig. 4 failure-timeline view into
+// a what-if tool: sweep seeds, matrix sizes and base capacity, read off
+// SLO attainment per scenario shape.
+//
+// With --json the structural per-scenario summary (completions,
+// attainment, migration counters — everything deterministic under the
+// seed except attainment) is appended as a JSON object, which
+// scripts/bench_smoke.sh folds into BENCH_kernels.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/scenario.hpp"
+#include "matgen/random_matrix.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hspmv;
+
+std::string format_kind_summary(const cluster::SloReport& report) {
+  char buffer[256];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "    {\"scenario\": \"%s\", \"completed\": %d, \"attainment\": %.4f, "
+      "\"grows\": %lld, \"rebuilds\": %lld, \"rows_migrated\": %lld, "
+      "\"rows_full_replication\": %lld, \"final_ranks\": %d}",
+      cluster::scenario_name(report.kind), report.completed(),
+      report.attainment(), static_cast<long long>(report.grows()),
+      static_cast<long long>(report.rebuilds()),
+      static_cast<long long>(report.rows_migrated()),
+      static_cast<long long>(report.rows_full_replication()),
+      report.final_ranks);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("elastic_scenarios",
+                      "Replay seeded traffic scenarios against the elastic "
+                      "SpMV server and report SLO attainment and migration "
+                      "cost per topology change.");
+  cli.add_option("n", "3000", "matrix dimension (random banded)");
+  cli.add_option("band", "32", "matrix bandwidth");
+  cli.add_option("nnz-per-row", "8", "nonzeros per row inside the band");
+  cli.add_option("seed", "42", "trace + matrix seed");
+  cli.add_option("base-ranks", "2",
+                 "initial capacity (raised to each scenario's minimum)");
+  cli.add_option("threads", "2", "team threads per rank");
+  cli.add_option("scenario", "all",
+                 "one of diurnal|burst|slow-node|cascading-failure|"
+                 "flash-recovery, or 'all'");
+  cli.add_flag("json", "append the machine-readable per-scenario summary");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<sparse::index_t>(cli.get_int("n"));
+  const auto band = static_cast<sparse::index_t>(cli.get_int("band"));
+  const auto nnz = static_cast<sparse::index_t>(cli.get_int("nnz-per-row"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const int base_ranks = static_cast<int>(cli.get_int("base-ranks"));
+  const int threads = static_cast<int>(cli.get_int("threads"));
+
+  std::vector<cluster::ScenarioKind> kinds;
+  if (cli.get_string("scenario") == "all") {
+    kinds = cluster::all_scenarios();
+  } else {
+    kinds.push_back(cluster::parse_scenario(cli.get_string("scenario")));
+  }
+
+  const sparse::CsrMatrix a = matgen::random_banded(n, band, nnz, seed);
+  std::printf("EXP-EL elastic capacity planning: %lld x %lld banded, "
+              "%lld nnz, seed %llu, base %d ranks x %d threads\n\n",
+              static_cast<long long>(a.rows()),
+              static_cast<long long>(a.cols()),
+              static_cast<long long>(a.nnz()),
+              static_cast<unsigned long long>(seed), base_ranks, threads);
+
+  std::vector<std::string> json_rows;
+  for (const cluster::ScenarioKind kind : kinds) {
+    const cluster::ScenarioTrace trace =
+        cluster::make_trace(kind, seed, base_ranks);
+    cluster::ReplayOptions options;
+    options.threads = threads;
+    const cluster::SloReport report =
+        cluster::replay_scenario(trace, a, options);
+
+    std::printf("scenario %s (seed %llu): %d -> peak %d -> final %d ranks, "
+                "%d requests\n",
+                cluster::scenario_name(kind),
+                static_cast<unsigned long long>(trace.seed), trace.base_ranks,
+                trace.peak_ranks(), trace.final_ranks(),
+                trace.total_requests());
+    util::Table table({"phase", "ranks", "reqs", "p50 ms", "p95 ms", "p99 ms",
+                       "SLO ms", "attain", "grow s", "migrated",
+                       "full-repl"});
+    for (std::size_t p = 0; p < report.phases.size(); ++p) {
+      const cluster::PhaseSlo& slo = report.phases[p];
+      table.add_row({util::Table::cell(static_cast<std::int64_t>(p)),
+                     util::Table::cell(static_cast<std::int64_t>(slo.ranks)),
+                     util::Table::cell(static_cast<std::int64_t>(slo.completed)),
+                     util::Table::cell(slo.p50_s * 1e3),
+                     util::Table::cell(slo.p95_s * 1e3),
+                     util::Table::cell(slo.p99_s * 1e3),
+                     util::Table::cell(trace.phases[p].deadline_s * 1e3),
+                     util::Table::cell(slo.attainment(), 2),
+                     util::Table::cell(slo.grow_seconds),
+                     util::Table::cell(slo.rows_migrated),
+                     util::Table::cell(slo.rows_full_replication)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf("  totals: attainment %.2f, %lld grows, %lld rebuilds, "
+                "%lld rows migrated vs %lld full re-replication (%.0f%% "
+                "saved), worst p99 %.2f ms\n\n",
+                report.attainment(), static_cast<long long>(report.grows()),
+                static_cast<long long>(report.rebuilds()),
+                static_cast<long long>(report.rows_migrated()),
+                static_cast<long long>(report.rows_full_replication()),
+                report.rows_full_replication() == 0
+                    ? 0.0
+                    : 100.0 * (1.0 - static_cast<double>(
+                                         report.rows_migrated()) /
+                                         static_cast<double>(
+                                             report.rows_full_replication())),
+                report.worst_p99_s() * 1e3);
+    json_rows.push_back(format_kind_summary(report));
+  }
+
+  if (cli.get_flag("json")) {
+    std::printf("SCENARIO_SMOKE_JSON {\n  \"seed\": %llu,\n  \"n\": %lld,\n"
+                "  \"scenarios\": [\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<long long>(n));
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      std::printf("%s%s\n", json_rows[i].c_str(),
+                  i + 1 < json_rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  }
+  return 0;
+}

@@ -10,13 +10,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "matgen/poisson.hpp"
+#include "minimpi/fault.hpp"
 #include "minimpi/runtime.hpp"
 #include "spmv/engine.hpp"
 #include "spmv/server.hpp"
@@ -67,6 +70,12 @@ int main(int argc, char** argv) {
                  "engine variant: vector, naive, taskmode");
   cli.add_option("backend", "csr", "local kernel backend: csr or sell");
   cli.add_option("seed", "7", "payload PRNG seed");
+  cli.add_option("grow", "0",
+                 "spawn this many extra ranks (incremental repartition) "
+                 "before serving");
+  cli.add_option("chaos", "",
+                 "kill \"<rank>:<batch>\" mid-run (ULFM shrink + replay); "
+                 "rank 0 owns the queue and cannot die");
   if (!cli.parse(argc, argv)) return 1;
 
   const int grid = static_cast<int>(cli.get_int("grid"));
@@ -81,25 +90,81 @@ int main(int argc, char** argv) {
   engine_options.backend = spmv::parse_backend(cli.get_string("backend"));
   const spmv::Variant variant = parse_variant(cli.get_string("variant"));
 
+  // Chaos plan: "<rank>:<batch>" kills that rank right before that
+  // batch's apply (the ULFM shrink + replay path).
+  int chaos_rank = -1, chaos_batch = -1;
+  const std::string chaos = cli.get_string("chaos");
+  if (!chaos.empty()) {
+    const auto colon = chaos.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "chaos must be <rank>:<batch>\n");
+      return 1;
+    }
+    chaos_rank = std::stoi(chaos.substr(0, colon));
+    chaos_batch = std::stoi(chaos.substr(colon + 1));
+    if (chaos_rank <= 0) {
+      std::fprintf(stderr, "chaos rank must be > 0 (rank 0 owns the queue)\n");
+      return 1;
+    }
+  }
+  const int grow = static_cast<int>(cli.get_int("grow"));
+
   std::printf("matrix: N = %d, Nnz = %lld | %zu requests, K <= %lld, "
-              "deadline %.1f ms\n",
+              "deadline %.1f ms | seed %llu%s%s\n",
               a.rows(), static_cast<long long>(a.nnz()), requests,
               static_cast<long long>(cli.get_int("block")),
-              cli.get_double("wait-ms"));
+              cli.get_double("wait-ms"),
+              static_cast<unsigned long long>(seed),
+              grow > 0 ? " | elastic grow before serving" : "",
+              chaos.empty() ? "" : (" | chaos " + chaos).c_str());
 
   spmv::ServerReport report;
   std::size_t rejected = 0;
   std::mutex report_mutex;
+  // Membership timeline on the queue owner: (epoch, ranks) at every
+  // batch, deduplicated — each shrink and grow shows up as one entry.
+  std::vector<std::pair<std::uint64_t, int>> membership;
+  spmv::BatchQueue queue(static_cast<std::size_t>(cli.get_int("capacity")),
+                         static_cast<int>(cli.get_int("block")),
+                         cli.get_double("wait-ms") * 1e-3);
+  spmv::ServerOptions server_options;
+  server_options.keep_results = true;
+  server_options.before_apply = [&](int batch_index,
+                                    const minimpi::Comm& c) {
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lock(report_mutex);
+      const std::pair<std::uint64_t, int> now{c.epoch(), c.size()};
+      if (membership.empty() || membership.back() != now) {
+        membership.push_back(now);
+      }
+    }
+    if (batch_index == chaos_batch && c.global_rank() == chaos_rank) {
+      c.simulate_rank_failure();
+    }
+  };
+  const int threads = static_cast<int>(cli.get_int("threads"));
   minimpi::run(static_cast<int>(cli.get_int("ranks")),
                [&](minimpi::Comm& comm) {
-    spmv::BatchQueue queue(static_cast<std::size_t>(cli.get_int("capacity")),
-                           static_cast<int>(cli.get_int("block")),
-                           cli.get_double("wait-ms") * 1e-3);
-    spmv::ServerOptions server_options;
-    server_options.keep_results = true;
-    spmv::SpmvServer server(comm, a,
-                            static_cast<int>(cli.get_int("threads")),
-                            variant, engine_options, server_options);
+    spmv::SpmvServer server(comm, a, threads, variant, engine_options,
+                            server_options);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(report_mutex);
+      membership.push_back({comm.epoch(), comm.size()});
+    }
+    if (grow > 0) {
+      // Joiners enter the incremental-migration collective and then
+      // serve the same queue the founders do.
+      server.grow(grow, [&](minimpi::Comm& grown) {
+        spmv::SpmvServer joiner(spmv::RecoverableSpmv::JoinerTag{}, grown, a,
+                                threads, variant, engine_options,
+                                server_options);
+        try {
+          (void)joiner.serve(queue);
+        } catch (const minimpi::FaultError&) {
+          // the joiner was the chaos victim; it leaves the service
+        }
+      });
+    }
 
     // The client rides on rank 0: open-loop arrivals at `rate`, dropped
     // (not retried) when back-pressure rejects them.
@@ -121,12 +186,16 @@ int main(int argc, char** argv) {
       });
     }
 
-    spmv::ServerReport local = server.serve(queue);
-    if (client.joinable()) client.join();
-    if (comm.rank() == 0) {
-      std::lock_guard<std::mutex> lock(report_mutex);
-      report = std::move(local);
+    try {
+      spmv::ServerReport local = server.serve(queue);
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        report = std::move(local);
+      }
+    } catch (const minimpi::FaultError&) {
+      // the chaos victim's serve rethrows; the survivors finish the run
     }
+    if (client.joinable()) client.join();
   });
 
   if (report.completed.empty()) {
@@ -155,17 +224,33 @@ int main(int argc, char** argv) {
   for (const int w : report.batch_widths) width_sum += w;
   std::printf(
       "served %zu requests in %zu batches (mean K = %.2f), %zu rejected, "
-      "%lld rebuild(s)\n"
+      "%lld rebuild(s), %lld grow(s)\n"
       "latency p50/p95/p99 = %.2f / %.2f / %.2f ms, throughput = %.1f "
-      "req/s\n"
-      "max |y - y_ref| = %.2e  %s\n",
+      "req/s\n",
       report.completed.size(), report.batch_widths.size(),
       report.batch_widths.empty() ? 0.0 : width_sum /
           static_cast<double>(report.batch_widths.size()),
       rejected, static_cast<long long>(report.rebuilds),
+      static_cast<long long>(report.grows),
       report.latency_percentile(50.0) * 1e3,
       report.latency_percentile(95.0) * 1e3,
-      report.latency_percentile(99.0) * 1e3, report.throughput_rps(),
-      max_error, max_error < 1e-11 ? "OK" : "MISMATCH");
+      report.latency_percentile(99.0) * 1e3, report.throughput_rps());
+  if (report.rows_full_replication > 0) {
+    std::printf(
+        "topology changes migrated %lld rows (full re-replication would "
+        "have touched %lld: %.0f%% saved)\n",
+        static_cast<long long>(report.rows_migrated),
+        static_cast<long long>(report.rows_full_replication),
+        100.0 * (1.0 - static_cast<double>(report.rows_migrated) /
+                           static_cast<double>(report.rows_full_replication)));
+  }
+  std::printf("membership by epoch:");
+  for (const auto& [epoch, ranks] : membership) {
+    std::printf(" e%llu:%d", static_cast<unsigned long long>(epoch), ranks);
+  }
+  std::printf(" (seed %llu%s)\n", static_cast<unsigned long long>(seed),
+              chaos.empty() ? "" : (", chaos " + chaos).c_str());
+  std::printf("max |y - y_ref| = %.2e  %s\n", max_error,
+              max_error < 1e-11 ? "OK" : "MISMATCH");
   return max_error < 1e-11 ? 0 : 1;
 }

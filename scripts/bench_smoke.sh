@@ -199,4 +199,43 @@ if [[ "${simd_status}" -ne 0 && "${BENCH_SMOKE_STRICT:-0}" == "1" ]]; then
   echo "bench_smoke: STRICT mode — SELL SIMD speedup check failed" >&2
   exit "${simd_status}"
 fi
+
+# Elastic scenario smoke: replay every named traffic trace at a small
+# matrix size and fold the structural per-scenario summary (completions,
+# grows, rebuilds, rows migrated vs full re-replication — deterministic
+# under the seed) into the JSON context as "scenario_smoke". Attainment
+# is wall clock and reported for trend-watching only.
+scenarios_bin="${BENCH_SMOKE_SCENARIOS_BIN:-${repo_root}/build/bench/elastic_scenarios}"
+if [[ -x "${scenarios_bin}" ]]; then
+  scenario_out="$("${scenarios_bin}" --n 600 --seed 42 --json)" || {
+    echo "bench_smoke: elastic_scenarios failed" >&2
+    [[ "${BENCH_SMOKE_STRICT:-0}" == "1" ]] && exit 4
+    scenario_out=""
+  }
+  if [[ -n "${scenario_out}" ]]; then
+    printf '%s\n' "${scenario_out}"
+    python3 - "${out}" <<EOF
+import json, sys
+text = """${scenario_out}"""
+marker = "SCENARIO_SMOKE_JSON "
+idx = text.find(marker)
+if idx < 0:
+    print("bench_smoke: scenario smoke marker missing", file=sys.stderr)
+    sys.exit(2)
+smoke = json.loads(text[idx + len(marker):])
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+data.setdefault("context", {})
+data["context"]["scenario_smoke"] = smoke
+with open(sys.argv[1], "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+print(f"bench_smoke: folded {len(smoke['scenarios'])} scenario summaries "
+      f"into {sys.argv[1]}")
+EOF
+  fi
+else
+  echo "bench_smoke: elastic_scenarios not found at ${scenarios_bin};" \
+       "skipping scenario smoke" >&2
+fi
 exit 0

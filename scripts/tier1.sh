@@ -43,6 +43,11 @@ sanitizer_lane() {
   # sanitizers too (TSan especially — the K-wide halo exchange and
   # blocked kernels are new cross-thread surface).
   ctest --test-dir "${lane_dir}" --output-on-failure -L spmm
+  # Elasticity tier under the sanitizer: the spawn rendezvous, joiner
+  # threads entering live collectives and the migration alltoallv are
+  # fresh cross-thread surface (the thread lane also gets the dedicated
+  # tsan_* grow/shrink re-runs via the tsan label).
+  ctest --test-dir "${lane_dir}" --output-on-failure -L elastic
 }
 
 case "${1:-}" in
@@ -113,6 +118,11 @@ ctest --test-dir "${build_dir}" --output-on-failure -L stress
 # documented bitwise/ulp policy, plus the autotuner cache/fingerprint/
 # determinism suite (docs/performance.md).
 ctest --test-dir "${build_dir}" --output-on-failure -L autotune
+
+# The elasticity tier: Comm::spawn/grow, incremental repartitioning,
+# elastic solvers/server and the traffic-scenario engine
+# (docs/resilience.md "Elasticity").
+ctest --test-dir "${build_dir}" --output-on-failure -L elastic
 
 # Bench smoke lane: gather + thread-scaling microbenchmarks, medians over
 # repetitions, written to BENCH_kernels.json at the repo root (the perf

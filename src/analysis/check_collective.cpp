@@ -33,10 +33,15 @@ using support::is_punct;
 using support::parse_if;
 
 const std::set<std::string>& collective_names() {
+  // The elastic entry points (spawn and the grow/shrink rebuild wrappers
+  // around it) are collectives too: a rank that skips the spawn
+  // rendezvous or the migration alltoallv strands every peer exactly
+  // like a skipped barrier.
   static const std::set<std::string> kNames = {
       "barrier",   "allreduce", "broadcast", "bcast",    "reduce",
       "allgather", "allgatherv","alltoallv", "gatherv",  "scatterv",
-      "exscan",    "split",     "dup",       "shrink"};
+      "exscan",    "split",     "dup",       "shrink",   "spawn",
+      "grow",      "grow_and_rebuild",       "shrink_and_rebuild"};
   return kNames;
 }
 

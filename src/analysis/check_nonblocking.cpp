@@ -50,6 +50,15 @@ const std::set<std::string>& mutator_methods() {
   return kNames;
 }
 
+/// Topology-change entry points: every one bumps the failure epoch and
+/// revokes/renumbers the communicator, so a request posted before the
+/// change can never be waited on afterwards — the wait must come first.
+const std::set<std::string>& topology_methods() {
+  static const std::set<std::string> kNames = {
+      "spawn", "shrink", "grow", "grow_and_rebuild", "shrink_and_rebuild"};
+  return kNames;
+}
+
 /// The request binding of a post at token `i` (the method-name token):
 /// looks left for `ident = `, `ident[...] = `, or `ident.push_back(`.
 std::string find_binding(const FileModel& m, std::size_t i) {
@@ -119,8 +128,8 @@ class NonblockingLifetimeCheck final : public Check {
     return "nonblocking-lifetime";
   }
   [[nodiscard]] std::string description() const override {
-    return "buffer modified, re-posted, or scoped out between "
-           "isend/irecv and the matching wait/test";
+    return "buffer modified, re-posted, scoped out, or communicator "
+           "grown/shrunk between isend/irecv and the matching wait/test";
   }
   [[nodiscard]] std::string mirrors() const override {
     return "minimpi usage validator buffer-reuse rule "
@@ -197,6 +206,23 @@ class NonblockingLifetimeCheck final : public Check {
           m.match[i + 1] != FileModel::npos) {
         const TokRange args{i + 2, m.match[i + 1]};
         if (range_mentions(m, args, site.binding)) return;
+      }
+      // Topology change while the request is in flight: spawn/shrink
+      // (and the grow/shrink rebuild wrappers) bump the failure epoch
+      // and revoke or renumber the communicator, so the pending
+      // transfer can only ever complete as a FaultError.
+      std::size_t topo_open = 0;
+      if (is_method_call(m, i, topo_open) &&
+          topology_methods().count(t.text) != 0) {
+        findings.push_back(Finding{
+            id(), m.path, m.line_of(i),
+            "topology change '" + t.text + "' while request '" +
+                site.binding + "' from " + m.toks[site.name_index].text +
+                " (buffer '" + site.buffer_base +
+                "') is still in flight — wait/test it before growing or "
+                "shrinking the communicator",
+            false, "", false});
+        return;
       }
       // Early return with a live locally-bound request.
       if (local && is_kw(t, "return")) {

@@ -1,0 +1,387 @@
+#include "cluster/scenario.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "minimpi/fault.hpp"
+#include "minimpi/runtime.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace hspmv::cluster {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+const char* scenario_name(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kDiurnal:
+      return "diurnal";
+    case ScenarioKind::kBurst:
+      return "burst";
+    case ScenarioKind::kSlowNode:
+      return "slow-node";
+    case ScenarioKind::kCascadingFailure:
+      return "cascading-failure";
+    case ScenarioKind::kFlashRecovery:
+      return "flash-recovery";
+  }
+  return "?";
+}
+
+ScenarioKind parse_scenario(const std::string& name) {
+  for (const ScenarioKind kind : all_scenarios()) {
+    if (name == scenario_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown scenario: " + name);
+}
+
+const std::vector<ScenarioKind>& all_scenarios() {
+  static const std::vector<ScenarioKind> kinds = {
+      ScenarioKind::kDiurnal, ScenarioKind::kBurst, ScenarioKind::kSlowNode,
+      ScenarioKind::kCascadingFailure, ScenarioKind::kFlashRecovery};
+  return kinds;
+}
+
+int ScenarioTrace::peak_ranks() const {
+  int size = base_ranks;
+  int peak = size;
+  for (const ScenarioPhase& phase : phases) {
+    size += phase.grow;
+    peak = std::max(peak, size);
+    if (phase.kill_global_rank >= 0) --size;
+  }
+  return peak;
+}
+
+int ScenarioTrace::final_ranks() const {
+  int size = base_ranks;
+  for (const ScenarioPhase& phase : phases) {
+    size += phase.grow;
+    if (phase.kill_global_rank >= 0) --size;
+  }
+  return size;
+}
+
+int ScenarioTrace::total_requests() const {
+  int total = 0;
+  for (const ScenarioPhase& phase : phases) total += phase.requests;
+  return total;
+}
+
+ScenarioTrace make_trace(ScenarioKind kind, std::uint64_t seed,
+                         int base_ranks) {
+  // Kinds that decommission twice need enough founders to keep a quorum
+  // (rank 0 never dies — it owns the queues).
+  int min_base = 2;
+  if (kind == ScenarioKind::kSlowNode) min_base = 3;
+  if (kind == ScenarioKind::kCascadingFailure ||
+      kind == ScenarioKind::kFlashRecovery) {
+    min_base = 4;
+  }
+  ScenarioTrace trace;
+  trace.kind = kind;
+  trace.seed = seed;
+  trace.base_ranks = std::max(base_ranks, min_base);
+
+  // The live membership, mirroring minimpi's append-only global-rank
+  // numbering: founders are 0..base-1, every spawned rank gets the next
+  // never-used number, deaths never free one.
+  std::vector<int> alive(static_cast<std::size_t>(trace.base_ranks));
+  for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = static_cast<int>(i);
+  int next_global = trace.base_ranks;
+
+  util::Xoshiro256 rng(seed ^ mix64(static_cast<std::uint64_t>(kind) + 1));
+  const int lo = 4 + static_cast<int>(rng.bounded(3));
+  const int mid = lo + 4;
+  const int hi = lo + 8;
+
+  auto grow = [&](ScenarioPhase& phase, int ranks) {
+    phase.grow = ranks;
+    for (int j = 0; j < ranks; ++j) alive.push_back(next_global++);
+  };
+  auto kill_newest = [&](ScenarioPhase& phase) {
+    phase.kill_global_rank = alive.back();  // never rank 0: base >= 2
+    alive.pop_back();
+  };
+  auto phase = [&](int requests, double deadline) -> ScenarioPhase& {
+    trace.phases.push_back({});
+    trace.phases.back().requests = requests;
+    trace.phases.back().deadline_s = deadline;
+    return trace.phases.back();
+  };
+
+  switch (kind) {
+    case ScenarioKind::kDiurnal: {
+      // Morning ramp to an afternoon peak and back down: capacity
+      // follows the load curve one phase behind.
+      phase(lo, 5.0);
+      grow(phase(mid, 5.0), 1);
+      grow(phase(hi, 5.0), 1);
+      kill_newest(phase(mid, 5.0));
+      kill_newest(phase(lo, 5.0));
+      break;
+    }
+    case ScenarioKind::kBurst: {
+      // Flash crowd: 4x the baseline load lands together with an
+      // emergency grow, then capacity drains back down.
+      phase(lo, 5.0);
+      grow(phase(4 * lo, 2.0), 2);
+      kill_newest(phase(lo, 5.0));
+      kill_newest(phase(lo, 5.0));
+      break;
+    }
+    case ScenarioKind::kSlowNode: {
+      // One member degrades (stalls every batch, blowing the phase
+      // SLO), gets decommissioned, and a fresh rank replaces it.
+      phase(lo, 5.0);
+      ScenarioPhase& degraded = phase(lo, 0.005);
+      degraded.slow_global_rank = alive.back();
+      degraded.slow_seconds = 0.01;
+      kill_newest(phase(lo, 5.0));
+      grow(phase(lo, 5.0), 1);
+      break;
+    }
+    case ScenarioKind::kCascadingFailure: {
+      // Two successive deaths shrink the service under sustained load;
+      // the final phase grows back to the original capacity.
+      phase(mid, 5.0);
+      kill_newest(phase(mid, 5.0));
+      kill_newest(phase(lo, 5.0));
+      grow(phase(mid, 5.0), 2);
+      break;
+    }
+    case ScenarioKind::kFlashRecovery: {
+      // Deep shrink, then one big overshoot grow: recovery capacity
+      // arrives all at once and the backlog burst lands on it.
+      phase(mid, 5.0);
+      kill_newest(phase(lo, 5.0));
+      kill_newest(phase(lo, 5.0));
+      grow(phase(hi, 2.0), 3);
+      break;
+    }
+  }
+  return trace;
+}
+
+std::vector<sparse::value_t> scenario_rhs(const ScenarioTrace& trace,
+                                          int phase, int request,
+                                          sparse::index_t n) {
+  util::Xoshiro256 rng(mix64(trace.seed) ^
+                       mix64(static_cast<std::uint64_t>(phase) * 0x10001ULL +
+                             static_cast<std::uint64_t>(request) + 1));
+  std::vector<sparse::value_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+std::uint64_t scenario_request_id(int phase, int request) {
+  return static_cast<std::uint64_t>(phase) * 100000ULL +
+         static_cast<std::uint64_t>(request);
+}
+
+int SloReport::completed() const {
+  int total = 0;
+  for (const PhaseSlo& p : phases) total += p.completed;
+  return total;
+}
+
+int SloReport::met_deadline() const {
+  int total = 0;
+  for (const PhaseSlo& p : phases) total += p.met_deadline;
+  return total;
+}
+
+double SloReport::attainment() const {
+  const int done = completed();
+  return done == 0 ? 1.0
+                   : static_cast<double>(met_deadline()) /
+                         static_cast<double>(done);
+}
+
+double SloReport::worst_p99_s() const {
+  double worst = 0.0;
+  for (const PhaseSlo& p : phases) worst = std::max(worst, p.p99_s);
+  return worst;
+}
+
+std::int64_t SloReport::grows() const {
+  std::int64_t total = 0;
+  for (const PhaseSlo& p : phases) total += p.grows;
+  return total;
+}
+
+std::int64_t SloReport::rebuilds() const {
+  std::int64_t total = 0;
+  for (const PhaseSlo& p : phases) total += p.rebuilds;
+  return total;
+}
+
+std::int64_t SloReport::rows_migrated() const {
+  std::int64_t total = 0;
+  for (const PhaseSlo& p : phases) total += p.rows_migrated;
+  return total;
+}
+
+std::int64_t SloReport::rows_full_replication() const {
+  std::int64_t total = 0;
+  for (const PhaseSlo& p : phases) total += p.rows_full_replication;
+  return total;
+}
+
+namespace {
+
+/// Everything the per-rank phase loop (and the joiner closures it
+/// spawns) shares. Lives in replay_scenario's frame, which outlives
+/// every rank thread including late joiners (minimpi::run drains them).
+struct ReplayState {
+  const ScenarioTrace* trace = nullptr;
+  const sparse::CsrMatrix* global = nullptr;
+  const ReplayOptions* options = nullptr;
+  spmv::ServerOptions server_options;
+  SloReport* report = nullptr;
+  /// Phase-scoped chaos targets; every member stores the same value
+  /// before entering the phase's collective serve.
+  std::atomic<int> kill_target{-1};
+  std::atomic<int> slow_target{-1};
+  std::atomic<double> slow_seconds{0.0};
+};
+
+/// The per-member schedule from phase `first` on. Founders enter at 0;
+/// a joiner spawned by phase p's grow enters at p with
+/// `skip_first_grow` (it *is* that grow's product) and serves the rest
+/// of the schedule like any founder. A decommissioned member's
+/// FaultError ends its schedule here.
+void run_phases(spmv::SpmvServer& server, std::size_t first,
+                bool skip_first_grow, ReplayState& state) {
+  const ScenarioTrace& trace = *state.trace;
+  for (std::size_t p = first; p < trace.phases.size(); ++p) {
+    const ScenarioPhase& phase = trace.phases[p];
+    const bool root = server.spmv().comm().global_rank() == 0;
+    try {
+      if (phase.grow > 0 && !(skip_first_grow && p == first)) {
+        util::Timer grow_timer;
+        server.grow(phase.grow, [&state, p](minimpi::Comm& grown) {
+          spmv::SpmvServer joiner(spmv::RecoverableSpmv::JoinerTag{}, grown,
+                                  *state.global, state.options->threads,
+                                  state.options->variant, {},
+                                  state.server_options);
+          run_phases(joiner, p, /*skip_first_grow=*/true, state);
+        });
+        if (root) {
+          state.report->phases[p].grow_seconds = grow_timer.seconds();
+        }
+      }
+      state.kill_target.store(phase.kill_global_rank);
+      state.slow_target.store(phase.slow_global_rank);
+      state.slow_seconds.store(phase.slow_seconds);
+
+      spmv::BatchQueue queue(
+          std::max<std::size_t>(1, static_cast<std::size_t>(phase.requests)),
+          state.options->max_block, /*max_wait_s=*/0.0);
+      if (root) {
+        for (int r = 0; r < phase.requests; ++r) {
+          auto x = scenario_rhs(trace, static_cast<int>(p), r,
+                                state.global->cols());
+          queue.try_submit(scenario_request_id(static_cast<int>(p), r), x);
+        }
+        queue.close();
+      }
+      const int ranks_serving = server.spmv().comm().size();
+      util::Timer serve_timer;
+      const spmv::ServerReport rep = server.serve(queue);
+      if (root) {
+        PhaseSlo& slo = state.report->phases[p];
+        slo.phase = static_cast<int>(p);
+        slo.ranks = ranks_serving;
+        slo.completed = static_cast<int>(rep.completed.size());
+        for (const spmv::CompletedRequest& done : rep.completed) {
+          if (done.latency_s() <= phase.deadline_s) ++slo.met_deadline;
+        }
+        slo.p50_s = rep.latency_percentile(50.0);
+        slo.p95_s = rep.latency_percentile(95.0);
+        slo.p99_s = rep.latency_percentile(99.0);
+        slo.serve_seconds = serve_timer.seconds();
+        slo.grows += rep.grows;
+        slo.rebuilds += rep.rebuilds;
+        slo.rows_migrated += rep.rows_migrated;
+        slo.rows_full_replication += rep.rows_full_replication;
+        if (state.options->on_phase_report) {
+          state.options->on_phase_report(static_cast<int>(p), rep);
+        }
+      }
+    } catch (const minimpi::FaultError& fault) {
+      if (fault.kind() == minimpi::FaultKind::kPermanent &&
+          fault.rank() == server.spmv().comm().global_rank()) {
+        return;  // decommissioned: this member leaves the schedule
+      }
+      throw;
+    }
+  }
+  if (server.spmv().comm().global_rank() == 0) {
+    state.report->final_ranks = server.spmv().comm().size();
+  }
+}
+
+}  // namespace
+
+SloReport replay_scenario(const ScenarioTrace& trace,
+                          const sparse::CsrMatrix& global,
+                          const ReplayOptions& options) {
+  if (trace.base_ranks < 2) {
+    throw std::invalid_argument("replay_scenario: base_ranks must be >= 2");
+  }
+  for (const ScenarioPhase& phase : trace.phases) {
+    if (phase.kill_global_rank == 0 || phase.slow_global_rank == 0) {
+      throw std::invalid_argument(
+          "replay_scenario: rank 0 owns the queues and cannot be killed "
+          "or degraded");
+    }
+  }
+  SloReport report;
+  report.kind = trace.kind;
+  report.seed = trace.seed;
+  report.phases.resize(trace.phases.size());
+
+  ReplayState state;
+  state.trace = &trace;
+  state.global = &global;
+  state.options = &options;
+  state.report = &report;
+  state.server_options.keep_results = options.keep_results;
+  state.server_options.before_apply = [&state](int batch_index,
+                                               const minimpi::Comm& c) {
+    if (c.global_rank() == state.slow_target.load()) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(state.slow_seconds.load()));
+    }
+    // Kills fire at a phase's first batch only: the replay after the
+    // shrink arrives with a bumped batch index, and the next phase
+    // re-targets before any of its batches run.
+    if (batch_index == 0 && c.global_rank() == state.kill_target.load()) {
+      c.simulate_rank_failure();
+    }
+  };
+
+  minimpi::run(trace.base_ranks, [&](minimpi::Comm& comm) {
+    spmv::SpmvServer server(comm, global, options.threads, options.variant,
+                            {}, state.server_options);
+    run_phases(server, 0, /*skip_first_grow=*/false, state);
+  });
+  return report;
+}
+
+}  // namespace hspmv::cluster

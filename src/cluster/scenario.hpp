@@ -1,0 +1,141 @@
+// Replayable traffic-scenario engine: seeded, named load traces that
+// drive the batching SpMV server through capacity changes — grows
+// (Comm::spawn + incremental repartition), decommissions (simulated
+// rank death + ULFM shrink), and degraded members (a slow rank stalling
+// every batch) — and score the run against per-phase latency SLOs.
+//
+// A trace is a pure function of (kind, seed, base_ranks): replaying it
+// re-submits bit-identical right-hand sides through the same topology
+// schedule, so two replays produce bitwise-identical results (latency
+// and wall-clock fields are the only nondeterministic outputs). That
+// turns the Fig. 4 failure-timeline bench into a capacity-planning
+// tool: sweep seeds and kinds, read SLO attainment and rows migrated
+// per topology change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "spmv/server.hpp"
+
+namespace hspmv::cluster {
+
+/// The named traffic shapes. Every kind is a schedule of phases; each
+/// phase optionally changes the topology, then serves a burst of
+/// requests against a deadline.
+enum class ScenarioKind {
+  kDiurnal,           ///< ramp up to a peak, ramp back down
+  kBurst,             ///< flash crowd: sudden 4x load + emergency grow
+  kSlowNode,          ///< one member degrades, is decommissioned, replaced
+  kCascadingFailure,  ///< two successive deaths, then grow back
+  kFlashRecovery,     ///< deep shrink followed by one big grow
+};
+
+[[nodiscard]] const char* scenario_name(ScenarioKind kind);
+/// Inverse of scenario_name; throws std::invalid_argument on unknown
+/// names.
+[[nodiscard]] ScenarioKind parse_scenario(const std::string& name);
+[[nodiscard]] const std::vector<ScenarioKind>& all_scenarios();
+
+/// One phase of a trace: topology actions first (grow at phase start,
+/// kill mid-phase at the first batch), then `requests` right-hand sides
+/// served against `deadline_s`.
+struct ScenarioPhase {
+  int grow = 0;               ///< ranks spawned at phase start
+  int kill_global_rank = -1;  ///< decommissioned at this phase's batch 0
+  int slow_global_rank = -1;  ///< member stalling before every apply
+  double slow_seconds = 0.0;  ///< stall per batch for the slow member
+  int requests = 0;
+  double deadline_s = 1.0;    ///< per-request SLO
+};
+
+struct ScenarioTrace {
+  ScenarioKind kind = ScenarioKind::kDiurnal;
+  std::uint64_t seed = 0;
+  int base_ranks = 2;
+  std::vector<ScenarioPhase> phases;
+
+  /// Largest membership the schedule reaches.
+  [[nodiscard]] int peak_ranks() const;
+  /// Membership after the last phase.
+  [[nodiscard]] int final_ranks() const;
+  [[nodiscard]] int total_requests() const;
+};
+
+/// Build the deterministic trace for (kind, seed, base_ranks): request
+/// counts are seed-jittered, kill victims follow minimpi's append-only
+/// global-rank numbering (rank 0 is never killed — it owns the queue).
+/// base_ranks must be >= 2 so every kill leaves a quorum.
+[[nodiscard]] ScenarioTrace make_trace(ScenarioKind kind, std::uint64_t seed,
+                                       int base_ranks = 2);
+
+/// The request `request` of phase `phase`: a deterministic dense RHS of
+/// length n derived from the trace seed (splitmix-style per row), and
+/// its queue id. Exposed so tests can oracle-check replay output.
+[[nodiscard]] std::vector<sparse::value_t> scenario_rhs(
+    const ScenarioTrace& trace, int phase, int request, sparse::index_t n);
+[[nodiscard]] std::uint64_t scenario_request_id(int phase, int request);
+
+/// Per-phase SLO outcome (populated on global rank 0).
+struct PhaseSlo {
+  int phase = 0;
+  int ranks = 0;  ///< membership serving this phase (post-grow)
+  int completed = 0;
+  int met_deadline = 0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double serve_seconds = 0.0;
+  double grow_seconds = 0.0;  ///< spawn + incremental repartition
+  std::int64_t grows = 0;
+  std::int64_t rebuilds = 0;  ///< shrink recoveries during the phase
+  std::int64_t rows_migrated = 0;
+  std::int64_t rows_full_replication = 0;
+
+  [[nodiscard]] double attainment() const {
+    return completed == 0 ? 1.0
+                          : static_cast<double>(met_deadline) /
+                                static_cast<double>(completed);
+  }
+};
+
+/// Whole-trace scorecard. Structural fields (completions, migration
+/// counters, topology schedule) are deterministic under a fixed seed;
+/// latencies and attainment are wall-clock measurements.
+struct SloReport {
+  ScenarioKind kind = ScenarioKind::kDiurnal;
+  std::uint64_t seed = 0;
+  std::vector<PhaseSlo> phases;
+  int final_ranks = 0;
+
+  [[nodiscard]] int completed() const;
+  [[nodiscard]] int met_deadline() const;
+  [[nodiscard]] double attainment() const;
+  [[nodiscard]] double worst_p99_s() const;
+  [[nodiscard]] std::int64_t grows() const;
+  [[nodiscard]] std::int64_t rebuilds() const;
+  [[nodiscard]] std::int64_t rows_migrated() const;
+  [[nodiscard]] std::int64_t rows_full_replication() const;
+};
+
+struct ReplayOptions {
+  int threads = 2;
+  spmv::Variant variant = spmv::Variant::kVectorNoOverlap;
+  int max_block = 2;
+  /// Keep every result vector and hand each phase's ServerReport to
+  /// on_phase_report on global rank 0 (tests; costs memory).
+  bool keep_results = false;
+  std::function<void(int phase, const spmv::ServerReport&)> on_phase_report;
+};
+
+/// Replay `trace` against `global` on an in-process cluster of
+/// trace.base_ranks initial ranks. Spawned joiners serve the remainder
+/// of the schedule; killed ranks leave it. Returns the rank-0 scorecard.
+[[nodiscard]] SloReport replay_scenario(const ScenarioTrace& trace,
+                                        const sparse::CsrMatrix& global,
+                                        const ReplayOptions& options = {});
+
+}  // namespace hspmv::cluster

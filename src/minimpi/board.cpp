@@ -740,9 +740,12 @@ void Board::declare_dead_locked(int rank, const std::string& reason) {
     if (checker_ != nullptr) checker_->on_comm_revoked(slots->comm_id);
     slots->revoke(rank, epoch_, message);
   }
-  // A shrink rendezvous still forming is keyed to the old epoch — abort
-  // it so its waiters re-key against the new survivor set.
+  // A shrink or grow rendezvous still forming is keyed to the old epoch —
+  // abort it so its waiters re-key against the new membership.
   for (auto& entry : shrink_slots_) {
+    if (entry.second.result == nullptr) entry.second.aborted = true;
+  }
+  for (auto& entry : grow_slots_) {
     if (entry.second.result == nullptr) entry.second.aborted = true;
   }
   drop_matching_locked(
@@ -891,6 +894,125 @@ std::shared_ptr<detail::CommState> Board::shrink_comm(
     *new_rank = static_cast<int>(it - survivors.begin());
   }
   return slot.result;
+}
+
+void Board::set_rank_launcher(RankLauncher launcher) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rank_launcher_ = std::move(launcher);
+}
+
+int Board::world_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(dead_.size());
+}
+
+std::shared_ptr<detail::CommState> Board::grow_comm(
+    const detail::CommState& parent, int global_rank, int* new_rank,
+    int extra, const std::function<void(Comm&)>& joiner_main) {
+  if (extra <= 0) {
+    throw std::invalid_argument("minimpi: grow requires extra > 0");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  beat_locked(global_rank);
+  if (global_rank >= 0 && global_rank < static_cast<int>(dead_.size()) &&
+      dead_[static_cast<std::size_t>(global_rank)] != 0) {
+    throw FaultError(FaultKind::kPermanent, global_rank, epoch_,
+                     "minimpi: grow called by a rank declared dead");
+  }
+  if (revoked_comms_.count(parent.id) > 0) {
+    throw FaultError(FaultKind::kPermanent, revoked_comms_.at(parent.id),
+                     epoch_, "minimpi: grow called on a revoked communicator");
+  }
+  const std::uint64_t entry_epoch = epoch_;
+  GrowSlot& slot = grow_slots_[{parent.id, entry_epoch}];
+  if (slot.expected == 0) {
+    slot.expected = parent.size;
+    slot.extra = extra;
+  } else if (slot.extra != extra) {
+    throw std::logic_error(
+        "minimpi: grow called with mismatched extra across members (" +
+        std::to_string(slot.extra) + " vs " + std::to_string(extra) + ")");
+  }
+  ++slot.arrived;
+  bool creator = false;
+  if (slot.arrived == slot.expected && !slot.aborted &&
+      slot.result == nullptr) {
+    // Last member in: extend the world. The joiners take the next `extra`
+    // world ranks, their heartbeats seeded now (a joiner is not silent
+    // merely because its thread has not been scheduled yet), and the
+    // failure epoch bumps once — the grown communicator and everything
+    // rebuilt on it belong to a new topology generation, exactly like a
+    // post-shrink one.
+    creator = true;
+    const int old_world = static_cast<int>(dead_.size());
+    dead_.resize(static_cast<std::size_t>(old_world + extra), 0);
+    last_beat_.resize(static_cast<std::size_t>(old_world + extra),
+                      Clock::now());
+    ++epoch_;
+    auto child = std::make_shared<detail::CommState>();
+    child->id = parent.next_comm_id->fetch_add(1);
+    child->size = parent.size + extra;
+    child->board = this;
+    child->next_comm_id = parent.next_comm_id;
+    child->global_of = parent.global_of;
+    for (int j = 0; j < extra; ++j) child->global_of.push_back(old_world + j);
+    child->slots = std::make_unique<detail::CollectiveSlots>(child->size);
+    child->slots->injector = &fault_;
+    child->slots->checker = checker_.get();
+    child->slots->comm_id = child->id;
+    child->slots->global_of = &child->global_of;
+    child->slots->watchdog_seconds = options_.validate.watchdog_seconds;
+    child->slots->board = this;
+    slots_registry_.push_back(child->slots.get());  // lock already held
+    if (checker_ != nullptr) {
+      checker_->on_comm_grown(child->id, dead_.size());
+    }
+    slot.result = child;
+    cv_.notify_all();
+  }
+  while (slot.result == nullptr) {
+    if (shutdown_) {
+      throw std::runtime_error("minimpi: runtime aborted during grow");
+    }
+    if (slot.aborted) {
+      // A death invalidated this rendezvous; every waiter throws, the
+      // caller shrinks/retries, and the retry re-keys at the new epoch.
+      cv_.notify_all();
+      throw FaultError(
+          FaultKind::kPermanent, -1, epoch_,
+          "minimpi: communicator membership changed during grow (epoch " +
+              std::to_string(entry_epoch) + " -> " + std::to_string(epoch_) +
+              "); retry");
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  const std::shared_ptr<detail::CommState> result = slot.result;
+  if (new_rank != nullptr) {
+    // Old members keep their parent ranks; joiners are appended after.
+    const auto it = std::find(parent.global_of.begin(),
+                              parent.global_of.end(), global_rank);
+    *new_rank = static_cast<int>(it - parent.global_of.begin());
+  }
+  if (creator) {
+    // Launch the joiner threads outside the board mutex — the launcher
+    // allocates threads and the bodies immediately enter collectives.
+    RankLauncher launcher = rank_launcher_;
+    lock.unlock();
+    if (launcher == nullptr) {
+      throw std::logic_error(
+          "minimpi: grow requires a rank launcher (run() registers one)");
+    }
+    const std::function<void(Comm&)> main_copy = joiner_main;
+    for (int j = 0; j < extra; ++j) {
+      const int joiner_rank = parent.size + j;
+      launcher(result->global_of[static_cast<std::size_t>(joiner_rank)],
+               [result, joiner_rank, main_copy]() {
+                 Comm comm(result, joiner_rank);
+                 main_copy(comm);
+               });
+    }
+  }
+  return result;
 }
 
 }  // namespace hspmv::minimpi

@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,8 @@
 #include "minimpi/types.hpp"
 
 namespace hspmv::minimpi {
+
+class Comm;
 
 namespace detail {
 struct CollectiveSlots;
@@ -150,6 +153,28 @@ class Board {
   std::shared_ptr<detail::CommState> shrink_comm(
       const detail::CommState& parent, int global_rank, int* new_rank);
 
+  /// Elastic grow (Comm::spawn): board-level rendezvous of *all* current
+  /// members of `parent`, producing a fresh CommState over the old
+  /// members (keeping their ranks) plus `extra` brand-new world ranks
+  /// appended. The joiners enter the board at a bumped failure epoch
+  /// (heartbeats seeded, dead set extended, validator notified via
+  /// on_comm_grown) and their threads are started through the launcher
+  /// registered by run(); each runs `joiner_main` on its new Comm.
+  /// Throws FaultError if the caller is dead, the parent is revoked, or
+  /// a member dies mid-grow (retry under the new epoch).
+  std::shared_ptr<detail::CommState> grow_comm(
+      const detail::CommState& parent, int global_rank, int* new_rank,
+      int extra, const std::function<void(Comm&)>& joiner_main);
+
+  /// Thread factory for grow_comm's joiners, registered by run(): must
+  /// execute `body` on a fresh thread that run() joins before returning.
+  using RankLauncher = std::function<void(int global_rank,
+                                          std::function<void()> body)>;
+  void set_rank_launcher(RankLauncher launcher);
+
+  /// Current world size (founding ranks + every rank spawned so far).
+  [[nodiscard]] int world_size() const;
+
   /// Liveness probe for collective waiters: records `global_rank`'s
   /// heartbeat and, when heartbeat detection is enabled, declares members
   /// silent beyond the timeout dead. Called WITHOUT the slots mutex held
@@ -219,6 +244,18 @@ class Board {
   struct ShrinkSlot {
     int expected = 0;
     int arrived = 0;
+    bool aborted = false;
+    std::shared_ptr<detail::CommState> result;
+  };
+
+  /// Rendezvous state of one grow, keyed like ShrinkSlot by (parent comm
+  /// id, failure epoch at entry). All current members of the parent must
+  /// arrive with the same `extra`; a death mid-rendezvous aborts the slot
+  /// (the dead member would never arrive) and callers retry post-shrink.
+  struct GrowSlot {
+    int expected = 0;
+    int arrived = 0;
+    int extra = 0;
     bool aborted = false;
     std::shared_ptr<detail::CommState> result;
   };
@@ -311,6 +348,8 @@ class Board {
   /// Revoked communicator -> world rank of the death that revoked it.
   std::map<std::uint64_t, int> revoked_comms_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, ShrinkSlot> shrink_slots_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, GrowSlot> grow_slots_;
+  RankLauncher rank_launcher_;  ///< joiner thread factory (set by run())
 };
 
 }  // namespace hspmv::minimpi

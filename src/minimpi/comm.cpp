@@ -174,6 +174,15 @@ Comm Comm::shrink() const {
   return Comm(std::move(shrunk), new_rank);
 }
 
+Comm Comm::spawn(int extra,
+                 const std::function<void(Comm&)>& joiner_main) const {
+  if (!valid()) throw std::logic_error("minimpi: null communicator");
+  int new_rank = -1;
+  auto grown = state_->board->grow_comm(*state_, global_rank(), &new_rank,
+                                        extra, joiner_main);
+  return Comm(std::move(grown), new_rank);
+}
+
 bool Comm::is_revoked() const {
   if (!valid()) throw std::logic_error("minimpi: null communicator");
   return state_->board->comm_revoked(state_->id);

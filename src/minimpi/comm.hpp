@@ -289,6 +289,16 @@ class Comm {
   /// the new epoch) or the caller itself is dead.
   [[nodiscard]] Comm shrink() const;
 
+  /// Elastic grow (the inverse of shrink): collective among *all* current
+  /// members — returns a fresh communicator over the old members (same
+  /// ranks) plus `extra` brand-new ranks appended at the end. The runtime
+  /// starts one thread per joiner; each runs `joiner_main` on its new
+  /// Comm (the joiner never sees the parent — its first collective is on
+  /// the grown communicator). Every member must pass the same `extra`.
+  /// Throws FaultError if a member dies mid-grow (shrink, then retry).
+  [[nodiscard]] Comm spawn(
+      int extra, const std::function<void(Comm&)>& joiner_main) const;
+
   /// True once this communicator was revoked (a member died or revoke()
   /// was called).
   [[nodiscard]] bool is_revoked() const;

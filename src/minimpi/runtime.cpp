@@ -48,26 +48,56 @@ RunStats run(const RuntimeOptions& options,
     progress_thread = std::thread([&board] { board.progress_thread_main(); });
   }
 
+  // Same error discipline for founding ranks and spawned joiners: first
+  // exception wins and poisons the board so peers unblock.
+  const auto guarded = [&](int global_rank, const std::function<void()>& body) {
+    try {
+      body();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      HSPMV_WARN << "rank " << global_rank << " threw; aborting runtime";
+      // Unblock peers stuck in point-to-point waits and collectives.
+      board.shutdown();
+      world->slots->abort();
+    }
+  };
+
+  // Joiner threads created by Comm::spawn land here; run() joins them
+  // below exactly like the founding ranks.
+  std::mutex spawned_mutex;
+  std::vector<std::thread> spawned;
+  board.set_rank_launcher(
+      [&](int global_rank, std::function<void()> body) {
+        std::thread t([&guarded, global_rank, body = std::move(body)] {
+          guarded(global_rank, body);
+        });
+        std::lock_guard<std::mutex> lock(spawned_mutex);
+        spawned.push_back(std::move(t));
+      });
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(options.ranks));
   for (int r = 0; r < options.ranks; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(world, r);
-      try {
-        rank_main(comm);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        HSPMV_WARN << "rank " << r << " threw; aborting runtime";
-        // Unblock peers stuck in point-to-point waits and collectives.
-        board.shutdown();
-        world->slots->abort();
-      }
+      guarded(r, [&] { rank_main(comm); });
     });
   }
   for (auto& t : threads) t.join();
+
+  // Joiners may themselves spawn; drain until no new threads appear.
+  while (true) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(spawned_mutex);
+      batch.swap(spawned);
+    }
+    if (batch.empty()) break;
+    for (auto& t : batch) t.join();
+  }
 
   // Leak/unmatched-send audit before shutdown, and only for clean runs:
   // requests abandoned because a rank threw are not user bugs.

@@ -164,6 +164,20 @@ void UsageChecker::on_comm_revoked(std::uint64_t comm_id) {
   revoked_comms_.insert(comm_id);
 }
 
+void UsageChecker::on_comm_grown(std::uint64_t comm_id,
+                                 std::size_t world_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  (void)comm_id;  // the grown comm is a fresh id; only the world grows
+  if (world_size <= blocked_.size()) return;
+  blocked_.resize(world_size);
+  is_blocked_.resize(world_size, false);
+  is_dead_.resize(world_size, false);
+  dead_epoch_.resize(world_size, 0);
+  // Joiners change the wait-for topology the same way a death does: any
+  // pending cycle confirmation restarts against the new membership.
+  pending_cycles_.clear();
+}
+
 void UsageChecker::on_unmatched_send(std::uint64_t comm_id, int rank,
                                      int peer, int tag, std::size_t bytes) {
   if (!options_.enabled) return;

@@ -125,6 +125,13 @@ class UsageChecker {
   /// still pending at finalize are recovery debris, not user leaks.
   void on_comm_revoked(std::uint64_t comm_id);
 
+  /// The board grew communicator `comm_id` onto `world_size` total world
+  /// ranks (Comm::spawn). Mirror of on_comm_revoked for the expansion
+  /// direction: the per-world-rank registries (blocked state, dead set)
+  /// extend to cover the joiners, so the deadlock scanner, watchdog dump,
+  /// and finalize accounting see them like any founding rank.
+  void on_comm_grown(std::uint64_t comm_id, std::size_t world_size);
+
   /// wait/wait_all is about to consume `request` on `rank`.
   void on_wait(const std::shared_ptr<RequestState>& request, int rank);
 

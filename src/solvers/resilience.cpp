@@ -16,11 +16,13 @@ namespace {
 /// (halo exchange and solver p2p use tag 0).
 constexpr int kHeaderTag = 9101;
 constexpr int kPayloadTag = 9102;
+constexpr int kRemapSizeTag = 9103;
+constexpr int kRemapPayloadTag = 9104;
 
 /// Serialized snapshot header: [row_begin, iteration, vector_count,
-/// slice_len, scalar_count]. Doubles represent these integers exactly
-/// (all well below 2^53).
-constexpr std::size_t kHeaderLen = 5;
+/// slice_len, scalar_count, epoch]. Doubles represent these integers
+/// exactly (all well below 2^53).
+constexpr std::size_t kHeaderLen = 6;
 
 }  // namespace
 
@@ -31,8 +33,40 @@ void BuddyCheckpoint::serialize(const Snapshot& snapshot,
   out.push_back(static_cast<value_t>(snapshot.vector_count));
   out.push_back(static_cast<value_t>(snapshot.slice_len));
   out.push_back(static_cast<value_t>(snapshot.scalars.size()));
+  out.push_back(static_cast<value_t>(snapshot.epoch));
   out.insert(out.end(), snapshot.data.begin(), snapshot.data.end());
   out.insert(out.end(), snapshot.scalars.begin(), snapshot.scalars.end());
+}
+
+std::vector<BuddyCheckpoint::Snapshot> BuddyCheckpoint::parse_stream(
+    std::span<const value_t> stream) {
+  std::vector<Snapshot> parsed;
+  std::size_t cursor = 0;
+  while (cursor + kHeaderLen <= stream.size()) {
+    Snapshot snapshot;
+    snapshot.row_begin = static_cast<std::int64_t>(stream[cursor]);
+    snapshot.iteration = static_cast<std::int64_t>(stream[cursor + 1]);
+    snapshot.vector_count = static_cast<std::int64_t>(stream[cursor + 2]);
+    snapshot.slice_len = static_cast<std::int64_t>(stream[cursor + 3]);
+    const auto scalar_count = static_cast<std::size_t>(stream[cursor + 4]);
+    snapshot.epoch = static_cast<std::int64_t>(stream[cursor + 5]);
+    cursor += kHeaderLen;
+    const auto data_len = static_cast<std::size_t>(snapshot.vector_count) *
+                          static_cast<std::size_t>(snapshot.slice_len);
+    if (cursor + data_len + scalar_count > stream.size()) {
+      throw std::runtime_error("BuddyCheckpoint: truncated snapshot stream");
+    }
+    snapshot.data.assign(
+        stream.begin() + static_cast<std::ptrdiff_t>(cursor),
+        stream.begin() + static_cast<std::ptrdiff_t>(cursor + data_len));
+    cursor += data_len;
+    snapshot.scalars.assign(
+        stream.begin() + static_cast<std::ptrdiff_t>(cursor),
+        stream.begin() + static_cast<std::ptrdiff_t>(cursor + scalar_count));
+    cursor += scalar_count;
+    parsed.push_back(std::move(snapshot));
+  }
+  return parsed;
 }
 
 void BuddyCheckpoint::save(
@@ -46,6 +80,7 @@ void BuddyCheckpoint::save(
   Snapshot mine;
   mine.row_begin = row_begin;
   mine.iteration = iteration;
+  mine.epoch = static_cast<std::int64_t>(comm.epoch());
   mine.vector_count = static_cast<std::int64_t>(vectors.size());
   mine.slice_len =
       vectors.empty() ? 0 : static_cast<std::int64_t>(vectors.front().size());
@@ -74,6 +109,7 @@ void BuddyCheckpoint::save(
         static_cast<value_t>(mine.vector_count),
         static_cast<value_t>(mine.slice_len),
         static_cast<value_t>(mine.scalars.size()),
+        static_cast<value_t>(mine.epoch),
     };
     value_t their_header[kHeaderLen] = {};
     comm.sendrecv(std::span<const value_t>(header, kHeaderLen), next,
@@ -83,6 +119,7 @@ void BuddyCheckpoint::save(
     theirs.iteration = static_cast<std::int64_t>(their_header[1]);
     theirs.vector_count = static_cast<std::int64_t>(their_header[2]);
     theirs.slice_len = static_cast<std::int64_t>(their_header[3]);
+    theirs.epoch = static_cast<std::int64_t>(their_header[5]);
     theirs.data.resize(static_cast<std::size_t>(theirs.vector_count) *
                        static_cast<std::size_t>(theirs.slice_len));
     theirs.scalars.resize(static_cast<std::size_t>(their_header[4]));
@@ -113,10 +150,10 @@ void BuddyCheckpoint::save(
 }
 
 BuddyCheckpoint::Restored BuddyCheckpoint::restore_global(
-    const minimpi::Comm& shrunk, sparse::index_t global_rows,
+    const minimpi::Comm& comm, sparse::index_t global_rows,
     sparse::index_t row_begin, sparse::index_t local_rows) {
-  // Every survivor contributes all its committed snapshots; allgatherv
-  // hands every rank the same stream, so all survivors independently
+  // Every member contributes all its committed snapshots; allgatherv
+  // hands every rank the same stream, so all members independently
   // pick the same generation.
   // HSPMV-CHECK-ALLOW(first-touch): checkpoint restore staging on the calling thread
   std::vector<value_t> contribution;
@@ -126,59 +163,48 @@ BuddyCheckpoint::Restored BuddyCheckpoint::restore_global(
   }
   // HSPMV-CHECK-ALLOW(first-touch): checkpoint restore staging on the calling thread
   const std::vector<value_t> stream =
-      shrunk.allgatherv(std::span<const value_t>(contribution));
+      comm.allgatherv(std::span<const value_t>(contribution));
 
-  // Parse and deduplicate by (iteration, row_begin): within one save
-  // round every slice of one generation comes from the same partition,
-  // so a generation either tiles [0, global_rows) or has lost a slice.
-  using SliceKey = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+  // Deduplicate by (epoch, iteration, row_begin): within one save round
+  // every slice of one generation comes from the same topology and
+  // partition, so a generation either tiles [0, global_rows) or has
+  // lost a slice. The epoch in the key keeps same-iteration generations
+  // from different topologies apart — a pre-change slice must never be
+  // stitched together with a post-change one (their partitions differ
+  // even where the row ranges happen to line up).
+  using SliceKey =
+      std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t>;
   std::map<SliceKey, Snapshot> slices;
-  std::size_t cursor = 0;
-  while (cursor + kHeaderLen <= stream.size()) {
-    Snapshot parsed;
-    parsed.row_begin = static_cast<std::int64_t>(stream[cursor]);
-    parsed.iteration = static_cast<std::int64_t>(stream[cursor + 1]);
-    parsed.vector_count = static_cast<std::int64_t>(stream[cursor + 2]);
-    parsed.slice_len = static_cast<std::int64_t>(stream[cursor + 3]);
-    const auto scalar_count =
-        static_cast<std::size_t>(stream[cursor + 4]);
-    cursor += kHeaderLen;
-    const auto data_len = static_cast<std::size_t>(parsed.vector_count) *
-                          static_cast<std::size_t>(parsed.slice_len);
-    if (cursor + data_len + scalar_count > stream.size()) {
-      throw std::runtime_error(
-          "BuddyCheckpoint: truncated snapshot stream");
-    }
-    parsed.data.assign(stream.begin() + static_cast<std::ptrdiff_t>(cursor),
-                       stream.begin() +
-                           static_cast<std::ptrdiff_t>(cursor + data_len));
-    cursor += data_len;
-    parsed.scalars.assign(
-        stream.begin() + static_cast<std::ptrdiff_t>(cursor),
-        stream.begin() + static_cast<std::ptrdiff_t>(cursor + scalar_count));
-    cursor += scalar_count;
-    SliceKey key{parsed.iteration, parsed.row_begin, parsed.slice_len};
+  for (Snapshot& parsed : parse_stream(stream)) {
+    SliceKey key{parsed.epoch, parsed.iteration, parsed.row_begin,
+                 parsed.slice_len};
     slices.emplace(std::move(key), std::move(parsed));
   }
 
-  // Candidate iterations, newest first; the first whose slices tile the
-  // full row range wins.
-  std::vector<std::int64_t> candidates;
+  // Candidate generations: newest iteration first, newest epoch
+  // breaking ties (the re-saved copy under the current topology beats a
+  // bit-identical pre-change one — same data, live buddy mapping).
+  std::vector<std::pair<std::int64_t, std::int64_t>> candidates;
   for (const auto& [key, snapshot] : slices) {
-    if (candidates.empty() || candidates.back() != std::get<0>(key)) {
-      candidates.push_back(std::get<0>(key));
+    const std::pair<std::int64_t, std::int64_t> generation{
+        std::get<1>(key), std::get<0>(key)};  // (iteration, epoch)
+    if (std::find(candidates.begin(), candidates.end(), generation) ==
+        candidates.end()) {
+      candidates.push_back(generation);
     }
   }
   std::sort(candidates.rbegin(), candidates.rend());
-  for (const std::int64_t iteration : candidates) {
+  for (const auto& [iteration, epoch] : candidates) {
     // All slices of one generation come from the same save round and
     // hence one partition, and the map deduplicated exact copies — so a
     // complete generation tiles [0, global_rows) strictly.
     std::int64_t covered = 0;
     std::int64_t vector_count = -1;
     bool consistent = true;
-    auto it = slices.lower_bound({iteration, 0, 0});
-    for (; it != slices.end() && std::get<0>(it->first) == iteration; ++it) {
+    auto it = slices.lower_bound({epoch, iteration, 0, 0});
+    for (; it != slices.end() && std::get<0>(it->first) == epoch &&
+           std::get<1>(it->first) == iteration;
+         ++it) {
       const Snapshot& s = it->second;
       if (s.row_begin != covered ||
           (vector_count >= 0 && s.vector_count != vector_count)) {
@@ -197,8 +223,9 @@ BuddyCheckpoint::Restored BuddyCheckpoint::restore_global(
     restored.vectors.assign(
         static_cast<std::size_t>(std::max<std::int64_t>(vector_count, 0)),
         std::vector<value_t>(static_cast<std::size_t>(global_rows)));
-    for (auto walk = slices.lower_bound({iteration, 0, 0});
-         walk != slices.end() && std::get<0>(walk->first) == iteration;
+    for (auto walk = slices.lower_bound({epoch, iteration, 0, 0});
+         walk != slices.end() && std::get<0>(walk->first) == epoch &&
+         std::get<1>(walk->first) == iteration;
          ++walk) {
       const Snapshot& s = walk->second;
       for (std::int64_t k = 0; k < s.vector_count; ++k) {
@@ -218,6 +245,7 @@ BuddyCheckpoint::Restored BuddyCheckpoint::restore_global(
     Snapshot reseeded;
     reseeded.row_begin = row_begin;
     reseeded.iteration = iteration;
+    reseeded.epoch = static_cast<std::int64_t>(comm.epoch());
     reseeded.vector_count =
         static_cast<std::int64_t>(restored.vectors.size());
     reseeded.slice_len = local_rows;
@@ -236,10 +264,42 @@ BuddyCheckpoint::Restored BuddyCheckpoint::restore_global(
   }
 
   throw CheckpointLostError(
-      shrunk.epoch(),
+      comm.epoch(),
       "buddy checkpoint lost: no surviving generation tiles all " +
           std::to_string(global_rows) +
           " rows (a buddy pair died within one checkpoint interval)");
+}
+
+void BuddyCheckpoint::remap(const minimpi::Comm& comm) {
+  // The old buddy slots hold slices entrusted to us under a topology
+  // that no longer exists; their owners (if alive) re-replicate them
+  // themselves in this same round, so we drop ours either way.
+  if (comm.size() == 1) {
+    buddy_ = own_;
+    buddy_prev_ = own_prev_;
+    return;
+  }
+  // HSPMV-CHECK-ALLOW(first-touch): checkpoint remap staging on the calling thread
+  std::vector<value_t> contribution;
+  if (!own_.empty()) serialize(own_, contribution);
+  if (!own_prev_.empty()) serialize(own_prev_, contribution);
+  const int next = (comm.rank() + 1) % comm.size();
+  const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+  value_t my_len[1] = {static_cast<value_t>(contribution.size())};
+  value_t their_len[1] = {};
+  comm.sendrecv(std::span<const value_t>(my_len, 1), next,
+                std::span<value_t>(their_len, 1), prev, kRemapSizeTag,
+                kRemapSizeTag);
+  // HSPMV-CHECK-ALLOW(first-touch): checkpoint remap staging on the calling thread
+  std::vector<value_t> received(static_cast<std::size_t>(their_len[0]));
+  comm.sendrecv(std::span<const value_t>(contribution), next,
+                std::span<value_t>(received), prev, kRemapPayloadTag,
+                kRemapPayloadTag);
+  // Commit only after both exchanges: a FaultError above leaves the
+  // store untouched for the retry under the next epoch.
+  std::vector<Snapshot> parsed = parse_stream(received);
+  buddy_ = parsed.empty() ? Snapshot{} : std::move(parsed[0]);
+  buddy_prev_ = parsed.size() > 1 ? std::move(parsed[1]) : Snapshot{};
 }
 
 FailurePlan parse_failure_plan(const std::string& spec) {
@@ -265,6 +325,40 @@ FailurePlan parse_failure_plan(const std::string& spec) {
     throw std::invalid_argument(
         "parse_failure_plan: rank and iteration must be >= 0 in \"" + spec +
         "\"");
+  }
+  return plan;
+}
+
+GrowPlan parse_grow_plan(const std::string& spec) {
+  const auto fail = [&spec]() -> GrowPlan {
+    throw std::invalid_argument(
+        "parse_grow_plan: expected \"<iteration>:+<ranks>[!]\", got \"" +
+        spec + "\"");
+  };
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 2 >= spec.size() || spec[colon + 1] != '+') {
+    return fail();
+  }
+  GrowPlan plan;
+  std::string ranks = spec.substr(colon + 2);
+  if (!ranks.empty() && ranks.back() == '!') {
+    plan.rollback = true;
+    ranks.pop_back();
+  }
+  std::size_t consumed = 0;
+  try {
+    plan.iteration = std::stoi(spec.substr(0, colon), &consumed);
+    if (consumed != colon) return fail();
+    plan.ranks = std::stoi(ranks, &consumed);
+    if (consumed != ranks.size()) return fail();
+  } catch (const std::exception&) {
+    return fail();
+  }
+  if (plan.iteration < 0 || plan.ranks < 1) {
+    throw std::invalid_argument(
+        "parse_grow_plan: iteration must be >= 0 and ranks >= 1 in \"" +
+        spec + "\"");
   }
   return plan;
 }

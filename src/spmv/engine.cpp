@@ -310,6 +310,8 @@ Timings& Timings::operator+=(const Timings& other) {
   backend = other.backend;
   sell_chunk = other.sell_chunk;
   sell_sigma = other.sell_sigma;
+  rows_migrated = other.rows_migrated;
+  rows_full_replication = other.rows_full_replication;
   return *this;
 }
 

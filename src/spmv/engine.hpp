@@ -218,6 +218,15 @@ struct Timings {
   int sell_chunk = 0;  ///< 0 until an apply() stamps the configuration
   int sell_sigma = 0;
 
+  /// Elastic-topology accounting, stamped by RecoverableSpmv::apply():
+  /// rows the most recent incremental rebuild actually moved between
+  /// ranks, against the global row count a full re-replication would
+  /// have re-extracted. 0/0 until a topology change happens. Copied from
+  /// the right-hand side by operator+= like the configuration fields —
+  /// accumulated timings report the latest topology's migration cost.
+  std::int64_t rows_migrated = 0;
+  std::int64_t rows_full_replication = 0;
+
   Timings& operator+=(const Timings& other);
 };
 

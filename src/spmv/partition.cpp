@@ -1,5 +1,6 @@
 #include "spmv/partition.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "team/thread_team.hpp"
@@ -51,6 +52,61 @@ double partition_imbalance(const sparse::CsrMatrix& a,
   // HSPMV-CHECK-ALLOW(first-touch): partitioner input copy; sequential setup path
   std::vector<double> loads(nnz.begin(), nnz.end());
   return util::imbalance_factor(loads);
+}
+
+MigrationPlan plan_migration(std::span<const sparse::index_t> old_boundaries,
+                             std::span<const int> old_owner_of,
+                             std::span<const sparse::index_t> new_boundaries) {
+  if (old_boundaries.size() < 2 || new_boundaries.size() < 2 ||
+      old_boundaries.front() != 0 || new_boundaries.front() != 0 ||
+      old_boundaries.back() != new_boundaries.back()) {
+    throw std::invalid_argument("plan_migration: bad boundary arrays");
+  }
+  if (old_owner_of.size() + 1 != old_boundaries.size()) {
+    throw std::invalid_argument(
+        "plan_migration: old_owner_of must have one entry per old rank");
+  }
+  MigrationPlan plan;
+  plan.rows_full_replication =
+      static_cast<std::int64_t>(new_boundaries.back());
+  const int old_parts = static_cast<int>(old_owner_of.size());
+  const int new_parts = static_cast<int>(new_boundaries.size()) - 1;
+  // Sweep the new partitions in order, intersecting each with the old
+  // ranges — both boundary arrays are nondecreasing, so the scan over the
+  // old parts never rewinds and the emitted ranges come out sorted by
+  // (dest, row_begin) by construction.
+  int s = 0;
+  for (int d = 0; d < new_parts; ++d) {
+    const sparse::index_t d_begin = new_boundaries[static_cast<std::size_t>(d)];
+    const sparse::index_t d_end =
+        new_boundaries[static_cast<std::size_t>(d) + 1];
+    while (s < old_parts &&
+           old_boundaries[static_cast<std::size_t>(s) + 1] <= d_begin) {
+      ++s;
+    }
+    for (int t = s; t < old_parts; ++t) {
+      const sparse::index_t lo =
+          std::max(d_begin, old_boundaries[static_cast<std::size_t>(t)]);
+      const sparse::index_t hi =
+          std::min(d_end, old_boundaries[static_cast<std::size_t>(t) + 1]);
+      if (lo >= hi) {
+        if (old_boundaries[static_cast<std::size_t>(t)] >= d_end) break;
+        continue;
+      }
+      const int owner = old_owner_of[static_cast<std::size_t>(t)];
+      const std::int64_t rows = static_cast<std::int64_t>(hi - lo);
+      if (owner < 0) {
+        plan.seeded.push_back(MigrationMove{-1, d, lo, hi});
+        plan.rows_seeded += rows;
+      } else if (owner == d) {
+        plan.rows_kept += rows;
+      } else {
+        plan.moves.push_back(MigrationMove{owner, d, lo, hi});
+        plan.rows_moved += rows;
+      }
+    }
+  }
+  return plan;
 }
 
 }  // namespace hspmv::spmv

@@ -33,4 +33,45 @@ std::vector<std::int64_t> partition_nnz(const sparse::CsrMatrix& a,
 double partition_imbalance(const sparse::CsrMatrix& a,
                            std::span<const sparse::index_t> boundaries);
 
+// ---- incremental repartitioning (elastic grow/shrink) ----
+
+/// One contiguous row range changing owner across a repartition.
+/// `source` and `dest` are ranks of the *new* communicator; source == -1
+/// marks rows whose old owner is gone (dead, or never existed — the rows
+/// must be re-seeded from the replicated global matrix instead of moved).
+struct MigrationMove {
+  int source = -1;
+  int dest = -1;
+  sparse::index_t row_begin = 0;
+  sparse::index_t row_end = 0;
+
+  [[nodiscard]] sparse::index_t rows() const { return row_end - row_begin; }
+};
+
+/// The old->new ownership delta of a repartition. Every rank computes the
+/// identical plan from the same inputs (it is pure arithmetic over the
+/// two boundary arrays), so no coordination is needed beyond agreeing on
+/// the inputs. rows_moved + rows_seeded + rows_kept == global rows ==
+/// rows_full_replication: the last is what the pre-elastic rebuild path
+/// re-extracted from the replicated seed on *every* topology change, and
+/// the quantity the incremental path must beat.
+struct MigrationPlan {
+  std::vector<MigrationMove> moves;   ///< rows travelling between live ranks
+  std::vector<MigrationMove> seeded;  ///< rows re-extracted from the seed
+  std::int64_t rows_moved = 0;
+  std::int64_t rows_seeded = 0;
+  std::int64_t rows_kept = 0;
+  std::int64_t rows_full_replication = 0;  ///< = global rows
+};
+
+/// Compute the migration plan from `old_boundaries` (old_size+1 entries)
+/// to `new_boundaries` (new_size+1 entries). `old_owner_of[s]` is the
+/// new-communicator rank now hosting old rank s's thread, or -1 if that
+/// rank is gone (its rows become seeded). Moves and seeded ranges are
+/// emitted in ascending (dest, row_begin) order — the deterministic
+/// assembly order receivers replay.
+MigrationPlan plan_migration(std::span<const sparse::index_t> old_boundaries,
+                             std::span<const int> old_owner_of,
+                             std::span<const sparse::index_t> new_boundaries);
+
 }  // namespace hspmv::spmv

@@ -1,6 +1,9 @@
 #include "spmv/resilient.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <utility>
 
 #include "minimpi/fault.hpp"
 
@@ -17,6 +20,19 @@ RecoverableSpmv::RecoverableSpmv(minimpi::Comm comm,
   build();
 }
 
+RecoverableSpmv::RecoverableSpmv(JoinerTag, minimpi::Comm grown,
+                                 const sparse::CsrMatrix& global, int threads,
+                                 Variant variant, EngineOptions options)
+    : global_(&global),
+      threads_(threads),
+      variant_(variant),
+      options_(options) {
+  if (!grown.valid()) {
+    throw std::logic_error("RecoverableSpmv: joiner needs a valid comm");
+  }
+  migrate_build(std::move(grown), /*joiner=*/true);
+}
+
 void RecoverableSpmv::build() {
   boundaries_ = partition_rows(*global_, comm_.size(),
                                PartitionStrategy::kBalancedNonzeros);
@@ -31,12 +47,11 @@ void RecoverableSpmv::build() {
   }
 }
 
-void RecoverableSpmv::rebuild(minimpi::Comm shrunk) {
-  if (!shrunk.valid()) {
+void RecoverableSpmv::rebuild(minimpi::Comm new_comm) {
+  if (!new_comm.valid()) {
     throw std::logic_error("RecoverableSpmv::rebuild: null communicator");
   }
-  comm_ = std::move(shrunk);
-  build();
+  migrate_build(std::move(new_comm), /*joiner=*/false);
 }
 
 void RecoverableSpmv::shrink_and_rebuild() {
@@ -52,6 +67,224 @@ void RecoverableSpmv::shrink_and_rebuild() {
       if (attempt + 1 == max_attempts) throw;
     }
   }
+}
+
+void RecoverableSpmv::grow_and_rebuild(
+    int extra, const std::function<void(minimpi::Comm&)>& joiner_main) {
+  rebuild(comm_.spawn(extra, joiner_main));
+}
+
+void RecoverableSpmv::migrate_build(minimpi::Comm new_comm, bool joiner) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Old-topology identity. Survivors carry it; joiners learn it below.
+  // After a death comm_ is revoked, but group()/boundaries_ are plain
+  // local reads — no traffic happens on the old communicator.
+  std::vector<int> old_group = joiner ? std::vector<int>() : comm_.group();
+  std::vector<sparse::index_t> old_boundaries =
+      joiner ? std::vector<sparse::index_t>() : boundaries_;
+
+  // Agree on the old partition. New rank 0 is always an old member —
+  // grow keeps old ranks in place, shrink compacts survivors downward —
+  // so its copy is authoritative for the joiners.
+  std::int64_t old_size = static_cast<std::int64_t>(old_group.size());
+  new_comm.broadcast(std::span<std::int64_t>(&old_size, 1), 0);
+  old_group.resize(static_cast<std::size_t>(old_size));
+  old_boundaries.resize(static_cast<std::size_t>(old_size) + 1);
+  new_comm.broadcast(std::span<int>(old_group), 0);
+  new_comm.broadcast(std::span<sparse::index_t>(old_boundaries), 0);
+
+  const std::vector<int> new_group = new_comm.group();
+  const int new_size = new_comm.size();
+  const int my_new = new_comm.rank();
+  const int my_world = new_comm.global_rank();
+
+  // old rank -> new rank hosting the same thread, -1 when it is gone
+  // (dead, or simply absent from the new membership).
+  std::vector<int> old_owner_of(old_group.size(), -1);
+  int my_old = -1;
+  for (std::size_t s = 0; s < old_group.size(); ++s) {
+    const auto it =
+        std::find(new_group.begin(), new_group.end(), old_group[s]);
+    if (it != new_group.end()) {
+      old_owner_of[s] = static_cast<int>(it - new_group.begin());
+    }
+    if (old_group[s] == my_world) my_old = static_cast<int>(s);
+  }
+
+  // Everyone derives the same new partition and therefore the same plan.
+  std::vector<sparse::index_t> new_boundaries = partition_rows(
+      *global_, new_size, PartitionStrategy::kBalancedNonzeros);
+  MigrationPlan plan =
+      plan_migration(old_boundaries, old_owner_of, new_boundaries);
+
+  // Serialize the rows I own that move elsewhere. Per row the index
+  // stream carries [nnz, global cols...]; the value stream the values.
+  // Entry order is preserved from the old block, which preserved it from
+  // the seed — so a migrated row is byte-for-byte the row a fresh seed
+  // extraction would produce, and kernel summation order is unchanged.
+  const sparse::CsrMatrix* old_block =
+      matrix_ != nullptr ? &matrix_->local() : nullptr;
+  const sparse::index_t old_owned =
+      matrix_ != nullptr ? matrix_->owned_rows() : 0;
+  const sparse::index_t old_begin =
+      matrix_ != nullptr ? matrix_->row_begin() : 0;
+  const auto to_global = [&](sparse::index_t c) {
+    return c < old_owned ? old_begin + c
+                         : matrix_->halo_global(c - old_owned);
+  };
+  std::vector<std::vector<sparse::index_t>> send_idx(
+      static_cast<std::size_t>(new_size));
+  std::vector<std::vector<sparse::value_t>> send_val(
+      static_cast<std::size_t>(new_size));
+  if (my_old >= 0 && old_block != nullptr) {
+    for (const MigrationMove& mv : plan.moves) {
+      if (mv.source != my_new) continue;
+      auto& idx = send_idx[static_cast<std::size_t>(mv.dest)];
+      auto& val = send_val[static_cast<std::size_t>(mv.dest)];
+      for (sparse::index_t r = mv.row_begin; r < mv.row_end; ++r) {
+        const auto [cols, vals] = old_block->row(r - old_begin);
+        idx.push_back(static_cast<sparse::index_t>(cols.size()));
+        for (const sparse::index_t c : cols) idx.push_back(to_global(c));
+        val.insert(val.end(), vals.begin(), vals.end());
+      }
+    }
+  }
+  const auto recv_idx = new_comm.alltoallv(send_idx);
+  const auto recv_val = new_comm.alltoallv(send_val);
+
+  // Assemble my new block in global row order: kept rows copy locally,
+  // moved rows drain the per-source streams (senders emitted them in the
+  // same ascending order), seeded rows re-extract from the seed.
+  const sparse::index_t my_begin =
+      new_boundaries[static_cast<std::size_t>(my_new)];
+  const sparse::index_t my_end =
+      new_boundaries[static_cast<std::size_t>(my_new) + 1];
+  std::vector<sparse::offset_t> row_ptr;
+  row_ptr.reserve(static_cast<std::size_t>(my_end - my_begin) + 1);
+  row_ptr.push_back(0);
+  util::AlignedVector<sparse::index_t> col_idx;
+  util::AlignedVector<sparse::value_t> val;
+  std::vector<std::size_t> idx_cursor(static_cast<std::size_t>(new_size), 0);
+  std::vector<std::size_t> val_cursor(static_cast<std::size_t>(new_size), 0);
+  for (sparse::index_t r = my_begin; r < my_end; ++r) {
+    const auto ub = std::upper_bound(old_boundaries.begin(),
+                                     old_boundaries.end(), r);
+    const int s = static_cast<int>(ub - old_boundaries.begin()) - 1;
+    const int owner = old_owner_of[static_cast<std::size_t>(s)];
+    if (owner == my_new && old_block != nullptr) {
+      const auto [cols, vals] = old_block->row(r - old_begin);
+      for (const sparse::index_t c : cols) col_idx.push_back(to_global(c));
+      val.insert(val.end(), vals.begin(), vals.end());
+    } else if (owner < 0) {
+      const auto [cols, vals] = global_->row(r);
+      col_idx.insert(col_idx.end(), cols.begin(), cols.end());
+      val.insert(val.end(), vals.begin(), vals.end());
+    } else {
+      const auto& idx = recv_idx[static_cast<std::size_t>(owner)];
+      const auto& vls = recv_val[static_cast<std::size_t>(owner)];
+      std::size_t& ic = idx_cursor[static_cast<std::size_t>(owner)];
+      std::size_t& vc = val_cursor[static_cast<std::size_t>(owner)];
+      const auto n = static_cast<std::size_t>(idx[ic++]);
+      col_idx.insert(col_idx.end(), idx.begin() + static_cast<std::ptrdiff_t>(ic),
+                     idx.begin() + static_cast<std::ptrdiff_t>(ic + n));
+      ic += n;
+      val.insert(val.end(), vls.begin() + static_cast<std::ptrdiff_t>(vc),
+                 vls.begin() + static_cast<std::ptrdiff_t>(vc + n));
+      vc += n;
+    }
+    row_ptr.push_back(static_cast<sparse::offset_t>(col_idx.size()));
+  }
+  sparse::CsrMatrix block(my_end - my_begin, global_->rows(),
+                          std::move(row_ptr), std::move(col_idx),
+                          std::move(val));
+
+  // The engine keeps a pointer into matrix_, so replace the matrix first
+  // and re-target the engine after (its thread team persists).
+  matrix_ = std::make_unique<DistMatrix>(
+      DistMatrix::from_local_block(new_comm, block, new_boundaries));
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<SpmvEngine>(*matrix_, threads_, variant_,
+                                           options_);
+  } else {
+    engine_->rebuild(*matrix_);
+  }
+
+  last_rebuild_.rows_migrated = plan.rows_moved;
+  last_rebuild_.rows_seeded = plan.rows_seeded;
+  last_rebuild_.rows_kept = plan.rows_kept;
+  last_rebuild_.rows_full_replication = plan.rows_full_replication;
+  last_rebuild_.old_size = static_cast<int>(old_size);
+  last_rebuild_.new_size = new_size;
+  last_rebuild_.epoch = new_comm.epoch();
+  last_rebuild_.rebuild_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  comm_ = std::move(new_comm);
+  boundaries_ = std::move(new_boundaries);
+  prev_plan_ = std::move(plan);
+  prev_old_boundaries_ = std::move(old_boundaries);
+  prev_old_owner_of_ = std::move(old_owner_of);
+  prev_old_rank_ = my_old;
+}
+
+std::vector<sparse::value_t> RecoverableSpmv::migrate_vector(
+    std::span<const sparse::value_t> old_owned) {
+  if (prev_old_boundaries_.empty()) {
+    throw std::logic_error(
+        "RecoverableSpmv::migrate_vector: no rebuild to migrate across");
+  }
+  const int new_size = comm_.size();
+  const int my_new = comm_.rank();
+  const sparse::index_t old_begin =
+      prev_old_rank_ >= 0
+          ? prev_old_boundaries_[static_cast<std::size_t>(prev_old_rank_)]
+          : 0;
+  const sparse::index_t old_end =
+      prev_old_rank_ >= 0
+          ? prev_old_boundaries_[static_cast<std::size_t>(prev_old_rank_) + 1]
+          : 0;
+  if (old_owned.size() != static_cast<std::size_t>(old_end - old_begin)) {
+    throw std::invalid_argument(
+        "RecoverableSpmv::migrate_vector: old_owned must be the previous "
+        "partition's owned slice (empty for joiners)");
+  }
+  std::vector<std::vector<sparse::value_t>> send(
+      static_cast<std::size_t>(new_size));
+  for (const MigrationMove& mv : prev_plan_.moves) {
+    if (mv.source != my_new) continue;
+    auto& bucket = send[static_cast<std::size_t>(mv.dest)];
+    bucket.insert(bucket.end(),
+                  old_owned.begin() + (mv.row_begin - old_begin),
+                  old_owned.begin() + (mv.row_end - old_begin));
+  }
+  const auto recv = comm_.alltoallv(send);
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(new_size), 0);
+  const sparse::index_t my_begin =
+      boundaries_[static_cast<std::size_t>(my_new)];
+  const sparse::index_t my_end =
+      boundaries_[static_cast<std::size_t>(my_new) + 1];
+  // HSPMV-CHECK-ALLOW(first-touch): migration assembly buffer on the topology-change path; the rebuilt engine re-places hot data
+  std::vector<sparse::value_t> result(
+      static_cast<std::size_t>(my_end - my_begin), 0.0);
+  for (sparse::index_t r = my_begin; r < my_end; ++r) {
+    const auto ub = std::upper_bound(prev_old_boundaries_.begin(),
+                                     prev_old_boundaries_.end(), r);
+    const int s = static_cast<int>(ub - prev_old_boundaries_.begin()) - 1;
+    const int owner = prev_old_owner_of_[static_cast<std::size_t>(s)];
+    if (owner == my_new) {
+      result[static_cast<std::size_t>(r - my_begin)] =
+          old_owned[static_cast<std::size_t>(r - old_begin)];
+    } else if (owner >= 0) {
+      result[static_cast<std::size_t>(r - my_begin)] =
+          recv[static_cast<std::size_t>(owner)]
+              [cursor[static_cast<std::size_t>(owner)]++];
+    }
+    // owner < 0: the old owner died with the data; stays 0.0 for the
+    // caller's checkpoint-restore to overwrite.
+  }
+  return result;
 }
 
 }  // namespace hspmv::spmv

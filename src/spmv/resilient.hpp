@@ -1,21 +1,34 @@
 // Recoverable distributed spMVM: the engine plus everything needed to
-// rebuild it over the survivors after a rank failure.
+// rebuild it over the survivors after a rank failure — and, since the
+// elastic-capacity work, to *expand* onto freshly spawned ranks.
 //
 // The plain SpmvEngine is pinned to one DistMatrix on one communicator;
 // when a rank dies, that communicator is revoked and the partition it
 // encodes references a member that no longer exists. RecoverableSpmv
 // keeps the ingredients — the replicated global matrix and the partition
 // strategy — so recovery is deterministic re-derivation, not improvised
-// state surgery: shrink the communicator (ULFM-style), repartition the
-// same global matrix over the survivor count with the same strategy,
-// rebuild the DistMatrix (fresh halo plan) and re-target the engine's
-// kernel onto the new row block. Every survivor computes the identical
-// boundaries, so no coordination beyond the shrink itself is needed.
+// state surgery: shrink (or grow) the communicator, repartition the same
+// global matrix over the new size with the same strategy, rebuild the
+// DistMatrix (fresh halo plan) and re-target the engine's kernel onto
+// the new row block. Every member computes the identical boundaries, so
+// no coordination beyond the topology change itself is needed.
+//
+// Rebuilds are *incremental*: instead of every rank re-extracting its
+// whole new block from the replicated seed, the old->new ownership delta
+// is computed (spmv/partition.hpp plan_migration) and only rows that
+// changed owner travel, via one alltoallv pair. Rows that stayed put are
+// copied locally; only rows whose old owner is gone (dead) fall back to
+// the seed. The resulting DistMatrix is bitwise-identical to the full
+// re-replication path — values are copies of copies of the same seed —
+// so the determinism guarantee survives: a post-grow (or post-shrink)
+// run computes the same bits as a calm run at the new size.
 //
 // The resilient solver drivers (src/solvers/resilient.hpp) own one of
 // these per rank and combine it with buddy checkpointing.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -25,19 +38,53 @@
 
 namespace hspmv::spmv {
 
+/// What the most recent topology-change rebuild did. Every field is
+/// identical on every rank — the counts come from the shared migration
+/// plan, not local measurements (except rebuild_seconds, which is local
+/// wall clock).
+struct RebuildStats {
+  std::int64_t rows_migrated = 0;  ///< rows moved between live ranks
+  std::int64_t rows_seeded = 0;    ///< rows re-extracted from the seed
+  std::int64_t rows_kept = 0;      ///< rows that never left their rank
+  /// What the pre-elastic full re-replication path would have touched
+  /// (= global rows); the incremental path must stay strictly below it
+  /// whenever any row survives in place.
+  std::int64_t rows_full_replication = 0;
+  int old_size = 0;
+  int new_size = 0;
+  double rebuild_seconds = 0.0;
+  std::uint64_t epoch = 0;  ///< failure epoch of the new topology
+};
+
 class RecoverableSpmv {
  public:
+  /// Tag for the joiner-side constructor (ranks created by Comm::spawn).
+  struct JoinerTag {};
+
   /// Collective over `comm`: partition `global` by balanced nonzeros
   /// over comm.size() ranks and build the distributed engine. `global`
   /// must outlive this object (it is the recovery seed).
   RecoverableSpmv(minimpi::Comm comm, const sparse::CsrMatrix& global,
                   int threads, Variant variant, EngineOptions options = {});
 
-  /// Forwarded engine surface.
-  Timings apply(DistVector& x, DistVector& y) { return engine_->apply(x, y); }
+  /// Joiner-side constructor: called from a Comm::spawn joiner_main with
+  /// the *grown* communicator, while the old members concurrently run
+  /// rebuild() on it. Participates in the same incremental-migration
+  /// collective — the joiner starts with no old block and receives its
+  /// rows from the survivors that used to own them. `global` is the same
+  /// replicated seed the founders hold (it must outlive this object).
+  RecoverableSpmv(JoinerTag, minimpi::Comm grown,
+                  const sparse::CsrMatrix& global, int threads,
+                  Variant variant, EngineOptions options = {});
+
+  /// Forwarded engine surface. Timings carry the elastic counters of the
+  /// most recent topology change (rows_migrated/rows_full_replication).
+  Timings apply(DistVector& x, DistVector& y) {
+    return stamp(engine_->apply(x, y));
+  }
   /// Blocked multi-RHS apply (see SpmvEngine::apply(MultiVector&, ...)).
   Timings apply(MultiVector& x, MultiVector& y) {
-    return engine_->apply(x, y);
+    return stamp(engine_->apply(x, y));
   }
   [[nodiscard]] DistVector make_vector() { return engine_->make_vector(); }
   [[nodiscard]] MultiVector make_multi_vector(int width) {
@@ -52,10 +99,12 @@ class RecoverableSpmv {
     return boundaries_;
   }
 
-  /// Collective over `shrunk` (the survivors): deterministically
-  /// repartition the global matrix over the new size and rebuild the
-  /// distributed state on it. Old DistVectors are invalid afterwards.
-  void rebuild(minimpi::Comm shrunk);
+  /// Collective over `new_comm` (shrunk survivors or grown membership):
+  /// deterministically repartition the global matrix over the new size
+  /// and rebuild the distributed state on it, migrating only rows whose
+  /// owner changed. Old DistVectors are invalid afterwards — use
+  /// migrate_vector() to carry their contents across.
+  void rebuild(minimpi::Comm new_comm);
 
   /// Shrink the current (revoked) communicator and rebuild on the
   /// result, retrying the shrink when membership changes mid-flight
@@ -63,8 +112,43 @@ class RecoverableSpmv {
   /// attempt runs under the new epoch). Collective among survivors.
   void shrink_and_rebuild();
 
+  /// Grow by `extra` fresh ranks (Comm::spawn) and rebuild on the grown
+  /// communicator. `joiner_main` runs on each new rank; it must
+  /// construct a RecoverableSpmv with JoinerTag on the communicator it
+  /// receives (that constructor is the joiner's half of this rebuild's
+  /// migration collective) and then mirror whatever collective sequence
+  /// the survivors run next. Collective over the current membership.
+  void grow_and_rebuild(int extra,
+                        const std::function<void(minimpi::Comm&)>& joiner_main);
+
+  /// Redistribute the owned slice of a vector across the most recent
+  /// rebuild(): `old_owned` is this rank's slice under the *previous*
+  /// partition (empty for joiners and for rows lost with a dead rank),
+  /// the result is this rank's slice under the current one. Rows whose
+  /// old owner is gone come back as 0.0 — callers restore those from
+  /// checkpoints. Collective; bitwise-exact for every migrated row.
+  [[nodiscard]] std::vector<sparse::value_t> migrate_vector(
+      std::span<const sparse::value_t> old_owned);
+
+  /// Stats of the most recent topology-change rebuild (all-zero until
+  /// the first rebuild()).
+  [[nodiscard]] const RebuildStats& last_rebuild() const {
+    return last_rebuild_;
+  }
+
  private:
   void build();
+  /// The incremental-migration collective both rebuild() and the joiner
+  /// constructor run: agree on the old partition (broadcast from new
+  /// rank 0 — always an old member), plan the delta, exchange moved
+  /// rows, assemble the new local block, re-target the engine.
+  void migrate_build(minimpi::Comm new_comm, bool joiner);
+
+  Timings stamp(Timings t) const {
+    t.rows_migrated = last_rebuild_.rows_migrated;
+    t.rows_full_replication = last_rebuild_.rows_full_replication;
+    return t;
+  }
 
   minimpi::Comm comm_;
   const sparse::CsrMatrix* global_;
@@ -74,6 +158,14 @@ class RecoverableSpmv {
   std::vector<sparse::index_t> boundaries_;
   std::unique_ptr<DistMatrix> matrix_;
   std::unique_ptr<SpmvEngine> engine_;
+
+  // ---- elastic state: the most recent migration, kept so vectors can
+  // follow the rows after the matrix already moved ----
+  RebuildStats last_rebuild_;
+  MigrationPlan prev_plan_;
+  std::vector<sparse::index_t> prev_old_boundaries_;
+  std::vector<int> prev_old_owner_of_;
+  int prev_old_rank_ = -1;  ///< my rank in the old topology (-1: joiner)
 };
 
 }  // namespace hspmv::spmv

@@ -111,8 +111,30 @@ SpmvServer::SpmvServer(minimpi::Comm comm, const sparse::CsrMatrix& global,
             std::move(engine_options)),
       options_(std::move(options)) {}
 
+SpmvServer::SpmvServer(RecoverableSpmv::JoinerTag tag, minimpi::Comm grown,
+                       const sparse::CsrMatrix& global, int threads,
+                       Variant variant, EngineOptions engine_options,
+                       ServerOptions options)
+    : spmv_(tag, std::move(grown), global, threads, variant,
+            std::move(engine_options)),
+      options_(std::move(options)) {}
+
+void SpmvServer::grow(int extra,
+                      const std::function<void(minimpi::Comm&)>& joiner_main) {
+  spmv_.grow_and_rebuild(extra, joiner_main);
+  ++pending_grows_;
+  pending_rows_migrated_ += spmv_.last_rebuild().rows_migrated;
+  pending_rows_full_replication_ += spmv_.last_rebuild().rows_full_replication;
+}
+
 ServerReport SpmvServer::serve(BatchQueue& queue) {
   ServerReport report;
+  report.grows = pending_grows_;
+  report.rows_migrated = pending_rows_migrated_;
+  report.rows_full_replication = pending_rows_full_replication_;
+  pending_grows_ = 0;
+  pending_rows_migrated_ = 0;
+  pending_rows_full_replication_ = 0;
   // The batch being served survives a fault here so the replay after
   // shrink + rebuild serves exactly the same requests (rank 0 only).
   std::vector<ServerRequest> pending;
@@ -123,13 +145,17 @@ ServerReport SpmvServer::serve(BatchQueue& queue) {
       ++batch_index;
     } catch (const minimpi::FaultError& fault) {
       if (fault.kind() != minimpi::FaultKind::kPermanent) throw;
-      if (fault.rank() == spmv_.comm().rank()) {
+      // HSPMV-CHECK-ALLOW(divergent-collective): the victim rank is dead to the protocol; the survivors' shrink_and_rebuild rendezvous excludes it by design
+      if (fault.rank() == spmv_.comm().global_rank()) {
         // This rank is the one declared dead — it leaves the service;
         // the survivors recover without it.
         throw;
       }
       spmv_.shrink_and_rebuild();
       ++report.rebuilds;
+      report.rows_migrated += spmv_.last_rebuild().rows_migrated;
+      report.rows_full_replication +=
+          spmv_.last_rebuild().rows_full_replication;
       ++batch_index;  // the replay is a fresh attempt on every survivor
     }
   }

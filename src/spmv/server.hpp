@@ -96,6 +96,12 @@ struct ServerReport {
   std::vector<CompletedRequest> completed;
   std::vector<int> batch_widths;  ///< K of each served batch, in order
   std::int64_t rebuilds = 0;      ///< shrink + rebuild recoveries
+  std::int64_t grows = 0;         ///< capacity expansions (grow())
+  /// Rows that actually travelled across all topology changes this
+  /// server saw (shrinks during serve() and grow() calls), versus what
+  /// full re-replication would have touched (global rows per change).
+  std::int64_t rows_migrated = 0;
+  std::int64_t rows_full_replication = 0;
 
   [[nodiscard]] std::vector<double> latencies() const;
   /// Per-request latency percentile (q in [0, 100]), e.g. 50/95/99.
@@ -124,6 +130,24 @@ class SpmvServer {
              int threads, Variant variant, EngineOptions engine_options = {},
              ServerOptions options = {});
 
+  /// Joiner-side constructor: build a server on a rank spawned by an
+  /// existing server's grow(). Enters the collective migrate/rebuild as
+  /// a receiver; afterwards this server is interchangeable with the
+  /// founders' (same partition, same engine shape) and must serve the
+  /// same queues they do.
+  SpmvServer(RecoverableSpmv::JoinerTag, minimpi::Comm grown,
+             const sparse::CsrMatrix& global, int threads, Variant variant,
+             EngineOptions engine_options = {}, ServerOptions options = {});
+
+  /// Collective capacity expansion between serve() calls: spawn `extra`
+  /// fresh ranks running `joiner_main` (which must construct a joiner
+  /// SpmvServer and serve the same subsequent queues), incrementally
+  /// repartition the matrix onto the grown communicator, and account the
+  /// migration into this server's next report. Must not be called while
+  /// a serve() is in flight.
+  void grow(int extra,
+            const std::function<void(minimpi::Comm&)>& joiner_main);
+
   /// Serve until `queue` closes and drains. Collective: every rank of
   /// the communicator must call this with the same queue object.
   /// Non-zero ranks never touch the queue. On a rank death the dead
@@ -140,6 +164,11 @@ class SpmvServer {
 
   RecoverableSpmv spmv_;
   ServerOptions options_;
+  /// Topology changes made between serve() calls (grow()) fold into the
+  /// next serve()'s report.
+  std::int64_t pending_grows_ = 0;
+  std::int64_t pending_rows_migrated_ = 0;
+  std::int64_t pending_rows_full_replication_ = 0;
 };
 
 }  // namespace hspmv::spmv

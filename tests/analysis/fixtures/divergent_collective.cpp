@@ -24,4 +24,12 @@ long long early_exit(minimpi::Comm& comm, long long value) {
   return comm.allreduce(value, minimpi::ReduceOp::kSum);
 }
 
+// Elastic shape (A): spawn is a collective rendezvous too — ranks that
+// skip it strand the growers (and the joiners never start).
+void lopsided_spawn(minimpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.spawn(1, [](minimpi::Comm&) {});
+  }
+}
+
 }  // namespace fixture

@@ -30,4 +30,12 @@ void scope_out(minimpi::Comm& comm, std::vector<double>& scratch) {
   auto request = comm.irecv(0, 0, std::span<double>(scratch));
 }
 
+// Topology change with a request in flight: the spawn bumps the epoch
+// and the pre-grow request can only ever complete as a FaultError.
+void grow_in_flight(minimpi::Comm& comm, std::vector<double>& buffer) {
+  auto request = comm.isend(1, 0, std::span<const double>(buffer));
+  comm.spawn(1, [](minimpi::Comm&) {});
+  comm.wait(request);
+}
+
 }  // namespace fixture

@@ -69,16 +69,18 @@ TEST(HspmvCheck, DivergentCollectiveFixtureFires) {
   const auto result = analyze_fixture("divergent_collective.cpp");
   EXPECT_EQ(unsuppressed_checks(result),
             std::set<std::string>{"divergent-collective"});
-  // Both flagged shapes: lopsided sibling branch and early exit.
-  EXPECT_EQ(count_of(result, "divergent-collective"), 2);
+  // Lopsided sibling branch, early exit, and the lopsided spawn
+  // (the elastic rendezvous is a collective too).
+  EXPECT_EQ(count_of(result, "divergent-collective"), 3);
 }
 
 TEST(HspmvCheck, NonblockingLifetimeFixtureFires) {
   const auto result = analyze_fixture("nonblocking_lifetime.cpp");
   EXPECT_EQ(unsuppressed_checks(result),
             std::set<std::string>{"nonblocking-lifetime"});
-  // Discarded request, mutated buffer, scope-out without wait.
-  EXPECT_EQ(count_of(result, "nonblocking-lifetime"), 3);
+  // Discarded request, mutated buffer, scope-out without wait, and a
+  // spawn with the request still in flight.
+  EXPECT_EQ(count_of(result, "nonblocking-lifetime"), 4);
 }
 
 TEST(HspmvCheck, FirstTouchFixtureFires) {

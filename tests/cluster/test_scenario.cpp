@@ -1,0 +1,183 @@
+// The traffic-scenario engine (cluster/scenario.hpp): trace generation
+// is a pure function of (kind, seed, base_ranks); replaying a trace
+// drives the batching server through grows, decommissions and degraded
+// members while every completed request still matches the dense oracle;
+// and two replays of the same trace agree bitwise on every result and
+// on every structural scorecard field.
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/scenario.hpp"
+#include "common/reference.hpp"
+#include "common/seeded_fixture.hpp"
+#include "matgen/random_matrix.hpp"
+
+namespace hspmv::cluster {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::value_t;
+
+class ScenarioTest : public testutil::SeededTest {};
+
+bool same_phase(const ScenarioPhase& a, const ScenarioPhase& b) {
+  return a.grow == b.grow && a.kill_global_rank == b.kill_global_rank &&
+         a.slow_global_rank == b.slow_global_rank &&
+         a.slow_seconds == b.slow_seconds && a.requests == b.requests &&
+         a.deadline_s == b.deadline_s;
+}
+
+TEST_F(ScenarioTest, TraceGenerationIsDeterministicAndSane) {
+  for (const ScenarioKind kind : all_scenarios()) {
+    EXPECT_EQ(parse_scenario(scenario_name(kind)), kind);
+    const ScenarioTrace once = make_trace(kind, seed(1), 2);
+    const ScenarioTrace again = make_trace(kind, seed(1), 2);
+    ASSERT_EQ(once.phases.size(), again.phases.size()) << scenario_name(kind);
+    for (std::size_t p = 0; p < once.phases.size(); ++p) {
+      EXPECT_TRUE(same_phase(once.phases[p], again.phases[p]))
+          << scenario_name(kind) << " phase " << p;
+    }
+    // Schedule invariants: a quorum always survives, rank 0 never dies,
+    // there is real load, and the topology actually changes.
+    EXPECT_GE(once.base_ranks, 2);
+    EXPECT_GE(once.final_ranks(), 2) << scenario_name(kind);
+    EXPECT_GE(once.peak_ranks(), once.base_ranks);
+    EXPECT_GT(once.total_requests(), 0);
+    int grows = 0, kills = 0;
+    for (const ScenarioPhase& phase : once.phases) {
+      EXPECT_NE(phase.kill_global_rank, 0);
+      EXPECT_NE(phase.slow_global_rank, 0);
+      grows += phase.grow;
+      if (phase.kill_global_rank >= 0) ++kills;
+    }
+    EXPECT_GT(grows + kills, 0) << scenario_name(kind);
+    // A different seed jitters the load but keeps the named shape.
+    const ScenarioTrace other = make_trace(kind, seed(1) + 17, 2);
+    EXPECT_EQ(other.phases.size(), once.phases.size());
+    EXPECT_EQ(other.final_ranks(), once.final_ranks());
+  }
+}
+
+TEST_F(ScenarioTest, ReplayServesEveryRequestWithOracleBitsAcrossAllKinds) {
+  // Every named trace end to end: all requests complete, each result
+  // matches the dense reference for its (phase, request) RHS, and the
+  // scorecard's structural fields match the schedule.
+  const CsrMatrix a = matgen::random_banded(80, 10, 3, seed(2));
+  for (const ScenarioKind kind : all_scenarios()) {
+    const ScenarioTrace trace = make_trace(kind, seed(3), 2);
+    std::mutex mutex;
+    std::map<std::uint64_t, std::vector<value_t>> results;
+    ReplayOptions options;
+    options.keep_results = true;
+    options.on_phase_report = [&](int /*phase*/,
+                                  const spmv::ServerReport& rep) {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (const spmv::CompletedRequest& done : rep.completed) {
+        results.emplace(done.id, done.y);
+      }
+    };
+    const SloReport report = replay_scenario(trace, a, options);
+
+    EXPECT_EQ(report.kind, kind);
+    EXPECT_EQ(report.completed(), trace.total_requests())
+        << scenario_name(kind);
+    EXPECT_EQ(report.final_ranks, trace.final_ranks()) << scenario_name(kind);
+    int grow_phases = 0, kills = 0;
+    for (const ScenarioPhase& phase : trace.phases) {
+      if (phase.grow > 0) ++grow_phases;
+      if (phase.kill_global_rank >= 0) ++kills;
+    }
+    EXPECT_EQ(report.grows(), grow_phases) << scenario_name(kind);
+    EXPECT_EQ(report.rebuilds(), kills) << scenario_name(kind);
+    // Each topology change is accounted against full re-replication of
+    // the whole matrix; the incremental path moved strictly less.
+    EXPECT_EQ(report.rows_full_replication(),
+              static_cast<std::int64_t>(grow_phases + kills) * a.rows())
+        << scenario_name(kind);
+    EXPECT_GT(report.rows_migrated(), 0) << scenario_name(kind);
+    EXPECT_LT(report.rows_migrated(), report.rows_full_replication())
+        << scenario_name(kind);
+    EXPECT_GE(report.attainment(), 0.0);
+    EXPECT_LE(report.attainment(), 1.0);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(results.size(),
+              static_cast<std::size_t>(trace.total_requests()))
+        << scenario_name(kind);
+    for (std::size_t p = 0; p < trace.phases.size(); ++p) {
+      for (int r = 0; r < trace.phases[p].requests; ++r) {
+        const auto id = scenario_request_id(static_cast<int>(p), r);
+        const auto it = results.find(id);
+        ASSERT_NE(it, results.end())
+            << scenario_name(kind) << " phase " << p << " request " << r;
+        const auto x = scenario_rhs(trace, static_cast<int>(p), r, a.cols());
+        EXPECT_LT(testutil::max_abs_diff(it->second,
+                                         testutil::dense_reference(a, x)),
+                  1e-12)
+            << scenario_name(kind) << " phase " << p << " request " << r;
+      }
+    }
+    results.clear();
+  }
+}
+
+TEST_F(ScenarioTest, ReplayIsBitwiseDeterministicUnderFixedSeed) {
+  const CsrMatrix a = matgen::random_sparse(100, 5, seed(4));
+  const ScenarioTrace trace =
+      make_trace(ScenarioKind::kCascadingFailure, seed(5), 2);
+  std::vector<std::map<std::uint64_t, std::vector<value_t>>> rounds(2);
+  std::vector<SloReport> reports;
+  for (int round = 0; round < 2; ++round) {
+    std::mutex mutex;
+    ReplayOptions options;
+    options.keep_results = true;
+    options.on_phase_report = [&](int /*phase*/,
+                                  const spmv::ServerReport& rep) {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (const spmv::CompletedRequest& done : rep.completed) {
+        rounds[static_cast<std::size_t>(round)].emplace(done.id, done.y);
+      }
+    };
+    reports.push_back(replay_scenario(trace, a, options));
+  }
+  // Bitwise-identical results request by request...
+  ASSERT_EQ(rounds[0].size(), rounds[1].size());
+  for (const auto& [id, y] : rounds[0]) {
+    const auto it = rounds[1].find(id);
+    ASSERT_NE(it, rounds[1].end()) << "id " << id;
+    EXPECT_EQ(y, it->second) << "id " << id;  // bitwise
+  }
+  // ... and identical structural scorecards (latencies are wall clock).
+  ASSERT_EQ(reports[0].phases.size(), reports[1].phases.size());
+  for (std::size_t p = 0; p < reports[0].phases.size(); ++p) {
+    const PhaseSlo& x = reports[0].phases[p];
+    const PhaseSlo& y = reports[1].phases[p];
+    EXPECT_EQ(x.ranks, y.ranks) << "phase " << p;
+    EXPECT_EQ(x.completed, y.completed) << "phase " << p;
+    EXPECT_EQ(x.grows, y.grows) << "phase " << p;
+    EXPECT_EQ(x.rebuilds, y.rebuilds) << "phase " << p;
+    EXPECT_EQ(x.rows_migrated, y.rows_migrated) << "phase " << p;
+    EXPECT_EQ(x.rows_full_replication, y.rows_full_replication)
+        << "phase " << p;
+  }
+  EXPECT_EQ(reports[0].final_ranks, reports[1].final_ranks);
+}
+
+TEST_F(ScenarioTest, RejectsMalformedTracesAndNames) {
+  EXPECT_THROW((void)parse_scenario("rush-hour"), std::invalid_argument);
+  const CsrMatrix a = matgen::random_banded(40, 6, 2, seed(6));
+  ScenarioTrace bad = make_trace(ScenarioKind::kDiurnal, seed(7), 2);
+  bad.base_ranks = 1;
+  EXPECT_THROW((void)replay_scenario(bad, a), std::invalid_argument);
+  ScenarioTrace kills_root = make_trace(ScenarioKind::kDiurnal, seed(7), 2);
+  kills_root.phases[1].kill_global_rank = 0;
+  EXPECT_THROW((void)replay_scenario(kills_root, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::cluster

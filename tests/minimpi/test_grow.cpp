@@ -1,0 +1,196 @@
+// Elastic grow (Comm::spawn): the board-level rendezvous that adds brand
+// new ranks to a running job. These tests pin the protocol invariants:
+// old members keep their ranks and the joiners append in order, the
+// failure epoch bumps exactly once per grow (a grown topology is a new
+// generation, like a post-shrink one), joiners are first-class citizens
+// of the fault layer (heartbeats seeded, validator registries extended),
+// and grow composes with shrink — the ULFM recovery story runs in both
+// directions.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/seeded_fixture.hpp"
+#include "minimpi/fault.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace hspmv::minimpi {
+namespace {
+
+class Grow : public testutil::SeededTest {};
+
+TEST_F(Grow, SpawnAddsRanksAndPreservesOldOnes) {
+  constexpr int kRanks = 3;
+  constexpr int kExtra = 2;
+  std::mutex mutex;
+  std::vector<int> grown_ranks;
+  std::vector<int> grown_world_ranks;
+  std::atomic<int> joiner_runs{0};
+  std::atomic<std::uint64_t> epoch_after{~0ull};
+
+  const auto participate = [&](Comm& grown) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      grown_ranks.push_back(grown.rank());
+      grown_world_ranks.push_back(grown.global_rank());
+    }
+    // The grown communicator must be fully collective-capable.
+    const int total = grown.allreduce(grown.rank(), ReduceOp::kSum);
+    EXPECT_EQ(total, (grown.size() - 1) * grown.size() / 2);
+    EXPECT_EQ(grown.size(), kRanks + kExtra);
+    epoch_after = grown.epoch();
+  };
+
+  run(kRanks, [&](Comm& world) {
+    Comm grown = world.spawn(kExtra, [&](Comm& joiner) {
+      ++joiner_runs;
+      participate(joiner);
+    });
+    // Old members keep their parent ranks.
+    EXPECT_EQ(grown.rank(), world.rank());
+    participate(grown);
+  });
+
+  EXPECT_EQ(joiner_runs.load(), kExtra);
+  std::sort(grown_ranks.begin(), grown_ranks.end());
+  std::sort(grown_world_ranks.begin(), grown_world_ranks.end());
+  const std::vector<int> expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(grown_ranks, expected);
+  // Joiners take fresh world ranks appended after the founding ones.
+  EXPECT_EQ(grown_world_ranks, expected);
+  // Exactly one epoch bump for the whole grow, not one per joiner.
+  EXPECT_EQ(epoch_after.load(), 1u);
+}
+
+TEST_F(Grow, BroadcastReachesJoiners) {
+  constexpr int kRanks = 2;
+  std::atomic<int> checked{0};
+  const auto verify = [&](Comm& grown) {
+    std::vector<double> data(32, 0.0);
+    if (grown.rank() == 0) std::iota(data.begin(), data.end(), 1.0);
+    grown.broadcast(std::span<double>(data), 0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      ASSERT_EQ(data[i], static_cast<double>(i + 1));
+    }
+    ++checked;
+  };
+  run(kRanks, [&](Comm& world) {
+    Comm grown = world.spawn(2, verify);
+    verify(grown);
+  });
+  EXPECT_EQ(checked.load(), 4);
+}
+
+TEST_F(Grow, JoinersParticipateInFurtherGrows) {
+  // spawn from a grown communicator: the first grow's joiner is a full
+  // member of the second rendezvous, and run() drains the second wave of
+  // spawned threads too.
+  constexpr int kRanks = 2;
+  std::atomic<int> final_members{0};
+  const std::function<void(Comm&)> second_wave = [&](Comm& c) {
+    const int total = c.allreduce(1, ReduceOp::kSum);
+    EXPECT_EQ(total, c.size());
+    EXPECT_EQ(c.size(), kRanks + 2);
+    ++final_members;
+  };
+  const std::function<void(Comm&)> first_wave = [&](Comm& grown1) {
+    Comm grown2 = grown1.spawn(1, second_wave);
+    second_wave(grown2);
+  };
+  run(kRanks, [&](Comm& world) {
+    Comm grown1 = world.spawn(1, first_wave);
+    first_wave(grown1);
+  });
+  EXPECT_EQ(final_members.load(), kRanks + 2);
+}
+
+TEST_F(Grow, ShrinkThenGrowRestoresSize) {
+  // The elastic round trip: kill a rank, shrink to the survivors, grow
+  // back to the original size. Two topology changes, two epoch bumps.
+  constexpr int kRanks = 4;
+  constexpr int kVictim = 1;
+  std::atomic<int> active_members{0};
+  const auto work = [&](Comm& c) {
+    EXPECT_EQ(c.size(), kRanks);
+    EXPECT_EQ(c.epoch(), 2u);
+    const int total = c.allreduce(c.rank() + 1, ReduceOp::kSum);
+    EXPECT_EQ(total, kRanks * (kRanks + 1) / 2);
+    ++active_members;
+  };
+  run(kRanks, [&](Comm& world) {
+    if (world.rank() == kVictim) {
+      try {
+        world.simulate_rank_failure();
+      } catch (const FaultError&) {
+        return;  // the victim's thread exits; survivors carry on
+      }
+    }
+    Comm current = world;
+    while (true) {
+      try {
+        current.barrier();
+        break;
+      } catch (const FaultError&) {
+        current = current.shrink();
+      }
+    }
+    EXPECT_EQ(current.size(), kRanks - 1);
+    Comm grown = current.spawn(1, work);
+    // The survivor that had rank > victim shifted down in the shrink and
+    // keeps that shrunk rank; the joiner reuses none of the old world
+    // ranks — it gets a brand new thread identity.
+    EXPECT_EQ(grown.rank(), current.rank());
+    EXPECT_NE(grown.group()[kRanks - 1], kVictim);
+    EXPECT_EQ(grown.group()[kRanks - 1], kRanks);
+    work(grown);
+  });
+  EXPECT_EQ(active_members.load(), kRanks);
+}
+
+TEST_F(Grow, ValidatorCoversJoiners) {
+  // With the usage checker on, joiners' collectives and p2p register in
+  // the per-world-rank blocked-state tables (on_comm_grown resized them)
+  // and a clean elastic run finalizes with zero diagnostics.
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.validate.enabled = true;
+  options.validate.log_to_stderr = false;
+  std::atomic<int> violations{0};
+  options.validate.on_diagnostic = [&](const Diagnostic&) { ++violations; };
+  const auto work = [&](Comm& c) {
+    std::vector<double> payload(8, static_cast<double>(c.rank()));
+    const int right = (c.rank() + 1) % c.size();
+    const int left = (c.rank() + c.size() - 1) % c.size();
+    std::vector<double> incoming(8, -1.0);
+    c.sendrecv(std::span<const double>(payload), right,
+               std::span<double>(incoming), left);
+    EXPECT_EQ(incoming[0], static_cast<double>(left));
+    c.barrier();
+  };
+  run(options, [&](Comm& world) {
+    Comm grown = world.spawn(2, work);
+    work(grown);
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST_F(Grow, MismatchedExtraIsALogicError) {
+  EXPECT_THROW(
+      run(1,
+          [&](Comm& world) {
+            (void)world.spawn(0, [](Comm&) {});
+          }),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hspmv::minimpi

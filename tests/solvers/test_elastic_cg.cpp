@@ -1,0 +1,372 @@
+// Elastic-capacity tier for the resilient solvers: mid-solve grows
+// (ResilienceOptions::grows), the end-to-end shrink-then-grow-back
+// determinism guarantee, and the epoch-aware buddy-checkpoint mapping
+// that makes restores safe across topology changes.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <numbers>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/seeded_fixture.hpp"
+#include "matgen/poisson.hpp"
+#include "minimpi/fault.hpp"
+#include "minimpi/runtime.hpp"
+#include "solvers/resilience.hpp"
+#include "sparse/kernels.hpp"
+#include "util/prng.hpp"
+
+namespace hspmv::solvers {
+namespace {
+
+using sparse::value_t;
+
+class ElasticCg : public testutil::SeededTest {};
+
+std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<value_t> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+/// Problem with a known solution: b = A x_true on the 2-D Poisson matrix.
+struct Problem {
+  sparse::CsrMatrix a;
+  std::vector<value_t> x_true;
+  std::vector<value_t> b;
+};
+
+Problem make_problem(std::uint64_t seed) {
+  Problem problem{matgen::poisson5_2d(16, 16), {}, {}};
+  problem.x_true =
+      random_vector(static_cast<std::size_t>(problem.a.rows()), seed);
+  problem.b.resize(problem.x_true.size());
+  sparse::spmv(problem.a, problem.x_true, problem.b);
+  return problem;
+}
+
+ResilienceOptions fast_options() {
+  ResilienceOptions options;
+  options.checkpoint_interval = 5;
+  options.engine.retry.enabled = true;
+  options.engine.retry.max_attempts = 4;
+  options.engine.retry.base_backoff_seconds = 1e-5;
+  options.engine.retry.max_backoff_seconds = 1e-4;
+  return options;
+}
+
+/// Run resilient_cg on `ranks` founding threads; founder results are
+/// indexed by world rank, joiner results collected separately.
+struct ElasticRun {
+  std::vector<ResilientCgResult> founders;
+  std::vector<ResilientCgResult> joiners;
+};
+
+ElasticRun run_cg(const Problem& problem, int ranks,
+                  ResilienceOptions resilience,
+                  const minimpi::RuntimeOptions& runtime,
+                  const CgOptions& cg = {}) {
+  ElasticRun out;
+  out.founders.resize(static_cast<std::size_t>(ranks));
+  std::mutex mutex;
+  resilience.on_joiner_result = [&](ResilientCgResult result) {
+    std::lock_guard<std::mutex> lock(mutex);
+    out.joiners.push_back(std::move(result));
+  };
+  minimpi::run(runtime, [&](minimpi::Comm& comm) {
+    auto result = resilient_cg(comm, problem.a, problem.b, resilience, cg);
+    std::lock_guard<std::mutex> lock(mutex);
+    out.founders[static_cast<std::size_t>(comm.rank())] = std::move(result);
+  });
+  return out;
+}
+
+TEST_F(ElasticCg, MigrateModeGrowResumesWithoutLosingIterations) {
+  // A capacity grow without any failure: the live recurrence migrates
+  // onto the grown membership (x, r, p follow their rows bitwise) and
+  // the solve resumes at the same iteration, so nothing is lost and the
+  // answer is still the known solution.
+  const Problem problem = make_problem(seed(1));
+  ResilienceOptions resilience = fast_options();
+  resilience.grows.push_back({6, 1, /*rollback=*/false});
+  minimpi::RuntimeOptions runtime;
+  runtime.ranks = 3;
+  const ElasticRun run = run_cg(problem, 3, resilience, runtime);
+
+  ASSERT_EQ(run.joiners.size(), 1u);
+  std::vector<const ResilientCgResult*> all;
+  for (const auto& r : run.founders) all.push_back(&r);
+  all.push_back(&run.joiners.front());
+  for (const ResilientCgResult* result : all) {
+    EXPECT_TRUE(result->cg.converged);
+    EXPECT_TRUE(result->recovery.survivor);
+    EXPECT_EQ(result->recovery.grows, 1);
+    EXPECT_EQ(result->recovery.failures_recovered, 0);
+    EXPECT_EQ(result->recovery.iterations_lost, 0);
+    EXPECT_EQ(result->recovery.final_size, 4);
+    EXPECT_GT(result->recovery.rows_migrated, 0);
+    EXPECT_LT(result->recovery.rows_migrated,
+              result->recovery.rows_full_replication);
+    ASSERT_EQ(result->x.size(), problem.x_true.size());
+    for (std::size_t i = 0; i < result->x.size(); ++i) {
+      EXPECT_NEAR(result->x[i], problem.x_true[i], 1e-6);
+    }
+  }
+  // Every member holds bitwise the same replicated solution.
+  for (const ResilientCgResult* result : all) {
+    EXPECT_EQ(result->x, all.front()->x);
+    EXPECT_EQ(result->cg.residual_history,
+              all.front()->cg.residual_history);
+  }
+}
+
+TEST_F(ElasticCg, ShrinkThenGrowBackMatchesCalmRunBitwise) {
+  // The end-to-end elasticity guarantee: kill a rank mid-solve (shrink
+  // to 3), grow back to 4 a few iterations later in rollback mode, and
+  // the continuation must be bitwise a calm 4-rank run — the full
+  // residual history and the final solution compare with EXPECT_EQ, not
+  // EXPECT_NEAR. The trick making this exact: with only the bootstrap
+  // checkpoint (x = 0 at iteration 0, partition-independent content),
+  // the post-grow restore + restart reproduces the calm run's starting
+  // state on the calm run's partition.
+  constexpr int kRanks = 4;
+  constexpr int kVictim = 2;
+  const Problem problem = make_problem(seed(2));
+  ResilienceOptions resilience = fast_options();
+  resilience.checkpoint_interval = 1 << 20;  // bootstrap checkpoint only
+
+  minimpi::RuntimeOptions runtime;
+  runtime.ranks = kRanks;
+  const ElasticRun calm = run_cg(problem, kRanks, resilience, runtime);
+  const auto& calm_result = calm.founders.front();
+  ASSERT_TRUE(calm_result.cg.converged);
+
+  resilience.failures.push_back({kVictim, 3});
+  resilience.grows.push_back({6, 1, /*rollback=*/true});
+  const ElasticRun elastic = run_cg(problem, kRanks, resilience, runtime);
+
+  EXPECT_FALSE(elastic.founders[kVictim].recovery.survivor);
+  ASSERT_EQ(elastic.joiners.size(), 1u);
+  std::vector<const ResilientCgResult*> members;
+  for (int rank = 0; rank < kRanks; ++rank) {
+    if (rank == kVictim) continue;
+    members.push_back(&elastic.founders[static_cast<std::size_t>(rank)]);
+  }
+  members.push_back(&elastic.joiners.front());
+  for (const ResilientCgResult* result : members) {
+    EXPECT_TRUE(result->cg.converged);
+    EXPECT_EQ(result->recovery.grows, 1);
+    EXPECT_EQ(result->recovery.final_size, kRanks);
+    // The incremental repartitioner must beat full re-replication on
+    // both topology changes (one shrink + one grow, each of which would
+    // have re-replicated every row in the pre-elastic engine).
+    EXPECT_GT(result->recovery.rows_migrated, 0);
+    EXPECT_LT(result->recovery.rows_migrated,
+              result->recovery.rows_full_replication);
+    // Bitwise: the elastic run IS the calm run from the restored
+    // checkpoint onward.
+    EXPECT_EQ(result->x, calm_result.x);
+    EXPECT_EQ(result->cg.residual_history, calm_result.cg.residual_history);
+  }
+  const auto& survivor = *members.front();
+  EXPECT_EQ(survivor.recovery.failures_recovered, 1);
+  // Full replication would have touched every row on each of the two
+  // changes.
+  EXPECT_EQ(survivor.recovery.rows_full_replication,
+            2 * static_cast<std::int64_t>(problem.a.rows()));
+}
+
+TEST_F(ElasticCg, EpochKeepsGenerationsFromDifferentTopologiesApart) {
+  // Satellite regression: two complete checkpoint generations at the
+  // SAME iteration but from different topologies (4-rank partition
+  // before a death, 3-rank partition after). Without the epoch in the
+  // grouping key their slices land in one bucket where the row ranges
+  // overlap instead of tiling, and restore spuriously reports the
+  // checkpoint as lost (or worse, stitches slices of different states).
+  // With epoch-aware grouping the restore must succeed and return the
+  // newer topology's generation.
+  constexpr int kRanks = 4;
+  constexpr int kVictim = 1;
+  const sparse::index_t rows = 96;  // 24 each at 4 ranks, 32 each at 3
+  const auto u = random_vector(static_cast<std::size_t>(rows), seed(3));
+  const auto v = random_vector(static_cast<std::size_t>(rows), seed(4));
+
+  minimpi::run(kRanks, [&](minimpi::Comm& comm) {
+    BuddyCheckpoint store;
+    const auto old_begin = rows * comm.rank() / kRanks;
+    const auto old_len = rows * (comm.rank() + 1) / kRanks - old_begin;
+    store.save(comm, old_begin, 7,
+               {std::span<const value_t>(u).subspan(
+                   static_cast<std::size_t>(old_begin),
+                   static_cast<std::size_t>(old_len))},
+               {});
+    try {
+      comm.barrier();
+    } catch (const minimpi::FaultError&) {
+    }
+    if (comm.rank() == kVictim) {
+      try {
+        comm.simulate_rank_failure();
+      } catch (const minimpi::FaultError&) {
+        return;
+      }
+    }
+    try {
+      comm.barrier();
+    } catch (const minimpi::FaultError&) {
+    }
+    minimpi::Comm shrunk;
+    for (int attempt = 0; attempt <= kRanks; ++attempt) {
+      try {
+        shrunk = comm.shrink();
+        break;
+      } catch (const minimpi::FaultError&) {
+      }
+    }
+    ASSERT_EQ(shrunk.size(), kRanks - 1);
+    // Save a DIFFERENT state at the same iteration under the shrunk
+    // topology (epoch 1, 3-rank partition).
+    const auto new_begin = rows * shrunk.rank() / shrunk.size();
+    const auto new_len =
+        rows * (shrunk.rank() + 1) / shrunk.size() - new_begin;
+    store.save(shrunk, new_begin, 7,
+               {std::span<const value_t>(v).subspan(
+                   static_cast<std::size_t>(new_begin),
+                   static_cast<std::size_t>(new_len))},
+               {});
+    const auto restored =
+        store.restore_global(shrunk, rows, new_begin, new_len);
+    EXPECT_EQ(restored.iteration, 7);
+    ASSERT_EQ(restored.vectors.size(), 1u);
+    // The newest epoch wins the tie: the post-shrink state, not the
+    // pre-shrink one, and certainly not a mix.
+    EXPECT_EQ(restored.vectors[0], v);
+  });
+}
+
+TEST_F(ElasticCg, RemapRepairsBuddyInvariantAfterGrow) {
+  // After a grow, the (rank+1) % size buddy of rank 1 changes from rank
+  // 0 to the joiner (rank 2). remap() must re-replicate committed
+  // snapshots to the new buddies — afterwards rank 1's slice survives
+  // rank 1's death only because the joiner holds it.
+  constexpr sparse::index_t rows = 64;
+  const auto u = random_vector(static_cast<std::size_t>(rows), seed(5));
+
+  const auto after_grow = [&](minimpi::Comm& grown, BuddyCheckpoint& store) {
+    store.remap(grown);
+    try {
+      grown.barrier();
+    } catch (const minimpi::FaultError&) {
+    }
+    if (grown.rank() == 1) {
+      try {
+        grown.simulate_rank_failure();
+      } catch (const minimpi::FaultError&) {
+        return;
+      }
+    }
+    try {
+      grown.barrier();
+    } catch (const minimpi::FaultError&) {
+    }
+    minimpi::Comm shrunk;
+    for (int attempt = 0; attempt <= 3; ++attempt) {
+      try {
+        shrunk = grown.shrink();
+        break;
+      } catch (const minimpi::FaultError&) {
+      }
+    }
+    ASSERT_EQ(shrunk.size(), 2);
+    const auto restored = store.restore_global(shrunk, rows, 0, rows / 2);
+    EXPECT_EQ(restored.iteration, 3);
+    ASSERT_EQ(restored.vectors.size(), 1u);
+    EXPECT_EQ(restored.vectors[0], u);
+  };
+
+  minimpi::run(2, [&](minimpi::Comm& comm) {
+    BuddyCheckpoint store;
+    const auto begin = rows * comm.rank() / 2;
+    const auto len = rows / 2;
+    store.save(comm, begin, 3,
+               {std::span<const value_t>(u).subspan(
+                   static_cast<std::size_t>(begin),
+                   static_cast<std::size_t>(len))},
+               {});
+    minimpi::Comm grown =
+        comm.spawn(1, [&](minimpi::Comm& joined) {
+          BuddyCheckpoint empty;  // joiners start with no snapshots
+          after_grow(joined, empty);
+        });
+    after_grow(grown, store);
+  });
+}
+
+TEST_F(ElasticCg, ParseGrowPlan) {
+  const GrowPlan plain = parse_grow_plan("20:+2");
+  EXPECT_EQ(plain.iteration, 20);
+  EXPECT_EQ(plain.ranks, 2);
+  EXPECT_FALSE(plain.rollback);
+  const GrowPlan rollback = parse_grow_plan("0:+1!");
+  EXPECT_EQ(rollback.iteration, 0);
+  EXPECT_EQ(rollback.ranks, 1);
+  EXPECT_TRUE(rollback.rollback);
+  for (const char* bad :
+       {"", "5", "5:", "5:2", ":+2", "5:+", "5:+0", "-1:+2", "5:+2x",
+        "x:+2", "5:+2!!"}) {
+    EXPECT_THROW((void)parse_grow_plan(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST_F(ElasticCg, LanczosGrowsMidSolveAndStillConverges) {
+  // The Lanczos driver survives a grow too (always rollback mode): the
+  // known lowest eigenvalue of the 2-D Poisson matrix must come out on
+  // every founder and on the joiner.
+  constexpr int kRanks = 3;
+  const auto a = matgen::poisson5_2d(16, 16);
+  const double expected = 4.0 - 4.0 * std::cos(std::numbers::pi / 17.0);
+
+  ResilienceOptions resilience = fast_options();
+  resilience.grows.push_back({7, 1, /*rollback=*/true});
+  std::vector<ResilientLanczosResult> joiners;
+  std::mutex mutex;
+  resilience.on_joiner_lanczos_result = [&](ResilientLanczosResult result) {
+    std::lock_guard<std::mutex> lock(mutex);
+    joiners.push_back(std::move(result));
+  };
+
+  minimpi::RuntimeOptions runtime;
+  runtime.ranks = kRanks;
+  std::vector<ResilientLanczosResult> results(kRanks);
+  minimpi::run(runtime, [&](minimpi::Comm& comm) {
+    auto result = resilient_lanczos(comm, a, resilience);
+    std::lock_guard<std::mutex> lock(mutex);
+    results[static_cast<std::size_t>(comm.rank())] = std::move(result);
+  });
+
+  ASSERT_EQ(joiners.size(), 1u);
+  std::vector<const ResilientLanczosResult*> all;
+  for (const auto& r : results) all.push_back(&r);
+  all.push_back(&joiners.front());
+  for (const ResilientLanczosResult* result : all) {
+    EXPECT_TRUE(result->lanczos.converged);
+    EXPECT_EQ(result->recovery.grows, 1);
+    EXPECT_EQ(result->recovery.final_size, kRanks + 1);
+    EXPECT_GT(result->recovery.rows_migrated, 0);
+    EXPECT_LT(result->recovery.rows_migrated,
+              result->recovery.rows_full_replication);
+    EXPECT_NEAR(result->lanczos.smallest(), expected, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace hspmv::solvers

@@ -1,0 +1,279 @@
+// Elastic-capacity tier: incremental repartitioning (plan_migration) and
+// the grow path of RecoverableSpmv. The contract under test is the PR's
+// determinism guarantee: a topology change migrates only the ownership
+// delta, yet the rebuilt distributed state is bitwise-identical to a
+// world that was born at the new size — for shrink, for grow, and for
+// vectors carried across by migrate_vector.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/reference.hpp"
+#include "common/seeded_fixture.hpp"
+#include "matgen/random_matrix.hpp"
+#include "minimpi/fault.hpp"
+#include "minimpi/runtime.hpp"
+#include "spmv/engine.hpp"
+#include "spmv/partition.hpp"
+#include "spmv/resilient.hpp"
+
+namespace hspmv::spmv {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+class Elastic : public testutil::SeededTest {};
+
+TEST_F(Elastic, PlanMigrationPartitionsEveryRowExactlyOnce) {
+  const CsrMatrix a = matgen::random_banded(200, 24, 6, seed(1));
+  for (int old_parts = 1; old_parts <= 5; ++old_parts) {
+    for (int new_parts = 1; new_parts <= 5; ++new_parts) {
+      const auto old_b = partition_rows(a, old_parts,
+                                        PartitionStrategy::kBalancedNonzeros);
+      const auto new_b = partition_rows(a, new_parts,
+                                        PartitionStrategy::kBalancedNonzeros);
+      // Identity mapping truncated/extended: old rank s lives on at new
+      // rank s when s < new_parts, else it is gone.
+      std::vector<int> owner(static_cast<std::size_t>(old_parts));
+      for (int s = 0; s < old_parts; ++s) {
+        owner[static_cast<std::size_t>(s)] = s < new_parts ? s : -1;
+      }
+      const MigrationPlan plan = plan_migration(old_b, owner, new_b);
+      EXPECT_EQ(plan.rows_moved + plan.rows_seeded + plan.rows_kept,
+                static_cast<std::int64_t>(a.rows()));
+      EXPECT_EQ(plan.rows_full_replication,
+                static_cast<std::int64_t>(a.rows()));
+      // Same partition, all members alive: nothing travels.
+      if (old_parts == new_parts) {
+        EXPECT_EQ(plan.rows_moved, 0);
+        EXPECT_EQ(plan.rows_seeded, 0);
+        EXPECT_TRUE(plan.moves.empty());
+      }
+      // Rank 0's prefix never moves: both partitions start at row 0, so
+      // the incremental path always beats full re-replication.
+      EXPECT_GT(plan.rows_kept, 0);
+      EXPECT_LT(plan.rows_moved + plan.rows_seeded,
+                plan.rows_full_replication);
+      // Emitted ranges are disjoint, in-bounds, and sorted per dest.
+      std::int64_t moved = 0;
+      for (const MigrationMove& mv : plan.moves) {
+        EXPECT_GE(mv.source, 0);
+        EXPECT_LT(mv.dest, new_parts);
+        EXPECT_NE(mv.source, mv.dest);
+        EXPECT_LT(mv.row_begin, mv.row_end);
+        moved += mv.rows();
+      }
+      EXPECT_EQ(moved, plan.rows_moved);
+    }
+  }
+}
+
+TEST_F(Elastic, PlanMigrationIsDeterministic) {
+  const CsrMatrix a = matgen::random_banded(150, 20, 5, seed(2));
+  const auto old_b =
+      partition_rows(a, 4, PartitionStrategy::kBalancedNonzeros);
+  const auto new_b =
+      partition_rows(a, 3, PartitionStrategy::kBalancedNonzeros);
+  const std::vector<int> owner = {0, -1, 1, 2};  // rank 1 died
+  const MigrationPlan p1 = plan_migration(old_b, owner, new_b);
+  const MigrationPlan p2 = plan_migration(old_b, owner, new_b);
+  ASSERT_EQ(p1.moves.size(), p2.moves.size());
+  for (std::size_t i = 0; i < p1.moves.size(); ++i) {
+    EXPECT_EQ(p1.moves[i].source, p2.moves[i].source);
+    EXPECT_EQ(p1.moves[i].dest, p2.moves[i].dest);
+    EXPECT_EQ(p1.moves[i].row_begin, p2.moves[i].row_begin);
+    EXPECT_EQ(p1.moves[i].row_end, p2.moves[i].row_end);
+  }
+  EXPECT_EQ(p1.rows_seeded, p2.rows_seeded);
+}
+
+/// Scatter a global vector into this rank's owned slice.
+std::vector<value_t> owned_slice(const std::vector<value_t>& global,
+                                 index_t row_begin, index_t rows) {
+  return std::vector<value_t>(
+      global.begin() + row_begin,
+      global.begin() + row_begin + rows);
+}
+
+TEST_F(Elastic, GrowRebuildMatchesCalmRunBitwise) {
+  // The tentpole property in isolation: start at kRanks, grow to
+  // kRanks + kExtra mid-run, and the post-grow apply must produce the
+  // same bits as a world born at the final size. The joiners construct
+  // via JoinerTag and receive their rows from the old owners — strictly
+  // fewer rows travel than a full re-replication would touch.
+  constexpr int kRanks = 3;
+  constexpr int kExtra = 2;
+  const int threads = 2;
+  const CsrMatrix a = matgen::random_banded(180, 22, 6, seed(3));
+  const auto x =
+      testutil::random_vector(static_cast<std::size_t>(a.cols()), seed(4));
+
+  minimpi::RuntimeOptions calm;
+  calm.ranks = kRanks + kExtra;
+  const auto expected = testutil::distributed_product(
+      a, x, threads, Variant::kVectorNoOverlap, calm, EngineOptions{});
+
+  std::vector<value_t> result(static_cast<std::size_t>(a.rows()), 0.0);
+  std::mutex result_mutex;
+  std::atomic<std::int64_t> migrated{-1};
+  std::atomic<std::int64_t> full{-1};
+
+  const auto post_grow = [&](RecoverableSpmv& op) {
+    EXPECT_EQ(op.comm().size(), kRanks + kExtra);
+    DistVector xd = op.make_vector();
+    DistVector yd = op.make_vector();
+    xd.assign_from_global(x, op.matrix().row_begin());
+    const Timings t = op.apply(xd, yd);
+    // The elastic counters ride along in the Timings.
+    EXPECT_GT(t.rows_migrated, 0);
+    EXPECT_LT(t.rows_migrated, t.rows_full_replication);
+    migrated = t.rows_migrated;
+    full = t.rows_full_replication;
+    std::lock_guard<std::mutex> lock(result_mutex);
+    for (index_t i = 0; i < op.matrix().owned_rows(); ++i) {
+      result[static_cast<std::size_t>(op.matrix().row_begin() + i)] =
+          yd.owned()[static_cast<std::size_t>(i)];
+    }
+  };
+
+  minimpi::run(kRanks, [&](minimpi::Comm& comm) {
+    RecoverableSpmv op(comm, a, threads, Variant::kVectorNoOverlap);
+    DistVector xd = op.make_vector();
+    DistVector yd = op.make_vector();
+    xd.assign_from_global(x, op.matrix().row_begin());
+    op.apply(xd, yd);  // pre-grow apply at the original size
+    op.grow_and_rebuild(kExtra, [&](minimpi::Comm& grown) {
+      RecoverableSpmv joiner(RecoverableSpmv::JoinerTag{}, grown, a, threads,
+                             Variant::kVectorNoOverlap);
+      EXPECT_EQ(joiner.last_rebuild().old_size, kRanks);
+      EXPECT_EQ(joiner.last_rebuild().new_size, kRanks + kExtra);
+      post_grow(joiner);
+    });
+    EXPECT_EQ(op.last_rebuild().rows_seeded, 0);  // nobody died
+    post_grow(op);
+  });
+
+  EXPECT_EQ(result, expected);
+  EXPECT_GT(migrated.load(), 0);
+  EXPECT_LT(migrated.load(), full.load());
+}
+
+TEST_F(Elastic, MigrateVectorCarriesBitsAcrossGrow) {
+  // migrate_vector must move every owned value to its new owner exactly
+  // (bit copies, no arithmetic), across both directions of the same
+  // repartition the matrix took.
+  constexpr int kRanks = 2;
+  constexpr int kExtra = 2;
+  const CsrMatrix a = matgen::random_banded(140, 18, 5, seed(5));
+  const auto v =
+      testutil::random_vector(static_cast<std::size_t>(a.rows()), seed(6));
+
+  std::atomic<int> checked{0};
+  const auto verify = [&](RecoverableSpmv& op,
+                          std::span<const value_t> old_owned) {
+    const auto mine = op.migrate_vector(old_owned);
+    const index_t begin = op.matrix().row_begin();
+    ASSERT_EQ(mine.size(),
+              static_cast<std::size_t>(op.matrix().owned_rows()));
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      ASSERT_EQ(mine[i], v[static_cast<std::size_t>(begin) + i]);
+    }
+    ++checked;
+  };
+
+  minimpi::run(kRanks, [&](minimpi::Comm& comm) {
+    RecoverableSpmv op(comm, a, 2, Variant::kVectorNoOverlap);
+    const auto old_mine =
+        owned_slice(v, op.matrix().row_begin(), op.matrix().owned_rows());
+    op.grow_and_rebuild(kExtra, [&](minimpi::Comm& grown) {
+      RecoverableSpmv joiner(RecoverableSpmv::JoinerTag{}, grown, a, 2,
+                             Variant::kVectorNoOverlap);
+      verify(joiner, {});  // joiners contribute nothing, receive their slice
+    });
+    verify(op, old_mine);
+  });
+  EXPECT_EQ(checked.load(), kRanks + kExtra);
+}
+
+TEST_F(Elastic, ShrinkThenGrowBackMatchesCalmRunBitwise) {
+  // The full elastic round trip at engine level: kill a rank, shrink,
+  // grow back to the original size, and the final apply must match a
+  // calm world of the original size bit for bit.
+  constexpr int kRanks = 4;
+  constexpr int kVictim = 2;
+  const int threads = 2;
+  const CsrMatrix a = matgen::random_banded(160, 20, 5, seed(7));
+  const auto x =
+      testutil::random_vector(static_cast<std::size_t>(a.cols()), seed(8));
+
+  minimpi::RuntimeOptions calm;
+  calm.ranks = kRanks;
+  const auto expected = testutil::distributed_product(
+      a, x, threads, Variant::kVectorNoOverlap, calm, EngineOptions{});
+
+  std::vector<value_t> result(static_cast<std::size_t>(a.rows()), 0.0);
+  std::mutex result_mutex;
+
+  const auto final_apply = [&](RecoverableSpmv& op) {
+    EXPECT_EQ(op.comm().size(), kRanks);
+    DistVector xd = op.make_vector();
+    DistVector yd = op.make_vector();
+    xd.assign_from_global(x, op.matrix().row_begin());
+    op.apply(xd, yd);
+    std::lock_guard<std::mutex> lock(result_mutex);
+    for (index_t i = 0; i < op.matrix().owned_rows(); ++i) {
+      result[static_cast<std::size_t>(op.matrix().row_begin() + i)] =
+          yd.owned()[static_cast<std::size_t>(i)];
+    }
+  };
+
+  minimpi::run(kRanks, [&](minimpi::Comm& comm) {
+    RecoverableSpmv op(comm, a, threads, Variant::kVectorNoOverlap);
+    try {
+      DistVector xd = op.make_vector();
+      DistVector yd = op.make_vector();
+      xd.assign_from_global(x, op.matrix().row_begin());
+      op.apply(xd, yd);
+      if (comm.rank() == kVictim) comm.simulate_rank_failure();
+      comm.barrier();
+      ADD_FAILURE() << "no fault observed";
+      return;
+    } catch (const minimpi::FaultError&) {
+      if (comm.rank() == kVictim) return;
+    }
+    op.shrink_and_rebuild();
+    EXPECT_EQ(op.comm().size(), kRanks - 1);
+    // The dead rank's rows were re-seeded, the rest kept or moved.
+    EXPECT_GT(op.last_rebuild().rows_seeded, 0);
+    op.grow_and_rebuild(1, [&](minimpi::Comm& grown) {
+      RecoverableSpmv joiner(RecoverableSpmv::JoinerTag{}, grown, a, threads,
+                             Variant::kVectorNoOverlap);
+      final_apply(joiner);
+    });
+    EXPECT_EQ(op.last_rebuild().rows_seeded, 0);  // grow loses nobody
+    final_apply(op);
+  });
+
+  EXPECT_EQ(result, expected);
+}
+
+TEST_F(Elastic, MigrateVectorRejectsWrongSlice) {
+  minimpi::run(2, [&](minimpi::Comm& comm) {
+    const CsrMatrix a = matgen::random_banded(60, 10, 3, seed(9));
+    RecoverableSpmv op(comm, a, 2, Variant::kVectorNoOverlap);
+    // No rebuild yet: nothing to migrate across.
+    EXPECT_THROW((void)op.migrate_vector({}), std::logic_error);
+  });
+}
+
+}  // namespace
+}  // namespace hspmv::spmv

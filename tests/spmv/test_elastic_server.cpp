@@ -1,0 +1,294 @@
+// Elastic serving (spmv/server.hpp grow() + joiner constructor) and
+// BatchQueue back-pressure under concurrent producers while the
+// topology changes underneath the queue: a grow between phases, a rank
+// death mid-batch with producers still hammering try_submit, and replay
+// determinism — every admitted request completes exactly once with the
+// dense oracle's bits, every rejected request never completes.
+//
+// Queues live outside minimpi::run and joiner closures capture options
+// by value: the joiner thread outlives a founder that dies mid-phase,
+// so it must not reference the victim's stack.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/reference.hpp"
+#include "common/seeded_fixture.hpp"
+#include "matgen/random_matrix.hpp"
+#include "minimpi/fault.hpp"
+#include "minimpi/runtime.hpp"
+#include "spmv/server.hpp"
+
+namespace hspmv::spmv {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::value_t;
+
+class ElasticServerTest : public testutil::SeededTest {};
+
+TEST_F(ElasticServerTest, ConcurrentProducersSeeBackPressureAcrossShrink) {
+  // Stage 1: four producer threads burst 16 requests into a capacity-4
+  // queue before anything drains — exactly 4 admitted, 12 rejected,
+  // whatever the interleaving. Stage 2: two producers spin-submit ten
+  // more while the ranks serve and rank 2 dies mid-batch; the shrink +
+  // replay must not lose, duplicate, or corrupt any admitted request.
+  constexpr int kRanks = 3;
+  constexpr int kVictim = 2;
+  constexpr std::size_t kBurst = 16;
+  constexpr std::size_t kLive = 10;
+  const CsrMatrix a = matgen::random_banded(100, 12, 4, seed(1));
+  const auto n = static_cast<std::size_t>(a.cols());
+  BatchQueue queue(/*capacity=*/4, /*max_block=*/2, /*max_wait_s=*/0.0);
+  std::mutex accepted_mutex;
+  std::map<std::uint64_t, std::vector<value_t>> accepted;
+  std::atomic<std::int64_t> rejected{0};
+  std::atomic<int> victim_faults{0};
+  std::mutex check_mutex;
+  minimpi::run(kRanks, [&](minimpi::Comm& comm) {
+    std::vector<std::thread> producers;
+    if (comm.rank() == 0) {
+      // Stage 1: concurrent burst against a queue nothing is draining.
+      for (int t = 0; t < 4; ++t) {
+        producers.emplace_back([&, t] {
+          for (std::size_t r = 0; r < kBurst / 4; ++r) {
+            const std::uint64_t id = static_cast<std::uint64_t>(t) * 100 + r;
+            auto x =
+                testutil::random_vector(n, testutil::sub_seed(seed(2), id));
+            auto copy = x;
+            if (queue.try_submit(id, x)) {
+              std::lock_guard<std::mutex> lock(accepted_mutex);
+              accepted.emplace(id, std::move(copy));
+            } else {
+              rejected.fetch_add(1);
+            }
+          }
+        });
+      }
+      for (std::thread& p : producers) p.join();
+      producers.clear();
+      EXPECT_EQ(accepted.size(), queue.capacity());
+      EXPECT_EQ(rejected.load(),
+                static_cast<std::int64_t>(kBurst - queue.capacity()));
+
+      // Stage 2: producers that retry through back-pressure while the
+      // server drains (and shrinks) concurrently; the last one out
+      // closes the queue.
+      static std::atomic<int> live_producers{0};
+      live_producers.store(2);
+      for (int t = 0; t < 2; ++t) {
+        producers.emplace_back([&, t] {
+          for (std::size_t r = 0; r < kLive / 2; ++r) {
+            const std::uint64_t id =
+                static_cast<std::uint64_t>(t) * 100 + 1000 + r;
+            auto x =
+                testutil::random_vector(n, testutil::sub_seed(seed(2), id));
+            auto copy = x;
+            while (!queue.try_submit(id, x)) std::this_thread::yield();
+            std::lock_guard<std::mutex> lock(accepted_mutex);
+            accepted.emplace(id, std::move(copy));
+          }
+          if (live_producers.fetch_sub(1) == 1) queue.close();
+        });
+      }
+    }
+    ServerOptions options;
+    options.keep_results = true;
+    options.before_apply = [](int batch_index, const minimpi::Comm& c) {
+      if (batch_index == 1 && c.global_rank() == kVictim) {
+        c.simulate_rank_failure();
+      }
+    };
+    SpmvServer server(comm, a, /*threads=*/2, Variant::kVectorNoOverlap, {},
+                      options);
+    ServerReport report;
+    try {
+      report = server.serve(queue);
+    } catch (const minimpi::FaultError& fault) {
+      EXPECT_EQ(comm.rank(), kVictim);
+      EXPECT_EQ(fault.rank(), kVictim);
+      victim_faults.fetch_add(1);
+      return;
+    }
+    EXPECT_NE(comm.rank(), kVictim);
+    EXPECT_EQ(server.spmv().comm().size(), kRanks - 1);
+    EXPECT_GE(report.rebuilds, 1);
+    if (comm.rank() != 0) return;
+    for (std::thread& p : producers) p.join();
+
+    std::lock_guard<std::mutex> lock(check_mutex);
+    EXPECT_GT(report.rows_migrated, 0);
+    EXPECT_LT(report.rows_migrated, report.rows_full_replication);
+    // Every admitted request completed exactly once with oracle bits;
+    // nothing the queue rejected ever completed.
+    ASSERT_EQ(report.completed.size(), queue.capacity() + kLive);
+    std::map<std::uint64_t, int> seen;
+    for (const CompletedRequest& done : report.completed) {
+      ++seen[done.id];
+      const auto it = accepted.find(done.id);
+      ASSERT_NE(it, accepted.end()) << "completed unadmitted id " << done.id;
+      const auto expected = testutil::dense_reference(a, it->second);
+      ASSERT_EQ(done.y.size(), expected.size());
+      EXPECT_LT(testutil::max_abs_diff(done.y, expected), 1e-12)
+          << "request " << done.id;
+    }
+    for (const auto& [id, count] : seen) {
+      EXPECT_EQ(count, 1) << "id " << id << " served more than once";
+    }
+    EXPECT_EQ(seen.size(), accepted.size());
+  });
+  EXPECT_EQ(victim_faults.load(), 1);
+}
+
+TEST_F(ElasticServerTest, GrowBetweenPhasesThenShrinkMidBatch) {
+  // Phase 1 serves at 2 ranks; grow(1) spawns a joiner whose server
+  // enters the migration collective and then serves the phase-2 queue
+  // alongside the founders; mid-phase-2 a founder dies and the grown
+  // membership shrinks back. The phase-2 report carries both topology
+  // changes' migration accounting, and every result in both phases
+  // matches the oracle.
+  constexpr std::size_t kPhase1 = 3;
+  constexpr std::size_t kPhase2 = 4;
+  const CsrMatrix a = matgen::random_sparse(120, 6, seed(3));
+  const auto n = static_cast<std::size_t>(a.cols());
+  BatchQueue queue1(/*capacity=*/8, /*max_block=*/2, /*max_wait_s=*/0.0);
+  BatchQueue queue2(/*capacity=*/8, /*max_block=*/2, /*max_wait_s=*/0.0);
+  std::vector<std::vector<value_t>> xs1, xs2;
+  for (std::size_t r = 0; r < kPhase1; ++r) {
+    auto x = testutil::random_vector(n, testutil::sub_seed(seed(4), r));
+    xs1.push_back(x);
+    ASSERT_TRUE(queue1.try_submit(r, x));
+  }
+  queue1.close();
+  for (std::size_t r = 0; r < kPhase2; ++r) {
+    auto x = testutil::random_vector(n, testutil::sub_seed(seed(5), r));
+    xs2.push_back(x);
+    ASSERT_TRUE(queue2.try_submit(100 + r, x));
+  }
+  queue2.close();
+  std::atomic<bool> kill_enabled{false};
+  std::atomic<int> victim_faults{0};
+  std::atomic<int> joiner_final_size{0};
+  std::mutex check_mutex;
+  minimpi::run(2, [&](minimpi::Comm& comm) {
+    ServerOptions options;
+    options.keep_results = true;
+    options.before_apply = [&kill_enabled](int batch_index,
+                                           const minimpi::Comm& c) {
+      if (kill_enabled.load() && batch_index == 1 && c.global_rank() == 1) {
+        c.simulate_rank_failure();
+      }
+    };
+    SpmvServer server(comm, a, /*threads=*/2, Variant::kTaskMode, {}, options);
+    const ServerReport report1 = server.serve(queue1);
+    EXPECT_EQ(report1.grows, 0);
+    EXPECT_EQ(report1.rebuilds, 0);
+
+    server.grow(1, [&a, &queue2, &joiner_final_size,
+                    options](minimpi::Comm& grown) {
+      SpmvServer joiner(RecoverableSpmv::JoinerTag{}, grown, a, /*threads=*/2,
+                        Variant::kTaskMode, {}, options);
+      try {
+        (void)joiner.serve(queue2);
+      } catch (const minimpi::FaultError&) {
+        ADD_FAILURE() << "joiner must survive the founder's death";
+        return;
+      }
+      joiner_final_size.store(joiner.spmv().comm().size());
+    });
+    EXPECT_EQ(server.spmv().comm().size(), 3);
+    if (comm.rank() == 0) kill_enabled.store(true);
+
+    ServerReport report2;
+    try {
+      report2 = server.serve(queue2);
+    } catch (const minimpi::FaultError& fault) {
+      EXPECT_EQ(comm.rank(), 1);
+      EXPECT_EQ(fault.rank(), 1);
+      victim_faults.fetch_add(1);
+      return;
+    }
+    EXPECT_NE(comm.rank(), 1);
+    EXPECT_EQ(server.spmv().comm().size(), 2);  // grew to 3, shrank to 2
+    if (comm.rank() != 0) return;
+
+    std::lock_guard<std::mutex> lock(check_mutex);
+    EXPECT_EQ(report2.grows, 1);
+    EXPECT_EQ(report2.rebuilds, 1);
+    // One grow + one shrink, each accounted against full re-replication
+    // of the whole matrix; the incremental path moved strictly less.
+    EXPECT_EQ(report2.rows_full_replication,
+              2 * static_cast<std::int64_t>(a.rows()));
+    EXPECT_GT(report2.rows_migrated, 0);
+    EXPECT_LT(report2.rows_migrated, report2.rows_full_replication);
+
+    ASSERT_EQ(report1.completed.size(), kPhase1);
+    for (std::size_t r = 0; r < kPhase1; ++r) {
+      EXPECT_EQ(report1.completed[r].id, r);
+      EXPECT_LT(testutil::max_abs_diff(report1.completed[r].y,
+                                       testutil::dense_reference(a, xs1[r])),
+                1e-12);
+    }
+    ASSERT_EQ(report2.completed.size(), kPhase2);
+    for (std::size_t r = 0; r < kPhase2; ++r) {
+      EXPECT_EQ(report2.completed[r].id, 100 + r);
+      EXPECT_LT(testutil::max_abs_diff(report2.completed[r].y,
+                                       testutil::dense_reference(a, xs2[r])),
+                1e-12)
+          << "phase-2 request " << r;
+    }
+  });
+  EXPECT_EQ(victim_faults.load(), 1);
+  EXPECT_EQ(joiner_final_size.load(), 2);
+}
+
+TEST_F(ElasticServerTest, GrowIsDeterministicAcrossReplays) {
+  // Same seed, same phases, run twice: the grown server must produce
+  // bitwise-identical results both times (the elastic path adds no
+  // nondeterminism to serving).
+  const CsrMatrix a = matgen::random_banded(90, 10, 3, seed(6));
+  const auto n = static_cast<std::size_t>(a.cols());
+  std::vector<std::vector<value_t>> first, second;
+  for (int round = 0; round < 2; ++round) {
+    auto& out = round == 0 ? first : second;
+    std::mutex out_mutex;
+    BatchQueue queue(/*capacity=*/8, /*max_block=*/3, /*max_wait_s=*/0.0);
+    for (std::size_t r = 0; r < 5; ++r) {
+      auto x = testutil::random_vector(n, testutil::sub_seed(seed(7), r));
+      ASSERT_TRUE(queue.try_submit(r, x));
+    }
+    queue.close();
+    minimpi::run(2, [&](minimpi::Comm& comm) {
+      ServerOptions options;
+      options.keep_results = true;
+      SpmvServer server(comm, a, /*threads=*/2, Variant::kVectorNoOverlap, {},
+                        options);
+      server.grow(1, [&a, &queue, options](minimpi::Comm& grown) {
+        SpmvServer joiner(RecoverableSpmv::JoinerTag{}, grown, a,
+                          /*threads=*/2, Variant::kVectorNoOverlap, {},
+                          options);
+        (void)joiner.serve(queue);
+      });
+      const ServerReport report = server.serve(queue);
+      if (comm.rank() != 0) return;
+      EXPECT_EQ(report.grows, 1);
+      std::lock_guard<std::mutex> lock(out_mutex);
+      for (const CompletedRequest& done : report.completed) {
+        out.push_back(done.y);
+      }
+    });
+  }
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t r = 0; r < first.size(); ++r) {
+    EXPECT_EQ(first[r], second[r]) << "request " << r;  // bitwise
+  }
+}
+
+}  // namespace
+}  // namespace hspmv::spmv
